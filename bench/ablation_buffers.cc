@@ -1,0 +1,38 @@
+// Ablation A2: buffers per disk in the disk-directed server. The paper uses
+// two ("using double-buffering"); one buffer cannot overlap the media with
+// the network/bus, and more than two should add little because the disk is
+// already kept busy.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace ddio;
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintPreamble("Ablation A2: DDIO buffers per disk",
+                       "paper Section 3: two buffers per disk per file suffice", options);
+  core::Table table({"buffers", "contig rb MB/s", "contig rc8 MB/s", "random rb MB/s"});
+  for (std::uint32_t buffers : {1u, 2u, 3u, 4u, 8u}) {
+    auto run = [&](fs::LayoutKind layout, const char* pattern, std::uint32_t record_bytes) {
+      core::ExperimentConfig cfg;
+      cfg.pattern = pattern;
+      cfg.record_bytes = record_bytes;
+      cfg.layout = layout;
+      cfg.method = core::Method::kDiskDirected;
+      cfg.ddio_buffers_per_disk = buffers;
+      cfg.trials = options.trials;
+      cfg.file_bytes = options.file_bytes();
+      return core::RunExperiment(cfg).mean_mbps;
+    };
+    table.AddRow({std::to_string(buffers),
+                  core::Fixed(run(fs::LayoutKind::kContiguous, "rb", 8192), 2),
+                  core::Fixed(run(fs::LayoutKind::kContiguous, "rc", 8), 2),
+                  core::Fixed(run(fs::LayoutKind::kRandomBlocks, "rb", 8192), 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation A9: filtered collective reads (selection pushdown to the IOPs) —
+// the paper's Section 8 suggestion of "selecting only a subset of records
+// that match some criterion", in the spirit of the Tandem NonStop machines
+// it cites ("which scan the local database partition and send only the
+// relevant tuples back").
+//
+// The scan is disk-bound regardless of selectivity; what changes is the
+// data shipped through the interconnect and the CP-side arrival work.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/core/machine.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/ddio/ddio_fs.h"
+#include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace ddio;
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintPreamble("Ablation A9: filtered collective reads (contiguous, rb, 128 B records)",
+                       "paper Section 8: record-subset transfers; scan stays disk-bound",
+                       options);
+  core::Table table({"selectivity", "scan MB/s", "shipped MB", "pieces"});
+  for (double selectivity : {1.0, 0.5, 0.1, 0.01}) {
+    double mbps_sum = 0;
+    double shipped = 0;
+    std::uint64_t pieces = 0;
+    for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
+      sim::Engine engine(3000 + trial);
+      core::MachineConfig mc;
+      core::Machine machine(engine, mc);
+      fs::StripedFile::Params fp;
+      fp.file_bytes = options.file_bytes();
+      fs::StripedFile file(fp, engine.rng());
+      pattern::AccessPattern pattern(pattern::PatternSpec::Parse("rb"), fp.file_bytes, 128,
+                                     mc.num_cps);
+      ddio_fs::DdioFileSystem fs(machine);
+      fs.Start();
+      core::OpStats stats;
+      engine.Spawn(fs.RunFilteredRead(file, pattern, selectivity, 99 + trial, &stats));
+      engine.Run();
+      mbps_sum += stats.ThroughputMBps();  // File bytes scanned over time.
+      shipped += static_cast<double>(stats.bytes_delivered) / 1e6;
+      pieces += stats.pieces;
+    }
+    table.AddRow({core::Fixed(selectivity, 2), core::Fixed(mbps_sum / options.trials, 2),
+                  core::Fixed(shipped / options.trials, 2),
+                  std::to_string(pieces / options.trials)});
+  }
+  table.Print(std::cout);
+  std::printf("\n(scan rate ~constant: the disks bound the scan; shipped bytes track\n"
+              " selectivity — early filtering saves interconnect and CP work)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared command-line handling and preamble printing for the per-figure
+// bench binaries.
+//
+// Flags (all optional):
+//   --trials=N    independent trials per configuration (default 5, as in the
+//                 paper)
+//   --file-mb=N   file size in MB (default 10, as in the paper)
+//   --quick       1 trial, 2 MB file: CI-friendly smoke mode
+
+#ifndef DDIO_BENCH_BENCH_UTIL_H_
+#define DDIO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ddio::bench {
+
+struct BenchOptions {
+  std::uint32_t trials = 5;
+  std::uint64_t file_mb = 10;
+
+  static BenchOptions Parse(int argc, char** argv) {
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--trials=", 9) == 0) {
+        options.trials = static_cast<std::uint32_t>(std::strtoul(arg + 9, nullptr, 10));
+      } else if (std::strncmp(arg, "--file-mb=", 10) == 0) {
+        options.file_mb = std::strtoull(arg + 10, nullptr, 10);
+      } else if (std::strcmp(arg, "--quick") == 0) {
+        options.trials = 1;
+        options.file_mb = 2;
+      } else if (std::strcmp(arg, "--help") == 0) {
+        std::printf("usage: %s [--trials=N] [--file-mb=N] [--quick]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        std::exit(2);
+      }
+    }
+    if (options.trials == 0 || options.file_mb == 0) {
+      std::fprintf(stderr, "trials and file-mb must be positive\n");
+      std::exit(2);
+    }
+    return options;
+  }
+
+  std::uint64_t file_bytes() const { return file_mb * 1024 * 1024; }
+};
+
+inline void PrintPreamble(const char* title, const char* paper_reference,
+                          const BenchOptions& options) {
+  std::printf("== %s ==\n", title);
+  std::printf("paper reference: %s\n", paper_reference);
+  std::printf("file: %llu MB, trials per point: %u\n\n",
+              static_cast<unsigned long long>(options.file_mb), options.trials);
+}
+
+}  // namespace ddio::bench
+
+#endif  // DDIO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,23 @@
+// Figure 5: throughput as the number of CPs varies (1-16), contiguous
+// layout, 8 KB records, IOPs = disks = 16. TC's cache stays at two buffers
+// per disk per CP, so it shrinks with the CP count.
+//
+// Paper shape: DDIO unaffected by CP count; TC hurt on rb (multiple
+// localities), rc crippled with few CPs (one outstanding 1-block request per
+// CP uses one disk at a time), and all TC patterns decline slightly as CPs
+// grow (cache-management overhead and contention).
+
+#include "bench/bench_util.h"
+#include "bench/fig_sweep_common.h"
+
+int main(int argc, char** argv) {
+  auto options = ddio::bench::BenchOptions::Parse(argc, argv);
+  ddio::bench::PrintPreamble(
+      "Figure 5: varying the number of CPs",
+      "DDIO flat ~33 MB/s; TC rc tiny at 1-2 CPs; TC declines as CPs grow", options);
+  ddio::bench::RunSweep(options, "CPs", {1, 2, 4, 8, 16}, ddio::fs::LayoutKind::kContiguous,
+                        [](ddio::core::ExperimentConfig& cfg, std::uint32_t cps) {
+                          cfg.machine.num_cps = cps;
+                        });
+  return 0;
+}

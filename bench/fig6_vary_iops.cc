@@ -1,0 +1,22 @@
+// Figure 6: throughput as the number of IOPs (and SCSI busses) varies, with
+// 16 disks redistributed over them, 16 CPs, contiguous layout, 8 KB records.
+//
+// Paper shape: performance falls with fewer IOPs due to bus contention (16
+// disks x 2.34 MB/s >> one 10 MB/s bus), ultimately bus-limited at 1-2 IOPs
+// (max = 10 MB/s x IOPs); disk-limited at 4+ IOPs. DDIO >= TC throughout; TC
+// still struggles with rb.
+
+#include "bench/bench_util.h"
+#include "bench/fig_sweep_common.h"
+
+int main(int argc, char** argv) {
+  auto options = ddio::bench::BenchOptions::Parse(argc, argv);
+  ddio::bench::PrintPreamble(
+      "Figure 6: varying the number of IOPs (and busses), 16 disks total",
+      "bus-limited (10 MB/s x IOPs) at 1-2 IOPs; disk-limited (37.5) at 4+ IOPs", options);
+  ddio::bench::RunSweep(options, "IOPs", {1, 2, 4, 8, 16}, ddio::fs::LayoutKind::kContiguous,
+                        [](ddio::core::ExperimentConfig& cfg, std::uint32_t iops) {
+                          cfg.machine.num_iops = iops;
+                        });
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 7: throughput as the number of disks varies on ONE IOP (one 10 MB/s
+// bus), 16 CPs, contiguous layout, 8 KB records.
+//
+// Paper shape: scales with disks (2.34 MB/s each) until the single bus
+// saturates near 10 MB/s at 8+ disks.
+
+#include "bench/bench_util.h"
+#include "bench/fig_sweep_common.h"
+
+int main(int argc, char** argv) {
+  auto options = ddio::bench::BenchOptions::Parse(argc, argv);
+  ddio::bench::PrintPreamble(
+      "Figure 7: varying the number of disks, one IOP/bus, contiguous layout",
+      "disk-limited at 1-4 disks (2.34 MB/s each); bus-limited ~10 MB/s at 8-32", options);
+  ddio::bench::RunSweep(options, "disks", {1, 2, 4, 8, 16, 32},
+                        ddio::fs::LayoutKind::kContiguous,
+                        [](ddio::core::ExperimentConfig& cfg, std::uint32_t disks) {
+                          cfg.machine.num_iops = 1;
+                          cfg.machine.num_disks = disks;
+                        });
+  return 0;
+}

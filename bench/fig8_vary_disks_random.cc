@@ -1,0 +1,23 @@
+// Figure 8: like Figure 7 (disks on one IOP/bus) but on the RANDOM-BLOCKS
+// layout.
+//
+// Paper shape: random access keeps per-disk throughput low (~0.4-0.5 MB/s
+// effective), so the configuration stays disk-limited across the sweep and
+// approaches the bus limit only at 32 disks.
+
+#include "bench/bench_util.h"
+#include "bench/fig_sweep_common.h"
+
+int main(int argc, char** argv) {
+  auto options = ddio::bench::BenchOptions::Parse(argc, argv);
+  ddio::bench::PrintPreamble(
+      "Figure 8: varying the number of disks, one IOP/bus, random-blocks layout",
+      "disk-limited throughout; approaches the 10 MB/s bus only at ~32 disks", options);
+  ddio::bench::RunSweep(options, "disks", {1, 2, 4, 8, 16, 32},
+                        ddio::fs::LayoutKind::kRandomBlocks,
+                        [](ddio::core::ExperimentConfig& cfg, std::uint32_t disks) {
+                          cfg.machine.num_iops = 1;
+                          cfg.machine.num_disks = disks;
+                        });
+  return 0;
+}

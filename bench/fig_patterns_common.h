@@ -1,0 +1,52 @@
+// Shared driver for Figures 3 and 4: the full pattern grid (19 patterns x
+// {8-byte, 8192-byte} records) under a set of methods on one disk layout.
+
+#ifndef DDIO_BENCH_FIG_PATTERNS_COMMON_H_
+#define DDIO_BENCH_FIG_PATTERNS_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/pattern/pattern.h"
+
+namespace ddio::bench {
+
+inline void RunPatternGrid(const BenchOptions& options, fs::LayoutKind layout,
+                           const std::vector<core::Method>& methods) {
+  for (std::uint32_t record_bytes : {8u, 8192u}) {
+    std::printf("-- %u-byte records --\n", record_bytes);
+    std::vector<std::string> headers = {"pattern"};
+    for (core::Method method : methods) {
+      headers.push_back(std::string(core::MethodName(method)) + " MB/s");
+      headers.push_back("cv");
+    }
+    core::Table table(headers);
+    for (const auto& spec : pattern::PatternSpec::PaperPatterns()) {
+      std::vector<std::string> row = {spec.Name()};
+      for (core::Method method : methods) {
+        core::ExperimentConfig cfg;
+        cfg.pattern = spec.Name();
+        cfg.record_bytes = record_bytes;
+        cfg.layout = layout;
+        cfg.method = method;
+        cfg.trials = options.trials;
+        cfg.file_bytes = options.file_bytes();
+        auto result = core::RunExperiment(cfg);
+        row.push_back(core::Fixed(result.mean_mbps, 2));
+        row.push_back(core::Fixed(result.cv, 3));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace ddio::bench
+
+#endif  // DDIO_BENCH_FIG_PATTERNS_COMMON_H_

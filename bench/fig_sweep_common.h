@@ -1,0 +1,57 @@
+// Shared driver for the sensitivity sweeps (Figures 5-8): ra/rn/rb/rc with
+// 8 KB records under DDIO and TC while one machine dimension varies.
+
+#ifndef DDIO_BENCH_FIG_SWEEP_COMMON_H_
+#define DDIO_BENCH_FIG_SWEEP_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+
+namespace ddio::bench {
+
+// Runs the four sweep patterns under both methods for every value of the
+// varied dimension. `configure(cfg, value)` applies the dimension.
+inline void RunSweep(const BenchOptions& options, const char* dimension_name,
+                     const std::vector<std::uint32_t>& values, fs::LayoutKind layout,
+                     const std::function<void(core::ExperimentConfig&, std::uint32_t)>& configure) {
+  static const char* kPatterns[] = {"ra", "rn", "rb", "rc"};
+  std::vector<std::string> headers = {dimension_name};
+  for (const char* method : {"DDIO", "TC"}) {
+    for (const char* pattern : kPatterns) {
+      headers.push_back(std::string(method) + " " + pattern);
+    }
+  }
+  core::Table table(headers);
+  for (std::uint32_t value : values) {
+    std::vector<std::string> row = {std::to_string(value)};
+    for (core::Method method : {core::Method::kDiskDirected,
+                                core::Method::kTraditionalCaching}) {
+      for (const char* pattern : kPatterns) {
+        core::ExperimentConfig cfg;
+        cfg.pattern = pattern;
+        cfg.record_bytes = 8192;
+        cfg.layout = layout;
+        cfg.method = method;
+        cfg.trials = options.trials;
+        cfg.file_bytes = options.file_bytes();
+        configure(cfg, value);
+        auto result = core::RunExperiment(cfg);
+        row.push_back(core::Fixed(result.mean_mbps, 2));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf("\n(all values MB/s; ra normalized by number of CPs)\n");
+}
+
+}  // namespace ddio::bench
+
+#endif  // DDIO_BENCH_FIG_SWEEP_COMMON_H_

@@ -1,0 +1,174 @@
+// Micro-benchmarks (google-benchmark) of the simulation substrate: event
+// scheduling, coroutine spawn/join, synchronization primitives, the network
+// transport, and the disk mechanism model. These bound how fast the
+// experiment harness can run and catch regressions in the engine hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "src/disk/bus.h"
+#include "src/disk/disk_unit.h"
+#include "src/disk/hp97560.h"
+#include "src/net/network.h"
+#include "src/sim/channel.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/sync.h"
+
+namespace {
+
+using namespace ddio;
+
+void BM_EngineDelayEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.Spawn([](sim::Engine& e, std::int64_t n) -> sim::Task<> {
+      for (std::int64_t i = 0; i < n; ++i) {
+        co_await e.Delay(10);
+      }
+    }(engine, state.range(0)));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineDelayEvents)->Arg(10000);
+
+void BM_TaskSpawnJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.Spawn([](sim::Engine& e, std::int64_t n) -> sim::Task<> {
+      std::vector<sim::Task<>> tasks;
+      tasks.reserve(n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        tasks.push_back([](sim::Engine& eng) -> sim::Task<> {
+          co_await eng.Delay(1);
+        }(e));
+      }
+      co_await sim::WhenAll(e, std::move(tasks));
+    }(engine, state.range(0)));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TaskSpawnJoin)->Arg(1000);
+
+void BM_SemaphoreHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Semaphore sem(engine, 1);
+    for (int w = 0; w < 4; ++w) {
+      engine.Spawn([](sim::Engine& e, sim::Semaphore& s, std::int64_t n) -> sim::Task<> {
+        for (std::int64_t i = 0; i < n; ++i) {
+          co_await s.Acquire();
+          co_await e.Delay(1);
+          s.Release();
+        }
+      }(engine, sem, state.range(0)));
+    }
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_SemaphoreHandoff)->Arg(2000);
+
+void BM_ChannelSendReceive(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::Channel<int> channel(engine);
+    engine.Spawn([](sim::Channel<int>& ch, std::int64_t n) -> sim::Task<> {
+      for (std::int64_t i = 0; i < n; ++i) {
+        auto v = co_await ch.Receive();
+        benchmark::DoNotOptimize(v);
+      }
+    }(channel, state.range(0)));
+    engine.Spawn([](sim::Engine& e, sim::Channel<int>& ch, std::int64_t n) -> sim::Task<> {
+      for (std::int64_t i = 0; i < n; ++i) {
+        ch.Send(static_cast<int>(i));
+        co_await e.Yield();
+      }
+    }(engine, channel, state.range(0)));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChannelSendReceive)->Arg(10000);
+
+void BM_NetworkMessages(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Network network(engine, 32);
+    engine.Spawn([](net::Network& n, std::int64_t count) -> sim::Task<> {
+      for (std::int64_t i = 0; i < count; ++i) {
+        net::Message m;
+        m.src = static_cast<std::uint16_t>(i % 16);
+        m.dst = static_cast<std::uint16_t>(16 + i % 16);
+        m.data_bytes = 8192;
+        m.payload = net::CompletionNote{0};
+        co_await n.Send(std::move(m));
+      }
+    }(network, state.range(0)));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NetworkMessages)->Arg(5000);
+
+void BM_DiskSequentialAccess(benchmark::State& state) {
+  for (auto _ : state) {
+    disk::Hp97560 disk{disk::Hp97560::Params{}};
+    sim::SimTime t = 0;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      t = disk.Access(t, static_cast<std::uint64_t>(i) * 16, 16, false).completion;
+    }
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiskSequentialAccess)->Arg(10000);
+
+void BM_DiskRandomAccess(benchmark::State& state) {
+  sim::Engine seed_engine(7);
+  std::vector<std::uint64_t> lbns;
+  for (int i = 0; i < 1024; ++i) {
+    lbns.push_back(seed_engine.rng().Uniform(0, 160'000) * 16);
+  }
+  for (auto _ : state) {
+    disk::Hp97560 disk{disk::Hp97560::Params{}};
+    sim::SimTime t = 0;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      t = disk.Access(t, lbns[static_cast<std::size_t>(i) % lbns.size()], 16, false).completion;
+    }
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiskRandomAccess)->Arg(1024);
+
+void BM_DiskUnitPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    disk::ScsiBus bus(engine, "bus");
+    disk::DiskUnit unit(engine, disk::Hp97560::Params{}, bus, 0);
+    unit.Start();
+    engine.Spawn([](sim::Engine& e, disk::DiskUnit& d, std::int64_t n) -> sim::Task<> {
+      sim::Semaphore window(e, 2);
+      sim::CountdownLatch latch(e, static_cast<std::uint64_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        co_await window.Acquire();
+        e.Spawn([](disk::DiskUnit& dd, sim::Semaphore& w, sim::CountdownLatch& l,
+                   std::uint64_t lbn) -> sim::Task<> {
+          co_await dd.Read(lbn, 16);
+          w.Release();
+          l.CountDown();
+        }(d, window, latch, static_cast<std::uint64_t>(i) * 16));
+      }
+      co_await latch.Wait();
+    }(engine, unit, state.range(0)));
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiskUnitPipeline)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table 1: the simulator parameters. Prints the machine configuration this
+// reproduction uses, next to the values the paper lists, and the derived
+// rates the rest of the evaluation depends on.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/config.h"
+#include "src/core/report.h"
+#include "src/disk/hp97560.h"
+#include "src/net/topology.h"
+
+int main() {
+  using ddio::core::Fixed;
+  ddio::core::MachineConfig config;
+  ddio::disk::Hp97560 disk(config.disk);
+  auto torus = ddio::net::TorusTopology::ForNodeCount(config.num_nodes());
+
+  std::printf("== Table 1: Parameters for simulator ==\n\n");
+  ddio::core::Table table({"parameter", "this reproduction", "paper"});
+  table.AddRow({"MIMD, distributed-memory", std::to_string(config.num_nodes()) + " processors",
+                "32 processors"});
+  table.AddRow({"Compute processors (CPs)", std::to_string(config.num_cps), "16 *"});
+  table.AddRow({"I/O processors (IOPs)", std::to_string(config.num_iops), "16 *"});
+  table.AddRow({"CPU speed, type", std::to_string(config.cpu_mhz) + " MHz, RISC",
+                "50 MHz, RISC"});
+  table.AddRow({"Disks", std::to_string(config.num_disks), "16 *"});
+  table.AddRow({"Disk type", "HP 97560", "HP 97560"});
+  table.AddRow({"Disk capacity",
+                Fixed(static_cast<double>(config.disk.geometry.CapacityBytes()) / 1e9, 2) + " GB",
+                "1.3 GB"});
+  table.AddRow({"Disk peak transfer rate",
+                Fixed(disk.SustainedBandwidthBytesPerSec() / 1e6, 2) + " MB/s",
+                "2.34 Mbytes/s"});
+  table.AddRow({"File-system block size", std::to_string(config.block_bytes / 1024) + " KB",
+                "8 KB"});
+  table.AddRow({"I/O buses (one per IOP)", std::to_string(config.num_iops), "16 *"});
+  table.AddRow({"I/O bus type", "SCSI", "SCSI"});
+  table.AddRow({"I/O bus peak bandwidth",
+                Fixed(static_cast<double>(config.bus_bandwidth_bytes_per_sec) / 1e6, 0) +
+                    " MB/s",
+                "10 Mbytes/s"});
+  table.AddRow({"Interconnect topology",
+                std::to_string(torus.width()) + "x" + std::to_string(torus.height()) + " torus",
+                "6x6 torus"});
+  table.AddRow({"Interconnect bandwidth",
+                Fixed(static_cast<double>(config.net.link_bandwidth_bytes_per_sec) / 1e6, 0) +
+                    "e6 bytes/s bidirectional",
+                "200e6 bytes/s bidirectional"});
+  table.AddRow({"Interconnect latency",
+                std::to_string(config.net.per_hop_latency_ns) + " ns per router",
+                "20 ns per router"});
+  table.AddRow({"Routing", "store-and-forward NIC model (see DESIGN.md)", "wormhole"});
+  table.Print(std::cout);
+
+  std::printf("\nDerived rates:\n");
+  std::printf("  rotation period:        %s ms (4002 RPM)\n",
+              Fixed(config.disk.geometry.RotationPeriod() / 1e6, 3).c_str());
+  std::printf("  aggregate disk peak:    %s MB/s for %u disks (paper: 37.5)\n",
+              Fixed(disk.SustainedBandwidthBytesPerSec() * config.num_disks / 1e6, 1).c_str(),
+              config.num_disks);
+  std::printf("  seek(1)/seek(max):      %s / %s ms\n",
+              Fixed(config.disk.seek.SeekTime(1) / 1e6, 2).c_str(),
+              Fixed(config.disk.seek.SeekTime(1961) / 1e6, 2).c_str());
+  return 0;
+}

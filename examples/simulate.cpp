@@ -1,0 +1,176 @@
+// simulate: command-line front end to the whole simulator — run any single
+// experiment configuration and get throughput plus a resource-utilization
+// breakdown identifying the binding bottleneck.
+//
+//   $ ./simulate --pattern=rc --record=8 --method=tc
+//   $ ./simulate --pattern=wbb --method=ddio --layout=random --trials=5
+//   $ ./simulate --pattern=rb --method=ddio --cps=8 --iops=4 --disks=8 --verbose
+//
+// Flags:
+//   --pattern=NAME     ra rn rb rc rnb rbb rcb rbc rcc rcn (r->w for writes)
+//   --record=BYTES     record size (default 8192)
+//   --method=M         ddio | ddio-nosort | tc | twophase (default ddio)
+//   --layout=L         contiguous | random (default contiguous)
+//   --cps=N --iops=N --disks=N --file-mb=N --trials=N --seed=N
+//   --elevator         C-SCAN IOP disk queues (default FCFS)
+//   --strided          TC strided requests (future-work extension)
+//   --gather           DDIO gather/scatter Memput/Memget (future-work extension)
+//   --contention       model per-link wormhole contention on the torus
+//   --describe         print the pattern's chunk structure (Figure-2 cs/s) and exit
+//   --verbose          per-trial results + utilization snapshot
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/machine.h"
+#include "src/core/runner.h"
+#include "src/core/validation.h"
+#include "src/disk/disk_unit.h"
+#include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--pattern=NAME] [--record=BYTES] [--method=ddio|ddio-nosort|tc|"
+               "twophase]\n"
+               "          [--layout=contiguous|random] [--cps=N] [--iops=N] [--disks=N]\n"
+               "          [--file-mb=N] [--trials=N] [--seed=N] [--elevator] [--strided]\n"
+               "          [--gather] [--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool MatchFlag(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ddio;
+  core::ExperimentConfig cfg;
+  cfg.pattern = "rb";
+  bool verbose = false;
+  bool describe = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (MatchFlag(arg, "--pattern", &value)) {
+      cfg.pattern = value;
+    } else if (MatchFlag(arg, "--record", &value)) {
+      cfg.record_bytes = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (MatchFlag(arg, "--method", &value)) {
+      if (std::strcmp(value, "ddio") == 0) {
+        cfg.method = core::Method::kDiskDirected;
+      } else if (std::strcmp(value, "ddio-nosort") == 0) {
+        cfg.method = core::Method::kDiskDirectedNoSort;
+      } else if (std::strcmp(value, "tc") == 0) {
+        cfg.method = core::Method::kTraditionalCaching;
+      } else if (std::strcmp(value, "twophase") == 0) {
+        cfg.method = core::Method::kTwoPhase;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (MatchFlag(arg, "--layout", &value)) {
+      if (std::strcmp(value, "contiguous") == 0) {
+        cfg.layout = fs::LayoutKind::kContiguous;
+      } else if (std::strcmp(value, "random") == 0) {
+        cfg.layout = fs::LayoutKind::kRandomBlocks;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (MatchFlag(arg, "--cps", &value)) {
+      cfg.machine.num_cps = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (MatchFlag(arg, "--iops", &value)) {
+      cfg.machine.num_iops = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (MatchFlag(arg, "--disks", &value)) {
+      cfg.machine.num_disks = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (MatchFlag(arg, "--file-mb", &value)) {
+      cfg.file_bytes = std::strtoull(value, nullptr, 10) * 1024 * 1024;
+    } else if (MatchFlag(arg, "--trials", &value)) {
+      cfg.trials = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (MatchFlag(arg, "--seed", &value)) {
+      cfg.base_seed = std::strtoull(value, nullptr, 10);
+    } else if (std::strcmp(arg, "--elevator") == 0) {
+      cfg.machine.disk_queue = disk::DiskQueuePolicy::kElevator;
+    } else if (std::strcmp(arg, "--strided") == 0) {
+      cfg.tc_strided = true;
+    } else if (std::strcmp(arg, "--gather") == 0) {
+      cfg.ddio_gather_scatter = true;
+    } else if (std::strcmp(arg, "--contention") == 0) {
+      cfg.machine.net.model_link_contention = true;
+    } else if (std::strcmp(arg, "--describe") == 0) {
+      describe = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      verbose = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  if (describe) {
+    pattern::AccessPattern pattern(pattern::PatternSpec::Parse(cfg.pattern), cfg.file_bytes,
+                                   cfg.record_bytes, cfg.machine.num_cps);
+    pattern::PatternSummary summary = pattern::Summarize(pattern);
+    std::printf("pattern %s: %llu x %llu records of %u B, CP grid %u x %u\n",
+                cfg.pattern.c_str(), static_cast<unsigned long long>(pattern.rows()),
+                static_cast<unsigned long long>(pattern.cols()), cfg.record_bytes,
+                pattern.grid_rows(), pattern.grid_cols());
+    std::printf("  cs (chunk size)  : %llu bytes\n",
+                static_cast<unsigned long long>(summary.chunk_bytes));
+    if (summary.max_stride_bytes > 0) {
+      if (summary.min_stride_bytes == summary.max_stride_bytes) {
+        std::printf("  s (stride)       : %llu bytes\n",
+                    static_cast<unsigned long long>(summary.min_stride_bytes));
+      } else {
+        std::printf("  s (stride)       : %llu .. %llu bytes\n",
+                    static_cast<unsigned long long>(summary.min_stride_bytes),
+                    static_cast<unsigned long long>(summary.max_stride_bytes));
+      }
+    }
+    std::printf("  chunks per CP    : %llu (%u participating CPs, %llu total)\n",
+                static_cast<unsigned long long>(summary.chunks_per_cp),
+                summary.participating_cps,
+                static_cast<unsigned long long>(summary.total_chunks));
+    return 0;
+  }
+
+  std::printf("pattern %s, %u-byte records, %s layout, method %s\n", cfg.pattern.c_str(),
+              cfg.record_bytes, fs::LayoutName(cfg.layout), core::MethodName(cfg.method));
+  std::printf("machine: %u CPs, %u IOPs, %u disks; file %.0f MB; %u trial(s)\n",
+              cfg.machine.num_cps, cfg.machine.num_iops, cfg.machine.num_disks,
+              static_cast<double>(cfg.file_bytes) / (1024.0 * 1024.0), cfg.trials);
+
+  auto result = core::RunExperiment(cfg);
+  std::printf("\nthroughput: %.2f MB/s (cv %.3f over %zu trials)\n", result.mean_mbps,
+              result.cv, result.trials.size());
+
+  if (verbose) {
+    for (std::size_t t = 0; t < result.trials.size(); ++t) {
+      const auto& stats = result.trials[t];
+      std::printf("  trial %zu: %.2f MB/s, %.1f ms, %llu requests, %llu pieces\n", t,
+                  stats.ThroughputMBps(), static_cast<double>(stats.elapsed_ns()) / 1e6,
+                  static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.pieces));
+    }
+    const auto& last = result.trials.back();
+    std::printf("\nutilization (last trial): cp-cpu max %.0f%%, iop-cpu max %.0f%%, "
+                "bus max %.0f%%, disk mechanism avg %.0f%%\n",
+                100 * last.max_cp_cpu_util, 100 * last.max_iop_cpu_util,
+                100 * last.max_bus_util, 100 * last.avg_disk_util);
+    std::printf("events simulated: %llu\n",
+                static_cast<unsigned long long>(result.total_events));
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Machine configuration. Defaults reproduce Table 1 of the paper exactly:
+// 16 CPs + 16 IOPs on a 6x6 torus, one HP 97560 disk per IOP on a 10 MB/s
+// SCSI bus, 50 MHz CPUs, 200 MB/s links, 20 ns routers, 8 KB file blocks.
+
+#ifndef DDIO_SRC_CORE_CONFIG_H_
+#define DDIO_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/core/costs.h"
+#include "src/disk/bus.h"
+#include "src/disk/disk_unit.h"
+#include "src/disk/hp97560.h"
+#include "src/net/network.h"
+
+namespace ddio::core {
+
+struct MachineConfig {
+  std::uint32_t num_cps = 16;   // Table 1 (* varied in Figure 5).
+  std::uint32_t num_iops = 16;  // Table 1 (* varied in Figure 6).
+  std::uint32_t num_disks = 16; // Table 1 (* varied in Figures 7-8).
+  std::uint32_t cpu_mhz = 50;
+  std::uint32_t block_bytes = 8192;
+  std::uint64_t bus_bandwidth_bytes_per_sec = disk::ScsiBus::kDefaultBandwidthBytesPerSec;
+  net::NetworkParams net;
+  disk::Hp97560::Params disk;
+  // FCFS matches the paper; kElevator lets IOPs C-SCAN their queued
+  // requests (ablation A6).
+  disk::DiskQueuePolicy disk_queue = disk::DiskQueuePolicy::kFcfs;
+  CostModel costs;
+
+  std::uint32_t num_nodes() const { return num_cps + num_iops; }
+  // Disks are distributed round-robin over IOPs ("Each IOP served one or
+  // more disks, using one I/O bus").
+  std::uint32_t IopOfDisk(std::uint32_t d) const { return d % num_iops; }
+  std::uint32_t DisksOnIop(std::uint32_t iop) const {
+    return num_disks / num_iops + (iop < num_disks % num_iops ? 1 : 0);
+  }
+};
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_CONFIG_H_

@@ -1,0 +1,108 @@
+#include "src/core/machine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ddio::core {
+
+Machine::Machine(sim::Engine& engine, const MachineConfig& config)
+    : engine_(engine), config_(config) {
+  network_ = std::make_unique<net::Network>(engine_, config_.num_nodes(), config_.net);
+  cp_cpu_.reserve(config_.num_cps);
+  for (std::uint32_t c = 0; c < config_.num_cps; ++c) {
+    cp_cpu_.push_back(std::make_unique<sim::Resource>(engine_, "cp_cpu_" + std::to_string(c)));
+  }
+  iop_cpu_.reserve(config_.num_iops);
+  bus_.reserve(config_.num_iops);
+  for (std::uint32_t i = 0; i < config_.num_iops; ++i) {
+    iop_cpu_.push_back(std::make_unique<sim::Resource>(engine_, "iop_cpu_" + std::to_string(i)));
+    bus_.push_back(std::make_unique<disk::ScsiBus>(engine_, "scsi_" + std::to_string(i),
+                                                   config_.bus_bandwidth_bytes_per_sec));
+  }
+  disks_.reserve(config_.num_disks);
+  for (std::uint32_t d = 0; d < config_.num_disks; ++d) {
+    disks_.push_back(std::make_unique<disk::DiskUnit>(engine_, config_.disk,
+                                                      *bus_[config_.IopOfDisk(d)],
+                                                      static_cast<int>(d), config_.disk_queue));
+  }
+}
+
+sim::Task<> Machine::ChargeCp(std::uint32_t cp, std::uint32_t cycles) {
+  return cp_cpu_[cp]->Use(sim::CyclesToNs(cycles, config_.cpu_mhz));
+}
+
+sim::Task<> Machine::ChargeIop(std::uint32_t iop, std::uint32_t cycles) {
+  return iop_cpu_[iop]->Use(sim::CyclesToNs(cycles, config_.cpu_mhz));
+}
+
+void Machine::StartDisks() {
+  if (disks_started_) {
+    return;
+  }
+  disks_started_ = true;
+  for (auto& disk : disks_) {
+    disk->Start();
+  }
+}
+
+void Machine::StopDisks() {
+  for (auto& disk : disks_) {
+    disk->Stop();
+  }
+}
+
+void Machine::ClaimInboxes(const char* owner) {
+  if (inbox_owner_ != nullptr) {
+    std::fprintf(stderr, "ddio::core: inboxes already claimed by %s; cannot start %s\n",
+                 inbox_owner_, owner);
+    std::abort();
+  }
+  inbox_owner_ = owner;
+}
+
+void Machine::ReleaseInboxes(const char* owner) {
+  if (inbox_owner_ == owner) {
+    inbox_owner_ = nullptr;
+  }
+}
+
+Machine::Utilization Machine::SnapshotUtilization() const {
+  Utilization u;
+  const double elapsed = static_cast<double>(engine_.now());
+  if (elapsed <= 0) {
+    return u;
+  }
+  for (const auto& cpu : cp_cpu_) {
+    const double util = cpu->Utilization();
+    u.max_cp_cpu = std::max(u.max_cp_cpu, util);
+    u.avg_cp_cpu += util;
+  }
+  u.avg_cp_cpu /= static_cast<double>(cp_cpu_.size());
+  for (const auto& cpu : iop_cpu_) {
+    const double util = cpu->Utilization();
+    u.max_iop_cpu = std::max(u.max_iop_cpu, util);
+    u.avg_iop_cpu += util;
+  }
+  u.avg_iop_cpu /= static_cast<double>(iop_cpu_.size());
+  for (const auto& bus : bus_) {
+    u.max_bus = std::max(u.max_bus, bus->Utilization());
+  }
+  for (const auto& disk : disks_) {
+    u.avg_disk_mechanism +=
+        static_cast<double>(disk->stats().mechanism_busy_ns) / elapsed;
+  }
+  u.avg_disk_mechanism /= static_cast<double>(disks_.size());
+  return u;
+}
+
+disk::DiskMechanismStats Machine::AggregateDiskStats() const {
+  disk::DiskMechanismStats total;
+  for (const auto& disk : disks_) {
+    total.Add(disk->mechanism().stats());
+  }
+  return total;
+}
+
+}  // namespace ddio::core

@@ -1,0 +1,102 @@
+// Machine: the simulated MIMD multiprocessor — CPs, IOPs, disks, busses, and
+// the torus network, assembled from a MachineConfig.
+//
+// Node numbering: CPs are nodes [0, num_cps); IOPs are nodes
+// [num_cps, num_cps + num_iops). Disks attach round-robin to IOPs and share
+// that IOP's SCSI bus.
+
+#ifndef DDIO_SRC_CORE_MACHINE_H_
+#define DDIO_SRC_CORE_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/validation.h"
+#include "src/disk/bus.h"
+#include "src/disk/disk_unit.h"
+#include "src/net/network.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+
+namespace ddio::core {
+
+class Machine {
+ public:
+  Machine(sim::Engine& engine, const MachineConfig& config);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const MachineConfig& config() const { return config_; }
+  net::Network& network() { return *network_; }
+
+  std::uint32_t num_cps() const { return config_.num_cps; }
+  std::uint32_t num_iops() const { return config_.num_iops; }
+  std::uint32_t num_disks() const { return config_.num_disks; }
+
+  // Node ids on the interconnect.
+  std::uint16_t NodeOfCp(std::uint32_t cp) const { return static_cast<std::uint16_t>(cp); }
+  std::uint16_t NodeOfIop(std::uint32_t iop) const {
+    return static_cast<std::uint16_t>(config_.num_cps + iop);
+  }
+  bool IsIopNode(std::uint16_t node) const { return node >= config_.num_cps; }
+  std::uint32_t IopOfNode(std::uint16_t node) const { return node - config_.num_cps; }
+
+  sim::Resource& CpCpu(std::uint32_t cp) { return *cp_cpu_[cp]; }
+  sim::Resource& IopCpu(std::uint32_t iop) { return *iop_cpu_[iop]; }
+  disk::ScsiBus& Bus(std::uint32_t iop) { return *bus_[iop]; }
+  disk::DiskUnit& Disk(std::uint32_t d) { return *disks_[d]; }
+  std::uint32_t IopOfDisk(std::uint32_t d) const { return config_.IopOfDisk(d); }
+
+  // Charge `cycles` of file-system software on the given CPU.
+  sim::Task<> ChargeCp(std::uint32_t cp, std::uint32_t cycles);
+  sim::Task<> ChargeIop(std::uint32_t iop, std::uint32_t cycles);
+
+  // Starts / drains the per-disk service threads.
+  void StartDisks();
+  void StopDisks();
+
+  // The node inboxes support a single consumer: exactly one file system may
+  // be active on a machine at a time. Claim aborts if already claimed.
+  void ClaimInboxes(const char* owner);
+  void ReleaseInboxes(const char* owner);
+
+  // Optional placement auditing (tests). Null by default.
+  ValidationSink* validation() { return validation_; }
+  void set_validation(ValidationSink* sink) { validation_ = sink; }
+
+  // Aggregate disk mechanism stats over all spindles.
+  disk::DiskMechanismStats AggregateDiskStats() const;
+
+  // Resource-utilization snapshot over [0, now] — identifies the binding
+  // resource of a run (IOP CPU for TC small records, disks for DDIO, the
+  // bus for many-disks-per-IOP configurations).
+  struct Utilization {
+    double max_cp_cpu = 0;
+    double avg_cp_cpu = 0;
+    double max_iop_cpu = 0;
+    double avg_iop_cpu = 0;
+    double max_bus = 0;
+    double avg_disk_mechanism = 0;  // Mechanism busy / elapsed, averaged.
+  };
+  Utilization SnapshotUtilization() const;
+
+ private:
+  sim::Engine& engine_;
+  MachineConfig config_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<sim::Resource>> cp_cpu_;
+  std::vector<std::unique_ptr<sim::Resource>> iop_cpu_;
+  std::vector<std::unique_ptr<disk::ScsiBus>> bus_;
+  std::vector<std::unique_ptr<disk::DiskUnit>> disks_;
+  ValidationSink* validation_ = nullptr;
+  bool disks_started_ = false;
+  const char* inbox_owner_ = nullptr;
+};
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_MACHINE_H_

@@ -1,0 +1,47 @@
+// Per-collective-operation statistics filled in by the file systems.
+
+#ifndef DDIO_SRC_CORE_OP_STATS_H_
+#define DDIO_SRC_CORE_OP_STATS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace ddio::core {
+
+struct OpStats {
+  sim::SimTime start_ns = 0;
+  sim::SimTime end_ns = 0;
+  std::uint64_t file_bytes = 0;      // Size of the file transferred.
+  std::uint64_t requests = 0;        // CP->IOP requests (TC) or pieces (DDIO).
+  std::uint64_t cache_hits = 0;      // TC only.
+  std::uint64_t cache_misses = 0;    // TC only.
+  std::uint64_t prefetches = 0;      // TC only.
+  std::uint64_t flushes = 0;         // TC only.
+  std::uint64_t rmw_flushes = 0;     // TC: partial-block read-modify-writes.
+  std::uint64_t pieces = 0;          // DDIO: Memput/Memget pieces.
+  std::uint64_t bytes_delivered = 0; // DDIO: data shipped to CPs (filtered reads ship less).
+
+  // Utilization snapshot at completion (filled by the runner; identifies
+  // the binding resource).
+  double max_cp_cpu_util = 0;
+  double max_iop_cpu_util = 0;
+  double max_bus_util = 0;
+  double avg_disk_util = 0;
+
+  sim::SimTime elapsed_ns() const { return end_ns - start_ns; }
+
+  // The paper's metric: file bytes over total transfer time. `ra` throughput
+  // is thereby already "normalized by the number of CPs" — each of the P CPs
+  // received the whole file, and we count the file once.
+  double ThroughputMBps() const {
+    if (end_ns <= start_ns) {
+      return 0.0;
+    }
+    return static_cast<double>(file_bytes) / sim::ToSec(elapsed_ns()) / 1e6;
+  }
+};
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_OP_STATS_H_

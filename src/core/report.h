@@ -1,0 +1,31 @@
+// Fixed-width table rendering for the benchmark harness: the bench binaries
+// print rows shaped like the paper's figures.
+
+#ifndef DDIO_SRC_CORE_REPORT_H_
+#define DDIO_SRC_CORE_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ddio::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.34" style fixed-point formatting.
+std::string Fixed(double value, int decimals = 2);
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_REPORT_H_

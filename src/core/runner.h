@@ -1,0 +1,64 @@
+// ExperimentRunner: builds a fresh machine per trial, runs one collective
+// operation with the selected file system, and aggregates throughput over N
+// independent trials — the paper's methodology ("Each test case was
+// replicated in five independent trials, to account for randomness in the
+// disk layouts").
+
+#ifndef DDIO_SRC_CORE_RUNNER_H_
+#define DDIO_SRC_CORE_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/op_stats.h"
+#include "src/fs/layout.h"
+
+namespace ddio::core {
+
+enum class Method {
+  kTraditionalCaching,
+  kDiskDirected,
+  kDiskDirectedNoSort,
+  kTwoPhase,
+};
+
+const char* MethodName(Method method);
+
+struct ExperimentConfig {
+  MachineConfig machine;
+  std::uint64_t file_bytes = 10 * 1024 * 1024;  // Paper: 10 MB.
+  std::uint32_t record_bytes = 8192;
+  fs::LayoutKind layout = fs::LayoutKind::kContiguous;
+  std::string pattern = "rb";
+  Method method = Method::kDiskDirected;
+  std::uint32_t trials = 5;
+  std::uint64_t base_seed = 1000;  // Trial t uses base_seed + t.
+
+  // Ablation knobs.
+  std::uint32_t ddio_buffers_per_disk = 2;      // Paper: double buffering.
+  bool tc_prefetch = true;                      // Paper: prefetch one block ahead.
+  std::uint32_t tc_buffers_per_cp_per_disk = 2; // Paper footnote 3.
+  // Future-work extensions (paper Section 8); both off reproduces the paper.
+  bool ddio_gather_scatter = false;
+  bool tc_strided = false;
+};
+
+struct ExperimentResult {
+  std::vector<OpStats> trials;
+  double mean_mbps = 0.0;
+  double cv = 0.0;  // Coefficient of variation across trials.
+
+  std::uint64_t total_events = 0;
+};
+
+// Runs all trials synchronously and returns the aggregate.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// Runs a single trial (exposed for tests).
+OpStats RunTrial(const ExperimentConfig& config, std::uint64_t seed, std::uint64_t* events);
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_RUNNER_H_

@@ -1,0 +1,112 @@
+#include "src/core/validation.h"
+
+#include <sstream>
+
+namespace ddio::core {
+namespace {
+
+// Checks that the recorded extents for one CP tile its expected chunks
+// exactly, with the counterpart offsets advancing in lockstep.
+bool WalkExtents(std::uint32_t cp, const std::map<std::uint64_t, ValidationSink::Extent>& recorded,
+                 const std::vector<pattern::AccessPattern::Chunk>& expected, bool key_is_cp_offset,
+                 std::vector<std::string>* errors) {
+  auto fail = [&](const std::string& what) {
+    if (errors != nullptr) {
+      std::ostringstream os;
+      os << "cp " << cp << ": " << what;
+      errors->push_back(os.str());
+    }
+    return false;
+  };
+
+  std::size_t chunk_index = 0;
+  std::uint64_t within = 0;  // Bytes of the current chunk already covered.
+  for (const auto& [key, extent] : recorded) {
+    if (chunk_index >= expected.size()) {
+      return fail("extra data beyond expected chunks");
+    }
+    const auto& chunk = expected[chunk_index];
+    const std::uint64_t expect_key =
+        (key_is_cp_offset ? chunk.cp_offset : chunk.file_offset) + within;
+    const std::uint64_t expect_counterpart =
+        (key_is_cp_offset ? chunk.file_offset : chunk.cp_offset) + within;
+    if (key != expect_key) {
+      std::ostringstream os;
+      os << "expected extent at " << expect_key << ", found " << key;
+      return fail(os.str());
+    }
+    if (extent.counterpart != expect_counterpart) {
+      std::ostringstream os;
+      os << "extent at " << key << " maps to " << extent.counterpart << ", expected "
+         << expect_counterpart;
+      return fail(os.str());
+    }
+    if (within + extent.length > chunk.length) {
+      return fail("extent crosses chunk boundary");
+    }
+    within += extent.length;
+    if (within == chunk.length) {
+      ++chunk_index;
+      within = 0;
+    }
+  }
+  if (chunk_index != expected.size() || within != 0) {
+    std::ostringstream os;
+    os << "incomplete coverage: " << chunk_index << "/" << expected.size() << " chunks";
+    return fail(os.str());
+  }
+  return true;
+}
+
+}  // namespace
+
+void ValidationSink::RecordDelivery(std::uint32_t cp, std::uint64_t cp_offset,
+                                    std::uint64_t file_offset, std::uint64_t length) {
+  delivered_bytes_ += length;
+  auto& per_cp = deliveries_[cp];
+  auto [it, inserted] = per_cp.emplace(cp_offset, Extent{file_offset, length});
+  if (!inserted) {
+    // Duplicate start offset: keep the larger extent so Verify flags it.
+    it->second.length += length;
+  }
+}
+
+void ValidationSink::RecordFileWrite(std::uint32_t cp, std::uint64_t cp_offset,
+                                     std::uint64_t file_offset, std::uint64_t length) {
+  written_bytes_ += length;
+  auto& per_cp = writes_[cp];
+  auto [it, inserted] = per_cp.emplace(file_offset, Extent{cp_offset, length});
+  if (!inserted) {
+    it->second.length += length;
+  }
+}
+
+bool ValidationSink::Verify(const pattern::AccessPattern& pattern,
+                            std::vector<std::string>* errors) const {
+  const bool is_write = pattern.spec().is_write;
+  const auto& recorded = is_write ? writes_ : deliveries_;
+  bool ok = true;
+  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+    std::vector<pattern::AccessPattern::Chunk> expected = pattern.ChunksOf(cp);
+    auto it = recorded.find(cp);
+    static const std::map<std::uint64_t, Extent> kEmpty;
+    const auto& extents = it == recorded.end() ? kEmpty : it->second;
+    if (expected.empty() && extents.empty()) {
+      continue;
+    }
+    // Deliveries are keyed by cp_offset; file writes by file_offset.
+    ok = WalkExtents(cp, extents, expected, /*key_is_cp_offset=*/!is_write, errors) && ok;
+  }
+  // Catch data attributed to CPs outside the pattern.
+  for (const auto& [cp, extents] : recorded) {
+    if (cp >= pattern.num_cps() && !extents.empty()) {
+      if (errors != nullptr) {
+        errors->push_back("data recorded for out-of-range cp");
+      }
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace ddio::core

@@ -1,0 +1,59 @@
+// ValidationSink: optional data-placement auditing.
+//
+// The simulator moves no real bytes, so correctness is defined as: every
+// (file range -> CP memory range) mapping the pattern prescribes is realized
+// exactly once, in the right direction. File systems report every delivery
+// (reads: data deposited into CP memory) and every file write (data landing
+// in a file block, with its provenance); tests then replay the pattern and
+// check exact coverage. Disabled (null sink) in benchmarks.
+
+#ifndef DDIO_SRC_CORE_VALIDATION_H_
+#define DDIO_SRC_CORE_VALIDATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+
+namespace ddio::core {
+
+class ValidationSink {
+ public:
+  // A read delivered `length` bytes of file data at `file_offset` into CP
+  // `cp`'s memory at `cp_offset`.
+  void RecordDelivery(std::uint32_t cp, std::uint64_t cp_offset, std::uint64_t file_offset,
+                      std::uint64_t length);
+
+  // A write placed `length` bytes from CP `cp` (memory offset `cp_offset`)
+  // into the file at `file_offset`.
+  void RecordFileWrite(std::uint32_t cp, std::uint64_t cp_offset, std::uint64_t file_offset,
+                       std::uint64_t length);
+
+  // Verifies deliveries (for reads) or file writes (for writes) against the
+  // pattern: exact coverage, no overlaps, no misroutes. Returns true on
+  // success; on failure, `errors` (if non-null) receives diagnostics.
+  bool Verify(const pattern::AccessPattern& pattern, std::vector<std::string>* errors) const;
+
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t written_bytes() const { return written_bytes_; }
+
+  struct Extent {
+    std::uint64_t counterpart = 0;  // file_offset for deliveries keyed by cp_offset, etc.
+    std::uint64_t length = 0;
+  };
+
+ private:
+  // deliveries_[cp]: cp_offset -> (file_offset, length).
+  std::map<std::uint32_t, std::map<std::uint64_t, Extent>> deliveries_;
+  // writes_[cp]: file_offset -> (cp_offset, length). Keyed per source CP so
+  // verification can check provenance.
+  std::map<std::uint32_t, std::map<std::uint64_t, Extent>> writes_;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t written_bytes_ = 0;
+};
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_VALIDATION_H_

@@ -1,0 +1,413 @@
+#include "src/ddio/ddio_fs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ddio::ddio_fs {
+namespace {
+
+std::uint32_t SectorsFor(std::uint32_t bytes) { return (bytes + 511) / 512; }
+
+constexpr std::uint32_t kCollectiveRequestBytes = 64;  // Marshalled descriptor.
+
+// Deterministic per-record selection for filtered reads: SplitMix64 of the
+// record index, compared against the selectivity threshold.
+bool RecordMatches(std::uint64_t record, std::uint64_t seed, double selectivity) {
+  std::uint64_t z = record + seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z) <
+         selectivity * static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+
+DdioFileSystem::DdioFileSystem(core::Machine& machine, DdioParams params)
+    : machine_(machine), params_(params) {
+  assert(params_.buffers_per_disk >= 1);
+  memget_pending_.resize(machine_.num_iops());
+}
+
+void DdioFileSystem::Start() {
+  assert(!started_);
+  started_ = true;
+  machine_.ClaimInboxes("ddio");
+  machine_.StartDisks();
+  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+    machine_.engine().Spawn(IopServer(iop));
+  }
+  for (std::uint32_t cp = 0; cp < machine_.num_cps(); ++cp) {
+    machine_.engine().Spawn(CpDispatcher(cp));
+  }
+}
+
+void DdioFileSystem::Shutdown() {
+  if (!started_) {
+    return;
+  }
+  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+    machine_.network().Inbox(machine_.NodeOfIop(iop)).Close();
+  }
+  for (std::uint32_t cp = 0; cp < machine_.num_cps(); ++cp) {
+    machine_.network().Inbox(machine_.NodeOfCp(cp)).Close();
+  }
+  machine_.StopDisks();
+  machine_.ReleaseInboxes("ddio");
+  started_ = false;
+}
+
+sim::Task<> DdioFileSystem::IopServer(std::uint32_t iop) {
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfIop(iop));
+  const core::CostModel& costs = machine_.config().costs;
+  for (;;) {
+    auto message = co_await inbox.Receive();
+    if (!message.has_value()) {
+      co_return;
+    }
+    if (const auto* request = std::get_if<net::CollectiveRequest>(&message->payload)) {
+      // One request, one new thread (Section 4, "Disk-directed I/O").
+      co_await machine_.ChargeIop(iop, costs.msg_dispatch_cycles + costs.thread_create_cycles);
+      machine_.engine().Spawn(
+          HandleCollective(iop, static_cast<const CollectiveOp*>(request->op)));
+    } else if (const auto* reply = std::get_if<net::MemgetReply>(&message->payload)) {
+      // Data arrives by DMA; just release the waiting buffer thread.
+      auto it = memget_pending_[iop].find(reply->request_id);
+      if (it != memget_pending_[iop].end()) {
+        sim::OneShotEvent* done = it->second;
+        memget_pending_[iop].erase(it);
+        done->Set();
+      }
+    }
+  }
+}
+
+sim::Task<> DdioFileSystem::CpDispatcher(std::uint32_t cp) {
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfCp(cp));
+  const core::CostModel& costs = machine_.config().costs;
+  for (;;) {
+    auto message = co_await inbox.Receive();
+    if (!message.has_value()) {
+      co_return;
+    }
+    if (const auto* memput = std::get_if<net::Memput>(&message->payload)) {
+      // Pure DMA deposit into the preregistered destination buffer(s); no CP
+      // software on this path.
+      if (machine_.validation() != nullptr) {
+        if (memput->extents != nullptr) {
+          for (const net::MemExtent& extent : *memput->extents) {
+            machine_.validation()->RecordDelivery(cp, extent.cp_offset, extent.file_offset,
+                                                  extent.length);
+          }
+        } else {
+          machine_.validation()->RecordDelivery(cp, memput->cp_offset, memput->file_offset,
+                                                memput->length);
+        }
+      }
+    } else if (const auto* memget = std::get_if<net::MemgetRequest>(&message->payload)) {
+      // Reply with the requested data (DMA out of the user buffer); a
+      // gather list costs a little per extra extent.
+      std::uint32_t cycles = costs.cp_piece_cycles;
+      if (memget->extents != nullptr && memget->extents->size() > 1) {
+        cycles += static_cast<std::uint32_t>(memget->extents->size() - 1) *
+                  costs.gather_extent_cycles;
+      }
+      co_await machine_.ChargeCp(cp, cycles);
+      net::Message reply;
+      reply.src = machine_.NodeOfCp(cp);
+      reply.dst = machine_.NodeOfIop(memget->iop);
+      reply.data_bytes = memget->length;
+      reply.payload = net::MemgetReply{memget->request_id, memget->length, memget->file_offset,
+                                       memget->cp_offset, static_cast<std::uint16_t>(cp),
+                                       memget->extents};
+      co_await machine_.network().Send(std::move(reply));
+    } else if (std::get_if<net::CompletionNote>(&message->payload) != nullptr) {
+      co_await machine_.ChargeCp(cp, costs.msg_dispatch_cycles);
+      if (current_op_ != nullptr && current_op_->requesting_cp == cp) {
+        current_op_->completion->CountDown();
+      }
+    }
+  }
+}
+
+sim::Task<> DdioFileSystem::HandleCollective(std::uint32_t iop, const CollectiveOp* op) {
+  const fs::StripedFile& file = *op->file;
+  const core::CostModel& costs = machine_.config().costs;
+
+  // Determine the set of file data local to this IOP and the disk blocks
+  // needed, one work list per local disk.
+  std::vector<std::pair<std::uint32_t, std::unique_ptr<DiskWork>>> work;
+  for (std::uint32_t d = 0; d < machine_.num_disks(); ++d) {
+    if (machine_.IopOfDisk(d) != iop) {
+      continue;
+    }
+    auto disk_work = std::make_unique<DiskWork>();
+    disk_work->blocks = file.FileBlocksOnDisk(d);
+    if (disk_work->blocks.empty()) {
+      continue;
+    }
+    if (params_.presort) {
+      // Sort the disk blocks to optimize disk movement (Figure 1c).
+      std::sort(disk_work->blocks.begin(), disk_work->blocks.end(),
+                [&](std::uint64_t a, std::uint64_t b) {
+                  return file.LbnOfBlock(a) < file.LbnOfBlock(b);
+                });
+    }
+    work.emplace_back(d, std::move(disk_work));
+  }
+  // Charge the block-list computation + sort (cheap next to the transfer).
+  co_await machine_.ChargeIop(iop, costs.cache_access_cycles);
+
+  // Two one-block buffers per disk, one thread per buffer.
+  std::vector<sim::Task<>> workers;
+  for (auto& [disk, disk_work] : work) {
+    const std::uint32_t threads = std::min<std::uint32_t>(
+        params_.buffers_per_disk, static_cast<std::uint32_t>(disk_work->blocks.size()));
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      workers.push_back(DiskWorker(iop, disk, disk_work.get(), op));
+    }
+  }
+  co_await sim::WhenAll(machine_.engine(), std::move(workers));
+
+  // Tell the original requesting CP we are finished.
+  co_await machine_.ChargeIop(iop, costs.msg_send_cycles);
+  net::Message note;
+  note.src = machine_.NodeOfIop(iop);
+  note.dst = machine_.NodeOfCp(op->requesting_cp);
+  note.data_bytes = 0;
+  note.payload = net::CompletionNote{static_cast<std::uint16_t>(iop)};
+  co_await machine_.network().Send(std::move(note));
+}
+
+sim::Task<> DdioFileSystem::DiskWorker(std::uint32_t iop, std::uint32_t disk, DiskWork* work,
+                                       const CollectiveOp* op) {
+  // The buffer threads "repeatedly transferred blocks, letting the disk
+  // thread choose which block to transfer next" — here the shared cursor
+  // over the (sorted) work list plays that role.
+  for (;;) {
+    if (work->next >= work->blocks.size()) {
+      co_return;
+    }
+    const std::uint64_t block = work->blocks[work->next++];
+    if (op->is_write) {
+      co_await TransferWriteBlock(iop, disk, block, op);
+    } else {
+      co_await TransferReadBlock(iop, disk, block, op);
+    }
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::vector<net::MemExtent>>> DdioFileSystem::PiecesOfBlock(
+    const CollectiveOp* op, std::uint64_t block) const {
+  const fs::StripedFile& file = *op->file;
+  std::vector<std::pair<std::uint32_t, std::vector<net::MemExtent>>> groups;
+  op->pattern->ForEachPieceInRange(
+      block * file.block_bytes(), file.BlockLength(block),
+      [&](const pattern::AccessPattern::Piece& piece) {
+        const net::MemExtent extent{piece.cp_offset, piece.file_offset,
+                                    static_cast<std::uint32_t>(piece.length)};
+        if (params_.gather_scatter) {
+          for (auto& [cp, extents] : groups) {
+            if (cp == piece.cp) {
+              extents.push_back(extent);
+              return;
+            }
+          }
+        }
+        groups.emplace_back(piece.cp, std::vector<net::MemExtent>{extent});
+      });
+  return groups;
+}
+
+sim::Task<> DdioFileSystem::TransferReadBlock(std::uint32_t iop, std::uint32_t disk,
+                                              std::uint64_t block, const CollectiveOp* op) {
+  const fs::StripedFile& file = *op->file;
+  const core::CostModel& costs = machine_.config().costs;
+  co_await machine_.ChargeIop(iop, costs.disk_cmd_cycles);
+  co_await machine_.Disk(disk).Read(file.LbnOfBlock(block),
+                                    SectorsFor(file.BlockLength(block)));
+
+  auto groups = PiecesOfBlock(op, block);
+  if (op->selectivity < 1.0) {
+    // Selection pushdown: evaluate the predicate on every record in the
+    // block, then ship only the matching records' extents.
+    const std::uint32_t record_bytes = op->pattern->record_bytes();
+    const std::uint64_t records_in_block =
+        (file.BlockLength(block) + record_bytes - 1) / record_bytes;
+    co_await machine_.ChargeIop(
+        iop, static_cast<std::uint32_t>(records_in_block * costs.filter_eval_cycles));
+    std::vector<std::pair<std::uint32_t, std::vector<net::MemExtent>>> filtered;
+    for (auto& [cp, extents] : groups) {
+      std::vector<net::MemExtent> kept;
+      for (const net::MemExtent& extent : extents) {
+        // Walk the records the extent covers; keep matching fragments,
+        // merging adjacent survivors.
+        std::uint64_t pos = extent.file_offset;
+        const std::uint64_t extent_end = extent.file_offset + extent.length;
+        while (pos < extent_end) {
+          const std::uint64_t record = pos / record_bytes;
+          const std::uint64_t record_end = (record + 1) * record_bytes;
+          const std::uint64_t end = record_end < extent_end ? record_end : extent_end;
+          if (RecordMatches(record, op->filter_seed, op->selectivity)) {
+            const std::uint64_t delta = pos - extent.file_offset;
+            const net::MemExtent fragment{extent.cp_offset + delta, pos,
+                                          static_cast<std::uint32_t>(end - pos)};
+            if (!kept.empty() &&
+                kept.back().file_offset + kept.back().length == fragment.file_offset &&
+                kept.back().cp_offset + kept.back().length == fragment.cp_offset) {
+              kept.back().length += fragment.length;
+            } else {
+              kept.push_back(fragment);
+            }
+          }
+          pos = end;
+        }
+      }
+      if (!kept.empty()) {
+        if (params_.gather_scatter) {
+          filtered.emplace_back(cp, std::move(kept));
+        } else {
+          // Without gather/scatter, each surviving fragment is its own Memput.
+          for (net::MemExtent& fragment : kept) {
+            filtered.emplace_back(cp, std::vector<net::MemExtent>{fragment});
+          }
+        }
+      }
+    }
+    groups = std::move(filtered);
+  }
+
+  // As the block arrives, send the pieces to the appropriate CPs — one
+  // Memput per piece, or one gather/scatter Memput per CP.
+  for (auto& [cp, extents] : groups) {
+    pieces_moved_ += extents.size();
+    std::uint32_t total = 0;
+    for (const net::MemExtent& extent : extents) {
+      total += extent.length;
+    }
+    bytes_delivered_ += total;
+    co_await machine_.ChargeIop(
+        iop, costs.piece_setup_cycles +
+                 static_cast<std::uint32_t>(extents.size() - 1) * costs.gather_extent_cycles);
+    net::Message msg;
+    msg.src = machine_.NodeOfIop(iop);
+    msg.dst = machine_.NodeOfCp(cp);
+    msg.data_bytes = total;
+    net::Memput payload{extents.front().cp_offset, extents.front().length,
+                        extents.front().file_offset, nullptr};
+    if (extents.size() > 1) {
+      payload.extents = std::make_shared<const std::vector<net::MemExtent>>(std::move(extents));
+    }
+    msg.payload = std::move(payload);
+    co_await machine_.network().Send(std::move(msg));
+  }
+}
+
+sim::Task<> DdioFileSystem::TransferWriteBlock(std::uint32_t iop, std::uint32_t disk,
+                                               std::uint64_t block, const CollectiveOp* op) {
+  const fs::StripedFile& file = *op->file;
+  const core::CostModel& costs = machine_.config().costs;
+
+  // Gather the block: concurrent Memgets to all contributing CPs.
+  std::vector<sim::Task<>> gets;
+  for (auto& [cp, extents] : PiecesOfBlock(op, block)) {
+    pieces_moved_ += extents.size();
+    std::uint32_t total = 0;
+    for (const net::MemExtent& extent : extents) {
+      total += extent.length;
+    }
+    auto shared = std::make_shared<const std::vector<net::MemExtent>>(std::move(extents));
+    gets.push_back(DoMemget(iop, cp, std::move(shared), total, op));
+  }
+  co_await sim::WhenAll(machine_.engine(), std::move(gets));
+
+  co_await machine_.ChargeIop(iop, costs.disk_cmd_cycles);
+  co_await machine_.Disk(disk).Write(file.LbnOfBlock(block),
+                                     SectorsFor(file.BlockLength(block)));
+}
+
+sim::Task<> DdioFileSystem::DoMemget(std::uint32_t iop, std::uint32_t cp,
+                                     std::shared_ptr<const std::vector<net::MemExtent>> extents,
+                                     std::uint32_t total_bytes, const CollectiveOp* op) {
+  (void)op;
+  const core::CostModel& costs = machine_.config().costs;
+  co_await machine_.ChargeIop(
+      iop, costs.piece_setup_cycles +
+               static_cast<std::uint32_t>(extents->size() - 1) * costs.gather_extent_cycles);
+  const std::uint64_t id = next_memget_id_++;
+  sim::OneShotEvent done(machine_.engine());
+  memget_pending_[iop][id] = &done;
+  const net::MemExtent& first = extents->front();
+  net::Message msg;
+  msg.src = machine_.NodeOfIop(iop);
+  msg.dst = machine_.NodeOfCp(cp);
+  msg.data_bytes = 0;
+  msg.payload = net::MemgetRequest{first.cp_offset, total_bytes,       first.file_offset,
+                                   static_cast<std::uint16_t>(iop), id, extents};
+  co_await machine_.network().Send(std::move(msg));
+  co_await done.Wait();
+  if (machine_.validation() != nullptr) {
+    for (const net::MemExtent& extent : *extents) {
+      machine_.validation()->RecordFileWrite(cp, extent.cp_offset, extent.file_offset,
+                                             extent.length);
+    }
+  }
+}
+
+sim::Task<> DdioFileSystem::RunCollective(const fs::StripedFile& file,
+                                          const pattern::AccessPattern& pattern,
+                                          core::OpStats* stats) {
+  co_await RunFilteredRead(file, pattern, /*selectivity=*/1.0, /*filter_seed=*/0, stats);
+}
+
+sim::Task<> DdioFileSystem::RunFilteredRead(const fs::StripedFile& file,
+                                            const pattern::AccessPattern& pattern,
+                                            double selectivity, std::uint64_t filter_seed,
+                                            core::OpStats* stats) {
+  assert(started_);
+  assert(file.num_disks() == machine_.num_disks());
+  assert(selectivity == 1.0 || !pattern.spec().is_write);
+  const core::CostModel& costs = machine_.config().costs;
+  core::OpStats local;
+  core::OpStats& out = stats != nullptr ? *stats : local;
+  out.start_ns = machine_.engine().now();
+  out.file_bytes = file.file_bytes();
+  const std::uint64_t pieces_before = pieces_moved_;
+  const std::uint64_t bytes_before = bytes_delivered_;
+
+  sim::CountdownLatch completion(machine_.engine(), machine_.num_iops());
+  CollectiveOp op;
+  op.file = &file;
+  op.pattern = &pattern;
+  op.is_write = pattern.spec().is_write;
+  op.requesting_cp = 0;
+  op.completion = &completion;
+  op.selectivity = selectivity;
+  op.filter_seed = filter_seed;
+  current_op_ = &op;
+
+  // Any one CP multicasts the collective request to all IOPs. (The barriers
+  // around this are negligible next to the transfer — paper Section 3 — and
+  // are subsumed by the synchronous start here.)
+  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+    co_await machine_.ChargeCp(op.requesting_cp, costs.msg_send_cycles);
+    net::Message msg;
+    msg.src = machine_.NodeOfCp(op.requesting_cp);
+    msg.dst = machine_.NodeOfIop(iop);
+    msg.data_bytes = kCollectiveRequestBytes;
+    msg.payload = net::CollectiveRequest{&op, op.requesting_cp};
+    co_await machine_.network().Send(std::move(msg));
+  }
+
+  // Wait for all IOPs to respond that they are finished.
+  co_await completion.Wait();
+  current_op_ = nullptr;
+
+  out.end_ns = machine_.engine().now();
+  out.pieces = pieces_moved_ - pieces_before;
+  out.bytes_delivered = bytes_delivered_ - bytes_before;
+  out.requests = machine_.num_iops();  // One collective request per IOP.
+}
+
+}  // namespace ddio::ddio_fs

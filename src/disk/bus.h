@@ -1,0 +1,41 @@
+// ScsiBus: the I/O bus connecting an IOP to its disks (Table 1: SCSI,
+// 10 MB/s peak, one bus per IOP). All disk<->IOP-memory block transfers on an
+// IOP serialize through its bus, which is what limits configurations with
+// many disks per IOP (paper Figures 6-8).
+
+#ifndef DDIO_SRC_DISK_BUS_H_
+#define DDIO_SRC_DISK_BUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+
+namespace ddio::disk {
+
+class ScsiBus {
+ public:
+  static constexpr std::uint64_t kDefaultBandwidthBytesPerSec = 10'000'000;
+
+  ScsiBus(sim::Engine& engine, std::string name,
+          std::uint64_t bandwidth_bytes_per_sec = kDefaultBandwidthBytesPerSec)
+      : resource_(engine, std::move(name)), bandwidth_(bandwidth_bytes_per_sec) {}
+
+  // Occupies the bus for the time to move `bytes`.
+  sim::Task<> Transfer(std::uint64_t bytes) { return resource_.Transfer(bytes, bandwidth_); }
+
+  std::uint64_t bandwidth_bytes_per_sec() const { return bandwidth_; }
+  sim::SimTime busy_time() const { return resource_.busy_time(); }
+  std::uint64_t transfer_count() const { return resource_.use_count(); }
+  double Utilization() const { return resource_.Utilization(); }
+
+ private:
+  sim::Resource resource_;
+  std::uint64_t bandwidth_;
+};
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_BUS_H_

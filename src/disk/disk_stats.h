@@ -1,0 +1,40 @@
+// Counters exported by the disk model and the disk unit.
+
+#ifndef DDIO_SRC_DISK_DISK_STATS_H_
+#define DDIO_SRC_DISK_DISK_STATS_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace ddio::disk {
+
+struct DiskMechanismStats {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t stream_hits = 0;   // Continuations served by the firmware cache.
+  std::uint64_t seeks = 0;         // Arm movements (distance > 0).
+  std::uint64_t seek_cylinders = 0;
+  sim::SimTime seek_ns = 0;
+  sim::SimTime rotation_ns = 0;
+  sim::SimTime media_ns = 0;
+  sim::SimTime overhead_ns = 0;
+
+  void Add(const DiskMechanismStats& other) {
+    requests += other.requests;
+    reads += other.reads;
+    writes += other.writes;
+    stream_hits += other.stream_hits;
+    seeks += other.seeks;
+    seek_cylinders += other.seek_cylinders;
+    seek_ns += other.seek_ns;
+    rotation_ns += other.rotation_ns;
+    media_ns += other.media_ns;
+    overhead_ns += other.overhead_ns;
+  }
+};
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_DISK_STATS_H_

@@ -1,0 +1,118 @@
+#include "src/disk/disk_unit.h"
+
+#include <cassert>
+
+namespace ddio::disk {
+
+DiskUnit::DiskUnit(sim::Engine& engine, const Hp97560::Params& params, ScsiBus& bus, int id,
+                   DiskQueuePolicy policy)
+    : engine_(engine),
+      mechanism_(std::make_unique<Hp97560>(params)),
+      bus_(bus),
+      id_(id),
+      policy_(policy),
+      queue_changed_(engine) {}
+
+void DiskUnit::Start() {
+  assert(!started_);
+  started_ = true;
+  engine_.Spawn(ServiceLoop());
+}
+
+void DiskUnit::Stop() {
+  stopping_ = true;
+  queue_changed_.NotifyAll();
+}
+
+void DiskUnit::Submit(Request request) {
+  pending_.push_back(request);
+  queue_changed_.NotifyAll();
+}
+
+DiskUnit::Request DiskUnit::TakeNext() {
+  assert(!pending_.empty());
+  std::size_t pick = 0;
+  if (policy_ == DiskQueuePolicy::kElevator && pending_.size() > 1) {
+    // C-SCAN: nearest queued LBN at or beyond the head; wrap to the lowest.
+    bool have_forward = false;
+    std::uint64_t best_forward = 0;
+    std::size_t best_forward_index = 0;
+    std::uint64_t best_any = 0;
+    std::size_t best_any_index = 0;
+    bool have_any = false;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const std::uint64_t lbn = pending_[i].lbn;
+      if (!have_any || lbn < best_any) {
+        have_any = true;
+        best_any = lbn;
+        best_any_index = i;
+      }
+      if (lbn >= head_lbn_ && (!have_forward || lbn < best_forward)) {
+        have_forward = true;
+        best_forward = lbn;
+        best_forward_index = i;
+      }
+    }
+    pick = have_forward ? best_forward_index : best_any_index;
+  }
+  Request request = pending_[pick];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+  return request;
+}
+
+sim::Task<> DiskUnit::Read(std::uint64_t lbn, std::uint32_t nsectors) {
+  assert(started_);
+  ++stats_.read_requests;
+  stats_.bytes_read += static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
+  sim::OneShotEvent done(engine_);
+  Submit(Request{lbn, nsectors, /*is_write=*/false, &done});
+  co_await done.Wait();
+}
+
+sim::Task<> DiskUnit::Write(std::uint64_t lbn, std::uint32_t nsectors) {
+  assert(started_);
+  ++stats_.write_requests;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
+  stats_.bytes_written += bytes;
+  // Stage the data into the disk buffer over the bus, then queue the media
+  // phase. The bus leg overlaps any media work still in progress.
+  co_await bus_.Transfer(bytes);
+  sim::OneShotEvent done(engine_);
+  Submit(Request{lbn, nsectors, /*is_write=*/true, &done});
+  co_await done.Wait();
+}
+
+sim::Task<> DiskUnit::ServiceLoop() {
+  for (;;) {
+    while (pending_.empty()) {
+      if (stopping_) {
+        co_return;
+      }
+      co_await queue_changed_.Wait();
+    }
+    Request request = TakeNext();
+    const sim::SimTime start = engine_.now();
+    Hp97560::AccessResult result =
+        mechanism_->Access(start, request.lbn, request.nsectors, request.is_write);
+    stats_.mechanism_busy_ns += result.completion - start;
+    head_lbn_ = request.lbn + request.nsectors;
+    if (result.completion > start) {
+      co_await engine_.Delay(result.completion - start);
+    }
+    if (request.is_write) {
+      request.media_done->Set();
+    } else {
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(request.nsectors) * bytes_per_sector();
+      // Drain the disk buffer to IOP memory without blocking the mechanism.
+      engine_.Spawn(DrainToMemory(bytes, request.media_done));
+    }
+  }
+}
+
+sim::Task<> DiskUnit::DrainToMemory(std::uint64_t bytes, sim::OneShotEvent* done) {
+  co_await bus_.Transfer(bytes);
+  done->Set();
+}
+
+}  // namespace ddio::disk

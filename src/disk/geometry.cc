@@ -1,0 +1,89 @@
+#include "src/disk/geometry.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ddio::disk {
+
+sim::SimTime DiskGeometry::SectorTime() const {
+  // 60e9 ns/min / (rpm * sectors_per_track) -- rounded once to an integer so
+  // all angular arithmetic stays exact from here on.
+  return static_cast<sim::SimTime>(
+      std::llround(60.0e9 / (rpm * static_cast<double>(sectors_per_track))));
+}
+
+Chs DiskGeometry::FromLbn(std::uint64_t lbn) const {
+  assert(lbn < TotalSectors());
+  Chs chs;
+  chs.cylinder = static_cast<std::uint32_t>(lbn / SectorsPerCylinder());
+  std::uint64_t within = lbn % SectorsPerCylinder();
+  chs.head = static_cast<std::uint32_t>(within / sectors_per_track);
+  chs.sector = static_cast<std::uint32_t>(within % sectors_per_track);
+  return chs;
+}
+
+std::uint64_t DiskGeometry::ToLbn(const Chs& chs) const {
+  return (static_cast<std::uint64_t>(chs.cylinder) * heads + chs.head) * sectors_per_track +
+         chs.sector;
+}
+
+std::uint32_t DiskGeometry::SkewOffset(std::uint32_t cylinder, std::uint32_t head) const {
+  std::uint64_t tracks_before = static_cast<std::uint64_t>(cylinder) * (heads - 1) + head;
+  std::uint64_t skew = static_cast<std::uint64_t>(cylinder) * cylinder_skew_sectors +
+                       tracks_before * track_skew_sectors;
+  return static_cast<std::uint32_t>(skew % sectors_per_track);
+}
+
+std::uint32_t DiskGeometry::AngularStart(std::uint64_t lbn) const {
+  Chs chs = FromLbn(lbn);
+  return (SkewOffset(chs.cylinder, chs.head) + chs.sector) % sectors_per_track;
+}
+
+sim::SimTime DiskGeometry::StreamSpan(std::uint64_t lbn, std::uint32_t nsectors) const {
+  const sim::SimTime sector_time = SectorTime();
+  sim::SimTime span = 0;
+  std::uint64_t cur = lbn;
+  std::uint32_t remaining = nsectors;
+  while (remaining > 0) {
+    Chs chs = FromLbn(cur);
+    std::uint32_t left_on_track = sectors_per_track - chs.sector;
+    std::uint32_t take = remaining < left_on_track ? remaining : left_on_track;
+    span += static_cast<sim::SimTime>(take) * sector_time;
+    cur += take;
+    remaining -= take;
+    if (remaining > 0) {
+      span += GapBefore(cur);
+    }
+  }
+  return span;
+}
+
+sim::SimTime DiskGeometry::GapBefore(std::uint64_t lbn) const {
+  if (lbn == 0) {
+    return 0;
+  }
+  Chs chs = FromLbn(lbn);
+  if (chs.sector != 0) {
+    return 0;  // Mid-track: no boundary crossed.
+  }
+  std::uint32_t prev_skew;
+  if (chs.head == 0) {
+    // Crossed a cylinder boundary from the last track of the previous one.
+    prev_skew = SkewOffset(chs.cylinder - 1, heads - 1);
+  } else {
+    prev_skew = SkewOffset(chs.cylinder, chs.head - 1);
+  }
+  std::uint32_t cur_skew = SkewOffset(chs.cylinder, chs.head);
+  std::uint32_t delta = (cur_skew + sectors_per_track - prev_skew) % sectors_per_track;
+  return static_cast<sim::SimTime>(delta) * SectorTime();
+}
+
+sim::SimTime DiskGeometry::RotationalWaitUntil(sim::SimTime t, std::uint32_t angular_sector) const {
+  const sim::SimTime rotation = RotationPeriod();
+  const sim::SimTime target_phase = static_cast<sim::SimTime>(angular_sector) * SectorTime();
+  const sim::SimTime current_phase = t % rotation;
+  const sim::SimTime wait = (target_phase + rotation - current_phase) % rotation;
+  return t + wait;
+}
+
+}  // namespace ddio::disk

@@ -1,0 +1,271 @@
+#include "src/disk/hp97560.h"
+
+#include <cassert>
+
+namespace ddio::disk {
+
+Hp97560::Hp97560(const Params& params) : params_(params), streams_(params.cache_segments) {
+  assert(params_.cache_segments >= 1);
+}
+
+Hp97560::Stream* Hp97560::FindContinuation(std::uint64_t lbn, bool is_write) {
+  for (Stream& stream : streams_) {
+    if (stream.valid && stream.write == is_write && stream.next_lbn == lbn) {
+      return &stream;
+    }
+  }
+  return nullptr;
+}
+
+Hp97560::Stream* Hp97560::LruSlot() {
+  Stream* victim = &streams_[0];
+  for (Stream& stream : streams_) {
+    if (!stream.valid) {
+      return &stream;
+    }
+    if (stream.last_use < victim->last_use) {
+      victim = &stream;
+    }
+  }
+  return victim;
+}
+
+void Hp97560::MoveArmTo(std::uint64_t lbn) {
+  const std::uint64_t total = params_.geometry.TotalSectors();
+  Chs chs = params_.geometry.FromLbn(lbn < total ? lbn : total - 1);
+  arm_cylinder_ = chs.cylinder;
+  arm_head_ = chs.head;
+}
+
+void Hp97560::ExtendReadahead(sim::SimTime until) {
+  if (active_stream_ < 0) {
+    return;
+  }
+  Stream& stream = streams_[static_cast<std::size_t>(active_stream_)];
+  if (!stream.valid || stream.write) {
+    return;
+  }
+  if (until <= idle_since_) {
+    return;
+  }
+  const DiskGeometry& geo = params_.geometry;
+  const sim::SimTime sector_time = geo.SectorTime();
+  sim::SimTime budget = until - idle_since_;
+  idle_since_ = until;
+  // The window bounds how far the buffer may run ahead of consumption.
+  const std::uint64_t window_end = stream.next_lbn + params_.readahead_window_sectors;
+  const std::uint64_t disk_end = geo.TotalSectors();
+  const std::uint64_t cap = window_end < disk_end ? window_end : disk_end;
+  // Walk the media forward through the budget, paying skew gaps at track
+  // and cylinder boundaries exactly as a commanded burst would.
+  std::uint64_t frontier = stream.frontier_lbn;
+  while (frontier < cap && budget >= sector_time) {
+    const sim::SimTime gap = geo.GapBefore(frontier);
+    if (gap > 0) {
+      if (budget < gap + sector_time) {
+        break;  // Stuck mid-switch; no more full sectors fit.
+      }
+      budget -= gap;
+    }
+    const std::uint32_t sector_in_track =
+        static_cast<std::uint32_t>(frontier % geo.sectors_per_track);
+    std::uint64_t run = geo.sectors_per_track - sector_in_track;
+    if (run > cap - frontier) {
+      run = cap - frontier;
+    }
+    const std::uint64_t affordable = budget / sector_time;
+    if (run > affordable) {
+      run = affordable;
+    }
+    frontier += run;
+    budget -= run * sector_time;
+  }
+  if (frontier > stream.frontier_lbn) {
+    stream.frontier_lbn = frontier;
+    MoveArmTo(frontier - 1);
+  }
+}
+
+sim::SimTime Hp97560::AvailTime(const Stream& stream, std::uint64_t end_lbn) const {
+  assert(end_lbn > stream.anchor_lbn);
+  return stream.anchor_time +
+         params_.geometry.StreamSpan(stream.anchor_lbn,
+                                     static_cast<std::uint32_t>(end_lbn - stream.anchor_lbn));
+}
+
+sim::SimTime Hp97560::Position(sim::SimTime t, std::uint64_t lbn, AccessResult* result) {
+  const DiskGeometry& geo = params_.geometry;
+  Chs target = geo.FromLbn(lbn);
+  const std::uint32_t distance = target.cylinder > arm_cylinder_
+                                     ? target.cylinder - arm_cylinder_
+                                     : arm_cylinder_ - target.cylinder;
+  sim::SimTime settle = 0;
+  if (distance > 0) {
+    settle = params_.seek.SeekTime(distance);
+    ++stats_.seeks;
+    stats_.seek_cylinders += distance;
+  } else if (target.head != arm_head_) {
+    settle = params_.seek.HeadSwitchTime();
+  }
+  result->seek_ns += settle;
+  stats_.seek_ns += settle;
+  t += settle;
+  const sim::SimTime positioned = geo.RotationalWaitUntil(t, geo.AngularStart(lbn));
+  result->rotation_ns += positioned - t;
+  stats_.rotation_ns += positioned - t;
+  return positioned;
+}
+
+Hp97560::AccessResult Hp97560::Access(sim::SimTime now, std::uint64_t lbn, std::uint32_t nsectors,
+                                      bool is_write) {
+  const DiskGeometry& geo = params_.geometry;
+  assert(nsectors > 0);
+  assert(lbn + nsectors <= geo.TotalSectors());
+
+  AccessResult result;
+  ++stats_.requests;
+  is_write ? ++stats_.writes : ++stats_.reads;
+
+  const std::uint64_t end = lbn + nsectors;
+  Stream* stream = FindContinuation(lbn, is_write);
+  const bool is_active =
+      stream != nullptr && active_stream_ >= 0 &&
+      stream == &streams_[static_cast<std::size_t>(active_stream_)];
+
+  if (stream != nullptr && !is_write) {
+    if (is_active) {
+      ExtendReadahead(now);
+    }
+    if (end <= stream->frontier_lbn) {
+      // Served entirely from the segment buffer: no mechanism involvement.
+      result.completion = std::max(now, AvailTime(*stream, end));
+      result.stream_hit = true;
+      stream->next_lbn = end;
+      stream->last_use = now;
+      ++stats_.stream_hits;
+      return result;
+    }
+    if (is_active) {
+      // Head is at the frontier; the media keeps streaming into the request.
+      const sim::SimTime start = std::max(now, media_free_time_);
+      const std::uint64_t read_from = stream->frontier_lbn;
+      const sim::SimTime span =
+          geo.GapBefore(read_from) +
+          geo.StreamSpan(read_from, static_cast<std::uint32_t>(end - read_from));
+      result.completion = start + span;
+      result.media_ns = span;
+      result.stream_hit = true;
+      ++stats_.stream_hits;
+      stats_.media_ns += span;
+      stream->next_lbn = end;
+      stream->frontier_lbn = end;
+      stream->last_use = now;
+      media_free_time_ = result.completion;
+      idle_since_ = result.completion;
+      MoveArmTo(end - 1);
+      return result;
+    }
+    // Tracked stream, but the head wandered off to another locality: resume
+    // with a repositioning — the cost interleaved localities pay.
+    ExtendReadahead(now);
+    const std::uint64_t read_from = std::max(lbn, stream->frontier_lbn);
+    const sim::SimTime positioned = Position(std::max(now, media_free_time_), read_from, &result);
+    const sim::SimTime span =
+        geo.StreamSpan(read_from, static_cast<std::uint32_t>(end - read_from));
+    result.media_ns = span;
+    stats_.media_ns += span;
+    const sim::SimTime media_done = positioned + span;
+    // If part of the range was still buffered from before, it is already
+    // available; the tail governs completion.
+    result.completion = media_done;
+    stream->anchor_lbn = read_from;
+    stream->anchor_time = positioned;
+    stream->next_lbn = end;
+    stream->frontier_lbn = end;
+    stream->last_use = now;
+    active_stream_ = static_cast<int>(stream - streams_.data());
+    media_free_time_ = media_done;
+    idle_since_ = media_done;
+    MoveArmTo(end - 1);
+    return result;
+  }
+
+  if (stream != nullptr && is_write) {
+    if (is_active) {
+      const sim::SimTime stream_start = media_free_time_ + geo.GapBefore(lbn);
+      if (now <= stream_start) {
+        // The data reached the controller before the head passed the target
+        // sector: keep streaming.
+        const sim::SimTime span = geo.StreamSpan(lbn, nsectors);
+        result.completion = stream_start + span;
+        result.media_ns = span;
+        result.stream_hit = true;
+        ++stats_.stream_hits;
+        stats_.media_ns += span;
+        stream->next_lbn = end;
+        stream->frontier_lbn = end;
+        stream->last_use = now;
+        media_free_time_ = result.completion;
+        idle_since_ = result.completion;
+        MoveArmTo(end - 1);
+        return result;
+      }
+    }
+    // Late or displaced sequential write: reposition (usually a missed
+    // revolution), keeping the stream tracked.
+    ExtendReadahead(now);
+    const sim::SimTime positioned = Position(std::max(now, media_free_time_), lbn, &result);
+    const sim::SimTime span = geo.StreamSpan(lbn, nsectors);
+    result.media_ns = span;
+    stats_.media_ns += span;
+    result.completion = positioned + span;
+    stream->next_lbn = end;
+    stream->frontier_lbn = end;
+    stream->last_use = now;
+    active_stream_ = static_cast<int>(stream - streams_.data());
+    media_free_time_ = result.completion;
+    idle_since_ = result.completion;
+    MoveArmTo(end - 1);
+    return result;
+  }
+
+  // No continuation: positioned access on a fresh stream slot.
+  ExtendReadahead(now);
+  const sim::SimTime overhead = sim::FromMs(params_.controller_overhead_ms);
+  result.overhead_ns = overhead;
+  stats_.overhead_ns += overhead;
+  const sim::SimTime positioned =
+      Position(std::max(now, media_free_time_) + overhead, lbn, &result);
+  const sim::SimTime span = geo.StreamSpan(lbn, nsectors);
+  result.media_ns = span;
+  stats_.media_ns += span;
+  result.completion = positioned + span;
+
+  Stream* slot = LruSlot();
+  slot->valid = true;
+  slot->write = is_write;
+  slot->next_lbn = end;
+  slot->frontier_lbn = end;
+  slot->anchor_lbn = lbn;
+  slot->anchor_time = positioned;
+  slot->last_use = now;
+  active_stream_ = static_cast<int>(slot - streams_.data());
+  media_free_time_ = result.completion;
+  idle_since_ = result.completion;
+  MoveArmTo(end - 1);
+  return result;
+}
+
+double Hp97560::SustainedBandwidthBytesPerSec() const {
+  const DiskGeometry& geo = params_.geometry;
+  // Per cylinder: heads*spt sectors of data, (heads-1) track gaps plus one
+  // cylinder gap, each gap costing its skew delta in sector times.
+  const double sector_time_s = static_cast<double>(geo.SectorTime()) / 1e9;
+  const double data_sectors = static_cast<double>(geo.SectorsPerCylinder());
+  const double gap_sectors = static_cast<double>((geo.heads - 1) * geo.track_skew_sectors +
+                                                 geo.cylinder_skew_sectors);
+  const double cylinder_time = (data_sectors + gap_sectors) * sector_time_s;
+  return data_sectors * geo.bytes_per_sector / cylinder_time;
+}
+
+}  // namespace ddio::disk

@@ -1,0 +1,111 @@
+// Mechanism-level model of one HP 97560 drive.
+//
+// Combines the geometry (rotation, skews), the Ruemmler-Wilkes seek curve,
+// and a firmware cache of `cache_segments` sequential stream buffers, with a
+// SINGLE serialized mechanism: the head is only ever in one place, so at most
+// one stream makes media progress at a time.
+//
+//  * While the mechanism is idle it reads ahead on the stream the head is
+//    parked on; the read-ahead frontier is extended lazily (bounded by the
+//    segment window) when the next command arrives.
+//  * A read that continues a tracked stream is served from the segment
+//    buffer if the read-ahead already covers it (no positioning, no
+//    overhead); if the head is still on that stream the media just keeps
+//    streaming; if the head moved to another stream, the resume pays a seek
+//    plus rotational latency — this is how multiple interleaved localities
+//    "defeat the disk's internal caching and cause extra head movement"
+//    (paper Section 6).
+//  * A write that continues the active write stream and arrives before the
+//    head passes its sector keeps streaming; anything else repositions.
+//  * Non-continuations pay controller overhead + seek + rotation + media
+//    transfer and recycle the least-recently-used segment.
+
+#ifndef DDIO_SRC_DISK_HP97560_H_
+#define DDIO_SRC_DISK_HP97560_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/disk/disk_stats.h"
+#include "src/disk/geometry.h"
+#include "src/disk/seek_model.h"
+#include "src/sim/time.h"
+
+namespace ddio::disk {
+
+class Hp97560 {
+ public:
+  struct Params {
+    DiskGeometry geometry;
+    SeekModel seek;
+    std::uint32_t cache_segments = 2;
+    // Read-ahead window per segment, in sectors (64 KB default).
+    std::uint32_t readahead_window_sectors = 128;
+    // Command processing for a positioned (non-streamed) access. Hidden by
+    // the stream buffer for sequential continuations.
+    double controller_overhead_ms = 1.1;
+  };
+
+  struct AccessResult {
+    sim::SimTime completion = 0;   // Data in disk buffer (read) / on media (write).
+    sim::SimTime seek_ns = 0;
+    sim::SimTime rotation_ns = 0;
+    sim::SimTime media_ns = 0;
+    sim::SimTime overhead_ns = 0;
+    bool stream_hit = false;       // Served without repositioning the head.
+  };
+
+  explicit Hp97560(const Params& params);
+
+  // Services one request whose command arrives at time `now`. Requests must
+  // be submitted serially (the caller is the per-disk thread): `now` must be
+  // >= the completion time of the previous access.
+  AccessResult Access(sim::SimTime now, std::uint64_t lbn, std::uint32_t nsectors, bool is_write);
+
+  const Params& params() const { return params_; }
+  const DiskMechanismStats& stats() const { return stats_; }
+
+  // Peak sustained sequential bandwidth implied by the geometry (bytes/s),
+  // accounting for track- and cylinder-skew gaps. ~2.33 MB/s by default.
+  double SustainedBandwidthBytesPerSec() const;
+
+ private:
+  struct Stream {
+    bool valid = false;
+    bool write = false;
+    std::uint64_t next_lbn = 0;      // First sector not yet consumed by requests.
+    std::uint64_t frontier_lbn = 0;  // First sector NOT in the segment buffer.
+    // Data availability anchor: sector x in [anchor_lbn, frontier_lbn) was in
+    // the buffer at anchor_time + StreamSpan(anchor_lbn, x - anchor_lbn + 1).
+    std::uint64_t anchor_lbn = 0;
+    sim::SimTime anchor_time = 0;
+    sim::SimTime last_use = 0;
+  };
+
+  Stream* FindContinuation(std::uint64_t lbn, bool is_write);
+  Stream* LruSlot();
+  // Advances the active stream's read-ahead frontier for mechanism idle time
+  // up to `until`, moving the arm along with it.
+  void ExtendReadahead(sim::SimTime until);
+  // Time at which buffered sectors [*, end_lbn) of `stream` are available.
+  sim::SimTime AvailTime(const Stream& stream, std::uint64_t end_lbn) const;
+  void MoveArmTo(std::uint64_t lbn);
+
+  // Positions the head for a burst starting at `lbn`: seek (or head switch)
+  // plus rotational latency from time `t`. Returns the time the first sector
+  // is under the head; accumulates the breakdown into `result` and stats.
+  sim::SimTime Position(sim::SimTime t, std::uint64_t lbn, AccessResult* result);
+
+  Params params_;
+  std::vector<Stream> streams_;
+  int active_stream_ = -1;           // Index the head is parked on; -1 none.
+  sim::SimTime media_free_time_ = 0; // End of the last commanded media burst.
+  sim::SimTime idle_since_ = 0;      // Start of the current read-ahead window.
+  std::uint32_t arm_cylinder_ = 0;
+  std::uint32_t arm_head_ = 0;
+  DiskMechanismStats stats_;
+};
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_HP97560_H_

@@ -1,0 +1,21 @@
+#include "src/disk/seek_model.h"
+
+#include <cmath>
+
+namespace ddio::disk {
+
+sim::SimTime SeekModel::SeekTime(std::uint32_t distance_cylinders) const {
+  if (distance_cylinders == 0) {
+    return 0;
+  }
+  double ms;
+  if (distance_cylinders < regime_boundary_cylinders) {
+    ms = short_seek_base_ms +
+         short_seek_sqrt_ms * std::sqrt(static_cast<double>(distance_cylinders));
+  } else {
+    ms = long_seek_base_ms + long_seek_per_cyl_ms * static_cast<double>(distance_cylinders);
+  }
+  return sim::FromMs(ms);
+}
+
+}  // namespace ddio::disk

@@ -1,0 +1,40 @@
+// HP 97560 seek-time model (Ruemmler & Wilkes, IEEE Computer, March 1994).
+//
+// Two-regime curve, in milliseconds, for a seek of d cylinders:
+//     d == 0          ->  0
+//     0 < d < 383     ->  3.24 + 0.400 * sqrt(d)
+//     d >= 383        ->  8.00 + 0.008 * d
+// Head switches within a cylinder take a fixed settling time, which must be
+// covered by the geometry's track skew for sequential streaming to avoid
+// missed revolutions.
+
+#ifndef DDIO_SRC_DISK_SEEK_MODEL_H_
+#define DDIO_SRC_DISK_SEEK_MODEL_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace ddio::disk {
+
+struct SeekModel {
+  double short_seek_base_ms = 3.24;
+  double short_seek_sqrt_ms = 0.400;
+  double long_seek_base_ms = 8.00;
+  double long_seek_per_cyl_ms = 0.008;
+  std::uint32_t regime_boundary_cylinders = 383;
+  double head_switch_ms = 0.75;
+
+  sim::SimTime SeekTime(std::uint32_t distance_cylinders) const;
+  sim::SimTime HeadSwitchTime() const { return sim::FromMs(head_switch_ms); }
+
+  // Average seek distance for uniformly random start/end is ~1/3 of the span;
+  // exposed for tests and capacity planning.
+  sim::SimTime AverageSeekTime(std::uint32_t cylinders) const {
+    return SeekTime(cylinders / 3);
+  }
+};
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_SEEK_MODEL_H_

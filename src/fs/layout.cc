@@ -1,0 +1,51 @@
+#include "src/fs/layout.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace ddio::fs {
+
+const char* LayoutName(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kContiguous:
+      return "contiguous";
+    case LayoutKind::kRandomBlocks:
+      return "random-blocks";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> GenerateLayout(LayoutKind kind, std::uint64_t blocks_on_disk,
+                                          std::uint64_t slots, std::uint32_t sectors_per_block,
+                                          sim::Rng& rng) {
+  assert(blocks_on_disk <= slots);
+  std::vector<std::uint64_t> lbns;
+  lbns.reserve(blocks_on_disk);
+  switch (kind) {
+    case LayoutKind::kContiguous: {
+      // Random extent start, anywhere the extent still fits.
+      const std::uint64_t max_start = slots - blocks_on_disk;
+      const std::uint64_t start = max_start == 0 ? 0 : rng.Uniform(0, max_start);
+      for (std::uint64_t i = 0; i < blocks_on_disk; ++i) {
+        lbns.push_back((start + i) * sectors_per_block);
+      }
+      break;
+    }
+    case LayoutKind::kRandomBlocks: {
+      // Distinct random slots; rejection sampling is cheap because files are
+      // far smaller than the disk (80 blocks vs ~168k slots by default).
+      std::unordered_set<std::uint64_t> used;
+      used.reserve(blocks_on_disk * 2);
+      while (lbns.size() < blocks_on_disk) {
+        std::uint64_t slot = rng.Uniform(0, slots - 1);
+        if (used.insert(slot).second) {
+          lbns.push_back(slot * sectors_per_block);
+        }
+      }
+      break;
+    }
+  }
+  return lbns;
+}
+
+}  // namespace ddio::fs

@@ -1,0 +1,38 @@
+// Physical disk layouts for striped files (paper Section 5):
+//
+//  * Contiguous: the logical blocks of the file occupy consecutive physical
+//    block slots on each disk (an extent-based layout). Start slot is
+//    randomized per trial.
+//  * Random-blocks: each logical block lands in an independently chosen
+//    random physical slot — the other extreme, which also "simulates a
+//    request for an arbitrary subset of blocks from a large file".
+//
+// A real file system lies between the two, as do its results.
+
+#ifndef DDIO_SRC_FS_LAYOUT_H_
+#define DDIO_SRC_FS_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace ddio::fs {
+
+enum class LayoutKind {
+  kContiguous,
+  kRandomBlocks,
+};
+
+const char* LayoutName(LayoutKind kind);
+
+// Produces the physical LBN for each of `blocks_on_disk` local blocks of one
+// disk. `slots` is the number of block-sized slots the disk offers and
+// `sectors_per_block` converts slot index to LBN.
+std::vector<std::uint64_t> GenerateLayout(LayoutKind kind, std::uint64_t blocks_on_disk,
+                                          std::uint64_t slots, std::uint32_t sectors_per_block,
+                                          sim::Rng& rng);
+
+}  // namespace ddio::fs
+
+#endif  // DDIO_SRC_FS_LAYOUT_H_

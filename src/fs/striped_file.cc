@@ -1,0 +1,50 @@
+#include "src/fs/striped_file.h"
+
+#include <cassert>
+
+namespace ddio::fs {
+
+StripedFile::StripedFile(const Params& params, sim::Rng& rng) : params_(params) {
+  assert(params_.block_bytes > 0 && params_.num_disks > 0);
+  num_blocks_ = (params_.file_bytes + params_.block_bytes - 1) / params_.block_bytes;
+  const std::uint32_t sectors_per_block = params_.block_bytes / 512;
+  const std::uint64_t slots = params_.disk_capacity_bytes / params_.block_bytes;
+  lbn_.reserve(params_.num_disks);
+  for (std::uint32_t d = 0; d < params_.num_disks; ++d) {
+    lbn_.push_back(
+        GenerateLayout(params_.layout, BlocksOnDisk(d), slots, sectors_per_block, rng));
+  }
+}
+
+std::uint64_t StripedFile::LbnOfBlock(std::uint64_t file_block) const {
+  assert(file_block < num_blocks_);
+  return lbn_[DiskOfBlock(file_block)][LocalIndexOfBlock(file_block)];
+}
+
+std::uint64_t StripedFile::BlocksOnDisk(std::uint32_t disk) const {
+  // Blocks d, d+D, d+2D, ... below num_blocks_.
+  if (disk >= num_blocks_ % params_.num_disks) {
+    return num_blocks_ / params_.num_disks;
+  }
+  return num_blocks_ / params_.num_disks + 1;
+}
+
+std::vector<std::uint64_t> StripedFile::FileBlocksOnDisk(std::uint32_t disk) const {
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve(BlocksOnDisk(disk));
+  for (std::uint64_t b = disk; b < num_blocks_; b += params_.num_disks) {
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+std::uint32_t StripedFile::BlockLength(std::uint64_t file_block) const {
+  const std::uint64_t start = file_block * params_.block_bytes;
+  const std::uint64_t end = start + params_.block_bytes;
+  if (end <= params_.file_bytes) {
+    return params_.block_bytes;
+  }
+  return static_cast<std::uint32_t>(params_.file_bytes - start);
+}
+
+}  // namespace ddio::fs

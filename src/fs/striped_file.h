@@ -1,0 +1,65 @@
+// StripedFile: a file declustered block-by-block over all disks ("Files were
+// striped across all disks, block by block"), with a physical layout per
+// disk chosen by LayoutKind.
+//
+// File block b lives on disk (b mod D) at that disk's local index (b div D);
+// the layout maps local indices to physical LBNs.
+
+#ifndef DDIO_SRC_FS_STRIPED_FILE_H_
+#define DDIO_SRC_FS_STRIPED_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fs/layout.h"
+#include "src/sim/rng.h"
+
+namespace ddio::fs {
+
+class StripedFile {
+ public:
+  struct Params {
+    std::uint64_t file_bytes = 10 * 1024 * 1024;  // Paper: 10 MB.
+    std::uint32_t block_bytes = 8192;             // Table 1: 8 KB blocks.
+    std::uint32_t num_disks = 16;
+    LayoutKind layout = LayoutKind::kContiguous;
+    std::uint64_t disk_capacity_bytes = 1'339'661'568;  // HP 97560 usable space.
+  };
+
+  StripedFile(const Params& params, sim::Rng& rng);
+
+  std::uint64_t file_bytes() const { return params_.file_bytes; }
+  std::uint32_t block_bytes() const { return params_.block_bytes; }
+  std::uint32_t num_disks() const { return params_.num_disks; }
+  LayoutKind layout() const { return params_.layout; }
+  std::uint64_t num_blocks() const { return num_blocks_; }
+
+  std::uint32_t DiskOfBlock(std::uint64_t file_block) const {
+    return static_cast<std::uint32_t>(file_block % params_.num_disks);
+  }
+  std::uint64_t LocalIndexOfBlock(std::uint64_t file_block) const {
+    return file_block / params_.num_disks;
+  }
+
+  // Physical LBN of a file block on its disk.
+  std::uint64_t LbnOfBlock(std::uint64_t file_block) const;
+
+  // Number of file blocks resident on `disk`.
+  std::uint64_t BlocksOnDisk(std::uint32_t disk) const;
+
+  // The file blocks resident on `disk`, ascending by file offset.
+  std::vector<std::uint64_t> FileBlocksOnDisk(std::uint32_t disk) const;
+
+  // Bytes of the file covered by `file_block` (the final block may be short).
+  std::uint32_t BlockLength(std::uint64_t file_block) const;
+
+ private:
+  Params params_;
+  std::uint64_t num_blocks_;
+  // lbn_[disk][local_index] -> physical LBN.
+  std::vector<std::vector<std::uint64_t>> lbn_;
+};
+
+}  // namespace ddio::fs
+
+#endif  // DDIO_SRC_FS_STRIPED_FILE_H_

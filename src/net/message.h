@@ -1,0 +1,116 @@
+// Wire format of the simulated machine.
+//
+// Every interaction between CPs and IOPs travels as one of these message
+// types. All payloads carry `length` (the data bytes they represent) so the
+// network can charge transfer time; the data itself is never materialized —
+// the simulation tracks placement, not contents (the optional validation
+// layer in src/core/validation.h records offset mappings instead).
+//
+// Message inventory (paper Section 4):
+//  * TcRequest/TcReply — traditional caching's request-response protocol;
+//    write requests and read replies carry up to one block of data.
+//  * CollectiveRequest — the single disk-directed request a CP multicasts to
+//    all IOPs ("CPs collectively send a single request to all IOPs").
+//  * Memput — IOP pushes read data straight into CP memory via DMA.
+//  * MemgetRequest/MemgetReply — IOP pulls write data from CP memory.
+//  * CompletionNote — IOP tells the requesting CP it finished.
+//  * PermuteData — CP-to-CP data exchange in two-phase I/O's permutation.
+
+#ifndef DDIO_SRC_NET_MESSAGE_H_
+#define DDIO_SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+namespace ddio::net {
+
+// One noncontiguous run inside a gather/scatter transfer.
+struct MemExtent {
+  std::uint64_t cp_offset = 0;
+  std::uint64_t file_offset = 0;
+  std::uint32_t length = 0;
+};
+
+struct TcRequest {
+  bool is_write = false;
+  std::uint64_t file_offset = 0;
+  std::uint32_t length = 0;       // Data bytes requested / piggybacked.
+  std::uint16_t cp = 0;           // Requesting compute processor.
+  std::uint64_t cp_offset = 0;    // CP-memory range involved (validation).
+  std::uint64_t request_id = 0;   // Echoed in the reply.
+  // Strided-request extension (paper Future Work: "allowing the application
+  // to make 'strided' requests to the traditional caching system"): one
+  // request may cover `pieces` noncontiguous runs within one file block;
+  // 1 = the plain protocol. `extents` lists the runs when pieces > 1.
+  std::uint32_t pieces = 1;
+  std::shared_ptr<const std::vector<MemExtent>> extents;
+};
+
+struct TcReply {
+  std::uint64_t request_id = 0;
+  std::uint32_t length = 0;       // Data bytes carried (reads) or 0 (write ack).
+  std::uint64_t file_offset = 0;  // For validation bookkeeping.
+};
+
+struct CollectiveRequest {
+  // Opaque pointer to the shared collective-operation descriptor
+  // (ddio::core::CollectiveOp). The real machine would marshal the access
+  // pattern; the descriptor is immutable for the duration of the operation.
+  const void* op = nullptr;
+  std::uint16_t requesting_cp = 0;
+};
+
+struct Memput {
+  std::uint64_t cp_offset = 0;    // Destination offset in CP memory.
+  std::uint32_t length = 0;
+  std::uint64_t file_offset = 0;  // Source range in the file (validation).
+  // Gather/scatter extension (paper Future Work: "optimize network message
+  // traffic by using gather/scatter messages"): one Memput may carry several
+  // noncontiguous runs; `extents` (shared, immutable) lists them and the
+  // header fields describe the first. Null for the plain single-run form.
+  std::shared_ptr<const std::vector<MemExtent>> extents;
+};
+
+struct MemgetRequest {
+  std::uint64_t cp_offset = 0;    // Source offset in CP memory.
+  std::uint32_t length = 0;
+  std::uint64_t file_offset = 0;  // Destination range in the file.
+  std::uint16_t iop = 0;          // Where to send the reply.
+  std::uint64_t request_id = 0;
+  // Gather/scatter form: several runs pulled with one request (see Memput).
+  std::shared_ptr<const std::vector<MemExtent>> extents;
+};
+
+struct MemgetReply {
+  std::uint64_t request_id = 0;
+  std::uint32_t length = 0;       // Total data bytes carried.
+  std::uint64_t file_offset = 0;
+  std::uint64_t cp_offset = 0;
+  std::uint16_t cp = 0;           // Data provenance (validation).
+  std::shared_ptr<const std::vector<MemExtent>> extents;
+};
+
+struct CompletionNote {
+  std::uint16_t iop = 0;
+};
+
+struct PermuteData {
+  std::uint64_t bytes = 0;   // Total data coalesced into this exchange.
+  std::uint64_t pieces = 0;  // Record runs gathered (drives scatter cost).
+};
+
+using Payload = std::variant<TcRequest, TcReply, CollectiveRequest, Memput, MemgetRequest,
+                             MemgetReply, CompletionNote, PermuteData>;
+
+struct Message {
+  std::uint16_t src = 0;
+  std::uint16_t dst = 0;
+  std::uint32_t data_bytes = 0;  // Payload data carried (drives transfer time).
+  Payload payload;
+};
+
+}  // namespace ddio::net
+
+#endif  // DDIO_SRC_NET_MESSAGE_H_

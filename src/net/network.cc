@@ -1,0 +1,81 @@
+#include "src/net/network.h"
+
+#include "src/sim/sync.h"
+
+#include <cassert>
+#include <string>
+
+namespace ddio::net {
+
+Network::Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams params)
+    : engine_(engine), topology_(TorusTopology::ForNodeCount(node_count)), params_(params) {
+  send_nic_.reserve(node_count);
+  recv_nic_.reserve(node_count);
+  inboxes_.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    send_nic_.push_back(
+        std::make_unique<sim::Resource>(engine, "nic_out_" + std::to_string(i)));
+    recv_nic_.push_back(
+        std::make_unique<sim::Resource>(engine, "nic_in_" + std::to_string(i)));
+    inboxes_.push_back(std::make_unique<sim::Channel<Message>>(engine));
+  }
+  if (params_.model_link_contention) {
+    links_.reserve(topology_.LinkCount());
+    for (std::uint32_t l = 0; l < topology_.LinkCount(); ++l) {
+      links_.push_back(std::make_unique<sim::Resource>(engine, "link_" + std::to_string(l)));
+    }
+  }
+}
+
+sim::Task<> Network::OccupyRoute(std::vector<LinkId> route, sim::SimTime duration) {
+  std::vector<sim::Task<>> uses;
+  uses.reserve(route.size());
+  for (LinkId link : route) {
+    uses.push_back(links_[link]->Use(duration));
+  }
+  co_await sim::WhenAll(engine_, std::move(uses));
+}
+
+sim::SimTime Network::TotalLinkBusyTime() const {
+  sim::SimTime total = 0;
+  for (const auto& link : links_) {
+    total += link->busy_time();
+  }
+  return total;
+}
+
+sim::Task<> Network::Send(Message msg) {
+  assert(msg.src < node_count() && msg.dst < node_count());
+  const std::uint64_t wire_bytes = msg.data_bytes + params_.header_bytes;
+  const sim::SimTime hop_latency =
+      params_.per_hop_latency_ns * topology_.Hops(msg.src, msg.dst);
+  ++stats_.messages;
+  stats_.data_bytes += msg.data_bytes;
+  stats_.wire_bytes += wire_bytes;
+  // Inject: occupy the sender NIC for the full wire size.
+  co_await send_nic_[msg.src]->Transfer(wire_bytes, params_.link_bandwidth_bytes_per_sec);
+  engine_.Spawn(Deliver(std::move(msg), hop_latency, wire_bytes));
+}
+
+void Network::Post(Message msg) {
+  engine_.Spawn([](Network& net, Message m) -> sim::Task<> {
+    co_await net.Send(std::move(m));
+  }(*this, std::move(msg)));
+}
+
+sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_t wire_bytes) {
+  if (params_.model_link_contention && msg.src != msg.dst) {
+    // The wormhole path holds every link on the route for the message's
+    // serialization time; contention at any link stretches delivery.
+    co_await OccupyRoute(topology_.Route(msg.src, msg.dst),
+                         sim::TransferTimeNs(wire_bytes, params_.link_bandwidth_bytes_per_sec));
+  }
+  if (hop_latency > 0) {
+    co_await engine_.Delay(hop_latency);
+  }
+  const std::uint16_t dst = msg.dst;
+  co_await recv_nic_[dst]->Transfer(wire_bytes, params_.link_bandwidth_bytes_per_sec);
+  inboxes_[dst]->Send(std::move(msg));
+}
+
+}  // namespace ddio::net

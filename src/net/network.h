@@ -1,0 +1,93 @@
+// Network: message transport over the torus with per-node NIC serialization.
+//
+// Timing model for one message of w wire bytes (header + data) from s to d:
+//   1. The sender's NIC serializes outgoing messages FIFO and occupies the
+//      link for w / bandwidth (DMA out of memory; no CPU occupancy).
+//   2. The wormhole-routed header crosses Hops(s,d) routers at 20 ns each.
+//   3. The receiver's NIC serializes incoming messages and deposits the data
+//      by DMA; the message then appears in the destination's inbox channel.
+// Software send/dispatch costs are CPU costs and are charged by the protocol
+// code (see src/core/costs.h), not here.
+
+#ifndef DDIO_SRC_NET_NETWORK_H_
+#define DDIO_SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/net/topology.h"
+#include "src/sim/channel.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/task.h"
+
+namespace ddio::net {
+
+struct NetworkParams {
+  std::uint64_t link_bandwidth_bytes_per_sec = 200'000'000;  // Table 1.
+  sim::SimTime per_hop_latency_ns = 20;                      // Table 1.
+  std::uint32_t header_bytes = 32;  // Wire overhead per message.
+  // When true, each message additionally occupies every directed link on
+  // its dimension-ordered route for its serialization time, so overlapping
+  // routes contend for link bandwidth. Default off: at the paper's loads
+  // (<= 37.5 MB/s total vs 200 MB/s links) in-network contention is
+  // negligible, and bench/validation_contention measures exactly that.
+  bool model_link_contention = false;
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams params = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Sends `msg`; the returned task completes when the message has been fully
+  // injected (sender NIC free). Delivery to the destination inbox continues
+  // asynchronously.
+  sim::Task<> Send(Message msg);
+
+  // Fire-and-forget send.
+  void Post(Message msg);
+
+  // Incoming messages for node `node`, in arrival order.
+  sim::Channel<Message>& Inbox(std::uint32_t node) { return *inboxes_[node]; }
+
+  const TorusTopology& topology() const { return topology_; }
+  const NetworkParams& params() const { return params_; }
+  const NetworkStats& stats() const { return stats_; }
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(inboxes_.size()); }
+
+  // NIC utilization probes (tests / reports).
+  double SendUtilization(std::uint32_t node) const { return send_nic_[node]->Utilization(); }
+  double ReceiveUtilization(std::uint32_t node) const { return recv_nic_[node]->Utilization(); }
+
+  // Aggregate busy time across all torus links (contention mode only).
+  sim::SimTime TotalLinkBusyTime() const;
+
+ private:
+  sim::Task<> Deliver(Message msg, sim::SimTime hop_latency, std::uint64_t wire_bytes);
+  // Occupies every link of `route` for `duration`, concurrently; completes
+  // when the most-contended link has served this message.
+  sim::Task<> OccupyRoute(std::vector<LinkId> route, sim::SimTime duration);
+
+  sim::Engine& engine_;
+  TorusTopology topology_;
+  NetworkParams params_;
+  std::vector<std::unique_ptr<sim::Resource>> send_nic_;
+  std::vector<std::unique_ptr<sim::Resource>> recv_nic_;
+  std::vector<std::unique_ptr<sim::Resource>> links_;  // Contention mode only.
+  std::vector<std::unique_ptr<sim::Channel<Message>>> inboxes_;
+  NetworkStats stats_;
+};
+
+}  // namespace ddio::net
+
+#endif  // DDIO_SRC_NET_NETWORK_H_

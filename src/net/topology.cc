@@ -1,0 +1,78 @@
+#include "src/net/topology.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ddio::net {
+
+TorusTopology TorusTopology::ForNodeCount(std::uint32_t nodes) {
+  assert(nodes > 0);
+  std::uint32_t width = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(nodes))));
+  std::uint32_t height = (nodes + width - 1) / width;
+  if (width < height) {
+    std::swap(width, height);
+  }
+  return TorusTopology(width, height);
+}
+
+TorusTopology::TorusTopology(std::uint32_t width, std::uint32_t height)
+    : width_(width), height_(height) {
+  assert(width_ > 0 && height_ > 0);
+}
+
+std::vector<LinkId> TorusTopology::Route(std::uint32_t a, std::uint32_t b) const {
+  std::vector<LinkId> links;
+  std::uint32_t x = a % width_;
+  std::uint32_t y = a / width_;
+  const std::uint32_t bx = b % width_;
+  const std::uint32_t by = b / width_;
+
+  auto link = [&](LinkDirection dir) {
+    links.push_back((y * width_ + x) * 4 + static_cast<LinkId>(dir));
+  };
+
+  // X dimension first, taking the shorter wrap direction (east on ties).
+  const std::uint32_t dx_east = (bx + width_ - x) % width_;
+  const std::uint32_t dx_west = (x + width_ - bx) % width_;
+  if (dx_east <= dx_west) {
+    for (std::uint32_t i = 0; i < dx_east; ++i) {
+      link(LinkDirection::kEast);
+      x = (x + 1) % width_;
+    }
+  } else {
+    for (std::uint32_t i = 0; i < dx_west; ++i) {
+      link(LinkDirection::kWest);
+      x = (x + width_ - 1) % width_;
+    }
+  }
+  // Then Y (south = +y, north on the shorter wrap).
+  const std::uint32_t dy_south = (by + height_ - y) % height_;
+  const std::uint32_t dy_north = (y + height_ - by) % height_;
+  if (dy_south <= dy_north) {
+    for (std::uint32_t i = 0; i < dy_south; ++i) {
+      link(LinkDirection::kSouth);
+      y = (y + 1) % height_;
+    }
+  } else {
+    for (std::uint32_t i = 0; i < dy_north; ++i) {
+      link(LinkDirection::kNorth);
+      y = (y + height_ - 1) % height_;
+    }
+  }
+  return links;
+}
+
+std::uint32_t TorusTopology::Hops(std::uint32_t a, std::uint32_t b) const {
+  const std::uint32_t ax = a % width_;
+  const std::uint32_t ay = a / width_;
+  const std::uint32_t bx = b % width_;
+  const std::uint32_t by = b / width_;
+  const std::uint32_t dx = ax > bx ? ax - bx : bx - ax;
+  const std::uint32_t dy = ay > by ? ay - by : by - ay;
+  const std::uint32_t wrap_dx = dx < width_ - dx ? dx : width_ - dx;
+  const std::uint32_t wrap_dy = dy < height_ - dy ? dy : height_ - dy;
+  return wrap_dx + wrap_dy;
+}
+
+}  // namespace ddio::net

@@ -1,0 +1,56 @@
+// Torus interconnect topology (Table 1: 6x6 torus, wormhole routing,
+// 20 ns per router).
+//
+// The simulator needs only the hop count between nodes: with wormhole
+// routing, message latency is (hops x per-router latency) + payload time at
+// link bandwidth, and at the paper's traffic levels (<= 37.5 MB/s aggregate
+// against 200 MB/s links) in-network contention is negligible (see
+// DESIGN.md). Endpoint (NIC) bandwidth is modeled separately in network.h.
+
+#ifndef DDIO_SRC_NET_TOPOLOGY_H_
+#define DDIO_SRC_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ddio::net {
+
+// One directed link of the torus, identified by its source grid slot and
+// direction. LinkId = slot * 4 + direction.
+enum class LinkDirection : std::uint8_t { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
+using LinkId = std::uint32_t;
+
+class TorusTopology {
+ public:
+  // Builds a torus just large enough for `nodes` processors: the smallest
+  // near-square WxH grid with W*H >= nodes (32 processors -> 6x6, matching
+  // the paper). Node ids are placed row-major.
+  static TorusTopology ForNodeCount(std::uint32_t nodes);
+
+  TorusTopology(std::uint32_t width, std::uint32_t height);
+
+  std::uint32_t width() const { return width_; }
+  std::uint32_t height() const { return height_; }
+
+  // Minimal hop count between two nodes with wrap-around links.
+  std::uint32_t Hops(std::uint32_t a, std::uint32_t b) const;
+
+  // Largest hop count between any two nodes (network diameter).
+  std::uint32_t Diameter() const { return width_ / 2 + height_ / 2; }
+
+  // The directed links of the dimension-ordered (X then Y) minimal route
+  // from `a` to `b`, taking the shorter wrap direction per dimension.
+  // Empty when a == b. Size == Hops(a, b).
+  std::vector<LinkId> Route(std::uint32_t a, std::uint32_t b) const;
+
+  // Total directed links in the torus (4 per grid slot).
+  std::uint32_t LinkCount() const { return width_ * height_ * 4; }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+};
+
+}  // namespace ddio::net
+
+#endif  // DDIO_SRC_NET_TOPOLOGY_H_

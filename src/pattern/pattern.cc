@@ -1,0 +1,425 @@
+#include "src/pattern/pattern.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ddio::pattern {
+namespace {
+
+Dist DistFromChar(char c) {
+  switch (c) {
+    case 'n':
+      return Dist::kNone;
+    case 'b':
+      return Dist::kBlock;
+    case 'c':
+      return Dist::kCyclic;
+    default:
+      std::fprintf(stderr, "ddio::pattern: bad distribution letter '%c'\n", c);
+      std::abort();
+  }
+}
+
+char DistToChar(Dist d) {
+  switch (d) {
+    case Dist::kNone:
+      return 'n';
+    case Dist::kBlock:
+      return 'b';
+    case Dist::kCyclic:
+      return 'c';
+  }
+  return '?';
+}
+
+}  // namespace
+
+PatternSpec PatternSpec::Parse(std::string_view name) {
+  PatternSpec spec;
+  if (name.size() < 2 || name.size() > 3 || (name[0] != 'r' && name[0] != 'w')) {
+    std::fprintf(stderr, "ddio::pattern: bad pattern name '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  spec.is_write = name[0] == 'w';
+  if (name.substr(1) == "a") {
+    spec.all = true;
+    return spec;
+  }
+  if (name.size() == 2) {
+    spec.two_d = false;
+    spec.col_dist = DistFromChar(name[1]);
+    return spec;
+  }
+  spec.two_d = true;
+  spec.row_dist = DistFromChar(name[1]);
+  spec.col_dist = DistFromChar(name[2]);
+  return spec;
+}
+
+std::string PatternSpec::Name() const {
+  std::string name(1, is_write ? 'w' : 'r');
+  if (all) {
+    name += 'a';
+  } else if (!two_d) {
+    name += DistToChar(col_dist);
+  } else {
+    name += DistToChar(row_dist);
+    name += DistToChar(col_dist);
+  }
+  return name;
+}
+
+std::vector<PatternSpec> PatternSpec::PaperPatterns() {
+  // Figure 3's rows: ten reads (incl. ra) and nine writes. The redundant
+  // combinations (rnn==rn, rnc==rc, rbn==rb) are omitted, as in the paper.
+  static const char* kNames[] = {"ra",  "rn",  "rb",  "rc",  "rnb", "rbb", "rcb",
+                                 "rbc", "rcc", "rcn", "wn",  "wb",  "wc",  "wnb",
+                                 "wbb", "wcb", "wbc", "wcc", "wcn"};
+  std::vector<PatternSpec> specs;
+  specs.reserve(std::size(kNames));
+  for (const char* name : kNames) {
+    specs.push_back(Parse(name));
+  }
+  return specs;
+}
+
+std::pair<std::uint32_t, std::uint32_t> ChooseCpGrid(std::uint32_t cps) {
+  std::uint32_t rows = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(cps)));
+  while (rows > 1 && cps % rows != 0) {
+    --rows;
+  }
+  return {rows, cps / rows};
+}
+
+std::pair<std::uint64_t, std::uint64_t> ChooseMatrixDims(std::uint64_t num_records,
+                                                         std::uint32_t grid_rows,
+                                                         std::uint32_t grid_cols) {
+  const std::uint64_t root =
+      static_cast<std::uint64_t>(std::sqrt(static_cast<double>(num_records)));
+  // Prefer a shape divisible by the CP grid in both dimensions.
+  for (std::uint64_t r = root; r >= 1; --r) {
+    if (num_records % r == 0 && r % grid_rows == 0 && (num_records / r) % grid_cols == 0) {
+      return {r, num_records / r};
+    }
+  }
+  for (std::uint64_t r = root; r >= 1; --r) {
+    if (num_records % r == 0) {
+      return {r, num_records / r};
+    }
+  }
+  return {1, num_records};
+}
+
+// --------------------------------------------------------------------------
+// DimView
+
+std::uint32_t AccessPattern::DimView::GroupOf(std::uint64_t i) const {
+  switch (dist) {
+    case Dist::kNone:
+      return 0;
+    case Dist::kBlock: {
+      std::uint64_t g = i / block;
+      return static_cast<std::uint32_t>(g < groups ? g : groups - 1);
+    }
+    case Dist::kCyclic:
+      return static_cast<std::uint32_t>(i % groups);
+  }
+  return 0;
+}
+
+std::uint64_t AccessPattern::DimView::LocalOf(std::uint64_t i) const {
+  switch (dist) {
+    case Dist::kNone:
+      return i;
+    case Dist::kBlock:
+      return i % block;
+    case Dist::kCyclic:
+      return i / groups;
+  }
+  return i;
+}
+
+std::uint64_t AccessPattern::DimView::GroupSize(std::uint32_t g) const {
+  switch (dist) {
+    case Dist::kNone:
+      return g == 0 ? size : 0;
+    case Dist::kBlock: {
+      const std::uint64_t start = static_cast<std::uint64_t>(g) * block;
+      if (start >= size) {
+        return 0;
+      }
+      const std::uint64_t remaining = size - start;
+      return remaining < block ? remaining : block;
+    }
+    case Dist::kCyclic: {
+      if (g >= size) {
+        return 0;
+      }
+      return (size - g + groups - 1) / groups;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t AccessPattern::DimView::RunLength(std::uint64_t i) const {
+  switch (dist) {
+    case Dist::kNone:
+      return size - i;
+    case Dist::kBlock: {
+      const std::uint64_t in_block = block - i % block;
+      const std::uint64_t remaining = size - i;
+      return in_block < remaining ? in_block : remaining;
+    }
+    case Dist::kCyclic:
+      return groups == 1 ? size - i : 1;
+  }
+  return 1;
+}
+
+// --------------------------------------------------------------------------
+// AccessPattern
+
+AccessPattern::AccessPattern(const PatternSpec& spec, std::uint64_t file_bytes,
+                             std::uint32_t record_bytes, std::uint32_t num_cps)
+    : spec_(spec), file_bytes_(file_bytes), record_bytes_(record_bytes), num_cps_(num_cps) {
+  assert(record_bytes_ > 0 && num_cps_ > 0);
+  assert(file_bytes_ % record_bytes_ == 0 && "file must hold whole records");
+  num_records_ = file_bytes_ / record_bytes_;
+
+  if (spec_.all) {
+    rows_ = 1;
+    cols_ = num_records_;
+    grid_rows_ = grid_cols_ = 1;
+  } else if (!spec_.two_d) {
+    rows_ = 1;
+    cols_ = num_records_;
+    grid_rows_ = 1;
+    grid_cols_ = spec_.col_dist == Dist::kNone ? 1 : num_cps_;
+  } else {
+    const bool row_distributed = spec_.row_dist != Dist::kNone;
+    const bool col_distributed = spec_.col_dist != Dist::kNone;
+    if (row_distributed && col_distributed) {
+      auto [gr, gc] = ChooseCpGrid(num_cps_);
+      grid_rows_ = gr;
+      grid_cols_ = gc;
+    } else if (row_distributed) {
+      grid_rows_ = num_cps_;
+      grid_cols_ = 1;
+    } else if (col_distributed) {
+      grid_rows_ = 1;
+      grid_cols_ = num_cps_;
+    } else {
+      grid_rows_ = grid_cols_ = 1;
+    }
+    auto [r, c] = ChooseMatrixDims(num_records_, grid_rows_, grid_cols_);
+    rows_ = r;
+    cols_ = c;
+  }
+
+  row_view_ = DimView{spec_.two_d ? spec_.row_dist : Dist::kNone, rows_, grid_rows_,
+                      (rows_ + grid_rows_ - 1) / grid_rows_};
+  col_view_ = DimView{spec_.all ? Dist::kNone : spec_.col_dist, cols_, grid_cols_,
+                      (cols_ + grid_cols_ - 1) / grid_cols_};
+}
+
+std::uint32_t AccessPattern::OwnerOfRecord(std::uint64_t record) const {
+  if (spec_.all) {
+    return 0;
+  }
+  const std::uint64_t i = record / cols_;
+  const std::uint64_t j = record % cols_;
+  return row_view_.GroupOf(i) * grid_cols_ + col_view_.GroupOf(j);
+}
+
+std::uint64_t AccessPattern::LocalOffsetOfRecord(std::uint64_t record) const {
+  if (spec_.all) {
+    return record * record_bytes_;
+  }
+  const std::uint64_t i = record / cols_;
+  const std::uint64_t j = record % cols_;
+  const std::uint64_t local_cols = col_view_.GroupSize(col_view_.GroupOf(j));
+  const std::uint64_t li = row_view_.LocalOf(i);
+  const std::uint64_t lj = col_view_.LocalOf(j);
+  return (li * local_cols + lj) * record_bytes_;
+}
+
+std::uint64_t AccessPattern::CpMemoryBytes(std::uint32_t cp) const {
+  if (spec_.all) {
+    return file_bytes_;
+  }
+  const std::uint32_t grid_size = grid_rows_ * grid_cols_;
+  if (cp >= grid_size) {
+    return 0;
+  }
+  const std::uint32_t gi = cp / grid_cols_;
+  const std::uint32_t gj = cp % grid_cols_;
+  return row_view_.GroupSize(gi) * col_view_.GroupSize(gj) * record_bytes_;
+}
+
+void AccessPattern::ForEachChunk(std::uint32_t cp,
+                                 const std::function<void(const Chunk&)>& fn) const {
+  if (spec_.all) {
+    fn(Chunk{0, 0, file_bytes_});
+    return;
+  }
+  // Stream raw runs through a merger that coalesces ranges contiguous in
+  // both file and CP memory (e.g. whole consecutive rows).
+  Chunk pending{0, 0, 0};
+  auto emit = [&](const Chunk& chunk) {
+    if (pending.length > 0 && pending.file_offset + pending.length == chunk.file_offset &&
+        pending.cp_offset + pending.length == chunk.cp_offset) {
+      pending.length += chunk.length;
+      return;
+    }
+    if (pending.length > 0) {
+      fn(pending);
+    }
+    pending = chunk;
+  };
+  ForEachChunkSingleCp(cp, emit);
+  if (pending.length > 0) {
+    fn(pending);
+  }
+}
+
+void AccessPattern::ForEachChunkSingleCp(std::uint32_t cp,
+                                         const std::function<void(const Chunk&)>& fn) const {
+  const std::uint32_t grid_size = grid_rows_ * grid_cols_;
+  if (cp >= grid_size) {
+    return;
+  }
+  const std::uint32_t gi = cp / grid_cols_;
+  const std::uint32_t gj = cp % grid_cols_;
+  const std::uint64_t local_cols = col_view_.GroupSize(gj);
+  if (local_cols == 0 || row_view_.GroupSize(gi) == 0) {
+    return;
+  }
+
+  auto do_row = [&](std::uint64_t i) {
+    const std::uint64_t li = row_view_.LocalOf(i);
+    // Column runs owned by group gj within this row.
+    switch (col_view_.dist) {
+      case Dist::kNone: {
+        fn(Chunk{i * cols_ * record_bytes_, (li * local_cols) * record_bytes_,
+                 cols_ * record_bytes_});
+        break;
+      }
+      case Dist::kBlock: {
+        const std::uint64_t j0 = static_cast<std::uint64_t>(gj) * col_view_.block;
+        fn(Chunk{(i * cols_ + j0) * record_bytes_, (li * local_cols) * record_bytes_,
+                 local_cols * record_bytes_});
+        break;
+      }
+      case Dist::kCyclic: {
+        if (grid_cols_ == 1) {
+          fn(Chunk{i * cols_ * record_bytes_, (li * local_cols) * record_bytes_,
+                   cols_ * record_bytes_});
+          break;
+        }
+        std::uint64_t lj = 0;
+        for (std::uint64_t j = gj; j < cols_; j += grid_cols_, ++lj) {
+          fn(Chunk{(i * cols_ + j) * record_bytes_, (li * local_cols + lj) * record_bytes_,
+                   record_bytes_});
+        }
+        break;
+      }
+    }
+  };
+
+  switch (row_view_.dist) {
+    case Dist::kNone: {
+      for (std::uint64_t i = 0; i < rows_; ++i) {
+        do_row(i);
+      }
+      break;
+    }
+    case Dist::kBlock: {
+      const std::uint64_t start = static_cast<std::uint64_t>(gi) * row_view_.block;
+      const std::uint64_t end = start + row_view_.GroupSize(gi);
+      for (std::uint64_t i = start; i < end; ++i) {
+        do_row(i);
+      }
+      break;
+    }
+    case Dist::kCyclic: {
+      for (std::uint64_t i = gi; i < rows_; i += grid_rows_) {
+        do_row(i);
+      }
+      break;
+    }
+  }
+}
+
+void AccessPattern::ForEachPieceInRange(std::uint64_t file_offset, std::uint64_t length,
+                                        const std::function<void(const Piece&)>& fn) const {
+  assert(file_offset + length <= file_bytes_);
+  if (length == 0) {
+    return;
+  }
+  if (spec_.all) {
+    for (std::uint32_t cp = 0; cp < num_cps_; ++cp) {
+      fn(Piece{cp, file_offset, file_offset, length});
+    }
+    return;
+  }
+  const std::uint64_t end = file_offset + length;
+  std::uint64_t pos = file_offset;
+  while (pos < end) {
+    const std::uint64_t record = pos / record_bytes_;
+    const std::uint64_t within = pos - record * record_bytes_;
+    const std::uint64_t j = record % cols_;
+    // Run of consecutive records with the same owner, bounded by the row end.
+    const std::uint64_t run_records = col_view_.RunLength(j);
+    const std::uint64_t run_bytes = run_records * record_bytes_ - within;
+    const std::uint64_t remaining = end - pos;
+    const std::uint64_t piece_len = run_bytes < remaining ? run_bytes : remaining;
+    fn(Piece{OwnerOfRecord(record), LocalOffsetOfRecord(record) + within, pos, piece_len});
+    pos += piece_len;
+  }
+}
+
+std::vector<AccessPattern::Chunk> AccessPattern::ChunksOf(std::uint32_t cp) const {
+  std::vector<Chunk> chunks;
+  ForEachChunk(cp, [&](const Chunk& c) { chunks.push_back(c); });
+  return chunks;
+}
+
+PatternSummary Summarize(const AccessPattern& pattern) {
+  PatternSummary summary;
+  bool measured = false;
+  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+    if (!pattern.CpParticipates(cp)) {
+      continue;
+    }
+    ++summary.participating_cps;
+    std::uint64_t count = 0;
+    std::uint64_t previous_offset = 0;
+    pattern.ForEachChunk(cp, [&](const AccessPattern::Chunk& chunk) {
+      if (!measured && count == 0) {
+        summary.chunk_bytes = chunk.length;
+      }
+      if (!measured && count > 0) {
+        const std::uint64_t stride = chunk.file_offset - previous_offset;
+        if (summary.min_stride_bytes == 0 || stride < summary.min_stride_bytes) {
+          summary.min_stride_bytes = stride;
+        }
+        if (stride > summary.max_stride_bytes) {
+          summary.max_stride_bytes = stride;
+        }
+      }
+      previous_offset = chunk.file_offset;
+      ++count;
+    });
+    if (!measured) {
+      summary.chunks_per_cp = count;
+      measured = true;
+    }
+    summary.total_chunks += count;
+  }
+  return summary;
+}
+
+}  // namespace ddio::pattern

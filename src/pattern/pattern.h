@@ -1,0 +1,167 @@
+// HPF array-distribution access patterns (paper Section 5, Figure 2).
+//
+// A pattern maps the records of a 1-d vector or 2-d matrix (stored row-major
+// in the file) onto CP memories using High-Performance Fortran distributions:
+// each dimension is NONE (one group), BLOCK (contiguous groups), or CYCLIC
+// (round-robin). The special ALL pattern (`ra`) replicates the whole file
+// into every CP.
+//
+// Pattern names follow the paper: 'r'/'w' prefix for read/write, then one
+// letter per dimension — e.g. `rb` (1-d BLOCK read), `wcc` (2-d CYCLIC x
+// CYCLIC write), `rcn` (CYCLIC rows, NONE columns).
+//
+// Two query directions serve the two file systems:
+//  * ForEachChunk(cp, fn): the CP-side view — every maximal file-contiguous
+//    chunk owned by a CP, with its local-memory offset. Traditional caching
+//    issues one request per chunk per file block.
+//  * ForEachPieceInRange(off, len, fn): the IOP-side view — for a disk block,
+//    every (cp, cp_offset, file_offset, length) piece inside it. This is what
+//    a disk-directed IOP computes to scatter/gather a block.
+
+#ifndef DDIO_SRC_PATTERN_PATTERN_H_
+#define DDIO_SRC_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ddio::pattern {
+
+enum class Dist : std::uint8_t {
+  kNone,    // Entire dimension in one group.
+  kBlock,   // Contiguous groups of ceil(size/groups).
+  kCyclic,  // Round-robin.
+};
+
+struct PatternSpec {
+  bool is_write = false;
+  bool all = false;      // `ra`: every CP receives the entire file.
+  bool two_d = false;
+  Dist row_dist = Dist::kNone;  // For 1-d patterns, col_dist holds the dist.
+  Dist col_dist = Dist::kNone;
+
+  // Parses "ra", "rn", "wb", "rcb", "wcc", ... Aborts on malformed names.
+  static PatternSpec Parse(std::string_view name);
+
+  std::string Name() const;
+
+  // The ten distinct read patterns of Figure 3/4 plus the nine writes.
+  static std::vector<PatternSpec> PaperPatterns();
+};
+
+// A fully-instantiated pattern: spec + matrix shape + CP grid.
+class AccessPattern {
+ public:
+  struct Chunk {
+    std::uint64_t file_offset = 0;
+    std::uint64_t cp_offset = 0;
+    std::uint64_t length = 0;
+  };
+  struct Piece {
+    std::uint32_t cp = 0;
+    std::uint64_t cp_offset = 0;
+    std::uint64_t file_offset = 0;
+    std::uint64_t length = 0;
+  };
+
+  // `record_bytes` is the array-element size (8 or 8192 in the paper).
+  AccessPattern(const PatternSpec& spec, std::uint64_t file_bytes, std::uint32_t record_bytes,
+                std::uint32_t num_cps);
+
+  const PatternSpec& spec() const { return spec_; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  std::uint32_t record_bytes() const { return record_bytes_; }
+  std::uint32_t num_cps() const { return num_cps_; }
+  std::uint64_t num_records() const { return num_records_; }
+
+  // Matrix shape (rows=1 for 1-d patterns) and CP grid.
+  std::uint64_t rows() const { return rows_; }
+  std::uint64_t cols() const { return cols_; }
+  std::uint32_t grid_rows() const { return grid_rows_; }
+  std::uint32_t grid_cols() const { return grid_cols_; }
+
+  // Owner CP of a record (by row-major record index). Meaningless for `ra`
+  // (every CP owns every record); returns 0 then.
+  std::uint32_t OwnerOfRecord(std::uint64_t record) const;
+
+  // Offset of a record within its owner's memory buffer.
+  std::uint64_t LocalOffsetOfRecord(std::uint64_t record) const;
+
+  // Bytes of CP memory the pattern fills/supplies on `cp`.
+  std::uint64_t CpMemoryBytes(std::uint32_t cp) const;
+
+  // True if `cp` touches any data under this pattern (e.g. 1-d NONE involves
+  // only CP 0).
+  bool CpParticipates(std::uint32_t cp) const { return CpMemoryBytes(cp) > 0; }
+
+  // Enumerates, in ascending file order, every maximal contiguous file range
+  // owned by `cp`.
+  void ForEachChunk(std::uint32_t cp, const std::function<void(const Chunk&)>& fn) const;
+
+  // Enumerates the pieces of the file range [file_offset, file_offset+length)
+  // in ascending file order. Ranges need not be record-aligned.
+  void ForEachPieceInRange(std::uint64_t file_offset, std::uint64_t length,
+                           const std::function<void(const Piece&)>& fn) const;
+
+  // Convenience for tests: materialized chunk list.
+  std::vector<Chunk> ChunksOf(std::uint32_t cp) const;
+
+ private:
+  struct DimView {
+    Dist dist = Dist::kNone;
+    std::uint64_t size = 1;      // Records in this dimension.
+    std::uint32_t groups = 1;    // CP-grid extent in this dimension.
+    std::uint64_t block = 1;     // ceil(size/groups), for BLOCK.
+
+    std::uint32_t GroupOf(std::uint64_t i) const;
+    std::uint64_t LocalOf(std::uint64_t i) const;
+    // Number of indices owned by group g.
+    std::uint64_t GroupSize(std::uint32_t g) const;
+    // Length of the run of consecutive indices starting at i with i's group.
+    std::uint64_t RunLength(std::uint64_t i) const;
+  };
+
+  void ForEachChunkSingleCp(std::uint32_t cp, const std::function<void(const Chunk&)>& fn) const;
+
+  PatternSpec spec_;
+  std::uint64_t file_bytes_;
+  std::uint32_t record_bytes_;
+  std::uint32_t num_cps_;
+  std::uint64_t num_records_;
+  std::uint64_t rows_ = 1;
+  std::uint64_t cols_ = 1;
+  std::uint32_t grid_rows_ = 1;
+  std::uint32_t grid_cols_ = 1;
+  DimView row_view_;
+  DimView col_view_;
+};
+
+// Picks matrix dimensions for a record count: the largest R <= sqrt(N) that
+// divides N, preferring R divisible by grid_rows with N/R divisible by
+// grid_cols. Deterministic.
+std::pair<std::uint64_t, std::uint64_t> ChooseMatrixDims(std::uint64_t num_records,
+                                                         std::uint32_t grid_rows,
+                                                         std::uint32_t grid_cols);
+
+// Near-square factorization of `cps` used for 2-d grids (16 -> 4x4).
+std::pair<std::uint32_t, std::uint32_t> ChooseCpGrid(std::uint32_t cps);
+
+// Summary of a pattern's request structure — the "cs" (chunk size) and "s"
+// (stride) values Figure 2 of the paper annotates, plus totals. Computed for
+// one representative CP (the first participating one).
+struct PatternSummary {
+  std::uint64_t chunks_per_cp = 0;      // Contiguous file runs.
+  std::uint64_t chunk_bytes = 0;        // cs, in bytes (first chunk).
+  std::uint64_t min_stride_bytes = 0;   // s: distance between chunk starts.
+  std::uint64_t max_stride_bytes = 0;   // 0 when there is a single chunk.
+  std::uint64_t total_chunks = 0;       // Across all CPs.
+  std::uint32_t participating_cps = 0;
+};
+
+PatternSummary Summarize(const AccessPattern& pattern);
+
+}  // namespace ddio::pattern
+
+#endif  // DDIO_SRC_PATTERN_PATTERN_H_

@@ -1,0 +1,91 @@
+// Channel<T>: unbounded FIFO queue with suspending receive.
+//
+// Channels carry messages into the per-node service loops (IOP request
+// dispatch, disk-request queues). Send never blocks; Receive suspends until
+// an item or channel close. When a sender finds a parked receiver it hands
+// the item directly to that receiver's awaiter, so items cannot be stolen by
+// a later receiver that arrives between the send and the wakeup.
+
+#ifndef DDIO_SRC_SIM_CHANNEL_H_
+#define DDIO_SRC_SIM_CHANNEL_H_
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "src/sim/engine.h"
+
+namespace ddio::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Enqueues `value`; wakes the oldest parked receiver, if any.
+  void Send(T value) {
+    if (!waiters_.empty()) {
+      Waiter waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter.slot->emplace(std::move(value));
+      engine_.Schedule(0, waiter.handle);
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  // Closes the channel: parked and future receivers get std::nullopt once the
+  // queue drains. Items already queued are still delivered.
+  void Close() {
+    closed_ = true;
+    for (const Waiter& waiter : waiters_) {
+      engine_.Schedule(0, waiter.handle);  // Slot stays empty -> nullopt.
+    }
+    waiters_.clear();
+  }
+
+  // Awaitable receive; resumes with the next item, or std::nullopt if the
+  // channel is closed and empty.
+  auto Receive() {
+    struct Awaiter {
+      Channel* channel;
+      std::optional<T> slot;
+
+      bool await_ready() {
+        if (!channel->items_.empty()) {
+          slot.emplace(std::move(channel->items_.front()));
+          channel->items_.pop_front();
+          return true;
+        }
+        return channel->closed_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        channel->waiters_.push_back(Waiter{h, &slot});
+      }
+      std::optional<T> await_resume() { return std::move(slot); }
+    };
+    return Awaiter{this, std::nullopt};
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  bool closed() const { return closed_; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  Engine& engine_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace ddio::sim
+
+#endif  // DDIO_SRC_SIM_CHANNEL_H_

@@ -1,0 +1,93 @@
+#include "src/sim/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace ddio::sim {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+Engine::~Engine() {
+  // Destroy any detached roots still suspended (e.g. server loops parked on a
+  // channel when the simulation ended). Destroying a root cascades into its
+  // children via the Task members held in each coroutine frame.
+  for (void* address : live_roots_) {
+    std::coroutine_handle<>::from_address(address).destroy();
+  }
+}
+
+void Engine::ScheduleAt(SimTime when, std::coroutine_handle<> h) {
+  if (when < now_) {
+    when = now_;  // Never schedule into the past.
+  }
+  queue_.push(Event{when, next_seq_++, h});
+}
+
+void Engine::Spawn(Task<> task) {
+  auto handle = task.Release();
+  if (!handle) {
+    return;
+  }
+  auto& promise = handle.promise();
+  promise.detached_done = &Engine::RootFinishedThunk;
+  promise.detached_ctx = this;
+  live_roots_.insert(handle.address());
+  Schedule(0, handle);
+}
+
+void Engine::RootFinishedThunk(void* ctx, std::coroutine_handle<> root) {
+  static_cast<Engine*>(ctx)->RootFinished(root);
+}
+
+void Engine::RootFinished(std::coroutine_handle<> root) {
+  // A detached task has no awaiter to rethrow into: an escaped exception is a
+  // bug in the simulation program, so fail loudly rather than drop it.
+  auto typed = Task<>::Handle::from_address(root.address());
+  if (typed.promise().exception) {
+    try {
+      std::rethrow_exception(typed.promise().exception);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ddio::sim: uncaught exception in detached task: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "ddio::sim: uncaught non-std exception in detached task\n");
+    }
+    std::abort();
+  }
+  live_roots_.erase(root.address());
+  root.destroy();
+}
+
+void Engine::Step() {
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  ++events_processed_;
+  event.handle.resume();
+}
+
+std::uint64_t Engine::Run(std::uint64_t max_events) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    if (max_events != 0 && processed >= max_events) {
+      break;
+    }
+    Step();
+    ++processed;
+  }
+  return processed;
+}
+
+std::uint64_t Engine::RunUntil(SimTime deadline) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+    ++processed;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return processed;
+}
+
+}  // namespace ddio::sim

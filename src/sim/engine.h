@@ -1,0 +1,99 @@
+// Engine: single-threaded discrete-event scheduler for coroutine tasks.
+//
+// The engine plays the role Proteus [BDCW91] played in the paper: it provides
+// virtual time, lightweight threads (coroutines), and deterministic execution.
+// Events with equal timestamps fire in FIFO order of scheduling (a strictly
+// increasing sequence number breaks ties), so a run is a pure function of the
+// program and the RNG seed.
+
+#ifndef DDIO_SRC_SIM_ENGINE_H_
+#define DDIO_SRC_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace ddio::sim {
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `h` to resume `delay` ns from now.
+  void Schedule(SimTime delay, std::coroutine_handle<> h) { ScheduleAt(now_ + delay, h); }
+  void ScheduleAt(SimTime when, std::coroutine_handle<> h);
+
+  // Starts `task` as a detached root. The engine owns the frame: it is
+  // destroyed when the task finishes, or in ~Engine if still suspended.
+  // A detached task that exits with an uncaught exception aborts the run.
+  void Spawn(Task<> task);
+
+  // Runs until no events remain. Returns the number of events processed by
+  // this call. `max_events` (0 = unlimited) guards against runaway loops.
+  std::uint64_t Run(std::uint64_t max_events = 0);
+
+  // Runs until simulated time would exceed `deadline` or no events remain.
+  // Events at exactly `deadline` still fire. Returns events processed.
+  std::uint64_t RunUntil(SimTime deadline);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t live_root_count() const { return live_roots_.size(); }
+  bool queue_empty() const { return queue_.empty(); }
+
+  // Awaitable: suspend the current coroutine for `delay` ns.
+  auto Delay(SimTime delay) {
+    struct Awaiter {
+      Engine* engine;
+      SimTime delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { engine->Schedule(delay, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  // Awaitable: reschedule at the current time, behind already-queued events.
+  auto Yield() { return Delay(0); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  static void RootFinishedThunk(void* ctx, std::coroutine_handle<> root);
+  void RootFinished(std::coroutine_handle<> root);
+  void Step();
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  std::unordered_set<void*> live_roots_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ddio::sim
+
+#endif  // DDIO_SRC_SIM_ENGINE_H_

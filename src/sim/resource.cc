@@ -1,0 +1,24 @@
+#include "src/sim/resource.h"
+
+namespace ddio::sim {
+
+Task<> Resource::Use(SimTime service) {
+  co_await mutex_.Lock();
+  ++use_count_;
+  busy_time_ += service;
+  co_await engine_.Delay(service);
+  mutex_.Unlock();
+}
+
+Task<> Resource::Transfer(std::uint64_t bytes, std::uint64_t bytes_per_sec) {
+  co_await Use(TransferTimeNs(bytes, bytes_per_sec));
+}
+
+double Resource::Utilization() const {
+  if (engine_.now() == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_time_) / static_cast<double>(engine_.now());
+}
+
+}  // namespace ddio::sim

@@ -1,0 +1,51 @@
+// Resource: a FIFO-served exclusive device with utilization accounting.
+//
+// Models every contended piece of hardware in the simulated machine whose
+// service discipline is first-come-first-served occupancy for a computable
+// time: a node's CPU executing file-system code, a NIC serializing message
+// payloads at link bandwidth, and the SCSI bus moving blocks at 10 MB/s.
+
+#ifndef DDIO_SRC_SIM_RESOURCE_H_
+#define DDIO_SRC_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace ddio::sim {
+
+class Resource {
+ public:
+  Resource(Engine& engine, std::string name)
+      : engine_(engine), name_(std::move(name)), mutex_(engine) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  // Occupies the resource exclusively for `service` ns.
+  Task<> Use(SimTime service);
+
+  // Occupies the resource for the time to move `bytes` at `bytes_per_sec`.
+  Task<> Transfer(std::uint64_t bytes, std::uint64_t bytes_per_sec);
+
+  const std::string& name() const { return name_; }
+  SimTime busy_time() const { return busy_time_; }
+  std::uint64_t use_count() const { return use_count_; }
+
+  // Utilization over [0, now]; 0 if no time has elapsed.
+  double Utilization() const;
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  Mutex mutex_;
+  SimTime busy_time_ = 0;
+  std::uint64_t use_count_ = 0;
+};
+
+}  // namespace ddio::sim
+
+#endif  // DDIO_SRC_SIM_RESOURCE_H_

@@ -1,0 +1,49 @@
+// Deterministic random-number generation for simulations.
+//
+// Every source of randomness in a trial (random-blocks disk layout, any
+// randomized arrival jitter) draws from one Rng seeded per trial, so trials
+// are reproducible and independent trials differ only by seed — mirroring the
+// paper's "five independent trials, to account for randomness in the disk
+// layouts and in the network".
+
+#ifndef DDIO_SRC_SIM_RNG_H_
+#define DDIO_SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ddio::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  void Seed(std::uint64_t seed) { gen_.seed(seed); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t Uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(gen_); }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(0, i - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace ddio::sim
+
+#endif  // DDIO_SRC_SIM_RNG_H_

@@ -1,0 +1,236 @@
+// Synchronization primitives for simulated threads.
+//
+// These mirror the primitives the paper's implementation used on top of
+// Proteus: counting semaphores (locks), barriers among the CPs, one-shot
+// events (request completion), and countdown latches (waiting for all IOPs to
+// report completion of a collective request).
+//
+// All primitives are FIFO-fair and single-threaded: "wakeups" are events
+// scheduled on the engine at the current simulated time. None of these
+// classes ever destroys a parked coroutine handle — frame ownership stays
+// with the Engine (see task.h).
+
+#ifndef DDIO_SRC_SIM_SYNC_H_
+#define DDIO_SRC_SIM_SYNC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace ddio::sim {
+
+// Counting semaphore with FIFO handoff: Release wakes the oldest waiter
+// directly (the count is not incremented, so a later arrival cannot barge).
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::int64_t initial) : engine_(engine), count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  auto Acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() {
+        if (sem->count_ > 0) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void Release(std::int64_t n = 1) {
+    while (n > 0 && !waiters_.empty()) {
+      engine_.Schedule(0, waiters_.front());
+      waiters_.pop_front();
+      --n;
+    }
+    count_ += n;
+  }
+
+  std::int64_t available() const { return count_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Mutual exclusion; FIFO-fair. `co_await mutex.Lock(); ... mutex.Unlock();`
+class Mutex {
+ public:
+  explicit Mutex(Engine& engine) : sem_(engine, 1) {}
+
+  auto Lock() { return sem_.Acquire(); }
+  void Unlock() { sem_.Release(); }
+  bool locked() const { return sem_.available() == 0; }
+
+ private:
+  Semaphore sem_;
+};
+
+// Cyclic barrier for `parties` participants, reusable across generations.
+// The paper's CPs synchronize with such barriers around every collective
+// operation; their cost is "negligible compared to the time needed for a
+// large file transfer" but is still simulated faithfully here.
+class Barrier {
+ public:
+  Barrier(Engine& engine, std::uint32_t parties) : engine_(engine), parties_(parties) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  auto ArriveAndWait() {
+    struct Awaiter {
+      Barrier* barrier;
+      bool await_ready() {
+        if (barrier->arrived_ + 1 == barrier->parties_) {
+          // Last arrival: release everyone and pass through.
+          for (auto waiter : barrier->waiters_) {
+            barrier->engine_.Schedule(0, waiter);
+          }
+          barrier->waiters_.clear();
+          barrier->arrived_ = 0;
+          return true;
+        }
+        ++barrier->arrived_;
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { barrier->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  std::uint32_t parties() const { return parties_; }
+
+ private:
+  Engine& engine_;
+  std::uint32_t parties_;
+  std::uint32_t arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Condition: auto-reset broadcast. Wait() always suspends until the next
+// NotifyAll(). Used with an external predicate loop, like a condition
+// variable: `while (!pred) co_await cond.Wait();`
+class Condition {
+ public:
+  explicit Condition(Engine& engine) : engine_(engine) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  void NotifyAll() {
+    for (auto waiter : waiters_) {
+      engine_.Schedule(0, waiter);
+    }
+    waiters_.clear();
+  }
+
+  auto Wait() {
+    struct Awaiter {
+      Condition* cond;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { cond->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// One-shot event: Set() releases all current and future waiters.
+class OneShotEvent {
+ public:
+  explicit OneShotEvent(Engine& engine) : engine_(engine) {}
+  OneShotEvent(const OneShotEvent&) = delete;
+  OneShotEvent& operator=(const OneShotEvent&) = delete;
+
+  void Set() {
+    if (set_) {
+      return;
+    }
+    set_ = true;
+    for (auto waiter : waiters_) {
+      engine_.Schedule(0, waiter);
+    }
+    waiters_.clear();
+  }
+
+  bool is_set() const { return set_; }
+
+  auto Wait() {
+    struct Awaiter {
+      OneShotEvent* event;
+      bool await_ready() const { return event->set_; }
+      void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine& engine_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+// Countdown latch: Wait() resumes once the count reaches zero.
+class CountdownLatch {
+ public:
+  CountdownLatch(Engine& engine, std::uint64_t count) : event_(engine), count_(count) {
+    if (count_ == 0) {
+      event_.Set();
+    }
+  }
+
+  void CountDown(std::uint64_t n = 1) {
+    count_ = (n >= count_) ? 0 : count_ - n;
+    if (count_ == 0) {
+      event_.Set();
+    }
+  }
+
+  auto Wait() { return event_.Wait(); }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  OneShotEvent event_;
+  std::uint64_t count_;
+};
+
+namespace internal {
+
+inline Task<> NotifyWhenDone(Task<> task, CountdownLatch& latch) {
+  co_await std::move(task);
+  latch.CountDown();
+}
+
+}  // namespace internal
+
+// Runs all `tasks` concurrently (as detached roots) and completes when every
+// one has finished. The fork/join idiom used throughout the file systems,
+// e.g. "send concurrent Memget or Memput messages to many CPs".
+inline Task<> WhenAll(Engine& engine, std::vector<Task<>> tasks) {
+  CountdownLatch latch(engine, tasks.size());
+  for (auto& task : tasks) {
+    engine.Spawn(internal::NotifyWhenDone(std::move(task), latch));
+  }
+  co_await latch.Wait();
+}
+
+}  // namespace ddio::sim
+
+#endif  // DDIO_SRC_SIM_SYNC_H_

@@ -1,0 +1,194 @@
+// Task<T>: the coroutine type used for every simulated thread of control.
+//
+// A Task is lazy: creating one does not run any code. It starts either when a
+// parent coroutine does `co_await std::move(task)` (the parent suspends until
+// the child finishes, with symmetric transfer both ways), or when it is handed
+// to Engine::Spawn, which runs it as a detached root whose frame the engine
+// owns and destroys.
+//
+// Ownership rules (these keep coroutine-frame lifetime sound):
+//   * A Task object owns its coroutine frame; destroying an unstarted or
+//     finished Task destroys the frame.
+//   * `co_await task` transfers nothing: the awaiting frame keeps the Task
+//     alive in its own frame until the child completes.
+//   * Detached roots are owned by the Engine (see engine.h); only the Engine
+//     ever destroys a suspended coroutine, which cascades to its children via
+//     the Task members held in each frame.
+
+#ifndef DDIO_SRC_SIM_TASK_H_
+#define DDIO_SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace ddio::sim {
+
+class Engine;
+
+namespace internal {
+
+// Shared bookkeeping for all Task promises.
+struct PromiseBase {
+  // Coroutine to resume when this task completes (the awaiting parent).
+  std::coroutine_handle<> continuation;
+  // Set on detached roots: called at final-suspend so the owner (the Engine)
+  // can reclaim the frame. Kept as a raw callback so this header does not
+  // depend on engine.h.
+  void (*detached_done)(void* ctx, std::coroutine_handle<> root) = nullptr;
+  void* detached_ctx = nullptr;
+  std::exception_ptr exception;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& promise = h.promise();
+      if (promise.continuation) {
+        return promise.continuation;  // Symmetric transfer back to the parent.
+      }
+      if (promise.detached_done != nullptr) {
+        // Detached root: hand the frame back to its owner, which destroys it.
+        // After this call `h` is dangling; we must not touch it again.
+        promise.detached_done(promise.detached_ctx, h);
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+};
+
+}  // namespace internal
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal::PromiseBase {
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  // Relinquish frame ownership (used by Engine::Spawn for detached roots).
+  Handle Release() { return std::exchange(handle_, nullptr); }
+
+  // Awaiting a Task starts it and suspends the awaiter until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;  // Symmetric transfer into the child.
+      }
+      void await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_ = nullptr;
+};
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal::PromiseBase {
+    T value;
+
+    Task get_return_object() noexcept {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) noexcept { value = std::move(v); }
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+        return std::move(handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_ = nullptr;
+};
+
+}  // namespace ddio::sim
+
+#endif  // DDIO_SRC_SIM_TASK_H_

@@ -1,0 +1,55 @@
+// Simulated-time representation for the ddio discrete-event engine.
+//
+// All simulated time is kept in integer nanoseconds. The paper's machine is a
+// 50 MHz RISC multiprocessor (Table 1), so one CPU cycle is exactly 20 ns;
+// helpers below convert between cycles, microseconds, milliseconds, and the
+// native nanosecond representation without accumulating floating-point error
+// in the hot paths.
+
+#ifndef DDIO_SRC_SIM_TIME_H_
+#define DDIO_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace ddio::sim {
+
+// Nanoseconds of simulated time. 2^64 ns ~ 584 years, far beyond any run.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kNsPerUs = 1000;
+inline constexpr SimTime kNsPerMs = 1000 * 1000;
+inline constexpr SimTime kNsPerSec = 1000ull * 1000 * 1000;
+
+constexpr SimTime FromUs(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kNsPerUs));
+}
+constexpr SimTime FromMs(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kNsPerMs));
+}
+constexpr SimTime FromSec(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kNsPerSec));
+}
+
+constexpr double ToUs(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+constexpr double ToMs(SimTime t) { return static_cast<double>(t) / static_cast<double>(kNsPerMs); }
+constexpr double ToSec(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+
+// Time to execute `cycles` CPU cycles at `mhz` megahertz.
+constexpr SimTime CyclesToNs(std::uint64_t cycles, std::uint32_t mhz) {
+  // cycles / (mhz * 1e6 Hz) seconds = cycles * 1000 / mhz nanoseconds.
+  return cycles * 1000ull / mhz;
+}
+
+// Time to move `bytes` at `bytes_per_sec` (used for busses, NICs, and media).
+constexpr SimTime TransferTimeNs(std::uint64_t bytes, std::uint64_t bytes_per_sec) {
+  // Round up so a transfer never takes zero time.
+  return (bytes * kNsPerSec + bytes_per_sec - 1) / bytes_per_sec;
+}
+
+}  // namespace ddio::sim
+
+#endif  // DDIO_SRC_SIM_TIME_H_

@@ -1,0 +1,234 @@
+#include "src/tc/block_cache.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ddio::tc {
+namespace {
+
+std::uint32_t SectorsFor(std::uint32_t bytes) { return (bytes + 511) / 512; }
+
+}  // namespace
+
+BlockCache::BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t capacity_blocks)
+    : machine_(machine), iop_(iop), capacity_(capacity_blocks), changed_(machine.engine()) {
+  assert(capacity_ >= 2);
+}
+
+void BlockCache::Touch(std::uint64_t file_block, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(file_block);
+  entry.lru_pos = lru_.begin();
+}
+
+sim::Task<> BlockCache::DiskRead(const fs::StripedFile& file, std::uint64_t file_block) {
+  ++outstanding_io_;
+  co_await machine_.ChargeIop(iop_, machine_.config().costs.disk_cmd_cycles);
+  disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlock(file_block));
+  co_await disk.Read(file.LbnOfBlock(file_block), SectorsFor(file.BlockLength(file_block)));
+  --outstanding_io_;
+}
+
+sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t file_block,
+                                   Entry& entry) {
+  if (entry.state != State::kDirty) {
+    co_return;  // Lost a race with another flusher.
+  }
+  entry.state = State::kFlushing;
+  ++outstanding_io_;
+  const bool partial = entry.fill_bytes < file.BlockLength(file_block);
+  co_await machine_.ChargeIop(iop_, machine_.config().costs.disk_cmd_cycles);
+  disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlock(file_block));
+  const std::uint64_t lbn = file.LbnOfBlock(file_block);
+  const std::uint32_t sectors = SectorsFor(file.BlockLength(file_block));
+  if (partial) {
+    // Read-modify-write: fetch the block, merge, write back.
+    ++stats_.rmw_flushes;
+    co_await disk.Read(lbn, sectors);
+    co_await machine_.ChargeIop(iop_, machine_.config().costs.block_copy_cycles);
+  }
+  co_await disk.Write(lbn, sectors);
+  ++stats_.flushes;
+  entry.state = State::kValid;
+  entry.fill_bytes = 0;
+  --outstanding_io_;
+  changed_.NotifyAll();
+}
+
+sim::Task<> BlockCache::EvictOne(const fs::StripedFile& file) {
+  for (;;) {
+    // Scan from the LRU end for an evictable entry.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const std::uint64_t victim = *it;
+      Entry& entry = blocks_.at(victim);
+      if (entry.pins > 0 || entry.state == State::kReading || entry.state == State::kFlushing) {
+        continue;
+      }
+      if (entry.state == State::kDirty) {
+        co_await FlushEntry(file, victim, entry);
+        // State changed while we awaited; re-verify before erasing.
+        if (entry.pins > 0 || entry.state != State::kValid) {
+          break;  // Rescan.
+        }
+      }
+      if (!entry.referenced) {
+        ++stats_.prefetch_wasted;
+      }
+      ++stats_.evictions;
+      lru_.erase(entry.lru_pos);
+      blocks_.erase(victim);
+      changed_.NotifyAll();
+      co_return;
+    }
+    // Nothing evictable right now; wait for any state change.
+    co_await changed_.Wait();
+  }
+}
+
+sim::Task<BlockCache::Entry*> BlockCache::GetOrCreate(const fs::StripedFile& file,
+                                                      std::uint64_t file_block, bool* created) {
+  for (;;) {
+    auto it = blocks_.find(file_block);
+    if (it != blocks_.end()) {
+      *created = false;
+      co_return &it->second;
+    }
+    if (blocks_.size() >= capacity_) {
+      co_await EvictOne(file);
+      continue;  // Someone may have inserted our block meanwhile.
+    }
+    lru_.push_front(file_block);
+    Entry& entry = blocks_[file_block];
+    entry.lru_pos = lru_.begin();
+    *created = true;
+    co_return &entry;
+  }
+}
+
+sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t file_block) {
+  co_await machine_.ChargeIop(iop_, machine_.config().costs.cache_access_cycles);
+  for (;;) {
+    auto it = blocks_.find(file_block);
+    if (it != blocks_.end()) {
+      Entry& entry = it->second;
+      entry.referenced = true;
+      if (entry.state == State::kReading) {
+        // Coalesce with the in-flight read.
+        co_await changed_.Wait();
+        continue;
+      }
+      ++stats_.hits;
+      Touch(file_block, entry);
+      co_return;
+    }
+    // Miss: take a buffer and read from disk.
+    bool created = false;
+    Entry* entry = co_await GetOrCreate(file, file_block, &created);
+    if (!created) {
+      continue;  // Raced with another requester; re-examine its state.
+    }
+    ++stats_.misses;
+    entry->state = State::kReading;
+    entry->referenced = true;
+    entry->pins = 1;
+    co_await DiskRead(file, file_block);
+    // Re-find: the entry pointer is stable (node-based map) but be defensive
+    // about the state machine.
+    entry->state = State::kValid;
+    entry->pins = 0;
+    changed_.NotifyAll();
+    co_return;
+  }
+}
+
+sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t file_block,
+                                   std::uint32_t length) {
+  co_await machine_.ChargeIop(iop_, machine_.config().costs.cache_access_cycles);
+  for (;;) {
+    auto it = blocks_.find(file_block);
+    if (it != blocks_.end()) {
+      Entry& entry = it->second;
+      if (entry.state == State::kReading || entry.state == State::kFlushing) {
+        co_await changed_.Wait();
+        continue;
+      }
+      entry.referenced = true;
+      Touch(file_block, entry);
+      entry.state = State::kDirty;
+      entry.fill_bytes += length;
+      if (entry.fill_bytes >= file.BlockLength(file_block)) {
+        // Write-behind: flush now that the buffer is full; the requester's
+        // ack does not wait for the disk.
+        machine_.engine().Spawn(FlushEntry(file, file_block, entry));
+      }
+      co_return;
+    }
+    bool created = false;
+    Entry* entry = co_await GetOrCreate(file, file_block, &created);
+    if (!created) {
+      continue;
+    }
+    entry->state = State::kDirty;
+    entry->referenced = true;
+    entry->fill_bytes = length;
+    if (entry->fill_bytes >= file.BlockLength(file_block)) {
+      machine_.engine().Spawn(FlushEntry(file, file_block, *entry));
+    }
+    co_return;
+  }
+}
+
+void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_block) {
+  if (blocks_.count(file_block) != 0) {
+    return;
+  }
+  ++stats_.prefetch_issued;
+  machine_.engine().Spawn([](BlockCache& cache, const fs::StripedFile& f,
+                             std::uint64_t block) -> sim::Task<> {
+    co_await cache.machine_.ChargeIop(cache.iop_,
+                                      cache.machine_.config().costs.cache_access_cycles);
+    bool created = false;
+    Entry* entry = co_await cache.GetOrCreate(f, block, &created);
+    if (!created) {
+      co_return;  // Demand fetch beat us to it.
+    }
+    entry->state = State::kReading;
+    entry->pins = 1;
+    co_await cache.DiskRead(f, block);
+    entry->state = State::kValid;
+    entry->pins = 0;
+    cache.changed_.NotifyAll();
+  }(*this, file, file_block));
+}
+
+sim::Task<> BlockCache::Quiesce(const fs::StripedFile& file) {
+  for (;;) {
+    // Flush every dirty block (sequentially: the disk queue serializes
+    // anyway and dirty sets are small at quiesce time).
+    bool flushed_any = false;
+    for (;;) {
+      std::uint64_t dirty_block = 0;
+      bool found = false;
+      for (auto& [block, entry] : blocks_) {
+        if (entry.state == State::kDirty) {
+          dirty_block = block;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        break;
+      }
+      co_await FlushEntry(file, dirty_block, blocks_.at(dirty_block));
+      flushed_any = true;
+    }
+    if (outstanding_io_ == 0 && !flushed_any) {
+      co_return;
+    }
+    if (outstanding_io_ > 0) {
+      co_await changed_.Wait();
+    }
+  }
+}
+
+}  // namespace ddio::tc

@@ -1,0 +1,285 @@
+#include "src/tc/tc_fs.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ddio::tc {
+
+TcFileSystem::TcFileSystem(core::Machine& machine, TcParams params)
+    : machine_(machine), params_(params) {
+  pending_.resize(machine_.num_cps());
+}
+
+void TcFileSystem::Start() {
+  assert(!started_);
+  started_ = true;
+  machine_.ClaimInboxes("tc");
+  machine_.StartDisks();
+  const std::uint32_t cps = machine_.num_cps();
+  caches_.reserve(machine_.num_iops());
+  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+    const std::uint32_t local_disks = machine_.config().DisksOnIop(iop);
+    // Footnote 3: two buffers per disk per CP. At least two so a cache
+    // exists even for IOPs with no disks in skewed configurations.
+    const std::uint32_t capacity =
+        std::max<std::uint32_t>(2, params_.buffers_per_cp_per_disk * cps *
+                                       std::max<std::uint32_t>(1, local_disks));
+    caches_.push_back(std::make_unique<BlockCache>(machine_, iop, capacity));
+    machine_.engine().Spawn(IopServer(iop));
+  }
+  for (std::uint32_t cp = 0; cp < cps; ++cp) {
+    machine_.engine().Spawn(CpDispatcher(cp));
+  }
+}
+
+void TcFileSystem::Shutdown() {
+  if (!started_) {
+    return;
+  }
+  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+    machine_.network().Inbox(machine_.NodeOfIop(iop)).Close();
+  }
+  for (std::uint32_t cp = 0; cp < machine_.num_cps(); ++cp) {
+    machine_.network().Inbox(machine_.NodeOfCp(cp)).Close();
+  }
+  machine_.StopDisks();
+  machine_.ReleaseInboxes("tc");
+  started_ = false;
+}
+
+sim::Task<> TcFileSystem::IopServer(std::uint32_t iop) {
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfIop(iop));
+  const core::CostModel& costs = machine_.config().costs;
+  for (;;) {
+    auto message = co_await inbox.Receive();
+    if (!message.has_value()) {
+      co_return;
+    }
+    const auto* request = std::get_if<net::TcRequest>(&message->payload);
+    if (request == nullptr) {
+      continue;  // Not part of this protocol.
+    }
+    // Dispatch + spawn the per-request service thread (Figure 1a).
+    co_await machine_.ChargeIop(iop, costs.msg_dispatch_cycles + costs.thread_create_cycles);
+    machine_.engine().Spawn(HandleRequest(iop, *request));
+  }
+}
+
+sim::Task<> TcFileSystem::HandleRequest(std::uint32_t iop, net::TcRequest request) {
+  const fs::StripedFile& file = *current_file_;
+  const core::CostModel& costs = machine_.config().costs;
+  const std::uint64_t block = request.file_offset / file.block_bytes();
+  BlockCache& cache = *caches_[iop];
+
+  // Strided requests pay per-run gather/scatter work beyond the first run.
+  if (request.pieces > 1) {
+    co_await machine_.ChargeIop(iop, (request.pieces - 1) * costs.piece_setup_cycles);
+  }
+
+  if (request.is_write) {
+    // One memory-memory copy: thread buffer -> cache buffer (Section 4).
+    co_await machine_.ChargeIop(iop, costs.block_copy_cycles);
+    co_await cache.WriteBlock(file, block, request.length);
+    if (machine_.validation() != nullptr) {
+      if (request.extents != nullptr) {
+        for (const net::MemExtent& extent : *request.extents) {
+          machine_.validation()->RecordFileWrite(request.cp, extent.cp_offset,
+                                                 extent.file_offset, extent.length);
+        }
+      } else {
+        machine_.validation()->RecordFileWrite(request.cp, request.cp_offset,
+                                               request.file_offset, request.length);
+      }
+    }
+  } else {
+    co_await cache.ReadBlock(file, block);
+  }
+
+  // Reply (reads carry the data; DMA straight from the cache buffer).
+  co_await machine_.ChargeIop(iop, costs.msg_send_cycles + costs.dma_setup_cycles);
+  net::Message reply;
+  reply.src = machine_.NodeOfIop(iop);
+  reply.dst = machine_.NodeOfCp(request.cp);
+  reply.data_bytes = request.is_write ? 0 : request.length;
+  reply.payload = net::TcReply{request.request_id, request.length, request.file_offset};
+  co_await machine_.network().Send(std::move(reply));
+
+  // Prefetch one block ahead on the same disk after a read (Figure 1a:
+  // "consider prefetching or other optimizations").
+  if (!request.is_write && params_.prefetch) {
+    const std::uint64_t next = block + file.num_disks();
+    if (next < file.num_blocks()) {
+      cache.PrefetchBlock(file, next);
+    }
+  }
+}
+
+sim::Task<> TcFileSystem::CpDispatcher(std::uint32_t cp) {
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfCp(cp));
+  const core::CostModel& costs = machine_.config().costs;
+  for (;;) {
+    auto message = co_await inbox.Receive();
+    if (!message.has_value()) {
+      co_return;
+    }
+    const auto* reply = std::get_if<net::TcReply>(&message->payload);
+    if (reply == nullptr) {
+      if (extra_handler_) {
+        co_await extra_handler_(cp, *message);
+      }
+      continue;
+    }
+    co_await machine_.ChargeCp(cp, costs.msg_dispatch_cycles);
+    auto it = pending_[cp].find(reply->request_id);
+    if (it == pending_[cp].end()) {
+      continue;  // Stale reply; cannot happen in a well-formed run.
+    }
+    PendingRequest pending = std::move(it->second);
+    pending_[cp].erase(it);
+    if (!pending.is_write && machine_.validation() != nullptr) {
+      if (pending.extents != nullptr) {
+        for (const net::MemExtent& extent : *pending.extents) {
+          machine_.validation()->RecordDelivery(cp, extent.cp_offset, extent.file_offset,
+                                                extent.length);
+        }
+      } else {
+        machine_.validation()->RecordDelivery(cp, pending.cp_offset, pending.file_offset,
+                                              pending.length);
+      }
+    }
+    pending.done->Set();
+  }
+}
+
+sim::Task<> TcFileSystem::CpDiskPump(std::uint32_t cp, std::uint32_t disk,
+                                     std::vector<BlockRequest> requests, bool is_write) {
+  const core::CostModel& costs = machine_.config().costs;
+  const std::uint16_t iop_node = machine_.NodeOfIop(machine_.IopOfDisk(disk));
+  for (BlockRequest& block_request : requests) {
+    const std::uint64_t id = next_request_id_++;
+    const std::uint32_t pieces =
+        block_request.extents.empty() ? 1u
+                                      : static_cast<std::uint32_t>(block_request.extents.size());
+    std::shared_ptr<const std::vector<net::MemExtent>> extents;
+    if (!block_request.extents.empty()) {
+      extents = std::make_shared<const std::vector<net::MemExtent>>(
+          std::move(block_request.extents));
+    }
+    sim::OneShotEvent done(machine_.engine());
+    pending_[cp][id] = PendingRequest{&done,
+                                      block_request.cp_offset,
+                                      block_request.file_offset,
+                                      block_request.length,
+                                      is_write,
+                                      extents};
+    // Building a strided descriptor costs a little per extra run.
+    co_await machine_.ChargeCp(
+        cp, costs.msg_send_cycles + (pieces - 1) * machine_.config().costs.piece_setup_cycles);
+    net::Message msg;
+    msg.src = machine_.NodeOfCp(cp);
+    msg.dst = iop_node;
+    msg.data_bytes = is_write ? block_request.length : 0;
+    msg.payload = net::TcRequest{is_write,
+                                 block_request.file_offset,
+                                 block_request.length,
+                                 static_cast<std::uint16_t>(cp),
+                                 block_request.cp_offset,
+                                 id,
+                                 pieces,
+                                 extents};
+    co_await machine_.network().Send(std::move(msg));
+    co_await done.Wait();  // One outstanding request per disk per CP.
+  }
+}
+
+sim::Task<> TcFileSystem::CpRun(std::uint32_t cp, const fs::StripedFile& file,
+                                const pattern::AccessPattern& pattern,
+                                std::uint64_t* request_count) {
+  // Split this CP's chunks at file-block boundaries and group by disk. In
+  // strided mode, consecutive runs that fall in the same file block coalesce
+  // into one request describing all of them.
+  std::vector<std::vector<BlockRequest>> per_disk(file.num_disks());
+  const std::uint64_t block_bytes = file.block_bytes();
+  pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+    std::uint64_t file_offset = chunk.file_offset;
+    std::uint64_t cp_offset = chunk.cp_offset;
+    std::uint64_t remaining = chunk.length;
+    while (remaining > 0) {
+      const std::uint64_t block = file_offset / block_bytes;
+      const std::uint64_t in_block = block_bytes - file_offset % block_bytes;
+      const std::uint64_t len = remaining < in_block ? remaining : in_block;
+      auto& requests = per_disk[file.DiskOfBlock(block)];
+      bool coalesced = false;
+      if (params_.strided_requests && !requests.empty()) {
+        BlockRequest& last = requests.back();
+        if (last.file_offset / block_bytes == block) {
+          if (last.extents.empty()) {
+            last.extents.push_back(
+                net::MemExtent{last.cp_offset, last.file_offset, last.length});
+          }
+          last.extents.push_back(
+              net::MemExtent{cp_offset, file_offset, static_cast<std::uint32_t>(len)});
+          last.length += static_cast<std::uint32_t>(len);
+          coalesced = true;
+        }
+      }
+      if (!coalesced) {
+        requests.push_back(
+            BlockRequest{file_offset, cp_offset, static_cast<std::uint32_t>(len), {}});
+      }
+      file_offset += len;
+      cp_offset += len;
+      remaining -= len;
+    }
+  });
+
+  std::vector<sim::Task<>> pumps;
+  for (std::uint32_t d = 0; d < file.num_disks(); ++d) {
+    if (!per_disk[d].empty()) {
+      *request_count += per_disk[d].size();
+      pumps.push_back(CpDiskPump(cp, d, std::move(per_disk[d]), pattern.spec().is_write));
+    }
+  }
+  co_await sim::WhenAll(machine_.engine(), std::move(pumps));
+}
+
+sim::Task<> TcFileSystem::RunCollective(const fs::StripedFile& file,
+                                        const pattern::AccessPattern& pattern,
+                                        core::OpStats* stats) {
+  assert(started_);
+  assert(file.num_disks() == machine_.num_disks());
+  current_file_ = &file;
+  core::OpStats local;
+  core::OpStats& out = stats != nullptr ? *stats : local;
+  out.start_ns = machine_.engine().now();
+  out.file_bytes = file.file_bytes();
+
+  std::uint64_t requests = 0;
+  std::vector<sim::Task<>> cps;
+  for (std::uint32_t cp = 0; cp < machine_.num_cps(); ++cp) {
+    if (pattern.CpParticipates(cp)) {
+      cps.push_back(CpRun(cp, file, pattern, &requests));
+    }
+  }
+  co_await sim::WhenAll(machine_.engine(), std::move(cps));
+
+  // "The total transfer time included waiting for all I/O to complete,
+  // including outstanding write-behind and prefetch requests."
+  std::vector<sim::Task<>> drains;
+  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+    drains.push_back(caches_[iop]->Quiesce(file));
+  }
+  co_await sim::WhenAll(machine_.engine(), std::move(drains));
+
+  out.end_ns = machine_.engine().now();
+  out.requests = requests;
+  for (const auto& cache : caches_) {
+    out.cache_hits += cache->stats().hits;
+    out.cache_misses += cache->stats().misses;
+    out.prefetches += cache->stats().prefetch_issued;
+    out.flushes += cache->stats().flushes;
+    out.rmw_flushes += cache->stats().rmw_flushes;
+  }
+}
+
+}  // namespace ddio::tc

@@ -1,0 +1,113 @@
+// TcFileSystem: the traditional-caching parallel file system (the paper's
+// baseline, modeled on Intel CFS-like systems; Figure 1a).
+//
+// Protocol:
+//  * Each CP independently walks its portion of the access pattern, splits
+//    it into per-block requests, and keeps at most ONE outstanding request
+//    per disk (footnote 2), all disks in parallel.
+//  * Each incoming request at an IOP is handled by a fresh service thread
+//    (charged thread-creation time), which probes the block cache, performs
+//    disk I/O on a miss, and replies. Read replies and write requests carry
+//    up to one block of data; write data is copied once into the cache (the
+//    system's only memory-memory copy).
+//  * After each read request the IOP prefetches the next file block on the
+//    same disk; full dirty blocks are written behind.
+//
+// A collective operation completes when every CP has all its replies AND all
+// outstanding prefetch/write-behind disk traffic has drained (the paper
+// charges this to the transfer, and so do we).
+
+#ifndef DDIO_SRC_TC_TC_FS_H_
+#define DDIO_SRC_TC_TC_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/core/op_stats.h"
+#include "src/fs/striped_file.h"
+#include "src/net/message.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/tc/block_cache.h"
+
+namespace ddio::tc {
+
+struct TcParams {
+  // Cache capacity: buffers per CP per local disk (paper footnote 3).
+  std::uint32_t buffers_per_cp_per_disk = 2;
+  // Prefetch one block ahead after each read request.
+  bool prefetch = true;
+  // Future-work extension (paper Section 8): coalesce a CP's noncontiguous
+  // runs within one file block into a single strided request, instead of one
+  // request per run. Off = the paper's evaluated baseline.
+  bool strided_requests = false;
+};
+
+class TcFileSystem {
+ public:
+  TcFileSystem(core::Machine& machine, TcParams params = {});
+  TcFileSystem(const TcFileSystem&) = delete;
+  TcFileSystem& operator=(const TcFileSystem&) = delete;
+
+  // Spawns the IOP servers and CP reply dispatchers. One file system may be
+  // active per machine at a time.
+  void Start();
+
+  // Closes the service loops. The machine's inboxes are closed and cannot be
+  // reused by another file system afterwards.
+  void Shutdown();
+
+  // Runs one collective transfer (direction from pattern.spec().is_write) to
+  // completion, including write-behind/prefetch drain.
+  sim::Task<> RunCollective(const fs::StripedFile& file, const pattern::AccessPattern& pattern,
+                            core::OpStats* stats);
+
+  const BlockCache& cache(std::uint32_t iop) const { return *caches_[iop]; }
+
+  // Hook for layered protocols (two-phase I/O): invoked by the CP dispatcher
+  // for messages that are not part of the TC protocol.
+  using CpExtraHandler = std::function<sim::Task<>(std::uint32_t cp, const net::Message&)>;
+  void set_cp_extra_handler(CpExtraHandler handler) { extra_handler_ = std::move(handler); }
+
+ private:
+  struct PendingRequest {
+    sim::OneShotEvent* done = nullptr;
+    std::uint64_t cp_offset = 0;
+    std::uint64_t file_offset = 0;
+    std::uint32_t length = 0;
+    bool is_write = false;
+    std::shared_ptr<const std::vector<net::MemExtent>> extents;  // Strided form.
+  };
+  struct BlockRequest {
+    std::uint64_t file_offset = 0;
+    std::uint64_t cp_offset = 0;
+    std::uint32_t length = 0;
+    // Strided form: the runs coalesced into this request (empty = one run).
+    std::vector<net::MemExtent> extents;
+  };
+
+  sim::Task<> IopServer(std::uint32_t iop);
+  sim::Task<> HandleRequest(std::uint32_t iop, net::TcRequest request);
+  sim::Task<> CpDispatcher(std::uint32_t cp);
+  sim::Task<> CpRun(std::uint32_t cp, const fs::StripedFile& file,
+                    const pattern::AccessPattern& pattern, std::uint64_t* request_count);
+  sim::Task<> CpDiskPump(std::uint32_t cp, std::uint32_t disk,
+                         std::vector<BlockRequest> requests, bool is_write);
+
+  core::Machine& machine_;
+  TcParams params_;
+  std::vector<std::unique_ptr<BlockCache>> caches_;
+  std::vector<std::unordered_map<std::uint64_t, PendingRequest>> pending_;  // Per CP.
+  const fs::StripedFile* current_file_ = nullptr;
+  CpExtraHandler extra_handler_;
+  std::uint64_t next_request_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace ddio::tc
+
+#endif  // DDIO_SRC_TC_TC_FS_H_

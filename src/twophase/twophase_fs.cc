@@ -1,0 +1,192 @@
+#include "src/twophase/twophase_fs.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/sim/sync.h"
+
+namespace ddio::twophase {
+
+TwoPhaseFileSystem::TwoPhaseFileSystem(core::Machine& machine, TwoPhaseParams params)
+    : machine_(machine), params_(params) {
+  io_fs_ = std::make_unique<tc::TcFileSystem>(machine, params_.io_phase);
+}
+
+void TwoPhaseFileSystem::Start() {
+  io_fs_->Start();
+  // Route permutation traffic arriving at CP inboxes.
+  io_fs_->set_cp_extra_handler(
+      [this](std::uint32_t cp, const net::Message& message) -> sim::Task<> {
+        const auto* permute = std::get_if<net::PermuteData>(&message.payload);
+        if (permute == nullptr) {
+          co_return;
+        }
+        // Scatter into place: per-piece setup plus memory-copy time.
+        const std::uint64_t cycles =
+            permute->pieces * params_.permute_piece_cycles +
+            static_cast<std::uint64_t>(
+                std::llround(static_cast<double>(permute->bytes) *
+                             params_.permute_copy_cycles_per_byte));
+        co_await machine_.ChargeCp(cp, static_cast<std::uint32_t>(cycles));
+        if (permute_latch_ != nullptr) {
+          permute_latch_->CountDown();
+        }
+      });
+}
+
+void TwoPhaseFileSystem::Shutdown() { io_fs_->Shutdown(); }
+
+sim::Task<> TwoPhaseFileSystem::CpPermute(std::uint32_t cp, const fs::StripedFile& file,
+                                          const pattern::AccessPattern& pattern) {
+  (void)file;
+  const core::CostModel& costs = machine_.config().costs;
+  const bool is_write = pattern.spec().is_write;
+  // This CP's conforming region: one contiguous chunk.
+  auto conf_chunks = conforming_->ChunksOf(cp);
+  if (conf_chunks.empty()) {
+    co_return;
+  }
+
+  // Aggregate the permutation matrix row: counterpart CP -> (bytes, pieces).
+  std::vector<std::uint64_t> bytes_to(pattern.num_cps(), 0);
+  std::vector<std::uint64_t> pieces_to(pattern.num_cps(), 0);
+  for (const auto& chunk : conf_chunks) {
+    pattern.ForEachPieceInRange(chunk.file_offset, chunk.length,
+                                [&](const pattern::AccessPattern::Piece& piece) {
+                                  bytes_to[piece.cp] += piece.length;
+                                  ++pieces_to[piece.cp];
+                                });
+  }
+
+  for (std::uint32_t other = 0; other < pattern.num_cps(); ++other) {
+    if (bytes_to[other] == 0) {
+      continue;
+    }
+    // For reads, this CP holds the conforming data and gathers/sends; for
+    // writes, the pattern owner gathers/sends toward this CP. Costs are
+    // symmetric, so we charge the gather at the sending side in both cases.
+    const std::uint32_t sender = is_write ? other : cp;
+    const std::uint32_t receiver = is_write ? cp : other;
+    const std::uint64_t gather_cycles =
+        pieces_to[other] * params_.permute_piece_cycles +
+        static_cast<std::uint64_t>(std::llround(static_cast<double>(bytes_to[other]) *
+                                                params_.permute_copy_cycles_per_byte));
+    co_await machine_.ChargeCp(sender, static_cast<std::uint32_t>(gather_cycles));
+    if (sender == receiver) {
+      continue;  // Local rearrangement only.
+    }
+    co_await machine_.ChargeCp(sender, costs.msg_send_cycles);
+    net::Message msg;
+    msg.src = machine_.NodeOfCp(sender);
+    msg.dst = machine_.NodeOfCp(receiver);
+    msg.data_bytes = static_cast<std::uint32_t>(bytes_to[other]);
+    msg.payload = net::PermuteData{bytes_to[other], pieces_to[other]};
+    co_await machine_.network().Send(std::move(msg));
+  }
+}
+
+sim::Task<> TwoPhaseFileSystem::PermutePhase(const fs::StripedFile& file,
+                                             const pattern::AccessPattern& pattern) {
+  // Count cross-CP exchanges so we can wait for every delivery.
+  std::uint64_t cross_messages = 0;
+  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+    std::vector<bool> sends_to(pattern.num_cps(), false);
+    for (const auto& chunk : conforming_->ChunksOf(cp)) {
+      pattern.ForEachPieceInRange(chunk.file_offset, chunk.length,
+                                  [&](const pattern::AccessPattern::Piece& piece) {
+                                    if (piece.cp != cp) {
+                                      sends_to[piece.cp] = true;
+                                    }
+                                  });
+    }
+    for (bool s : sends_to) {
+      cross_messages += s ? 1 : 0;
+    }
+  }
+
+  sim::CountdownLatch latch(machine_.engine(), cross_messages);
+  permute_latch_ = &latch;
+  std::vector<sim::Task<>> cps;
+  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+    cps.push_back(CpPermute(cp, file, pattern));
+  }
+  co_await sim::WhenAll(machine_.engine(), std::move(cps));
+  co_await latch.Wait();
+  permute_latch_ = nullptr;
+}
+
+sim::Task<> TwoPhaseFileSystem::RunCollective(const fs::StripedFile& file,
+                                              const pattern::AccessPattern& pattern,
+                                              core::OpStats* stats) {
+  assert(file.file_bytes() % file.block_bytes() == 0 &&
+         "two-phase I/O requires block-aligned files");
+  core::OpStats local;
+  core::OpStats& out = stats != nullptr ? *stats : local;
+  out.start_ns = machine_.engine().now();
+  out.file_bytes = file.file_bytes();
+
+  // The conforming distribution: contiguous block-aligned 1/P of the file
+  // per CP (the "rb" distribution the two-phase designers chose for
+  // row-major files).
+  if (conforming_ == nullptr || conforming_file_bytes_ != file.file_bytes() ||
+      conforming_->spec().is_write != pattern.spec().is_write) {
+    pattern::PatternSpec conf_spec =
+        pattern::PatternSpec::Parse(pattern.spec().is_write ? "wb" : "rb");
+    conforming_ = std::make_unique<pattern::AccessPattern>(conf_spec, file.file_bytes(),
+                                                           file.block_bytes(),
+                                                           machine_.num_cps());
+    conforming_file_bytes_ = file.file_bytes();
+  }
+
+  // Record the logical placement for validation up front (the I/O phase runs
+  // with validation suppressed since it moves conforming, not final, data).
+  core::ValidationSink* sink = machine_.validation();
+  if (sink != nullptr) {
+    for (std::uint64_t block = 0; block < file.num_blocks(); ++block) {
+      pattern.ForEachPieceInRange(block * file.block_bytes(), file.BlockLength(block),
+                                  [&](const pattern::AccessPattern::Piece& piece) {
+                                    if (pattern.spec().is_write) {
+                                      sink->RecordFileWrite(piece.cp, piece.cp_offset,
+                                                            piece.file_offset, piece.length);
+                                    } else {
+                                      sink->RecordDelivery(piece.cp, piece.cp_offset,
+                                                           piece.file_offset, piece.length);
+                                    }
+                                  });
+    }
+  }
+  machine_.set_validation(nullptr);
+
+  core::OpStats io_stats;
+  std::uint64_t permute_pieces = 0;
+  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+    for (const auto& chunk : conforming_->ChunksOf(cp)) {
+      pattern.ForEachPieceInRange(chunk.file_offset, chunk.length,
+                                  [&](const pattern::AccessPattern::Piece&) {
+                                    ++permute_pieces;
+                                  });
+    }
+  }
+
+  if (pattern.spec().is_write) {
+    co_await PermutePhase(file, pattern);
+    co_await io_fs_->RunCollective(file, *conforming_, &io_stats);
+  } else {
+    co_await io_fs_->RunCollective(file, *conforming_, &io_stats);
+    co_await PermutePhase(file, pattern);
+  }
+
+  machine_.set_validation(sink);
+  out.end_ns = machine_.engine().now();
+  out.requests = io_stats.requests;
+  out.cache_hits = io_stats.cache_hits;
+  out.cache_misses = io_stats.cache_misses;
+  out.prefetches = io_stats.prefetches;
+  out.flushes = io_stats.flushes;
+  out.rmw_flushes = io_stats.rmw_flushes;
+  out.pieces = permute_pieces;
+}
+
+}  // namespace ddio::twophase

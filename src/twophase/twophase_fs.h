@@ -1,0 +1,71 @@
+// TwoPhaseFileSystem: two-phase I/O [del Rosario, Bordawekar & Choudhary 93].
+//
+// The paper discusses two-phase I/O (Section 7.1) but does not simulate it;
+// we implement it as the natural third point of comparison (Figure 1b):
+//
+//  * Reads: phase 1 reads the file in a CONFORMING distribution — each CP
+//    fetches a contiguous, block-aligned 1/P of the file through the
+//    traditional-caching IOP servers (large sequential requests); phase 2
+//    permutes the data among CP memories to the requested distribution.
+//  * Writes: the permutation runs first, then the conforming write.
+//
+// The permutation coalesces all records bound for the same destination CP
+// into one message per (source, destination) pair, charging per-piece
+// gather/scatter work plus memory-copy time, as the Jovian-style
+// implementations do. Every datum therefore crosses the network up to twice
+// (I/O + permutation), and the two phases do NOT overlap — the structural
+// disadvantages the paper predicts for this design.
+
+#ifndef DDIO_SRC_TWOPHASE_TWOPHASE_FS_H_
+#define DDIO_SRC_TWOPHASE_TWOPHASE_FS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/core/machine.h"
+#include "src/core/op_stats.h"
+#include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/tc/tc_fs.h"
+
+namespace ddio::twophase {
+
+struct TwoPhaseParams {
+  tc::TcParams io_phase;  // The underlying traditional-caching server.
+  // Cycles to gather/scatter one record run during the permutation.
+  std::uint32_t permute_piece_cycles = 20;
+  // Cycles per byte of memory copy while staging permutation buffers
+  // (~100 MB/s at 50 MHz, matching CostModel::block_copy_cycles for 8 KB).
+  double permute_copy_cycles_per_byte = 0.1;
+};
+
+class TwoPhaseFileSystem {
+ public:
+  TwoPhaseFileSystem(core::Machine& machine, TwoPhaseParams params = {});
+  TwoPhaseFileSystem(const TwoPhaseFileSystem&) = delete;
+  TwoPhaseFileSystem& operator=(const TwoPhaseFileSystem&) = delete;
+
+  void Start();
+  void Shutdown();
+
+  sim::Task<> RunCollective(const fs::StripedFile& file, const pattern::AccessPattern& pattern,
+                            core::OpStats* stats);
+
+ private:
+  sim::Task<> PermutePhase(const fs::StripedFile& file, const pattern::AccessPattern& pattern);
+  sim::Task<> CpPermute(std::uint32_t cp, const fs::StripedFile& file,
+                        const pattern::AccessPattern& pattern);
+
+  core::Machine& machine_;
+  TwoPhaseParams params_;
+  std::unique_ptr<tc::TcFileSystem> io_fs_;
+  std::unique_ptr<pattern::AccessPattern> conforming_;  // Rebuilt per file size.
+  std::uint64_t conforming_file_bytes_ = 0;
+  sim::CountdownLatch* permute_latch_ = nullptr;
+};
+
+}  // namespace ddio::twophase
+
+#endif  // DDIO_SRC_TWOPHASE_TWOPHASE_FS_H_

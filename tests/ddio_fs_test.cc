@@ -1,0 +1,161 @@
+// End-to-end tests for the disk-directed I/O file system (src/ddio/).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/sim/time.h"
+#include "tests/test_util.h"
+
+namespace ddio::ddio_fs {
+namespace {
+
+using ::ddio::testing::E2eConfig;
+using ::ddio::testing::E2eResult;
+using ::ddio::testing::Method;
+using ::ddio::testing::RunOne;
+
+TEST(DdioFsTest, SimpleBlockReadCompletesAndValidates) {
+  E2eConfig cfg;
+  auto result = RunOne(Method::kDdio, "rb", cfg);
+  EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GT(result.stats.elapsed_ns(), 0u);
+  // One collective request per IOP, not per block.
+  EXPECT_EQ(result.stats.requests, 4u);
+  // 8 KB records on block distribution: one piece per block.
+  EXPECT_EQ(result.stats.pieces, 32u);
+}
+
+TEST(DdioFsTest, WritesGatherViaMemgetAndValidate) {
+  E2eConfig cfg;
+  auto result = RunOne(Method::kDdio, "wb", cfg);
+  EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.stats.pieces, 32u);
+}
+
+TEST(DdioFsTest, EightByteCyclicMovesPerRecordPieces) {
+  E2eConfig cfg;
+  cfg.record_bytes = 8;
+  cfg.file_bytes = 64 * 1024;
+  auto result = RunOne(Method::kDdio, "rc", cfg);
+  EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.stats.pieces, 8192u);  // One Memput per record.
+}
+
+TEST(DdioFsTest, RaReplicatesToEveryCp) {
+  E2eConfig cfg;
+  auto result = RunOne(Method::kDdio, "ra", cfg);
+  EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  // Each of the 32 blocks Memput once per CP.
+  EXPECT_EQ(result.stats.pieces, 32u * 4);
+}
+
+TEST(DdioFsTest, PresortBeatsNoSortOnRandomLayout) {
+  E2eConfig cfg;
+  cfg.file_bytes = 2 * 1024 * 1024;  // 256 blocks -> 64 per disk.
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.validate = false;
+  auto sorted = RunOne(Method::kDdio, "rb", cfg);
+  auto unsorted = RunOne(Method::kDdioNoSort, "rb", cfg);
+  double boost = static_cast<double>(unsorted.stats.elapsed_ns()) /
+                 static_cast<double>(sorted.stats.elapsed_ns());
+  EXPECT_GT(boost, 1.15) << "presort should improve random-blocks layouts";
+}
+
+TEST(DdioFsTest, PresortIrrelevantOnContiguousLayout) {
+  E2eConfig cfg;
+  cfg.file_bytes = 2 * 1024 * 1024;
+  cfg.validate = false;
+  auto sorted = RunOne(Method::kDdio, "rb", cfg);
+  auto unsorted = RunOne(Method::kDdioNoSort, "rb", cfg);
+  // Contiguous layouts are already in ascending LBN order.
+  EXPECT_EQ(sorted.stats.elapsed_ns(), unsorted.stats.elapsed_ns());
+}
+
+TEST(DdioFsTest, ThroughputNearDiskPeakOnContiguousLayout) {
+  E2eConfig cfg;
+  cfg.cps = 16;
+  cfg.iops = 16;
+  cfg.disks = 16;
+  cfg.file_bytes = 10 * 1024 * 1024;  // The paper's file.
+  cfg.validate = false;
+  auto result = RunOne(Method::kDdio, "rb", cfg);
+  double mbps = result.stats.ThroughputMBps();
+  // Paper: ~32.8 MB/s reading, 93% of the 37.5 MB/s aggregate peak.
+  EXPECT_GT(mbps, 28.0);
+  EXPECT_LT(mbps, 38.0);
+}
+
+TEST(DdioFsTest, WriteThroughputNearDiskPeakOnContiguousLayout) {
+  E2eConfig cfg;
+  cfg.cps = 16;
+  cfg.iops = 16;
+  cfg.disks = 16;
+  cfg.file_bytes = 10 * 1024 * 1024;
+  cfg.validate = false;
+  auto result = RunOne(Method::kDdio, "wb", cfg);
+  double mbps = result.stats.ThroughputMBps();
+  // Paper: ~34.8 MB/s writing.
+  EXPECT_GT(mbps, 28.0);
+  EXPECT_LT(mbps, 38.0);
+}
+
+TEST(DdioFsTest, DeterministicAcrossIdenticalSeeds) {
+  E2eConfig cfg;
+  cfg.seed = 77;
+  auto a = RunOne(Method::kDdio, "rcc", cfg);
+  auto b = RunOne(Method::kDdio, "rcc", cfg);
+  EXPECT_EQ(a.stats.elapsed_ns(), b.stats.elapsed_ns());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(DdioFsTest, ThroughputIndependentOfPattern8k) {
+  // The paper's headline: DDIO performance is "largely independent of data
+  // distribution". All 8 KB-record patterns should land within a tight band.
+  E2eConfig cfg;
+  cfg.cps = 16;
+  cfg.iops = 16;
+  cfg.disks = 16;
+  cfg.file_bytes = 4 * 1024 * 1024;
+  cfg.validate = false;
+  double min_mbps = 1e9, max_mbps = 0;
+  for (const char* name : {"rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc", "rcn"}) {
+    auto result = RunOne(Method::kDdio, name, cfg);
+    double mbps = result.stats.ThroughputMBps();
+    min_mbps = std::min(min_mbps, mbps);
+    max_mbps = std::max(max_mbps, mbps);
+  }
+  EXPECT_LT(max_mbps / min_mbps, 1.25) << "DDIO should be pattern-insensitive";
+}
+
+// Full pattern grid transfers correctly at both record sizes.
+class DdioAllPatternsTest
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint32_t>> {};
+
+TEST_P(DdioAllPatternsTest, TransfersValidate) {
+  auto [name, record_bytes] = GetParam();
+  E2eConfig cfg;
+  cfg.record_bytes = record_bytes;
+  if (record_bytes == 8) {
+    cfg.file_bytes = 64 * 1024;
+  }
+  auto result = RunOne(Method::kDdio, name, cfg);
+  EXPECT_TRUE(result.valid) << name << ": "
+                            << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_GT(result.stats.elapsed_ns(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, DdioAllPatternsTest,
+    ::testing::Combine(::testing::Values("ra", "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc",
+                                         "rcc", "rcn", "wn", "wb", "wc", "wnb", "wbb", "wcb",
+                                         "wbc", "wcc", "wcn"),
+                       ::testing::Values(8u, 8192u)),
+    [](const ::testing::TestParamInfo<DdioAllPatternsTest::ParamType>& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_rec" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace ddio::ddio_fs

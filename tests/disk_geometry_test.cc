@@ -1,0 +1,167 @@
+// Unit tests for HP 97560 geometry, skew, and rotational timing
+// (src/disk/geometry.h, seek_model.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/disk/geometry.h"
+#include "src/disk/seek_model.h"
+
+namespace ddio::disk {
+namespace {
+
+DiskGeometry Geo() { return DiskGeometry{}; }
+
+TEST(GeometryTest, CapacityMatchesPaper) {
+  DiskGeometry geo = Geo();
+  // 1962 * 19 * 72 * 512 = ~1.37 GB; the paper rounds to "1.3 GB".
+  EXPECT_EQ(geo.TotalSectors(), 1962u * 19 * 72);
+  EXPECT_NEAR(static_cast<double>(geo.CapacityBytes()) / 1e9, 1.374, 0.01);
+}
+
+TEST(GeometryTest, RotationPeriodAt4002Rpm) {
+  DiskGeometry geo = Geo();
+  // 60e9 / 4002 = 14.9925 ms per revolution.
+  EXPECT_NEAR(sim::ToMs(geo.RotationPeriod()), 14.9925, 0.001);
+  EXPECT_EQ(geo.RotationPeriod(), geo.SectorTime() * 72);
+}
+
+TEST(GeometryTest, LbnChsRoundTrip) {
+  DiskGeometry geo = Geo();
+  const std::uint64_t lbns[] = {0, 1, 71, 72, 1367, 1368, 999999, geo.TotalSectors() - 1};
+  for (std::uint64_t lbn : lbns) {
+    Chs chs = geo.FromLbn(lbn);
+    EXPECT_EQ(geo.ToLbn(chs), lbn) << "lbn=" << lbn;
+    EXPECT_LT(chs.cylinder, geo.cylinders);
+    EXPECT_LT(chs.head, geo.heads);
+    EXPECT_LT(chs.sector, geo.sectors_per_track);
+  }
+}
+
+TEST(GeometryTest, ChsDecomposition) {
+  DiskGeometry geo = Geo();
+  Chs chs = geo.FromLbn(72);  // First sector of second track.
+  EXPECT_EQ(chs, (Chs{0, 1, 0}));
+  chs = geo.FromLbn(19ull * 72);  // First sector of cylinder 1.
+  EXPECT_EQ(chs, (Chs{1, 0, 0}));
+  chs = geo.FromLbn(19ull * 72 + 73);
+  EXPECT_EQ(chs, (Chs{1, 1, 1}));
+}
+
+TEST(GeometryTest, TrackSkewAccumulates) {
+  DiskGeometry geo = Geo();
+  EXPECT_EQ(geo.SkewOffset(0, 0), 0u);
+  EXPECT_EQ(geo.SkewOffset(0, 1), geo.track_skew_sectors);
+  EXPECT_EQ(geo.SkewOffset(0, 2), 2 * geo.track_skew_sectors);
+  // Crossing into cylinder 1 from head 18: adds cylinder skew only.
+  std::uint32_t last_track_c0 = geo.SkewOffset(0, geo.heads - 1);
+  std::uint32_t first_track_c1 = geo.SkewOffset(1, 0);
+  std::uint32_t delta = (first_track_c1 + geo.sectors_per_track - last_track_c0) %
+                        geo.sectors_per_track;
+  EXPECT_EQ(delta, geo.cylinder_skew_sectors);
+}
+
+TEST(GeometryTest, GapBeforeOnlyAtTrackBoundaries) {
+  DiskGeometry geo = Geo();
+  EXPECT_EQ(geo.GapBefore(0), 0u);
+  EXPECT_EQ(geo.GapBefore(5), 0u);   // Mid-track.
+  EXPECT_EQ(geo.GapBefore(72), geo.track_skew_sectors * geo.SectorTime());
+  EXPECT_EQ(geo.GapBefore(19ull * 72), geo.cylinder_skew_sectors * geo.SectorTime());
+}
+
+TEST(GeometryTest, StreamSpanWithinTrack) {
+  DiskGeometry geo = Geo();
+  EXPECT_EQ(geo.StreamSpan(0, 1), geo.SectorTime());
+  EXPECT_EQ(geo.StreamSpan(0, 16), 16 * geo.SectorTime());  // One 8 KB block.
+  EXPECT_EQ(geo.StreamSpan(3, 69), 69 * geo.SectorTime());  // Exactly to track end.
+}
+
+TEST(GeometryTest, StreamSpanAcrossTrackBoundaryAddsSkewGap) {
+  DiskGeometry geo = Geo();
+  // Sectors 64..79 cross from track 0 into track 1 (at sector 72).
+  sim::SimTime span = geo.StreamSpan(64, 16);
+  EXPECT_EQ(span, (16 + geo.track_skew_sectors) * geo.SectorTime());
+}
+
+TEST(GeometryTest, StreamSpanAcrossCylinderBoundaryAddsCylinderSkew) {
+  DiskGeometry geo = Geo();
+  std::uint64_t last_of_cyl0 = 19ull * 72 - 8;
+  sim::SimTime span = geo.StreamSpan(last_of_cyl0, 16);
+  EXPECT_EQ(span, (16 + geo.cylinder_skew_sectors) * geo.SectorTime());
+}
+
+TEST(GeometryTest, StreamSpanFullTrackPlusOne) {
+  DiskGeometry geo = Geo();
+  sim::SimTime span = geo.StreamSpan(0, 73);
+  EXPECT_EQ(span, (73 + geo.track_skew_sectors) * geo.SectorTime());
+}
+
+TEST(GeometryTest, RotationalWaitReachesTargetPhase) {
+  DiskGeometry geo = Geo();
+  const sim::SimTime rotation = geo.RotationPeriod();
+  const sim::SimTime sector = geo.SectorTime();
+  // From t=0, sector 10 starts after 10 sector times.
+  EXPECT_EQ(geo.RotationalWaitUntil(0, 10), 10 * sector);
+  // Already at the target phase: no wait.
+  EXPECT_EQ(geo.RotationalWaitUntil(10 * sector, 10), 10 * sector);
+  // Just missed it: wait a full rotation minus epsilon.
+  EXPECT_EQ(geo.RotationalWaitUntil(10 * sector + 1, 10), 10 * sector + rotation);
+  // Target behind current phase: wrap around.
+  EXPECT_EQ(geo.RotationalWaitUntil(50 * sector, 10), rotation + 10 * sector);
+}
+
+TEST(GeometryTest, RotationalWaitIsBoundedByOneRotation) {
+  DiskGeometry geo = Geo();
+  for (sim::SimTime t : {0ull, 12345ull, 9999999ull, 123456789ull}) {
+    for (std::uint32_t s : {0u, 1u, 35u, 71u}) {
+      sim::SimTime arrived = geo.RotationalWaitUntil(t, s);
+      EXPECT_GE(arrived, t);
+      EXPECT_LT(arrived - t, geo.RotationPeriod());
+    }
+  }
+}
+
+TEST(SeekModelTest, PaperSeekCurveValues) {
+  SeekModel seek;
+  EXPECT_EQ(seek.SeekTime(0), 0u);
+  // d=1: 3.24 + 0.400*1 = 3.64 ms.
+  EXPECT_NEAR(sim::ToMs(seek.SeekTime(1)), 3.64, 0.001);
+  // d=100: 3.24 + 0.400*10 = 7.24 ms.
+  EXPECT_NEAR(sim::ToMs(seek.SeekTime(100)), 7.24, 0.001);
+  // d=383 switches regime: 8.00 + 0.008*383 = 11.064 ms.
+  EXPECT_NEAR(sim::ToMs(seek.SeekTime(383)), 11.064, 0.001);
+  // Full-span seek: 8.00 + 0.008*1961 = 23.688 ms.
+  EXPECT_NEAR(sim::ToMs(seek.SeekTime(1961)), 23.688, 0.001);
+}
+
+TEST(SeekModelTest, CurveIsContinuousEnoughAtBoundary) {
+  SeekModel seek;
+  double below = sim::ToMs(seek.SeekTime(382));
+  double above = sim::ToMs(seek.SeekTime(383));
+  EXPECT_LT(below, above);
+  EXPECT_NEAR(below, above, 0.35);  // Small jump at the published boundary.
+}
+
+TEST(SeekModelTest, MonotoneInDistance) {
+  SeekModel seek;
+  sim::SimTime prev = 0;
+  for (std::uint32_t d = 0; d < 1962; d += 7) {
+    sim::SimTime t = seek.SeekTime(d);
+    EXPECT_GE(t, prev) << "d=" << d;
+    prev = t;
+  }
+}
+
+TEST(SeekModelTest, SkewGapsCoverMechanicalSettling) {
+  // Streaming correctness precondition: the track-skew gap must cover a head
+  // switch and the cylinder-skew gap must cover a single-cylinder seek,
+  // otherwise sequential streams would miss revolutions.
+  DiskGeometry geo = Geo();
+  SeekModel seek;
+  EXPECT_GE(geo.track_skew_sectors * geo.SectorTime(), seek.HeadSwitchTime());
+  EXPECT_GE(geo.cylinder_skew_sectors * geo.SectorTime(), seek.SeekTime(1));
+}
+
+}  // namespace
+}  // namespace ddio::disk

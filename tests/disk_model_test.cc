@@ -1,0 +1,366 @@
+// Tests for the HP 97560 mechanism model and the DiskUnit service thread
+// (src/disk/hp97560.h, disk_unit.h). Includes the calibration checks that pin
+// the rates the paper quotes: ~2.3 MB/s sustained per disk and the benefit of
+// sorted vs. unsorted random block access.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/disk/bus.h"
+#include "src/disk/disk_unit.h"
+#include "src/disk/geometry.h"
+#include "src/disk/hp97560.h"
+#include "src/sim/engine.h"
+
+namespace ddio::disk {
+namespace {
+
+constexpr std::uint32_t kBlockSectors = 16;  // 8 KB blocks.
+constexpr std::uint64_t kBlockBytes = 8192;
+
+Hp97560::Params DefaultParams() { return Hp97560::Params{}; }
+
+TEST(Hp97560Test, SustainedBandwidthMatchesPaperPeak) {
+  Hp97560 disk(DefaultParams());
+  // Table 1 quotes 2.34 MB/s peak; our skews give ~2.31 MB/s sustained
+  // including cylinder crossings.
+  EXPECT_NEAR(disk.SustainedBandwidthBytesPerSec() / 1e6, 2.34, 0.06);
+}
+
+TEST(Hp97560Test, FirstAccessPaysOverheadSeekAndRotation) {
+  Hp97560 disk(DefaultParams());
+  auto result = disk.Access(0, /*lbn=*/500 * 72, kBlockSectors, /*is_write=*/false);
+  EXPECT_FALSE(result.stream_hit);
+  EXPECT_EQ(result.overhead_ns, sim::FromMs(1.1));
+  // Seek from cylinder 0 to ~cylinder 26 (500*72 / 1368 sectors/cyl = 26).
+  EXPECT_GT(result.seek_ns, 0u);
+  EXPECT_EQ(result.media_ns, disk.params().geometry.StreamSpan(500 * 72, kBlockSectors));
+  EXPECT_EQ(result.completion,
+            result.overhead_ns + result.seek_ns + result.rotation_ns + result.media_ns);
+}
+
+TEST(Hp97560Test, SequentialReadContinuationIsStreamHit) {
+  Hp97560 disk(DefaultParams());
+  auto first = disk.Access(0, 0, kBlockSectors, false);
+  auto second = disk.Access(first.completion, kBlockSectors, kBlockSectors, false);
+  EXPECT_TRUE(second.stream_hit);
+  EXPECT_EQ(second.seek_ns, 0u);
+  EXPECT_EQ(second.rotation_ns, 0u);
+  EXPECT_EQ(second.overhead_ns, 0u);
+  // Continuation completes exactly one block of media time later.
+  EXPECT_EQ(second.completion - first.completion,
+            disk.params().geometry.StreamSpan(kBlockSectors, kBlockSectors));
+}
+
+TEST(Hp97560Test, LateReaderStillGetsBufferedData) {
+  Hp97560 disk(DefaultParams());
+  auto first = disk.Access(0, 0, kBlockSectors, false);
+  // Ask for the next block long after the media passed it: read-ahead buffer
+  // serves it instantly (completion == request time).
+  sim::SimTime late = first.completion + sim::FromMs(50);
+  auto second = disk.Access(late, kBlockSectors, kBlockSectors, false);
+  EXPECT_TRUE(second.stream_hit);
+  EXPECT_EQ(second.completion, late);
+}
+
+TEST(Hp97560Test, NonSequentialReadBreaksStream) {
+  Hp97560 disk(DefaultParams());
+  auto first = disk.Access(0, 0, kBlockSectors, false);
+  auto jump = disk.Access(first.completion, 100000, kBlockSectors, false);
+  EXPECT_FALSE(jump.stream_hit);
+  EXPECT_GT(jump.seek_ns, 0u);
+}
+
+TEST(Hp97560Test, TwoInterleavedStreamsPayRepositioning) {
+  // The mechanism is serial: alternating between two sequential localities
+  // forces a head movement per switch, so interleaving is far slower than
+  // running the same blocks as two back-to-back sequential bursts ("extra
+  // head movement", paper Section 6).
+  const int kBlocksPerStream = 8;
+  auto interleaved = [&] {
+    Hp97560 disk(DefaultParams());
+    std::uint64_t stream_a = 0;
+    std::uint64_t stream_b = 500000;
+    sim::SimTime t = 0;
+    for (int i = 0; i < kBlocksPerStream; ++i) {
+      t = disk.Access(t, stream_a, kBlockSectors, false).completion;
+      stream_a += kBlockSectors;
+      t = disk.Access(t, stream_b, kBlockSectors, false).completion;
+      stream_b += kBlockSectors;
+    }
+    return t;
+  }();
+  auto sequential = [&] {
+    Hp97560 disk(DefaultParams());
+    sim::SimTime t = 0;
+    for (int i = 0; i < kBlocksPerStream; ++i) {
+      t = disk.Access(t, static_cast<std::uint64_t>(i) * kBlockSectors, kBlockSectors, false)
+              .completion;
+    }
+    for (int i = 0; i < kBlocksPerStream; ++i) {
+      t = disk.Access(t, 500000 + static_cast<std::uint64_t>(i) * kBlockSectors, kBlockSectors,
+                      false)
+              .completion;
+    }
+    return t;
+  }();
+  EXPECT_GT(interleaved, 2 * sequential);
+}
+
+TEST(Hp97560Test, InterleavedStreamsCannotExceedMediaRate) {
+  // Regression test: the old per-segment model let two "streams" progress
+  // simultaneously, exceeding the physical media bandwidth.
+  Hp97560 disk(DefaultParams());
+  const int kBlocksPerStream = 32;
+  std::uint64_t stream_a = 0;
+  std::uint64_t stream_b = 500000;
+  sim::SimTime t = 0;
+  for (int i = 0; i < kBlocksPerStream; ++i) {
+    t = disk.Access(t, stream_a, kBlockSectors, false).completion;
+    stream_a += kBlockSectors;
+    t = disk.Access(t, stream_b, kBlockSectors, false).completion;
+    stream_b += kBlockSectors;
+  }
+  const double bytes = 2.0 * kBlocksPerStream * kBlockBytes;
+  const double rate = bytes / sim::ToSec(t);
+  EXPECT_LT(rate, disk.SustainedBandwidthBytesPerSec());
+}
+
+TEST(Hp97560Test, ThreeInterleavedStreamsThrashTwoSegments) {
+  // Three localities over two segments: every access evicts the segment the
+  // next locality needed ("multiple localities defeated the disk's internal
+  // caching", paper Section 6).
+  Hp97560 disk(DefaultParams());
+  std::uint64_t pos[3] = {0, 500000, 1000000};
+  sim::SimTime t = 0;
+  int hits = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (auto& p : pos) {
+      auto r = disk.Access(t, p, kBlockSectors, false);
+      t = r.completion;
+      hits += r.stream_hit ? 1 : 0;
+      p += kBlockSectors;
+    }
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(Hp97560Test, PromptSequentialWriteStreams) {
+  Hp97560 disk(DefaultParams());
+  auto first = disk.Access(0, 0, kBlockSectors, true);
+  // Next write command arrives exactly at completion: streams.
+  auto second = disk.Access(first.completion, kBlockSectors, kBlockSectors, true);
+  EXPECT_TRUE(second.stream_hit);
+}
+
+TEST(Hp97560Test, LateSequentialWriteRepositions) {
+  Hp97560 disk(DefaultParams());
+  auto first = disk.Access(0, 0, kBlockSectors, true);
+  // Arrives half a rotation late: head has passed the sector; must re-rotate.
+  auto second = disk.Access(first.completion + sim::FromMs(7), kBlockSectors, kBlockSectors, true);
+  EXPECT_FALSE(second.stream_hit);
+  EXPECT_GT(second.rotation_ns + second.seek_ns + second.overhead_ns, 0u);
+}
+
+TEST(Hp97560Test, ReadDoesNotContinueWriteStream) {
+  Hp97560 disk(DefaultParams());
+  auto first = disk.Access(0, 0, kBlockSectors, true);
+  auto second = disk.Access(first.completion, kBlockSectors, kBlockSectors, false);
+  EXPECT_FALSE(second.stream_hit);
+}
+
+TEST(Hp97560Test, SequentialStreamApproachesSustainedBandwidth) {
+  Hp97560 disk(DefaultParams());
+  const int kBlocks = 500;  // ~4 MB.
+  sim::SimTime t = 0;
+  for (int i = 0; i < kBlocks; ++i) {
+    auto r = disk.Access(t, static_cast<std::uint64_t>(i) * kBlockSectors, kBlockSectors, false);
+    t = r.completion;
+  }
+  double seconds = sim::ToSec(t);
+  double rate = kBlocks * kBlockBytes / seconds / 1e6;
+  // Within 5% of the geometric sustained rate (startup costs amortized).
+  EXPECT_NEAR(rate, disk.SustainedBandwidthBytesPerSec() / 1e6, 0.12);
+}
+
+TEST(Hp97560Test, SortedRandomBlocksBeatUnsortedBy40To50Percent) {
+  // The paper reports a 41-50% throughput boost from presorting the block
+  // list on the random-blocks layout. Reproduce that ratio at the mechanism
+  // level: 80 random blocks (what each disk serves for the 10 MB file).
+  Hp97560::Params params = DefaultParams();
+  const DiskGeometry geo = params.geometry;
+  const std::uint64_t slots = geo.TotalSectors() / kBlockSectors;
+
+  sim::Engine rng_engine(/*seed=*/17);
+  std::vector<std::uint64_t> lbns;
+  for (int i = 0; i < 80; ++i) {
+    lbns.push_back(rng_engine.rng().Uniform(0, slots - 1) * kBlockSectors);
+  }
+
+  auto run = [&](const std::vector<std::uint64_t>& order) {
+    Hp97560 disk(params);
+    sim::SimTime t = 0;
+    for (std::uint64_t lbn : order) {
+      t = disk.Access(t, lbn, kBlockSectors, false).completion;
+    }
+    return t;
+  };
+
+  sim::SimTime unsorted_time = run(lbns);
+  std::vector<std::uint64_t> sorted = lbns;
+  std::sort(sorted.begin(), sorted.end());
+  sim::SimTime sorted_time = run(sorted);
+
+  double boost = static_cast<double>(unsorted_time) / static_cast<double>(sorted_time) - 1.0;
+  EXPECT_GT(boost, 0.25) << "sorted should be much faster";
+  EXPECT_LT(boost, 0.75);
+  // Unsorted random-block rate lands near the paper's ~5 MB/s-per-16-disks
+  // regime: per disk ~0.3-0.45 MB/s... scaled: 80 blocks * 8 KB / time.
+  double unsorted_rate = 80.0 * kBlockBytes / sim::ToSec(unsorted_time) / 1e6;
+  double sorted_rate = 80.0 * kBlockBytes / sim::ToSec(sorted_time) / 1e6;
+  // 16 disks' aggregate would be 16x these; the paper saw ~5 and ~7.5 MB/s.
+  EXPECT_NEAR(unsorted_rate * 16, 5.0, 1.8);
+  EXPECT_NEAR(sorted_rate * 16, 7.5, 2.0);
+}
+
+TEST(Hp97560Test, StatsAccumulate) {
+  Hp97560 disk(DefaultParams());
+  sim::SimTime t = 0;
+  t = disk.Access(t, 0, kBlockSectors, false).completion;
+  t = disk.Access(t, kBlockSectors, kBlockSectors, false).completion;
+  t = disk.Access(t, 777777, kBlockSectors, true).completion;
+  const auto& stats = disk.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.stream_hits, 1u);
+  EXPECT_EQ(stats.seeks, 1u);  // Only the jump to 777777 moved the arm.
+  EXPECT_GT(stats.media_ns, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DiskUnit (service thread + bus pipeline).
+
+TEST(DiskUnitTest, SingleReadCompletesAfterMediaAndBus) {
+  sim::Engine engine;
+  ScsiBus bus(engine, "bus0");
+  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  disk.Start();
+  sim::SimTime done_at = 0;
+  engine.Spawn([](sim::Engine& e, DiskUnit& d, sim::SimTime& t) -> sim::Task<> {
+    co_await d.Read(0, kBlockSectors);
+    t = e.now();
+  }(engine, disk, done_at));
+  engine.Run();
+  // Media: overhead 1.1 ms + rotation (0: already at phase 0 from t=0... may
+  // rotate) + 16 sectors; bus: 8 KB / 10 MB/s = 819.2 us.
+  EXPECT_GT(done_at, sim::FromMs(1.1) + 16 * DiskGeometry{}.SectorTime());
+  EXPECT_EQ(disk.stats().read_requests, 1u);
+  EXPECT_EQ(disk.stats().bytes_read, kBlockBytes);
+  EXPECT_EQ(bus.transfer_count(), 1u);
+}
+
+TEST(DiskUnitTest, QueuedReadsServicedFifoAndPipelineWithBus) {
+  sim::Engine engine;
+  ScsiBus bus(engine, "bus0");
+  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  disk.Start();
+  std::vector<int> completion_order;
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn([](DiskUnit& d, std::vector<int>& order, int id) -> sim::Task<> {
+      co_await d.Read(static_cast<std::uint64_t>(id) * kBlockSectors, kBlockSectors);
+      order.push_back(id);
+    }(disk, completion_order, i));
+  }
+  engine.Run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2, 3}));
+  // Sequential blocks: 3 stream hits after the first positioning access.
+  EXPECT_EQ(disk.mechanism().stats().stream_hits, 3u);
+}
+
+TEST(DiskUnitTest, StreamingThroughputThroughUnitNearMediaRate) {
+  sim::Engine engine;
+  ScsiBus bus(engine, "bus0");
+  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  disk.Start();
+  const int kBlocks = 200;
+  sim::SimTime done_at = 0;
+  engine.Spawn([](sim::Engine& e, DiskUnit& d, sim::SimTime& t) -> sim::Task<> {
+    // Double-buffered consumer: keep two requests outstanding, like the DDIO
+    // buffer threads.
+    sim::Semaphore window(e, 2);
+    sim::CountdownLatch latch(e, kBlocks);
+    for (int i = 0; i < kBlocks; ++i) {
+      co_await window.Acquire();
+      e.Spawn([](DiskUnit& dd, sim::Semaphore& w, sim::CountdownLatch& l,
+                 std::uint64_t lbn) -> sim::Task<> {
+        co_await dd.Read(lbn, kBlockSectors);
+        w.Release();
+        l.CountDown();
+      }(d, window, latch, static_cast<std::uint64_t>(i) * kBlockSectors));
+    }
+    co_await latch.Wait();
+    t = e.now();
+  }(engine, disk, done_at));
+  engine.Run();
+  double rate = kBlocks * kBlockBytes / sim::ToSec(done_at) / 1e6;
+  // Media-limited (~2.3 MB/s), not bus-limited (10 MB/s).
+  EXPECT_GT(rate, 2.1);
+  EXPECT_LT(rate, 2.45);
+}
+
+TEST(DiskUnitTest, WritesReportAfterMedia) {
+  sim::Engine engine;
+  ScsiBus bus(engine, "bus0");
+  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  disk.Start();
+  sim::SimTime done_at = 0;
+  engine.Spawn([](sim::Engine& e, DiskUnit& d, sim::SimTime& t) -> sim::Task<> {
+    co_await d.Write(0, kBlockSectors);
+    t = e.now();
+  }(engine, disk, done_at));
+  engine.Run();
+  // Must include the bus leg (819.2 us) AND media (overhead+rot+transfer).
+  EXPECT_GT(done_at, sim::FromUs(819) + sim::FromMs(1.1));
+  EXPECT_EQ(disk.stats().write_requests, 1u);
+  EXPECT_EQ(disk.stats().bytes_written, kBlockBytes);
+}
+
+TEST(DiskUnitTest, TwoDisksShareOneBus) {
+  sim::Engine engine;
+  ScsiBus bus(engine, "bus0");
+  DiskUnit disk_a(engine, DefaultParams(), bus, 0);
+  DiskUnit disk_b(engine, DefaultParams(), bus, 1);
+  disk_a.Start();
+  disk_b.Start();
+  engine.Spawn([](DiskUnit& d) -> sim::Task<> { co_await d.Read(0, kBlockSectors); }(disk_a));
+  engine.Spawn([](DiskUnit& d) -> sim::Task<> { co_await d.Read(0, kBlockSectors); }(disk_b));
+  engine.Run();
+  // Both transfers went over the same bus resource.
+  EXPECT_EQ(bus.transfer_count(), 2u);
+  EXPECT_EQ(bus.busy_time(), 2 * sim::TransferTimeNs(kBlockBytes, 10'000'000));
+}
+
+TEST(DiskUnitTest, StopDrainsAndTerminates) {
+  sim::Engine engine;
+  ScsiBus bus(engine, "bus0");
+  auto disk = std::make_unique<DiskUnit>(engine, DefaultParams(), bus, 0);
+  disk->Start();
+  bool read_done = false;
+  engine.Spawn([](DiskUnit& d, bool& flag) -> sim::Task<> {
+    co_await d.Read(0, kBlockSectors);
+    flag = true;
+  }(*disk, read_done));
+  engine.Run();
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(engine.live_root_count(), 1u);  // Service loop still parked.
+  disk->Stop();
+  engine.Run();
+  EXPECT_EQ(engine.live_root_count(), 0u);  // Service loop exited cleanly.
+}
+
+}  // namespace
+}  // namespace ddio::disk

@@ -1,0 +1,131 @@
+// Focused tests for the firmware read-ahead model in Hp97560: lazy frontier
+// extension with skew-gap accounting, the window cap, and availability
+// timing — the machinery behind both DDIO's streaming rate and traditional
+// caching's locality sensitivity.
+
+#include <gtest/gtest.h>
+
+#include "src/disk/geometry.h"
+#include "src/disk/hp97560.h"
+
+namespace ddio::disk {
+namespace {
+
+constexpr std::uint32_t kBlockSectors = 16;
+
+TEST(ReadaheadTest, IdleTimeBuffersTheNextBlock) {
+  Hp97560 disk{Hp97560::Params{}};
+  auto first = disk.Access(0, 0, kBlockSectors, false);
+  // Wait long enough for the media to have read the next block into the
+  // buffer, then request it: served instantly from cache.
+  sim::SimTime late = first.completion + sim::FromMs(20);
+  auto second = disk.Access(late, kBlockSectors, kBlockSectors, false);
+  EXPECT_TRUE(second.stream_hit);
+  EXPECT_EQ(second.completion, late);
+  EXPECT_EQ(second.media_ns, 0u);  // No commanded media work.
+}
+
+TEST(ReadaheadTest, WindowCapBoundsTheFrontier) {
+  Hp97560::Params params;
+  params.readahead_window_sectors = kBlockSectors;  // One block.
+  Hp97560 disk(params);
+  auto first = disk.Access(0, 0, kBlockSectors, false);
+  // After a very long idle, only `window` sectors beyond the consumed point
+  // can be buffered: block 1, not block 2.
+  sim::SimTime late = first.completion + sim::FromSec(1);
+  auto second = disk.Access(late, 16, kBlockSectors, false);
+  EXPECT_TRUE(second.stream_hit);
+  EXPECT_EQ(second.completion, late);  // Within window: buffered.
+  // Consuming block 1 slides the window, but no idle time has passed since,
+  // so block 2 is beyond the frontier: commanded media work.
+  auto third = disk.Access(late, 32, kBlockSectors, false);
+  EXPECT_TRUE(third.stream_hit);       // Still a continuation (head-continue)...
+  EXPECT_GT(third.completion, late);   // ...but it must wait for the media.
+}
+
+TEST(ReadaheadTest, FrontierAdvanceRespectsSkewGaps) {
+  // Give the media exactly one track's worth of data time plus half the
+  // track-skew gap: the frontier must stop at the track boundary, because
+  // crossing costs the full gap.
+  Hp97560::Params params;
+  params.readahead_window_sectors = 1000;
+  const DiskGeometry geo = params.geometry;
+  Hp97560 disk(params);
+  auto first = disk.Access(0, 0, kBlockSectors, false);  // Reads sectors 0..15.
+  // Media continues from sector 16. Budget: to end of track 0 (56 sectors)
+  // plus half a gap.
+  const sim::SimTime budget = 56 * geo.SectorTime() +
+                              geo.track_skew_sectors * geo.SectorTime() / 2;
+  const sim::SimTime when = first.completion + budget;
+  // Sector 71 (last of track 0) must be buffered...
+  auto last_of_track = disk.Access(when, 16, 56, false);
+  EXPECT_TRUE(last_of_track.stream_hit);
+  EXPECT_EQ(last_of_track.completion, when);
+  // ...but sector 72 (first of track 1) must not be: the skew gap did not
+  // fit in the budget, so this costs commanded media time.
+  auto next_track = disk.Access(when, 72, kBlockSectors, false);
+  EXPECT_GT(next_track.completion, when);
+}
+
+TEST(ReadaheadTest, BufferedDataHasStreamingAvailability) {
+  // A consumer slightly slower than the media sees each block available at
+  // the media's streaming time, not instantaneously.
+  Hp97560 disk{Hp97560::Params{}};
+  const DiskGeometry geo = Hp97560::Params{}.geometry;
+  auto first = disk.Access(0, 0, kBlockSectors, false);
+  // Request block 1 immediately: availability = media streaming time.
+  auto second = disk.Access(first.completion, kBlockSectors, kBlockSectors, false);
+  const sim::SimTime expected_span = geo.StreamSpan(kBlockSectors, kBlockSectors);
+  EXPECT_EQ(second.completion - first.completion, expected_span);
+}
+
+TEST(ReadaheadTest, WriteStreamsDoNotReadAhead) {
+  Hp97560 disk{Hp97560::Params{}};
+  auto first = disk.Access(0, 0, kBlockSectors, true);
+  // Even after a long idle, a late sequential write pays repositioning: the
+  // firmware cannot pre-write.
+  auto second = disk.Access(first.completion + sim::FromMs(20), kBlockSectors, kBlockSectors,
+                            true);
+  EXPECT_FALSE(second.stream_hit);
+  EXPECT_GT(second.completion - (first.completion + sim::FromMs(20)), 0u);
+}
+
+TEST(ReadaheadTest, ReadAfterWriteOnSameSectorsIsNewStream) {
+  Hp97560 disk{Hp97560::Params{}};
+  auto w = disk.Access(0, 0, kBlockSectors, true);
+  auto r = disk.Access(w.completion, kBlockSectors, kBlockSectors, false);
+  EXPECT_FALSE(r.stream_hit);
+  EXPECT_GT(r.overhead_ns, 0u);  // Controller overhead for the new stream.
+}
+
+TEST(ReadaheadTest, ParkedStreamKeepsItsBufferedData) {
+  // Stream A buffers ahead; the head leaves for B; A's already-buffered
+  // sectors are still served from cache on return.
+  Hp97560::Params params;
+  params.readahead_window_sectors = 128;
+  Hp97560 disk(params);
+  auto a1 = disk.Access(0, 0, kBlockSectors, false);
+  // Idle long enough to buffer A's next blocks.
+  sim::SimTime t = a1.completion + sim::FromMs(25);
+  auto b1 = disk.Access(t, 1'000'000, kBlockSectors, false);
+  t = b1.completion;
+  // A's block 1 was read into the segment before the head left: cache hit,
+  // no repositioning.
+  auto a2 = disk.Access(t, kBlockSectors, kBlockSectors, false);
+  EXPECT_TRUE(a2.stream_hit);
+  EXPECT_EQ(a2.completion, t);
+  EXPECT_EQ(a2.seek_ns, 0u);
+}
+
+TEST(ReadaheadTest, ResumeBeyondBufferPaysReposition) {
+  Hp97560 disk{Hp97560::Params{}};
+  auto a1 = disk.Access(0, 0, kBlockSectors, false);
+  // Immediately steal the head for B: no idle time, nothing buffered for A.
+  auto b1 = disk.Access(a1.completion, 1'000'000, kBlockSectors, false);
+  auto a2 = disk.Access(b1.completion, kBlockSectors, kBlockSectors, false);
+  EXPECT_FALSE(a2.stream_hit);
+  EXPECT_GT(a2.seek_ns, 0u);  // Head had moved to B's cylinder.
+}
+
+}  // namespace
+}  // namespace ddio::disk

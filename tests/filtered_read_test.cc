@@ -1,0 +1,117 @@
+// Tests for filtered collective reads (paper Section 8: transfers
+// "selecting only a subset of records that match some criterion").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/machine.h"
+#include "src/core/op_stats.h"
+#include "src/ddio/ddio_fs.h"
+#include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/engine.h"
+
+namespace ddio::ddio_fs {
+namespace {
+
+struct FilterFixture {
+  sim::Engine engine{11};
+  core::MachineConfig mc;
+  std::unique_ptr<core::Machine> machine;
+  std::unique_ptr<fs::StripedFile> file;
+  std::unique_ptr<pattern::AccessPattern> pattern;
+  std::unique_ptr<DdioFileSystem> fs;
+
+  explicit FilterFixture(std::uint32_t record_bytes = 8192, bool gather = false) {
+    mc.num_cps = 4;
+    mc.num_iops = 4;
+    mc.num_disks = 4;
+    machine = std::make_unique<core::Machine>(engine, mc);
+    fs::StripedFile::Params fp;
+    fp.file_bytes = 512 * 1024;
+    fp.num_disks = 4;
+    file = std::make_unique<fs::StripedFile>(fp, engine.rng());
+    pattern = std::make_unique<pattern::AccessPattern>(pattern::PatternSpec::Parse("rb"),
+                                                       fp.file_bytes, record_bytes, 4);
+    DdioParams params;
+    params.gather_scatter = gather;
+    fs = std::make_unique<DdioFileSystem>(*machine, params);
+    fs->Start();
+  }
+
+  core::OpStats Run(double selectivity, std::uint64_t seed = 7) {
+    core::OpStats stats;
+    engine.Spawn(fs->RunFilteredRead(*file, *pattern, selectivity, seed, &stats));
+    engine.Run();
+    return stats;
+  }
+};
+
+TEST(FilteredReadTest, FullSelectivityDeliversEverything) {
+  FilterFixture f;
+  auto stats = f.Run(1.0);
+  EXPECT_EQ(stats.bytes_delivered, 512u * 1024);
+}
+
+TEST(FilteredReadTest, ZeroSelectivityDeliversNothingButStillReadsDisk) {
+  FilterFixture f;
+  auto stats = f.Run(0.0);
+  EXPECT_EQ(stats.bytes_delivered, 0u);
+  EXPECT_EQ(stats.pieces, 0u);
+  // Every block still came off the disk: the scan is the work.
+  EXPECT_EQ(f.machine->AggregateDiskStats().reads, 64u);
+  EXPECT_GT(stats.elapsed_ns(), 0u);
+}
+
+TEST(FilteredReadTest, HalfSelectivityDeliversRoughlyHalf) {
+  FilterFixture f;
+  auto stats = f.Run(0.5);
+  const double fraction =
+      static_cast<double>(stats.bytes_delivered) / (512.0 * 1024.0);
+  EXPECT_GT(fraction, 0.35);
+  EXPECT_LT(fraction, 0.65);
+}
+
+TEST(FilteredReadTest, SelectionIsDeterministicPerSeed) {
+  FilterFixture a, b, c;
+  auto bytes_a = a.Run(0.3, 42).bytes_delivered;
+  auto bytes_b = b.Run(0.3, 42).bytes_delivered;
+  auto bytes_c = c.Run(0.3, 43).bytes_delivered;
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_NE(bytes_a, bytes_c);  // Different predicate, different survivors.
+}
+
+TEST(FilteredReadTest, SmallRecordsFilterAtRecordGranularity) {
+  FilterFixture f(/*record_bytes=*/8);
+  auto stats = f.Run(0.25);
+  // Every delivered byte belongs to a matching 8-byte record.
+  EXPECT_EQ(stats.bytes_delivered % 8, 0u);
+  const double fraction =
+      static_cast<double>(stats.bytes_delivered) / (512.0 * 1024.0);
+  EXPECT_NEAR(fraction, 0.25, 0.05);
+}
+
+TEST(FilteredReadTest, GatherModeDeliversSameBytes) {
+  FilterFixture plain(8, false), gathered(8, true);
+  auto plain_stats = plain.Run(0.25, 9);
+  auto gather_stats = gathered.Run(0.25, 9);
+  EXPECT_EQ(plain_stats.bytes_delivered, gather_stats.bytes_delivered);
+  // Gather coalesces: far fewer network messages for the same data.
+  EXPECT_LT(gathered.machine->network().stats().messages,
+            plain.machine->network().stats().messages / 2);
+}
+
+TEST(FilteredReadTest, LowSelectivityShipsFarLessOverNetwork) {
+  FilterFixture full, sparse;
+  auto full_stats = full.Run(1.0);
+  auto sparse_stats = sparse.Run(0.05);
+  EXPECT_LT(sparse_stats.bytes_delivered, full_stats.bytes_delivered / 10);
+  // The scan is disk-bound either way; elapsed within ~25%.
+  const double ratio = static_cast<double>(sparse_stats.elapsed_ns()) /
+                       static_cast<double>(full_stats.elapsed_ns());
+  EXPECT_NEAR(ratio, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace ddio::ddio_fs

@@ -1,0 +1,149 @@
+// Unit tests for file layouts and the striped file (src/fs/).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "src/fs/layout.h"
+#include "src/fs/striped_file.h"
+#include "src/sim/rng.h"
+
+namespace ddio::fs {
+namespace {
+
+TEST(LayoutTest, ContiguousIsConsecutiveSlots) {
+  sim::Rng rng(7);
+  auto lbns = GenerateLayout(LayoutKind::kContiguous, 80, 167'000, 16, rng);
+  ASSERT_EQ(lbns.size(), 80u);
+  for (std::size_t i = 1; i < lbns.size(); ++i) {
+    EXPECT_EQ(lbns[i] - lbns[i - 1], 16u);
+  }
+  EXPECT_EQ(lbns[0] % 16, 0u);
+}
+
+TEST(LayoutTest, ContiguousFitsWithinDisk) {
+  sim::Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto lbns = GenerateLayout(LayoutKind::kContiguous, 100, 150, 16, rng);
+    EXPECT_LE(lbns.back(), (150 - 1) * 16u);
+  }
+}
+
+TEST(LayoutTest, RandomBlocksAreDistinctAndAligned) {
+  sim::Rng rng(11);
+  auto lbns = GenerateLayout(LayoutKind::kRandomBlocks, 500, 167'000, 16, rng);
+  ASSERT_EQ(lbns.size(), 500u);
+  std::set<std::uint64_t> unique(lbns.begin(), lbns.end());
+  EXPECT_EQ(unique.size(), 500u);
+  for (std::uint64_t lbn : lbns) {
+    EXPECT_EQ(lbn % 16, 0u);
+    EXPECT_LT(lbn, 167'000u * 16);
+  }
+}
+
+TEST(LayoutTest, RandomBlocksAreNotSorted) {
+  // Vanishingly unlikely for 500 random slots to come out sorted; this pins
+  // that we do NOT sort (the DDIO presort must be the component that sorts).
+  sim::Rng rng(13);
+  auto lbns = GenerateLayout(LayoutKind::kRandomBlocks, 500, 167'000, 16, rng);
+  EXPECT_FALSE(std::is_sorted(lbns.begin(), lbns.end()));
+}
+
+TEST(LayoutTest, ExactFitContiguous) {
+  sim::Rng rng(5);
+  auto lbns = GenerateLayout(LayoutKind::kContiguous, 100, 100, 16, rng);
+  EXPECT_EQ(lbns.front(), 0u);  // Only one possible placement.
+}
+
+TEST(LayoutTest, DeterministicGivenSeed) {
+  sim::Rng rng_a(42), rng_b(42);
+  auto a = GenerateLayout(LayoutKind::kRandomBlocks, 64, 10'000, 16, rng_a);
+  auto b = GenerateLayout(LayoutKind::kRandomBlocks, 64, 10'000, 16, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+StripedFile::Params PaperFile(LayoutKind layout = LayoutKind::kContiguous) {
+  StripedFile::Params params;
+  params.layout = layout;
+  return params;
+}
+
+TEST(StripedFileTest, PaperFileHas1280Blocks) {
+  sim::Rng rng(1);
+  StripedFile file(PaperFile(), rng);
+  EXPECT_EQ(file.num_blocks(), 1280u);
+  EXPECT_EQ(file.block_bytes(), 8192u);
+  EXPECT_EQ(file.num_disks(), 16u);
+}
+
+TEST(StripedFileTest, BlockByBlockStriping) {
+  sim::Rng rng(1);
+  StripedFile file(PaperFile(), rng);
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    EXPECT_EQ(file.DiskOfBlock(b), b % 16);
+    EXPECT_EQ(file.LocalIndexOfBlock(b), b / 16);
+  }
+}
+
+TEST(StripedFileTest, BlocksPerDiskBalanced) {
+  sim::Rng rng(1);
+  StripedFile file(PaperFile(), rng);
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    EXPECT_EQ(file.BlocksOnDisk(d), 80u);  // 1280 / 16.
+    EXPECT_EQ(file.FileBlocksOnDisk(d).size(), 80u);
+  }
+}
+
+TEST(StripedFileTest, UnevenBlockCountDistributesRemainder) {
+  sim::Rng rng(1);
+  StripedFile::Params params = PaperFile();
+  params.file_bytes = 10 * 8192 + 1;  // 11 blocks over 16 disks.
+  StripedFile file(params, rng);
+  EXPECT_EQ(file.num_blocks(), 11u);
+  std::uint64_t total = 0;
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    total += file.BlocksOnDisk(d);
+    EXPECT_LE(file.BlocksOnDisk(d), 1u);
+  }
+  EXPECT_EQ(total, 11u);
+  EXPECT_EQ(file.BlockLength(10), 1u);  // Final short block.
+  EXPECT_EQ(file.BlockLength(0), 8192u);
+}
+
+TEST(StripedFileTest, ContiguousLayoutYieldsAscendingLbns) {
+  sim::Rng rng(3);
+  StripedFile file(PaperFile(LayoutKind::kContiguous), rng);
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    auto blocks = file.FileBlocksOnDisk(d);
+    std::uint64_t prev = file.LbnOfBlock(blocks[0]);
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+      std::uint64_t lbn = file.LbnOfBlock(blocks[i]);
+      EXPECT_EQ(lbn, prev + 16);  // 8 KB blocks = 16 sectors apart.
+      prev = lbn;
+    }
+  }
+}
+
+TEST(StripedFileTest, RandomLayoutsDifferAcrossDisks) {
+  sim::Rng rng(3);
+  StripedFile file(PaperFile(LayoutKind::kRandomBlocks), rng);
+  EXPECT_NE(file.LbnOfBlock(0), file.LbnOfBlock(1));  // Different disks, ~never equal.
+  // All placements block-aligned and within the disk.
+  for (std::uint64_t b = 0; b < file.num_blocks(); ++b) {
+    EXPECT_EQ(file.LbnOfBlock(b) % 16, 0u);
+  }
+}
+
+TEST(StripedFileTest, SingleDiskConfiguration) {
+  sim::Rng rng(3);
+  StripedFile::Params params = PaperFile();
+  params.num_disks = 1;
+  StripedFile file(params, rng);
+  EXPECT_EQ(file.BlocksOnDisk(0), 1280u);
+  EXPECT_EQ(file.DiskOfBlock(1279), 0u);
+}
+
+}  // namespace
+}  // namespace ddio::fs

@@ -1,0 +1,170 @@
+// Tests for machine assembly, configuration defaults (Table 1), node
+// numbering, disk->IOP mapping, and edge configurations.
+
+#include <gtest/gtest.h>
+
+#include "src/core/config.h"
+#include "src/core/machine.h"
+#include "src/sim/engine.h"
+#include "tests/test_util.h"
+
+namespace ddio::core {
+namespace {
+
+TEST(ConfigTest, DefaultsMatchTable1) {
+  MachineConfig config;
+  EXPECT_EQ(config.num_cps, 16u);
+  EXPECT_EQ(config.num_iops, 16u);
+  EXPECT_EQ(config.num_disks, 16u);
+  EXPECT_EQ(config.num_nodes(), 32u);
+  EXPECT_EQ(config.cpu_mhz, 50u);
+  EXPECT_EQ(config.block_bytes, 8192u);
+  EXPECT_EQ(config.bus_bandwidth_bytes_per_sec, 10'000'000u);
+  EXPECT_EQ(config.net.link_bandwidth_bytes_per_sec, 200'000'000u);
+  EXPECT_EQ(config.net.per_hop_latency_ns, 20u);
+  EXPECT_EQ(config.disk.geometry.cylinders, 1962u);
+}
+
+TEST(ConfigTest, DiskToIopRoundRobin) {
+  MachineConfig config;
+  config.num_iops = 4;
+  config.num_disks = 10;
+  for (std::uint32_t d = 0; d < 10; ++d) {
+    EXPECT_EQ(config.IopOfDisk(d), d % 4);
+  }
+  // 10 disks over 4 IOPs: 3,3,2,2.
+  EXPECT_EQ(config.DisksOnIop(0), 3u);
+  EXPECT_EQ(config.DisksOnIop(1), 3u);
+  EXPECT_EQ(config.DisksOnIop(2), 2u);
+  EXPECT_EQ(config.DisksOnIop(3), 2u);
+}
+
+TEST(MachineTest, NodeNumbering) {
+  sim::Engine engine;
+  MachineConfig config;
+  config.num_cps = 4;
+  config.num_iops = 3;
+  config.num_disks = 3;
+  Machine machine(engine, config);
+  EXPECT_EQ(machine.NodeOfCp(0), 0);
+  EXPECT_EQ(machine.NodeOfCp(3), 3);
+  EXPECT_EQ(machine.NodeOfIop(0), 4);
+  EXPECT_EQ(machine.NodeOfIop(2), 6);
+  EXPECT_FALSE(machine.IsIopNode(3));
+  EXPECT_TRUE(machine.IsIopNode(4));
+  EXPECT_EQ(machine.IopOfNode(6), 2u);
+  EXPECT_EQ(machine.network().node_count(), 7u);
+}
+
+TEST(MachineTest, DisksShareTheirIopsBus) {
+  sim::Engine engine;
+  MachineConfig config;
+  config.num_iops = 2;
+  config.num_disks = 6;
+  Machine machine(engine, config);
+  // Disks 0,2,4 -> IOP 0; disks 1,3,5 -> IOP 1.
+  EXPECT_EQ(&machine.Disk(0).bus(), &machine.Bus(0));
+  EXPECT_EQ(&machine.Disk(2).bus(), &machine.Bus(0));
+  EXPECT_EQ(&machine.Disk(1).bus(), &machine.Bus(1));
+  EXPECT_EQ(&machine.Disk(5).bus(), &machine.Bus(1));
+}
+
+TEST(MachineTest, ChargeOccupiesTheRightCpu) {
+  sim::Engine engine;
+  MachineConfig config;
+  config.num_cps = 2;
+  config.num_iops = 2;
+  config.num_disks = 2;
+  Machine machine(engine, config);
+  engine.Spawn([](Machine& m) -> sim::Task<> {
+    co_await m.ChargeCp(0, 1000);   // 1000 cycles @50 MHz = 20 us.
+    co_await m.ChargeIop(1, 500);
+  }(machine));
+  engine.Run();
+  EXPECT_EQ(machine.CpCpu(0).busy_time(), 20000u);
+  EXPECT_EQ(machine.CpCpu(1).busy_time(), 0u);
+  EXPECT_EQ(machine.IopCpu(1).busy_time(), 10000u);
+  EXPECT_EQ(machine.IopCpu(0).busy_time(), 0u);
+}
+
+TEST(MachineTest, AggregateDiskStatsSumsSpindles) {
+  sim::Engine engine;
+  MachineConfig config;
+  config.num_cps = 1;
+  config.num_iops = 2;
+  config.num_disks = 2;
+  Machine machine(engine, config);
+  machine.StartDisks();
+  engine.Spawn([](Machine& m) -> sim::Task<> {
+    co_await m.Disk(0).Read(0, 16);
+    co_await m.Disk(1).Read(0, 16);
+    co_await m.Disk(1).Read(16, 16);
+  }(machine));
+  engine.Run();
+  auto stats = machine.AggregateDiskStats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.reads, 3u);
+}
+
+// Edge configurations exercised end to end.
+
+TEST(EdgeConfigTest, SingleCpSingleIopSingleDisk) {
+  ::ddio::testing::E2eConfig cfg;
+  cfg.cps = 1;
+  cfg.iops = 1;
+  cfg.disks = 1;
+  cfg.file_bytes = 128 * 1024;
+  for (auto method : {::ddio::testing::Method::kTc, ::ddio::testing::Method::kDdio}) {
+    auto result = RunOne(method, "rb", cfg);
+    EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  }
+}
+
+TEST(EdgeConfigTest, MoreIopsThanDisks) {
+  ::ddio::testing::E2eConfig cfg;
+  cfg.cps = 4;
+  cfg.iops = 4;
+  cfg.disks = 2;  // IOPs 2 and 3 have no disks but still answer collectives.
+  auto result = RunOne(::ddio::testing::Method::kDdio, "rbb", cfg);
+  EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+}
+
+TEST(EdgeConfigTest, MoreDisksThanBlocks) {
+  ::ddio::testing::E2eConfig cfg;
+  cfg.cps = 4;
+  cfg.iops = 4;
+  cfg.disks = 4;
+  cfg.file_bytes = 2 * 8192;  // Two blocks over four disks: two disks idle.
+  for (auto method : {::ddio::testing::Method::kTc, ::ddio::testing::Method::kDdio}) {
+    auto result = RunOne(method, "rb", cfg);
+    EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  }
+}
+
+TEST(EdgeConfigTest, SingleBlockFile) {
+  ::ddio::testing::E2eConfig cfg;
+  cfg.cps = 4;
+  cfg.iops = 2;
+  cfg.disks = 2;
+  cfg.file_bytes = 8192;
+  cfg.record_bytes = 8;
+  for (const char* pattern : {"rb", "rc", "wb", "wc"}) {
+    auto result = RunOne(::ddio::testing::Method::kDdio, pattern, cfg);
+    EXPECT_TRUE(result.valid) << pattern;
+  }
+}
+
+TEST(EdgeConfigTest, ManyDisksPerIop) {
+  ::ddio::testing::E2eConfig cfg;
+  cfg.cps = 4;
+  cfg.iops = 1;
+  cfg.disks = 8;
+  cfg.file_bytes = 512 * 1024;
+  auto result = RunOne(::ddio::testing::Method::kDdio, "rb", cfg);
+  EXPECT_TRUE(result.valid) << (result.errors.empty() ? "" : result.errors[0]);
+  // One bus serves all 8 disks; throughput must respect the 10 MB/s bus.
+  EXPECT_LT(result.stats.ThroughputMBps(), 10.5);
+}
+
+}  // namespace
+}  // namespace ddio::core

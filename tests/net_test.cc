@@ -1,0 +1,235 @@
+// Unit tests for the torus topology and the network transport
+// (src/net/topology.h, network.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/net/network.h"
+#include "src/net/topology.h"
+#include "src/sim/engine.h"
+
+namespace ddio::net {
+namespace {
+
+TEST(TorusTest, PaperConfigurationIs6x6) {
+  auto torus = TorusTopology::ForNodeCount(32);
+  EXPECT_EQ(torus.width(), 6u);
+  EXPECT_EQ(torus.height(), 6u);
+}
+
+TEST(TorusTest, SmallCountsGetMinimalGrids) {
+  EXPECT_EQ(TorusTopology::ForNodeCount(1).width() * TorusTopology::ForNodeCount(1).height(), 1u);
+  auto two = TorusTopology::ForNodeCount(2);
+  EXPECT_GE(two.width() * two.height(), 2u);
+  auto seventeen = TorusTopology::ForNodeCount(17);
+  EXPECT_GE(seventeen.width() * seventeen.height(), 17u);
+  EXPECT_LE(seventeen.width() * seventeen.height(), 25u);
+}
+
+TEST(TorusTest, HopsZeroToSelf) {
+  TorusTopology torus(6, 6);
+  for (std::uint32_t n = 0; n < 36; ++n) {
+    EXPECT_EQ(torus.Hops(n, n), 0u);
+  }
+}
+
+TEST(TorusTest, HopsAreSymmetric) {
+  TorusTopology torus(6, 6);
+  for (std::uint32_t a = 0; a < 36; ++a) {
+    for (std::uint32_t b = 0; b < 36; ++b) {
+      EXPECT_EQ(torus.Hops(a, b), torus.Hops(b, a));
+    }
+  }
+}
+
+TEST(TorusTest, WrapAroundShortensPaths) {
+  TorusTopology torus(6, 6);
+  // Node 0 (0,0) to node 5 (5,0): wrap gives 1 hop, not 5.
+  EXPECT_EQ(torus.Hops(0, 5), 1u);
+  // Node 0 to node 30 (0,5): 1 hop via vertical wrap.
+  EXPECT_EQ(torus.Hops(0, 30), 1u);
+  // Node 0 to node 35 (5,5): 2 hops via both wraps.
+  EXPECT_EQ(torus.Hops(0, 35), 2u);
+}
+
+TEST(TorusTest, DiameterBound) {
+  TorusTopology torus(6, 6);
+  EXPECT_EQ(torus.Diameter(), 6u);
+  std::uint32_t max_hops = 0;
+  for (std::uint32_t a = 0; a < 36; ++a) {
+    for (std::uint32_t b = 0; b < 36; ++b) {
+      max_hops = std::max(max_hops, torus.Hops(a, b));
+    }
+  }
+  EXPECT_EQ(max_hops, torus.Diameter());
+}
+
+TEST(TorusTest, TriangleInequality) {
+  TorusTopology torus(4, 3);
+  for (std::uint32_t a = 0; a < 12; ++a) {
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      for (std::uint32_t c = 0; c < 12; ++c) {
+        EXPECT_LE(torus.Hops(a, c), torus.Hops(a, b) + torus.Hops(b, c));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Network transport.
+
+Message Probe(std::uint16_t src, std::uint16_t dst, std::uint32_t bytes) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.data_bytes = bytes;
+  m.payload = CompletionNote{src};
+  return m;
+}
+
+TEST(NetworkTest, DeliveryLatencyMatchesModel) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  sim::SimTime arrival = 0;
+  engine.Spawn([](sim::Engine& e, Network& n, sim::SimTime& t) -> sim::Task<> {
+    co_await n.Send(Probe(0, 1, 8192));
+    auto msg = co_await n.Inbox(1).Receive();
+    (void)msg;
+    t = e.now();
+  }(engine, net, arrival));
+  engine.Run();
+  // Wire = 8192+32 bytes at 200 MB/s twice (send + receive NIC) + 1 hop.
+  const sim::SimTime leg = sim::TransferTimeNs(8224, 200'000'000);
+  EXPECT_EQ(arrival, 2 * leg + 20);
+}
+
+TEST(NetworkTest, ZeroHopStillPaysNicTime) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  sim::SimTime arrival = 0;
+  engine.Spawn([](sim::Engine& e, Network& n, sim::SimTime& t) -> sim::Task<> {
+    n.Post(Probe(3, 3, 0));
+    auto msg = co_await n.Inbox(3).Receive();
+    (void)msg;
+    t = e.now();
+  }(engine, net, arrival));
+  engine.Run();
+  EXPECT_EQ(arrival, 2 * sim::TransferTimeNs(32, 200'000'000));
+}
+
+TEST(NetworkTest, SenderNicSerializesBackToBackMessages) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  std::vector<sim::SimTime> arrivals;
+  engine.Spawn([](sim::Engine& e, Network& n, std::vector<sim::SimTime>& out) -> sim::Task<> {
+    for (int i = 0; i < 3; ++i) {
+      n.Post(Probe(0, 1, 8192));
+    }
+    for (int i = 0; i < 3; ++i) {
+      (void)co_await n.Inbox(1).Receive();
+      out.push_back(e.now());
+    }
+  }(engine, net, arrivals));
+  engine.Run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const sim::SimTime leg = sim::TransferTimeNs(8224, 200'000'000);
+  // Pipelined: successive arrivals one NIC-leg apart, not two.
+  EXPECT_EQ(arrivals[1] - arrivals[0], leg);
+  EXPECT_EQ(arrivals[2] - arrivals[1], leg);
+}
+
+TEST(NetworkTest, ReceiverNicSerializesFanIn) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  std::vector<sim::SimTime> arrivals;
+  engine.Spawn([](sim::Engine& e, Network& n, std::vector<sim::SimTime>& out) -> sim::Task<> {
+    // Four different senders, same destination, same distance is not needed:
+    // the receive NIC is the shared bottleneck.
+    for (std::uint16_t s = 1; s <= 4; ++s) {
+      n.Post(Probe(s, 0, 8192));
+    }
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await n.Inbox(0).Receive();
+      out.push_back(e.now());
+    }
+  }(engine, net, arrivals));
+  engine.Run();
+  ASSERT_EQ(arrivals.size(), 4u);
+  const sim::SimTime leg = sim::TransferTimeNs(8224, 200'000'000);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_GE(arrivals[i] - arrivals[i - 1], leg);
+  }
+}
+
+TEST(NetworkTest, SendCompletesWhenInjectedNotWhenDelivered) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  sim::SimTime injected_at = 0;
+  engine.Spawn([](sim::Engine& e, Network& n, sim::SimTime& t) -> sim::Task<> {
+    co_await n.Send(Probe(0, 18, 8192));
+    t = e.now();
+  }(engine, net, injected_at));
+  engine.Run();
+  const sim::SimTime leg = sim::TransferTimeNs(8224, 200'000'000);
+  EXPECT_EQ(injected_at, leg);  // One NIC leg only.
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  engine.Spawn([](Network& n) -> sim::Task<> {
+    co_await n.Send(Probe(0, 1, 100));
+    co_await n.Send(Probe(1, 2, 200));
+  }(net));
+  engine.Run();
+  EXPECT_EQ(net.stats().messages, 2u);
+  EXPECT_EQ(net.stats().data_bytes, 300u);
+  EXPECT_EQ(net.stats().wire_bytes, 300u + 2 * 32);
+}
+
+TEST(NetworkTest, PayloadVariantRoundTrips) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  bool checked = false;
+  engine.Spawn([](Network& n, bool& ok) -> sim::Task<> {
+    Message m;
+    m.src = 2;
+    m.dst = 7;
+    m.data_bytes = 64;
+    m.payload = Memput{.cp_offset = 4096, .length = 64, .file_offset = 123456, .extents = nullptr};
+    co_await n.Send(std::move(m));
+    auto got = co_await n.Inbox(7).Receive();
+    const auto* put = std::get_if<Memput>(&got->payload);
+    ok = put != nullptr && put->cp_offset == 4096 && put->length == 64 &&
+         put->file_offset == 123456 && got->src == 2;
+  }(net, checked));
+  engine.Run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(NetworkTest, ManyConcurrentSendersAllDeliver) {
+  sim::Engine engine;
+  Network net(engine, 32);
+  int received = 0;
+  constexpr int kPerSender = 50;
+  for (std::uint16_t s = 0; s < 16; ++s) {
+    engine.Spawn([](Network& n, std::uint16_t src) -> sim::Task<> {
+      for (int i = 0; i < kPerSender; ++i) {
+        co_await n.Send(Probe(src, static_cast<std::uint16_t>(16 + (src + i) % 16), 512));
+      }
+    }(net, s));
+  }
+  engine.Run();
+  EXPECT_EQ(net.stats().messages, 16u * kPerSender);
+  // Every message landed in some IOP inbox.
+  for (std::uint16_t d = 16; d < 32; ++d) {
+    received += static_cast<int>(net.Inbox(d).size());
+  }
+  EXPECT_EQ(received, 16 * kPerSender);
+}
+
+}  // namespace
+}  // namespace ddio::net

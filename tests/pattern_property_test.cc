@@ -1,0 +1,187 @@
+// Property tests for access patterns across unusual machine shapes: odd CP
+// counts, non-power-of-two grids, tiny and non-square matrices. The
+// invariants (exact coverage, bijective memory mapping, chunk/piece
+// agreement) must hold for every legal configuration, not just the paper's.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "src/pattern/pattern.h"
+
+namespace ddio::pattern {
+namespace {
+
+class ShapeSweepTest
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(ShapeSweepTest, FullCoverageAndBijection) {
+  auto [name, cps, records] = GetParam();
+  const std::uint32_t record_bytes = 8;
+  AccessPattern pattern(PatternSpec::Parse(name), records * record_bytes, record_bytes, cps);
+
+  if (pattern.spec().all) {
+    for (std::uint32_t cp = 0; cp < cps; ++cp) {
+      EXPECT_EQ(pattern.CpMemoryBytes(cp), records * record_bytes);
+    }
+    return;
+  }
+
+  // Every record owned exactly once, local offsets collision-free per CP,
+  // all offsets within the CP's memory.
+  std::map<std::uint32_t, std::set<std::uint64_t>> seen;
+  std::map<std::uint32_t, std::uint64_t> bytes_per_cp;
+  for (std::uint64_t r = 0; r < pattern.num_records(); ++r) {
+    const std::uint32_t cp = pattern.OwnerOfRecord(r);
+    ASSERT_LT(cp, cps) << name << " record " << r;
+    const std::uint64_t off = pattern.LocalOffsetOfRecord(r);
+    EXPECT_TRUE(seen[cp].insert(off).second) << name << " collision at record " << r;
+    EXPECT_LT(off, pattern.CpMemoryBytes(cp));
+    bytes_per_cp[cp] += record_bytes;
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t cp = 0; cp < cps; ++cp) {
+    auto it = bytes_per_cp.find(cp);
+    const std::uint64_t bytes = it == bytes_per_cp.end() ? 0 : it->second;
+    EXPECT_EQ(bytes, pattern.CpMemoryBytes(cp)) << name << " cp " << cp;
+    total += bytes;
+  }
+  EXPECT_EQ(total, records * record_bytes);
+}
+
+TEST_P(ShapeSweepTest, ChunksMatchRecordOwnership) {
+  auto [name, cps, records] = GetParam();
+  const std::uint32_t record_bytes = 8;
+  AccessPattern pattern(PatternSpec::Parse(name), records * record_bytes, record_bytes, cps);
+  if (pattern.spec().all) {
+    return;
+  }
+  for (std::uint32_t cp = 0; cp < cps; ++cp) {
+    pattern.ForEachChunk(cp, [&](const AccessPattern::Chunk& chunk) {
+      ASSERT_EQ(chunk.file_offset % record_bytes, 0u);
+      ASSERT_EQ(chunk.length % record_bytes, 0u);
+      for (std::uint64_t off = 0; off < chunk.length; off += record_bytes) {
+        const std::uint64_t record = (chunk.file_offset + off) / record_bytes;
+        EXPECT_EQ(pattern.OwnerOfRecord(record), cp);
+        EXPECT_EQ(pattern.LocalOffsetOfRecord(record), chunk.cp_offset + off);
+      }
+    });
+  }
+}
+
+TEST_P(ShapeSweepTest, PiecesTileArbitraryRanges) {
+  auto [name, cps, records] = GetParam();
+  const std::uint32_t record_bytes = 8;
+  const std::uint64_t file_bytes = records * record_bytes;
+  AccessPattern pattern(PatternSpec::Parse(name), file_bytes, record_bytes, cps);
+  if (pattern.spec().all) {
+    GTEST_SKIP() << "ra replicates: one piece per CP per range, no tiling";
+  }
+  // Odd-sized, misaligned ranges must tile exactly.
+  const std::uint64_t starts[] = {0, 3, file_bytes / 3, file_bytes - 13};
+  for (std::uint64_t start : starts) {
+    if (start >= file_bytes) {
+      continue;
+    }
+    std::uint64_t len = std::min<std::uint64_t>(file_bytes - start, 301);
+    std::uint64_t pos = start;
+    pattern.ForEachPieceInRange(start, len, [&](const AccessPattern::Piece& piece) {
+      EXPECT_EQ(piece.file_offset, pos);
+      EXPECT_GT(piece.length, 0u);
+      pos += piece.length;
+    });
+    EXPECT_EQ(pos, start + len) << name << " range @" << start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweepTest,
+    ::testing::Combine(::testing::Values("ra", "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc",
+                                         "rcc", "rcn"),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u, 32u),
+                       ::testing::Values(240u, 1024u, 4096u)),
+    [](const ::testing::TestParamInfo<ShapeSweepTest::ParamType>& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_cps" +
+             std::to_string(std::get<1>(param_info.param)) + "_n" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(MatrixDimsPropertyTest, AlwaysFactorsExactly) {
+  for (std::uint64_t n : {16ull, 240ull, 1280ull, 4096ull, 10240ull, 1310720ull}) {
+    for (std::uint32_t gr : {1u, 2u, 4u}) {
+      for (std::uint32_t gc : {1u, 2u, 4u, 8u}) {
+        auto [r, c] = ChooseMatrixDims(n, gr, gc);
+        EXPECT_EQ(r * c, n);
+        EXPECT_GE(c, r);  // Row-major: at least as wide as tall.
+      }
+    }
+  }
+}
+
+TEST(MatrixDimsPropertyTest, PrefersGridDivisibleShapes) {
+  auto [r, c] = ChooseMatrixDims(1280, 4, 4);
+  EXPECT_EQ(r % 4, 0u);
+  EXPECT_EQ(c % 4, 0u);
+}
+
+TEST(CpGridPropertyTest, FactorizationIsExactAndNearSquare) {
+  for (std::uint32_t p = 1; p <= 64; ++p) {
+    auto [r, c] = ChooseCpGrid(p);
+    EXPECT_EQ(r * c, p);
+    EXPECT_LE(r, c);
+  }
+}
+
+}  // namespace
+}  // namespace ddio::pattern
+
+namespace summarize_tests {
+
+using ::ddio::pattern::AccessPattern;
+using ::ddio::pattern::PatternSpec;
+using ::ddio::pattern::PatternSummary;
+using ::ddio::pattern::Summarize;
+
+TEST(SummarizeTest, Figure2VectorCyclic) {
+  // rc over a 1x8 vector, 4 CPs: cs = 1, s = 4 (Figure 2).
+  AccessPattern pattern(PatternSpec::Parse("rc"), 8, 1, 4);
+  PatternSummary summary = Summarize(pattern);
+  EXPECT_EQ(summary.chunk_bytes, 1u);
+  EXPECT_EQ(summary.min_stride_bytes, 4u);
+  EXPECT_EQ(summary.max_stride_bytes, 4u);
+  EXPECT_EQ(summary.chunks_per_cp, 2u);
+  EXPECT_EQ(summary.participating_cps, 4u);
+  EXPECT_EQ(summary.total_chunks, 8u);
+}
+
+TEST(SummarizeTest, Figure2MatrixRcc) {
+  // rcc over an 8x8 matrix, 4 CPs: cs = 1, s = 2 and 10 (Figure 2).
+  AccessPattern pattern(PatternSpec::Parse("rcc"), 64, 1, 4);
+  PatternSummary summary = Summarize(pattern);
+  EXPECT_EQ(summary.chunk_bytes, 1u);
+  EXPECT_EQ(summary.min_stride_bytes, 2u);
+  EXPECT_EQ(summary.max_stride_bytes, 10u);
+}
+
+TEST(SummarizeTest, SingleChunkHasNoStride) {
+  AccessPattern pattern(PatternSpec::Parse("rn"), 1024, 8, 4);
+  PatternSummary summary = Summarize(pattern);
+  EXPECT_EQ(summary.chunks_per_cp, 1u);
+  EXPECT_EQ(summary.chunk_bytes, 1024u);
+  EXPECT_EQ(summary.max_stride_bytes, 0u);
+  EXPECT_EQ(summary.participating_cps, 1u);
+}
+
+TEST(SummarizeTest, RaCountsAllCps) {
+  AccessPattern pattern(PatternSpec::Parse("ra"), 1024, 8, 4);
+  PatternSummary summary = Summarize(pattern);
+  EXPECT_EQ(summary.participating_cps, 4u);
+  EXPECT_EQ(summary.total_chunks, 4u);
+  EXPECT_EQ(summary.chunk_bytes, 1024u);
+}
+
+}  // namespace summarize_tests

@@ -1,0 +1,418 @@
+// Tests for HPF access patterns (src/pattern/pattern.h).
+//
+// The anchor tests reproduce Figure 2 of the paper exactly: a 1x8 vector and
+// an 8x8 matrix distributed over four CPs, checking the chunk size (cs) and
+// stride (s) values printed in the figure. Property tests then verify the
+// invariants (full coverage, chunk/piece agreement) on paper-sized inputs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/pattern/pattern.h"
+
+namespace ddio::pattern {
+namespace {
+
+using Chunk = AccessPattern::Chunk;
+using Piece = AccessPattern::Piece;
+
+// Figure-2 configuration: 4 CPs, unit records.
+AccessPattern Fig2Vector(const char* name) {
+  return AccessPattern(PatternSpec::Parse(name), /*file_bytes=*/8, /*record_bytes=*/1,
+                       /*num_cps=*/4);
+}
+AccessPattern Fig2Matrix(const char* name) {
+  return AccessPattern(PatternSpec::Parse(name), /*file_bytes=*/64, /*record_bytes=*/1,
+                       /*num_cps=*/4);
+}
+
+TEST(PatternSpecTest, ParseAndNameRoundTrip) {
+  for (const char* name : {"ra", "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc", "rcn",
+                           "wa", "wn", "wb", "wc", "wnb", "wbb", "wcb", "wbc", "wcc", "wcn"}) {
+    EXPECT_EQ(PatternSpec::Parse(name).Name(), name);
+  }
+}
+
+TEST(PatternSpecTest, ParseFlags) {
+  EXPECT_FALSE(PatternSpec::Parse("ra").is_write);
+  EXPECT_TRUE(PatternSpec::Parse("wcc").is_write);
+  EXPECT_TRUE(PatternSpec::Parse("ra").all);
+  EXPECT_FALSE(PatternSpec::Parse("rb").two_d);
+  EXPECT_TRUE(PatternSpec::Parse("rcb").two_d);
+  EXPECT_EQ(PatternSpec::Parse("rcb").row_dist, Dist::kCyclic);
+  EXPECT_EQ(PatternSpec::Parse("rcb").col_dist, Dist::kBlock);
+}
+
+TEST(PatternSpecTest, PaperPatternListHas19Entries) {
+  auto patterns = PatternSpec::PaperPatterns();
+  EXPECT_EQ(patterns.size(), 19u);
+  int reads = 0, writes = 0;
+  for (const auto& p : patterns) {
+    p.is_write ? ++writes : ++reads;
+  }
+  EXPECT_EQ(reads, 10);
+  EXPECT_EQ(writes, 9);
+}
+
+TEST(GridTest, SixteenCpsMakeFourByFour) {
+  auto [r, c] = ChooseCpGrid(16);
+  EXPECT_EQ(r, 4u);
+  EXPECT_EQ(c, 4u);
+}
+
+TEST(GridTest, OtherCounts) {
+  EXPECT_EQ(ChooseCpGrid(1), (std::pair<std::uint32_t, std::uint32_t>{1, 1}));
+  EXPECT_EQ(ChooseCpGrid(2), (std::pair<std::uint32_t, std::uint32_t>{1, 2}));
+  EXPECT_EQ(ChooseCpGrid(4), (std::pair<std::uint32_t, std::uint32_t>{2, 2}));
+  EXPECT_EQ(ChooseCpGrid(8), (std::pair<std::uint32_t, std::uint32_t>{2, 4}));
+}
+
+TEST(GridTest, MatrixDimsPaperSizes) {
+  // 8 KB records in a 10 MB file: 1280 records -> 32x40 on a 4x4 grid.
+  auto dims = ChooseMatrixDims(1280, 4, 4);
+  EXPECT_EQ(dims, (std::pair<std::uint64_t, std::uint64_t>{32, 40}));
+  // 8-byte records: 1,310,720 records -> 1024x1280.
+  dims = ChooseMatrixDims(1'310'720, 4, 4);
+  EXPECT_EQ(dims, (std::pair<std::uint64_t, std::uint64_t>{1024, 1280}));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 anchors: 1-d patterns on a 1x8 vector over 4 CPs.
+
+TEST(Figure2Test, VectorNone_rn_SingleChunkOnCp0) {
+  auto pattern = Fig2Vector("rn");
+  auto chunks = pattern.ChunksOf(0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].file_offset, 0u);
+  EXPECT_EQ(chunks[0].length, 8u);  // cs = 8.
+  for (std::uint32_t cp = 1; cp < 4; ++cp) {
+    EXPECT_TRUE(pattern.ChunksOf(cp).empty());
+    EXPECT_FALSE(pattern.CpParticipates(cp));
+  }
+}
+
+TEST(Figure2Test, VectorBlock_rb_ChunkSize2) {
+  auto pattern = Fig2Vector("rb");
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    auto chunks = pattern.ChunksOf(cp);
+    ASSERT_EQ(chunks.size(), 1u) << "cp=" << cp;
+    EXPECT_EQ(chunks[0].length, 2u);                       // cs = 2.
+    EXPECT_EQ(chunks[0].file_offset, cp * 2u);
+    EXPECT_EQ(chunks[0].cp_offset, 0u);
+  }
+}
+
+TEST(Figure2Test, VectorCyclic_rc_ChunkSize1Stride4) {
+  auto pattern = Fig2Vector("rc");
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    auto chunks = pattern.ChunksOf(cp);
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_EQ(chunks[0].length, 1u);                        // cs = 1.
+    EXPECT_EQ(chunks[1].file_offset - chunks[0].file_offset, 4u);  // s = 4.
+    EXPECT_EQ(chunks[0].file_offset, cp);
+  }
+}
+
+// Figure 2 anchors: 2-d patterns on an 8x8 matrix over 4 CPs (2x2 grid where
+// both dimensions are distributed).
+
+struct CsAndStride {
+  std::uint64_t cs;
+  std::uint64_t stride;  // 0 = single chunk, no stride.
+};
+
+CsAndStride MeasureCp0(const AccessPattern& pattern) {
+  auto chunks = pattern.ChunksOf(0);
+  CsAndStride result{0, 0};
+  if (chunks.empty()) {
+    return result;
+  }
+  result.cs = chunks[0].length;
+  if (chunks.size() > 1) {
+    result.stride = chunks[1].file_offset - chunks[0].file_offset;
+  }
+  return result;
+}
+
+TEST(Figure2Test, Matrix_rnb_cs2_s8) {
+  auto m = MeasureCp0(Fig2Matrix("rnb"));
+  EXPECT_EQ(m.cs, 2u);
+  EXPECT_EQ(m.stride, 8u);
+}
+
+TEST(Figure2Test, Matrix_rbb_cs4_s8) {
+  auto m = MeasureCp0(Fig2Matrix("rbb"));
+  EXPECT_EQ(m.cs, 4u);
+  EXPECT_EQ(m.stride, 8u);
+}
+
+TEST(Figure2Test, Matrix_rcb_cs4_s16) {
+  auto m = MeasureCp0(Fig2Matrix("rcb"));
+  EXPECT_EQ(m.cs, 4u);
+  EXPECT_EQ(m.stride, 16u);
+}
+
+TEST(Figure2Test, Matrix_rbc_cs1_s2) {
+  auto m = MeasureCp0(Fig2Matrix("rbc"));
+  EXPECT_EQ(m.cs, 1u);
+  EXPECT_EQ(m.stride, 2u);
+}
+
+TEST(Figure2Test, Matrix_rcc_cs1_s2_and10AtRowWrap) {
+  auto pattern = Fig2Matrix("rcc");
+  auto chunks = pattern.ChunksOf(0);
+  // CP0 owns (row, col) with both even: rows 0,2,4,6 x cols 0,2,4,6.
+  ASSERT_EQ(chunks.size(), 16u);
+  EXPECT_EQ(chunks[0].length, 1u);  // cs = 1.
+  // Within a row, stride 2; wrapping rows, stride 10 (from col 6 to next
+  // owned row's col 0): the figure's "s = 2, 10".
+  std::set<std::uint64_t> strides;
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    strides.insert(chunks[i].file_offset - chunks[i - 1].file_offset);
+  }
+  EXPECT_EQ(strides, (std::set<std::uint64_t>{2, 10}));
+}
+
+TEST(Figure2Test, Matrix_rcn_cs8_s32) {
+  auto m = MeasureCp0(Fig2Matrix("rcn"));
+  EXPECT_EQ(m.cs, 8u);
+  EXPECT_EQ(m.stride, 32u);
+}
+
+TEST(Figure2Test, Matrix_rnn_MergesToOneChunk) {
+  // rnn == rn: whole matrix on CP0, rows merged into cs = 64.
+  auto pattern = Fig2Matrix("rnn");
+  auto chunks = pattern.ChunksOf(0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, 64u);
+}
+
+TEST(Figure2Test, Matrix_rbn_MergesRowsToCs16) {
+  // rbn == rb: two consecutive whole rows merge into one 16-element chunk.
+  auto pattern = Fig2Matrix("rbn");
+  auto chunks = pattern.ChunksOf(0);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, 16u);
+}
+
+TEST(Figure2Test, MatrixMemoryOffsetsAreRowMajorLocal) {
+  auto pattern = Fig2Matrix("rbb");
+  // CP0 = rows 0-3, cols 0-3 in a 4x4 local buffer.
+  auto chunks = pattern.ChunksOf(0);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunks[i].file_offset, i * 8);
+    EXPECT_EQ(chunks[i].cp_offset, i * 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ra (ALL).
+
+TEST(PatternAllTest, EveryCpGetsWholeFile) {
+  AccessPattern pattern(PatternSpec::Parse("ra"), 8192, 8, 16);
+  for (std::uint32_t cp = 0; cp < 16; ++cp) {
+    EXPECT_EQ(pattern.CpMemoryBytes(cp), 8192u);
+    auto chunks = pattern.ChunksOf(cp);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0].length, 8192u);
+  }
+  int pieces = 0;
+  pattern.ForEachPieceInRange(0, 1024, [&](const Piece& p) {
+    EXPECT_EQ(p.cp_offset, p.file_offset);
+    EXPECT_EQ(p.length, 1024u);
+    ++pieces;
+  });
+  EXPECT_EQ(pieces, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Properties on paper-sized patterns.
+
+class PaperPatternTest : public ::testing::TestWithParam<std::tuple<const char*, std::uint32_t>> {
+ protected:
+  static constexpr std::uint64_t kFileBytes = 1 * 1024 * 1024;  // 1 MB keeps tests fast.
+  static constexpr std::uint32_t kCps = 16;
+
+  AccessPattern MakePattern() const {
+    auto [name, record_bytes] = GetParam();
+    return AccessPattern(PatternSpec::Parse(name), kFileBytes, record_bytes, kCps);
+  }
+};
+
+TEST_P(PaperPatternTest, ChunksArePerCpDisjointAndCoverFile) {
+  auto pattern = MakePattern();
+  if (pattern.spec().all) {
+    GTEST_SKIP() << "ra covered separately";
+  }
+  std::map<std::uint64_t, std::uint64_t> ranges;  // file_offset -> end.
+  std::uint64_t total = 0;
+  for (std::uint32_t cp = 0; cp < kCps; ++cp) {
+    std::uint64_t prev_end = 0;
+    std::uint64_t cp_total = 0;
+    pattern.ForEachChunk(cp, [&](const Chunk& c) {
+      EXPECT_GE(c.file_offset, prev_end) << "chunks must ascend per CP";
+      prev_end = c.file_offset + c.length;
+      cp_total += c.length;
+      auto [it, inserted] = ranges.emplace(c.file_offset, c.file_offset + c.length);
+      EXPECT_TRUE(inserted) << "duplicate chunk start";
+      (void)it;
+    });
+    EXPECT_EQ(cp_total, pattern.CpMemoryBytes(cp));
+    total += cp_total;
+  }
+  EXPECT_EQ(total, kFileBytes);
+  // No overlaps and full coverage.
+  std::uint64_t cursor = 0;
+  for (const auto& [start, end] : ranges) {
+    EXPECT_EQ(start, cursor) << "gap or overlap at " << cursor;
+    cursor = end;
+  }
+  EXPECT_EQ(cursor, kFileBytes);
+}
+
+TEST_P(PaperPatternTest, ChunkMemoryOffsetsAreDisjointPerCp) {
+  auto pattern = MakePattern();
+  for (std::uint32_t cp = 0; cp < kCps; ++cp) {
+    std::map<std::uint64_t, std::uint64_t> mem;  // cp_offset -> end.
+    pattern.ForEachChunk(cp, [&](const Chunk& c) {
+      auto [it, inserted] = mem.emplace(c.cp_offset, c.cp_offset + c.length);
+      EXPECT_TRUE(inserted);
+      (void)it;
+    });
+    std::uint64_t cursor = 0;
+    for (const auto& [start, end] : mem) {
+      EXPECT_GE(start, cursor);
+      cursor = end;
+    }
+    EXPECT_LE(cursor, pattern.CpMemoryBytes(cp));
+  }
+}
+
+TEST_P(PaperPatternTest, PiecesAgreeWithChunksOnEveryBlock) {
+  auto pattern = MakePattern();
+  if (pattern.spec().all) {
+    GTEST_SKIP() << "ra covered separately";
+  }
+  // Build the reference map from chunks.
+  struct Owner {
+    std::uint32_t cp;
+    std::uint64_t cp_offset;
+    std::uint64_t file_offset;
+    std::uint64_t length;
+  };
+  std::map<std::uint64_t, Owner> reference;
+  for (std::uint32_t cp = 0; cp < kCps; ++cp) {
+    pattern.ForEachChunk(cp, [&](const Chunk& c) {
+      reference[c.file_offset] = Owner{cp, c.cp_offset, c.file_offset, c.length};
+    });
+  }
+  auto owner_at = [&](std::uint64_t off) {
+    auto it = reference.upper_bound(off);
+    --it;
+    return it->second;
+  };
+  // Sweep the file in 8 KB blocks and verify every piece.
+  std::uint64_t covered = 0;
+  for (std::uint64_t block = 0; block < kFileBytes / 8192; block += 7) {  // Sampled sweep.
+    std::uint64_t pos = block * 8192;
+    pattern.ForEachPieceInRange(pos, 8192, [&](const Piece& p) {
+      EXPECT_EQ(p.file_offset, pos);
+      Owner owner = owner_at(p.file_offset);
+      EXPECT_EQ(p.cp, owner.cp);
+      EXPECT_EQ(p.cp_offset, owner.cp_offset + (p.file_offset - owner.file_offset));
+      EXPECT_LE(p.file_offset + p.length, owner.file_offset + owner.length + 8192);
+      pos += p.length;
+      covered += p.length;
+    });
+    EXPECT_EQ(pos, block * 8192 + 8192);
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperPatterns, PaperPatternTest,
+    ::testing::Combine(::testing::Values("rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc",
+                                         "rcn", "ra"),
+                       ::testing::Values(8u, 1024u, 8192u)),
+    [](const ::testing::TestParamInfo<PaperPatternTest::ParamType>& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_rec" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Record-level mapping invariants.
+
+TEST(PatternMappingTest, OwnerAndLocalOffsetBijective) {
+  AccessPattern pattern(PatternSpec::Parse("rcc"), 64 * 1024, 8, 16);
+  std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+  for (std::uint64_t r = 0; r < pattern.num_records(); ++r) {
+    std::uint32_t cp = pattern.OwnerOfRecord(r);
+    std::uint64_t off = pattern.LocalOffsetOfRecord(r);
+    EXPECT_LT(cp, 16u);
+    EXPECT_LT(off, pattern.CpMemoryBytes(cp));
+    EXPECT_TRUE(seen.emplace(cp, off).second) << "record " << r << " collides";
+  }
+  EXPECT_EQ(seen.size(), pattern.num_records());
+}
+
+TEST(PatternMappingTest, CyclicOwnershipRoundRobin) {
+  AccessPattern pattern(PatternSpec::Parse("rc"), 8192, 8, 16);
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(pattern.OwnerOfRecord(r), r % 16);
+  }
+}
+
+TEST(PatternMappingTest, BlockOwnershipContiguous) {
+  AccessPattern pattern(PatternSpec::Parse("rb"), 8192, 8, 16);
+  // 1024 records, 64 per CP.
+  EXPECT_EQ(pattern.OwnerOfRecord(0), 0u);
+  EXPECT_EQ(pattern.OwnerOfRecord(63), 0u);
+  EXPECT_EQ(pattern.OwnerOfRecord(64), 1u);
+  EXPECT_EQ(pattern.OwnerOfRecord(1023), 15u);
+}
+
+TEST(PatternMappingTest, PieceRangesNeedNotBeRecordAligned) {
+  AccessPattern pattern(PatternSpec::Parse("rb"), 8192, 8192, 4);
+  // One 8 KB record per CP... 1 record only: 8192/8192=1 record. Use bigger.
+  AccessPattern p2(PatternSpec::Parse("rb"), 4 * 8192, 8192, 4);
+  // Range straddling two records (each owned by a different CP).
+  std::vector<Piece> pieces;
+  p2.ForEachPieceInRange(8192 - 100, 200, [&](const Piece& p) { pieces.push_back(p); });
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].cp, 0u);
+  EXPECT_EQ(pieces[0].length, 100u);
+  EXPECT_EQ(pieces[1].cp, 1u);
+  EXPECT_EQ(pieces[1].length, 100u);
+  EXPECT_EQ(pieces[1].cp_offset, 0u);
+}
+
+TEST(PatternMappingTest, EightByteCyclicBlockHas1024Pieces) {
+  // The workload that generates the paper's worst TC case: every 8 KB block
+  // of an 8-byte CYCLIC pattern splinters into 1024 single-record pieces.
+  AccessPattern pattern(PatternSpec::Parse("rc"), 10 * 1024 * 1024, 8, 16);
+  int pieces = 0;
+  pattern.ForEachPieceInRange(0, 8192, [&](const Piece& p) {
+    EXPECT_EQ(p.length, 8u);
+    ++pieces;
+  });
+  EXPECT_EQ(pieces, 1024);
+}
+
+TEST(PatternMappingTest, EightKbCyclicBlockIsOnePiece) {
+  AccessPattern pattern(PatternSpec::Parse("rc"), 10 * 1024 * 1024, 8192, 16);
+  int pieces = 0;
+  pattern.ForEachPieceInRange(3 * 8192, 8192, [&](const Piece& p) {
+    EXPECT_EQ(p.length, 8192u);
+    EXPECT_EQ(p.cp, 3u);
+    ++pieces;
+  });
+  EXPECT_EQ(pieces, 1);
+}
+
+}  // namespace
+}  // namespace ddio::pattern

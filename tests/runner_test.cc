@@ -1,0 +1,153 @@
+// Tests for the experiment runner and report helpers (src/core/runner.h,
+// report.h) plus cross-method integration invariants at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/report.h"
+#include "src/core/runner.h"
+
+namespace ddio::core {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 1024 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.trials = 3;
+  return cfg;
+}
+
+TEST(RunnerTest, ProducesRequestedTrials) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.method = Method::kDiskDirected;
+  auto result = RunExperiment(cfg);
+  ASSERT_EQ(result.trials.size(), 3u);
+  EXPECT_GT(result.mean_mbps, 0.0);
+  EXPECT_GE(result.cv, 0.0);
+  EXPECT_GT(result.total_events, 0u);
+}
+
+TEST(RunnerTest, TrialsAreIndependentlySeeded) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.method = Method::kDiskDirected;
+  auto result = RunExperiment(cfg);
+  // Random layouts differ per trial -> elapsed times differ.
+  EXPECT_NE(result.trials[0].elapsed_ns(), result.trials[1].elapsed_ns());
+}
+
+TEST(RunnerTest, SameConfigSameResult) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.method = Method::kTraditionalCaching;
+  auto a = RunExperiment(cfg);
+  auto b = RunExperiment(cfg);
+  EXPECT_DOUBLE_EQ(a.mean_mbps, b.mean_mbps);
+  EXPECT_EQ(a.total_events, b.total_events);
+}
+
+TEST(RunnerTest, CvIsSmallOnContiguousLayout) {
+  // The paper reports maximum cv 0.13-0.14; contiguous layouts barely vary.
+  ExperimentConfig cfg = SmallConfig();
+  cfg.method = Method::kDiskDirected;
+  auto result = RunExperiment(cfg);
+  EXPECT_LT(result.cv, 0.14);
+}
+
+TEST(RunnerTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kTraditionalCaching), "TC");
+  EXPECT_STREQ(MethodName(Method::kDiskDirected), "DDIO(sort)");
+  EXPECT_STREQ(MethodName(Method::kDiskDirectedNoSort), "DDIO");
+  EXPECT_STREQ(MethodName(Method::kTwoPhase), "2Phase");
+}
+
+TEST(RunnerTest, AllMethodsRunAllDirections) {
+  for (Method method : {Method::kTraditionalCaching, Method::kDiskDirected,
+                        Method::kDiskDirectedNoSort, Method::kTwoPhase}) {
+    for (const char* pattern : {"rb", "wb"}) {
+      ExperimentConfig cfg = SmallConfig();
+      cfg.method = method;
+      cfg.pattern = pattern;
+      cfg.trials = 1;
+      auto result = RunExperiment(cfg);
+      EXPECT_GT(result.mean_mbps, 0.0) << MethodName(method) << " " << pattern;
+    }
+  }
+}
+
+// Integration invariants at paper shape, reduced file size for speed.
+
+TEST(IntegrationTest, DdioNeverSlowerThanTcAcrossPatterns) {
+  for (const char* pattern : {"rb", "rc", "rcb", "wb", "wc"}) {
+    ExperimentConfig cfg = SmallConfig();
+    cfg.trials = 1;
+    cfg.pattern = pattern;
+    cfg.method = Method::kDiskDirected;
+    auto ddio = RunExperiment(cfg);
+    cfg.method = Method::kTraditionalCaching;
+    auto tc = RunExperiment(cfg);
+    EXPECT_GE(ddio.mean_mbps, tc.mean_mbps * 0.98) << pattern;
+  }
+}
+
+TEST(IntegrationTest, ContiguousRoughly5xRandomForDdio) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.machine.num_cps = 16;
+  cfg.machine.num_iops = 16;
+  cfg.machine.num_disks = 16;
+  cfg.file_bytes = 10 * 1024 * 1024;
+  cfg.trials = 1;
+  cfg.method = Method::kDiskDirected;
+  auto contiguous = RunExperiment(cfg);
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  auto random = RunExperiment(cfg);
+  double ratio = contiguous.mean_mbps / random.mean_mbps;
+  // Paper: "throughput on the contiguous layout was about 5 times that on a
+  // random-blocks layout".
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 7.5);
+}
+
+TEST(IntegrationTest, PresortBoostIsInPaperRange) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.machine.num_cps = 16;
+  cfg.machine.num_iops = 16;
+  cfg.machine.num_disks = 16;
+  cfg.file_bytes = 10 * 1024 * 1024;
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.trials = 2;
+  cfg.method = Method::kDiskDirected;
+  auto sorted = RunExperiment(cfg);
+  cfg.method = Method::kDiskDirectedNoSort;
+  auto unsorted = RunExperiment(cfg);
+  double boost = sorted.mean_mbps / unsorted.mean_mbps - 1.0;
+  // Paper: 41-50%; accept a generous band around it.
+  EXPECT_GT(boost, 0.25);
+  EXPECT_LT(boost, 0.70);
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  Table table({"pattern", "MB/s"});
+  table.AddRow({"rb", "32.81"});
+  table.AddRow({"rcc", "6.20"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("pattern  MB/s"), std::string::npos);
+  EXPECT_NE(out.find("rb"), std::string::npos);
+  EXPECT_NE(out.find("6.20"), std::string::npos);
+  EXPECT_NE(out.find("-------"), std::string::npos);
+}
+
+TEST(ReportTest, FixedFormatting) {
+  EXPECT_EQ(Fixed(12.345, 2), "12.35");
+  EXPECT_EQ(Fixed(0.5, 1), "0.5");
+  EXPECT_EQ(Fixed(7, 0), "7");
+}
+
+}  // namespace
+}  // namespace ddio::core

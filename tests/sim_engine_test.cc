@@ -1,0 +1,247 @@
+// Unit tests for the discrete-event engine, Task coroutines, and timing
+// helpers (src/sim/engine.h, task.h, time.h).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace ddio::sim {
+namespace {
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(FromUs(1.0), 1000u);
+  EXPECT_EQ(FromMs(1.0), 1000000u);
+  EXPECT_EQ(FromSec(1.0), 1000000000u);
+  EXPECT_DOUBLE_EQ(ToMs(FromMs(15.5)), 15.5);
+  EXPECT_DOUBLE_EQ(ToSec(FromSec(2.0)), 2.0);
+}
+
+TEST(TimeTest, CyclesAt50MhzAre20ns) {
+  // Table 1: 50 MHz CPU -> 20 ns per cycle.
+  EXPECT_EQ(CyclesToNs(1, 50), 20u);
+  EXPECT_EQ(CyclesToNs(1000, 50), 20000u);
+  EXPECT_EQ(CyclesToNs(50'000'000, 50), kNsPerSec);
+}
+
+TEST(TimeTest, TransferTimeRoundsUp) {
+  // 1 byte at 1 GB/s is 1 ns, never 0.
+  EXPECT_EQ(TransferTimeNs(1, 1'000'000'000), 1u);
+  // 8 KB at 10 MB/s (the SCSI bus) = 819.2 us.
+  EXPECT_EQ(TransferTimeNs(8192, 10'000'000), 819200u);
+  // 8 KB at 200 MB/s (a torus link) = 40.96 us.
+  EXPECT_EQ(TransferTimeNs(8192, 200'000'000), 40960u);
+  EXPECT_EQ(TransferTimeNs(0, 10'000'000), 0u);
+}
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0u);
+  EXPECT_TRUE(engine.queue_empty());
+  EXPECT_EQ(engine.Run(), 0u);
+}
+
+TEST(EngineTest, DelayAdvancesVirtualTime) {
+  Engine engine;
+  SimTime observed = 0;
+  engine.Spawn([](Engine& e, SimTime& out) -> Task<> {
+    co_await e.Delay(FromUs(5));
+    out = e.now();
+  }(engine, observed));
+  engine.Run();
+  EXPECT_EQ(observed, FromUs(5));
+}
+
+TEST(EngineTest, DelaysCompose) {
+  Engine engine;
+  std::vector<SimTime> stamps;
+  engine.Spawn([](Engine& e, std::vector<SimTime>& out) -> Task<> {
+    co_await e.Delay(100);
+    out.push_back(e.now());
+    co_await e.Delay(250);
+    out.push_back(e.now());
+    co_await e.Delay(0);
+    out.push_back(e.now());
+  }(engine, stamps));
+  engine.Run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 100u);
+  EXPECT_EQ(stamps[1], 350u);
+  EXPECT_EQ(stamps[2], 350u);
+}
+
+TEST(EngineTest, SameTimestampEventsFireInFifoOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    engine.Spawn([](Engine& e, std::vector<int>& out, int id) -> Task<> {
+      co_await e.Delay(1000);  // All resume at the same instant.
+      out.push_back(id);
+    }(engine, order, i));
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EngineTest, NestedTaskAwaitReturnsValue) {
+  Engine engine;
+  std::uint64_t result = 0;
+  engine.Spawn([](Engine& e, std::uint64_t& out) -> Task<> {
+    auto child = [](Engine& eng, std::uint64_t x) -> Task<std::uint64_t> {
+      co_await eng.Delay(10);
+      co_return x * 2;
+    };
+    out = co_await child(e, 21);
+  }(engine, result));
+  engine.Run();
+  EXPECT_EQ(result, 42u);
+}
+
+TEST(EngineTest, DeeplyNestedTasksComplete) {
+  Engine engine;
+  // Recursion through co_await exercises symmetric transfer; depth 1000
+  // would overflow the native stack if resumption were implemented naively
+  // as nested resume() calls on the final awaiter.
+  struct Recurse {
+    static Task<std::uint64_t> Sum(Engine& e, std::uint64_t n) {
+      if (n == 0) {
+        co_return 0;
+      }
+      co_await e.Delay(1);
+      co_return n + co_await Sum(e, n - 1);
+    }
+  };
+  std::uint64_t result = 0;
+  engine.Spawn([](Engine& e, std::uint64_t& out) -> Task<> {
+    out = co_await Recurse::Sum(e, 1000);
+  }(engine, result));
+  engine.Run();
+  EXPECT_EQ(result, 500500u);
+  EXPECT_EQ(engine.now(), 1000u);
+}
+
+TEST(EngineTest, SpawnDuringRunExecutesAtCurrentTime) {
+  Engine engine;
+  SimTime child_time = 0;
+  engine.Spawn([](Engine& e, SimTime& out) -> Task<> {
+    co_await e.Delay(500);
+    e.Spawn([](Engine& eng, SimTime& o) -> Task<> {
+      o = eng.now();
+      co_return;
+    }(e, out));
+  }(engine, child_time));
+  engine.Run();
+  EXPECT_EQ(child_time, 500u);
+}
+
+TEST(EngineTest, RunUntilDeadlineBoundary) {
+  Engine engine;
+  int ticks = 0;
+  engine.Spawn([](Engine& e, int& count) -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await e.Delay(100);
+      ++count;
+    }
+  }(engine, ticks));
+  engine.RunUntil(450);
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(engine.now(), 450u);
+  engine.RunUntil(1000);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(EngineTest, MaxEventsGuardStopsRunawayLoop) {
+  Engine engine;
+  engine.Spawn([](Engine& e) -> Task<> {
+    for (;;) {
+      co_await e.Yield();
+    }
+  }(engine));
+  std::uint64_t processed = engine.Run(/*max_events=*/1000);
+  EXPECT_EQ(processed, 1000u);
+}
+
+TEST(EngineTest, LiveRootsDestroyedOnEngineDestruction) {
+  // A task parked forever must not leak (ASAN would flag it) and must not
+  // crash when the engine tears it down mid-suspend.
+  auto engine = std::make_unique<Engine>();
+  engine->Spawn([](Engine& e) -> Task<> {
+    co_await e.Delay(FromSec(999));
+    ADD_FAILURE() << "should never resume";
+  }(*engine));
+  engine->Run(/*max_events=*/1);
+  EXPECT_EQ(engine->live_root_count(), 1u);
+  engine.reset();  // Must destroy the suspended frame cleanly.
+}
+
+TEST(EngineTest, ExceptionPropagatesThroughAwait) {
+  Engine engine;
+  bool caught = false;
+  engine.Spawn([](Engine& e, bool& flag) -> Task<> {
+    auto thrower = [](Engine& eng) -> Task<> {
+      co_await eng.Delay(1);
+      throw std::runtime_error("boom");
+    };
+    try {
+      co_await thrower(e);
+    } catch (const std::runtime_error&) {
+      flag = true;
+    }
+  }(engine, caught));
+  engine.Run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(EngineTest, EventsProcessedCounterAccumulates) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) {
+    engine.Spawn([](Engine& e) -> Task<> { co_await e.Delay(10); }(engine));
+  }
+  engine.Run();
+  // Each task: one spawn event + one delay resume = 10 total.
+  EXPECT_EQ(engine.events_processed(), 10u);
+}
+
+TEST(EngineTest, RngIsDeterministicPerSeed) {
+  Engine a(42), b(42), c(7);
+  std::uint64_t va = a.rng().Uniform(0, 1'000'000);
+  std::uint64_t vb = b.rng().Uniform(0, 1'000'000);
+  std::uint64_t vc = c.rng().Uniform(0, 1'000'000);
+  EXPECT_EQ(va, vb);
+  // Different seeds almost surely differ (fixed seeds, deterministic check).
+  EXPECT_NE(va, vc);
+}
+
+TEST(EngineTest, RngShuffleIsPermutation) {
+  Engine engine(123);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto original = v;
+  engine.rng().Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(EngineTest, ScheduleNeverGoesBackwards) {
+  Engine engine;
+  std::vector<SimTime> stamps;
+  engine.Spawn([](Engine& e, std::vector<SimTime>& out) -> Task<> {
+    co_await e.Delay(100);
+    out.push_back(e.now());
+    co_await e.Delay(0);
+    out.push_back(e.now());
+  }(engine, stamps));
+  engine.Run();
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_LE(stamps[0], stamps[1]);
+}
+
+}  // namespace
+}  // namespace ddio::sim

@@ -1,0 +1,363 @@
+// Unit tests for synchronization primitives, channels, and resources
+// (src/sim/sync.h, channel.h, resource.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/channel.h"
+#include "src/sim/engine.h"
+#include "src/sim/resource.h"
+#include "src/sim/sync.h"
+
+namespace ddio::sim {
+namespace {
+
+TEST(SemaphoreTest, AcquireSucceedsWhenAvailable) {
+  Engine engine;
+  Semaphore sem(engine, 2);
+  int acquired = 0;
+  engine.Spawn([](Semaphore& s, int& n) -> Task<> {
+    co_await s.Acquire();
+    ++n;
+    co_await s.Acquire();
+    ++n;
+  }(sem, acquired));
+  engine.Run();
+  EXPECT_EQ(acquired, 2);
+  EXPECT_EQ(sem.available(), 0);
+}
+
+TEST(SemaphoreTest, BlocksWhenExhaustedAndReleasesFifo) {
+  Engine engine;
+  Semaphore sem(engine, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn([](Engine& e, Semaphore& s, std::vector<int>& out, int id) -> Task<> {
+      co_await s.Acquire();
+      out.push_back(id);
+      co_await e.Delay(100);
+      s.Release();
+    }(engine, sem, order, i));
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(engine.now(), 300u);  // Fully serialized.
+}
+
+TEST(SemaphoreTest, ReleaseMultiple) {
+  Engine engine;
+  Semaphore sem(engine, 0);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn([](Semaphore& s, int& n) -> Task<> {
+      co_await s.Acquire();
+      ++n;
+    }(sem, done));
+  }
+  engine.Run();
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(sem.waiter_count(), 4u);
+  sem.Release(4);
+  engine.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(sem.waiter_count(), 0u);
+}
+
+TEST(SemaphoreTest, ReleaseBeyondWaitersIncrementsCount) {
+  Engine engine;
+  Semaphore sem(engine, 0);
+  sem.Release(3);
+  EXPECT_EQ(sem.available(), 3);
+}
+
+TEST(MutexTest, MutualExclusion) {
+  Engine engine;
+  Mutex mutex(engine);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 5; ++i) {
+    engine.Spawn([](Engine& e, Mutex& m, int& in, int& max_in) -> Task<> {
+      co_await m.Lock();
+      ++in;
+      max_in = std::max(max_in, in);
+      co_await e.Delay(50);
+      --in;
+      m.Unlock();
+    }(engine, mutex, inside, max_inside));
+  }
+  engine.Run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(engine.now(), 250u);
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(BarrierTest, ReleasesAllAtOnce) {
+  Engine engine;
+  Barrier barrier(engine, 4);
+  std::vector<SimTime> release_times;
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn([](Engine& e, Barrier& b, std::vector<SimTime>& out, int id) -> Task<> {
+      co_await e.Delay(static_cast<SimTime>(id) * 100);  // Staggered arrivals.
+      co_await b.ArriveAndWait();
+      out.push_back(e.now());
+    }(engine, barrier, release_times, i));
+  }
+  engine.Run();
+  ASSERT_EQ(release_times.size(), 4u);
+  for (SimTime t : release_times) {
+    EXPECT_EQ(t, 300u);  // Everyone leaves when the last (id=3) arrives.
+  }
+}
+
+TEST(BarrierTest, IsReusableAcrossGenerations) {
+  Engine engine;
+  Barrier barrier(engine, 2);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 2; ++i) {
+    engine.Spawn([](Engine& e, Barrier& b, std::vector<SimTime>& out, int id) -> Task<> {
+      for (int round = 0; round < 3; ++round) {
+        co_await e.Delay(static_cast<SimTime>(id + 1) * 10);
+        co_await b.ArriveAndWait();
+        if (id == 0) {
+          out.push_back(e.now());
+        }
+      }
+    }(engine, barrier, times, i));
+  }
+  engine.Run();
+  ASSERT_EQ(times.size(), 3u);
+  // Each round gated by the slower party (20 ns steps).
+  EXPECT_EQ(times[0], 20u);
+  EXPECT_EQ(times[1], 40u);
+  EXPECT_EQ(times[2], 60u);
+}
+
+TEST(OneShotEventTest, WaitersReleasedOnSet) {
+  Engine engine;
+  OneShotEvent event(engine);
+  int released = 0;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn([](OneShotEvent& ev, int& n) -> Task<> {
+      co_await ev.Wait();
+      ++n;
+    }(event, released));
+  }
+  engine.Run();
+  EXPECT_EQ(released, 0);
+  event.Set();
+  engine.Run();
+  EXPECT_EQ(released, 3);
+  EXPECT_TRUE(event.is_set());
+}
+
+TEST(OneShotEventTest, WaitAfterSetDoesNotBlock) {
+  Engine engine;
+  OneShotEvent event(engine);
+  event.Set();
+  bool done = false;
+  engine.Spawn([](OneShotEvent& ev, bool& flag) -> Task<> {
+    co_await ev.Wait();
+    flag = true;
+  }(event, done));
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(CountdownLatchTest, ZeroCountIsImmediatelyOpen) {
+  Engine engine;
+  CountdownLatch latch(engine, 0);
+  bool done = false;
+  engine.Spawn([](CountdownLatch& l, bool& flag) -> Task<> {
+    co_await l.Wait();
+    flag = true;
+  }(latch, done));
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(CountdownLatchTest, OpensExactlyAtZero) {
+  Engine engine;
+  CountdownLatch latch(engine, 3);
+  bool done = false;
+  engine.Spawn([](CountdownLatch& l, bool& flag) -> Task<> {
+    co_await l.Wait();
+    flag = true;
+  }(latch, done));
+  engine.Run();
+  latch.CountDown();
+  latch.CountDown();
+  engine.Run();
+  EXPECT_FALSE(done);
+  latch.CountDown();
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(WhenAllTest, JoinsAllChildren) {
+  Engine engine;
+  int completed = 0;
+  SimTime join_time = 0;
+  engine.Spawn([](Engine& e, int& n, SimTime& t) -> Task<> {
+    std::vector<Task<>> children;
+    for (int i = 1; i <= 4; ++i) {
+      children.push_back([](Engine& eng, int delay_units, int& count) -> Task<> {
+        co_await eng.Delay(static_cast<SimTime>(delay_units) * 100);
+        ++count;
+      }(e, i, n));
+    }
+    co_await WhenAll(e, std::move(children));
+    t = e.now();
+  }(engine, completed, join_time));
+  engine.Run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(join_time, 400u);  // Joined when the slowest child finished.
+}
+
+TEST(WhenAllTest, EmptyVectorCompletesImmediately) {
+  Engine engine;
+  bool done = false;
+  engine.Spawn([](Engine& e, bool& flag) -> Task<> {
+    co_await WhenAll(e, {});
+    flag = true;
+  }(engine, done));
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ChannelTest, SendThenReceive) {
+  Engine engine;
+  Channel<int> channel(engine);
+  channel.Send(7);
+  channel.Send(9);
+  std::vector<int> got;
+  engine.Spawn([](Channel<int>& ch, std::vector<int>& out) -> Task<> {
+    for (int i = 0; i < 2; ++i) {
+      auto v = co_await ch.Receive();
+      out.push_back(v.value_or(-1));
+    }
+  }(channel, got));
+  engine.Run();
+  EXPECT_EQ(got, (std::vector<int>{7, 9}));
+}
+
+TEST(ChannelTest, ReceiveBlocksUntilSend) {
+  Engine engine;
+  Channel<std::string> channel(engine);
+  std::string got;
+  SimTime when = 0;
+  engine.Spawn([](Engine& e, Channel<std::string>& ch, std::string& out, SimTime& t) -> Task<> {
+    auto v = co_await ch.Receive();
+    out = v.value_or("<closed>");
+    t = e.now();
+  }(engine, channel, got, when));
+  engine.Spawn([](Engine& e, Channel<std::string>& ch) -> Task<> {
+    co_await e.Delay(123);
+    ch.Send("hello");
+  }(engine, channel));
+  engine.Run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(when, 123u);
+}
+
+TEST(ChannelTest, DirectHandoffPreservesFifoAmongReceivers) {
+  Engine engine;
+  Channel<int> channel(engine);
+  std::vector<std::pair<int, int>> who_got_what;  // (receiver, value)
+  for (int r = 0; r < 3; ++r) {
+    engine.Spawn(
+        [](Channel<int>& ch, std::vector<std::pair<int, int>>& out, int id) -> Task<> {
+          auto v = co_await ch.Receive();
+          out.emplace_back(id, v.value());
+        }(channel, who_got_what, r));
+  }
+  engine.Run();  // All three parked.
+  channel.Send(100);
+  channel.Send(200);
+  channel.Send(300);
+  engine.Run();
+  ASSERT_EQ(who_got_what.size(), 3u);
+  EXPECT_EQ(who_got_what[0], (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(who_got_what[1], (std::pair<int, int>{1, 200}));
+  EXPECT_EQ(who_got_what[2], (std::pair<int, int>{2, 300}));
+}
+
+TEST(ChannelTest, CloseWakesParkedReceiversWithNullopt) {
+  Engine engine;
+  Channel<int> channel(engine);
+  int closed_count = 0;
+  for (int i = 0; i < 2; ++i) {
+    engine.Spawn([](Channel<int>& ch, int& n) -> Task<> {
+      auto v = co_await ch.Receive();
+      if (!v.has_value()) {
+        ++n;
+      }
+    }(channel, closed_count));
+  }
+  engine.Run();
+  channel.Close();
+  engine.Run();
+  EXPECT_EQ(closed_count, 2);
+}
+
+TEST(ChannelTest, QueuedItemsDeliveredBeforeCloseSignal) {
+  Engine engine;
+  Channel<int> channel(engine);
+  channel.Send(1);
+  channel.Close();
+  std::vector<std::optional<int>> got;
+  engine.Spawn([](Channel<int>& ch, std::vector<std::optional<int>>& out) -> Task<> {
+    out.push_back(co_await ch.Receive());
+    out.push_back(co_await ch.Receive());
+  }(channel, got));
+  engine.Run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::optional<int>(1));
+  EXPECT_EQ(got[1], std::nullopt);
+}
+
+TEST(ResourceTest, SerializesUsers) {
+  Engine engine;
+  Resource cpu(engine, "cpu");
+  std::vector<SimTime> finish_times;
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn([](Engine& e, Resource& r, std::vector<SimTime>& out) -> Task<> {
+      co_await r.Use(100);
+      out.push_back(e.now());
+    }(engine, cpu, finish_times));
+  }
+  engine.Run();
+  EXPECT_EQ(finish_times, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(cpu.use_count(), 3u);
+  EXPECT_EQ(cpu.busy_time(), 300u);
+  EXPECT_DOUBLE_EQ(cpu.Utilization(), 1.0);
+}
+
+TEST(ResourceTest, TransferUsesBandwidth) {
+  Engine engine;
+  Resource bus(engine, "scsi");
+  SimTime done_at = 0;
+  engine.Spawn([](Engine& e, Resource& r, SimTime& t) -> Task<> {
+    co_await r.Transfer(8192, 10'000'000);  // 8 KB over 10 MB/s SCSI.
+    t = e.now();
+  }(engine, bus, done_at));
+  engine.Run();
+  EXPECT_EQ(done_at, 819200u);
+}
+
+TEST(ResourceTest, UtilizationReflectsIdleTime) {
+  Engine engine;
+  Resource bus(engine, "bus");
+  engine.Spawn([](Engine& e, Resource& r) -> Task<> {
+    co_await e.Delay(900);
+    co_await r.Use(100);
+  }(engine, bus));
+  engine.Run();
+  EXPECT_DOUBLE_EQ(bus.Utilization(), 0.1);
+}
+
+}  // namespace
+}  // namespace ddio::sim

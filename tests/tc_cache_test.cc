@@ -1,0 +1,215 @@
+// Unit tests for the traditional-caching IOP block cache (src/tc/block_cache.h):
+// LRU replacement, read coalescing, write-behind, read-modify-write on
+// partial evictions, prefetch accounting, and quiesce.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/machine.h"
+#include "src/fs/striped_file.h"
+#include "src/sim/engine.h"
+#include "src/tc/block_cache.h"
+
+namespace ddio::tc {
+namespace {
+
+struct CacheFixture {
+  sim::Engine engine{1};
+  core::MachineConfig config;
+  std::unique_ptr<core::Machine> machine;
+  std::unique_ptr<fs::StripedFile> file;
+  std::unique_ptr<BlockCache> cache;
+
+  explicit CacheFixture(std::uint32_t capacity = 4) {
+    config.num_cps = 2;
+    config.num_iops = 1;
+    config.num_disks = 1;
+    machine = std::make_unique<core::Machine>(engine, config);
+    fs::StripedFile::Params params;
+    params.file_bytes = 64 * 8192;  // 64 blocks.
+    params.num_disks = 1;
+    params.layout = fs::LayoutKind::kContiguous;
+    file = std::make_unique<fs::StripedFile>(params, engine.rng());
+    cache = std::make_unique<BlockCache>(*machine, 0, capacity);
+    machine->StartDisks();
+  }
+
+  // Runs `task` to completion on the engine.
+  void Run(sim::Task<> task) {
+    engine.Spawn(std::move(task));
+    engine.Run();
+  }
+};
+
+TEST(BlockCacheTest, MissThenHit) {
+  CacheFixture f;
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->ReadBlock(*fx.file, 0);
+    co_await fx.cache->ReadBlock(*fx.file, 0);
+  }(f));
+  EXPECT_EQ(f.cache->stats().misses, 1u);
+  EXPECT_EQ(f.cache->stats().hits, 1u);
+  EXPECT_TRUE(f.cache->Contains(0));
+}
+
+TEST(BlockCacheTest, ConcurrentReadersCoalesceIntoOneDiskRead) {
+  CacheFixture f;
+  for (int i = 0; i < 5; ++i) {
+    f.engine.Spawn([](CacheFixture& fx) -> sim::Task<> {
+      co_await fx.cache->ReadBlock(*fx.file, 7);
+    }(f));
+  }
+  f.engine.Run();
+  EXPECT_EQ(f.cache->stats().misses, 1u);
+  EXPECT_EQ(f.cache->stats().hits, 4u);
+  EXPECT_EQ(f.machine->Disk(0).stats().read_requests, 1u);
+}
+
+TEST(BlockCacheTest, LruEvictionAtCapacity) {
+  CacheFixture f(/*capacity=*/4);
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    for (std::uint64_t b = 0; b < 6; ++b) {
+      co_await fx.cache->ReadBlock(*fx.file, b);
+    }
+  }(f));
+  EXPECT_EQ(f.cache->stats().evictions, 2u);
+  // Blocks 0 and 1 were least recently used.
+  EXPECT_FALSE(f.cache->Contains(0));
+  EXPECT_FALSE(f.cache->Contains(1));
+  EXPECT_TRUE(f.cache->Contains(5));
+  EXPECT_EQ(f.cache->size(), 4u);
+}
+
+TEST(BlockCacheTest, TouchOnHitProtectsFromEviction) {
+  CacheFixture f(/*capacity=*/4);
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      co_await fx.cache->ReadBlock(*fx.file, b);
+    }
+    co_await fx.cache->ReadBlock(*fx.file, 0);  // Refresh block 0.
+    co_await fx.cache->ReadBlock(*fx.file, 4);  // Evicts 1, not 0.
+  }(f));
+  EXPECT_TRUE(f.cache->Contains(0));
+  EXPECT_FALSE(f.cache->Contains(1));
+}
+
+TEST(BlockCacheTest, FullBlockWriteFlushesBehind) {
+  CacheFixture f;
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->WriteBlock(*fx.file, 3, 8192);
+    co_await fx.cache->Quiesce(*fx.file);
+  }(f));
+  EXPECT_EQ(f.cache->stats().flushes, 1u);
+  EXPECT_EQ(f.cache->stats().rmw_flushes, 0u);
+  EXPECT_EQ(f.machine->Disk(0).stats().write_requests, 1u);
+}
+
+TEST(BlockCacheTest, PartialWritesAccumulateUntilFull) {
+  CacheFixture f;
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    for (int quarter = 0; quarter < 4; ++quarter) {
+      co_await fx.cache->WriteBlock(*fx.file, 3, 2048);
+    }
+    co_await fx.cache->Quiesce(*fx.file);
+  }(f));
+  // One flush when the fourth quarter completed the block; full, not RMW.
+  EXPECT_EQ(f.cache->stats().flushes, 1u);
+  EXPECT_EQ(f.cache->stats().rmw_flushes, 0u);
+}
+
+TEST(BlockCacheTest, PartialBlockQuiesceIsReadModifyWrite) {
+  CacheFixture f;
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->WriteBlock(*fx.file, 3, 100);  // Never fills.
+    co_await fx.cache->Quiesce(*fx.file);
+  }(f));
+  EXPECT_EQ(f.cache->stats().flushes, 1u);
+  EXPECT_EQ(f.cache->stats().rmw_flushes, 1u);
+  // RMW = one disk read + one disk write.
+  EXPECT_EQ(f.machine->Disk(0).stats().read_requests, 1u);
+  EXPECT_EQ(f.machine->Disk(0).stats().write_requests, 1u);
+}
+
+TEST(BlockCacheTest, DirtyEvictionFlushesFirst) {
+  CacheFixture f(/*capacity=*/4);
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->WriteBlock(*fx.file, 0, 100);  // Dirty, partial.
+    for (std::uint64_t b = 1; b < 5; ++b) {
+      co_await fx.cache->ReadBlock(*fx.file, b);  // Forces eviction of 0.
+    }
+  }(f));
+  EXPECT_FALSE(f.cache->Contains(0));
+  EXPECT_EQ(f.cache->stats().rmw_flushes, 1u);
+}
+
+TEST(BlockCacheTest, PrefetchBringsBlockIn) {
+  CacheFixture f;
+  f.cache->PrefetchBlock(*f.file, 9);
+  f.engine.Run();
+  EXPECT_TRUE(f.cache->Contains(9));
+  EXPECT_EQ(f.cache->stats().prefetch_issued, 1u);
+  // A later demand read is a hit.
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->ReadBlock(*fx.file, 9);
+  }(f));
+  EXPECT_EQ(f.cache->stats().hits, 1u);
+  EXPECT_EQ(f.cache->stats().misses, 0u);
+}
+
+TEST(BlockCacheTest, UnusedPrefetchCountedAsWastedOnEviction) {
+  CacheFixture f(/*capacity=*/4);
+  f.cache->PrefetchBlock(*f.file, 9);
+  f.engine.Run();
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      co_await fx.cache->ReadBlock(*fx.file, b);  // Evicts the prefetch.
+    }
+  }(f));
+  EXPECT_FALSE(f.cache->Contains(9));
+  EXPECT_EQ(f.cache->stats().prefetch_wasted, 1u);
+}
+
+TEST(BlockCacheTest, PrefetchOfCachedBlockIsNoop) {
+  CacheFixture f;
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->ReadBlock(*fx.file, 2);
+  }(f));
+  f.cache->PrefetchBlock(*f.file, 2);
+  f.engine.Run();
+  EXPECT_EQ(f.cache->stats().prefetch_issued, 0u);
+}
+
+TEST(BlockCacheTest, MoreWritersThanCapacityMakeProgress) {
+  // 8 CP-streams writing distinct blocks through a 4-buffer cache: eviction
+  // pressure with dirty partial blocks must not deadlock.
+  CacheFixture f(/*capacity=*/4);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    f.engine.Spawn([](CacheFixture& fx, std::uint64_t block) -> sim::Task<> {
+      for (int part = 0; part < 4; ++part) {
+        co_await fx.cache->WriteBlock(*fx.file, block, 2048);
+      }
+    }(f, b));
+  }
+  f.engine.Run();
+  f.Run([](CacheFixture& fx) -> sim::Task<> { co_await fx.cache->Quiesce(*fx.file); }(f));
+  // All 8 blocks eventually written (some full flushes, some RMW after
+  // eviction split them).
+  EXPECT_GE(f.machine->Disk(0).stats().write_requests, 8u);
+}
+
+TEST(BlockCacheTest, QuiesceWaitsForPrefetchInFlight) {
+  CacheFixture f;
+  f.cache->PrefetchBlock(*f.file, 30);
+  bool quiesced = false;
+  f.engine.Spawn([](CacheFixture& fx, bool& done) -> sim::Task<> {
+    co_await fx.cache->Quiesce(*fx.file);
+    done = true;
+  }(f, quiesced));
+  f.engine.Run();
+  EXPECT_TRUE(quiesced);
+  EXPECT_TRUE(f.cache->Contains(30));
+}
+
+}  // namespace
+}  // namespace ddio::tc

@@ -1,0 +1,90 @@
+// Shared helpers for end-to-end file-system tests: build a small machine,
+// run one collective operation, and return stats + validation results.
+
+#ifndef DDIO_TESTS_TEST_UTIL_H_
+#define DDIO_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/machine.h"
+#include "src/core/op_stats.h"
+#include "src/core/validation.h"
+#include "src/ddio/ddio_fs.h"
+#include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/engine.h"
+#include "src/tc/tc_fs.h"
+
+namespace ddio::testing {
+
+struct E2eConfig {
+  std::uint32_t cps = 4;
+  std::uint32_t iops = 4;
+  std::uint32_t disks = 4;
+  std::uint64_t file_bytes = 256 * 1024;
+  std::uint32_t record_bytes = 8192;
+  fs::LayoutKind layout = fs::LayoutKind::kContiguous;
+  std::uint64_t seed = 1;
+  bool validate = true;
+};
+
+struct E2eResult {
+  core::OpStats stats;
+  bool valid = false;
+  std::vector<std::string> errors;
+  std::uint64_t events = 0;
+};
+
+enum class Method { kTc, kDdio, kDdioNoSort };
+
+inline E2eResult RunOne(Method method, const std::string& pattern_name, const E2eConfig& cfg) {
+  sim::Engine engine(cfg.seed);
+  core::MachineConfig mc;
+  mc.num_cps = cfg.cps;
+  mc.num_iops = cfg.iops;
+  mc.num_disks = cfg.disks;
+  core::Machine machine(engine, mc);
+  core::ValidationSink sink;
+  if (cfg.validate) {
+    machine.set_validation(&sink);
+  }
+
+  fs::StripedFile::Params fp;
+  fp.file_bytes = cfg.file_bytes;
+  fp.num_disks = cfg.disks;
+  fp.layout = cfg.layout;
+  fs::StripedFile file(fp, engine.rng());
+
+  pattern::AccessPattern pattern(pattern::PatternSpec::Parse(pattern_name), cfg.file_bytes,
+                                 cfg.record_bytes, cfg.cps);
+
+  E2eResult result;
+  std::unique_ptr<tc::TcFileSystem> tc_fs;
+  std::unique_ptr<ddio_fs::DdioFileSystem> dd_fs;
+  if (method == Method::kTc) {
+    tc_fs = std::make_unique<tc::TcFileSystem>(machine);
+    tc_fs->Start();
+    engine.Spawn(tc_fs->RunCollective(file, pattern, &result.stats));
+  } else {
+    ddio_fs::DdioParams params;
+    params.presort = method == Method::kDdio;
+    dd_fs = std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
+    dd_fs->Start();
+    engine.Spawn(dd_fs->RunCollective(file, pattern, &result.stats));
+  }
+  engine.Run();
+  result.events = engine.events_processed();
+  if (cfg.validate) {
+    result.valid = sink.Verify(pattern, &result.errors);
+  } else {
+    result.valid = true;
+  }
+  return result;
+}
+
+}  // namespace ddio::testing
+
+#endif  // DDIO_TESTS_TEST_UTIL_H_

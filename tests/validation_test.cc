@@ -1,0 +1,136 @@
+// Unit tests for the placement-validation sink (src/core/validation.h).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/validation.h"
+#include "src/pattern/pattern.h"
+
+namespace ddio::core {
+namespace {
+
+pattern::AccessPattern SmallPattern(const char* name) {
+  // 4 CPs, 64 records of 8 bytes = 512-byte file.
+  return pattern::AccessPattern(pattern::PatternSpec::Parse(name), 512, 8, 4);
+}
+
+void DeliverAll(const pattern::AccessPattern& pattern, ValidationSink& sink) {
+  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+    pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+      sink.RecordDelivery(cp, chunk.cp_offset, chunk.file_offset, chunk.length);
+    });
+  }
+}
+
+TEST(ValidationTest, ExactCoverageVerifies) {
+  auto pattern = SmallPattern("rb");
+  ValidationSink sink;
+  DeliverAll(pattern, sink);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(sink.Verify(pattern, &errors)) << (errors.empty() ? "" : errors[0]);
+  EXPECT_EQ(sink.delivered_bytes(), 512u);
+}
+
+TEST(ValidationTest, SplitExtentsStillVerify) {
+  auto pattern = SmallPattern("rb");
+  ValidationSink sink;
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+      // Deliver in two halves.
+      const std::uint64_t half = chunk.length / 2;
+      sink.RecordDelivery(cp, chunk.cp_offset, chunk.file_offset, half);
+      sink.RecordDelivery(cp, chunk.cp_offset + half, chunk.file_offset + half,
+                          chunk.length - half);
+    });
+  }
+  EXPECT_TRUE(sink.Verify(pattern, nullptr));
+}
+
+TEST(ValidationTest, MissingDataFails) {
+  auto pattern = SmallPattern("rb");
+  ValidationSink sink;
+  // CP 3 never gets its data.
+  for (std::uint32_t cp = 0; cp < 3; ++cp) {
+    pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+      sink.RecordDelivery(cp, chunk.cp_offset, chunk.file_offset, chunk.length);
+    });
+  }
+  std::vector<std::string> errors;
+  EXPECT_FALSE(sink.Verify(pattern, &errors));
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(ValidationTest, MisroutedDeliveryFails) {
+  auto pattern = SmallPattern("rc");
+  ValidationSink sink;
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+      // Swap file offsets of CPs 0 and 1 (cyclic: records interleave).
+      std::uint64_t file_offset = chunk.file_offset;
+      if (cp == 0) {
+        file_offset += 8;
+      } else if (cp == 1) {
+        file_offset -= 8;
+      }
+      sink.RecordDelivery(cp, chunk.cp_offset, file_offset, chunk.length);
+    });
+  }
+  EXPECT_FALSE(sink.Verify(pattern, nullptr));
+}
+
+TEST(ValidationTest, WrongLocalOffsetFails) {
+  auto pattern = SmallPattern("rb");
+  ValidationSink sink;
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+      sink.RecordDelivery(cp, chunk.cp_offset + 4, chunk.file_offset, chunk.length);
+    });
+  }
+  EXPECT_FALSE(sink.Verify(pattern, nullptr));
+}
+
+TEST(ValidationTest, WriteCoverageVerifies) {
+  auto pattern = SmallPattern("wb");
+  ValidationSink sink;
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+      sink.RecordFileWrite(cp, chunk.cp_offset, chunk.file_offset, chunk.length);
+    });
+  }
+  EXPECT_TRUE(sink.Verify(pattern, nullptr));
+  EXPECT_EQ(sink.written_bytes(), 512u);
+}
+
+TEST(ValidationTest, WriteFromWrongCpFails) {
+  auto pattern = SmallPattern("wb");
+  ValidationSink sink;
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {
+      // Attribute all writes to CP 0.
+      sink.RecordFileWrite(0, chunk.cp_offset, chunk.file_offset, chunk.length);
+    });
+  }
+  EXPECT_FALSE(sink.Verify(pattern, nullptr));
+}
+
+TEST(ValidationTest, DoubleDeliveryFails) {
+  auto pattern = SmallPattern("rb");
+  ValidationSink sink;
+  DeliverAll(pattern, sink);
+  // Deliver CP 0's chunk a second time.
+  pattern.ForEachChunk(0, [&](const pattern::AccessPattern::Chunk& chunk) {
+    sink.RecordDelivery(0, chunk.cp_offset, chunk.file_offset, chunk.length);
+  });
+  EXPECT_FALSE(sink.Verify(pattern, nullptr));
+}
+
+TEST(ValidationTest, EmptySinkFailsForNonEmptyPattern) {
+  auto pattern = SmallPattern("rb");
+  ValidationSink sink;
+  EXPECT_FALSE(sink.Verify(pattern, nullptr));
+}
+
+}  // namespace
+}  // namespace ddio::core
