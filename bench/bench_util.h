@@ -6,6 +6,8 @@
 //                 paper)
 //   --file-mb=N   file size in MB (default 10, as in the paper)
 //   --quick       1 trial, 2 MB file: CI-friendly smoke mode
+//   --json=PATH   also write machine-readable results (per-point means/CIs)
+//                 to PATH
 
 #ifndef DDIO_BENCH_BENCH_UTIL_H_
 #define DDIO_BENCH_BENCH_UTIL_H_
@@ -14,12 +16,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace ddio::bench {
 
 struct BenchOptions {
   std::uint32_t trials = 5;
   std::uint64_t file_mb = 10;
+  bool quick = false;
+  std::string json_path;  // Empty: no JSON output.
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions options;
@@ -30,10 +35,13 @@ struct BenchOptions {
       } else if (std::strncmp(arg, "--file-mb=", 10) == 0) {
         options.file_mb = std::strtoull(arg + 10, nullptr, 10);
       } else if (std::strcmp(arg, "--quick") == 0) {
+        options.quick = true;
         options.trials = 1;
         options.file_mb = 2;
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        options.json_path = arg + 7;
       } else if (std::strcmp(arg, "--help") == 0) {
-        std::printf("usage: %s [--trials=N] [--file-mb=N] [--quick]\n", argv[0]);
+        std::printf("usage: %s [--trials=N] [--file-mb=N] [--quick] [--json=PATH]\n", argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg);
@@ -48,6 +56,54 @@ struct BenchOptions {
   }
 
   std::uint64_t file_bytes() const { return file_mb * 1024 * 1024; }
+};
+
+// Collects per-point results (mean + coefficient of variation across trials)
+// and writes them as one JSON document. Used by the sweep/figure benches when
+// --json=PATH is given, so CI can diff per-point numbers across PRs.
+class JsonPointSink {
+ public:
+  explicit JsonPointSink(std::string path) : path_(std::move(path)) {}
+  JsonPointSink(const JsonPointSink&) = delete;
+  JsonPointSink& operator=(const JsonPointSink&) = delete;
+  ~JsonPointSink() { Flush(); }
+
+  void Add(const std::string& dimension, std::uint64_t value, const std::string& method,
+           const std::string& pattern, double mean_mbps, double cv, std::uint32_t trials) {
+    if (path_.empty()) {
+      return;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"%s\": %llu, \"method\": \"%s\", \"pattern\": \"%s\", "
+                  "\"mean_mbps\": %.4f, \"cv\": %.4f, \"trials\": %u}",
+                  dimension.c_str(), static_cast<unsigned long long>(value), method.c_str(),
+                  pattern.c_str(), mean_mbps, cv, trials);
+    points_.emplace_back(buf);
+  }
+
+  void Flush() {
+    if (path_.empty() || points_.empty()) {
+      return;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"points\": [\n");
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", points_[i].c_str(), i + 1 < points_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+    points_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> points_;
 };
 
 inline void PrintPreamble(const char* title, const char* paper_reference,

@@ -29,6 +29,7 @@ inline void RunSweep(const BenchOptions& options, const char* dimension_name,
     }
   }
   core::Table table(headers);
+  JsonPointSink json(options.json_path);
   for (std::uint32_t value : values) {
     std::vector<std::string> row = {std::to_string(value)};
     for (core::Method method : {core::Method::kDiskDirected,
@@ -44,6 +45,8 @@ inline void RunSweep(const BenchOptions& options, const char* dimension_name,
         configure(cfg, value);
         auto result = core::RunExperiment(cfg);
         row.push_back(core::Fixed(result.mean_mbps, 2));
+        json.Add(dimension_name, value, core::MethodName(method), pattern, result.mean_mbps,
+                 result.cv, cfg.trials);
       }
     }
     table.AddRow(std::move(row));

@@ -1,0 +1,198 @@
+// Event-core performance benchmark: raw event throughput (events/sec) of the
+// simulation engine, plus an end-to-end Figure 5-style sweep timing.
+//
+// Three microbenchmarks target the engine's measured hot paths:
+//   * yield_storm        — Delay(0) self-reschedule, the pure zero-delay path
+//   * semaphore_ring     — token passing through semaphore wait lists, i.e.
+//                          the Schedule(0) wakeups issued by sync primitives
+//   * timed_delays       — pseudo-random nonzero delays, the timed-event path
+// The end-to-end benchmark times one Fig. 5 cell (DDIO + TC, rb pattern) and
+// reports wall seconds and simulation events/sec.
+//
+// With --json=PATH the results are written as machine-readable JSON; the
+// committed BENCH_engine.json tracks these numbers across PRs.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace ddio::bench {
+namespace {
+
+struct PerfResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  double sim_seconds = 0.0;
+  sim::EngineStats engine_stats;
+  bool has_engine_stats = false;
+};
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+PerfResult MeasureRun(const char* name, sim::Engine& engine) {
+  const auto begin = std::chrono::steady_clock::now();
+  engine.Run();
+  const auto end = std::chrono::steady_clock::now();
+  PerfResult result;
+  result.name = name;
+  result.events = engine.events_processed();
+  result.wall_seconds = Seconds(begin, end);
+  result.events_per_sec =
+      result.wall_seconds > 0 ? static_cast<double>(result.events) / result.wall_seconds : 0.0;
+  result.sim_seconds = sim::ToSec(engine.now());
+  result.engine_stats = engine.stats();
+  result.has_engine_stats = true;
+  return result;
+}
+
+// Delay(0) self-reschedule: every event is a zero-delay wakeup at the current
+// simulated instant, the dominant event class in the file-system workloads.
+PerfResult YieldStorm(bool quick) {
+  const int tasks = quick ? 32 : 128;
+  const std::uint64_t yields = quick ? 20'000 : 100'000;
+  sim::Engine engine;
+  for (int i = 0; i < tasks; ++i) {
+    engine.Spawn([](sim::Engine& e, std::uint64_t n) -> sim::Task<> {
+      for (std::uint64_t k = 0; k < n; ++k) {
+        co_await e.Yield();
+      }
+    }(engine, yields));
+  }
+  return MeasureRun("yield_storm", engine);
+}
+
+// A single token circulates a ring of semaphores: every hop is a sync-
+// primitive wakeup (Acquire park + Release Schedule(0)), the paper
+// machinery's semaphore-handoff hot path.
+PerfResult SemaphoreRing(bool quick) {
+  const int ring = 64;
+  const std::uint64_t laps = quick ? 2'000 : 20'000;
+  sim::Engine engine;
+  std::vector<std::unique_ptr<sim::Semaphore>> sems;
+  sems.reserve(ring);
+  for (int i = 0; i < ring; ++i) {
+    sems.push_back(std::make_unique<sim::Semaphore>(engine, 0));
+  }
+  for (int i = 0; i < ring; ++i) {
+    engine.Spawn([](sim::Semaphore& mine, sim::Semaphore& next, std::uint64_t n) -> sim::Task<> {
+      for (std::uint64_t k = 0; k < n; ++k) {
+        co_await mine.Acquire();
+        next.Release();
+      }
+    }(*sems[static_cast<std::size_t>(i)], *sems[static_cast<std::size_t>((i + 1) % ring)], laps));
+  }
+  sems[0]->Release();  // Inject the token.
+  return MeasureRun("semaphore_ring", engine);
+}
+
+// Pseudo-random nonzero delays: exercises the timed-event tier (the calendar
+// queue after this PR; the binary heap before it).
+PerfResult TimedDelays(bool quick) {
+  const int tasks = quick ? 32 : 128;
+  const std::uint64_t delays = quick ? 10'000 : 50'000;
+  sim::Engine engine;
+  for (int i = 0; i < tasks; ++i) {
+    engine.Spawn([](sim::Engine& e, std::uint64_t n, std::uint64_t lcg) -> sim::Task<> {
+      for (std::uint64_t k = 0; k < n; ++k) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        // Delays spread over [1, ~1 ms), mimicking cycle charges through
+        // device service times.
+        co_await e.Delay(1 + (lcg >> 44));
+      }
+    }(engine, delays, 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(i)));
+  }
+  return MeasureRun("timed_delays", engine);
+}
+
+// One Fig. 5-style cell end to end (both methods, rb pattern) so the
+// event-core speedup is visible in real workload wall time too.
+PerfResult EndToEnd(const BenchOptions& options, core::Method method, const char* name) {
+  core::ExperimentConfig cfg;
+  cfg.pattern = "rb";
+  cfg.record_bytes = 8192;
+  cfg.layout = fs::LayoutKind::kContiguous;
+  cfg.method = method;
+  cfg.trials = options.trials;
+  cfg.file_bytes = options.file_bytes();
+  const auto begin = std::chrono::steady_clock::now();
+  auto result = core::RunExperiment(cfg);
+  const auto end = std::chrono::steady_clock::now();
+  PerfResult perf;
+  perf.name = name;
+  perf.events = result.total_events;
+  perf.wall_seconds = Seconds(begin, end);
+  perf.events_per_sec =
+      perf.wall_seconds > 0 ? static_cast<double>(perf.events) / perf.wall_seconds : 0.0;
+  return perf;
+}
+
+void WriteJson(const std::string& path, const std::vector<PerfResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_engine: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"perf_engine\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PerfResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %" PRIu64
+                 ", \"wall_seconds\": %.6f, \"events_per_sec\": %.0f}%s\n",
+                 r.name.c_str(), r.events, r.wall_seconds, r.events_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace ddio::bench
+
+int main(int argc, char** argv) {
+  using namespace ddio::bench;
+  auto options = BenchOptions::Parse(argc, argv);
+  const bool quick = options.quick;
+  PrintPreamble("Engine event-core performance",
+                "raw event throughput; higher is better (not a paper figure)", options);
+
+  std::vector<PerfResult> results;
+  results.push_back(YieldStorm(quick));
+  results.push_back(SemaphoreRing(quick));
+  results.push_back(TimedDelays(quick));
+  results.push_back(EndToEnd(options, ddio::core::Method::kDiskDirected, "e2e_fig5_ddio_rb"));
+  results.push_back(EndToEnd(options, ddio::core::Method::kTraditionalCaching, "e2e_fig5_tc_rb"));
+
+  std::printf("%-20s %12s %10s %14s\n", "benchmark", "events", "wall s", "events/sec");
+  for (const PerfResult& r : results) {
+    std::printf("%-20s %12" PRIu64 " %10.3f %14.0f\n", r.name.c_str(), r.events, r.wall_seconds,
+                r.events_per_sec);
+  }
+  for (const PerfResult& r : results) {
+    if (r.has_engine_stats) {
+      std::printf("\n-- %s --\n", r.name.c_str());
+      ddio::core::PrintEngineStats(r.engine_stats, std::cout);
+    }
+  }
+  if (!options.json_path.empty()) {
+    WriteJson(options.json_path, results);
+  }
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/sim/engine.h"
+
 namespace ddio::core {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -48,6 +50,20 @@ std::string Fixed(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return buf;
+}
+
+void PrintEngineStats(const sim::EngineStats& stats, std::ostream& os) {
+  const std::uint64_t total = stats.fifo_events + stats.timed_events;
+  const double fifo_share =
+      total > 0 ? 100.0 * static_cast<double>(stats.fifo_events) / static_cast<double>(total)
+                : 0.0;
+  Table table({"engine counter", "value"});
+  table.AddRow({"fifo (zero-delay) events", std::to_string(stats.fifo_events)});
+  table.AddRow({"timed (calendar) events", std::to_string(stats.timed_events)});
+  table.AddRow({"fifo share %", Fixed(fifo_share, 1)});
+  table.AddRow({"max queue depth", std::to_string(stats.max_queue_depth)});
+  table.AddRow({"calendar resizes", std::to_string(stats.calendar_resizes)});
+  table.Print(os);
 }
 
 }  // namespace ddio::core

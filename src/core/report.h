@@ -9,6 +9,10 @@
 #include <string>
 #include <vector>
 
+namespace ddio::sim {
+struct EngineStats;
+}
+
 namespace ddio::core {
 
 class Table {
@@ -25,6 +29,11 @@ class Table {
 
 // "12.34" style fixed-point formatting.
 std::string Fixed(double value, int decimals = 2);
+
+// Renders the engine's event-core counters (events by tier, peak queue
+// depth, calendar resizes) as a small table. Defined for sim::EngineStats
+// from src/sim/engine.h.
+void PrintEngineStats(const sim::EngineStats& stats, std::ostream& os);
 
 }  // namespace ddio::core
 

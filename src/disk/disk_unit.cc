@@ -88,7 +88,7 @@ sim::Task<> DiskUnit::ServiceLoop() {
       if (stopping_) {
         co_return;
       }
-      co_await queue_changed_.Wait();
+      co_await queue_changed_.WaitUntil([this] { return !pending_.empty() || stopping_; });
     }
     Request request = TakeNext();
     const sim::SimTime start = engine_.now();

@@ -5,6 +5,10 @@
 // an item or channel close. When a sender finds a parked receiver it hands
 // the item directly to that receiver's awaiter, so items cannot be stolen by
 // a later receiver that arrives between the send and the wakeup.
+//
+// Parked receivers sit on the same intrusive wait list as the sync
+// primitives (the node and the receive slot both live in the suspended
+// coroutine's frame), so parking and handoff never allocate.
 
 #ifndef DDIO_SRC_SIM_CHANNEL_H_
 #define DDIO_SRC_SIM_CHANNEL_H_
@@ -15,6 +19,7 @@
 #include <utility>
 
 #include "src/sim/engine.h"
+#include "src/sim/sync.h"
 
 namespace ddio::sim {
 
@@ -28,10 +33,9 @@ class Channel {
   // Enqueues `value`; wakes the oldest parked receiver, if any.
   void Send(T value) {
     if (!waiters_.empty()) {
-      Waiter waiter = waiters_.front();
-      waiters_.pop_front();
-      waiter.slot->emplace(std::move(value));
-      engine_.Schedule(0, waiter.handle);
+      internal::WaitNode* waiter = waiters_.PopFront();
+      static_cast<std::optional<T>*>(waiter->ctx)->emplace(std::move(value));
+      engine_.Schedule(0, waiter->handle);
       return;
     }
     items_.push_back(std::move(value));
@@ -41,10 +45,10 @@ class Channel {
   // queue drains. Items already queued are still delivered.
   void Close() {
     closed_ = true;
-    for (const Waiter& waiter : waiters_) {
-      engine_.Schedule(0, waiter.handle);  // Slot stays empty -> nullopt.
+    while (!waiters_.empty()) {
+      // Slot stays empty -> nullopt.
+      engine_.Schedule(0, waiters_.PopFront()->handle);
     }
-    waiters_.clear();
   }
 
   // Awaitable receive; resumes with the next item, or std::nullopt if the
@@ -53,6 +57,7 @@ class Channel {
     struct Awaiter {
       Channel* channel;
       std::optional<T> slot;
+      internal::WaitNode node;
 
       bool await_ready() {
         if (!channel->items_.empty()) {
@@ -63,11 +68,13 @@ class Channel {
         return channel->closed_;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        channel->waiters_.push_back(Waiter{h, &slot});
+        node.handle = h;
+        node.ctx = &slot;
+        channel->waiters_.PushBack(&node);
       }
       std::optional<T> await_resume() { return std::move(slot); }
     };
-    return Awaiter{this, std::nullopt};
+    return Awaiter{this, std::nullopt, {}};
   }
 
   bool empty() const { return items_.empty(); }
@@ -75,14 +82,9 @@ class Channel {
   bool closed() const { return closed_; }
 
  private:
-  struct Waiter {
-    std::coroutine_handle<> handle;
-    std::optional<T>* slot;
-  };
-
   Engine& engine_;
   std::deque<T> items_;
-  std::deque<Waiter> waiters_;
+  internal::WaitList waiters_;
   bool closed_ = false;
 };
 

@@ -10,18 +10,12 @@ Engine::Engine(std::uint64_t seed) : rng_(seed) {}
 
 Engine::~Engine() {
   // Destroy any detached roots still suspended (e.g. server loops parked on a
-  // channel when the simulation ended). Destroying a root cascades into its
-  // children via the Task members held in each coroutine frame.
+  // channel when the simulation ended), in the order they were spawned so
+  // teardown side effects are reproducible. Destroying a root cascades into
+  // its children via the Task members held in each coroutine frame.
   for (void* address : live_roots_) {
     std::coroutine_handle<>::from_address(address).destroy();
   }
-}
-
-void Engine::ScheduleAt(SimTime when, std::coroutine_handle<> h) {
-  if (when < now_) {
-    when = now_;  // Never schedule into the past.
-  }
-  queue_.push(Event{when, next_seq_++, h});
 }
 
 void Engine::Spawn(Task<> task) {
@@ -32,7 +26,8 @@ void Engine::Spawn(Task<> task) {
   auto& promise = handle.promise();
   promise.detached_done = &Engine::RootFinishedThunk;
   promise.detached_ctx = this;
-  live_roots_.insert(handle.address());
+  live_roots_.push_back(handle.address());
+  root_index_.emplace(handle.address(), std::prev(live_roots_.end()));
   Schedule(0, handle);
 }
 
@@ -54,40 +49,71 @@ void Engine::RootFinished(std::coroutine_handle<> root) {
     }
     std::abort();
   }
-  live_roots_.erase(root.address());
+  auto it = root_index_.find(root.address());
+  if (it != root_index_.end()) {
+    live_roots_.erase(it->second);
+    root_index_.erase(it);
+  }
   root.destroy();
 }
 
 void Engine::Step() {
-  Event event = queue_.top();
-  queue_.pop();
-  now_ = event.when;
+  // Queue depth only grows between dispatches, so sampling here captures the
+  // exact peak without touching the Schedule hot path.
+  const std::uint64_t depth = ring_.size() + calendar_.size();
+  if (depth > stats_.max_queue_depth) {
+    stats_.max_queue_depth = depth;
+  }
+  if (ring_.empty()) {
+    // Advance virtual time to the next timed event, then drain every event
+    // at that instant into the ring. Timed events at the new now() all have
+    // smaller sequence numbers than any zero-delay event that will be
+    // scheduled while processing it, so draining first preserves the global
+    // (when, seq) dispatch order.
+    Event event = calendar_.PopMin();
+    now_ = event.when;
+    ring_.PushBack(event.handle);
+    while (!calendar_.empty() && calendar_.PeekMinWhen() == now_) {
+      ring_.PushBack(calendar_.PopMin().handle);
+    }
+  }
   ++events_processed_;
-  event.handle.resume();
+  if (trace_ != nullptr) {
+    trace_->push_back(now_);
+  }
+  ring_.PopFront().resume();
 }
 
 std::uint64_t Engine::Run(std::uint64_t max_events) {
-  std::uint64_t processed = 0;
-  while (!queue_.empty()) {
-    if (max_events != 0 && processed >= max_events) {
+  const std::uint64_t before = events_processed_;
+  while (!queue_empty()) {
+    if (max_events != 0 && events_processed_ - before >= max_events) {
       break;
     }
     Step();
-    ++processed;
   }
-  return processed;
+  return events_processed_ - before;
 }
 
 std::uint64_t Engine::RunUntil(SimTime deadline) {
-  std::uint64_t processed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  const std::uint64_t before = events_processed_;
+  for (;;) {
+    if (!ring_.empty()) {
+      if (now_ > deadline) {
+        break;  // Ring events are at now_: past the deadline, they keep.
+      }
+      Step();
+      continue;
+    }
+    if (calendar_.empty() || calendar_.PeekMinWhen() > deadline) {
+      break;
+    }
     Step();
-    ++processed;
   }
   if (now_ < deadline) {
     now_ = deadline;
   }
-  return processed;
+  return events_processed_ - before;
 }
 
 }  // namespace ddio::sim

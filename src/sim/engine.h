@@ -5,21 +5,85 @@
 // Events with equal timestamps fire in FIFO order of scheduling (a strictly
 // increasing sequence number breaks ties), so a run is a pure function of the
 // program and the RNG seed.
+//
+// The event queue is two-tier:
+//   * a FIFO ring for events at the current instant — every Delay(0) /
+//     Yield() / sync-primitive wakeup is an O(1) push and pop, no heap;
+//   * a calendar queue (see calendar_queue.h) for timed events, amortized
+//     O(1) versus the O(log n) binary heap it replaced.
+// When virtual time advances, every timed event at the new instant drains
+// into the ring before anything runs, which preserves the global (when, seq)
+// dispatch order exactly: timed events at time T were scheduled before any
+// zero-delay event created at time T, so their sequence numbers are smaller.
 
 #ifndef DDIO_SRC_SIM_ENGINE_H_
 #define DDIO_SRC_SIM_ENGINE_H_
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
+#include <list>
+#include <unordered_map>
 #include <vector>
 
+#include "src/sim/calendar_queue.h"
 #include "src/sim/rng.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
 
 namespace ddio::sim {
+
+// Counters for the event core, exposed for benches and reports (rendered by
+// core::PrintEngineStats in src/core/report.h).
+struct EngineStats {
+  std::uint64_t fifo_events = 0;      // Dispatched from the same-instant ring.
+  std::uint64_t timed_events = 0;     // Dispatched through the calendar tier.
+  std::uint64_t max_queue_depth = 0;  // Peak ring + calendar population.
+  std::uint64_t calendar_resizes = 0;
+};
+
+namespace internal {
+
+// Power-of-two circular buffer of coroutine handles: the same-instant FIFO
+// tier. Grows geometrically; never shrinks (peak depth is modest and the
+// storage is recycled every instant).
+class FifoRing {
+ public:
+  FifoRing() : buffer_(64) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void PushBack(std::coroutine_handle<> h) {
+    if (size_ == buffer_.size()) {
+      Grow();
+    }
+    buffer_[(head_ + size_) & (buffer_.size() - 1)] = h;
+    ++size_;
+  }
+
+  std::coroutine_handle<> PopFront() {
+    std::coroutine_handle<> h = buffer_[head_];
+    head_ = (head_ + 1) & (buffer_.size() - 1);
+    --size_;
+    return h;
+  }
+
+ private:
+  void Grow() {
+    std::vector<std::coroutine_handle<>> bigger(buffer_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = buffer_[(head_ + i) & (buffer_.size() - 1)];
+    }
+    buffer_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<std::coroutine_handle<>> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace internal
 
 class Engine {
  public:
@@ -33,7 +97,19 @@ class Engine {
 
   // Schedules `h` to resume `delay` ns from now.
   void Schedule(SimTime delay, std::coroutine_handle<> h) { ScheduleAt(now_ + delay, h); }
-  void ScheduleAt(SimTime when, std::coroutine_handle<> h);
+
+  void ScheduleAt(SimTime when, std::coroutine_handle<> h) {
+    if (when <= now_) {
+      // Zero-delay (or clamped-to-now) wakeup: straight into the FIFO ring.
+      // Arrival order is the (when, seq) order, so no sequence number or
+      // comparison is needed.
+      ring_.PushBack(h);
+      ++stats_.fifo_events;
+    } else {
+      calendar_.Push(Event{when, next_seq_++, h});
+      ++stats_.timed_events;
+    }
+  }
 
   // Starts `task` as a detached root. The engine owns the frame: it is
   // destroyed when the task finishes, or in ~Engine if still suspended.
@@ -50,7 +126,18 @@ class Engine {
 
   std::uint64_t events_processed() const { return events_processed_; }
   std::size_t live_root_count() const { return live_roots_.size(); }
-  bool queue_empty() const { return queue_.empty(); }
+  bool queue_empty() const { return ring_.empty() && calendar_.empty(); }
+
+  EngineStats stats() const {
+    EngineStats s = stats_;
+    s.calendar_resizes = calendar_.resize_count();
+    return s;
+  }
+
+  // Optional dispatch trace: when set, the timestamp of every dispatched
+  // event is appended. Used by the determinism regression tests to assert
+  // that identical seeds replay identical event sequences.
+  void set_event_trace(std::vector<SimTime>* trace) { trace_ = trace; }
 
   // Awaitable: suspend the current coroutine for `delay` ns.
   auto Delay(SimTime delay) {
@@ -68,29 +155,24 @@ class Engine {
   auto Yield() { return Delay(0); }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    std::coroutine_handle<> handle;
-  };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   static void RootFinishedThunk(void* ctx, std::coroutine_handle<> root);
   void RootFinished(std::coroutine_handle<> root);
+
+  // Dispatches the next event in (when, seq) order. Precondition: queue not
+  // empty. This is the single counting point for events_processed_.
   void Step();
 
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
-  std::unordered_set<void*> live_roots_;
+  internal::FifoRing ring_;   // Tier 1: events at the current instant.
+  CalendarQueue calendar_;    // Tier 2: future events.
+  // Detached roots in insertion order, so ~Engine teardown is reproducible;
+  // the map gives O(1) erase on completion.
+  std::list<void*> live_roots_;
+  std::unordered_map<void*, std::list<void*>::iterator> root_index_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  EngineStats stats_;
+  std::vector<SimTime>* trace_ = nullptr;
   Rng rng_;
 };
 

@@ -1,0 +1,48 @@
+// FramePool: size-classed free-list allocator for coroutine frames.
+//
+// Every simulated action — a disk op, a message hop, a WhenAll child —
+// creates a short-lived Task<> whose frame would otherwise hit the global
+// allocator twice (new + delete). The pool keeps freed frames on per-size-
+// class free lists and hands them back on the next allocation of the same
+// class, so steady-state simulation runs allocation-free in the event core.
+//
+// Blocks carry a one-word header recording their size class, which keeps
+// deallocation O(1) without relying on sized operator delete. Returned
+// payloads are aligned to alignof(std::max_align_t), the same guarantee the
+// global operator new provides for coroutine frames.
+//
+// The pool is process-global and NOT thread-safe, matching the engine's
+// single-threaded execution model.
+
+#ifndef DDIO_SRC_SIM_FRAME_POOL_H_
+#define DDIO_SRC_SIM_FRAME_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ddio::sim::internal {
+
+class FramePool {
+ public:
+  struct Stats {
+    std::uint64_t allocations = 0;   // Total frames handed out.
+    std::uint64_t pool_hits = 0;     // Served from a free list (reuse).
+    std::uint64_t fresh_blocks = 0;  // Served by the global allocator.
+    std::uint64_t oversize = 0;      // Larger than the biggest class.
+    std::uint64_t deallocations = 0;
+    std::uint64_t live = 0;          // Currently outstanding frames.
+  };
+
+  static void* Allocate(std::size_t bytes);
+  static void Deallocate(void* payload) noexcept;
+
+  static Stats stats();
+  // Testing hook: zeroes the counters (free lists are left intact).
+  static void ResetStats();
+  // Testing hook: returns every pooled block to the global allocator.
+  static void TrimFreeLists();
+};
+
+}  // namespace ddio::sim::internal
+
+#endif  // DDIO_SRC_SIM_FRAME_POOL_H_

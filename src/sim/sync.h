@@ -9,18 +9,96 @@
 // scheduled on the engine at the current simulated time. None of these
 // classes ever destroys a parked coroutine handle — frame ownership stays
 // with the Engine (see task.h).
+//
+// Waiters are kept on intrusive wait lists: the list node lives inside the
+// awaiter object, which lives inside the suspended coroutine's frame, so
+// parking and waking never allocate. Condition additionally supports
+// predicate waiters (WaitUntil), woken only when their predicate holds at
+// notify time — a targeted wakeup instead of a broadcast thundering herd.
 
 #ifndef DDIO_SRC_SIM_SYNC_H_
 #define DDIO_SRC_SIM_SYNC_H_
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/sim/engine.h"
 
 namespace ddio::sim {
+
+namespace internal {
+
+// Intrusive FIFO wait list. Nodes are embedded in awaiter objects inside
+// suspended coroutine frames, which are stable until the coroutine resumes;
+// a node must not be destroyed while linked.
+struct WaitNode {
+  std::coroutine_handle<> handle;
+  WaitNode* next = nullptr;
+  // Optional predicate, evaluated at notify time: wake only if it returns
+  // true. Null for unconditional waiters.
+  bool (*predicate)(void* ctx) = nullptr;
+  void* ctx = nullptr;
+};
+
+class WaitList {
+ public:
+  bool empty() const { return head_ == nullptr; }
+  std::size_t size() const { return size_; }
+
+  void PushBack(WaitNode* node) {
+    node->next = nullptr;
+    if (tail_ == nullptr) {
+      head_ = tail_ = node;
+    } else {
+      tail_->next = node;
+      tail_ = node;
+    }
+    ++size_;
+  }
+
+  WaitNode* PopFront() {
+    WaitNode* node = head_;
+    head_ = node->next;
+    if (head_ == nullptr) {
+      tail_ = nullptr;
+    }
+    --size_;
+    return node;
+  }
+
+  // Walks the list in FIFO order; `visit(node)` returns true to unlink the
+  // node (it has been woken), false to keep it parked.
+  template <typename Visit>
+  void RemoveIf(Visit visit) {
+    WaitNode* prev = nullptr;
+    WaitNode* node = head_;
+    while (node != nullptr) {
+      WaitNode* next = node->next;
+      if (visit(node)) {
+        if (prev == nullptr) {
+          head_ = next;
+        } else {
+          prev->next = next;
+        }
+        if (node == tail_) {
+          tail_ = prev;
+        }
+        --size_;
+      } else {
+        prev = node;
+      }
+      node = next;
+    }
+  }
+
+ private:
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace internal
 
 // Counting semaphore with FIFO handoff: Release wakes the oldest waiter
 // directly (the count is not incremented, so a later arrival cannot barge).
@@ -33,6 +111,7 @@ class Semaphore {
   auto Acquire() {
     struct Awaiter {
       Semaphore* sem;
+      internal::WaitNode node;
       bool await_ready() {
         if (sem->count_ > 0) {
           --sem->count_;
@@ -40,16 +119,18 @@ class Semaphore {
         }
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.handle = h;
+        sem->waiters_.PushBack(&node);
+      }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this};
+    return Awaiter{this, {}};
   }
 
   void Release(std::int64_t n = 1) {
     while (n > 0 && !waiters_.empty()) {
-      engine_.Schedule(0, waiters_.front());
-      waiters_.pop_front();
+      engine_.Schedule(0, waiters_.PopFront()->handle);
       --n;
     }
     count_ += n;
@@ -61,7 +142,7 @@ class Semaphore {
  private:
   Engine& engine_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  internal::WaitList waiters_;
 };
 
 // Mutual exclusion; FIFO-fair. `co_await mutex.Lock(); ... mutex.Unlock();`
@@ -90,23 +171,26 @@ class Barrier {
   auto ArriveAndWait() {
     struct Awaiter {
       Barrier* barrier;
+      internal::WaitNode node;
       bool await_ready() {
         if (barrier->arrived_ + 1 == barrier->parties_) {
           // Last arrival: release everyone and pass through.
-          for (auto waiter : barrier->waiters_) {
-            barrier->engine_.Schedule(0, waiter);
+          while (!barrier->waiters_.empty()) {
+            barrier->engine_.Schedule(0, barrier->waiters_.PopFront()->handle);
           }
-          barrier->waiters_.clear();
           barrier->arrived_ = 0;
           return true;
         }
         ++barrier->arrived_;
         return false;
       }
-      void await_suspend(std::coroutine_handle<> h) { barrier->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.handle = h;
+        barrier->waiters_.PushBack(&node);
+      }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this};
+    return Awaiter{this, {}};
   }
 
   std::uint32_t parties() const { return parties_; }
@@ -115,12 +199,21 @@ class Barrier {
   Engine& engine_;
   std::uint32_t parties_;
   std::uint32_t arrived_ = 0;
-  std::vector<std::coroutine_handle<>> waiters_;
+  internal::WaitList waiters_;
 };
 
-// Condition: auto-reset broadcast. Wait() always suspends until the next
-// NotifyAll(). Used with an external predicate loop, like a condition
-// variable: `while (!pred) co_await cond.Wait();`
+// Condition: auto-reset notification with targeted wakeups.
+//
+// Two waiting modes:
+//   * Wait(): always suspends until the next NotifyAll() — the classic
+//     auto-reset broadcast, used with an external predicate loop.
+//   * WaitUntil(pred): suspends until a NotifyAll() at which `pred()` holds.
+//     Waiters whose predicate stays false remain parked — no thundering
+//     herd, no wasted schedule/resume/re-check cycle. The predicate is
+//     evaluated at notify time, so it must only read state that outlives the
+//     wait (it may become false again before the waiter actually resumes;
+//     callers that can race a consumer re-check after resuming, exactly like
+//     a condition variable).
 class Condition {
  public:
   explicit Condition(Engine& engine) : engine_(engine) {}
@@ -128,27 +221,54 @@ class Condition {
   Condition& operator=(const Condition&) = delete;
 
   void NotifyAll() {
-    for (auto waiter : waiters_) {
-      engine_.Schedule(0, waiter);
-    }
-    waiters_.clear();
+    waiters_.RemoveIf([this](internal::WaitNode* node) {
+      if (node->predicate != nullptr && !node->predicate(node->ctx)) {
+        return false;  // Keep parked: its wakeup condition cannot hold.
+      }
+      engine_.Schedule(0, node->handle);
+      return true;
+    });
   }
 
   auto Wait() {
     struct Awaiter {
       Condition* cond;
+      internal::WaitNode node;
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { cond->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.handle = h;
+        cond->waiters_.PushBack(&node);
+      }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this};
+    return Awaiter{this, {}};
+  }
+
+  // Suspends until a NotifyAll() at which `pred()` returns true. If the
+  // predicate already holds, does not suspend at all.
+  template <typename Pred>
+  auto WaitUntil(Pred pred) {
+    struct Awaiter {
+      Condition* cond;
+      Pred pred;
+      internal::WaitNode node;
+      bool await_ready() { return pred(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.handle = h;
+        node.predicate = [](void* ctx) { return (*static_cast<Pred*>(ctx))(); };
+        node.ctx = &pred;
+        cond->waiters_.PushBack(&node);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, std::move(pred), {}};
   }
 
   std::size_t waiter_count() const { return waiters_.size(); }
 
  private:
   Engine& engine_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  internal::WaitList waiters_;
 };
 
 // One-shot event: Set() releases all current and future waiters.
@@ -163,10 +283,9 @@ class OneShotEvent {
       return;
     }
     set_ = true;
-    for (auto waiter : waiters_) {
-      engine_.Schedule(0, waiter);
+    while (!waiters_.empty()) {
+      engine_.Schedule(0, waiters_.PopFront()->handle);
     }
-    waiters_.clear();
   }
 
   bool is_set() const { return set_; }
@@ -174,17 +293,21 @@ class OneShotEvent {
   auto Wait() {
     struct Awaiter {
       OneShotEvent* event;
+      internal::WaitNode node;
       bool await_ready() const { return event->set_; }
-      void await_suspend(std::coroutine_handle<> h) { event->waiters_.push_back(h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.handle = h;
+        event->waiters_.PushBack(&node);
+      }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this};
+    return Awaiter{this, {}};
   }
 
  private:
   Engine& engine_;
   bool set_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  internal::WaitList waiters_;
 };
 
 // Countdown latch: Wait() resumes once the count reaches zero.

@@ -23,6 +23,8 @@
 #include <exception>
 #include <utility>
 
+#include "src/sim/frame_pool.h"
+
 namespace ddio::sim {
 
 class Engine;
@@ -31,6 +33,12 @@ namespace internal {
 
 // Shared bookkeeping for all Task promises.
 struct PromiseBase {
+  // Route every Task coroutine frame through the size-classed FramePool:
+  // the millions of short-lived frames (one per disk op, message, and
+  // WhenAll child) recycle pooled blocks instead of hitting global new.
+  static void* operator new(std::size_t bytes) { return FramePool::Allocate(bytes); }
+  static void operator delete(void* p) noexcept { FramePool::Deallocate(p); }
+
   // Coroutine to resume when this task completes (the awaiting parent).
   std::coroutine_handle<> continuation;
   // Set on detached roots: called at final-suspend so the owner (the Engine)

@@ -113,8 +113,10 @@ sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t fil
       Entry& entry = it->second;
       entry.referenced = true;
       if (entry.state == State::kReading) {
-        // Coalesce with the in-flight read.
-        co_await changed_.Wait();
+        // Coalesce with the in-flight read: parked until the read finishes,
+        // not woken by unrelated cache traffic. The entry reference is
+        // stable (node-based map) and a kReading entry is never evicted.
+        co_await changed_.WaitUntil([&entry] { return entry.state != State::kReading; });
         continue;
       }
       ++stats_.hits;
@@ -149,7 +151,11 @@ sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t fi
     if (it != blocks_.end()) {
       Entry& entry = it->second;
       if (entry.state == State::kReading || entry.state == State::kFlushing) {
-        co_await changed_.Wait();
+        // Wait for the in-flight disk op on this block only; an entry with
+        // IO in flight is never evicted, so the reference stays valid.
+        co_await changed_.WaitUntil([&entry] {
+          return entry.state != State::kReading && entry.state != State::kFlushing;
+        });
         continue;
       }
       entry.referenced = true;
@@ -226,7 +232,9 @@ sim::Task<> BlockCache::Quiesce(const fs::StripedFile& file) {
       co_return;
     }
     if (outstanding_io_ > 0) {
-      co_await changed_.Wait();
+      // Parked until the last outstanding disk op (incl. prefetches)
+      // completes; per-op completions no longer cause spurious rescans.
+      co_await changed_.WaitUntil([this] { return outstanding_io_ == 0; });
     }
   }
 }

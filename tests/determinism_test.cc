@@ -1,0 +1,151 @@
+// Determinism regression tests for the event core: identical seeds must
+// produce byte-identical event sequences and identical reported simulated
+// times, run after run, for all three file systems. This guards the
+// two-tier event queue's (when, seq) FIFO tie-break contract and the
+// targeted-wakeup rewrite of the sync primitives.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fs/layout.h"
+#include "src/sim/calendar_queue.h"
+#include "src/sim/engine.h"
+#include "tests/test_util.h"
+
+namespace ddio {
+namespace {
+
+using testing::E2eConfig;
+using testing::E2eResult;
+using testing::Method;
+using testing::RunOne;
+
+struct Replay {
+  std::vector<sim::SimTime> trace;
+  sim::SimTime elapsed_ns = 0;
+  std::uint64_t events = 0;
+  bool valid = false;
+};
+
+// One small Figure 3-style workload (random-blocks layout, rb pattern) with
+// the full event dispatch sequence recorded.
+Replay RunTraced(Method method, std::uint64_t seed) {
+  E2eConfig cfg;
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.seed = seed;
+  Replay replay;
+  cfg.trace = &replay.trace;
+  E2eResult result = RunOne(method, "rb", cfg);
+  replay.elapsed_ns = result.stats.elapsed_ns();
+  replay.events = result.events;
+  replay.valid = result.valid;
+  return replay;
+}
+
+TEST(DeterminismTest, IdenticalSeedReplaysIdenticalEventSequence) {
+  for (std::uint64_t seed : {1ull, 42ull}) {
+    for (Method method : {Method::kTc, Method::kDdio, Method::kDdioNoSort}) {
+      Replay first = RunTraced(method, seed);
+      Replay second = RunTraced(method, seed);
+      EXPECT_TRUE(first.valid);
+      ASSERT_GT(first.trace.size(), 0u);
+      EXPECT_EQ(first.events, second.events);
+      EXPECT_EQ(first.elapsed_ns, second.elapsed_ns);
+      // Byte-identical replay: same timestamps in the same dispatch order.
+      ASSERT_EQ(first.trace, second.trace)
+          << "event sequence diverged (method " << static_cast<int>(method) << ", seed " << seed
+          << ")";
+    }
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Not a correctness requirement per se, but if two different seeds produce
+  // identical traces the trace is almost certainly not capturing anything.
+  Replay a = RunTraced(Method::kTc, 1);
+  Replay b = RunTraced(Method::kTc, 2);
+  EXPECT_NE(a.trace, b.trace);
+}
+
+TEST(DeterminismTest, ReportedSimTimesStableAcrossRuns) {
+  // The paper-facing metric: reported simulated elapsed time per file
+  // system. Two fresh processes... we cannot fork here, but two fresh
+  // engines in one process must agree exactly; cross-process identity then
+  // follows from the engine being a pure function of (program, seed).
+  for (Method method : {Method::kTc, Method::kDdio, Method::kDdioNoSort}) {
+    E2eConfig cfg;
+    cfg.seed = 7;
+    E2eResult first = RunOne(method, "ra", cfg);
+    E2eResult second = RunOne(method, "ra", cfg);
+    EXPECT_EQ(first.stats.elapsed_ns(), second.stats.elapsed_ns());
+    EXPECT_EQ(first.events, second.events);
+  }
+}
+
+// The calendar queue itself must pop in exact (when, seq) order under
+// adversarial patterns: ties, far-future jumps, and back-of-cursor inserts.
+TEST(DeterminismTest, CalendarQueuePopsInWhenSeqOrder) {
+  sim::CalendarQueue queue;
+  std::uint64_t seq = 0;
+  // Deterministic pseudo-random pushes, including duplicates and clusters.
+  std::uint64_t lcg = 12345;
+  std::vector<sim::Event> pushed;
+  for (int i = 0; i < 5000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    sim::SimTime when = (lcg >> 40) % 1000;  // Heavy ties.
+    if (i % 7 == 0) {
+      when += 1'000'000'000;  // Far-future outliers.
+    }
+    sim::Event event{when, seq++, std::coroutine_handle<>{}};
+    pushed.push_back(event);
+    queue.Push(event);
+  }
+  sim::SimTime last_when = 0;
+  std::uint64_t last_seq = 0;
+  bool first = true;
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    EXPECT_EQ(queue.PeekMinWhen(), queue.PeekMinWhen());
+    sim::Event event = queue.PopMin();
+    if (!first) {
+      ASSERT_TRUE(event.when > last_when || (event.when == last_when && event.seq > last_seq))
+          << "out of order at pop " << popped;
+    }
+    first = false;
+    last_when = event.when;
+    last_seq = event.seq;
+    ++popped;
+  }
+  EXPECT_EQ(popped, pushed.size());
+}
+
+// Interleaved push/pop with pushes behind the dequeue cursor (the engine
+// never does this — it never schedules into the past — but the queue must
+// still honor order for any when >= the last popped time).
+TEST(DeterminismTest, CalendarQueueInterleavedPushPop) {
+  sim::CalendarQueue queue;
+  std::uint64_t seq = 0;
+  std::uint64_t lcg = 999;
+  sim::SimTime now = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      queue.Push(sim::Event{now + 1 + (lcg >> 50), seq++, std::coroutine_handle<>{}});
+    }
+    for (int i = 0; i < 10 && !queue.empty(); ++i) {
+      sim::Event event = queue.PopMin();
+      ASSERT_GE(event.when, now);
+      now = event.when;
+    }
+  }
+  while (!queue.empty()) {
+    sim::Event event = queue.PopMin();
+    ASSERT_GE(event.when, now);
+    now = event.when;
+  }
+}
+
+}  // namespace
+}  // namespace ddio

@@ -1,0 +1,123 @@
+// Tests for the coroutine frame pool (src/sim/frame_pool.h): frames are
+// recycled across sequential WhenAll batches, and nothing leaks when an
+// engine is destroyed with roots still parked.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/frame_pool.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace ddio::sim {
+namespace {
+
+using internal::FramePool;
+
+Task<> TinyTask(Engine& engine) {
+  co_await engine.Delay(10);
+}
+
+TEST(FramePoolTest, BalancedAllocFreeOnCompletedRun) {
+  FramePool::ResetStats();
+  {
+    Engine engine;
+    for (int i = 0; i < 100; ++i) {
+      engine.Spawn(TinyTask(engine));
+    }
+    engine.Run();
+  }
+  FramePool::Stats stats = FramePool::stats();
+  EXPECT_EQ(stats.allocations, stats.deallocations);
+  EXPECT_EQ(stats.live, 0u);
+}
+
+TEST(FramePoolTest, SequentialWhenAllBatchesReuseFrames) {
+  Engine engine;
+  bool done = false;
+  engine.Spawn([](Engine& e, bool& flag) -> Task<> {
+    // Warm-up batch: populates the free lists with this shape's frames.
+    std::vector<Task<>> warmup;
+    for (int i = 0; i < 64; ++i) {
+      warmup.push_back(TinyTask(e));
+    }
+    co_await WhenAll(e, std::move(warmup));
+
+    FramePool::ResetStats();
+    // Steady state: every subsequent batch must recycle pooled frames
+    // instead of hitting the global allocator.
+    for (int batch = 0; batch < 10; ++batch) {
+      std::vector<Task<>> tasks;
+      for (int i = 0; i < 64; ++i) {
+        tasks.push_back(TinyTask(e));
+      }
+      co_await WhenAll(e, std::move(tasks));
+    }
+    FramePool::Stats stats = FramePool::stats();
+    EXPECT_GT(stats.allocations, 0u);
+    EXPECT_EQ(stats.fresh_blocks, 0u) << "steady-state batches should be allocation-free";
+    EXPECT_EQ(stats.pool_hits, stats.allocations);
+    flag = true;
+  }(engine, done));
+  engine.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(FramePoolTest, NoLiveFramesAfterEngineWithParkedRootsDies) {
+  FramePool::ResetStats();
+  {
+    Engine engine;
+    // Roots parked forever (on a semaphore and on a one-shot event that
+    // never fires): ~Engine must destroy their frames, which must return to
+    // the pool.
+    Semaphore sem(engine, 0);
+    OneShotEvent event(engine);
+    engine.Spawn([](OneShotEvent& ev) -> Task<> {
+      co_await ev.Wait();
+    }(event));
+    engine.Spawn([](Semaphore& s) -> Task<> {
+      co_await s.Acquire();
+    }(sem));
+    engine.Run();
+    EXPECT_EQ(engine.live_root_count(), 2u);
+  }
+  FramePool::Stats stats = FramePool::stats();
+  EXPECT_EQ(stats.allocations, stats.deallocations);
+  EXPECT_EQ(stats.live, 0u);
+}
+
+TEST(FramePoolTest, OversizeAllocationsFallThrough) {
+  FramePool::ResetStats();
+  void* p = FramePool::Allocate(1 << 20);
+  FramePool::Stats stats = FramePool::stats();
+  EXPECT_EQ(stats.oversize, 1u);
+  FramePool::Deallocate(p);
+  stats = FramePool::stats();
+  EXPECT_EQ(stats.live, 0u);
+}
+
+TEST(FramePoolTest, ReuseIsSizeClassed) {
+  FramePool::TrimFreeLists();
+  FramePool::ResetStats();
+  void* small = FramePool::Allocate(100);
+  FramePool::Deallocate(small);
+  // Same class (rounds to 128): must reuse the freed block.
+  void* again = FramePool::Allocate(120);
+  EXPECT_EQ(again, small);
+  // Different class: must not reuse it.
+  void* big = FramePool::Allocate(1000);
+  EXPECT_NE(big, small);
+  FramePool::Deallocate(again);
+  FramePool::Deallocate(big);
+  FramePool::Stats stats = FramePool::stats();
+  EXPECT_EQ(stats.pool_hits, 1u);
+  EXPECT_EQ(stats.fresh_blocks, 2u);
+  EXPECT_EQ(stats.live, 0u);
+}
+
+}  // namespace
+}  // namespace ddio::sim

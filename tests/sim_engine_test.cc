@@ -157,6 +157,23 @@ TEST(EngineTest, RunUntilDeadlineBoundary) {
   EXPECT_EQ(ticks, 10);
 }
 
+TEST(EngineTest, RunUntilWithPastDeadlineIsNoOp) {
+  Engine engine;
+  engine.Spawn([](Engine& e) -> Task<> {
+    co_await e.Delay(100);
+    for (;;) {
+      co_await e.Yield();
+    }
+  }(engine));
+  // Leaves a same-instant (ring) event pending at now() == 100.
+  engine.Run(/*max_events=*/5);
+  EXPECT_EQ(engine.now(), 100u);
+  EXPECT_FALSE(engine.queue_empty());
+  // A deadline already in the past must not dispatch anything.
+  EXPECT_EQ(engine.RunUntil(50), 0u);
+  EXPECT_EQ(engine.now(), 100u);
+}
+
 TEST(EngineTest, MaxEventsGuardStopsRunawayLoop) {
   Engine engine;
   engine.Spawn([](Engine& e) -> Task<> {

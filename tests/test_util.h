@@ -29,6 +29,9 @@ struct E2eConfig {
   fs::LayoutKind layout = fs::LayoutKind::kContiguous;
   std::uint64_t seed = 1;
   bool validate = true;
+  // When set, the engine appends the timestamp of every dispatched event
+  // (used by the determinism regression tests).
+  std::vector<sim::SimTime>* trace = nullptr;
 };
 
 struct E2eResult {
@@ -42,6 +45,9 @@ enum class Method { kTc, kDdio, kDdioNoSort };
 
 inline E2eResult RunOne(Method method, const std::string& pattern_name, const E2eConfig& cfg) {
   sim::Engine engine(cfg.seed);
+  if (cfg.trace != nullptr) {
+    engine.set_event_trace(cfg.trace);
+  }
   core::MachineConfig mc;
   mc.num_cps = cfg.cps;
   mc.num_iops = cfg.iops;
