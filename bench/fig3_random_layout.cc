@@ -17,8 +17,6 @@ int main(int argc, char** argv) {
       "Figure 3: random-blocks disk layout",
       "DDIO(sort) ~6.2 r / ~7.4-7.5 w MB/s flat; TC 0.8-5 MB/s; presort +41-50%", options);
   ddio::bench::RunPatternGrid(options, ddio::fs::LayoutKind::kRandomBlocks,
-                              {ddio::core::Method::kDiskDirected,
-                               ddio::core::Method::kDiskDirectedNoSort,
-                               ddio::core::Method::kTraditionalCaching});
+                              {"ddio", "ddio-nosort", "tc"});
   return 0;
 }

@@ -14,8 +14,6 @@ int main(int argc, char** argv) {
   ddio::bench::PrintPreamble(
       "Figure 4: contiguous disk layout",
       "DDIO ~32.8 r / ~34.8 w MB/s (93% of 37.5 peak); TC up to 16.2x slower", options);
-  ddio::bench::RunPatternGrid(options, ddio::fs::LayoutKind::kContiguous,
-                              {ddio::core::Method::kDiskDirected,
-                               ddio::core::Method::kTraditionalCaching});
+  ddio::bench::RunPatternGrid(options, ddio::fs::LayoutKind::kContiguous, {"ddio", "tc"});
   return 0;
 }

@@ -1,39 +1,65 @@
 // Shared driver for Figures 3 and 4: the full pattern grid (19 patterns x
 // {8-byte, 8192-byte} records) under a set of methods on one disk layout.
+// Methods are named by their FileSystemRegistry keys ("ddio", "tc", ...);
+// the registry-backed runner dispatches on the name.
 
 #ifndef DDIO_BENCH_FIG_PATTERNS_COMMON_H_
 #define DDIO_BENCH_FIG_PATTERNS_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/fs_registry.h"
 #include "src/core/report.h"
 #include "src/core/runner.h"
 #include "src/pattern/pattern.h"
 
 namespace ddio::bench {
 
+// Display label for a registry key: the paper name for the built-in four,
+// the key itself for custom-registered methods. Exits on unregistered keys.
+inline std::string MethodLabel(const std::string& key) {
+  core::Method method;
+  if (core::MethodFromKey(key, &method)) {
+    return core::MethodName(method);
+  }
+  if (!core::FileSystemRegistry::BuiltIns().Has(key)) {
+    std::fprintf(stderr, "bench: unknown method key \"%s\" (registered: %s)\n", key.c_str(),
+                 core::FileSystemRegistry::BuiltIns().NamesJoined().c_str());
+    std::exit(2);
+  }
+  return key;
+}
+
+// Points cfg at the method registered under `key` (enum kept in sync for
+// the built-ins so display/ablation consumers agree).
+inline void ApplyMethod(core::ExperimentConfig& cfg, const std::string& key) {
+  cfg.method_key = key;
+  core::MethodFromKey(key, &cfg.method);
+}
+
 inline void RunPatternGrid(const BenchOptions& options, fs::LayoutKind layout,
-                           const std::vector<core::Method>& methods) {
+                           const std::vector<std::string>& methods) {
   for (std::uint32_t record_bytes : {8u, 8192u}) {
     std::printf("-- %u-byte records --\n", record_bytes);
     std::vector<std::string> headers = {"pattern"};
-    for (core::Method method : methods) {
-      headers.push_back(std::string(core::MethodName(method)) + " MB/s");
+    for (const std::string& method : methods) {
+      headers.push_back(MethodLabel(method) + " MB/s");
       headers.push_back("cv");
     }
     core::Table table(headers);
     for (const auto& spec : pattern::PatternSpec::PaperPatterns()) {
       std::vector<std::string> row = {spec.Name()};
-      for (core::Method method : methods) {
+      for (const std::string& method : methods) {
         core::ExperimentConfig cfg;
         cfg.pattern = spec.Name();
         cfg.record_bytes = record_bytes;
         cfg.layout = layout;
-        cfg.method = method;
+        ApplyMethod(cfg, method);
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
         auto result = core::RunExperiment(cfg);

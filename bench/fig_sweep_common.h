@@ -1,9 +1,12 @@
 // Shared driver for the sensitivity sweeps (Figures 5-8): ra/rn/rb/rc with
-// 8 KB records under DDIO and TC while one machine dimension varies.
+// 8 KB records while one machine dimension varies. Methods are named by
+// their FileSystemRegistry keys; the default pair is the paper's DDIO-vs-TC
+// comparison.
 
 #ifndef DDIO_BENCH_FIG_SWEEP_COMMON_H_
 #define DDIO_BENCH_FIG_SWEEP_COMMON_H_
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <functional>
@@ -11,41 +14,46 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/fig_patterns_common.h"
 #include "src/core/report.h"
 #include "src/core/runner.h"
 
 namespace ddio::bench {
 
-// Runs the four sweep patterns under both methods for every value of the
+// Runs the sweep patterns under every named method for every value of the
 // varied dimension. `configure(cfg, value)` applies the dimension.
 inline void RunSweep(const BenchOptions& options, const char* dimension_name,
                      const std::vector<std::uint32_t>& values, fs::LayoutKind layout,
-                     const std::function<void(core::ExperimentConfig&, std::uint32_t)>& configure) {
+                     const std::function<void(core::ExperimentConfig&, std::uint32_t)>& configure,
+                     const std::vector<std::string>& methods = {"ddio", "tc"}) {
   static const char* kPatterns[] = {"ra", "rn", "rb", "rc"};
   std::vector<std::string> headers = {dimension_name};
-  for (const char* method : {"DDIO", "TC"}) {
+  for (const std::string& method : methods) {
+    std::string label = method;
+    for (char& c : label) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
     for (const char* pattern : kPatterns) {
-      headers.push_back(std::string(method) + " " + pattern);
+      headers.push_back(label + " " + pattern);
     }
   }
   core::Table table(headers);
   JsonPointSink json(options.json_path);
   for (std::uint32_t value : values) {
     std::vector<std::string> row = {std::to_string(value)};
-    for (core::Method method : {core::Method::kDiskDirected,
-                                core::Method::kTraditionalCaching}) {
+    for (const std::string& method : methods) {
       for (const char* pattern : kPatterns) {
         core::ExperimentConfig cfg;
         cfg.pattern = pattern;
         cfg.record_bytes = 8192;
         cfg.layout = layout;
-        cfg.method = method;
+        ApplyMethod(cfg, method);
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
         configure(cfg, value);
         auto result = core::RunExperiment(cfg);
         row.push_back(core::Fixed(result.mean_mbps, 2));
-        json.Add(dimension_name, value, core::MethodName(method), pattern, result.mean_mbps,
+        json.Add(dimension_name, value, MethodLabel(method), pattern, result.mean_mbps,
                  result.cv, cfg.trials);
       }
     }

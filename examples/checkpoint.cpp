@@ -9,19 +9,18 @@
 // records (the latter models an element-wise dump of double-precision
 // state — the pattern that destroys request-per-record file systems).
 //
+// The whole run is one core::WorkloadSession: compute steps advance
+// simulated time and every checkpoint is a collective write phase against
+// the persistent machine, with the access method chosen by registry name.
+//
 //   $ ./checkpoint
 
 #include <cstdio>
-#include <memory>
+#include <string>
 
-#include "src/core/machine.h"
 #include "src/core/op_stats.h"
-#include "src/ddio/ddio_fs.h"
-#include "src/fs/striped_file.h"
-#include "src/pattern/pattern.h"
-#include "src/sim/engine.h"
-#include "src/sim/task.h"
-#include "src/tc/tc_fs.h"
+#include "src/core/workload.h"
+#include "src/sim/time.h"
 
 namespace {
 
@@ -36,46 +35,35 @@ struct Outcome {
   double checkpoint_mbps = 0;
 };
 
-template <typename FileSystem>
-Outcome RunModel(std::uint32_t record_bytes) {
+Outcome RunModel(const std::string& method, std::uint32_t record_bytes) {
   using namespace ddio;
-  sim::Engine engine(/*seed=*/3);
-  core::MachineConfig machine_config;
-  core::Machine machine(engine, machine_config);
+  core::ExperimentConfig cfg;
+  cfg.file_bytes = kStateBytes;
+  cfg.record_bytes = record_bytes;
 
-  fs::StripedFile::Params file_params;
-  file_params.file_bytes = kStateBytes;
-  file_params.layout = fs::LayoutKind::kContiguous;
-  fs::StripedFile checkpoint_file(file_params, engine.rng());
+  core::WorkloadPhase dump;
+  dump.pattern = "wbb";
+  dump.method = method;
 
-  pattern::AccessPattern dump(pattern::PatternSpec::Parse("wbb"), kStateBytes, record_bytes,
-                              machine.num_cps());
-
-  FileSystem file_system(machine);
-  file_system.Start();
+  core::WorkloadSession session(cfg, /*seed=*/3);
+  sim::SimTime checkpoint_time = 0;
+  std::uint64_t checkpoints = 0;
+  for (int step = 1; step <= kTimesteps; ++step) {
+    session.AdvanceCompute(kComputePerStep);
+    if (step % kCheckpointEvery == 0) {
+      core::OpStats stats = session.RunPhase(dump);
+      checkpoint_time += stats.elapsed_ns();
+      ++checkpoints;
+    }
+  }
 
   Outcome outcome;
-  engine.Spawn([](sim::Engine& e, FileSystem& fs_ref, const fs::StripedFile& file,
-                  const pattern::AccessPattern& pattern, Outcome& out) -> sim::Task<> {
-    sim::SimTime checkpoint_time = 0;
-    std::uint64_t checkpoints = 0;
-    for (int step = 1; step <= kTimesteps; ++step) {
-      co_await e.Delay(kComputePerStep);
-      if (step % kCheckpointEvery == 0) {
-        core::OpStats stats;
-        co_await fs_ref.RunCollective(file, pattern, &stats);
-        checkpoint_time += stats.elapsed_ns();
-        ++checkpoints;
-      }
-    }
-    out.total_seconds = sim::ToSec(e.now());
-    out.checkpoint_seconds = sim::ToSec(checkpoint_time);
-    out.checkpoint_mbps = checkpoints == 0
-                              ? 0.0
-                              : static_cast<double>(kStateBytes) * checkpoints /
-                                    sim::ToSec(checkpoint_time) / 1e6;
-  }(engine, file_system, checkpoint_file, dump, outcome));
-  engine.Run();
+  outcome.total_seconds = sim::ToSec(session.engine().now());
+  outcome.checkpoint_seconds = sim::ToSec(checkpoint_time);
+  outcome.checkpoint_mbps = checkpoints == 0
+                                ? 0.0
+                                : static_cast<double>(kStateBytes) * checkpoints /
+                                      sim::ToSec(checkpoint_time) / 1e6;
   return outcome;
 }
 
@@ -94,11 +82,11 @@ int main() {
               kTimesteps, static_cast<double>(kComputePerStep) / 1e6, kCheckpointEvery);
 
   std::printf("8 KB records (row-at-a-time dump):\n");
-  Report("traditional caching", RunModel<ddio::tc::TcFileSystem>(8192));
-  Report("disk-directed I/O", RunModel<ddio::ddio_fs::DdioFileSystem>(8192));
+  Report("traditional caching", RunModel("tc", 8192));
+  Report("disk-directed I/O", RunModel("ddio", 8192));
 
   std::printf("\n8-byte records (element-wise dump of doubles):\n");
-  Report("traditional caching", RunModel<ddio::tc::TcFileSystem>(8));
-  Report("disk-directed I/O", RunModel<ddio::ddio_fs::DdioFileSystem>(8));
+  Report("traditional caching", RunModel("tc", 8));
+  Report("disk-directed I/O", RunModel("ddio", 8));
   return 0;
 }

@@ -5,24 +5,21 @@
 //
 // An out-of-core matrix solver works on a 40 MB scratch file in 10 MB
 // memoryloads: each sweep reads a slab (BLOCK x BLOCK distribution),
-// computes on it, and writes it back. The example runs the same sweep
-// schedule under traditional caching and under disk-directed I/O and
-// reports per-sweep and end-to-end times.
+// computes on it, and writes it back. The schedule is one
+// core::WorkloadSession per method — the slabs live in the session's file
+// table (one file index per slab), each sweep is a read phase plus a write
+// phase with the compute time attached, and everything runs on one
+// persistent machine.
 //
 //   $ ./out_of_core
 
 #include <cstdio>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "src/core/machine.h"
 #include "src/core/op_stats.h"
-#include "src/ddio/ddio_fs.h"
-#include "src/fs/striped_file.h"
-#include "src/pattern/pattern.h"
-#include "src/sim/engine.h"
-#include "src/sim/task.h"
-#include "src/tc/tc_fs.h"
+#include "src/core/workload.h"
+#include "src/sim/time.h"
 
 namespace {
 
@@ -42,50 +39,30 @@ struct RunReport {
   double total_seconds = 0;
 };
 
-// One collective-FS interface is enough for the driver.
-template <typename FileSystem>
-RunReport RunSolver(const char* fs_name) {
+RunReport RunSolver(const std::string& method, const char* fs_name) {
   using namespace ddio;
-  sim::Engine engine(/*seed=*/7);
-  core::MachineConfig machine_config;
-  core::Machine machine(engine, machine_config);
+  core::ExperimentConfig cfg;
+  cfg.file_bytes = kSlabBytes;
+  cfg.record_bytes = kRecordBytes;
 
-  // Each slab is its own striped region; model them as independent striped
-  // files with a contiguous on-disk extent per slab.
-  std::vector<std::unique_ptr<fs::StripedFile>> slabs;
-  for (int s = 0; s < kSweeps; ++s) {
-    fs::StripedFile::Params params;
-    params.file_bytes = kSlabBytes;
-    params.layout = fs::LayoutKind::kContiguous;
-    slabs.push_back(std::make_unique<fs::StripedFile>(params, engine.rng()));
-  }
-
-  pattern::AccessPattern read_slab(pattern::PatternSpec::Parse("rbb"), kSlabBytes, kRecordBytes,
-                                   machine.num_cps());
-  pattern::AccessPattern write_slab(pattern::PatternSpec::Parse("wbb"), kSlabBytes, kRecordBytes,
-                                    machine.num_cps());
-
-  FileSystem file_system(machine);
-  file_system.Start();
-
+  core::WorkloadSession session(cfg, /*seed=*/7);
   RunReport report;
   report.sweeps.resize(kSweeps);
-  engine.Spawn([](sim::Engine& e, FileSystem& fs_ref,
-                  std::vector<std::unique_ptr<fs::StripedFile>>& slab_files,
-                  const pattern::AccessPattern& rd, const pattern::AccessPattern& wr,
-                  RunReport& out) -> sim::Task<> {
-    for (int sweep = 0; sweep < kSweeps; ++sweep) {
-      core::OpStats read_stats;
-      co_await fs_ref.RunCollective(*slab_files[sweep], rd, &read_stats);
-      co_await e.Delay(kComputePerSweep);  // The compute phase.
-      core::OpStats write_stats;
-      co_await fs_ref.RunCollective(*slab_files[sweep], wr, &write_stats);
-      out.sweeps[sweep].read_mbps = read_stats.ThroughputMBps();
-      out.sweeps[sweep].write_mbps = write_stats.ThroughputMBps();
-    }
-    out.total_seconds = sim::ToSec(e.now());
-  }(engine, file_system, slabs, read_slab, write_slab, report));
-  engine.Run();
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    // Each slab is its own striped region (session file-table slot) with a
+    // contiguous on-disk extent.
+    core::WorkloadPhase read_slab;
+    read_slab.pattern = "rbb";
+    read_slab.method = method;
+    read_slab.file_index = static_cast<std::uint32_t>(sweep);
+    core::WorkloadPhase write_slab = read_slab;
+    write_slab.pattern = "wbb";
+    write_slab.compute_ns = kComputePerSweep;  // The compute phase.
+
+    report.sweeps[sweep].read_mbps = session.RunPhase(read_slab).ThroughputMBps();
+    report.sweeps[sweep].write_mbps = session.RunPhase(write_slab).ThroughputMBps();
+  }
+  report.total_seconds = sim::ToSec(session.engine().now());
 
   std::printf("%s:\n", fs_name);
   for (int sweep = 0; sweep < kSweeps; ++sweep) {
@@ -105,8 +82,8 @@ int main() {
   std::printf("Out-of-core solver: %d memoryload sweeps over a %d MB scratch file\n"
               "(read slab -> compute -> write slab; BLOCKxBLOCK distribution).\n\n",
               kSweeps, static_cast<int>(kSweeps * kSlabBytes / (1024 * 1024)));
-  RunReport tc = RunSolver<ddio::tc::TcFileSystem>("traditional caching");
-  RunReport dd = RunSolver<ddio::ddio_fs::DdioFileSystem>("disk-directed I/O");
+  RunReport tc = RunSolver("tc", "traditional caching");
+  RunReport dd = RunSolver("ddio", "disk-directed I/O");
   std::printf("end-to-end speedup from disk-directed I/O: %.2fx\n",
               tc.total_seconds / dd.total_seconds);
   return 0;

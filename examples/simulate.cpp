@@ -1,17 +1,22 @@
 // simulate: command-line front end to the whole simulator — run any single
-// experiment configuration and get throughput plus a resource-utilization
-// breakdown identifying the binding bottleneck.
+// experiment configuration, or a multi-operation workload session, and get
+// throughput plus a resource-utilization breakdown identifying the binding
+// bottleneck. Methods are dispatched by name through core::FileSystemRegistry.
 //
 //   $ ./simulate --pattern=rc --record=8 --method=tc
 //   $ ./simulate --pattern=wbb --method=ddio --layout=random --trials=5
+//   $ ./simulate --workload="wbb;rbb,record=4096" --trials=3
 //   $ ./simulate --pattern=rb --method=ddio --cps=8 --iops=4 --disks=8 --verbose
 //
 // Flags:
 //   --pattern=NAME     ra rn rb rc rnb rbb rcb rbc rcc rcn (r->w for writes)
 //   --record=BYTES     record size (default 8192)
-//   --method=M         ddio | ddio-nosort | tc | twophase (default ddio)
+//   --method=M         any registered method: tc | ddio | ddio-nosort | twophase
 //   --layout=L         contiguous | random (default contiguous)
 //   --cps=N --iops=N --disks=N --file-mb=N --trials=N --seed=N
+//   --workload=SPEC    multi-operation session: "PHASE[;PHASE...]" with PHASE =
+//                      PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M][,compute=MS]
+//   --json=PATH        machine-readable per-phase results (bench JSON format)
 //   --elevator         C-SCAN IOP disk queues (default FCFS)
 //   --strided          TC strided requests (future-work extension)
 //   --gather           DDIO gather/scatter Memput/Memget (future-work extension)
@@ -24,9 +29,12 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_util.h"
+#include "src/core/fs_registry.h"
 #include "src/core/machine.h"
 #include "src/core/runner.h"
 #include "src/core/validation.h"
+#include "src/core/workload.h"
 #include "src/disk/disk_unit.h"
 #include "src/fs/striped_file.h"
 #include "src/pattern/pattern.h"
@@ -35,13 +43,18 @@
 namespace {
 
 [[noreturn]] void Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--pattern=NAME] [--record=BYTES] [--method=ddio|ddio-nosort|tc|"
-               "twophase]\n"
-               "          [--layout=contiguous|random] [--cps=N] [--iops=N] [--disks=N]\n"
-               "          [--file-mb=N] [--trials=N] [--seed=N] [--elevator] [--strided]\n"
-               "          [--gather] [--verbose]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--pattern=NAME] [--record=BYTES] [--method=%s]\n"
+      "          [--layout=contiguous|random] [--cps=N] [--iops=N] [--disks=N]\n"
+      "          [--file-mb=N] [--trials=N] [--seed=N] [--workload=SPEC] [--json=PATH]\n"
+      "          [--elevator] [--strided] [--gather] [--contention] [--describe]\n"
+      "          [--verbose]\n"
+      "  --workload phases: PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M]\n"
+      "                     [,compute=MS], joined with ';'\n"
+      "  --contention models per-link wormhole contention on the torus\n"
+      "  --describe prints the pattern's chunk structure (Figure-2 cs/s) and exits\n",
+      argv0, ddio::core::FileSystemRegistry::BuiltIns().NamesJoined("|").c_str());
   std::exit(2);
 }
 
@@ -60,6 +73,9 @@ int main(int argc, char** argv) {
   using namespace ddio;
   core::ExperimentConfig cfg;
   cfg.pattern = "rb";
+  std::string method_key = core::MethodKey(cfg.method);
+  std::string workload_spec;
+  std::string json_path;
   bool verbose = false;
   bool describe = false;
 
@@ -71,15 +87,10 @@ int main(int argc, char** argv) {
     } else if (MatchFlag(arg, "--record", &value)) {
       cfg.record_bytes = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (MatchFlag(arg, "--method", &value)) {
-      if (std::strcmp(value, "ddio") == 0) {
-        cfg.method = core::Method::kDiskDirected;
-      } else if (std::strcmp(value, "ddio-nosort") == 0) {
-        cfg.method = core::Method::kDiskDirectedNoSort;
-      } else if (std::strcmp(value, "tc") == 0) {
-        cfg.method = core::Method::kTraditionalCaching;
-      } else if (std::strcmp(value, "twophase") == 0) {
-        cfg.method = core::Method::kTwoPhase;
-      } else {
+      method_key = value;
+      if (!core::FileSystemRegistry::BuiltIns().Has(method_key)) {
+        std::fprintf(stderr, "unknown method \"%s\" (registered: %s)\n", value,
+                     core::FileSystemRegistry::BuiltIns().NamesJoined().c_str());
         Usage(argv[0]);
       }
     } else if (MatchFlag(arg, "--layout", &value)) {
@@ -102,6 +113,10 @@ int main(int argc, char** argv) {
       cfg.trials = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (MatchFlag(arg, "--seed", &value)) {
       cfg.base_seed = std::strtoull(value, nullptr, 10);
+    } else if (MatchFlag(arg, "--workload", &value)) {
+      workload_spec = value;
+    } else if (MatchFlag(arg, "--json", &value)) {
+      json_path = value;
     } else if (std::strcmp(arg, "--elevator") == 0) {
       cfg.machine.disk_queue = disk::DiskQueuePolicy::kElevator;
     } else if (std::strcmp(arg, "--strided") == 0) {
@@ -117,6 +132,11 @@ int main(int argc, char** argv) {
     } else {
       Usage(argv[0]);
     }
+  }
+
+  if (cfg.trials == 0 || cfg.file_bytes == 0) {
+    std::fprintf(stderr, "trials and file-mb must be positive\n");
+    return 2;
   }
 
   if (describe) {
@@ -146,25 +166,81 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  bench::JsonPointSink json(json_path);
+
+  if (!workload_spec.empty()) {
+    core::Workload workload;
+    std::string error;
+    if (!core::Workload::Parse(workload_spec, &workload, &error)) {
+      std::fprintf(stderr, "--workload: %s\n", error.c_str());
+      return 2;
+    }
+    for (core::WorkloadPhase& phase : workload.phases) {
+      if (phase.method.empty()) {
+        phase.method = method_key;  // Phases inherit --method unless overridden.
+      } else if (!core::FileSystemRegistry::BuiltIns().Has(phase.method)) {
+        std::fprintf(stderr, "--workload: unknown method \"%s\" (registered: %s)\n",
+                     phase.method.c_str(),
+                     core::FileSystemRegistry::BuiltIns().NamesJoined().c_str());
+        return 2;
+      }
+    }
+    std::printf("workload: %zu phase(s), default method %s, %u trial(s)\n",
+                workload.phases.size(), method_key.c_str(), cfg.trials);
+    std::printf("machine: %u CPs, %u IOPs, %u disks\n", cfg.machine.num_cps,
+                cfg.machine.num_iops, cfg.machine.num_disks);
+
+    auto result = core::RunWorkloadExperiment(cfg, workload);
+    std::printf("\n%-5s %-12s %-8s %10s %8s %12s\n", "phase", "method", "pattern", "MB/s", "cv",
+                "elapsed ms");
+    for (std::size_t p = 0; p < workload.phases.size(); ++p) {
+      const core::WorkloadPhase& phase = workload.phases[p];
+      const std::string phase_method = phase.method.empty() ? method_key : phase.method;
+      const core::OpStats& last = result.trials.back().phases[p];
+      std::printf("%-5zu %-12s %-8s %10.2f %8.3f %12.1f\n", p, phase_method.c_str(),
+                  phase.pattern.c_str(), result.mean_mbps[p], result.cv[p],
+                  static_cast<double>(last.elapsed_ns()) / 1e6);
+      json.Add("phase", p, phase_method, phase.pattern, result.mean_mbps[p], result.cv[p],
+               cfg.trials);
+    }
+    if (verbose) {
+      std::printf("\nevents simulated: %llu\n",
+                  static_cast<unsigned long long>(result.total_events));
+    }
+    json.Flush();
+    return 0;
+  }
+
+  // A classic single-pattern experiment is a 1-phase workload dispatched by
+  // registry key — the same path `--workload` takes, so custom-registered
+  // methods work here too.
+  core::Method method_enum;
+  const char* display = core::MethodFromKey(method_key, &method_enum)
+                            ? core::MethodName(method_enum)
+                            : method_key.c_str();
   std::printf("pattern %s, %u-byte records, %s layout, method %s\n", cfg.pattern.c_str(),
-              cfg.record_bytes, fs::LayoutName(cfg.layout), core::MethodName(cfg.method));
+              cfg.record_bytes, fs::LayoutName(cfg.layout), display);
   std::printf("machine: %u CPs, %u IOPs, %u disks; file %.0f MB; %u trial(s)\n",
               cfg.machine.num_cps, cfg.machine.num_iops, cfg.machine.num_disks,
               static_cast<double>(cfg.file_bytes) / (1024.0 * 1024.0), cfg.trials);
 
-  auto result = core::RunExperiment(cfg);
-  std::printf("\nthroughput: %.2f MB/s (cv %.3f over %zu trials)\n", result.mean_mbps,
-              result.cv, result.trials.size());
+  core::Workload workload = core::Workload::SinglePhase(cfg);
+  workload.phases[0].method = method_key;
+  auto result = core::RunWorkloadExperiment(cfg, workload);
+  std::printf("\nthroughput: %.2f MB/s (cv %.3f over %zu trials)\n", result.mean_mbps[0],
+              result.cv[0], result.trials.size());
+  json.Add("phase", 0, method_key, cfg.pattern, result.mean_mbps[0], result.cv[0], cfg.trials);
+  json.Flush();
 
   if (verbose) {
     for (std::size_t t = 0; t < result.trials.size(); ++t) {
-      const auto& stats = result.trials[t];
+      const auto& stats = result.trials[t].phases[0];
       std::printf("  trial %zu: %.2f MB/s, %.1f ms, %llu requests, %llu pieces\n", t,
                   stats.ThroughputMBps(), static_cast<double>(stats.elapsed_ns()) / 1e6,
                   static_cast<unsigned long long>(stats.requests),
                   static_cast<unsigned long long>(stats.pieces));
     }
-    const auto& last = result.trials.back();
+    const auto& last = result.trials.back().phases[0];
     std::printf("\nutilization (last trial): cp-cpu max %.0f%%, iop-cpu max %.0f%%, "
                 "bus max %.0f%%, disk mechanism avg %.0f%%\n",
                 100 * last.max_cp_cpu_util, 100 * last.max_iop_cpu_util,

@@ -1,0 +1,83 @@
+// FileSystem: the access-method seam of the simulator.
+//
+// The paper is fundamentally a comparison of access methods — traditional
+// caching, disk-directed I/O, two-phase I/O — over the same simulated
+// machine. This interface is that seam: every method implements the same
+// collective-operation contract against a core::Machine, so the runner, the
+// CLI, the bench harnesses, and multi-operation workload sessions
+// (src/core/workload.h) can treat "which file system" as data (a registry
+// key, see src/core/fs_registry.h) instead of a hard-coded switch.
+//
+// Lifecycle contract:
+//  * Start() claims the machine's node inboxes and spawns the method's
+//    service loops (IOP servers, CP dispatchers). Exactly one file system
+//    may be started on a machine at a time.
+//  * RunCollective() may be awaited any number of times while started; the
+//    machine, its disks, and the service loops persist across operations.
+//  * Shutdown() ends the service loops and releases the inboxes, leaving
+//    the machine reusable: another file system (or the same one, after a
+//    fresh Start) can claim it. Call it only when quiescent — no collective
+//    in flight, all service loops parked on their inboxes.
+
+#ifndef DDIO_SRC_CORE_FS_INTERFACE_H_
+#define DDIO_SRC_CORE_FS_INTERFACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/op_stats.h"
+#include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/task.h"
+
+namespace ddio::core {
+
+// Capability flags, so generic drivers can gate method-specific features
+// (e.g. selection pushdown) without downcasting.
+struct FileSystemCaps {
+  // RunFilteredRead is implemented (paper Section 8 selection pushdown).
+  bool supports_filtered_read = false;
+  // Keeps per-IOP block caches (TC-style); cache stats in OpStats are live.
+  bool caches_blocks = false;
+  // Data may cross the network twice per operation (two-phase permutation).
+  bool double_network_transfer = false;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // The built-in method key this implementation answers to ("tc", "ddio",
+  // "ddio-nosort", "twophase"). A custom registration that reuses a built-in
+  // class under a new registry key still reports the class's own name here —
+  // key results by the registry key used to create the system, not name().
+  virtual const char* name() const = 0;
+  virtual FileSystemCaps caps() const = 0;
+
+  virtual void Start() = 0;
+  virtual void Shutdown() = 0;
+
+  // Runs one collective transfer (direction from pattern.spec().is_write) to
+  // completion, including any write-behind/prefetch drain the method owes.
+  virtual sim::Task<> RunCollective(const fs::StripedFile& file,
+                                    const pattern::AccessPattern& pattern, OpStats* stats) = 0;
+
+  // Filtered collective read (selection pushdown). Only valid when
+  // caps().supports_filtered_read; the default implementation aborts.
+  virtual sim::Task<> RunFilteredRead(const fs::StripedFile& file,
+                                      const pattern::AccessPattern& pattern, double selectivity,
+                                      std::uint64_t filter_seed, OpStats* stats);
+};
+
+inline sim::Task<> FileSystem::RunFilteredRead(const fs::StripedFile&,
+                                               const pattern::AccessPattern&, double,
+                                               std::uint64_t, OpStats*) {
+  std::fprintf(stderr, "ddio::core: file system %s does not support filtered reads\n", name());
+  std::abort();
+  co_return;  // Unreachable; makes this a coroutine returning Task<>.
+}
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_FS_INTERFACE_H_

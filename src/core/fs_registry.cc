@@ -1,0 +1,94 @@
+#include "src/core/fs_registry.h"
+
+#include "src/core/machine.h"
+#include "src/ddio/ddio_fs.h"
+#include "src/tc/tc_fs.h"
+#include "src/twophase/twophase_fs.h"
+
+namespace ddio::core {
+namespace {
+
+tc::TcParams TcParamsFrom(const ExperimentConfig& config) {
+  tc::TcParams params;
+  params.prefetch = config.tc_prefetch;
+  params.strided_requests = config.tc_strided;
+  params.buffers_per_cp_per_disk = config.tc_buffers_per_cp_per_disk;
+  return params;
+}
+
+FileSystemRegistry MakeBuiltIns() {
+  FileSystemRegistry registry;
+  registry.Register(MethodKey(Method::kTraditionalCaching),
+                    [](Machine& machine, const ExperimentConfig& config) {
+                      return std::make_unique<tc::TcFileSystem>(machine, TcParamsFrom(config));
+                    });
+  registry.Register(MethodKey(Method::kDiskDirected),
+                    [](Machine& machine, const ExperimentConfig& config) {
+                      ddio_fs::DdioParams params;
+                      params.presort = true;
+                      params.buffers_per_disk = config.ddio_buffers_per_disk;
+                      params.gather_scatter = config.ddio_gather_scatter;
+                      return std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
+                    });
+  registry.Register(MethodKey(Method::kDiskDirectedNoSort),
+                    [](Machine& machine, const ExperimentConfig& config) {
+                      ddio_fs::DdioParams params;
+                      params.presort = false;
+                      params.buffers_per_disk = config.ddio_buffers_per_disk;
+                      params.gather_scatter = config.ddio_gather_scatter;
+                      return std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
+                    });
+  registry.Register(MethodKey(Method::kTwoPhase),
+                    [](Machine& machine, const ExperimentConfig& config) {
+                      twophase::TwoPhaseParams params;
+                      params.io_phase = TcParamsFrom(config);
+                      return std::make_unique<twophase::TwoPhaseFileSystem>(machine, params);
+                    });
+  return registry;
+}
+
+}  // namespace
+
+FileSystemRegistry& FileSystemRegistry::BuiltIns() {
+  static FileSystemRegistry registry = MakeBuiltIns();
+  return registry;
+}
+
+void FileSystemRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::vector<std::string> FileSystemRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string FileSystemRegistry::NamesJoined(const char* sep) const {
+  std::string joined;
+  for (const auto& [name, factory] : factories_) {
+    if (!joined.empty()) {
+      joined += sep;
+    }
+    joined += name;
+  }
+  return joined;
+}
+
+std::unique_ptr<FileSystem> FileSystemRegistry::Create(const std::string& name, Machine& machine,
+                                                       const ExperimentConfig& config,
+                                                       std::string* error) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    if (error != nullptr) {
+      *error = "unknown file-system method \"" + name + "\" (registered: " + NamesJoined() + ")";
+    }
+    return nullptr;
+  }
+  return it->second(machine, config);
+}
+
+}  // namespace ddio::core

@@ -1,0 +1,60 @@
+// FileSystemRegistry: string-keyed factories for access methods.
+//
+// Each factory builds a FileSystem for a Machine from an ExperimentConfig
+// (the config carries the per-method ablation knobs: TC prefetch/buffer
+// policy, DDIO presort/buffering/gather-scatter). The built-in registry
+// holds the four methods the runner historically switched over — "tc",
+// "ddio", "ddio-nosort", "twophase" — and new methods can be registered
+// without touching the runner, the CLI, or the workload session code.
+
+#ifndef DDIO_SRC_CORE_FS_REGISTRY_H_
+#define DDIO_SRC_CORE_FS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/fs_interface.h"
+#include "src/core/runner.h"
+
+namespace ddio::core {
+
+class Machine;
+
+class FileSystemRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<FileSystem>(Machine& machine, const ExperimentConfig&)>;
+
+  FileSystemRegistry() = default;
+
+  // The process-wide registry preloaded with the built-in methods. Callers
+  // may Register() additional methods on it.
+  static FileSystemRegistry& BuiltIns();
+
+  // Registers (or replaces) a factory under `name`.
+  void Register(const std::string& name, Factory factory);
+
+  bool Has(const std::string& name) const { return factories_.count(name) != 0; }
+
+  // Registered keys in sorted order.
+  std::vector<std::string> Names() const;
+
+  // All registered keys joined with `sep` (for error messages / usage text).
+  std::string NamesJoined(const char* sep = ", ") const;
+
+  // Creates the file system registered under `name`. Unknown names return
+  // nullptr and set *error to a message naming the valid keys.
+  std::unique_ptr<FileSystem> Create(const std::string& name, Machine& machine,
+                                     const ExperimentConfig& config,
+                                     std::string* error = nullptr) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_FS_REGISTRY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace ddio::core {
@@ -47,12 +48,6 @@ void Machine::StartDisks() {
   }
 }
 
-void Machine::StopDisks() {
-  for (auto& disk : disks_) {
-    disk->Stop();
-  }
-}
-
 void Machine::ClaimInboxes(const char* owner) {
   if (inbox_owner_ != nullptr) {
     std::fprintf(stderr, "ddio::core: inboxes already claimed by %s; cannot start %s\n",
@@ -63,35 +58,76 @@ void Machine::ClaimInboxes(const char* owner) {
 }
 
 void Machine::ReleaseInboxes(const char* owner) {
-  if (inbox_owner_ == owner) {
-    inbox_owner_ = nullptr;
+  if (inbox_owner_ == nullptr || std::strcmp(inbox_owner_, owner) != 0) {
+    return;
+  }
+  inbox_owner_ = nullptr;
+  // Close-then-reopen every node inbox: the departing owner's parked
+  // dispatchers were unlinked by Close (they resume with nullopt and exit),
+  // while the reopened channels are immediately claimable by the next file
+  // system's service loops.
+  for (std::uint32_t node = 0; node < config_.num_nodes(); ++node) {
+    network_->Inbox(node).Close();
+    network_->Inbox(node).Reopen();
   }
 }
 
-Machine::Utilization Machine::SnapshotUtilization() const {
+Machine::UtilizationBaseline Machine::CaptureUtilizationBaseline() const {
+  UtilizationBaseline baseline;
+  baseline.now = engine_.now();
+  baseline.cp_busy.reserve(cp_cpu_.size());
+  for (const auto& cpu : cp_cpu_) {
+    baseline.cp_busy.push_back(cpu->busy_time());
+  }
+  baseline.iop_busy.reserve(iop_cpu_.size());
+  baseline.bus_busy.reserve(bus_.size());
+  for (const auto& cpu : iop_cpu_) {
+    baseline.iop_busy.push_back(cpu->busy_time());
+  }
+  for (const auto& bus : bus_) {
+    baseline.bus_busy.push_back(bus->busy_time());
+  }
+  baseline.disk_mechanism_busy.reserve(disks_.size());
+  for (const auto& disk : disks_) {
+    baseline.disk_mechanism_busy.push_back(disk->stats().mechanism_busy_ns);
+  }
+  return baseline;
+}
+
+Machine::Utilization Machine::UtilizationSince(const UtilizationBaseline& baseline) const {
   Utilization u;
-  const double elapsed = static_cast<double>(engine_.now());
+  const double elapsed = static_cast<double>(engine_.now() - baseline.now);
   if (elapsed <= 0) {
     return u;
   }
-  for (const auto& cpu : cp_cpu_) {
-    const double util = cpu->Utilization();
+  // An empty (default) baseline means "since time zero" with no busy time
+  // accrued; otherwise subtract the captured counters.
+  auto base = [](const std::vector<sim::SimTime>& busy, std::size_t i) -> sim::SimTime {
+    return busy.empty() ? 0 : busy[i];
+  };
+  for (std::size_t i = 0; i < cp_cpu_.size(); ++i) {
+    const double util =
+        static_cast<double>(cp_cpu_[i]->busy_time() - base(baseline.cp_busy, i)) / elapsed;
     u.max_cp_cpu = std::max(u.max_cp_cpu, util);
     u.avg_cp_cpu += util;
   }
   u.avg_cp_cpu /= static_cast<double>(cp_cpu_.size());
-  for (const auto& cpu : iop_cpu_) {
-    const double util = cpu->Utilization();
+  for (std::size_t i = 0; i < iop_cpu_.size(); ++i) {
+    const double util =
+        static_cast<double>(iop_cpu_[i]->busy_time() - base(baseline.iop_busy, i)) / elapsed;
     u.max_iop_cpu = std::max(u.max_iop_cpu, util);
     u.avg_iop_cpu += util;
   }
   u.avg_iop_cpu /= static_cast<double>(iop_cpu_.size());
-  for (const auto& bus : bus_) {
-    u.max_bus = std::max(u.max_bus, bus->Utilization());
+  for (std::size_t i = 0; i < bus_.size(); ++i) {
+    u.max_bus = std::max(
+        u.max_bus,
+        static_cast<double>(bus_[i]->busy_time() - base(baseline.bus_busy, i)) / elapsed);
   }
-  for (const auto& disk : disks_) {
-    u.avg_disk_mechanism +=
-        static_cast<double>(disk->stats().mechanism_busy_ns) / elapsed;
+  for (std::size_t i = 0; i < disks_.size(); ++i) {
+    u.avg_disk_mechanism += static_cast<double>(disks_[i]->stats().mechanism_busy_ns -
+                                                base(baseline.disk_mechanism_busy, i)) /
+                            elapsed;
   }
   u.avg_disk_mechanism /= static_cast<double>(disks_.size());
   return u;

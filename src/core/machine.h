@@ -55,12 +55,19 @@ class Machine {
   sim::Task<> ChargeCp(std::uint32_t cp, std::uint32_t cycles);
   sim::Task<> ChargeIop(std::uint32_t iop, std::uint32_t cycles);
 
-  // Starts / drains the per-disk service threads.
+  // Starts the per-disk service threads (idempotent). The disks belong to
+  // the machine, not to any one file system: they keep running across
+  // collective operations and across sequential file systems, and their
+  // loops are reclaimed at engine teardown.
   void StartDisks();
-  void StopDisks();
 
   // The node inboxes support a single consumer: exactly one file system may
   // be active on a machine at a time. Claim aborts if already claimed.
+  // Release closes every node inbox (kicking the owner's parked service
+  // loops, which exit with nullopt on the next engine run) and immediately
+  // reopens them, so a subsequent file system can claim the same machine —
+  // sessions run sequential file systems on one persistent machine. Release
+  // only when quiescent: no collective in flight, all loops parked.
   void ClaimInboxes(const char* owner);
   void ReleaseInboxes(const char* owner);
 
@@ -71,9 +78,9 @@ class Machine {
   // Aggregate disk mechanism stats over all spindles.
   disk::DiskMechanismStats AggregateDiskStats() const;
 
-  // Resource-utilization snapshot over [0, now] — identifies the binding
-  // resource of a run (IOP CPU for TC small records, disks for DDIO, the
-  // bus for many-disks-per-IOP configurations).
+  // Resource-utilization snapshot — identifies the binding resource of a
+  // run (IOP CPU for TC small records, disks for DDIO, the bus for
+  // many-disks-per-IOP configurations).
   struct Utilization {
     double max_cp_cpu = 0;
     double avg_cp_cpu = 0;
@@ -82,7 +89,20 @@ class Machine {
     double max_bus = 0;
     double avg_disk_mechanism = 0;  // Mechanism busy / elapsed, averaged.
   };
-  Utilization SnapshotUtilization() const;
+  // Per-resource busy-time counters at a point in simulated time, so
+  // sessions can report utilization over one phase's window instead of
+  // cumulatively since machine construction.
+  struct UtilizationBaseline {
+    sim::SimTime now = 0;
+    std::vector<sim::SimTime> cp_busy;
+    std::vector<sim::SimTime> iop_busy;
+    std::vector<sim::SimTime> bus_busy;
+    std::vector<sim::SimTime> disk_mechanism_busy;
+  };
+  UtilizationBaseline CaptureUtilizationBaseline() const;
+  // Utilization over (baseline.now, now]; a default baseline gives [0, now].
+  Utilization UtilizationSince(const UtilizationBaseline& baseline) const;
+  Utilization SnapshotUtilization() const { return UtilizationSince({}); }
 
  private:
   sim::Engine& engine_;

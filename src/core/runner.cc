@@ -1,15 +1,6 @@
 #include "src/core/runner.h"
 
-#include <cmath>
-#include <memory>
-
-#include "src/core/machine.h"
-#include "src/ddio/ddio_fs.h"
-#include "src/fs/striped_file.h"
-#include "src/pattern/pattern.h"
-#include "src/sim/engine.h"
-#include "src/tc/tc_fs.h"
-#include "src/twophase/twophase_fs.h"
+#include "src/core/workload.h"
 
 namespace ddio::core {
 
@@ -27,88 +18,53 @@ const char* MethodName(Method method) {
   return "?";
 }
 
-OpStats RunTrial(const ExperimentConfig& config, std::uint64_t seed, std::uint64_t* events) {
-  sim::Engine engine(seed);
-  Machine machine(engine, config.machine);
-
-  fs::StripedFile::Params file_params;
-  file_params.file_bytes = config.file_bytes;
-  file_params.block_bytes = config.machine.block_bytes;
-  file_params.num_disks = config.machine.num_disks;
-  file_params.layout = config.layout;
-  file_params.disk_capacity_bytes =
-      config.machine.disk.geometry.CapacityBytes() / config.machine.block_bytes *
-      config.machine.block_bytes;
-  fs::StripedFile file(file_params, engine.rng());
-
-  pattern::AccessPattern pattern(pattern::PatternSpec::Parse(config.pattern), config.file_bytes,
-                                 config.record_bytes, config.machine.num_cps);
-
-  OpStats stats;
-  std::unique_ptr<tc::TcFileSystem> tc_fs;
-  std::unique_ptr<ddio_fs::DdioFileSystem> dd_fs;
-  std::unique_ptr<twophase::TwoPhaseFileSystem> tp_fs;
-  switch (config.method) {
-    case Method::kTraditionalCaching: {
-      tc::TcParams params;
-      params.prefetch = config.tc_prefetch;
-      params.strided_requests = config.tc_strided;
-      params.buffers_per_cp_per_disk = config.tc_buffers_per_cp_per_disk;
-      tc_fs = std::make_unique<tc::TcFileSystem>(machine, params);
-      tc_fs->Start();
-      engine.Spawn(tc_fs->RunCollective(file, pattern, &stats));
-      break;
-    }
+const char* MethodKey(Method method) {
+  switch (method) {
+    case Method::kTraditionalCaching:
+      return "tc";
     case Method::kDiskDirected:
-    case Method::kDiskDirectedNoSort: {
-      ddio_fs::DdioParams params;
-      params.presort = config.method == Method::kDiskDirected;
-      params.buffers_per_disk = config.ddio_buffers_per_disk;
-      params.gather_scatter = config.ddio_gather_scatter;
-      dd_fs = std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
-      dd_fs->Start();
-      engine.Spawn(dd_fs->RunCollective(file, pattern, &stats));
-      break;
-    }
-    case Method::kTwoPhase: {
-      tp_fs = std::make_unique<twophase::TwoPhaseFileSystem>(machine);
-      tp_fs->Start();
-      engine.Spawn(tp_fs->RunCollective(file, pattern, &stats));
-      break;
+      return "ddio";
+    case Method::kDiskDirectedNoSort:
+      return "ddio-nosort";
+    case Method::kTwoPhase:
+      return "twophase";
+  }
+  return "?";
+}
+
+bool MethodFromKey(std::string_view key, Method* method) {
+  for (Method candidate : {Method::kTraditionalCaching, Method::kDiskDirected,
+                           Method::kDiskDirectedNoSort, Method::kTwoPhase}) {
+    if (key == MethodKey(candidate)) {
+      *method = candidate;
+      return true;
     }
   }
-  engine.Run();
-  Machine::Utilization utilization = machine.SnapshotUtilization();
-  stats.max_cp_cpu_util = utilization.max_cp_cpu;
-  stats.max_iop_cpu_util = utilization.max_iop_cpu;
-  stats.max_bus_util = utilization.max_bus;
-  stats.avg_disk_util = utilization.avg_disk_mechanism;
+  return false;
+}
+
+OpStats RunTrial(const ExperimentConfig& config, std::uint64_t seed, std::uint64_t* events) {
+  WorkloadResult result = RunWorkloadTrial(config, Workload::SinglePhase(config), seed);
   if (events != nullptr) {
-    *events = engine.events_processed();
+    *events = result.total_events;
   }
-  return stats;
+  return result.phases.front();
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  // A classic experiment is a 1-phase workload: the session path owns the
+  // trial loop and the mean/cv aggregation; phase 0 is the whole story.
+  WorkloadExperimentResult workload =
+      RunWorkloadExperiment(config, Workload::SinglePhase(config));
   ExperimentResult result;
-  result.trials.reserve(config.trials);
-  double sum = 0.0;
-  for (std::uint32_t t = 0; t < config.trials; ++t) {
-    std::uint64_t events = 0;
-    OpStats stats = RunTrial(config, config.base_seed + t, &events);
-    result.total_events += events;
-    sum += stats.ThroughputMBps();
-    result.trials.push_back(stats);
+  result.trials.reserve(workload.trials.size());
+  for (const WorkloadResult& trial : workload.trials) {
+    result.trials.push_back(trial.phases.front());
   }
-  if (!result.trials.empty()) {
-    result.mean_mbps = sum / static_cast<double>(result.trials.size());
-    double var = 0.0;
-    for (const OpStats& stats : result.trials) {
-      const double d = stats.ThroughputMBps() - result.mean_mbps;
-      var += d * d;
-    }
-    var /= static_cast<double>(result.trials.size());
-    result.cv = result.mean_mbps > 0 ? std::sqrt(var) / result.mean_mbps : 0.0;
+  result.total_events = workload.total_events;
+  if (!workload.mean_mbps.empty()) {
+    result.mean_mbps = workload.mean_mbps.front();
+    result.cv = workload.cv.front();
   }
   return result;
 }

@@ -2,13 +2,15 @@
 // operation with the selected file system, and aggregates throughput over N
 // independent trials — the paper's methodology ("Each test case was
 // replicated in five independent trials, to account for randomness in the
-// disk layouts").
+// disk layouts"). Trials are 1-phase workload sessions (src/core/workload.h)
+// dispatching through the FileSystemRegistry (src/core/fs_registry.h).
 
 #ifndef DDIO_SRC_CORE_RUNNER_H_
 #define DDIO_SRC_CORE_RUNNER_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/config.h"
@@ -24,7 +26,15 @@ enum class Method {
   kTwoPhase,
 };
 
+// Display name used in tables and figures ("TC", "DDIO(sort)", ...).
 const char* MethodName(Method method);
+
+// FileSystemRegistry key ("tc", "ddio", "ddio-nosort", "twophase"); also
+// what the created system's FileSystem::name() reports.
+const char* MethodKey(Method method);
+
+// Inverse of MethodKey. Returns false for keys outside the built-in four.
+bool MethodFromKey(std::string_view key, Method* method);
 
 struct ExperimentConfig {
   MachineConfig machine;
@@ -33,6 +43,9 @@ struct ExperimentConfig {
   fs::LayoutKind layout = fs::LayoutKind::kContiguous;
   std::string pattern = "rb";
   Method method = Method::kDiskDirected;
+  // Registry key overriding `method` when non-empty — the hook for methods
+  // registered beyond the built-in four (which have no enum value).
+  std::string method_key;
   std::uint32_t trials = 5;
   std::uint64_t base_seed = 1000;  // Trial t uses base_seed + t.
 

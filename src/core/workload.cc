@@ -1,0 +1,322 @@
+#include "src/core/workload.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "src/core/fs_registry.h"
+#include "src/pattern/pattern.h"
+
+namespace ddio::core {
+namespace {
+
+// Session file tables are small (one slot per distinct file in the
+// workload); a spec asking for more is a typo, not a request for gigabytes
+// of table.
+constexpr std::uint32_t kMaxFileIndex = 4096;
+// Spec sanity bounds, chosen far above anything simulable but well inside
+// uint64 so the mb->bytes and ms->ns conversions cannot wrap.
+constexpr std::uint64_t kMaxFileMb = 1ull << 20;        // 1 TB file.
+constexpr std::uint64_t kMaxComputeMs = 1'000'000'000;  // ~11.5 simulated days.
+
+// Strict decimal parse: the whole value must be digits (strtoull would
+// silently accept "ten" as 0 or "-5" wrapped).
+bool ParseUint(const std::string& value, std::uint64_t* out) {
+  if (value.empty() || value[0] < '0' || value[0] > '9') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+bool ParsePhase(const std::string& text, WorkloadPhase* phase, std::string* error) {
+  const std::vector<std::string> fields = Split(text, ',');
+  if (fields.empty() || fields[0].empty()) {
+    *error = "workload phase \"" + text + "\" is missing a pattern name";
+    return false;
+  }
+  pattern::PatternSpec parsed;
+  if (!pattern::PatternSpec::TryParse(fields[0], &parsed)) {
+    *error = "workload phase \"" + text + "\": bad pattern name \"" + fields[0] + "\"";
+    return false;
+  }
+  phase->pattern = fields[0];
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string& field = fields[i];
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= field.size()) {
+      *error = "workload phase \"" + text + "\": option \"" + field + "\" is not key=value";
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    std::uint64_t number = 0;
+    const bool is_numeric_option =
+        key == "record" || key == "mb" || key == "file" || key == "compute";
+    if (is_numeric_option && !ParseUint(value, &number)) {
+      *error = "workload phase \"" + text + "\": " + key + "=" + value + " is not a number";
+      return false;
+    }
+    if (key == "record") {
+      if (number == 0 || number > std::numeric_limits<std::uint32_t>::max()) {
+        *error = "workload phase \"" + text + "\": record size out of range";
+        return false;
+      }
+      phase->record_bytes = static_cast<std::uint32_t>(number);
+    } else if (key == "mb") {
+      if (number == 0 || number > kMaxFileMb) {
+        *error = "workload phase \"" + text + "\": file size must be in [1, " +
+                 std::to_string(kMaxFileMb) + "] MB";
+        return false;
+      }
+      phase->file_bytes = number * 1024 * 1024;
+    } else if (key == "file") {
+      if (number > kMaxFileIndex) {
+        *error = "workload phase \"" + text + "\": file index exceeds " +
+                 std::to_string(kMaxFileIndex);
+        return false;
+      }
+      phase->file_index = static_cast<std::uint32_t>(number);
+    } else if (key == "layout") {
+      if (value == "contiguous") {
+        phase->layout = fs::LayoutKind::kContiguous;
+      } else if (value == "random") {
+        phase->layout = fs::LayoutKind::kRandomBlocks;
+      } else {
+        *error = "workload phase \"" + text + "\": layout must be contiguous or random";
+        return false;
+      }
+      phase->has_layout = true;
+    } else if (key == "method") {
+      phase->method = value;
+    } else if (key == "compute") {
+      if (number > kMaxComputeMs) {
+        *error = "workload phase \"" + text + "\": compute exceeds " +
+                 std::to_string(kMaxComputeMs) + " ms";
+        return false;
+      }
+      phase->compute_ns = sim::FromMs(number);
+    } else {
+      *error = "workload phase \"" + text + "\": unknown option \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Workload Workload::SinglePhase(const ExperimentConfig& config) {
+  Workload workload;
+  WorkloadPhase phase;
+  phase.pattern = config.pattern;
+  workload.phases.push_back(phase);
+  return workload;
+}
+
+bool Workload::Parse(const std::string& spec, Workload* out, std::string* error) {
+  out->phases.clear();
+  if (spec.empty()) {
+    *error = "workload spec is empty";
+    return false;
+  }
+  for (const std::string& text : Split(spec, ';')) {
+    WorkloadPhase phase;
+    if (!ParsePhase(text, &phase, error)) {
+      return false;
+    }
+    out->phases.push_back(std::move(phase));
+  }
+  // A file slot is created by its first-using phase; later phases may not
+  // redefine its size or layout (they would be silently ignored at run
+  // time otherwise).
+  for (std::size_t i = 0; i < out->phases.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const WorkloadPhase& first = out->phases[j];
+      const WorkloadPhase& later = out->phases[i];
+      if (first.file_index != later.file_index) {
+        continue;
+      }
+      if ((later.file_bytes != 0 && later.file_bytes != first.file_bytes) ||
+          (later.has_layout &&
+           (!first.has_layout || later.layout != first.layout))) {
+        *error = "workload phase " + std::to_string(i) + " redefines file " +
+                 std::to_string(later.file_index) + "'s size/layout (set them on phase " +
+                 std::to_string(j) + ", the slot's first use)";
+        return false;
+      }
+      break;  // Only compare against the slot's first use.
+    }
+  }
+  return true;
+}
+
+WorkloadSession::WorkloadSession(const ExperimentConfig& config, std::uint64_t seed)
+    : config_(config), engine_(seed), machine_(engine_, config.machine) {}
+
+WorkloadSession::~WorkloadSession() {
+  if (fs_ != nullptr) {
+    fs_->Shutdown();
+  }
+}
+
+const fs::StripedFile& WorkloadSession::FileFor(const WorkloadPhase& phase) {
+  if (phase.file_index >= files_.size()) {
+    files_.resize(static_cast<std::size_t>(phase.file_index) + 1);
+  }
+  std::unique_ptr<fs::StripedFile>& slot = files_[phase.file_index];
+  if (slot != nullptr) {
+    // The slot was created by an earlier phase; a later phase must not
+    // redefine its geometry (Workload::Parse rejects this for CLI specs,
+    // this guards programmatic phases).
+    if ((phase.file_bytes != 0 && phase.file_bytes != slot->file_bytes()) ||
+        (phase.has_layout && phase.layout != slot->layout())) {
+      std::fprintf(stderr,
+                   "ddio::core: workload phase redefines file %u's size/layout; set them on "
+                   "the slot's first use\n",
+                   phase.file_index);
+      std::abort();
+    }
+  }
+  if (slot == nullptr) {
+    fs::StripedFile::Params params;
+    params.file_bytes = phase.file_bytes != 0 ? phase.file_bytes : config_.file_bytes;
+    params.block_bytes = config_.machine.block_bytes;
+    params.num_disks = config_.machine.num_disks;
+    params.layout = phase.has_layout ? phase.layout : config_.layout;
+    params.disk_capacity_bytes = config_.machine.disk.geometry.CapacityBytes() /
+                                 config_.machine.block_bytes * config_.machine.block_bytes;
+    slot = std::make_unique<fs::StripedFile>(params, engine_.rng());
+  }
+  return *slot;
+}
+
+FileSystem& WorkloadSession::ActivateFileSystem(const std::string& method) {
+  std::string key = method;
+  if (key.empty()) {
+    key = config_.method_key.empty() ? MethodKey(config_.method) : config_.method_key;
+  }
+  if (fs_ != nullptr && fs_method_ == key) {
+    return *fs_;
+  }
+  if (fs_ != nullptr) {
+    fs_->Shutdown();
+    fs_.reset();
+  }
+  std::string error;
+  fs_ = FileSystemRegistry::BuiltIns().Create(key, machine_, config_, &error);
+  if (fs_ == nullptr) {
+    std::fprintf(stderr, "ddio::core: %s\n", error.c_str());
+    std::abort();
+  }
+  fs_->Start();
+  fs_method_ = key;
+  return *fs_;
+}
+
+void WorkloadSession::AdvanceCompute(sim::SimTime delay) {
+  if (delay == 0) {
+    return;
+  }
+  engine_.Spawn([](sim::Engine& engine, sim::SimTime d) -> sim::Task<> {
+    co_await engine.Delay(d);
+  }(engine_, delay));
+  engine_.Run();
+}
+
+OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
+  // Construction order (file, pattern, file system) matches the historical
+  // RunTrial exactly, so a 1-phase workload replays its event sequence
+  // bit-identically (tests/fs_registry_test.cc pins this down).
+  const fs::StripedFile& file = FileFor(phase);
+  const std::uint32_t record_bytes =
+      phase.record_bytes != 0 ? phase.record_bytes : config_.record_bytes;
+  pattern::AccessPattern pattern(pattern::PatternSpec::Parse(phase.pattern), file.file_bytes(),
+                                 record_bytes, machine_.num_cps());
+  FileSystem& fs = ActivateFileSystem(phase.method);
+  AdvanceCompute(phase.compute_ns);
+
+  // Utilization is reported over THIS phase's I/O window, not cumulatively
+  // since session start (for a 1-phase workload the two coincide).
+  Machine::UtilizationBaseline baseline = machine_.CaptureUtilizationBaseline();
+  OpStats stats;
+  engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+  engine_.Run();
+
+  Machine::Utilization utilization = machine_.UtilizationSince(baseline);
+  stats.max_cp_cpu_util = utilization.max_cp_cpu;
+  stats.max_iop_cpu_util = utilization.max_iop_cpu;
+  stats.max_bus_util = utilization.max_bus;
+  stats.avg_disk_util = utilization.avg_disk_mechanism;
+  return stats;
+}
+
+WorkloadResult RunWorkloadTrial(const ExperimentConfig& config, const Workload& workload,
+                                std::uint64_t seed) {
+  WorkloadSession session(config, seed);
+  WorkloadResult result;
+  result.phases.reserve(workload.phases.size());
+  for (const WorkloadPhase& phase : workload.phases) {
+    result.phases.push_back(session.RunPhase(phase));
+  }
+  result.total_events = session.engine().events_processed();
+  return result;
+}
+
+WorkloadExperimentResult RunWorkloadExperiment(const ExperimentConfig& config,
+                                               const Workload& workload) {
+  WorkloadExperimentResult result;
+  result.trials.reserve(config.trials);
+  for (std::uint32_t t = 0; t < config.trials; ++t) {
+    WorkloadResult trial = RunWorkloadTrial(config, workload, config.base_seed + t);
+    result.total_events += trial.total_events;
+    result.trials.push_back(std::move(trial));
+  }
+  const std::size_t phases = workload.phases.size();
+  result.mean_mbps.assign(phases, 0.0);
+  result.cv.assign(phases, 0.0);
+  if (result.trials.empty()) {
+    return result;
+  }
+  const double n = static_cast<double>(result.trials.size());
+  for (std::size_t p = 0; p < phases; ++p) {
+    double sum = 0.0;
+    for (const WorkloadResult& trial : result.trials) {
+      sum += trial.phases[p].ThroughputMBps();
+    }
+    const double mean = sum / n;
+    double var = 0.0;
+    for (const WorkloadResult& trial : result.trials) {
+      const double d = trial.phases[p].ThroughputMBps() - mean;
+      var += d * d;
+    }
+    var /= n;
+    result.mean_mbps[p] = mean;
+    result.cv[p] = mean > 0 ? std::sqrt(var) / mean : 0.0;
+  }
+  return result;
+}
+
+}  // namespace ddio::core

@@ -1,0 +1,125 @@
+// Workload sessions: multi-operation experiments on one persistent machine.
+//
+// A Workload is an ordered list of collective phases — each names a pattern
+// (direction is the pattern's r/w prefix), a record size, optionally a
+// distinct file/layout, the access method to use, and simulated compute time
+// preceding the I/O. A WorkloadSession executes phases back to back against
+// ONE engine + machine: files persist in a session file table, disks and
+// simulated time carry over, and switching methods mid-session shuts the
+// previous file system down and starts the next on the same inboxes.
+//
+// This generalizes the paper's single-shot trial: a single-pattern
+// experiment is a 1-phase workload (and reproduces the historical RunTrial
+// event sequence bit-identically), while checkpoint-then-read, out-of-core
+// memoryload sweeps, and cross-method comparisons are just longer phase
+// lists.
+
+#ifndef DDIO_SRC_CORE_WORKLOAD_H_
+#define DDIO_SRC_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/fs_interface.h"
+#include "src/core/machine.h"
+#include "src/core/op_stats.h"
+#include "src/core/runner.h"
+#include "src/fs/striped_file.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace ddio::core {
+
+struct WorkloadPhase {
+  std::string pattern = "rb";
+  // FileSystemRegistry key; empty = the experiment's configured method.
+  std::string method;
+  std::uint32_t record_bytes = 0;  // 0 = experiment default.
+  std::uint64_t file_bytes = 0;    // 0 = experiment default.
+  // Session file-table slot: phases with the same index share one file
+  // (write-then-read); distinct indices are independent files (slab sweeps).
+  std::uint32_t file_index = 0;
+  bool has_layout = false;  // When true, `layout` overrides the experiment's.
+  fs::LayoutKind layout = fs::LayoutKind::kContiguous;
+  // Simulated compute time before this phase's I/O starts.
+  sim::SimTime compute_ns = 0;
+};
+
+struct Workload {
+  std::vector<WorkloadPhase> phases;
+
+  // The classic experiment as a 1-phase workload.
+  static Workload SinglePhase(const ExperimentConfig& config);
+
+  // Parses "PHASE[;PHASE...]" where PHASE is
+  //   PATTERN[,record=BYTES][,mb=N][,file=K][,layout=contiguous|random]
+  //          [,method=NAME][,compute=MS]
+  // e.g. "wbb;rbb,record=4096" or "rb,method=tc;rb,method=ddio". Returns
+  // false and sets *error on malformed specs (method names are validated by
+  // the registry at run time).
+  static bool Parse(const std::string& spec, Workload* out, std::string* error);
+};
+
+struct WorkloadResult {
+  std::vector<OpStats> phases;       // One per workload phase, in order.
+  std::uint64_t total_events = 0;    // Engine events over the whole session.
+};
+
+// One persistent engine + machine executing phases back to back. The
+// synchronous driver underneath RunTrial/RunWorkloadTrial, and the session
+// API the examples script against.
+class WorkloadSession {
+ public:
+  WorkloadSession(const ExperimentConfig& config, std::uint64_t seed);
+  WorkloadSession(const WorkloadSession&) = delete;
+  WorkloadSession& operator=(const WorkloadSession&) = delete;
+  ~WorkloadSession();
+
+  sim::Engine& engine() { return engine_; }
+  Machine& machine() { return machine_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  // Returns (creating on first use) the striped file backing `phase`.
+  const fs::StripedFile& FileFor(const WorkloadPhase& phase);
+
+  // Returns the started file system for `method` (registry key; empty = the
+  // experiment's configured method), shutting down the previously active
+  // system first when the method changes. Aborts on unregistered names —
+  // validate user-supplied specs against the registry beforehand.
+  FileSystem& ActivateFileSystem(const std::string& method);
+
+  // Advances simulated time by `delay` (a compute period with no I/O).
+  void AdvanceCompute(sim::SimTime delay);
+
+  // Runs one phase to completion (compute, then the collective, then the
+  // engine drains) and returns its stats, utilization snapshot included.
+  OpStats RunPhase(const WorkloadPhase& phase);
+
+ private:
+  ExperimentConfig config_;
+  sim::Engine engine_;
+  Machine machine_;
+  std::vector<std::unique_ptr<fs::StripedFile>> files_;
+  std::unique_ptr<FileSystem> fs_;  // Declared after machine_: destroyed first.
+  std::string fs_method_;
+};
+
+// Runs every phase of `workload` in one session seeded with `seed`.
+WorkloadResult RunWorkloadTrial(const ExperimentConfig& config, const Workload& workload,
+                                std::uint64_t seed);
+
+// Aggregate over config.trials independent sessions (seeds base_seed + t).
+struct WorkloadExperimentResult {
+  std::vector<WorkloadResult> trials;
+  std::vector<double> mean_mbps;  // Per phase, over trials.
+  std::vector<double> cv;         // Per phase, over trials.
+  std::uint64_t total_events = 0;
+};
+WorkloadExperimentResult RunWorkloadExperiment(const ExperimentConfig& config,
+                                               const Workload& workload);
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_WORKLOAD_H_

@@ -47,15 +47,10 @@ void DdioFileSystem::Shutdown() {
   if (!started_) {
     return;
   }
-  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
-    machine_.network().Inbox(machine_.NodeOfIop(iop)).Close();
-  }
-  for (std::uint32_t cp = 0; cp < machine_.num_cps(); ++cp) {
-    machine_.network().Inbox(machine_.NodeOfCp(cp)).Close();
-  }
-  machine_.StopDisks();
-  machine_.ReleaseInboxes("ddio");
   started_ = false;
+  // Releasing closes (and reopens) every inbox, kicking the parked servers;
+  // the disks keep running for whichever file system claims the machine next.
+  machine_.ReleaseInboxes("ddio");
 }
 
 sim::Task<> DdioFileSystem::IopServer(std::uint32_t iop) {

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/fs_interface.h"
 #include "src/core/machine.h"
 #include "src/core/op_stats.h"
 #include "src/fs/striped_file.h"
@@ -49,18 +50,28 @@ struct DdioParams {
   bool gather_scatter = false;
 };
 
-class DdioFileSystem {
+class DdioFileSystem : public core::FileSystem {
  public:
-  DdioFileSystem(core::Machine& machine, DdioParams params = {});
+  explicit DdioFileSystem(core::Machine& machine, DdioParams params = {});
   DdioFileSystem(const DdioFileSystem&) = delete;
   DdioFileSystem& operator=(const DdioFileSystem&) = delete;
+  ~DdioFileSystem() override { Shutdown(); }
 
-  void Start();
-  void Shutdown();
+  // The registry key for this variant ("ddio" with presort, else
+  // "ddio-nosort").
+  const char* name() const override { return params_.presort ? "ddio" : "ddio-nosort"; }
+  core::FileSystemCaps caps() const override {
+    core::FileSystemCaps caps;
+    caps.supports_filtered_read = true;
+    return caps;
+  }
+
+  void Start() override;
+  void Shutdown() override;
 
   // Runs one collective transfer (direction from pattern.spec().is_write).
   sim::Task<> RunCollective(const fs::StripedFile& file, const pattern::AccessPattern& pattern,
-                            core::OpStats* stats);
+                            core::OpStats* stats) override;
 
   // Filtered collective read (paper Section 8: "selecting only a subset of
   // records that match some criterion"): the IOPs read every block, evaluate
@@ -71,7 +82,7 @@ class DdioFileSystem {
   // stats->bytes_delivered reports the data actually shipped.
   sim::Task<> RunFilteredRead(const fs::StripedFile& file,
                               const pattern::AccessPattern& pattern, double selectivity,
-                              std::uint64_t filter_seed, core::OpStats* stats);
+                              std::uint64_t filter_seed, core::OpStats* stats) override;
 
  private:
   struct CollectiveOp {

@@ -36,26 +36,39 @@ char DistToChar(Dist d) {
 
 }  // namespace
 
+bool PatternSpec::TryParse(std::string_view name, PatternSpec* spec) {
+  *spec = PatternSpec{};
+  if (name.size() < 2 || name.size() > 3 || (name[0] != 'r' && name[0] != 'w')) {
+    return false;
+  }
+  spec->is_write = name[0] == 'w';
+  if (name.substr(1) == "a") {
+    spec->all = true;
+    return true;
+  }
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (name[i] != 'n' && name[i] != 'b' && name[i] != 'c') {
+      return false;
+    }
+  }
+  if (name.size() == 2) {
+    spec->two_d = false;
+    spec->col_dist = DistFromChar(name[1]);
+    return true;
+  }
+  spec->two_d = true;
+  spec->row_dist = DistFromChar(name[1]);
+  spec->col_dist = DistFromChar(name[2]);
+  return true;
+}
+
 PatternSpec PatternSpec::Parse(std::string_view name) {
   PatternSpec spec;
-  if (name.size() < 2 || name.size() > 3 || (name[0] != 'r' && name[0] != 'w')) {
+  if (!TryParse(name, &spec)) {
     std::fprintf(stderr, "ddio::pattern: bad pattern name '%.*s'\n",
                  static_cast<int>(name.size()), name.data());
     std::abort();
   }
-  spec.is_write = name[0] == 'w';
-  if (name.substr(1) == "a") {
-    spec.all = true;
-    return spec;
-  }
-  if (name.size() == 2) {
-    spec.two_d = false;
-    spec.col_dist = DistFromChar(name[1]);
-    return spec;
-  }
-  spec.two_d = true;
-  spec.row_dist = DistFromChar(name[1]);
-  spec.col_dist = DistFromChar(name[2]);
   return spec;
 }
 

@@ -45,6 +45,11 @@ struct PatternSpec {
   // Parses "ra", "rn", "wb", "rcb", "wcc", ... Aborts on malformed names.
   static PatternSpec Parse(std::string_view name);
 
+  // Non-aborting variant for user-supplied names (CLI workload specs):
+  // returns false on malformed names instead. The single owner of the
+  // pattern-name grammar; Parse is TryParse-or-abort.
+  static bool TryParse(std::string_view name, PatternSpec* spec);
+
   std::string Name() const;
 
   // The ten distinct read patterns of Figure 3/4 plus the nine writes.

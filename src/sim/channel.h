@@ -51,6 +51,12 @@ class Channel {
     }
   }
 
+  // Reopens a closed channel so new receivers can park again. Receivers
+  // already kicked by Close() still resume with std::nullopt (their wait
+  // nodes were unlinked and their slots stay empty), so a service loop
+  // generation ends cleanly while the next one starts on the same channel.
+  void Reopen() { closed_ = false; }
+
   // Awaitable receive; resumes with the next item, or std::nullopt if the
   // channel is closed and empty.
   auto Receive() {

@@ -36,15 +36,12 @@ void TcFileSystem::Shutdown() {
   if (!started_) {
     return;
   }
-  for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
-    machine_.network().Inbox(machine_.NodeOfIop(iop)).Close();
-  }
-  for (std::uint32_t cp = 0; cp < machine_.num_cps(); ++cp) {
-    machine_.network().Inbox(machine_.NodeOfCp(cp)).Close();
-  }
-  machine_.StopDisks();
-  machine_.ReleaseInboxes("tc");
   started_ = false;
+  // The release closes (and reopens) every inbox, kicking the parked
+  // dispatchers; the disks stay running — they belong to the machine, not
+  // to any one file system, and the next one reuses them.
+  machine_.ReleaseInboxes("tc");
+  caches_.clear();
 }
 
 sim::Task<> TcFileSystem::IopServer(std::uint32_t iop) {

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/fs_interface.h"
 #include "src/core/machine.h"
 #include "src/core/op_stats.h"
 #include "src/fs/striped_file.h"
@@ -47,24 +48,32 @@ struct TcParams {
   bool strided_requests = false;
 };
 
-class TcFileSystem {
+class TcFileSystem : public core::FileSystem {
  public:
-  TcFileSystem(core::Machine& machine, TcParams params = {});
+  explicit TcFileSystem(core::Machine& machine, TcParams params = {});
   TcFileSystem(const TcFileSystem&) = delete;
   TcFileSystem& operator=(const TcFileSystem&) = delete;
+  ~TcFileSystem() override { Shutdown(); }
+
+  const char* name() const override { return "tc"; }
+  core::FileSystemCaps caps() const override {
+    core::FileSystemCaps caps;
+    caps.caches_blocks = true;
+    return caps;
+  }
 
   // Spawns the IOP servers and CP reply dispatchers. One file system may be
   // active per machine at a time.
-  void Start();
+  void Start() override;
 
-  // Closes the service loops. The machine's inboxes are closed and cannot be
-  // reused by another file system afterwards.
-  void Shutdown();
+  // Ends the service loops and releases the machine's inboxes, which reopen
+  // for the next file system (or a fresh Start of this one).
+  void Shutdown() override;
 
   // Runs one collective transfer (direction from pattern.spec().is_write) to
   // completion, including write-behind/prefetch drain.
   sim::Task<> RunCollective(const fs::StripedFile& file, const pattern::AccessPattern& pattern,
-                            core::OpStats* stats);
+                            core::OpStats* stats) override;
 
   const BlockCache& cache(std::uint32_t iop) const { return *caches_[iop]; }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "src/core/fs_interface.h"
 #include "src/core/machine.h"
 #include "src/core/op_stats.h"
 #include "src/fs/striped_file.h"
@@ -41,17 +42,26 @@ struct TwoPhaseParams {
   double permute_copy_cycles_per_byte = 0.1;
 };
 
-class TwoPhaseFileSystem {
+class TwoPhaseFileSystem : public core::FileSystem {
  public:
-  TwoPhaseFileSystem(core::Machine& machine, TwoPhaseParams params = {});
+  explicit TwoPhaseFileSystem(core::Machine& machine, TwoPhaseParams params = {});
   TwoPhaseFileSystem(const TwoPhaseFileSystem&) = delete;
   TwoPhaseFileSystem& operator=(const TwoPhaseFileSystem&) = delete;
+  ~TwoPhaseFileSystem() override = default;  // ~TcFileSystem shuts the I/O phase down.
 
-  void Start();
-  void Shutdown();
+  const char* name() const override { return "twophase"; }
+  core::FileSystemCaps caps() const override {
+    core::FileSystemCaps caps;
+    caps.caches_blocks = true;
+    caps.double_network_transfer = true;
+    return caps;
+  }
+
+  void Start() override;
+  void Shutdown() override;
 
   sim::Task<> RunCollective(const fs::StripedFile& file, const pattern::AccessPattern& pattern,
-                            core::OpStats* stats);
+                            core::OpStats* stats) override;
 
  private:
   sim::Task<> PermutePhase(const fs::StripedFile& file, const pattern::AccessPattern& pattern);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/workload.h"
 #include "src/fs/layout.h"
 #include "src/sim/calendar_queue.h"
 #include "src/sim/engine.h"
@@ -58,6 +59,45 @@ TEST(DeterminismTest, IdenticalSeedReplaysIdenticalEventSequence) {
           << "event sequence diverged (method " << static_cast<int>(method) << ", seed " << seed
           << ")";
     }
+  }
+}
+
+// The registry + workload-session path is now what RunTrial (and thus every
+// figure bench) executes; it must replay byte-identically run to run, for
+// single- and multi-phase workloads, including a mid-session file-system
+// switch. (Bit-identity of the session path AGAINST the legacy hand-rolled
+// trial is pinned in tests/fs_registry_test.cc.)
+TEST(DeterminismTest, SessionPathReplaysIdenticalEventSequence) {
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+
+  core::Workload workload;
+  std::string error;
+  ASSERT_TRUE(core::Workload::Parse("wb,method=tc;rb,method=ddio,compute=1", &workload, &error))
+      << error;
+
+  auto run_traced = [&](std::uint64_t seed) {
+    std::vector<sim::SimTime> trace;
+    core::WorkloadSession session(cfg, seed);
+    session.engine().set_event_trace(&trace);
+    std::vector<sim::SimTime> elapsed;
+    for (const core::WorkloadPhase& phase : workload.phases) {
+      elapsed.push_back(session.RunPhase(phase).elapsed_ns());
+    }
+    return std::make_pair(std::move(trace), std::move(elapsed));
+  };
+
+  for (std::uint64_t seed : {1ull, 42ull}) {
+    auto [first_trace, first_elapsed] = run_traced(seed);
+    auto [second_trace, second_elapsed] = run_traced(seed);
+    ASSERT_GT(first_trace.size(), 0u);
+    EXPECT_EQ(first_elapsed, second_elapsed) << "seed " << seed;
+    ASSERT_EQ(first_trace, second_trace)
+        << "session event sequence diverged (seed " << seed << ")";
   }
 }
 

@@ -1,0 +1,243 @@
+// Tests for the FileSystem interface and FileSystemRegistry
+// (src/core/fs_interface.h, fs_registry.h): name/caps reporting, error
+// handling for unknown keys, custom registration, and — the golden — that
+// the registry + workload-session path reproduces the historical
+// hand-rolled RunTrial event sequence bit-identically for all four built-in
+// methods.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/fs_registry.h"
+#include "src/core/machine.h"
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/ddio/ddio_fs.h"
+#include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
+#include "src/sim/engine.h"
+#include "src/tc/tc_fs.h"
+#include "src/twophase/twophase_fs.h"
+
+namespace ddio::core {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 1024 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.trials = 1;
+  return cfg;
+}
+
+TEST(FsRegistryTest, UnknownNameYieldsClearError) {
+  sim::Engine engine(1);
+  ExperimentConfig cfg = SmallConfig();
+  Machine machine(engine, cfg.machine);
+  std::string error;
+  auto fs = FileSystemRegistry::BuiltIns().Create("no-such-method", machine, cfg, &error);
+  EXPECT_EQ(fs, nullptr);
+  // The message names the offending key and the valid ones.
+  EXPECT_NE(error.find("no-such-method"), std::string::npos) << error;
+  EXPECT_NE(error.find("tc"), std::string::npos) << error;
+  EXPECT_NE(error.find("ddio"), std::string::npos) << error;
+  EXPECT_NE(error.find("twophase"), std::string::npos) << error;
+}
+
+// Every built-in registered name round-trips key -> enum -> key. (Iterates
+// the enum rather than Names() so tests that Register() extra methods into
+// the shared BuiltIns registry cannot make this order-dependent.)
+TEST(FsRegistryTest, RegisteredNamesRoundTripThroughMethodKeys) {
+  for (Method method : {Method::kTraditionalCaching, Method::kDiskDirected,
+                        Method::kDiskDirectedNoSort, Method::kTwoPhase}) {
+    const std::string name = MethodKey(method);
+    EXPECT_TRUE(FileSystemRegistry::BuiltIns().Has(name)) << name;
+    Method parsed;
+    ASSERT_TRUE(MethodFromKey(name, &parsed)) << name;
+    EXPECT_EQ(parsed, method);
+    EXPECT_STRNE(MethodName(method), "?") << name;
+  }
+  Method method;
+  EXPECT_FALSE(MethodFromKey("bogus", &method));
+}
+
+TEST(FsRegistryTest, CreatedSystemsReportTheirKeyAndCaps) {
+  sim::Engine engine(1);
+  ExperimentConfig cfg = SmallConfig();
+  Machine machine(engine, cfg.machine);
+  for (const std::string& name : {std::string("tc"), std::string("ddio"),
+                                  std::string("ddio-nosort"), std::string("twophase")}) {
+    std::string error;
+    auto fs = FileSystemRegistry::BuiltIns().Create(name, machine, cfg, &error);
+    ASSERT_NE(fs, nullptr) << error;
+    EXPECT_EQ(fs->name(), name);
+    // Selection pushdown is a DDIO capability; block caches are TC-lineage.
+    EXPECT_EQ(fs->caps().supports_filtered_read, name == "ddio" || name == "ddio-nosort");
+    EXPECT_EQ(fs->caps().caches_blocks, name == "tc" || name == "twophase");
+    EXPECT_EQ(fs->caps().double_network_transfer, name == "twophase");
+  }
+}
+
+TEST(FsRegistryTest, CustomRegistrationIsCreatable) {
+  FileSystemRegistry registry;
+  registry.Register("tc-noprefetch", [](Machine& machine, const ExperimentConfig&) {
+    tc::TcParams params;
+    params.prefetch = false;
+    return std::make_unique<tc::TcFileSystem>(machine, params);
+  });
+  EXPECT_TRUE(registry.Has("tc-noprefetch"));
+  EXPECT_FALSE(registry.Has("tc"));
+  sim::Engine engine(1);
+  ExperimentConfig cfg = SmallConfig();
+  Machine machine(engine, cfg.machine);
+  auto fs = registry.Create("tc-noprefetch", machine, cfg, nullptr);
+  ASSERT_NE(fs, nullptr);
+  EXPECT_STREQ(fs->name(), "tc");
+}
+
+// The historical RunTrial body (pre-registry): a fresh machine, a
+// hand-rolled switch over the three concrete classes, one collective, one
+// utilization snapshot. The registry + session path must replay it exactly.
+struct LegacyTrial {
+  OpStats stats;
+  std::uint64_t events = 0;
+  std::vector<sim::SimTime> trace;
+};
+
+LegacyTrial RunLegacyTrial(const ExperimentConfig& config, std::uint64_t seed) {
+  LegacyTrial out;
+  sim::Engine engine(seed);
+  engine.set_event_trace(&out.trace);
+  Machine machine(engine, config.machine);
+
+  fs::StripedFile::Params file_params;
+  file_params.file_bytes = config.file_bytes;
+  file_params.block_bytes = config.machine.block_bytes;
+  file_params.num_disks = config.machine.num_disks;
+  file_params.layout = config.layout;
+  file_params.disk_capacity_bytes =
+      config.machine.disk.geometry.CapacityBytes() / config.machine.block_bytes *
+      config.machine.block_bytes;
+  fs::StripedFile file(file_params, engine.rng());
+
+  pattern::AccessPattern pattern(pattern::PatternSpec::Parse(config.pattern), config.file_bytes,
+                                 config.record_bytes, config.machine.num_cps);
+
+  std::unique_ptr<tc::TcFileSystem> tc_fs;
+  std::unique_ptr<ddio_fs::DdioFileSystem> dd_fs;
+  std::unique_ptr<twophase::TwoPhaseFileSystem> tp_fs;
+  switch (config.method) {
+    case Method::kTraditionalCaching: {
+      tc::TcParams params;
+      params.prefetch = config.tc_prefetch;
+      params.strided_requests = config.tc_strided;
+      params.buffers_per_cp_per_disk = config.tc_buffers_per_cp_per_disk;
+      tc_fs = std::make_unique<tc::TcFileSystem>(machine, params);
+      tc_fs->Start();
+      engine.Spawn(tc_fs->RunCollective(file, pattern, &out.stats));
+      break;
+    }
+    case Method::kDiskDirected:
+    case Method::kDiskDirectedNoSort: {
+      ddio_fs::DdioParams params;
+      params.presort = config.method == Method::kDiskDirected;
+      params.buffers_per_disk = config.ddio_buffers_per_disk;
+      params.gather_scatter = config.ddio_gather_scatter;
+      dd_fs = std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
+      dd_fs->Start();
+      engine.Spawn(dd_fs->RunCollective(file, pattern, &out.stats));
+      break;
+    }
+    case Method::kTwoPhase: {
+      tp_fs = std::make_unique<twophase::TwoPhaseFileSystem>(machine);
+      tp_fs->Start();
+      engine.Spawn(tp_fs->RunCollective(file, pattern, &out.stats));
+      break;
+    }
+  }
+  engine.Run();
+  Machine::Utilization utilization = machine.SnapshotUtilization();
+  out.stats.max_cp_cpu_util = utilization.max_cp_cpu;
+  out.stats.max_iop_cpu_util = utilization.max_iop_cpu;
+  out.stats.max_bus_util = utilization.max_bus;
+  out.stats.avg_disk_util = utilization.avg_disk_mechanism;
+  out.events = engine.events_processed();
+  return out;
+}
+
+TEST(FsRegistryTest, SessionPathReproducesLegacyTrialBitIdentically) {
+  for (fs::LayoutKind layout : {fs::LayoutKind::kContiguous, fs::LayoutKind::kRandomBlocks}) {
+    for (Method method : {Method::kTraditionalCaching, Method::kDiskDirected,
+                          Method::kDiskDirectedNoSort, Method::kTwoPhase}) {
+      ExperimentConfig cfg = SmallConfig();
+      cfg.layout = layout;
+      cfg.method = method;
+      const std::uint64_t seed = 42;
+
+      LegacyTrial legacy = RunLegacyTrial(cfg, seed);
+
+      // The new path: a 1-phase workload session dispatching by name.
+      std::vector<sim::SimTime> trace;
+      WorkloadSession session(cfg, seed);
+      session.engine().set_event_trace(&trace);
+      OpStats stats = session.RunPhase(Workload::SinglePhase(cfg).phases[0]);
+      const std::uint64_t events = session.engine().events_processed();
+
+      EXPECT_EQ(stats.elapsed_ns(), legacy.stats.elapsed_ns())
+          << MethodName(method) << " layout " << static_cast<int>(layout);
+      EXPECT_DOUBLE_EQ(stats.ThroughputMBps(), legacy.stats.ThroughputMBps());
+      EXPECT_EQ(events, legacy.events);
+      EXPECT_DOUBLE_EQ(stats.max_iop_cpu_util, legacy.stats.max_iop_cpu_util);
+      ASSERT_GT(legacy.trace.size(), 0u);
+      EXPECT_EQ(trace, legacy.trace)
+          << "event sequence diverged for " << MethodName(method);
+    }
+  }
+}
+
+// RunTrial itself (now registry + session underneath) must agree too — this
+// is what every bench figure and every existing test goes through.
+TEST(FsRegistryTest, RunTrialMatchesLegacyThroughputForAllMethods) {
+  for (Method method : {Method::kTraditionalCaching, Method::kDiskDirected,
+                        Method::kDiskDirectedNoSort, Method::kTwoPhase}) {
+    ExperimentConfig cfg = SmallConfig();
+    cfg.method = method;
+    std::uint64_t events = 0;
+    OpStats stats = RunTrial(cfg, cfg.base_seed, &events);
+    LegacyTrial legacy = RunLegacyTrial(cfg, cfg.base_seed);
+    EXPECT_EQ(stats.elapsed_ns(), legacy.stats.elapsed_ns()) << MethodName(method);
+    EXPECT_DOUBLE_EQ(stats.ThroughputMBps(), legacy.stats.ThroughputMBps());
+    EXPECT_EQ(events, legacy.events);
+  }
+}
+
+// Methods registered beyond the built-in four reach RunExperiment (and thus
+// every bench harness) via ExperimentConfig::method_key. Declared last: it
+// mutates the process-wide BuiltIns registry.
+TEST(FsRegistryTest, CustomMethodRunsThroughRunExperimentViaMethodKey) {
+  FileSystemRegistry::BuiltIns().Register(
+      "tc-noprefetch", [](Machine& machine, const ExperimentConfig&) {
+        tc::TcParams params;
+        params.prefetch = false;
+        return std::make_unique<tc::TcFileSystem>(machine, params);
+      });
+  ExperimentConfig cfg = SmallConfig();
+  cfg.method_key = "tc-noprefetch";
+  ExperimentResult custom = RunExperiment(cfg);
+  EXPECT_GT(custom.mean_mbps, 0.0);
+  // It really ran without prefetching: no prefetches issued, unlike stock TC.
+  EXPECT_EQ(custom.trials[0].prefetches, 0u);
+  cfg.method_key.clear();
+  cfg.method = Method::kTraditionalCaching;
+  ExperimentResult stock = RunExperiment(cfg);
+  EXPECT_GT(stock.trials[0].prefetches, 0u);
+}
+
+}  // namespace
+}  // namespace ddio::core

@@ -1,0 +1,199 @@
+// Tests for multi-operation workload sessions (src/core/workload.h): spec
+// parsing, write-then-read on one persistent machine, determinism across
+// repeated runs and divergence across seeds, sequential file systems
+// (TC then DDIO) sharing one machine's inboxes, and compute-phase timing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/fs/layout.h"
+
+namespace ddio::core {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 1024 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.trials = 1;
+  return cfg;
+}
+
+TEST(WorkloadSpecTest, ParsesPhasesAndOptions) {
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse(
+      "wbb;rbb,record=4096,file=1,layout=random,method=tc,compute=5,mb=2", &workload, &error))
+      << error;
+  ASSERT_EQ(workload.phases.size(), 2u);
+  EXPECT_EQ(workload.phases[0].pattern, "wbb");
+  EXPECT_EQ(workload.phases[0].record_bytes, 0u);  // Experiment default.
+  EXPECT_EQ(workload.phases[0].file_index, 0u);
+  EXPECT_EQ(workload.phases[1].pattern, "rbb");
+  EXPECT_EQ(workload.phases[1].record_bytes, 4096u);
+  EXPECT_EQ(workload.phases[1].file_index, 1u);
+  EXPECT_TRUE(workload.phases[1].has_layout);
+  EXPECT_EQ(workload.phases[1].layout, fs::LayoutKind::kRandomBlocks);
+  EXPECT_EQ(workload.phases[1].method, "tc");
+  EXPECT_EQ(workload.phases[1].compute_ns, sim::FromMs(5));
+  EXPECT_EQ(workload.phases[1].file_bytes, 2u * 1024 * 1024);
+}
+
+TEST(WorkloadSpecTest, RejectsMalformedSpecs) {
+  Workload workload;
+  std::string error;
+  EXPECT_FALSE(Workload::Parse("", &workload, &error));
+  EXPECT_FALSE(Workload::Parse("xb", &workload, &error));  // Bad direction char.
+  EXPECT_NE(error.find("xb"), std::string::npos) << error;
+  EXPECT_FALSE(Workload::Parse("rb,bogus=1", &workload, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+  EXPECT_FALSE(Workload::Parse("rb,layout=diagonal", &workload, &error));
+  EXPECT_FALSE(Workload::Parse("rb,record=0", &workload, &error));
+  EXPECT_FALSE(Workload::Parse("rb,record", &workload, &error));  // Not key=value.
+  // File indices are table slots, not arbitrary integers.
+  EXPECT_FALSE(Workload::Parse("rb,file=4294967295", &workload, &error));
+  EXPECT_NE(error.find("file index"), std::string::npos) << error;
+  // Numeric options reject non-numbers instead of strtoull-ing them to 0.
+  EXPECT_FALSE(Workload::Parse("rb,compute=ten", &workload, &error));
+  EXPECT_NE(error.find("not a number"), std::string::npos) << error;
+  EXPECT_FALSE(Workload::Parse("rb,mb=-2", &workload, &error));
+  // A later phase may not redefine a file slot created by an earlier one.
+  EXPECT_FALSE(Workload::Parse("wb,mb=4;rb,mb=8", &workload, &error));
+  EXPECT_NE(error.find("redefines file"), std::string::npos) << error;
+  EXPECT_FALSE(Workload::Parse("wb;rb,layout=random", &workload, &error));
+  // Same geometry restated on a different slot is fine.
+  EXPECT_TRUE(Workload::Parse("wb,mb=4;rb,file=1,mb=8", &workload, &error)) << error;
+}
+
+TEST(WorkloadTest, WriteThenReadRunsOnOnePersistentMachine) {
+  ExperimentConfig cfg = SmallConfig();
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse("wb;rb", &workload, &error)) << error;
+  WorkloadResult result = RunWorkloadTrial(cfg, workload, /*seed=*/1);
+  ASSERT_EQ(result.phases.size(), 2u);
+  EXPECT_GT(result.phases[0].elapsed_ns(), 0u);
+  EXPECT_GT(result.phases[1].elapsed_ns(), 0u);
+  // Phases share one machine and one clock: the read starts after the write
+  // finishes (same file: file_index 0 for both).
+  EXPECT_GE(result.phases[1].start_ns, result.phases[0].end_ns);
+  EXPECT_EQ(result.phases[0].file_bytes, cfg.file_bytes);
+  EXPECT_EQ(result.phases[1].file_bytes, cfg.file_bytes);
+  EXPECT_GT(result.total_events, 0u);
+}
+
+TEST(WorkloadTest, MultiOpWorkloadDeterministicAcrossSeeds) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse("wb;rb,compute=2", &workload, &error)) << error;
+  std::vector<sim::SimTime> elapsed_by_seed;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    WorkloadResult first = RunWorkloadTrial(cfg, workload, seed);
+    WorkloadResult second = RunWorkloadTrial(cfg, workload, seed);
+    ASSERT_EQ(first.phases.size(), 2u);
+    for (std::size_t p = 0; p < first.phases.size(); ++p) {
+      EXPECT_EQ(first.phases[p].elapsed_ns(), second.phases[p].elapsed_ns())
+          << "seed " << seed << " phase " << p;
+    }
+    EXPECT_EQ(first.total_events, second.total_events) << "seed " << seed;
+    elapsed_by_seed.push_back(first.phases[0].elapsed_ns() + first.phases[1].elapsed_ns());
+  }
+  // Random layouts differ per seed, so at least one pair must diverge.
+  EXPECT_FALSE(elapsed_by_seed[0] == elapsed_by_seed[1] &&
+               elapsed_by_seed[1] == elapsed_by_seed[2]);
+}
+
+TEST(WorkloadTest, TcThenDdioSequentialClaimOnOneMachine) {
+  // Before the inbox-lifecycle fix, the second Start() aborted with
+  // "inboxes already claimed": Shutdown closed the channels for good.
+  ExperimentConfig cfg = SmallConfig();
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse("wb,method=tc;rb,method=ddio;rb,method=twophase", &workload,
+                              &error))
+      << error;
+  WorkloadResult result = RunWorkloadTrial(cfg, workload, /*seed=*/1);
+  ASSERT_EQ(result.phases.size(), 3u);
+  for (const OpStats& phase : result.phases) {
+    EXPECT_GT(phase.elapsed_ns(), 0u);
+    EXPECT_GT(phase.ThroughputMBps(), 0.0);
+  }
+}
+
+TEST(WorkloadTest, ComputePhasesAdvanceSimulatedTime) {
+  ExperimentConfig cfg = SmallConfig();
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse("wb;rb,compute=50", &workload, &error)) << error;
+  WorkloadResult result = RunWorkloadTrial(cfg, workload, /*seed=*/1);
+  ASSERT_EQ(result.phases.size(), 2u);
+  EXPECT_GE(result.phases[1].start_ns, result.phases[0].end_ns + sim::FromMs(50));
+}
+
+TEST(WorkloadTest, DistinctFilesPerPhaseViaFileTable) {
+  ExperimentConfig cfg = SmallConfig();
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse("wb,file=0;wb,file=1,mb=2", &workload, &error)) << error;
+  WorkloadResult result = RunWorkloadTrial(cfg, workload, /*seed=*/1);
+  ASSERT_EQ(result.phases.size(), 2u);
+  EXPECT_EQ(result.phases[0].file_bytes, 1u * 1024 * 1024);
+  EXPECT_EQ(result.phases[1].file_bytes, 2u * 1024 * 1024);
+}
+
+TEST(WorkloadTest, SinglePhaseWorkloadMatchesRunExperiment) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.trials = 2;
+  ExperimentResult classic = RunExperiment(cfg);
+  WorkloadExperimentResult workload = RunWorkloadExperiment(cfg, Workload::SinglePhase(cfg));
+  ASSERT_EQ(workload.mean_mbps.size(), 1u);
+  EXPECT_DOUBLE_EQ(workload.mean_mbps[0], classic.mean_mbps);
+  EXPECT_DOUBLE_EQ(workload.cv[0], classic.cv);
+  EXPECT_EQ(workload.total_events, classic.total_events);
+}
+
+TEST(WorkloadTest, UtilizationIsPerPhaseNotCumulative) {
+  // A long idle compute gap before phase 1 must not dilute phase 1's
+  // utilization numbers (they cover the phase's I/O window only).
+  ExperimentConfig cfg = SmallConfig();
+  Workload no_gap;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse("wb;rb", &no_gap, &error)) << error;
+  Workload with_gap;
+  ASSERT_TRUE(Workload::Parse("wb;rb,compute=5000", &with_gap, &error)) << error;
+  WorkloadResult a = RunWorkloadTrial(cfg, no_gap, /*seed=*/1);
+  WorkloadResult b = RunWorkloadTrial(cfg, with_gap, /*seed=*/1);
+  // The phase busies the disks for most of its ~100 ms window; diluting it
+  // over the 5 s gap would report < 0.1. (Exact equality with the no-gap run
+  // is not expected — 5 idle seconds change the disks' rotational state.)
+  EXPECT_GT(a.phases[1].avg_disk_util, 0.5);
+  EXPECT_GT(b.phases[1].avg_disk_util, 0.5);
+  EXPECT_NEAR(a.phases[1].avg_disk_util, b.phases[1].avg_disk_util, 0.05);
+}
+
+TEST(WorkloadTest, SessionApiInterleavesComputeAndPhases) {
+  // The examples' shape: explicit AdvanceCompute between RunPhase calls.
+  ExperimentConfig cfg = SmallConfig();
+  WorkloadSession session(cfg, /*seed=*/5);
+  WorkloadPhase dump;
+  dump.pattern = "wbb";
+  session.AdvanceCompute(sim::FromMs(10));
+  OpStats first = session.RunPhase(dump);
+  EXPECT_GE(first.start_ns, sim::FromMs(10));
+  session.AdvanceCompute(sim::FromMs(10));
+  OpStats second = session.RunPhase(dump);
+  EXPECT_GE(second.start_ns, first.end_ns + sim::FromMs(10));
+  EXPECT_GT(second.ThroughputMBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace ddio::core
