@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       cfg.ddio_buffers_per_disk = buffers;
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
-      return core::RunExperiment(cfg).mean_mbps;
+      return core::RunExperiment(cfg, options.jobs).mean_mbps;
     };
     table.AddRow({std::to_string(buffers),
                   core::Fixed(run(fs::LayoutKind::kContiguous, "rb", 8192), 2),

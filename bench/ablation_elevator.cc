@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         cfg.machine.disk_queue = policy;
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
-        return core::RunExperiment(cfg).mean_mbps;
+        return core::RunExperiment(cfg, options.jobs).mean_mbps;
       };
       table.AddRow(
           {pattern, std::to_string(record),

@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/machine.h"
+#include "src/core/parallel.h"
 #include "src/core/report.h"
 #include "src/core/runner.h"
 #include "src/ddio/ddio_fs.h"
@@ -27,11 +28,12 @@ int main(int argc, char** argv) {
                        options);
   core::Table table({"selectivity", "scan MB/s", "shipped MB", "pieces"});
   for (double selectivity : {1.0, 0.5, 0.1, 0.01}) {
-    double mbps_sum = 0;
-    double shipped = 0;
-    std::uint64_t pieces = 0;
-    for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
-      sim::Engine engine(3000 + trial);
+    // Trials are independent simulations; run them on the fixed pool and
+    // sum per-trial slots in index order so the printed means are
+    // byte-identical for any --jobs value.
+    std::vector<core::OpStats> trials(options.trials);
+    core::ParallelFor(options.jobs, options.trials, [&](std::size_t trial) {
+      sim::Engine engine(3000 + static_cast<std::uint64_t>(trial));
       core::MachineConfig mc;
       core::Machine machine(engine, mc);
       fs::StripedFile::Params fp;
@@ -41,9 +43,14 @@ int main(int argc, char** argv) {
                                      mc.num_cps);
       ddio_fs::DdioFileSystem fs(machine);
       fs.Start();
-      core::OpStats stats;
-      engine.Spawn(fs.RunFilteredRead(file, pattern, selectivity, 99 + trial, &stats));
+      engine.Spawn(fs.RunFilteredRead(file, pattern, selectivity,
+                                      99 + static_cast<std::uint64_t>(trial), &trials[trial]));
       engine.Run();
+    });
+    double mbps_sum = 0;
+    double shipped = 0;
+    std::uint64_t pieces = 0;
+    for (const core::OpStats& stats : trials) {
       mbps_sum += stats.ThroughputMBps();  // File bytes scanned over time.
       shipped += static_cast<double>(stats.bytes_delivered) / 1e6;
       pieces += stats.pieces;

@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
       cfg.method = core::Method::kDiskDirected;
-      auto sorted = core::RunExperiment(cfg);
+      auto sorted = core::RunExperiment(cfg, options.jobs);
       cfg.method = core::Method::kDiskDirectedNoSort;
-      auto unsorted = core::RunExperiment(cfg);
+      auto unsorted = core::RunExperiment(cfg, options.jobs);
       const double boost = (sorted.mean_mbps / unsorted.mean_mbps - 1.0) * 100.0;
       table.AddRow({fs::LayoutName(layout), pattern, core::Fixed(sorted.mean_mbps, 2),
                     core::Fixed(unsorted.mean_mbps, 2), core::Fixed(boost, 1)});

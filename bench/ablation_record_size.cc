@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       cfg.method = method;
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
-      return core::RunExperiment(cfg).mean_mbps;
+      return core::RunExperiment(cfg, options.jobs).mean_mbps;
     };
     table.AddRow({std::to_string(record),
                   core::Fixed(run("rc", core::Method::kDiskDirected), 2),

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
         cfg.tc_prefetch = prefetch;
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
-        return core::RunExperiment(cfg).mean_mbps;
+        return core::RunExperiment(cfg, options.jobs).mean_mbps;
       };
       table.AddRow({std::to_string(buffers), prefetch ? "on" : "off",
                     core::Fixed(run("rb"), 2), core::Fixed(run("rc"), 2),

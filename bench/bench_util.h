@@ -6,12 +6,15 @@
 //                 paper)
 //   --file-mb=N   file size in MB (default 10, as in the paper)
 //   --quick       1 trial, 2 MB file: CI-friendly smoke mode
+//   --jobs=N      run independent simulations on N threads (0 = all hardware
+//                 threads; default 1). Output is byte-identical for any N.
 //   --json=PATH   also write machine-readable results (per-point means/CIs)
 //                 to PATH
 
 #ifndef DDIO_BENCH_BENCH_UTIL_H_
 #define DDIO_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +27,7 @@ struct BenchOptions {
   std::uint32_t trials = 5;
   std::uint64_t file_mb = 10;
   bool quick = false;
+  unsigned jobs = 1;      // 0 = one job per hardware thread.
   std::string json_path;  // Empty: no JSON output.
 
   static BenchOptions Parse(int argc, char** argv) {
@@ -38,10 +42,21 @@ struct BenchOptions {
         options.quick = true;
         options.trials = 1;
         options.file_mb = 2;
+      } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+        // Strict parse: "--jobs=all" must not strtoul to 0, the
+        // all-hardware-threads sentinel.
+        char* end = nullptr;
+        options.jobs = static_cast<unsigned>(std::strtoul(arg + 7, &end, 10));
+        if (end == arg + 7 || *end != '\0') {
+          std::fprintf(stderr, "--jobs wants a number (0 = all hardware threads): %s\n", arg);
+          std::exit(2);
+        }
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         options.json_path = arg + 7;
       } else if (std::strcmp(arg, "--help") == 0) {
-        std::printf("usage: %s [--trials=N] [--file-mb=N] [--quick] [--json=PATH]\n", argv[0]);
+        std::printf(
+            "usage: %s [--trials=N] [--file-mb=N] [--quick] [--jobs=N] [--json=PATH]\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg);

@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/fs_registry.h"
+#include "src/core/parallel.h"
 #include "src/core/report.h"
 #include "src/core/runner.h"
 #include "src/pattern/pattern.h"
@@ -42,18 +43,18 @@ inline void ApplyMethod(core::ExperimentConfig& cfg, const std::string& key) {
   core::MethodFromKey(key, &cfg.method);
 }
 
+// With options.jobs > 1 the (record size, pattern, method) cells run
+// concurrently on the fixed pool (trials stay serial within a cell); rows
+// are emitted in the original order from a cell-indexed result vector, so
+// the printed tables are byte-identical for any job count.
 inline void RunPatternGrid(const BenchOptions& options, fs::LayoutKind layout,
                            const std::vector<std::string>& methods) {
-  for (std::uint32_t record_bytes : {8u, 8192u}) {
-    std::printf("-- %u-byte records --\n", record_bytes);
-    std::vector<std::string> headers = {"pattern"};
-    for (const std::string& method : methods) {
-      headers.push_back(MethodLabel(method) + " MB/s");
-      headers.push_back("cv");
-    }
-    core::Table table(headers);
-    for (const auto& spec : pattern::PatternSpec::PaperPatterns()) {
-      std::vector<std::string> row = {spec.Name()};
+  const std::vector<pattern::PatternSpec> specs = pattern::PatternSpec::PaperPatterns();
+  static const std::uint32_t kRecordSizes[] = {8u, 8192u};
+
+  std::vector<core::ExperimentConfig> cells;
+  for (std::uint32_t record_bytes : kRecordSizes) {
+    for (const auto& spec : specs) {
       for (const std::string& method : methods) {
         core::ExperimentConfig cfg;
         cfg.pattern = spec.Name();
@@ -62,7 +63,27 @@ inline void RunPatternGrid(const BenchOptions& options, fs::LayoutKind layout,
         ApplyMethod(cfg, method);
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
-        auto result = core::RunExperiment(cfg);
+        cells.push_back(std::move(cfg));
+      }
+    }
+  }
+  core::TrialExecutor executor(options.jobs);
+  std::vector<core::ExperimentResult> results = executor.Map<core::ExperimentResult>(
+      cells.size(), [&](std::size_t i) { return core::RunExperiment(cells[i], 1); });
+
+  std::size_t cell = 0;
+  for (std::uint32_t record_bytes : kRecordSizes) {
+    std::printf("-- %u-byte records --\n", record_bytes);
+    std::vector<std::string> headers = {"pattern"};
+    for (const std::string& method : methods) {
+      headers.push_back(MethodLabel(method) + " MB/s");
+      headers.push_back("cv");
+    }
+    core::Table table(headers);
+    for (const auto& spec : specs) {
+      std::vector<std::string> row = {spec.Name()};
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        const core::ExperimentResult& result = results[cell++];
         row.push_back(core::Fixed(result.mean_mbps, 2));
         row.push_back(core::Fixed(result.cv, 3));
       }

@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/fig_patterns_common.h"
+#include "src/core/parallel.h"
 #include "src/core/report.h"
 #include "src/core/runner.h"
 
@@ -22,6 +23,12 @@ namespace ddio::bench {
 
 // Runs the sweep patterns under every named method for every value of the
 // varied dimension. `configure(cfg, value)` applies the dimension.
+//
+// With options.jobs > 1 the (value, method, pattern) cells run concurrently
+// on the fixed pool (each cell's trials stay serial inside it — the cell
+// grid alone saturates the pool); results land in a cell-indexed vector and
+// the table rows and JSON points are emitted in the original serial order,
+// so stdout and --json output are byte-identical for any job count.
 inline void RunSweep(const BenchOptions& options, const char* dimension_name,
                      const std::vector<std::uint32_t>& values, fs::LayoutKind layout,
                      const std::function<void(core::ExperimentConfig&, std::uint32_t)>& configure,
@@ -39,8 +46,9 @@ inline void RunSweep(const BenchOptions& options, const char* dimension_name,
   }
   core::Table table(headers);
   JsonPointSink json(options.json_path);
+
+  std::vector<core::ExperimentConfig> cells;
   for (std::uint32_t value : values) {
-    std::vector<std::string> row = {std::to_string(value)};
     for (const std::string& method : methods) {
       for (const char* pattern : kPatterns) {
         core::ExperimentConfig cfg;
@@ -51,10 +59,23 @@ inline void RunSweep(const BenchOptions& options, const char* dimension_name,
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
         configure(cfg, value);
-        auto result = core::RunExperiment(cfg);
+        cells.push_back(std::move(cfg));
+      }
+    }
+  }
+  core::TrialExecutor executor(options.jobs);
+  std::vector<core::ExperimentResult> results = executor.Map<core::ExperimentResult>(
+      cells.size(), [&](std::size_t i) { return core::RunExperiment(cells[i], 1); });
+
+  std::size_t cell = 0;
+  for (std::uint32_t value : values) {
+    std::vector<std::string> row = {std::to_string(value)};
+    for (const std::string& method : methods) {
+      for (const char* pattern : kPatterns) {
+        const core::ExperimentResult& result = results[cell++];
         row.push_back(core::Fixed(result.mean_mbps, 2));
         json.Add(dimension_name, value, MethodLabel(method), pattern, result.mean_mbps,
-                 result.cv, cfg.trials);
+                 result.cv, options.trials);
       }
     }
     table.AddRow(std::move(row));

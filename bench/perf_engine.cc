@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/parallel.h"
 #include "src/core/report.h"
 #include "src/core/runner.h"
 #include "src/sim/engine.h"
@@ -143,6 +144,42 @@ PerfResult EndToEnd(const BenchOptions& options, core::Method method, const char
   return perf;
 }
 
+// A small Fig. 5-style sweep (2 methods x 4 patterns) executed on the
+// parallel trial executor at a given job count. Identical cells for every
+// job count (and byte-identical results — tests/parallel_runner_test.cc),
+// so wall-second ratios between jobs=1 and jobs=N measure executor scaling
+// directly.
+PerfResult SweepAtJobs(const BenchOptions& options, unsigned jobs) {
+  static const char* kPatterns[] = {"ra", "rn", "rb", "rc"};
+  std::vector<core::ExperimentConfig> cells;
+  for (core::Method method : {core::Method::kDiskDirected, core::Method::kTraditionalCaching}) {
+    for (const char* pattern : kPatterns) {
+      core::ExperimentConfig cfg;
+      cfg.pattern = pattern;
+      cfg.record_bytes = 8192;
+      cfg.layout = fs::LayoutKind::kContiguous;
+      cfg.method = method;
+      cfg.trials = options.trials;
+      cfg.file_bytes = options.file_bytes();
+      cells.push_back(std::move(cfg));
+    }
+  }
+  core::TrialExecutor executor(jobs);
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<core::ExperimentResult> results = executor.Map<core::ExperimentResult>(
+      cells.size(), [&](std::size_t i) { return core::RunExperiment(cells[i], 1); });
+  const auto end = std::chrono::steady_clock::now();
+  PerfResult perf;
+  perf.name = "e2e_sweep_jobs" + std::to_string(executor.jobs());
+  for (const core::ExperimentResult& result : results) {
+    perf.events += result.total_events;
+  }
+  perf.wall_seconds = Seconds(begin, end);
+  perf.events_per_sec =
+      perf.wall_seconds > 0 ? static_cast<double>(perf.events) / perf.wall_seconds : 0.0;
+  return perf;
+}
+
 void WriteJson(const std::string& path, const std::vector<PerfResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -179,6 +216,20 @@ int main(int argc, char** argv) {
   results.push_back(TimedDelays(quick));
   results.push_back(EndToEnd(options, ddio::core::Method::kDiskDirected, "e2e_fig5_ddio_rb"));
   results.push_back(EndToEnd(options, ddio::core::Method::kTraditionalCaching, "e2e_fig5_tc_rb"));
+  // Executor scaling: the same sweep serially and, when --jobs asks for
+  // parallelism (N>1, or 0 = all hardware threads), again on the pool.
+  // --jobs=1 (the default) stays strictly single-threaded, as documented.
+  const unsigned scale_jobs = ddio::core::EffectiveJobs(options.jobs);
+  results.push_back(SweepAtJobs(options, 1));
+  if (scale_jobs > 1) {
+    results.push_back(SweepAtJobs(options, scale_jobs));
+    const PerfResult& serial = results[results.size() - 2];
+    const PerfResult& parallel = results.back();
+    if (parallel.wall_seconds > 0) {
+      std::printf("sweep jobs scaling: %ux -> %.2fx speedup\n", scale_jobs,
+                  serial.wall_seconds / parallel.wall_seconds);
+    }
+  }
 
   std::printf("%-20s %12s %10s %14s\n", "benchmark", "events", "wall s", "events/sec");
   for (const PerfResult& r : results) {

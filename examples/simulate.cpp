@@ -14,6 +14,8 @@
 //   --method=M         any registered method: tc | ddio | ddio-nosort | twophase
 //   --layout=L         contiguous | random (default contiguous)
 //   --cps=N --iops=N --disks=N --file-mb=N --trials=N --seed=N
+//   --jobs=N           run independent trials on N threads (0 = all hardware
+//                      threads; default 1). Output is byte-identical for any N.
 //   --workload=SPEC    multi-operation session: "PHASE[;PHASE...]" with PHASE =
 //                      PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M][,compute=MS]
 //   --json=PATH        machine-readable per-phase results (bench JSON format)
@@ -47,9 +49,11 @@ namespace {
       stderr,
       "usage: %s [--pattern=NAME] [--record=BYTES] [--method=%s]\n"
       "          [--layout=contiguous|random] [--cps=N] [--iops=N] [--disks=N]\n"
-      "          [--file-mb=N] [--trials=N] [--seed=N] [--workload=SPEC] [--json=PATH]\n"
-      "          [--elevator] [--strided] [--gather] [--contention] [--describe]\n"
-      "          [--verbose]\n"
+      "          [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N] [--workload=SPEC]\n"
+      "          [--json=PATH] [--elevator] [--strided] [--gather] [--contention]\n"
+      "          [--describe] [--verbose]\n"
+      "  --jobs runs independent trials on N threads (0 = all hardware threads;\n"
+      "         default 1); results are byte-identical for any N\n"
       "  --workload phases: PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M]\n"
       "                     [,compute=MS], joined with ';'\n"
       "  --contention models per-link wormhole contention on the torus\n"
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
   std::string method_key = core::MethodKey(cfg.method);
   std::string workload_spec;
   std::string json_path;
+  unsigned jobs = 1;
   bool verbose = false;
   bool describe = false;
 
@@ -113,6 +118,15 @@ int main(int argc, char** argv) {
       cfg.trials = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (MatchFlag(arg, "--seed", &value)) {
       cfg.base_seed = std::strtoull(value, nullptr, 10);
+    } else if (MatchFlag(arg, "--jobs", &value)) {
+      // Strict parse: "--jobs=all" must not strtoul to 0, the
+      // all-hardware-threads sentinel.
+      char* end = nullptr;
+      jobs = static_cast<unsigned>(std::strtoul(value, &end, 10));
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "--jobs wants a number (0 = all hardware threads)\n");
+        Usage(argv[0]);
+      }
     } else if (MatchFlag(arg, "--workload", &value)) {
       workload_spec = value;
     } else if (MatchFlag(arg, "--json", &value)) {
@@ -190,7 +204,7 @@ int main(int argc, char** argv) {
     std::printf("machine: %u CPs, %u IOPs, %u disks\n", cfg.machine.num_cps,
                 cfg.machine.num_iops, cfg.machine.num_disks);
 
-    auto result = core::RunWorkloadExperiment(cfg, workload);
+    auto result = core::RunWorkloadExperiment(cfg, workload, jobs);
     std::printf("\n%-5s %-12s %-8s %10s %8s %12s\n", "phase", "method", "pattern", "MB/s", "cv",
                 "elapsed ms");
     for (std::size_t p = 0; p < workload.phases.size(); ++p) {
@@ -226,7 +240,7 @@ int main(int argc, char** argv) {
 
   core::Workload workload = core::Workload::SinglePhase(cfg);
   workload.phases[0].method = method_key;
-  auto result = core::RunWorkloadExperiment(cfg, workload);
+  auto result = core::RunWorkloadExperiment(cfg, workload, jobs);
   std::printf("\nthroughput: %.2f MB/s (cv %.3f over %zu trials)\n", result.mean_mbps[0],
               result.cv[0], result.trials.size());
   json.Add("phase", 0, method_key, cfg.pattern, result.mean_mbps[0], result.cv[0], cfg.trials);

@@ -16,8 +16,7 @@ tc::TcParams TcParamsFrom(const ExperimentConfig& config) {
   return params;
 }
 
-FileSystemRegistry MakeBuiltIns() {
-  FileSystemRegistry registry;
+void RegisterBuiltIns(FileSystemRegistry& registry) {
   registry.Register(MethodKey(Method::kTraditionalCaching),
                     [](Machine& machine, const ExperimentConfig& config) {
                       return std::make_unique<tc::TcFileSystem>(machine, TcParamsFrom(config));
@@ -44,21 +43,34 @@ FileSystemRegistry MakeBuiltIns() {
                       params.io_phase = TcParamsFrom(config);
                       return std::make_unique<twophase::TwoPhaseFileSystem>(machine, params);
                     });
-  return registry;
 }
 
 }  // namespace
 
 FileSystemRegistry& FileSystemRegistry::BuiltIns() {
-  static FileSystemRegistry registry = MakeBuiltIns();
+  // Heap-allocated and never destroyed: worker threads may still Create()
+  // during late shutdown paths, and the registry owns a mutex (making the
+  // type immovable, so it is built in place).
+  static FileSystemRegistry& registry = *[] {
+    auto* built = new FileSystemRegistry;
+    RegisterBuiltIns(*built);
+    return built;
+  }();
   return registry;
 }
 
 void FileSystemRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
   factories_[name] = std::move(factory);
 }
 
+bool FileSystemRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
 std::vector<std::string> FileSystemRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) {
@@ -67,7 +79,7 @@ std::vector<std::string> FileSystemRegistry::Names() const {
   return names;
 }
 
-std::string FileSystemRegistry::NamesJoined(const char* sep) const {
+std::string FileSystemRegistry::NamesJoinedLocked(const char* sep) const {
   std::string joined;
   for (const auto& [name, factory] : factories_) {
     if (!joined.empty()) {
@@ -78,17 +90,31 @@ std::string FileSystemRegistry::NamesJoined(const char* sep) const {
   return joined;
 }
 
+std::string FileSystemRegistry::NamesJoined(const char* sep) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NamesJoinedLocked(sep);
+}
+
 std::unique_ptr<FileSystem> FileSystemRegistry::Create(const std::string& name, Machine& machine,
                                                        const ExperimentConfig& config,
                                                        std::string* error) const {
-  auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    if (error != nullptr) {
-      *error = "unknown file-system method \"" + name + "\" (registered: " + NamesJoined() + ")";
+  // Copy the factory out under the lock, then build outside it: file-system
+  // construction touches the caller's Machine and must not serialize other
+  // workers' Create() calls behind it.
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      if (error != nullptr) {
+        *error = "unknown file-system method \"" + name + "\" (registered: " +
+                 NamesJoinedLocked(", ") + ")";
+      }
+      return nullptr;
     }
-    return nullptr;
+    factory = it->second;
   }
-  return it->second(machine, config);
+  return factory(machine, config);
 }
 
 }  // namespace ddio::core

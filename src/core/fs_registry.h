@@ -6,6 +6,13 @@
 // holds the four methods the runner historically switched over — "tc",
 // "ddio", "ddio-nosort", "twophase" — and new methods can be registered
 // without touching the runner, the CLI, or the workload session code.
+//
+// Thread safety: every member is guarded by an internal mutex, so parallel
+// trial workers (src/core/parallel.h) may Create() concurrently. The
+// register-before-run contract still applies: Register() custom methods
+// BEFORE launching a parallel experiment — registration is safe while
+// workers run, but a method registered mid-run may be seen by some trials
+// and not others, which breaks jobs=1 vs jobs=N byte-identity.
 
 #ifndef DDIO_SRC_CORE_FS_REGISTRY_H_
 #define DDIO_SRC_CORE_FS_REGISTRY_H_
@@ -13,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,10 +42,11 @@ class FileSystemRegistry {
   // may Register() additional methods on it.
   static FileSystemRegistry& BuiltIns();
 
-  // Registers (or replaces) a factory under `name`.
+  // Registers (or replaces) a factory under `name`. Do this before the
+  // first parallel run (see the register-before-run contract above).
   void Register(const std::string& name, Factory factory);
 
-  bool Has(const std::string& name) const { return factories_.count(name) != 0; }
+  bool Has(const std::string& name) const;
 
   // Registered keys in sorted order.
   std::vector<std::string> Names() const;
@@ -52,6 +61,9 @@ class FileSystemRegistry {
                                      std::string* error = nullptr) const;
 
  private:
+  std::string NamesJoinedLocked(const char* sep) const;
+
+  mutable std::mutex mu_;
   std::map<std::string, Factory> factories_;
 };
 

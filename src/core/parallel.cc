@@ -1,0 +1,96 @@
+#include "src/core/parallel.h"
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+
+namespace ddio::core {
+
+unsigned EffectiveJobs(unsigned requested) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return requested;
+}
+
+void ParallelFor(unsigned jobs, std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  jobs = EffectiveJobs(jobs);
+
+  // One slot per index keeps exception reporting deterministic: after the
+  // join, the lowest-numbered failure wins, regardless of which worker hit
+  // it first in wall-clock time. The inline path uses the same slots so a
+  // throwing body still sees every index run — identical side effects and
+  // identical exception choice at every job count.
+  std::vector<std::exception_ptr> errors(n);
+
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    for (std::exception_ptr& error : errors) {
+      if (error) {
+        std::rethrow_exception(error);
+      }
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t extra = static_cast<std::size_t>(jobs) - 1 < n - 1
+                                ? static_cast<std::size_t>(jobs) - 1
+                                : n - 1;
+  std::vector<std::thread> pool;
+  pool.reserve(extra);
+  // A failed thread spawn (e.g. EAGAIN near the system's thread limit) must
+  // not unwind past joinable threads — that would std::terminate. Degrade
+  // instead: whatever workers exist (plus the caller) drain every index,
+  // then the spawn error is rethrown.
+  std::exception_ptr spawn_error;
+  try {
+    for (std::size_t w = 0; w < extra; ++w) {
+      pool.emplace_back(worker);
+    }
+  } catch (...) {
+    spawn_error = std::current_exception();
+  }
+  worker();  // The caller is the pool's last member.
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  // Body exceptions outrank the spawn error: every index ran either way,
+  // and the lowest-index body exception is deterministic while a transient
+  // EAGAIN from pthread_create is not.
+  for (std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+  if (spawn_error) {
+    std::rethrow_exception(spawn_error);
+  }
+}
+
+}  // namespace ddio::core

@@ -1,0 +1,65 @@
+// Fixed-pool fork-join parallelism for independent trials and sweep points.
+//
+// The paper's methodology replicates every test case over independent trials
+// and sweeps machine dimensions (Figures 5-8); each (sweep-point, method,
+// pattern, trial) simulation builds its own Engine and Machine and shares
+// nothing mutable, so they can run concurrently. ParallelFor distributes an
+// index range over a fixed pool of threads (an atomic ticket counter, no
+// work stealing), and TrialExecutor maps indices to results that land in
+// index order regardless of completion order — so aggregation, table rows,
+// and JSON output are byte-identical for any job count.
+//
+// Determinism contract: body(i) must depend only on i (each simulation is a
+// pure function of its config and seed), and results must be written to
+// index-addressed slots. Under that contract, jobs=1 and jobs=N produce
+// identical output; tests/parallel_runner_test.cc enforces it end to end.
+//
+// Shared-state prerequisites (this header's callers rely on them):
+//   * sim::FramePool is per-thread (frame_pool.h), so concurrent Engines
+//     never contend on free lists;
+//   * FileSystemRegistry is mutex-guarded, and custom methods must be
+//     Register()ed before the first parallel run (fs_registry.h).
+
+#ifndef DDIO_SRC_CORE_PARALLEL_H_
+#define DDIO_SRC_CORE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ddio::core {
+
+// Resolves a user-facing job count: 0 means "all hardware threads", anything
+// else is clamped to at least 1.
+unsigned EffectiveJobs(unsigned requested);
+
+// Runs body(i) for every i in [0, n), distributing indices across at most
+// `jobs` threads (the caller participates as one of them). Blocks until all
+// indices finish. jobs <= 1 or n <= 1 runs inline on the caller with no
+// thread ever created. If bodies throw, every index still runs to start or
+// completion, and the exception from the lowest-numbered throwing index is
+// rethrown after all workers join (deterministic regardless of timing).
+void ParallelFor(unsigned jobs, std::size_t n, const std::function<void(std::size_t)>& body);
+
+// Deterministic fork-join map: results are returned in index order no matter
+// which worker finished first.
+class TrialExecutor {
+ public:
+  explicit TrialExecutor(unsigned jobs) : jobs_(EffectiveJobs(jobs)) {}
+
+  unsigned jobs() const { return jobs_; }
+
+  template <typename T, typename Fn>
+  std::vector<T> Map(std::size_t n, const Fn& fn) const {
+    std::vector<T> results(n);
+    ParallelFor(jobs_, n, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_PARALLEL_H_

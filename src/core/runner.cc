@@ -51,11 +51,11 @@ OpStats RunTrial(const ExperimentConfig& config, std::uint64_t seed, std::uint64
   return result.phases.front();
 }
 
-ExperimentResult RunExperiment(const ExperimentConfig& config) {
+ExperimentResult RunExperiment(const ExperimentConfig& config, unsigned jobs) {
   // A classic experiment is a 1-phase workload: the session path owns the
   // trial loop and the mean/cv aggregation; phase 0 is the whole story.
   WorkloadExperimentResult workload =
-      RunWorkloadExperiment(config, Workload::SinglePhase(config));
+      RunWorkloadExperiment(config, Workload::SinglePhase(config), jobs);
   ExperimentResult result;
   result.trials.reserve(workload.trials.size());
   for (const WorkloadResult& trial : workload.trials) {

@@ -66,8 +66,13 @@ struct ExperimentResult {
   std::uint64_t total_events = 0;
 };
 
-// Runs all trials synchronously and returns the aggregate.
-ExperimentResult RunExperiment(const ExperimentConfig& config);
+// Runs all trials and returns the aggregate. `jobs` > 1 runs trials
+// concurrently on a fixed thread pool (each trial owns its Engine and
+// Machine; see src/core/parallel.h); 0 means one job per hardware thread.
+// Results are aggregated in trial order regardless of completion order, so
+// the returned ExperimentResult — trials, mean, cv, event counts — is
+// byte-identical for every job count (tests/parallel_runner_test.cc).
+ExperimentResult RunExperiment(const ExperimentConfig& config, unsigned jobs = 1);
 
 // Runs a single trial (exposed for tests).
 OpStats RunTrial(const ExperimentConfig& config, std::uint64_t seed, std::uint64_t* events);

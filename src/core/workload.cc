@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "src/core/fs_registry.h"
+#include "src/core/parallel.h"
 #include "src/pattern/pattern.h"
 
 namespace ddio::core {
@@ -286,13 +287,20 @@ WorkloadResult RunWorkloadTrial(const ExperimentConfig& config, const Workload& 
 }
 
 WorkloadExperimentResult RunWorkloadExperiment(const ExperimentConfig& config,
-                                               const Workload& workload) {
+                                               const Workload& workload, unsigned jobs) {
   WorkloadExperimentResult result;
-  result.trials.reserve(config.trials);
-  for (std::uint32_t t = 0; t < config.trials; ++t) {
-    WorkloadResult trial = RunWorkloadTrial(config, workload, config.base_seed + t);
+  // Trials share nothing: each worker builds its own session (engine,
+  // machine, files) and writes into its own index-addressed slot. Every
+  // aggregate below iterates result.trials in index order AFTER the joins,
+  // so serial and parallel runs sum in the same order — bitwise-identical
+  // means and cvs (pinned by tests/parallel_runner_test.cc).
+  result.trials.resize(config.trials);
+  ParallelFor(jobs, config.trials, [&](std::size_t t) {
+    result.trials[t] =
+        RunWorkloadTrial(config, workload, config.base_seed + static_cast<std::uint64_t>(t));
+  });
+  for (const WorkloadResult& trial : result.trials) {
     result.total_events += trial.total_events;
-    result.trials.push_back(std::move(trial));
   }
   const std::size_t phases = workload.phases.size();
   result.mean_mbps.assign(phases, 0.0);

@@ -117,8 +117,13 @@ struct WorkloadExperimentResult {
   std::vector<double> cv;         // Per phase, over trials.
   std::uint64_t total_events = 0;
 };
+// `jobs` > 1 runs the independent sessions concurrently (0 = one per
+// hardware thread); each trial t still uses seed base_seed + t and lands in
+// trials[t], and every aggregate (total_events, mean, cv) is summed in
+// trial-index order AFTER all trials finish — so the result is byte-identical
+// for any job count, including the floating-point cv summation order.
 WorkloadExperimentResult RunWorkloadExperiment(const ExperimentConfig& config,
-                                               const Workload& workload);
+                                               const Workload& workload, unsigned jobs = 1);
 
 }  // namespace ddio::core
 

@@ -1,7 +1,10 @@
 #include "src/sim/frame_pool.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <new>
+#include <vector>
 
 namespace ddio::sim::internal {
 namespace {
@@ -23,13 +26,100 @@ struct FreeNode {
   FreeNode* next;
 };
 
-struct Pool {
-  FreeNode* free_lists[kNumClasses] = {};
-  FramePool::Stats stats;
+// Per-pool counters. Only the owning thread increments them, but stats()
+// may aggregate from any thread, so every access is a relaxed atomic —
+// single-writer load+store compiles to plain moves, keeping the alloc hot
+// path free of lock-prefixed RMWs.
+struct Counters {
+  std::atomic<std::uint64_t> allocations{0};
+  std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> fresh_blocks{0};
+  std::atomic<std::uint64_t> oversize{0};
+  std::atomic<std::uint64_t> deallocations{0};
+
+  void AccumulateInto(FramePool::Stats* out) const {
+    out->allocations += allocations.load(std::memory_order_relaxed);
+    out->pool_hits += pool_hits.load(std::memory_order_relaxed);
+    out->fresh_blocks += fresh_blocks.load(std::memory_order_relaxed);
+    out->oversize += oversize.load(std::memory_order_relaxed);
+    out->deallocations += deallocations.load(std::memory_order_relaxed);
+  }
+
+  void Zero() {
+    allocations.store(0, std::memory_order_relaxed);
+    pool_hits.store(0, std::memory_order_relaxed);
+    fresh_blocks.store(0, std::memory_order_relaxed);
+    oversize.store(0, std::memory_order_relaxed);
+    deallocations.store(0, std::memory_order_relaxed);
+  }
 };
 
+inline void Bump(std::atomic<std::uint64_t>& counter) {
+  // Single-writer increment: a non-RMW load+store pair, deliberately.
+  counter.store(counter.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+struct Pool;
+
+// Process-wide directory of live per-thread pools plus the folded-in
+// counters of threads that have exited. Guarded by its mutex; touched only
+// on thread start/exit and in the stats()/ResetStats() testing hooks, never
+// on the allocation hot path.
+struct Directory {
+  std::mutex mu;
+  std::vector<Pool*> live;
+  FramePool::Stats retired;  // Counters inherited from exited threads.
+};
+
+Directory& directory() {
+  static Directory instance;
+  return instance;
+}
+
+struct Pool {
+  FreeNode* free_lists[kNumClasses] = {};
+  Counters counters;
+
+  Pool() {
+    Directory& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    dir.live.push_back(this);
+  }
+
+  // Thread exit: return pooled blocks to the global allocator (they would
+  // otherwise leak) and fold this thread's counters into the directory so
+  // aggregate stats survive the thread.
+  ~Pool() {
+    Trim();
+    Directory& dir = directory();
+    std::lock_guard<std::mutex> lock(dir.mu);
+    counters.AccumulateInto(&dir.retired);
+    for (std::size_t i = 0; i < dir.live.size(); ++i) {
+      if (dir.live[i] == this) {
+        dir.live.erase(dir.live.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+
+  void Trim() {
+    for (FreeNode*& head : free_lists) {
+      while (head != nullptr) {
+        FreeNode* next = head->next;
+        ::operator delete(static_cast<void*>(head));
+        head = next;
+      }
+    }
+  }
+};
+
+// One pool per thread: concurrent Engines (core::ParallelFor trial workers)
+// never contend, and free lists stay thread-confined. An Engine and all its
+// frames live on one thread, so a frame is freed by the thread that
+// allocated it. The directory keeps the static facade's aggregate stats
+// meaningful across threads.
 Pool& pool() {
-  static Pool instance;
+  thread_local Pool instance;
   return instance;
 }
 
@@ -51,10 +141,9 @@ std::uint64_t* HeaderOf(void* payload) {
 
 void* FramePool::Allocate(std::size_t bytes) {
   Pool& p = pool();
-  ++p.stats.allocations;
-  ++p.stats.live;
+  Bump(p.counters.allocations);
   if (bytes > kMaxClassBytes) {
-    ++p.stats.oversize;
+    Bump(p.counters.oversize);
     char* base = static_cast<char*>(::operator new(bytes + kHeaderBytes));
     *reinterpret_cast<std::uint64_t*>(base) = kOversizeClass;
     return base + kHeaderBytes;
@@ -62,13 +151,13 @@ void* FramePool::Allocate(std::size_t bytes) {
   const std::size_t index = ClassIndex(bytes);
   if (FreeNode* node = p.free_lists[index]) {
     p.free_lists[index] = node->next;
-    ++p.stats.pool_hits;
+    Bump(p.counters.pool_hits);
     char* base = reinterpret_cast<char*>(node);
     // The free-list link occupied the header word; restore the class tag.
     *reinterpret_cast<std::uint64_t*>(base) = index;
     return base + kHeaderBytes;
   }
-  ++p.stats.fresh_blocks;
+  Bump(p.counters.fresh_blocks);
   const std::size_t cap = kMinClassBytes << index;
   char* base = static_cast<char*>(::operator new(cap + kHeaderBytes));
   *reinterpret_cast<std::uint64_t*>(base) = index;
@@ -80,8 +169,7 @@ void FramePool::Deallocate(void* payload) noexcept {
     return;
   }
   Pool& p = pool();
-  ++p.stats.deallocations;
-  --p.stats.live;
+  Bump(p.counters.deallocations);
   std::uint64_t* header = HeaderOf(payload);
   if (*header == kOversizeClass) {
     ::operator delete(static_cast<void*>(header));
@@ -95,19 +183,31 @@ void FramePool::Deallocate(void* payload) noexcept {
   p.free_lists[index] = node;
 }
 
-FramePool::Stats FramePool::stats() { return pool().stats; }
+FramePool::Stats FramePool::stats() {
+  Directory& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  Stats total = dir.retired;
+  for (const Pool* p : dir.live) {
+    p->counters.AccumulateInto(&total);
+  }
+  // Relaxed per-counter snapshots are not mutually consistent while another
+  // thread is mid-simulation (a dealloc bump may be visible before its
+  // matching alloc bump); clamp so `live` degrades to 0 instead of wrapping
+  // to ~2^64. Quiescent reads — the supported use — are exact.
+  total.live =
+      total.allocations >= total.deallocations ? total.allocations - total.deallocations : 0;
+  return total;
+}
 
-void FramePool::ResetStats() { pool().stats = Stats{}; }
-
-void FramePool::TrimFreeLists() {
-  Pool& p = pool();
-  for (FreeNode*& head : p.free_lists) {
-    while (head != nullptr) {
-      FreeNode* next = head->next;
-      ::operator delete(static_cast<void*>(head));
-      head = next;
-    }
+void FramePool::ResetStats() {
+  Directory& dir = directory();
+  std::lock_guard<std::mutex> lock(dir.mu);
+  dir.retired = Stats{};
+  for (Pool* p : dir.live) {
+    p->counters.Zero();
   }
 }
+
+void FramePool::TrimFreeLists() { pool().Trim(); }
 
 }  // namespace ddio::sim::internal

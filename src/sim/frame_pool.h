@@ -11,8 +11,21 @@
 // payloads are aligned to alignof(std::max_align_t), the same guarantee the
 // global operator new provides for coroutine frames.
 //
-// The pool is process-global and NOT thread-safe, matching the engine's
-// single-threaded execution model.
+// The facade is static but the pool behind it is PER-THREAD: each thread
+// gets its own free lists, so concurrent Engines (parallel trial workers,
+// see src/core/parallel.h) never contend or race on the hot path. An Engine
+// and every frame it allocates live on one thread, so frames are freed by
+// the thread that allocated them and free lists stay thread-confined. A
+// thread's pooled blocks are returned to the global allocator when the
+// thread exits.
+//
+// stats() aggregates over ALL threads' pools, including threads that have
+// already exited (their counters are folded into a process-wide accumulator
+// at thread exit). ResetStats() zeroes every thread's counters; calling it
+// while another thread is mid-simulation may lose in-flight increments, so
+// reset only between runs (it is a testing hook). TrimFreeLists() trims the
+// CALLING thread's free lists only — other threads' lists are touched only
+// by their owners.
 
 #ifndef DDIO_SRC_SIM_FRAME_POOL_H_
 #define DDIO_SRC_SIM_FRAME_POOL_H_
@@ -36,10 +49,16 @@ class FramePool {
   static void* Allocate(std::size_t bytes);
   static void Deallocate(void* payload) noexcept;
 
+  // Aggregate counters across every thread's pool (live and exited
+  // threads). Callable from any thread; exact when no other thread is
+  // mid-simulation, approximate (per-counter relaxed snapshots, `live`
+  // clamped at 0) while one is.
   static Stats stats();
-  // Testing hook: zeroes the counters (free lists are left intact).
+  // Testing hook: zeroes the counters of every thread's pool (free lists are
+  // left intact). Call only while no other thread is simulating.
   static void ResetStats();
-  // Testing hook: returns every pooled block to the global allocator.
+  // Testing hook: returns the calling thread's pooled blocks to the global
+  // allocator. Per-thread by design; other threads trim their own on exit.
   static void TrimFreeLists();
 };
 

@@ -101,6 +101,43 @@ TEST(DeterminismTest, SessionPathReplaysIdenticalEventSequence) {
   }
 }
 
+// Golden coverage for the nine WRITE patterns (wn wb wc wnb wbb wcb wbc wcc
+// wcn) under all four registered methods: the read-pattern goldens above
+// never exercise the write paths (write-behind, RMW flushes, DDIO Memget),
+// so a nondeterminism bug confined to writes would slip through them.
+TEST(DeterminismTest, WritePatternsReplayIdenticalEventSequenceAllMethods) {
+  static const char* kWritePatterns[] = {"wn",  "wb",  "wc",  "wnb", "wbb",
+                                         "wcb", "wbc", "wcc", "wcn"};
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+
+  for (const char* method : {"tc", "ddio", "ddio-nosort", "twophase"}) {
+    for (const char* pattern : kWritePatterns) {
+      auto run_traced = [&](std::uint64_t seed) {
+        std::vector<sim::SimTime> trace;
+        core::WorkloadSession session(cfg, seed);
+        session.engine().set_event_trace(&trace);
+        core::WorkloadPhase phase;
+        phase.pattern = pattern;
+        phase.method = method;
+        const sim::SimTime elapsed = session.RunPhase(phase).elapsed_ns();
+        return std::make_pair(std::move(trace), elapsed);
+      };
+      auto [first_trace, first_elapsed] = run_traced(11);
+      auto [second_trace, second_elapsed] = run_traced(11);
+      ASSERT_GT(first_trace.size(), 0u) << method << " " << pattern;
+      EXPECT_GT(first_elapsed, 0) << method << " " << pattern;
+      EXPECT_EQ(first_elapsed, second_elapsed) << method << " " << pattern;
+      ASSERT_EQ(first_trace, second_trace)
+          << "write-pattern event sequence diverged (" << method << " " << pattern << ")";
+    }
+  }
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   // Not a correctness requirement per se, but if two different seeds produce
   // identical traces the trace is almost certainly not capturing anything.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,70 @@ TEST(FramePoolTest, NoLiveFramesAfterEngineWithParkedRootsDies) {
     EXPECT_EQ(engine.live_root_count(), 2u);
   }
   FramePool::Stats stats = FramePool::stats();
+  EXPECT_EQ(stats.allocations, stats.deallocations);
+  EXPECT_EQ(stats.live, 0u);
+}
+
+// The pool is per-thread but the stats facade is process-wide: counters
+// from an engine run on a worker thread must be visible in stats() read
+// from the main thread, both while the worker's pool is live and after the
+// thread has exited (its counters fold into the process-wide accumulator,
+// its free lists return to the global allocator).
+TEST(FramePoolTest, StatsAggregateAcrossThreadPools) {
+  FramePool::ResetStats();
+  const FramePool::Stats before = FramePool::stats();
+  std::thread worker([] {
+    Engine engine;
+    for (int i = 0; i < 50; ++i) {
+      engine.Spawn(TinyTask(engine));
+    }
+    engine.Run();
+  });
+  worker.join();
+  const FramePool::Stats after = FramePool::stats();
+  EXPECT_GE(after.allocations, before.allocations + 50);
+  EXPECT_EQ(after.allocations, after.deallocations);
+  EXPECT_EQ(after.live, 0u);
+}
+
+TEST(FramePoolTest, StatsObservedFromSecondThreadMatchOwnerView) {
+  FramePool::ResetStats();
+  {
+    Engine engine;
+    for (int i = 0; i < 25; ++i) {
+      engine.Spawn(TinyTask(engine));
+    }
+    engine.Run();
+  }
+  const FramePool::Stats from_owner = FramePool::stats();
+  FramePool::Stats from_other;
+  std::thread observer([&] { from_other = FramePool::stats(); });
+  observer.join();
+  EXPECT_EQ(from_other.allocations, from_owner.allocations);
+  EXPECT_EQ(from_other.deallocations, from_owner.deallocations);
+  EXPECT_EQ(from_other.pool_hits, from_owner.pool_hits);
+  EXPECT_EQ(from_other.fresh_blocks, from_owner.fresh_blocks);
+  EXPECT_EQ(from_other.live, from_owner.live);
+}
+
+TEST(FramePoolTest, ConcurrentEnginesDontShareFreeLists) {
+  // Two engines allocating simultaneously on different threads: with one
+  // shared pool this would be a data race (caught under TSan); with
+  // per-thread pools it is clean and the aggregate still balances.
+  FramePool::ResetStats();
+  auto churn = [] {
+    Engine engine;
+    for (int i = 0; i < 200; ++i) {
+      engine.Spawn(TinyTask(engine));
+    }
+    engine.Run();
+  };
+  std::thread a(churn);
+  std::thread b(churn);
+  a.join();
+  b.join();
+  const FramePool::Stats stats = FramePool::stats();
+  EXPECT_GE(stats.allocations, 400u);
   EXPECT_EQ(stats.allocations, stats.deallocations);
   EXPECT_EQ(stats.live, 0u);
 }

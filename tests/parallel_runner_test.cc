@@ -1,0 +1,217 @@
+// Determinism harness for the parallel trial executor (src/core/parallel.h):
+// running an experiment with jobs=1 and jobs=8 must produce byte-identical
+// results — every OpStats field of every trial, event counts, and the
+// aggregated mean/cv (including floating-point summation order) — across
+// methods, patterns, and layouts. Plus unit tests for ParallelFor itself:
+// full index coverage, inline execution for jobs<=1, and deterministic
+// (lowest-index) exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/parallel.h"
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/fs/layout.h"
+
+namespace ddio::core {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 512 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.trials = 3;
+  return cfg;
+}
+
+// Byte-identity of one trial's stats: every counter and every double must
+// match exactly (no tolerance — the parallel path must not perturb the
+// simulation at all).
+void ExpectStatsIdentical(const OpStats& a, const OpStats& b, const std::string& label) {
+  EXPECT_EQ(a.start_ns, b.start_ns) << label;
+  EXPECT_EQ(a.end_ns, b.end_ns) << label;
+  EXPECT_EQ(a.file_bytes, b.file_bytes) << label;
+  EXPECT_EQ(a.requests, b.requests) << label;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << label;
+  EXPECT_EQ(a.cache_misses, b.cache_misses) << label;
+  EXPECT_EQ(a.prefetches, b.prefetches) << label;
+  EXPECT_EQ(a.flushes, b.flushes) << label;
+  EXPECT_EQ(a.rmw_flushes, b.rmw_flushes) << label;
+  EXPECT_EQ(a.pieces, b.pieces) << label;
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered) << label;
+  EXPECT_EQ(a.max_cp_cpu_util, b.max_cp_cpu_util) << label;
+  EXPECT_EQ(a.max_iop_cpu_util, b.max_iop_cpu_util) << label;
+  EXPECT_EQ(a.max_bus_util, b.max_bus_util) << label;
+  EXPECT_EQ(a.avg_disk_util, b.avg_disk_util) << label;
+}
+
+TEST(ParallelRunnerTest, Jobs1VsJobs8ByteIdenticalAcrossMethodsPatternsLayouts) {
+  for (fs::LayoutKind layout : {fs::LayoutKind::kContiguous, fs::LayoutKind::kRandomBlocks}) {
+    for (Method method : {Method::kTraditionalCaching, Method::kDiskDirected,
+                          Method::kDiskDirectedNoSort, Method::kTwoPhase}) {
+      for (const char* pattern : {"rb", "wcc"}) {
+        ExperimentConfig cfg = SmallConfig();
+        cfg.layout = layout;
+        cfg.method = method;
+        cfg.pattern = pattern;
+        const std::string label = std::string(MethodKey(method)) + "/" + pattern + "/layout" +
+                                  std::to_string(static_cast<int>(layout));
+
+        ExperimentResult serial = RunExperiment(cfg, /*jobs=*/1);
+        ExperimentResult parallel = RunExperiment(cfg, /*jobs=*/8);
+
+        ASSERT_EQ(serial.trials.size(), parallel.trials.size()) << label;
+        for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+          ExpectStatsIdentical(serial.trials[t], parallel.trials[t],
+                               label + "/trial" + std::to_string(t));
+        }
+        EXPECT_EQ(serial.total_events, parallel.total_events) << label;
+        // Bitwise double equality: the aggregation order must match too.
+        EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps) << label;
+        EXPECT_EQ(serial.cv, parallel.cv) << label;
+      }
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, MultiPhaseWorkloadJobsByteIdentical) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.trials = 5;
+
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(Workload::Parse("wb,method=tc;rb,method=ddio,compute=1;rcc,method=twophase",
+                              &workload, &error))
+      << error;
+
+  WorkloadExperimentResult serial = RunWorkloadExperiment(cfg, workload, /*jobs=*/1);
+  WorkloadExperimentResult parallel = RunWorkloadExperiment(cfg, workload, /*jobs=*/8);
+
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+    ASSERT_EQ(serial.trials[t].phases.size(), parallel.trials[t].phases.size());
+    EXPECT_EQ(serial.trials[t].total_events, parallel.trials[t].total_events) << "trial " << t;
+    for (std::size_t p = 0; p < serial.trials[t].phases.size(); ++p) {
+      ExpectStatsIdentical(serial.trials[t].phases[p], parallel.trials[t].phases[p],
+                           "trial " + std::to_string(t) + " phase " + std::to_string(p));
+    }
+  }
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps);
+  EXPECT_EQ(serial.cv, parallel.cv);
+}
+
+// Satellite regression: the cv reported for ANY job count is the one
+// computed by summing throughputs in trial-index order. If someone "helps"
+// by accumulating in completion order, random layouts make the
+// floating-point sums drift and this test fails bitwise.
+TEST(ParallelRunnerTest, CvSummationOrderIsTrialIndexOrder) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.layout = fs::LayoutKind::kRandomBlocks;  // Trials genuinely differ.
+  cfg.method = Method::kDiskDirected;
+  cfg.trials = 5;
+
+  ExperimentResult serial = RunExperiment(cfg, /*jobs=*/1);
+
+  // Reference aggregation, spelled out in trial-index order.
+  const double n = static_cast<double>(serial.trials.size());
+  double sum = 0.0;
+  for (const OpStats& trial : serial.trials) {
+    sum += trial.ThroughputMBps();
+  }
+  const double mean = sum / n;
+  double var = 0.0;
+  for (const OpStats& trial : serial.trials) {
+    const double d = trial.ThroughputMBps() - mean;
+    var += d * d;
+  }
+  var /= n;
+  const double cv = mean > 0 ? std::sqrt(var) / mean : 0.0;
+
+  EXPECT_EQ(serial.mean_mbps, mean);
+  EXPECT_EQ(serial.cv, cv);
+  for (unsigned jobs : {2u, 3u, 8u}) {
+    ExperimentResult parallel = RunExperiment(cfg, jobs);
+    EXPECT_EQ(parallel.mean_mbps, mean) << "jobs " << jobs;
+    EXPECT_EQ(parallel.cv, cv) << "jobs " << jobs;
+  }
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  ParallelFor(8, kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroAndOneSizedRangesWork) {
+  int runs = 0;
+  ParallelFor(8, 0, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  ParallelFor(8, 1, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ParallelForTest, SingleJobRunsInlineInIndexOrder) {
+  std::vector<std::size_t> order;
+  ParallelFor(1, 5, [&](std::size_t i) { order.push_back(i); });  // Not thread-safe:
+  ASSERT_EQ(order.size(), 5u);                                    // proves inline execution.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelForTest, LowestIndexExceptionWinsDeterministically) {
+  // Same contract at every job count, inline path included: every index
+  // runs even when earlier ones threw, and the lowest-index exception is
+  // the one rethrown.
+  for (unsigned jobs : {1u, 8u}) {
+    for (int round = 0; round < 10; ++round) {
+      std::atomic<int> ran{0};
+      try {
+        ParallelFor(jobs, 64, [&](std::size_t i) {
+          ran.fetch_add(1);
+          if (i == 7 || i == 3 || i == 50) {
+            throw std::runtime_error(std::to_string(i));
+          }
+        });
+        FAIL() << "expected an exception (jobs " << jobs << ")";
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "3") << "jobs " << jobs;
+      }
+      EXPECT_EQ(ran.load(), 64) << "jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelForTest, EffectiveJobsResolvesZeroToHardware) {
+  EXPECT_GE(EffectiveJobs(0), 1u);
+  EXPECT_EQ(EffectiveJobs(1), 1u);
+  EXPECT_EQ(EffectiveJobs(6), 6u);
+}
+
+TEST(ParallelForTest, TrialExecutorMapsInIndexOrder) {
+  TrialExecutor executor(8);
+  std::vector<std::uint64_t> squares =
+      executor.Map<std::uint64_t>(100, [](std::size_t i) -> std::uint64_t { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+}  // namespace
+}  // namespace ddio::core

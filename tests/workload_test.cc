@@ -180,6 +180,47 @@ TEST(WorkloadTest, UtilizationIsPerPhaseNotCumulative) {
   EXPECT_NEAR(a.phases[1].avg_disk_util, b.phases[1].avg_disk_util, 0.05);
 }
 
+// Machine-reuse stress: ~50 phases cycling all four methods and a mix of
+// read/write patterns on ONE session. Every method switch is a
+// Shutdown -> ReleaseInboxes (Channel::Close + Reopen) -> Start churn; if a
+// generation's service loops leaked, or a reopened inbox kept stale state
+// (a parked receiver from the previous owner, an undelivered item), the
+// root count would creep up phase over phase or a collective would hang and
+// report zero throughput. Runs under ASan in CI via the sanitizer job.
+TEST(WorkloadTest, FiftyPhaseMethodChurnLeaksNoTasksOrInboxState) {
+  static const char* kMethods[] = {"tc", "ddio", "ddio-nosort", "twophase"};
+  static const char* kPatterns[] = {"wb", "rb", "wcc", "rcc", "rbb"};
+  constexpr std::size_t kPhases = 50;
+  // 4 and 5 are coprime: every (method, pattern) pairing occurs, repeating
+  // with period 20, so counts at the same cycle position are comparable.
+  constexpr std::size_t kCycle = 20;
+
+  ExperimentConfig cfg = SmallConfig();
+  cfg.file_bytes = 256 * 1024;
+  WorkloadSession session(cfg, /*seed=*/3);
+
+  std::vector<std::size_t> live_roots_after;
+  for (std::size_t p = 0; p < kPhases; ++p) {
+    WorkloadPhase phase;
+    phase.method = kMethods[p % std::size(kMethods)];
+    phase.pattern = kPatterns[p % std::size(kPatterns)];
+    OpStats stats = session.RunPhase(phase);
+    EXPECT_GT(stats.ThroughputMBps(), 0.0)
+        << "phase " << p << " (" << phase.method << " " << phase.pattern << ")";
+    // The engine drained: nothing is queued between phases (parked loops
+    // hold no pending events).
+    EXPECT_TRUE(session.engine().queue_empty()) << "phase " << p;
+    live_roots_after.push_back(session.engine().live_root_count());
+  }
+  // Parked service loops are expected (disk loops + the active method's
+  // loops), but churn must not accumulate them: the root count at the same
+  // position of later cycles must equal the first full cycle's.
+  for (std::size_t p = kCycle; p < kPhases; ++p) {
+    EXPECT_EQ(live_roots_after[p], live_roots_after[p % kCycle])
+        << "phase " << p << " leaked service-loop roots vs phase " << p % kCycle;
+  }
+}
+
 TEST(WorkloadTest, SessionApiInterleavesComputeAndPhases) {
   // The examples' shape: explicit AdvanceCompute between RunPhase calls.
   ExperimentConfig cfg = SmallConfig();
