@@ -1,0 +1,88 @@
+// Beyond the paper's Figure 3 grid: parameterized block-cyclic CYCLIC(k)
+// reads (rc<k>) swept over k, plus the irregular index-list case (`ri:<seed>`)
+// the paper's future-work section defers. CYCLIC(k) interpolates between the
+// paper's two extremes — k=1 is the splintered `rc`, k large approaches `rb` —
+// so the sweep shows where each method's pattern sensitivity lives; the `ri:`
+// rows show all methods on a fully scattered ownership map.
+//
+// Same flags as every bench (--trials, --file-mb, --quick, --jobs, --json).
+// Output is byte-identical for any --jobs value: cells land in an
+// index-addressed vector and rows/JSON are emitted in serial order.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fig_patterns_common.h"
+#include "src/core/parallel.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace ddio;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintPreamble("Irregular and block-cyclic patterns",
+                       "beyond Figure 3: CYCLIC(k) sweep + deferred irregular case",
+                       options);
+
+  // 512-byte records: 16 per 8 KB file block, so k sweeps the piece
+  // structure from fully splintered (k=1: 16 pieces per block) through
+  // one-block deals (k=16) to multi-block deals (k=64).
+  static const std::uint32_t kCyclicK[] = {1u, 2u, 4u, 16u, 64u};
+  static const char* kIrregular[] = {"ri:1", "ri:2"};
+  const std::vector<std::string> methods = {"ddio", "ddio-nosort", "tc", "twophase"};
+
+  // One cell per (pattern row, method column); rows are the k sweep followed
+  // by the irregular seeds.
+  std::vector<std::string> row_patterns;
+  for (std::uint32_t k : kCyclicK) {
+    row_patterns.push_back(k == 1 ? "rc" : "rc" + std::to_string(k));
+  }
+  for (const char* name : kIrregular) {
+    row_patterns.push_back(name);
+  }
+
+  std::vector<core::ExperimentConfig> cells;
+  for (const std::string& pattern : row_patterns) {
+    for (const std::string& method : methods) {
+      core::ExperimentConfig cfg;
+      cfg.pattern = pattern;
+      cfg.record_bytes = 512;
+      cfg.layout = fs::LayoutKind::kRandomBlocks;  // Figure 3's layout.
+      bench::ApplyMethod(cfg, method);
+      cfg.trials = options.trials;
+      cfg.file_bytes = options.file_bytes();
+      cells.push_back(std::move(cfg));
+    }
+  }
+  core::TrialExecutor executor(options.jobs);
+  std::vector<core::ExperimentResult> results = executor.Map<core::ExperimentResult>(
+      cells.size(), [&](std::size_t i) { return core::RunExperiment(cells[i], 1); });
+
+  std::vector<std::string> headers = {"pattern"};
+  for (const std::string& method : methods) {
+    headers.push_back(bench::MethodLabel(method) + " MB/s");
+    headers.push_back("cv");
+  }
+  core::Table table(headers);
+  bench::JsonPointSink json(options.json_path);
+  std::size_t cell = 0;
+  for (std::size_t p = 0; p < row_patterns.size(); ++p) {
+    std::vector<std::string> row = {row_patterns[p]};
+    // JSON dimension "k": the CYCLIC block size, 0 for the irregular rows.
+    const std::uint64_t k = p < std::size(kCyclicK) ? kCyclicK[p] : 0;
+    for (const std::string& method : methods) {
+      const core::ExperimentResult& result = results[cell++];
+      row.push_back(core::Fixed(result.mean_mbps, 2));
+      row.push_back(core::Fixed(result.cv, 3));
+      json.Add("k", k, bench::MethodLabel(method), row_patterns[p], result.mean_mbps,
+               result.cv, options.trials);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf("\n(rc<k> = HPF CYCLIC(k), 512 B records; ri:<seed> = irregular index list)\n");
+  return 0;
+}

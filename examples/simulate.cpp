@@ -9,7 +9,9 @@
 //   $ ./simulate --pattern=rb --method=ddio --cps=8 --iops=4 --disks=8 --verbose
 //
 // Flags:
-//   --pattern=NAME     ra rn rb rc rnb rbb rcb rbc rcc rcn (r->w for writes)
+//   --pattern=NAME     ra rn rb rc rnb rbb rcb rbc rcc rcn (r->w for writes),
+//                      plus parameterized CYCLIC(k)/BLOCK(k) dims (rc4, wb2c8)
+//                      and irregular index lists (ri:<seed>)
 //   --record=BYTES     record size (default 8192)
 //   --method=M         any registered method: tc | ddio | ddio-nosort | twophase
 //   --layout=L         contiguous | random (default contiguous)
@@ -52,6 +54,9 @@ namespace {
       "          [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N] [--workload=SPEC]\n"
       "          [--json=PATH] [--elevator] [--strided] [--gather] [--contention]\n"
       "          [--describe] [--verbose]\n"
+      "  --pattern names: HPF letters (ra rn rb rc rnb ... wcn), optionally\n"
+      "         parameterized per dimension (rc4 = CYCLIC(4), rb2c8), or an\n"
+      "         irregular index list ri:<seed> / wi:<seed>\n"
       "  --jobs runs independent trials on N threads (0 = all hardware threads;\n"
       "         default 1); results are byte-identical for any N\n"
       "  --workload phases: PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M]\n"
@@ -153,6 +158,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Validate the user-supplied pattern and geometry up front on the paths
+  // that use them (describe, single-pattern run): both reach
+  // PatternSpec::Parse and AccessPattern, which abort on bad input. TryParse
+  // owns the grammar; fail with a usage error instead. Workload mode
+  // validates per phase below — the global --pattern/--record defaults may
+  // be unused there.
+  if (workload_spec.empty() || describe) {
+    pattern::PatternSpec parsed;
+    if (!pattern::PatternSpec::TryParse(cfg.pattern, &parsed)) {
+      std::fprintf(stderr, "bad pattern name \"%s\" (ra, rn, rb, rc, rnb, ..., rc4, wb2c8, "
+                   "ri:<seed>; r->w for writes)\n", cfg.pattern.c_str());
+      return 2;
+    }
+    if (std::string geometry_error;
+        !core::Workload::SinglePhase(cfg).ValidateGeometry(cfg, &geometry_error)) {
+      std::fprintf(stderr, "%s\n", geometry_error.c_str());
+      return 2;
+    }
+  }
+
   if (describe) {
     pattern::AccessPattern pattern(pattern::PatternSpec::Parse(cfg.pattern), cfg.file_bytes,
                                    cfg.record_bytes, cfg.machine.num_cps);
@@ -198,6 +223,10 @@ int main(int argc, char** argv) {
                      core::FileSystemRegistry::BuiltIns().NamesJoined().c_str());
         return 2;
       }
+    }
+    if (std::string geometry_error; !workload.ValidateGeometry(cfg, &geometry_error)) {
+      std::fprintf(stderr, "--workload: %s\n", geometry_error.c_str());
+      return 2;
     }
     std::printf("workload: %zu phase(s), default method %s, %u trial(s)\n",
                 workload.phases.size(), method_key.c_str(), cfg.trials);

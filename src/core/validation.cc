@@ -1,5 +1,6 @@
 #include "src/core/validation.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace ddio::core {
@@ -88,6 +89,15 @@ bool ValidationSink::Verify(const pattern::AccessPattern& pattern,
   bool ok = true;
   for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
     std::vector<pattern::AccessPattern::Chunk> expected = pattern.ChunksOf(cp);
+    if (!is_write) {
+      // Deliveries are walked in cp_offset order. ChunksOf ascends by file
+      // offset, which for the regular HPF patterns is also cp_offset order;
+      // irregular (`ri:`) patterns permute CP memory relative to the file,
+      // so re-sort by the walk's key dimension.
+      std::sort(expected.begin(), expected.end(),
+                [](const pattern::AccessPattern::Chunk& a,
+                   const pattern::AccessPattern::Chunk& b) { return a.cp_offset < b.cp_offset; });
+    }
     auto it = recorded.find(cp);
     static const std::map<std::uint64_t, Extent> kEmpty;
     const auto& extents = it == recorded.end() ? kEmpty : it->second;

@@ -44,6 +44,17 @@ class ValidationSink {
     std::uint64_t length = 0;
   };
 
+  // Raw recorded maps, for cross-method image comparison in tests: two
+  // methods realized the same data movement iff their (coalesced) maps are
+  // equal. deliveries()[cp]: cp_offset -> (file_offset, length);
+  // writes()[cp]: file_offset -> (cp_offset, length).
+  const std::map<std::uint32_t, std::map<std::uint64_t, Extent>>& deliveries() const {
+    return deliveries_;
+  }
+  const std::map<std::uint32_t, std::map<std::uint64_t, Extent>>& writes() const {
+    return writes_;
+  }
+
  private:
   // deliveries_[cp]: cp_offset -> (file_offset, length).
   std::map<std::uint32_t, std::map<std::uint64_t, Extent>> deliveries_;

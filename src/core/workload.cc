@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 
 #include "src/core/fs_registry.h"
 #include "src/core/parallel.h"
@@ -174,6 +175,23 @@ bool Workload::Parse(const std::string& spec, Workload* out, std::string* error)
   return true;
 }
 
+bool Workload::ValidateGeometry(const ExperimentConfig& config, std::string* error) const {
+  std::map<std::uint32_t, std::uint64_t> slot_bytes;  // file_index -> fixed size.
+  for (const WorkloadPhase& phase : phases) {
+    auto [slot, first_use] = slot_bytes.try_emplace(
+        phase.file_index, phase.file_bytes != 0 ? phase.file_bytes : config.file_bytes);
+    (void)first_use;
+    const std::uint32_t record_bytes =
+        phase.record_bytes != 0 ? phase.record_bytes : config.record_bytes;
+    if (record_bytes == 0 || slot->second % record_bytes != 0) {
+      *error = "phase \"" + phase.pattern + "\": file of " + std::to_string(slot->second) +
+               " bytes does not hold whole " + std::to_string(record_bytes) + "-byte records";
+      return false;
+    }
+  }
+  return true;
+}
+
 WorkloadSession::WorkloadSession(const ExperimentConfig& config, std::uint64_t seed)
     : config_(config), engine_(seed), machine_(engine_, config.machine) {}
 
@@ -254,6 +272,18 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
   const fs::StripedFile& file = FileFor(phase);
   const std::uint32_t record_bytes =
       phase.record_bytes != 0 ? phase.record_bytes : config_.record_bytes;
+  // AccessPattern requires whole records; its constructor assert vanishes in
+  // release builds, where a truncated record count would silently drop the
+  // file tail (and index an irregular permutation out of bounds). Fail loudly
+  // here instead — CLI front ends pre-validate and exit cleanly.
+  if (record_bytes == 0 || file.file_bytes() % record_bytes != 0) {
+    std::fprintf(stderr,
+                 "ddio::core: phase \"%s\": file of %llu bytes does not hold whole %u-byte "
+                 "records\n",
+                 phase.pattern.c_str(), static_cast<unsigned long long>(file.file_bytes()),
+                 record_bytes);
+    std::abort();
+  }
   pattern::AccessPattern pattern(pattern::PatternSpec::Parse(phase.pattern), file.file_bytes(),
                                  record_bytes, machine_.num_cps());
   FileSystem& fs = ActivateFileSystem(phase.method);

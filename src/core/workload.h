@@ -60,6 +60,14 @@ struct Workload {
   // false and sets *error on malformed specs (method names are validated by
   // the registry at run time).
   static bool Parse(const std::string& spec, Workload* out, std::string* error);
+
+  // Checks that every phase's effective (file size, record size) pair holds
+  // whole records, resolving file sizes with the same first-use-wins slot
+  // rules WorkloadSession::FileFor applies (a later phase reusing a slot
+  // inherits the size its first-using phase fixed). Returns false and sets
+  // *error on a violation — the clean-exit counterpart of RunPhase's abort,
+  // for CLI front ends validating user-supplied specs.
+  bool ValidateGeometry(const ExperimentConfig& config, std::string* error) const;
 };
 
 struct WorkloadResult {

@@ -193,6 +193,11 @@ sim::Task<> DdioFileSystem::DiskWorker(std::uint32_t iop, std::uint32_t disk, Di
   }
 }
 
+// Pieces arrive in ascending FILE order; their cp_offsets may be arbitrary —
+// irregular (`ri:`) patterns permute CP memory relative to the file, so this
+// path must not (and does not) assume a monotone cp_offset stream. Each
+// extent carries its own destination offset; presort only reorders whole
+// blocks by LBN, never the pieces within them.
 std::vector<std::pair<std::uint32_t, std::vector<net::MemExtent>>> DdioFileSystem::PiecesOfBlock(
     const CollectiveOp* op, std::uint64_t block) const {
   const fs::StripedFile& file = *op->file;

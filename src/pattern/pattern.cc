@@ -1,9 +1,13 @@
 #include "src/pattern/pattern.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <utility>
 
 namespace ddio::pattern {
 namespace {
@@ -34,31 +38,99 @@ char DistToChar(Dist d) {
   return '?';
 }
 
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Strict decimal at text[*pos]: no sign, no leading zeros (so names
+// round-trip through Name()), value in [0, max]. Advances *pos past the
+// digits on success.
+bool ParseNumber(std::string_view text, std::size_t* pos, std::uint64_t max,
+                 std::uint64_t* out) {
+  const std::size_t start = *pos;
+  std::uint64_t value = 0;
+  while (*pos < text.size() && IsDigit(text[*pos])) {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[*pos] - '0');
+    if (value > (max - digit) / 10) {
+      return false;  // Overlong/overflowing parameter.
+    }
+    value = value * 10 + digit;
+    ++*pos;
+  }
+  const std::size_t digits = *pos - start;
+  if (digits == 0 || (digits > 1 && text[start] == '0')) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// One dimension: a distribution letter with an optional parameter k
+// ("n", "b", "c", "b2", "c4"). k on 'n' is meaningless and rejected.
+bool ParseDim(std::string_view text, std::size_t* pos, Dist* dist, std::uint64_t* param) {
+  if (*pos >= text.size()) {
+    return false;
+  }
+  const char letter = text[*pos];
+  if (letter != 'n' && letter != 'b' && letter != 'c') {
+    return false;
+  }
+  *dist = DistFromChar(letter);
+  ++*pos;
+  *param = 0;
+  if (*pos < text.size() && IsDigit(text[*pos])) {
+    if (letter == 'n' || !ParseNumber(text, pos, PatternSpec::kMaxDistParam, param) ||
+        *param == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 bool PatternSpec::TryParse(std::string_view name, PatternSpec* spec) {
   *spec = PatternSpec{};
-  if (name.size() < 2 || name.size() > 3 || (name[0] != 'r' && name[0] != 'w')) {
+  if (name.size() < 2 || (name[0] != 'r' && name[0] != 'w')) {
     return false;
   }
   spec->is_write = name[0] == 'w';
-  if (name.substr(1) == "a") {
+  const std::string_view body = name.substr(1);
+  if (body == "a") {
     spec->all = true;
     return true;
   }
-  for (std::size_t i = 1; i < name.size(); ++i) {
-    if (name[i] != 'n' && name[i] != 'b' && name[i] != 'c') {
+  if (body.size() >= 2 && body[0] == 'i' && body[1] == ':') {
+    // Irregular index list: "i:" followed by a decimal seed.
+    std::size_t pos = 2;
+    if (!ParseNumber(body, &pos, std::numeric_limits<std::uint64_t>::max(),
+                     &spec->irregular_seed) ||
+        pos != body.size()) {
       return false;
     }
-  }
-  if (name.size() == 2) {
-    spec->two_d = false;
-    spec->col_dist = DistFromChar(name[1]);
+    spec->irregular = true;
     return true;
   }
+  std::size_t pos = 0;
+  Dist first = Dist::kNone;
+  std::uint64_t first_param = 0;
+  if (!ParseDim(body, &pos, &first, &first_param)) {
+    return false;
+  }
+  if (pos == body.size()) {
+    spec->two_d = false;
+    spec->col_dist = first;
+    spec->col_param = first_param;
+    return true;
+  }
+  Dist second = Dist::kNone;
+  std::uint64_t second_param = 0;
+  if (!ParseDim(body, &pos, &second, &second_param) || pos != body.size()) {
+    return false;
+  }
   spec->two_d = true;
-  spec->row_dist = DistFromChar(name[1]);
-  spec->col_dist = DistFromChar(name[2]);
+  spec->row_dist = first;
+  spec->row_param = first_param;
+  spec->col_dist = second;
+  spec->col_param = second_param;
   return true;
 }
 
@@ -76,11 +148,23 @@ std::string PatternSpec::Name() const {
   std::string name(1, is_write ? 'w' : 'r');
   if (all) {
     name += 'a';
+  } else if (irregular) {
+    name += "i:";
+    name += std::to_string(irregular_seed);
   } else if (!two_d) {
     name += DistToChar(col_dist);
+    if (col_param > 0) {
+      name += std::to_string(col_param);
+    }
   } else {
     name += DistToChar(row_dist);
+    if (row_param > 0) {
+      name += std::to_string(row_param);
+    }
     name += DistToChar(col_dist);
+    if (col_param > 0) {
+      name += std::to_string(col_param);
+    }
   }
   return name;
 }
@@ -138,7 +222,7 @@ std::uint32_t AccessPattern::DimView::GroupOf(std::uint64_t i) const {
       return static_cast<std::uint32_t>(g < groups ? g : groups - 1);
     }
     case Dist::kCyclic:
-      return static_cast<std::uint32_t>(i % groups);
+      return static_cast<std::uint32_t>((i / block) % groups);
   }
   return 0;
 }
@@ -148,9 +232,12 @@ std::uint64_t AccessPattern::DimView::LocalOf(std::uint64_t i) const {
     case Dist::kNone:
       return i;
     case Dist::kBlock:
-      return i % block;
+      // i - g*block: i % block for interior groups, and contiguous through
+      // any tail the last group absorbs (BLOCK(k) with k*groups < size).
+      return i - static_cast<std::uint64_t>(GroupOf(i)) * block;
     case Dist::kCyclic:
-      return i / groups;
+      // Block-cyclic: whole deals below, plus the offset inside this deal.
+      return (i / (block * groups)) * block + i % block;
   }
   return i;
 }
@@ -165,35 +252,109 @@ std::uint64_t AccessPattern::DimView::GroupSize(std::uint32_t g) const {
         return 0;
       }
       const std::uint64_t remaining = size - start;
+      if (g == groups - 1) {
+        return remaining;  // Last group absorbs the tail.
+      }
       return remaining < block ? remaining : block;
     }
     case Dist::kCyclic: {
-      if (g >= size) {
-        return 0;
+      const std::uint64_t cycle = block * groups;
+      const std::uint64_t full_deals = (size / cycle) * block;
+      const std::uint64_t rem = size % cycle;
+      const std::uint64_t g_start = static_cast<std::uint64_t>(g) * block;
+      std::uint64_t partial = 0;
+      if (rem > g_start) {
+        partial = rem - g_start < block ? rem - g_start : block;
       }
-      return (size - g + groups - 1) / groups;
+      return full_deals + partial;
     }
   }
   return 0;
 }
 
 std::uint64_t AccessPattern::DimView::RunLength(std::uint64_t i) const {
+  const std::uint64_t remaining = size - i;
   switch (dist) {
     case Dist::kNone:
-      return size - i;
+      return remaining;
     case Dist::kBlock: {
+      if (GroupOf(i) == groups - 1) {
+        return remaining;  // The tail is one run on the last group.
+      }
       const std::uint64_t in_block = block - i % block;
-      const std::uint64_t remaining = size - i;
       return in_block < remaining ? in_block : remaining;
     }
-    case Dist::kCyclic:
-      return groups == 1 ? size - i : 1;
+    case Dist::kCyclic: {
+      if (groups == 1) {
+        return remaining;
+      }
+      const std::uint64_t in_block = block - i % block;
+      return in_block < remaining ? in_block : remaining;
+    }
   }
   return 1;
 }
 
+void AccessPattern::DimView::ForEachOwnedRun(
+    std::uint32_t g, const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  if (size == 0) {
+    return;
+  }
+  switch (dist) {
+    case Dist::kNone:
+      if (g == 0) {
+        fn(0, size);
+      }
+      return;
+    case Dist::kBlock: {
+      const std::uint64_t start = static_cast<std::uint64_t>(g) * block;
+      const std::uint64_t length = GroupSize(g);
+      if (length > 0) {
+        fn(start, length);
+      }
+      return;
+    }
+    case Dist::kCyclic: {
+      if (groups == 1) {
+        fn(0, size);
+        return;
+      }
+      const std::uint64_t cycle = block * groups;
+      for (std::uint64_t start = static_cast<std::uint64_t>(g) * block; start < size;
+           start += cycle) {
+        const std::uint64_t remaining = size - start;
+        fn(start, remaining < block ? remaining : block);
+      }
+      return;
+    }
+  }
+}
+
 // --------------------------------------------------------------------------
 // AccessPattern
+
+AccessPattern::DimView AccessPattern::MakeDimView(Dist dist, std::uint64_t size,
+                                                  std::uint32_t groups, std::uint64_t param) {
+  DimView view;
+  view.dist = dist;
+  view.size = size;
+  view.groups = groups;
+  switch (dist) {
+    case Dist::kNone:
+      view.block = size > 0 ? size : 1;
+      break;
+    case Dist::kBlock:
+      view.block = param > 0 ? param : (size + groups - 1) / groups;
+      break;
+    case Dist::kCyclic:
+      view.block = param > 0 ? param : 1;
+      break;
+  }
+  if (view.block == 0) {
+    view.block = 1;
+  }
+  return view;
+}
 
 AccessPattern::AccessPattern(const PatternSpec& spec, std::uint64_t file_bytes,
                              std::uint32_t record_bytes, std::uint32_t num_cps)
@@ -201,6 +362,51 @@ AccessPattern::AccessPattern(const PatternSpec& spec, std::uint64_t file_bytes,
   assert(record_bytes_ > 0 && num_cps_ > 0);
   assert(file_bytes_ % record_bytes_ == 0 && "file must hold whole records");
   num_records_ = file_bytes_ / record_bytes_;
+
+  if (spec_.irregular) {
+    // Ownership counts of a 1-d BLOCK split, applied to permuted indices.
+    // Loud even in release builds: a 32-bit permutation over >= 2^32 records
+    // would wrap std::iota and silently break the ownership bijection.
+    if (num_records_ >= std::numeric_limits<std::uint32_t>::max()) {
+      std::fprintf(stderr,
+                   "ddio::pattern: irregular pattern over %llu records exceeds the 32-bit "
+                   "permutation limit\n",
+                   static_cast<unsigned long long>(num_records_));
+      std::abort();
+    }
+    rows_ = 1;
+    cols_ = num_records_;
+    grid_rows_ = 1;
+    grid_cols_ = num_cps_;
+    row_view_ = MakeDimView(Dist::kNone, rows_, grid_rows_, 0);
+    col_view_ = MakeDimView(Dist::kBlock, cols_, grid_cols_, 0);
+    // Fisher-Yates driven by SplitMix64 of the spec seed: a pure function of
+    // (seed, num_records), so every file system and every trial that names
+    // `ri:<seed>` sees the identical index list.
+    perm_.resize(num_records_);
+    std::iota(perm_.begin(), perm_.end(), 0u);
+    std::uint64_t state = spec_.irregular_seed ^ 0x9e3779b97f4a7c15ull;
+    auto next = [&state]() {
+      state += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (std::uint64_t i = num_records_; i > 1; --i) {
+      const std::uint64_t j = next() % i;
+      std::swap(perm_[i - 1], perm_[j]);
+    }
+    // Inverse permutation: inv_perm_[x] is the record whose permuted index
+    // is x. A CP's records are inv_perm_ over its contiguous block-view
+    // share, which lets ForEachChunk enumerate one CP without scanning all
+    // num_records_ entries (O(share log share) instead of O(num_records)).
+    inv_perm_.resize(num_records_);
+    for (std::uint64_t r = 0; r < num_records_; ++r) {
+      inv_perm_[perm_[r]] = static_cast<std::uint32_t>(r);
+    }
+    return;
+  }
 
   if (spec_.all) {
     rows_ = 1;
@@ -232,15 +438,18 @@ AccessPattern::AccessPattern(const PatternSpec& spec, std::uint64_t file_bytes,
     cols_ = c;
   }
 
-  row_view_ = DimView{spec_.two_d ? spec_.row_dist : Dist::kNone, rows_, grid_rows_,
-                      (rows_ + grid_rows_ - 1) / grid_rows_};
-  col_view_ = DimView{spec_.all ? Dist::kNone : spec_.col_dist, cols_, grid_cols_,
-                      (cols_ + grid_cols_ - 1) / grid_cols_};
+  row_view_ = MakeDimView(spec_.two_d ? spec_.row_dist : Dist::kNone, rows_, grid_rows_,
+                          spec_.row_param);
+  col_view_ = MakeDimView(spec_.all ? Dist::kNone : spec_.col_dist, cols_, grid_cols_,
+                          spec_.col_param);
 }
 
 std::uint32_t AccessPattern::OwnerOfRecord(std::uint64_t record) const {
   if (spec_.all) {
     return 0;
+  }
+  if (spec_.irregular) {
+    return col_view_.GroupOf(perm_[record]);
   }
   const std::uint64_t i = record / cols_;
   const std::uint64_t j = record % cols_;
@@ -250,6 +459,9 @@ std::uint32_t AccessPattern::OwnerOfRecord(std::uint64_t record) const {
 std::uint64_t AccessPattern::LocalOffsetOfRecord(std::uint64_t record) const {
   if (spec_.all) {
     return record * record_bytes_;
+  }
+  if (spec_.irregular) {
+    return col_view_.LocalOf(perm_[record]) * record_bytes_;
   }
   const std::uint64_t i = record / cols_;
   const std::uint64_t j = record % cols_;
@@ -300,6 +512,28 @@ void AccessPattern::ForEachChunk(std::uint32_t cp,
 
 void AccessPattern::ForEachChunkSingleCp(std::uint32_t cp,
                                          const std::function<void(const Chunk&)>& fn) const {
+  if (spec_.irregular) {
+    // This CP's permuted indices are one contiguous block-view share;
+    // inv_perm_ turns the share into its record list, sorted here into
+    // ascending file order. The merger upstream coalesces the (rare) records
+    // that are consecutive in both file and permuted local order.
+    if (cp >= num_cps_) {
+      return;
+    }
+    const std::uint64_t share = col_view_.GroupSize(cp);
+    if (share == 0) {
+      return;  // Fewer records than CPs: this CP's share starts past the end.
+    }
+    const std::uint64_t start = static_cast<std::uint64_t>(cp) * col_view_.block;
+    std::vector<std::uint32_t> records(inv_perm_.begin() + start,
+                                       inv_perm_.begin() + start + share);
+    std::sort(records.begin(), records.end());
+    for (const std::uint32_t r : records) {
+      fn(Chunk{static_cast<std::uint64_t>(r) * record_bytes_,
+               col_view_.LocalOf(perm_[r]) * record_bytes_, record_bytes_});
+    }
+    return;
+  }
   const std::uint32_t grid_size = grid_rows_ * grid_cols_;
   if (cp >= grid_size) {
     return;
@@ -311,59 +545,22 @@ void AccessPattern::ForEachChunkSingleCp(std::uint32_t cp,
     return;
   }
 
+  // Column runs owned by group gj within one row; local offsets within a
+  // run are contiguous for every distribution, so each run is one chunk.
   auto do_row = [&](std::uint64_t i) {
     const std::uint64_t li = row_view_.LocalOf(i);
-    // Column runs owned by group gj within this row.
-    switch (col_view_.dist) {
-      case Dist::kNone: {
-        fn(Chunk{i * cols_ * record_bytes_, (li * local_cols) * record_bytes_,
-                 cols_ * record_bytes_});
-        break;
-      }
-      case Dist::kBlock: {
-        const std::uint64_t j0 = static_cast<std::uint64_t>(gj) * col_view_.block;
-        fn(Chunk{(i * cols_ + j0) * record_bytes_, (li * local_cols) * record_bytes_,
-                 local_cols * record_bytes_});
-        break;
-      }
-      case Dist::kCyclic: {
-        if (grid_cols_ == 1) {
-          fn(Chunk{i * cols_ * record_bytes_, (li * local_cols) * record_bytes_,
-                   cols_ * record_bytes_});
-          break;
-        }
-        std::uint64_t lj = 0;
-        for (std::uint64_t j = gj; j < cols_; j += grid_cols_, ++lj) {
-          fn(Chunk{(i * cols_ + j) * record_bytes_, (li * local_cols + lj) * record_bytes_,
-                   record_bytes_});
-        }
-        break;
-      }
-    }
+    col_view_.ForEachOwnedRun(gj, [&](std::uint64_t j0, std::uint64_t run) {
+      fn(Chunk{(i * cols_ + j0) * record_bytes_,
+               (li * local_cols + col_view_.LocalOf(j0)) * record_bytes_,
+               run * record_bytes_});
+    });
   };
 
-  switch (row_view_.dist) {
-    case Dist::kNone: {
-      for (std::uint64_t i = 0; i < rows_; ++i) {
-        do_row(i);
-      }
-      break;
+  row_view_.ForEachOwnedRun(gi, [&](std::uint64_t i0, std::uint64_t run) {
+    for (std::uint64_t i = i0; i < i0 + run; ++i) {
+      do_row(i);
     }
-    case Dist::kBlock: {
-      const std::uint64_t start = static_cast<std::uint64_t>(gi) * row_view_.block;
-      const std::uint64_t end = start + row_view_.GroupSize(gi);
-      for (std::uint64_t i = start; i < end; ++i) {
-        do_row(i);
-      }
-      break;
-    }
-    case Dist::kCyclic: {
-      for (std::uint64_t i = gi; i < rows_; i += grid_rows_) {
-        do_row(i);
-      }
-      break;
-    }
-  }
+  });
 }
 
 void AccessPattern::ForEachPieceInRange(std::uint64_t file_offset, std::uint64_t length,
@@ -384,8 +581,10 @@ void AccessPattern::ForEachPieceInRange(std::uint64_t file_offset, std::uint64_t
     const std::uint64_t record = pos / record_bytes_;
     const std::uint64_t within = pos - record * record_bytes_;
     const std::uint64_t j = record % cols_;
-    // Run of consecutive records with the same owner, bounded by the row end.
-    const std::uint64_t run_records = col_view_.RunLength(j);
+    // Run of consecutive records with the same owner AND contiguous local
+    // placement, bounded by the row end. Irregular patterns scatter local
+    // placement record by record, so each record is its own piece.
+    const std::uint64_t run_records = spec_.irregular ? 1 : col_view_.RunLength(j);
     const std::uint64_t run_bytes = run_records * record_bytes_ - within;
     const std::uint64_t remaining = end - pos;
     const std::uint64_t piece_len = run_bytes < remaining ? run_bytes : remaining;

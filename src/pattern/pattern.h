@@ -10,6 +10,17 @@
 // letter per dimension — e.g. `rb` (1-d BLOCK read), `wcc` (2-d CYCLIC x
 // CYCLIC write), `rcn` (CYCLIC rows, NONE columns).
 //
+// Beyond the paper's grid, the grammar supports two extensions:
+//  * Parameterized distributions: a decimal k after 'b' or 'c' — `c<k>` is
+//    HPF CYCLIC(k) (block-cyclic: k consecutive records per deal), `b<k>`
+//    is BLOCK(k) with an explicit block size (the last CP absorbs any tail
+//    beyond k*P records). `rc4`, `wb2c8`, `rc4b2` are all valid; plain
+//    letters keep their paper meaning (`c` == `c1`, `b` == BLOCK(ceil(n/P))).
+//  * Irregular index lists: `ri:<seed>` / `wi:<seed>` — each CP owns an
+//    equal share of records chosen by a deterministic pseudo-random
+//    permutation of the record indices (seeded by <seed>), the paper's
+//    deferred "irregular" access case. 1-d only.
+//
 // Two query directions serve the two file systems:
 //  * ForEachChunk(cp, fn): the CP-side view — every maximal file-contiguous
 //    chunk owned by a CP, with its local-memory offset. Traditional caching
@@ -37,12 +48,23 @@ enum class Dist : std::uint8_t {
 
 struct PatternSpec {
   bool is_write = false;
-  bool all = false;      // `ra`: every CP receives the entire file.
+  bool all = false;       // `ra`: every CP receives the entire file.
   bool two_d = false;
+  bool irregular = false; // `ri:<seed>`: permuted index-list ownership.
   Dist row_dist = Dist::kNone;  // For 1-d patterns, col_dist holds the dist.
   Dist col_dist = Dist::kNone;
+  // Distribution parameter k, or 0 for the unparameterized default
+  // (BLOCK: ceil(size/groups); CYCLIC: 1). For 1-d patterns, col_param.
+  std::uint64_t row_param = 0;
+  std::uint64_t col_param = 0;
+  std::uint64_t irregular_seed = 0;  // Meaningful only when `irregular`.
 
-  // Parses "ra", "rn", "wb", "rcb", "wcc", ... Aborts on malformed names.
+  // Largest accepted distribution parameter (`rc1000000`); anything larger
+  // is a typo, not a request for a 1M-record deal.
+  static constexpr std::uint64_t kMaxDistParam = 1'000'000;
+
+  // Parses "ra", "rn", "wb", "rcb", "wcc", "rc4", "wb2c8", "ri:7", ...
+  // Aborts on malformed names.
   static PatternSpec Parse(std::string_view name);
 
   // Non-aborting variant for user-supplied names (CLI workload specs):
@@ -118,15 +140,26 @@ class AccessPattern {
     Dist dist = Dist::kNone;
     std::uint64_t size = 1;      // Records in this dimension.
     std::uint32_t groups = 1;    // CP-grid extent in this dimension.
-    std::uint64_t block = 1;     // ceil(size/groups), for BLOCK.
+    // Deal width: BLOCK's block size (param k, or ceil(size/groups));
+    // CYCLIC's block-cyclic chunk (param k, or 1 for plain round-robin).
+    // For BLOCK(k) with k*groups < size, the LAST group absorbs the tail.
+    std::uint64_t block = 1;
 
     std::uint32_t GroupOf(std::uint64_t i) const;
     std::uint64_t LocalOf(std::uint64_t i) const;
     // Number of indices owned by group g.
     std::uint64_t GroupSize(std::uint32_t g) const;
     // Length of the run of consecutive indices starting at i with i's group.
+    // Local offsets are contiguous across such a run.
     std::uint64_t RunLength(std::uint64_t i) const;
+    // Enumerates (start, length) of every maximal run owned by group g, in
+    // ascending index order.
+    void ForEachOwnedRun(std::uint32_t g,
+                         const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
   };
+
+  static DimView MakeDimView(Dist dist, std::uint64_t size, std::uint32_t groups,
+                             std::uint64_t param);
 
   void ForEachChunkSingleCp(std::uint32_t cp, const std::function<void(const Chunk&)>& fn) const;
 
@@ -141,6 +174,14 @@ class AccessPattern {
   std::uint32_t grid_cols_ = 1;
   DimView row_view_;
   DimView col_view_;
+  // `ri:<seed>` only: perm_[r] is the permuted index of record r; ownership
+  // and local placement are those of a 1-d BLOCK distribution applied to the
+  // permuted indices. A pure function of (seed, num_records) — independent
+  // of the engine RNG, so every method sees the same mapping. inv_perm_ is
+  // the inverse (inv_perm_[perm_[r]] == r), used to enumerate one CP's
+  // records without scanning the whole permutation.
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint32_t> inv_perm_;
 };
 
 // Picks matrix dimensions for a record count: the largest R <= sqrt(N) that

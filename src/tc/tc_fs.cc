@@ -194,7 +194,11 @@ sim::Task<> TcFileSystem::CpRun(std::uint32_t cp, const fs::StripedFile& file,
                                 std::uint64_t* request_count) {
   // Split this CP's chunks at file-block boundaries and group by disk. In
   // strided mode, consecutive runs that fall in the same file block coalesce
-  // into one request describing all of them.
+  // into one request describing all of them. ForEachChunk ascends in file
+  // order for EVERY pattern — including irregular `ri:` lists, whose chunks
+  // splinter to single records with permuted cp_offsets — so each per-disk
+  // request list stays file-ascending and the strided same-block coalescing
+  // below remains valid unmodified.
   std::vector<std::vector<BlockRequest>> per_disk(file.num_disks());
   const std::uint64_t block_bytes = file.block_bytes();
   pattern.ForEachChunk(cp, [&](const pattern::AccessPattern::Chunk& chunk) {

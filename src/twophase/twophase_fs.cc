@@ -50,6 +50,9 @@ sim::Task<> TwoPhaseFileSystem::CpPermute(std::uint32_t cp, const fs::StripedFil
   }
 
   // Aggregate the permutation matrix row: counterpart CP -> (bytes, pieces).
+  // Pure per-counterpart sums — no ordering or contiguity assumption — so
+  // block-cyclic and irregular `ri:` targets (whose pieces scatter across
+  // every counterpart) redistribute through the same math.
   std::vector<std::uint64_t> bytes_to(pattern.num_cps(), 0);
   std::vector<std::uint64_t> pieces_to(pattern.num_cps(), 0);
   for (const auto& chunk : conf_chunks) {

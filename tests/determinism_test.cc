@@ -138,6 +138,45 @@ TEST(DeterminismTest, WritePatternsReplayIdenticalEventSequenceAllMethods) {
   }
 }
 
+// Golden coverage for the grammar extensions: parameterized CYCLIC(k)/
+// BLOCK(k) and irregular `ri:<seed>`/`wi:<seed>` index lists must replay
+// byte-identically under all four registered methods. The irregular cases
+// additionally pin that the permutation is a pure function of the spec seed
+// — were it drawn from the engine RNG, the second session here would
+// consume different randomness and the traces would diverge.
+TEST(DeterminismTest, ExtendedPatternsReplayIdenticalEventSequenceAllMethods) {
+  static const char* kExtendedPatterns[] = {"rc4",   "rb2",  "rc2c2", "rb2c8",
+                                            "ri:7",  "wc4",  "wb2",   "wi:7"};
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+
+  for (const char* method : {"tc", "ddio", "ddio-nosort", "twophase"}) {
+    for (const char* pattern : kExtendedPatterns) {
+      auto run_traced = [&](std::uint64_t seed) {
+        std::vector<sim::SimTime> trace;
+        core::WorkloadSession session(cfg, seed);
+        session.engine().set_event_trace(&trace);
+        core::WorkloadPhase phase;
+        phase.pattern = pattern;
+        phase.method = method;
+        const sim::SimTime elapsed = session.RunPhase(phase).elapsed_ns();
+        return std::make_pair(std::move(trace), elapsed);
+      };
+      auto [first_trace, first_elapsed] = run_traced(23);
+      auto [second_trace, second_elapsed] = run_traced(23);
+      ASSERT_GT(first_trace.size(), 0u) << method << " " << pattern;
+      EXPECT_GT(first_elapsed, 0) << method << " " << pattern;
+      EXPECT_EQ(first_elapsed, second_elapsed) << method << " " << pattern;
+      ASSERT_EQ(first_trace, second_trace)
+          << "extended-pattern event sequence diverged (" << method << " " << pattern << ")";
+    }
+  }
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   // Not a correctness requirement per se, but if two different seeds produce
   // identical traces the trace is almost certainly not capturing anything.

@@ -84,6 +84,35 @@ TEST(ParallelRunnerTest, Jobs1VsJobs8ByteIdenticalAcrossMethodsPatternsLayouts) 
   }
 }
 
+// The fig_irregular sweep's cells — parameterized CYCLIC(k) and irregular
+// `ri:` patterns — must stay byte-identical across job counts like every
+// other experiment. `ri:` is the adversarial case: its permutation must be
+// a pure function of the pattern seed, not of which pool thread happens to
+// construct it.
+TEST(ParallelRunnerTest, IrregularSweepCellsJobsByteIdentical) {
+  for (const char* pattern : {"rc4", "ri:3", "wi:3"}) {
+    for (Method method : {Method::kTraditionalCaching, Method::kDiskDirected}) {
+      ExperimentConfig cfg = SmallConfig();
+      cfg.layout = fs::LayoutKind::kRandomBlocks;
+      cfg.method = method;
+      cfg.pattern = pattern;
+      const std::string label = std::string(MethodKey(method)) + "/" + pattern;
+
+      ExperimentResult serial = RunExperiment(cfg, /*jobs=*/1);
+      ExperimentResult parallel = RunExperiment(cfg, /*jobs=*/8);
+
+      ASSERT_EQ(serial.trials.size(), parallel.trials.size()) << label;
+      for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+        ExpectStatsIdentical(serial.trials[t], parallel.trials[t],
+                             label + "/trial" + std::to_string(t));
+      }
+      EXPECT_EQ(serial.total_events, parallel.total_events) << label;
+      EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps) << label;
+      EXPECT_EQ(serial.cv, parallel.cv) << label;
+    }
+  }
+}
+
 TEST(ParallelRunnerTest, MultiPhaseWorkloadJobsByteIdentical) {
   ExperimentConfig cfg = SmallConfig();
   cfg.layout = fs::LayoutKind::kRandomBlocks;

@@ -1,0 +1,291 @@
+// Cross-view pattern-consistency harness.
+//
+// Every AccessPattern serves two query directions: the CP-side ForEachChunk
+// view (what a compute processor requests) and the IOP-side
+// ForEachPieceInRange view (what a disk-directed IOP scatters/gathers). The
+// contract binding the two: the bytes enumerated by ForEachChunk over all
+// CPs exactly tile the file (no gap, no overlap), and ForEachPieceInRange
+// over any partition of the file reproduces the identical (cp, cp_offset)
+// mapping byte for byte. This harness pins that contract for the full
+// grammar — the paper's HPF names AND the extensions (CYCLIC(k)/BLOCK(k)
+// parameters, irregular `ri:<seed>` index lists) — across 1-d and 2-d
+// shapes and several (cps, records, record_size) geometries.
+//
+// The final suite runs every registry method on the new patterns with a
+// ValidationSink attached and asserts all four realize the same per-CP data
+// image (the cross-method data-content check).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/core/validation.h"
+#include "src/core/workload.h"
+#include "src/pattern/pattern.h"
+
+namespace ddio::pattern {
+namespace {
+
+using Chunk = AccessPattern::Chunk;
+using Piece = AccessPattern::Piece;
+
+// The full grammar under test: the paper's 1-d and 2-d names, the
+// parameterized extensions, and irregular index lists.
+const char* const kAllPatternNames[] = {
+    // Paper grammar (reads; the views ignore direction).
+    "rn", "rb", "rc", "rnb", "rbb", "rcb", "rbc", "rcc", "rcn",
+    // Parameterized 1-d: block-cyclic and explicit block size.
+    "rc2", "rc4", "rb3",
+    // Parameterized 2-d, mixed with plain letters.
+    "rc4b2", "rb2c8", "rc2c3", "rnb4",
+    // Irregular index lists (distinct seeds -> distinct permutations).
+    "ri:7", "ri:123",
+};
+
+struct OwnerSpan {
+  std::uint32_t cp = 0;
+  std::uint64_t cp_offset = 0;
+  std::uint64_t file_offset = 0;
+  std::uint64_t length = 0;
+};
+
+class CrossViewTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, std::uint32_t, std::uint64_t, std::uint32_t>> {
+ protected:
+  AccessPattern MakePattern() const {
+    auto [name, cps, records, record_bytes] = GetParam();
+    return AccessPattern(PatternSpec::Parse(name), records * record_bytes, record_bytes, cps);
+  }
+
+  // Builds the CP-side reference: every chunk of every CP, keyed by file
+  // offset, after asserting per-CP chunk sanity (ascending, non-empty,
+  // record-aligned) — and that the chunks tile the file exactly.
+  std::map<std::uint64_t, OwnerSpan> ChunkReference(const AccessPattern& pattern) {
+    std::map<std::uint64_t, OwnerSpan> reference;
+    std::uint64_t total = 0;
+    for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+      std::uint64_t prev_end = 0;
+      bool first = true;
+      std::uint64_t cp_bytes = 0;
+      pattern.ForEachChunk(cp, [&](const Chunk& c) {
+        EXPECT_GT(c.length, 0u);
+        EXPECT_EQ(c.file_offset % pattern.record_bytes(), 0u);
+        EXPECT_EQ(c.length % pattern.record_bytes(), 0u);
+        if (!first) {
+          EXPECT_GE(c.file_offset, prev_end) << "cp " << cp << " chunks must ascend";
+        }
+        first = false;
+        prev_end = c.file_offset + c.length;
+        cp_bytes += c.length;
+        auto [it, inserted] =
+            reference.emplace(c.file_offset, OwnerSpan{cp, c.cp_offset, c.file_offset, c.length});
+        EXPECT_TRUE(inserted) << "two CPs claim file offset " << c.file_offset;
+        (void)it;
+      });
+      EXPECT_EQ(cp_bytes, pattern.CpMemoryBytes(cp)) << "cp " << cp;
+      total += cp_bytes;
+    }
+    EXPECT_EQ(total, pattern.file_bytes());
+    // No gap, no overlap.
+    std::uint64_t cursor = 0;
+    for (const auto& [start, span] : reference) {
+      EXPECT_EQ(start, cursor) << "gap or overlap at file offset " << cursor;
+      cursor = start + span.length;
+    }
+    EXPECT_EQ(cursor, pattern.file_bytes());
+    return reference;
+  }
+};
+
+// The piece view, swept over the whole file in several partitions, must
+// reproduce the chunk view byte for byte: same owner, same cp_offset
+// mapping, exact tiling of every queried range.
+TEST_P(CrossViewTest, PiecesTileChunksExactly) {
+  AccessPattern pattern = MakePattern();
+  if (pattern.spec().all) {
+    GTEST_SKIP() << "ra replicates; covered by its own suite";
+  }
+  std::map<std::uint64_t, OwnerSpan> reference = ChunkReference(pattern);
+  if (HasFailure()) {
+    return;  // Chunk view already inconsistent; piece diagnostics would lie.
+  }
+  auto owner_at = [&](std::uint64_t off) {
+    auto it = reference.upper_bound(off);
+    --it;
+    return it->second;
+  };
+
+  // Partitions: the whole file at once, 8 KB disk blocks, and a misaligned
+  // 1000-byte sweep (ranges need not be record-aligned).
+  const std::uint64_t file_bytes = pattern.file_bytes();
+  const std::uint64_t widths[] = {file_bytes, 8192, 1000};
+  for (std::uint64_t width : widths) {
+    std::uint64_t covered = 0;
+    for (std::uint64_t start = 0; start < file_bytes; start += width) {
+      const std::uint64_t len = std::min<std::uint64_t>(width, file_bytes - start);
+      std::uint64_t pos = start;
+      pattern.ForEachPieceInRange(start, len, [&](const Piece& p) {
+        ASSERT_EQ(p.file_offset, pos) << "gap/overlap in piece stream (width " << width << ")";
+        ASSERT_GT(p.length, 0u);
+        const OwnerSpan span = owner_at(p.file_offset);
+        EXPECT_EQ(p.cp, span.cp) << "owner mismatch at file offset " << p.file_offset;
+        EXPECT_LE(p.file_offset + p.length, span.file_offset + span.length)
+            << "piece crosses chunk boundary at " << p.file_offset;
+        EXPECT_EQ(p.cp_offset, span.cp_offset + (p.file_offset - span.file_offset))
+            << "cp_offset mapping diverges at file offset " << p.file_offset;
+        pos += p.length;
+        covered += p.length;
+      });
+      ASSERT_EQ(pos, start + len) << "range [" << start << ", +" << len << ") not tiled";
+    }
+    EXPECT_EQ(covered, file_bytes) << "width " << width;
+  }
+}
+
+// Reverse direction: per CP, the piece view's memory extents must tile that
+// CP's buffer [0, CpMemoryBytes) exactly — the mapping is a bijection, not
+// merely a surjection onto the file.
+TEST_P(CrossViewTest, PieceMemoryExtentsTileEachCpBuffer) {
+  AccessPattern pattern = MakePattern();
+  if (pattern.spec().all) {
+    GTEST_SKIP() << "ra replicates; covered by its own suite";
+  }
+  std::map<std::uint32_t, std::map<std::uint64_t, std::uint64_t>> memory;  // cp -> off -> end.
+  pattern.ForEachPieceInRange(0, pattern.file_bytes(), [&](const Piece& p) {
+    auto [it, inserted] = memory[p.cp].emplace(p.cp_offset, p.cp_offset + p.length);
+    ASSERT_TRUE(inserted) << "cp " << p.cp << " memory offset " << p.cp_offset
+                          << " written twice";
+    (void)it;
+  });
+  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+    std::uint64_t cursor = 0;
+    for (const auto& [start, end] : memory[cp]) {
+      ASSERT_EQ(start, cursor) << "cp " << cp << " memory gap/overlap at " << cursor;
+      cursor = end;
+    }
+    EXPECT_EQ(cursor, pattern.CpMemoryBytes(cp)) << "cp " << cp;
+  }
+}
+
+// Record-level agreement: OwnerOfRecord/LocalOffsetOfRecord (the mapping the
+// methods use for per-record work) must agree with both enumerated views.
+TEST_P(CrossViewTest, RecordMappingAgreesWithPieceView) {
+  AccessPattern pattern = MakePattern();
+  if (pattern.spec().all) {
+    GTEST_SKIP() << "ra replicates; covered by its own suite";
+  }
+  pattern.ForEachPieceInRange(0, pattern.file_bytes(), [&](const Piece& p) {
+    const std::uint64_t record = p.file_offset / pattern.record_bytes();
+    ASSERT_EQ(p.file_offset % pattern.record_bytes(), 0u);
+    EXPECT_EQ(pattern.OwnerOfRecord(record), p.cp);
+    EXPECT_EQ(pattern.LocalOffsetOfRecord(record), p.cp_offset);
+  });
+}
+
+std::string CrossViewParamName(
+    const ::testing::TestParamInfo<CrossViewTest::ParamType>& param_info) {
+  std::string name = std::get<0>(param_info.param);
+  for (char& c : name) {
+    if (c == ':') {
+      c = '_';
+    }
+  }
+  return name + "_cps" + std::to_string(std::get<1>(param_info.param)) + "_n" +
+         std::to_string(std::get<2>(param_info.param)) + "_rec" +
+         std::to_string(std::get<3>(param_info.param));
+}
+
+// Geometries: paper-like (16 CPs), small-and-prime (7 CPs, 509 records —
+// nothing divides evenly), and a couple of record sizes. 2-d names pick
+// their own matrix shapes from (records, grid), so these cover non-square
+// and non-divisible matrices too.
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, CrossViewTest,
+    ::testing::Combine(::testing::ValuesIn(kAllPatternNames),
+                       ::testing::Values(4u, 7u, 16u),
+                       ::testing::Values(509u, 1280u),
+                       ::testing::Values(8u, 1024u)),
+    CrossViewParamName);
+
+// ---------------------------------------------------------------------------
+// Cross-method data-content check: all four registry methods must realize
+// the identical per-CP data image for the new patterns.
+
+// Coalesces a recorded per-CP extent map (offset -> (counterpart, length))
+// into maximal runs so methods that move the same bytes at different
+// granularities (TC's per-block requests vs DDIO's per-piece Memputs)
+// compare equal.
+std::map<std::uint32_t, std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>>
+CanonicalImage(const std::map<std::uint32_t, std::map<std::uint64_t, core::ValidationSink::Extent>>&
+                   recorded) {
+  std::map<std::uint32_t, std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>>
+      image;
+  for (const auto& [cp, extents] : recorded) {
+    auto& runs = image[cp];
+    for (const auto& [key, extent] : extents) {
+      if (!runs.empty()) {
+        auto& [last_key, last_counterpart, last_length] = runs.back();
+        if (last_key + last_length == key && last_counterpart + last_length == extent.counterpart) {
+          last_length += extent.length;
+          continue;
+        }
+      }
+      runs.emplace_back(key, extent.counterpart, extent.length);
+    }
+  }
+  return image;
+}
+
+TEST(CrossMethodDataImageTest, AllMethodsRealizeTheSameImage) {
+  // Small machine, 8 KB records over a 256 KB file: 32 records, so every
+  // method finishes quickly while the irregular permutation still scatters.
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.record_bytes = 8192;
+
+  for (const char* pattern_name : {"rc4", "rb2", "ri:5", "rb2c8", "wc4", "wi:5"}) {
+    const AccessPattern pattern(PatternSpec::Parse(pattern_name), cfg.file_bytes,
+                                cfg.record_bytes, cfg.machine.num_cps);
+    const bool is_write = pattern.spec().is_write;
+    std::map<std::uint32_t, std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>>>
+        first_image;
+    std::string first_method;
+    for (const char* method : {"tc", "ddio", "ddio-nosort", "twophase"}) {
+      core::ValidationSink sink;
+      core::WorkloadSession session(cfg, /*seed=*/17);
+      session.machine().set_validation(&sink);
+      core::WorkloadPhase phase;
+      phase.pattern = pattern_name;
+      phase.method = method;
+      session.RunPhase(phase);
+
+      std::vector<std::string> errors;
+      EXPECT_TRUE(sink.Verify(pattern, &errors))
+          << method << " " << pattern_name << ": " << (errors.empty() ? "" : errors.front());
+      EXPECT_EQ(is_write ? sink.written_bytes() : sink.delivered_bytes(), cfg.file_bytes)
+          << method << " " << pattern_name;
+
+      auto image = CanonicalImage(is_write ? sink.writes() : sink.deliveries());
+      if (first_method.empty()) {
+        first_image = std::move(image);
+        first_method = method;
+      } else {
+        EXPECT_EQ(image, first_image)
+            << method << " and " << first_method << " realize different data images for "
+            << pattern_name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddio::pattern

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "src/pattern/pattern.h"
@@ -45,6 +47,87 @@ TEST(PatternSpecTest, ParseFlags) {
   EXPECT_TRUE(PatternSpec::Parse("rcb").two_d);
   EXPECT_EQ(PatternSpec::Parse("rcb").row_dist, Dist::kCyclic);
   EXPECT_EQ(PatternSpec::Parse("rcb").col_dist, Dist::kBlock);
+}
+
+TEST(PatternSpecTest, TryParseAcceptsParameterizedAndIrregularNames) {
+  struct Case {
+    const char* name;
+    bool two_d;
+    Dist col_dist;
+    std::uint64_t col_param;
+  };
+  const Case cases[] = {
+      {"rc4", false, Dist::kCyclic, 4},
+      {"rb2", false, Dist::kBlock, 2},
+      {"wc16", false, Dist::kCyclic, 16},
+      {"rc1", false, Dist::kCyclic, 1},
+      {"rb2c8", true, Dist::kCyclic, 8},
+      {"rc4b2", true, Dist::kBlock, 2},
+      {"rnb4", true, Dist::kBlock, 4},
+  };
+  for (const Case& c : cases) {
+    PatternSpec spec;
+    ASSERT_TRUE(PatternSpec::TryParse(c.name, &spec)) << c.name;
+    EXPECT_EQ(spec.two_d, c.two_d) << c.name;
+    EXPECT_EQ(spec.col_dist, c.col_dist) << c.name;
+    EXPECT_EQ(spec.col_param, c.col_param) << c.name;
+    EXPECT_EQ(spec.Name(), c.name) << "round trip";
+  }
+  PatternSpec spec;
+  ASSERT_TRUE(PatternSpec::TryParse("rb2c8", &spec));
+  EXPECT_EQ(spec.row_dist, Dist::kBlock);
+  EXPECT_EQ(spec.row_param, 2u);
+
+  ASSERT_TRUE(PatternSpec::TryParse("ri:7", &spec));
+  EXPECT_TRUE(spec.irregular);
+  EXPECT_FALSE(spec.is_write);
+  EXPECT_EQ(spec.irregular_seed, 7u);
+  EXPECT_EQ(spec.Name(), "ri:7");
+
+  ASSERT_TRUE(PatternSpec::TryParse("wi:0", &spec));
+  EXPECT_TRUE(spec.irregular);
+  EXPECT_TRUE(spec.is_write);
+  EXPECT_EQ(spec.irregular_seed, 0u);
+  EXPECT_EQ(spec.Name(), "wi:0");
+
+  // Largest accepted values: max distribution parameter, max uint64 seed.
+  ASSERT_TRUE(PatternSpec::TryParse("rc1000000", &spec));
+  EXPECT_EQ(spec.col_param, PatternSpec::kMaxDistParam);
+  ASSERT_TRUE(PatternSpec::TryParse("ri:18446744073709551615", &spec));
+  EXPECT_EQ(spec.irregular_seed, std::numeric_limits<std::uint64_t>::max());
+}
+
+// TryParse is the single owner of the grammar and the barrier between
+// user-supplied `--workload=`/`--pattern=` strings and Parse's abort: it
+// must return false — never crash, never accept — on malformed input.
+TEST(PatternSpecTest, TryParseRejectsMalformedNames) {
+  const char* const malformed[] = {
+      "", "r", "w", "a", "x", "br",            // Too short / wrong prefix.
+      "Rb", "rB", "r b", "rb ", " rb",         // Case and whitespace matter.
+      "ra4", "raa", "rab",                     // `a` takes no parameter or dims.
+      "rn4", "rnb0", "rn0",                    // `n` takes no parameter.
+      "rc0", "rb0", "rb2c0",                   // Zero block size.
+      "rb-1", "rc-4",                          // Signs are not digits.
+      "rc01", "rb007",                         // Leading zeros break round-trip.
+      "rc1000001", "rc99999999999999999999",   // Over kMaxDistParam / overlong.
+      "rc4x", "rb2c8x", "rcc4c", "rbbb",       // Trailing junk / three dims.
+      "ri", "ri:", "wi:", "ri:abc", "ri:1x",   // Irregular needs a decimal seed.
+      "ri:-1", "ri:01", "ri: 1",               // Strict decimal.
+      "ri:18446744073709551616",               // Seed overflows uint64.
+      "ric", "ri4", "rib",                     // `i` is not a dimension letter.
+  };
+  for (const char* name : malformed) {
+    PatternSpec spec;
+    EXPECT_FALSE(PatternSpec::TryParse(name, &spec)) << "\"" << name << "\"";
+  }
+  // Embedded NULs (a string_view is not NUL-terminated; the parser must not
+  // treat the NUL as a terminator and accept the prefix).
+  PatternSpec spec;
+  EXPECT_FALSE(PatternSpec::TryParse(std::string_view("rb\0", 3), &spec));
+  EXPECT_FALSE(PatternSpec::TryParse(std::string_view("r\0b", 3), &spec));
+  EXPECT_FALSE(PatternSpec::TryParse(std::string_view("rc4\0", 4), &spec));
+  EXPECT_FALSE(PatternSpec::TryParse(std::string_view("ri:7\0", 5), &spec));
+  EXPECT_FALSE(PatternSpec::TryParse(std::string_view("\0rb", 3), &spec));
 }
 
 TEST(PatternSpecTest, PaperPatternListHas19Entries) {
@@ -401,6 +484,159 @@ TEST(PatternMappingTest, EightByteCyclicBlockHas1024Pieces) {
     ++pieces;
   });
   EXPECT_EQ(pieces, 1024);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized CYCLIC(k) / BLOCK(k) semantics.
+
+TEST(BlockCyclicTest, Cyclic2DealsPairsRoundRobin) {
+  // c2 over 8 records, 2 CPs: CP0 owns {0,1,4,5}, CP1 owns {2,3,6,7}.
+  AccessPattern pattern(PatternSpec::Parse("rc2"), 8, 1, 2);
+  const std::uint32_t owners[] = {0, 0, 1, 1, 0, 0, 1, 1};
+  const std::uint64_t locals[] = {0, 1, 0, 1, 2, 3, 2, 3};
+  for (std::uint64_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(pattern.OwnerOfRecord(r), owners[r]) << r;
+    EXPECT_EQ(pattern.LocalOffsetOfRecord(r), locals[r]) << r;
+  }
+  auto chunks = pattern.ChunksOf(0);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].length, 2u);  // cs = k = 2.
+  EXPECT_EQ(chunks[1].file_offset - chunks[0].file_offset, 4u);  // s = k*P = 4.
+  EXPECT_EQ(pattern.CpMemoryBytes(0), 4u);
+  EXPECT_EQ(pattern.CpMemoryBytes(1), 4u);
+}
+
+TEST(BlockCyclicTest, CyclicKCoveringShareEqualsBlock) {
+  // CYCLIC(4) over 8 records, 2 CPs is exactly BLOCK: one deal each.
+  AccessPattern block_cyclic(PatternSpec::Parse("rc4"), 8, 1, 2);
+  AccessPattern block(PatternSpec::Parse("rb"), 8, 1, 2);
+  for (std::uint32_t cp = 0; cp < 2; ++cp) {
+    auto a = block_cyclic.ChunksOf(cp);
+    auto b = block.ChunksOf(cp);
+    ASSERT_EQ(a.size(), b.size()) << cp;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].file_offset, b[i].file_offset);
+      EXPECT_EQ(a[i].cp_offset, b[i].cp_offset);
+      EXPECT_EQ(a[i].length, b[i].length);
+    }
+  }
+}
+
+TEST(BlockCyclicTest, CyclicKPartialFinalDeal) {
+  // c4 over 10 records, 2 CPs: CP0 {0-3, 8-9}, CP1 {4-7}.
+  AccessPattern pattern(PatternSpec::Parse("rc4"), 10, 1, 2);
+  EXPECT_EQ(pattern.CpMemoryBytes(0), 6u);
+  EXPECT_EQ(pattern.CpMemoryBytes(1), 4u);
+  EXPECT_EQ(pattern.OwnerOfRecord(8), 0u);
+  EXPECT_EQ(pattern.LocalOffsetOfRecord(8), 4u);
+  EXPECT_EQ(pattern.OwnerOfRecord(9), 0u);
+  EXPECT_EQ(pattern.LocalOffsetOfRecord(9), 5u);
+}
+
+TEST(BlockCyclicTest, BlockKLastGroupAbsorbsTail) {
+  // b2 over 8 records, 3 CPs: CP0 {0,1}, CP1 {2,3}, CP2 {4,5,6,7}.
+  AccessPattern pattern(PatternSpec::Parse("rb2"), 8, 1, 3);
+  EXPECT_EQ(pattern.CpMemoryBytes(0), 2u);
+  EXPECT_EQ(pattern.CpMemoryBytes(1), 2u);
+  EXPECT_EQ(pattern.CpMemoryBytes(2), 4u);
+  auto tail = pattern.ChunksOf(2);
+  ASSERT_EQ(tail.size(), 1u);  // The tail is one contiguous chunk.
+  EXPECT_EQ(tail[0].file_offset, 4u);
+  EXPECT_EQ(tail[0].length, 4u);
+  EXPECT_EQ(tail[0].cp_offset, 0u);
+}
+
+TEST(BlockCyclicTest, TwoDimensionalParameterizedGrid) {
+  // rc2c2 on an 8x8 matrix over 4 CPs (2x2 grid): 2x2 tiles dealt round
+  // robin in both dimensions — CP0 owns rows {0,1,4,5} x cols {0,1,4,5}.
+  AccessPattern pattern(PatternSpec::Parse("rc2c2"), 64, 1, 4);
+  EXPECT_EQ(pattern.rows(), 8u);
+  EXPECT_EQ(pattern.cols(), 8u);
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    EXPECT_EQ(pattern.CpMemoryBytes(cp), 16u) << cp;
+  }
+  auto chunks = pattern.ChunksOf(0);
+  ASSERT_EQ(chunks.size(), 8u);  // 4 owned rows x 2 column runs each.
+  EXPECT_EQ(chunks[0].length, 2u);
+  EXPECT_EQ(chunks[0].file_offset, 0u);
+  EXPECT_EQ(chunks[1].file_offset, 4u);  // Next owned column deal, same row.
+}
+
+// ---------------------------------------------------------------------------
+// Irregular index lists (`ri:<seed>`).
+
+TEST(IrregularPatternTest, SeedDeterminesThePermutation) {
+  AccessPattern a(PatternSpec::Parse("ri:7"), 512, 8, 4);
+  AccessPattern b(PatternSpec::Parse("ri:7"), 512, 8, 4);
+  AccessPattern c(PatternSpec::Parse("ri:8"), 512, 8, 4);
+  bool identical_to_b = true;
+  bool identical_to_c = true;
+  for (std::uint64_t r = 0; r < a.num_records(); ++r) {
+    identical_to_b = identical_to_b && a.OwnerOfRecord(r) == b.OwnerOfRecord(r) &&
+                     a.LocalOffsetOfRecord(r) == b.LocalOffsetOfRecord(r);
+    identical_to_c = identical_to_c && a.OwnerOfRecord(r) == c.OwnerOfRecord(r);
+  }
+  EXPECT_TRUE(identical_to_b) << "same seed must map identically";
+  EXPECT_FALSE(identical_to_c) << "different seeds must permute differently";
+}
+
+TEST(IrregularPatternTest, OwnershipIsScatteredButBalanced) {
+  // 64 records over 4 CPs: equal 16-record shares, but NOT the contiguous
+  // BLOCK assignment (that would mean the permutation did nothing).
+  AccessPattern pattern(PatternSpec::Parse("ri:3"), 64 * 8, 8, 4);
+  std::map<std::uint32_t, std::uint64_t> count;
+  bool any_nonblock = false;
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    const std::uint32_t cp = pattern.OwnerOfRecord(r);
+    ASSERT_LT(cp, 4u);
+    ++count[cp];
+    any_nonblock = any_nonblock || cp != r / 16;
+  }
+  for (std::uint32_t cp = 0; cp < 4; ++cp) {
+    EXPECT_EQ(count[cp], 16u) << cp;
+    EXPECT_EQ(pattern.CpMemoryBytes(cp), 16u * 8u) << cp;
+  }
+  EXPECT_TRUE(any_nonblock);
+}
+
+TEST(IrregularPatternTest, LocalOffsetsAreABijectionPerCp) {
+  AccessPattern pattern(PatternSpec::Parse("ri:11"), 509 * 8, 8, 7);  // Prime count.
+  std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+  for (std::uint64_t r = 0; r < pattern.num_records(); ++r) {
+    const std::uint32_t cp = pattern.OwnerOfRecord(r);
+    const std::uint64_t off = pattern.LocalOffsetOfRecord(r);
+    EXPECT_LT(off, pattern.CpMemoryBytes(cp));
+    EXPECT_EQ(off % 8, 0u);
+    EXPECT_TRUE(seen.emplace(cp, off).second) << "record " << r << " collides";
+  }
+  EXPECT_EQ(seen.size(), pattern.num_records());
+}
+
+TEST(IrregularPatternTest, FewerRecordsThanCpsLeavesTailCpsEmpty) {
+  // 8 records over 16 CPs: shares past the end are empty, not out-of-range
+  // reads of the inverse permutation.
+  AccessPattern pattern(PatternSpec::Parse("ri:4"), 8 * 8192, 8192, 16);
+  std::uint64_t total = 0;
+  std::uint32_t participating = 0;
+  for (std::uint32_t cp = 0; cp < 16; ++cp) {
+    std::uint64_t cp_bytes = 0;
+    pattern.ForEachChunk(cp, [&](const AccessPattern::Chunk& c) { cp_bytes += c.length; });
+    EXPECT_EQ(cp_bytes, pattern.CpMemoryBytes(cp)) << cp;
+    total += cp_bytes;
+    participating += pattern.CpParticipates(cp) ? 1 : 0;
+  }
+  EXPECT_EQ(total, pattern.file_bytes());
+  EXPECT_EQ(participating, 8u);  // block = ceil(8/16) = 1: first 8 shares.
+}
+
+TEST(IrregularPatternTest, PiecesAreSingleRecords) {
+  AccessPattern pattern(PatternSpec::Parse("ri:1"), 64 * 1024, 8192, 4);
+  int pieces = 0;
+  pattern.ForEachPieceInRange(0, 64 * 1024, [&](const Piece& p) {
+    EXPECT_EQ(p.length, 8192u);
+    ++pieces;
+  });
+  EXPECT_EQ(pieces, 8);
 }
 
 TEST(PatternMappingTest, EightKbCyclicBlockIsOnePiece) {

@@ -26,6 +26,35 @@ ExperimentConfig SmallConfig() {
   return cfg;
 }
 
+TEST(WorkloadGeometryTest, ValidatesWholeRecordsWithSlotInheritance) {
+  ExperimentConfig cfg = SmallConfig();  // 1 MB default file, 8 KB records.
+  Workload workload;
+  std::string error;
+
+  // Valid: every phase's effective geometry holds whole records.
+  ASSERT_TRUE(Workload::Parse("wb;rb,record=4096;rc,mb=2,file=1", &workload, &error)) << error;
+  EXPECT_TRUE(workload.ValidateGeometry(cfg, &error)) << error;
+
+  // A later phase inherits the slot size its FIRST-using phase fixed (3 MB),
+  // not the experiment default — record=2097152 does not divide 3 MB.
+  ASSERT_TRUE(Workload::Parse("rb,mb=3;rc,record=2097152", &workload, &error)) << error;
+  EXPECT_FALSE(workload.ValidateGeometry(cfg, &error));
+  EXPECT_NE(error.find("2097152"), std::string::npos) << error;
+
+  // ...and conversely a slot-sized record that does NOT divide the default
+  // is fine when it divides the slot's actual size (4 MB).
+  ASSERT_TRUE(Workload::Parse("rb,mb=4;rc,record=4194304", &workload, &error)) << error;
+  EXPECT_TRUE(workload.ValidateGeometry(cfg, &error)) << error;
+
+  // Distinct file slots resolve independently.
+  ASSERT_TRUE(Workload::Parse("rb,mb=3;rb,file=1,record=4096", &workload, &error)) << error;
+  EXPECT_TRUE(workload.ValidateGeometry(cfg, &error)) << error;
+
+  // The experiment default applies to slots no phase sizes explicitly.
+  ASSERT_TRUE(Workload::Parse("rb,record=6000", &workload, &error)) << error;
+  EXPECT_FALSE(workload.ValidateGeometry(cfg, &error));
+}
+
 TEST(WorkloadSpecTest, ParsesPhasesAndOptions) {
   Workload workload;
   std::string error;
