@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       cfg.ddio_buffers_per_disk = buffers;
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
+      options.ApplyMachine(&cfg.machine);
       return core::RunExperiment(cfg, options.jobs).mean_mbps;
     };
     table.AddRow({std::to_string(buffers),

@@ -1,0 +1,120 @@
+// Ablation: the access methods across storage-device models — the
+// scheduling-vs-batching question the paper could not ask.
+//
+// Disk-directed I/O's advantage on the HP 97560 mixes two effects: (1) the
+// IOP schedules the *mechanism* near-optimally because it sees the whole
+// request up front (presort, one sweep across the platters), and (2) the
+// request stream is coalesced into large per-disk batches (fewer commands,
+// no per-record request processing). Sweeping the same collective over
+//
+//   hp97560  the paper's drive: positioning dominates, both effects live
+//   fixed    constant per-command cost: positioning is free, only batching
+//            (command count) matters — an analytic upper bound
+//   ssd      flash-like: no positioning, read/write latency asymmetry, an
+//            erase-block penalty that rewards sequential writes a little
+//   hp97560+ssd  a heterogeneous half-HDD/half-SSD fleet (round-robin)
+//
+// separates them: DDIO's edge over TC on `hp97560` (about 2x on a
+// random-block layout) should shrink on `ssd`/`fixed` to the residual of
+// request coalescing and IOP-CPU work. Results land in BENCH_disks.json.
+//
+// Same flags as every bench (--trials, --file-mb, --quick, --jobs, --json)
+// EXCEPT --disk: the model sweep is this bench's subject, so a --disk
+// override is rejected rather than silently ignored. Output is
+// byte-identical for any --jobs value.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fig_patterns_common.h"
+#include "src/core/parallel.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace ddio;
+  bench::BenchOptions options = bench::BenchOptions::Parse(argc, argv);
+  if (!options.disks.empty()) {
+    std::fprintf(stderr,
+                 "ablation_disk_models sweeps its own fixed model set; --disk is not "
+                 "accepted here\n");
+    return 2;
+  }
+  bench::PrintPreamble("Ablation: access methods x storage-device models",
+                       "beyond the paper: scheduling vs batching (Section 8 extrapolation)",
+                       options);
+
+  struct ModelRow {
+    const char* label;  // Short name for the table / JSON "disk" field.
+    const char* spec;   // '+'-joined DiskSpec list.
+  };
+  static const ModelRow kModels[] = {
+      {"hp97560", "hp97560"},
+      {"fixed", "fixed:lat=0.2ms,bw=40MB"},
+      {"ssd", "ssd:chan=4,rlat=80us,wlat=200us"},
+      {"hp97560+ssd", "hp97560+ssd:chan=4,rlat=80us,wlat=200us"},
+  };
+  // rb on the random layout is where presort matters most (Figure 3's 2x);
+  // wb adds the write direction, where the SSD's read/write asymmetry and
+  // per-block erase penalties on randomly placed blocks bite.
+  static const char* kPatterns[] = {"rb", "wb"};
+  const std::vector<std::string> methods = {"ddio", "ddio-nosort", "tc", "twophase"};
+
+  std::vector<core::ExperimentConfig> cells;
+  for (const ModelRow& model : kModels) {
+    for (const char* pattern : kPatterns) {
+      for (const std::string& method : methods) {
+        core::ExperimentConfig cfg;
+        cfg.pattern = pattern;
+        cfg.record_bytes = 8192;
+        cfg.layout = fs::LayoutKind::kRandomBlocks;
+        bench::ApplyMethod(cfg, method);
+        cfg.trials = options.trials;
+        cfg.file_bytes = options.file_bytes();
+        std::string error;
+        std::vector<disk::DiskSpec> specs;
+        if (!disk::DiskSpec::TryParseList(model.spec, &specs, &error)) {
+          std::fprintf(stderr, "ablation_disk_models: bad built-in spec %s: %s\n", model.spec,
+                       error.c_str());
+          return 2;
+        }
+        cfg.machine.SetDisks(std::move(specs));
+        cells.push_back(std::move(cfg));
+      }
+    }
+  }
+  core::TrialExecutor executor(options.jobs);
+  std::vector<core::ExperimentResult> results = executor.Map<core::ExperimentResult>(
+      cells.size(), [&](std::size_t i) { return core::RunExperiment(cells[i], 1); });
+
+  bench::JsonPointSink json(options.json_path);
+  std::size_t cell = 0;
+  for (std::size_t m = 0; m < std::size(kModels); ++m) {
+    std::printf("-- %s (%s) --\n", kModels[m].label, kModels[m].spec);
+    std::vector<std::string> headers = {"pattern"};
+    for (const std::string& method : methods) {
+      headers.push_back(bench::MethodLabel(method) + " MB/s");
+      headers.push_back("cv");
+    }
+    core::Table table(headers);
+    for (const char* pattern : kPatterns) {
+      std::vector<std::string> row = {pattern};
+      for (const std::string& method : methods) {
+        const core::ExperimentResult& result = results[cell++];
+        row.push_back(core::Fixed(result.mean_mbps, 2));
+        row.push_back(core::Fixed(result.cv, 3));
+        json.Add("model", m, bench::MethodLabel(method), pattern, result.mean_mbps, result.cv,
+                 options.trials, kModels[m].label);
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("(random-block layout, 8 KB records; DDIO-vs-TC ratio on hp97560 vs ssd/fixed\n"
+              " = how much of disk-directed I/O's win is device scheduling vs batching)\n");
+  return 0;
+}

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
         cfg.machine.disk_queue = policy;
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
+        options.ApplyMachine(&cfg.machine);
         return core::RunExperiment(cfg, options.jobs).mean_mbps;
       };
       table.AddRow(

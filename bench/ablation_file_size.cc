@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       cfg.method = method;
       cfg.trials = options.trials;
       cfg.file_bytes = mb * 1024 * 1024;
+      options.ApplyMachine(&cfg.machine);
       return core::RunExperiment(cfg, options.jobs).mean_mbps;
     };
     const double ddio_rb = run("rb", 8192, core::Method::kDiskDirected);

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     core::ParallelFor(options.jobs, options.trials, [&](std::size_t trial) {
       sim::Engine engine(3000 + static_cast<std::uint64_t>(trial));
       core::MachineConfig mc;
+      options.ApplyMachine(&mc);
       core::Machine machine(engine, mc);
       fs::StripedFile::Params fp;
       fp.file_bytes = options.file_bytes();

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
         cfg.file_bytes = options.file_bytes();
         cfg.tc_strided = extension && method == core::Method::kTraditionalCaching;
         cfg.ddio_gather_scatter = extension && method == core::Method::kDiskDirected;
+        options.ApplyMachine(&cfg.machine);
         return core::RunExperiment(cfg, options.jobs).mean_mbps;
       };
       table.AddRow({pattern, std::to_string(record),

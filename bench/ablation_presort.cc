@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
       cfg.layout = layout;
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
+      options.ApplyMachine(&cfg.machine);
       cfg.method = core::Method::kDiskDirected;
       auto sorted = core::RunExperiment(cfg, options.jobs);
       cfg.method = core::Method::kDiskDirectedNoSort;

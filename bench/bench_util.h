@@ -8,6 +8,10 @@
 //   --quick       1 trial, 2 MB file: CI-friendly smoke mode
 //   --jobs=N      run independent simulations on N threads (0 = all hardware
 //                 threads; default 1). Output is byte-identical for any N.
+//   --disk=SPEC   storage-device model(s) from the DiskModelRegistry, e.g.
+//                 hp97560:seg=4, fixed:lat=0.2ms,bw=40MB, or
+//                 ssd:chan=4,rlat=80us,wlat=200us; '+'-join specs for a
+//                 heterogeneous fleet (round-robin over the disks)
 //   --json=PATH   also write machine-readable results (per-point means/CIs)
 //                 to PATH
 
@@ -19,7 +23,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/core/config.h"
+#include "src/disk/disk_registry.h"
 
 namespace ddio::bench {
 
@@ -29,6 +37,8 @@ struct BenchOptions {
   bool quick = false;
   unsigned jobs = 1;      // 0 = one job per hardware thread.
   std::string json_path;  // Empty: no JSON output.
+  // Parsed --disk fleet; empty = the config default (hp97560).
+  std::vector<disk::DiskSpec> disks;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions options;
@@ -51,12 +61,21 @@ struct BenchOptions {
           std::fprintf(stderr, "--jobs wants a number (0 = all hardware threads): %s\n", arg);
           std::exit(2);
         }
+      } else if (std::strncmp(arg, "--disk=", 7) == 0) {
+        std::string error;
+        if (!disk::DiskSpec::TryParseList(arg + 7, &options.disks, &error)) {
+          std::fprintf(stderr, "--disk: %s\n", error.c_str());
+          std::exit(2);
+        }
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         options.json_path = arg + 7;
       } else if (std::strcmp(arg, "--help") == 0) {
         std::printf(
-            "usage: %s [--trials=N] [--file-mb=N] [--quick] [--jobs=N] [--json=PATH]\n",
-            argv[0]);
+            "usage: %s [--trials=N] [--file-mb=N] [--quick] [--jobs=N] [--disk=SPEC]\n"
+            "          [--json=PATH]\n"
+            "  --disk models (%s): e.g. hp97560:seg=4, fixed:lat=0.2ms,bw=40MB,\n"
+            "         ssd:chan=4,rlat=80us,wlat=200us; '+'-join for a fleet\n",
+            argv[0], disk::DiskModelRegistry::BuiltIns().NamesJoined(" | ").c_str());
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg);
@@ -71,6 +90,14 @@ struct BenchOptions {
   }
 
   std::uint64_t file_bytes() const { return file_mb * 1024 * 1024; }
+
+  // Applies the parsed --disk fleet to a machine config (no-op without
+  // --disk, keeping default runs bit-identical to the pre-flag binaries).
+  void ApplyMachine(core::MachineConfig* machine) const {
+    if (!disks.empty()) {
+      machine->SetDisks(disks);
+    }
+  }
 };
 
 // Collects per-point results (mean + coefficient of variation across trials)
@@ -84,17 +111,19 @@ class JsonPointSink {
   ~JsonPointSink() { Flush(); }
 
   void Add(const std::string& dimension, std::uint64_t value, const std::string& method,
-           const std::string& pattern, double mean_mbps, double cv, std::uint32_t trials) {
+           const std::string& pattern, double mean_mbps, double cv, std::uint32_t trials,
+           const std::string& disk_model = "") {
     if (path_.empty()) {
       return;
     }
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"%s\": %llu, \"method\": \"%s\", \"pattern\": \"%s\", "
-                  "\"mean_mbps\": %.4f, \"cv\": %.4f, \"trials\": %u}",
-                  dimension.c_str(), static_cast<unsigned long long>(value), method.c_str(),
-                  pattern.c_str(), mean_mbps, cv, trials);
-    points_.emplace_back(buf);
+    const std::string disk_field =
+        disk_model.empty() ? "" : "\"disk\": \"" + disk_model + "\", ";
+    char tail[96];
+    std::snprintf(tail, sizeof(tail), "\"mean_mbps\": %.4f, \"cv\": %.4f, \"trials\": %u}",
+                  mean_mbps, cv, trials);
+    points_.push_back("    {\"" + dimension + "\": " + std::to_string(value) +
+                      ", \"method\": \"" + method + "\", \"pattern\": \"" + pattern + "\", " +
+                      disk_field + tail);
   }
 
   void Flush() {
@@ -125,6 +154,9 @@ inline void PrintPreamble(const char* title, const char* paper_reference,
                           const BenchOptions& options) {
   std::printf("== %s ==\n", title);
   std::printf("paper reference: %s\n", paper_reference);
+  if (!options.disks.empty()) {
+    std::printf("disk model: %s\n", disk::JoinSpecTexts(options.disks).c_str());
+  }
   std::printf("file: %llu MB, trials per point: %u\n\n",
               static_cast<unsigned long long>(options.file_mb), options.trials);
 }

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
       bench::ApplyMethod(cfg, method);
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
+      options.ApplyMachine(&cfg.machine);
       cells.push_back(std::move(cfg));
     }
   }

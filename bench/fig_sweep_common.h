@@ -58,6 +58,7 @@ inline void RunSweep(const BenchOptions& options, const char* dimension_name,
         ApplyMethod(cfg, method);
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
+        options.ApplyMachine(&cfg.machine);
         configure(cfg, value);
         cells.push_back(std::move(cfg));
       }

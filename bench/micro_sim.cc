@@ -6,8 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include "src/disk/bus.h"
+#include "src/disk/disk_registry.h"
 #include "src/disk/disk_unit.h"
-#include "src/disk/hp97560.h"
 #include "src/net/network.h"
 #include "src/sim/channel.h"
 #include "src/sim/engine.h"
@@ -114,10 +114,10 @@ BENCHMARK(BM_NetworkMessages)->Arg(5000);
 
 void BM_DiskSequentialAccess(benchmark::State& state) {
   for (auto _ : state) {
-    disk::Hp97560 disk{disk::Hp97560::Params{}};
+    auto disk = disk::DiskModelRegistry::BuiltIns().Create("hp97560");
     sim::SimTime t = 0;
     for (std::int64_t i = 0; i < state.range(0); ++i) {
-      t = disk.Access(t, static_cast<std::uint64_t>(i) * 16, 16, false).completion;
+      t = disk->Access(t, static_cast<std::uint64_t>(i) * 16, 16, false).completion;
     }
     benchmark::DoNotOptimize(t);
   }
@@ -132,10 +132,10 @@ void BM_DiskRandomAccess(benchmark::State& state) {
     lbns.push_back(seed_engine.rng().Uniform(0, 160'000) * 16);
   }
   for (auto _ : state) {
-    disk::Hp97560 disk{disk::Hp97560::Params{}};
+    auto disk = disk::DiskModelRegistry::BuiltIns().Create("hp97560");
     sim::SimTime t = 0;
     for (std::int64_t i = 0; i < state.range(0); ++i) {
-      t = disk.Access(t, lbns[static_cast<std::size_t>(i) % lbns.size()], 16, false).completion;
+      t = disk->Access(t, lbns[static_cast<std::size_t>(i) % lbns.size()], 16, false).completion;
     }
     benchmark::DoNotOptimize(t);
   }
@@ -147,7 +147,7 @@ void BM_DiskUnitPipeline(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine engine;
     disk::ScsiBus bus(engine, "bus");
-    disk::DiskUnit unit(engine, disk::Hp97560::Params{}, bus, 0);
+    disk::DiskUnit unit(engine, disk::DiskModelRegistry::BuiltIns().Create("hp97560"), bus, 0);
     unit.Start();
     engine.Spawn([](sim::Engine& e, disk::DiskUnit& d, std::int64_t n) -> sim::Task<> {
       sim::Semaphore window(e, 2);

@@ -132,6 +132,7 @@ PerfResult EndToEnd(const BenchOptions& options, core::Method method, const char
   cfg.method = method;
   cfg.trials = options.trials;
   cfg.file_bytes = options.file_bytes();
+  options.ApplyMachine(&cfg.machine);
   const auto begin = std::chrono::steady_clock::now();
   auto result = core::RunExperiment(cfg);
   const auto end = std::chrono::steady_clock::now();
@@ -161,6 +162,7 @@ PerfResult SweepAtJobs(const BenchOptions& options, unsigned jobs) {
       cfg.method = method;
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
+      options.ApplyMachine(&cfg.machine);
       cells.push_back(std::move(cfg));
     }
   }

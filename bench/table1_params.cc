@@ -1,19 +1,36 @@
 // Table 1: the simulator parameters. Prints the machine configuration this
 // reproduction uses, next to the values the paper lists, and the derived
-// rates the rest of the evaluation depends on.
+// rates the rest of the evaluation depends on. The storage device is
+// resolved through the DiskModelRegistry — pass --disk=SPEC to print any
+// model's parameters (the paper column cites the HP 97560 it used).
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "src/core/config.h"
 #include "src/core/report.h"
-#include "src/disk/hp97560.h"
+#include "src/disk/disk_registry.h"
 #include "src/net/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using ddio::core::Fixed;
   ddio::core::MachineConfig config;
-  ddio::disk::Hp97560 disk(config.disk);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--disk=", 7) == 0) {
+      std::string error;
+      if (!ddio::disk::DiskSpec::TryParse(argv[i] + 7, &config.disk, &error)) {
+        std::fprintf(stderr, "--disk: %s\n", error.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--disk=SPEC]  (models: %s)\n", argv[0],
+                   ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined(", ").c_str());
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+  auto disk = config.disk.Build();
   auto torus = ddio::net::TorusTopology::ForNodeCount(config.num_nodes());
 
   std::printf("== Table 1: Parameters for simulator ==\n\n");
@@ -25,12 +42,12 @@ int main() {
   table.AddRow({"CPU speed, type", std::to_string(config.cpu_mhz) + " MHz, RISC",
                 "50 MHz, RISC"});
   table.AddRow({"Disks", std::to_string(config.num_disks), "16 *"});
-  table.AddRow({"Disk type", "HP 97560", "HP 97560"});
+  table.AddRow({"Disk type", disk->name(), "HP 97560"});
   table.AddRow({"Disk capacity",
-                Fixed(static_cast<double>(config.disk.geometry.CapacityBytes()) / 1e9, 2) + " GB",
+                Fixed(static_cast<double>(disk->CapacityBytes()) / 1e9, 2) + " GB",
                 "1.3 GB"});
   table.AddRow({"Disk peak transfer rate",
-                Fixed(disk.SustainedBandwidthBytesPerSec() / 1e6, 2) + " MB/s",
+                Fixed(disk->SustainedBandwidthBytesPerSec() / 1e6, 2) + " MB/s",
                 "2.34 Mbytes/s"});
   table.AddRow({"File-system block size", std::to_string(config.block_bytes / 1024) + " KB",
                 "8 KB"});
@@ -53,14 +70,13 @@ int main() {
   table.AddRow({"Routing", "store-and-forward NIC model (see DESIGN.md)", "wormhole"});
   table.Print(std::cout);
 
+  std::printf("\nDisk model parameters (%s):\n", config.disk.text().c_str());
+  for (const auto& [param, value] : disk->DescribeParams()) {
+    std::printf("  %-24s %s\n", param.c_str(), value.c_str());
+  }
   std::printf("\nDerived rates:\n");
-  std::printf("  rotation period:        %s ms (4002 RPM)\n",
-              Fixed(config.disk.geometry.RotationPeriod() / 1e6, 3).c_str());
-  std::printf("  aggregate disk peak:    %s MB/s for %u disks (paper: 37.5)\n",
-              Fixed(disk.SustainedBandwidthBytesPerSec() * config.num_disks / 1e6, 1).c_str(),
+  std::printf("  aggregate disk peak:    %s MB/s for %u disks (paper: 37.5 with 16 HP 97560)\n",
+              Fixed(disk->SustainedBandwidthBytesPerSec() * config.num_disks / 1e6, 1).c_str(),
               config.num_disks);
-  std::printf("  seek(1)/seek(max):      %s / %s ms\n",
-              Fixed(config.disk.seek.SeekTime(1) / 1e6, 2).c_str(),
-              Fixed(config.disk.seek.SeekTime(1961) / 1e6, 2).c_str());
   return 0;
 }

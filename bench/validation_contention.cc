@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
       cfg.machine.net.model_link_contention = contention;
       cfg.trials = options.trials;
       cfg.file_bytes = options.file_bytes();
+      options.ApplyMachine(&cfg.machine);
       return core::RunExperiment(cfg, options.jobs).mean_mbps;
     };
     const double nic_only = run(false);

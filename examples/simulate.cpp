@@ -16,10 +16,17 @@
 //   --method=M         any registered method: tc | ddio | ddio-nosort | twophase
 //   --layout=L         contiguous | random (default contiguous)
 //   --cps=N --iops=N --disks=N --file-mb=N --trials=N --seed=N
+//   --disk=SPEC        storage-device model: hp97560 | hp97560:seg=4,ra=256 |
+//                      fixed:lat=0.2ms,bw=40MB | ssd:chan=4,rlat=80us,wlat=200us;
+//                      join with '+' for a heterogeneous fleet (round-robin)
 //   --jobs=N           run independent trials on N threads (0 = all hardware
 //                      threads; default 1). Output is byte-identical for any N.
 //   --workload=SPEC    multi-operation session: "PHASE[;PHASE...]" with PHASE =
-//                      PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M][,compute=MS]
+//                      PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M]
+//                      [,compute=MS][,filter=F][,fseed=N]
+//   --filter=F         filtered read keeping fraction F of records (methods
+//                      with caps().supports_filtered_read only)
+//   --filter-seed=N    selection seed for --filter (default 0)
 //   --json=PATH        machine-readable per-phase results (bench JSON format)
 //   --elevator         C-SCAN IOP disk queues (default FCFS)
 //   --strided          TC strided requests (future-work extension)
@@ -32,6 +39,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/fs_registry.h"
@@ -39,6 +48,7 @@
 #include "src/core/runner.h"
 #include "src/core/validation.h"
 #include "src/core/workload.h"
+#include "src/disk/disk_registry.h"
 #include "src/disk/disk_unit.h"
 #include "src/fs/striped_file.h"
 #include "src/pattern/pattern.h"
@@ -51,19 +61,27 @@ namespace {
       stderr,
       "usage: %s [--pattern=NAME] [--record=BYTES] [--method=%s]\n"
       "          [--layout=contiguous|random] [--cps=N] [--iops=N] [--disks=N]\n"
-      "          [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N] [--workload=SPEC]\n"
-      "          [--json=PATH] [--elevator] [--strided] [--gather] [--contention]\n"
+      "          [--disk=SPEC] [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N]\n"
+      "          [--workload=SPEC] [--filter=F] [--filter-seed=N] [--json=PATH]\n"
+      "          [--elevator] [--strided] [--gather] [--contention]\n"
       "          [--describe] [--verbose]\n"
       "  --pattern names: HPF letters (ra rn rb rc rnb ... wcn), optionally\n"
       "         parameterized per dimension (rc4 = CYCLIC(4), rb2c8), or an\n"
       "         irregular index list ri:<seed> / wi:<seed>\n"
+      "  --disk storage-device models (%s): e.g. hp97560:seg=4,ra=256,\n"
+      "         fixed:lat=0.2ms,bw=40MB, ssd:chan=4,rlat=80us,wlat=200us;\n"
+      "         '+'-join specs for a heterogeneous fleet (round-robin over disks)\n"
       "  --jobs runs independent trials on N threads (0 = all hardware threads;\n"
       "         default 1); results are byte-identical for any N\n"
       "  --workload phases: PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M]\n"
-      "                     [,compute=MS], joined with ';'\n"
+      "                     [,compute=MS][,filter=F][,fseed=N], joined with ';'\n"
+      "  --filter runs a filtered collective read keeping fraction F in (0,1] of\n"
+      "         records (needs a method with caps().supports_filtered_read)\n"
       "  --contention models per-link wormhole contention on the torus\n"
-      "  --describe prints the pattern's chunk structure (Figure-2 cs/s) and exits\n",
-      argv0, ddio::core::FileSystemRegistry::BuiltIns().NamesJoined("|").c_str());
+      "  --describe prints the pattern's chunk structure (Figure-2 cs/s) and the\n"
+      "         resolved disk model, then exits\n",
+      argv0, ddio::core::FileSystemRegistry::BuiltIns().NamesJoined("|").c_str(),
+      ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined("|").c_str());
   std::exit(2);
 }
 
@@ -76,6 +94,15 @@ bool MatchFlag(const char* arg, const char* name, const char** value) {
   return false;
 }
 
+// "16 x hp97560" or "hp97560+ssd:chan=4 (round-robin over 16 disks)".
+std::string DescribeFleet(const ddio::core::MachineConfig& machine) {
+  if (machine.disk_fleet.empty()) {
+    return std::to_string(machine.num_disks) + " x " + machine.disk.text();
+  }
+  return ddio::disk::JoinSpecTexts(machine.disk_fleet) + " (round-robin over " +
+         std::to_string(machine.num_disks) + " disks)";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +113,8 @@ int main(int argc, char** argv) {
   std::string workload_spec;
   std::string json_path;
   unsigned jobs = 1;
+  double filter_selectivity = -1.0;
+  std::uint64_t filter_seed = 0;
   bool verbose = false;
   bool describe = false;
 
@@ -117,6 +146,23 @@ int main(int argc, char** argv) {
       cfg.machine.num_iops = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (MatchFlag(arg, "--disks", &value)) {
       cfg.machine.num_disks = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (MatchFlag(arg, "--disk", &value)) {
+      std::vector<disk::DiskSpec> specs;
+      if (std::string disk_error; !disk::DiskSpec::TryParseList(value, &specs, &disk_error)) {
+        std::fprintf(stderr, "--disk: %s\n", disk_error.c_str());
+        return 2;
+      }
+      cfg.machine.SetDisks(std::move(specs));
+    } else if (MatchFlag(arg, "--filter", &value)) {
+      char* end = nullptr;
+      filter_selectivity = std::strtod(value, &end);
+      if (end == value || *end != '\0' || filter_selectivity <= 0.0 ||
+          filter_selectivity > 1.0) {
+        std::fprintf(stderr, "--filter wants a fraction in (0, 1]\n");
+        return 2;
+      }
+    } else if (MatchFlag(arg, "--filter-seed", &value)) {
+      filter_seed = std::strtoull(value, nullptr, 10);
     } else if (MatchFlag(arg, "--file-mb", &value)) {
       cfg.file_bytes = std::strtoull(value, nullptr, 10) * 1024 * 1024;
     } else if (MatchFlag(arg, "--trials", &value)) {
@@ -202,12 +248,31 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(summary.chunks_per_cp),
                 summary.participating_cps,
                 static_cast<unsigned long long>(summary.total_chunks));
+    std::printf("disk fleet: %s\n", DescribeFleet(cfg.machine).c_str());
+    std::vector<disk::DiskSpec> fleet = cfg.machine.disk_fleet;
+    if (fleet.empty()) {
+      fleet.push_back(cfg.machine.disk);
+    }
+    for (const disk::DiskSpec& spec : fleet) {
+      auto model = spec.Build();
+      std::printf("  %s (%.2f MB/s sustained)\n", spec.text().c_str(),
+                  model->SustainedBandwidthBytesPerSec() / 1e6);
+      for (const auto& [param, param_value] : model->DescribeParams()) {
+        std::printf("    %-20s %s\n", param.c_str(), param_value.c_str());
+      }
+    }
     return 0;
   }
 
   bench::JsonPointSink json(json_path);
 
   if (!workload_spec.empty()) {
+    if (filter_selectivity >= 0) {
+      std::fprintf(stderr,
+                   "--filter does not combine with --workload; use the per-phase "
+                   "filter=F[,fseed=N] options instead\n");
+      return 2;
+    }
     core::Workload workload;
     std::string error;
     if (!core::Workload::Parse(workload_spec, &workload, &error)) {
@@ -228,10 +293,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--workload: %s\n", geometry_error.c_str());
       return 2;
     }
+    // Reject capability violations (filter= on a method without filtered
+    // reads) with a clean exit instead of the base-class abort.
+    if (std::string caps_error; !workload.ValidateCapabilities(method_key, &caps_error)) {
+      std::fprintf(stderr, "--workload: %s\n", caps_error.c_str());
+      return 2;
+    }
     std::printf("workload: %zu phase(s), default method %s, %u trial(s)\n",
                 workload.phases.size(), method_key.c_str(), cfg.trials);
-    std::printf("machine: %u CPs, %u IOPs, %u disks\n", cfg.machine.num_cps,
-                cfg.machine.num_iops, cfg.machine.num_disks);
+    std::printf("machine: %u CPs, %u IOPs, %u disks (%s)\n", cfg.machine.num_cps,
+                cfg.machine.num_iops, cfg.machine.num_disks,
+                DescribeFleet(cfg.machine).c_str());
 
     auto result = core::RunWorkloadExperiment(cfg, workload, jobs);
     std::printf("\n%-5s %-12s %-8s %10s %8s %12s\n", "phase", "method", "pattern", "MB/s", "cv",
@@ -263,12 +335,23 @@ int main(int argc, char** argv) {
                             : method_key.c_str();
   std::printf("pattern %s, %u-byte records, %s layout, method %s\n", cfg.pattern.c_str(),
               cfg.record_bytes, fs::LayoutName(cfg.layout), display);
-  std::printf("machine: %u CPs, %u IOPs, %u disks; file %.0f MB; %u trial(s)\n",
+  std::printf("machine: %u CPs, %u IOPs, %u disks (%s); file %.0f MB; %u trial(s)\n",
               cfg.machine.num_cps, cfg.machine.num_iops, cfg.machine.num_disks,
+              DescribeFleet(cfg.machine).c_str(),
               static_cast<double>(cfg.file_bytes) / (1024.0 * 1024.0), cfg.trials);
 
   core::Workload workload = core::Workload::SinglePhase(cfg);
   workload.phases[0].method = method_key;
+  if (filter_selectivity >= 0) {
+    workload.phases[0].filter_selectivity = filter_selectivity;
+    workload.phases[0].filter_seed = filter_seed;
+    if (std::string caps_error; !workload.ValidateCapabilities(method_key, &caps_error)) {
+      std::fprintf(stderr, "--filter: %s\n", caps_error.c_str());
+      return 2;
+    }
+    std::printf("filtered read: selectivity %.3f, seed %llu\n", filter_selectivity,
+                static_cast<unsigned long long>(filter_seed));
+  }
   auto result = core::RunWorkloadExperiment(cfg, workload, jobs);
   std::printf("\nthroughput: %.2f MB/s (cv %.3f over %zu trials)\n", result.mean_mbps[0],
               result.cv[0], result.trials.size());

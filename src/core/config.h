@@ -5,12 +5,14 @@
 #ifndef DDIO_SRC_CORE_CONFIG_H_
 #define DDIO_SRC_CORE_CONFIG_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "src/core/costs.h"
 #include "src/disk/bus.h"
+#include "src/disk/disk_registry.h"
 #include "src/disk/disk_unit.h"
-#include "src/disk/hp97560.h"
 #include "src/net/network.h"
 
 namespace ddio::core {
@@ -23,7 +25,13 @@ struct MachineConfig {
   std::uint32_t block_bytes = 8192;
   std::uint64_t bus_bandwidth_bytes_per_sec = disk::ScsiBus::kDefaultBandwidthBytesPerSec;
   net::NetworkParams net;
-  disk::Hp97560::Params disk;
+  // Storage-device model for every spindle (default: the paper's HP 97560).
+  // Build specs with disk::DiskSpec::TryParse ("hp97560:seg=4", "ssd:chan=8",
+  // "fixed:lat=0.2ms,bw=40MB", ...).
+  disk::DiskSpec disk;
+  // Heterogeneous fleet: when non-empty, disk d uses disk_fleet[d % size()]
+  // instead of `disk` — e.g. {hp97560, ssd} alternates HDDs and SSDs.
+  std::vector<disk::DiskSpec> disk_fleet;
   // FCFS matches the paper; kElevator lets IOPs C-SCAN their queued
   // requests (ablation A6).
   disk::DiskQueuePolicy disk_queue = disk::DiskQueuePolicy::kFcfs;
@@ -35,6 +43,34 @@ struct MachineConfig {
   std::uint32_t IopOfDisk(std::uint32_t d) const { return d % num_iops; }
   std::uint32_t DisksOnIop(std::uint32_t iop) const {
     return num_disks / num_iops + (iop < num_disks % num_iops ? 1 : 0);
+  }
+
+  // Installs a parsed --disk spec list: one entry sets the uniform model,
+  // several set the round-robin fleet. The single place the
+  // single-vs-fleet rule lives for every CLI front end.
+  void SetDisks(std::vector<disk::DiskSpec> specs) {
+    if (specs.size() == 1) {
+      disk = std::move(specs.front());
+      disk_fleet.clear();
+    } else {
+      disk_fleet = std::move(specs);
+    }
+  }
+
+  // The device model backing disk `d`.
+  const disk::DiskSpec& DiskSpecFor(std::uint32_t d) const {
+    return disk_fleet.empty() ? disk
+                              : disk_fleet[d % static_cast<std::uint32_t>(disk_fleet.size())];
+  }
+  // Smallest per-spindle capacity across the fleet — block-by-block striping
+  // places the same number of blocks on every disk, so the smallest device
+  // bounds the usable layout space.
+  std::uint64_t MinDiskCapacityBytes() const {
+    std::uint64_t min_bytes = disk_fleet.empty() ? disk.CapacityBytes() : ~0ull;
+    for (const disk::DiskSpec& spec : disk_fleet) {
+      min_bytes = std::min(min_bytes, spec.CapacityBytes());
+    }
+    return min_bytes;
   }
 };
 

@@ -17,10 +17,18 @@ tc::TcParams TcParamsFrom(const ExperimentConfig& config) {
 }
 
 void RegisterBuiltIns(FileSystemRegistry& registry) {
+  // Declared caps mirror each class's caps() so CLI front ends can
+  // pre-validate without building a machine (tests/fs_registry_test.cc pins
+  // the two in sync).
+  FileSystemCaps tc_caps;
+  tc_caps.caches_blocks = true;
   registry.Register(MethodKey(Method::kTraditionalCaching),
                     [](Machine& machine, const ExperimentConfig& config) {
                       return std::make_unique<tc::TcFileSystem>(machine, TcParamsFrom(config));
-                    });
+                    },
+                    tc_caps);
+  FileSystemCaps ddio_caps;
+  ddio_caps.supports_filtered_read = true;
   registry.Register(MethodKey(Method::kDiskDirected),
                     [](Machine& machine, const ExperimentConfig& config) {
                       ddio_fs::DdioParams params;
@@ -28,7 +36,8 @@ void RegisterBuiltIns(FileSystemRegistry& registry) {
                       params.buffers_per_disk = config.ddio_buffers_per_disk;
                       params.gather_scatter = config.ddio_gather_scatter;
                       return std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
-                    });
+                    },
+                    ddio_caps);
   registry.Register(MethodKey(Method::kDiskDirectedNoSort),
                     [](Machine& machine, const ExperimentConfig& config) {
                       ddio_fs::DdioParams params;
@@ -36,13 +45,18 @@ void RegisterBuiltIns(FileSystemRegistry& registry) {
                       params.buffers_per_disk = config.ddio_buffers_per_disk;
                       params.gather_scatter = config.ddio_gather_scatter;
                       return std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
-                    });
+                    },
+                    ddio_caps);
+  FileSystemCaps twophase_caps;
+  twophase_caps.caches_blocks = true;
+  twophase_caps.double_network_transfer = true;
   registry.Register(MethodKey(Method::kTwoPhase),
                     [](Machine& machine, const ExperimentConfig& config) {
                       twophase::TwoPhaseParams params;
                       params.io_phase = TcParamsFrom(config);
                       return std::make_unique<twophase::TwoPhaseFileSystem>(machine, params);
-                    });
+                    },
+                    twophase_caps);
 }
 
 }  // namespace
@@ -62,6 +76,24 @@ FileSystemRegistry& FileSystemRegistry::BuiltIns() {
 void FileSystemRegistry::Register(const std::string& name, Factory factory) {
   std::lock_guard<std::mutex> lock(mu_);
   factories_[name] = std::move(factory);
+  declared_caps_.erase(name);  // A re-registration resets any declaration.
+}
+
+void FileSystemRegistry::Register(const std::string& name, Factory factory,
+                                  FileSystemCaps caps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+  declared_caps_[name] = caps;
+}
+
+bool FileSystemRegistry::DeclaredCaps(const std::string& name, FileSystemCaps* caps) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = declared_caps_.find(name);
+  if (it == declared_caps_.end()) {
+    return false;
+  }
+  *caps = it->second;
+  return true;
 }
 
 bool FileSystemRegistry::Has(const std::string& name) const {

@@ -43,8 +43,18 @@ class FileSystemRegistry {
   static FileSystemRegistry& BuiltIns();
 
   // Registers (or replaces) a factory under `name`. Do this before the
-  // first parallel run (see the register-before-run contract above).
+  // first parallel run (see the register-before-run contract above). The
+  // three-argument form additionally declares the method's capabilities so
+  // CLI front ends can pre-validate capability-gated features (filtered
+  // reads) without building a machine; the two-argument form leaves them
+  // undeclared (DeclaredCaps returns false and callers fall back to the
+  // live instance's caps()).
   void Register(const std::string& name, Factory factory);
+  void Register(const std::string& name, Factory factory, FileSystemCaps caps);
+
+  // Capabilities declared at registration. False for unknown methods and
+  // for methods registered without declaring caps.
+  bool DeclaredCaps(const std::string& name, FileSystemCaps* caps) const;
 
   bool Has(const std::string& name) const;
 
@@ -65,6 +75,7 @@ class FileSystemRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, Factory> factories_;
+  std::map<std::string, FileSystemCaps> declared_caps_;
 };
 
 }  // namespace ddio::core

@@ -24,7 +24,7 @@ Machine::Machine(sim::Engine& engine, const MachineConfig& config)
   }
   disks_.reserve(config_.num_disks);
   for (std::uint32_t d = 0; d < config_.num_disks; ++d) {
-    disks_.push_back(std::make_unique<disk::DiskUnit>(engine_, config_.disk,
+    disks_.push_back(std::make_unique<disk::DiskUnit>(engine_, config_.DiskSpecFor(d).Build(),
                                                       *bus_[config_.IopOfDisk(d)],
                                                       static_cast<int>(d), config_.disk_queue));
   }

@@ -39,6 +39,24 @@ bool ParseUint(const std::string& value, std::uint64_t* out) {
   return true;
 }
 
+// Strict fraction parse for filter=: a plain decimal in (0, 1].
+bool ParseFraction(const std::string& value, double* out) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size() || !std::isfinite(parsed)) {
+    return false;
+  }
+  if (parsed <= 0.0 || parsed > 1.0) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
 std::vector<std::string> Split(const std::string& text, char sep) {
   std::vector<std::string> parts;
   std::size_t start = 0;
@@ -76,7 +94,7 @@ bool ParsePhase(const std::string& text, WorkloadPhase* phase, std::string* erro
     const std::string value = field.substr(eq + 1);
     std::uint64_t number = 0;
     const bool is_numeric_option =
-        key == "record" || key == "mb" || key == "file" || key == "compute";
+        key == "record" || key == "mb" || key == "file" || key == "compute" || key == "fseed";
     if (is_numeric_option && !ParseUint(value, &number)) {
       *error = "workload phase \"" + text + "\": " + key + "=" + value + " is not a number";
       return false;
@@ -120,6 +138,14 @@ bool ParsePhase(const std::string& text, WorkloadPhase* phase, std::string* erro
         return false;
       }
       phase->compute_ns = sim::FromMs(number);
+    } else if (key == "filter") {
+      if (!ParseFraction(value, &phase->filter_selectivity)) {
+        *error = "workload phase \"" + text + "\": filter=" + value +
+                 " is not a fraction in (0, 1]";
+        return false;
+      }
+    } else if (key == "fseed") {
+      phase->filter_seed = number;
     } else {
       *error = "workload phase \"" + text + "\": unknown option \"" + key + "\"";
       return false;
@@ -192,6 +218,36 @@ bool Workload::ValidateGeometry(const ExperimentConfig& config, std::string* err
   return true;
 }
 
+bool Workload::ValidateCapabilities(const std::string& default_method,
+                                    std::string* error) const {
+  for (const WorkloadPhase& phase : phases) {
+    if (phase.filter_selectivity < 0) {
+      continue;
+    }
+    // Filtered collectives are reads: selection pushdown has no write
+    // counterpart (DdioFileSystem::RunFilteredRead asserts !is_write).
+    if (pattern::PatternSpec parsed;
+        pattern::PatternSpec::TryParse(phase.pattern, &parsed) && parsed.is_write) {
+      *error = "phase \"" + phase.pattern +
+               "\": filter= applies to read patterns only (selection pushdown has no "
+               "write form)";
+      return false;
+    }
+    const std::string& method = phase.method.empty() ? default_method : phase.method;
+    FileSystemCaps caps;
+    if (!FileSystemRegistry::BuiltIns().DeclaredCaps(method, &caps)) {
+      continue;  // Undeclared (custom) method: RunPhase re-checks the instance.
+    }
+    if (!caps.supports_filtered_read) {
+      *error = "phase \"" + phase.pattern + "\": method \"" + method +
+               "\" does not support filtered reads (filter= needs a method with "
+               "caps().supports_filtered_read)";
+      return false;
+    }
+  }
+  return true;
+}
+
 WorkloadSession::WorkloadSession(const ExperimentConfig& config, std::uint64_t seed)
     : config_(config), engine_(seed), machine_(engine_, config.machine) {}
 
@@ -225,7 +281,7 @@ const fs::StripedFile& WorkloadSession::FileFor(const WorkloadPhase& phase) {
     params.block_bytes = config_.machine.block_bytes;
     params.num_disks = config_.machine.num_disks;
     params.layout = phase.has_layout ? phase.layout : config_.layout;
-    params.disk_capacity_bytes = config_.machine.disk.geometry.CapacityBytes() /
+    params.disk_capacity_bytes = config_.machine.MinDiskCapacityBytes() /
                                  config_.machine.block_bytes * config_.machine.block_bytes;
     slot = std::make_unique<fs::StripedFile>(params, engine_.rng());
   }
@@ -287,13 +343,39 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
   pattern::AccessPattern pattern(pattern::PatternSpec::Parse(phase.pattern), file.file_bytes(),
                                  record_bytes, machine_.num_cps());
   FileSystem& fs = ActivateFileSystem(phase.method);
+  // Capability gate BEFORE dispatch: the base-class RunFilteredRead aborts
+  // (SIGABRT) by contract, so a phase asking for a filtered read on a method
+  // without the capability — or on a write pattern, which has no filtered
+  // form — is rejected here with a clean CLI error instead.
+  // Workload::ValidateCapabilities catches both even earlier for CLI specs.
+  if (phase.filter_selectivity >= 0) {
+    if (!fs.caps().supports_filtered_read) {
+      std::fprintf(stderr,
+                   "ddio::core: phase \"%s\": method \"%s\" does not support filtered reads "
+                   "(filter= needs a method with caps().supports_filtered_read)\n",
+                   phase.pattern.c_str(), fs.name());
+      std::exit(2);
+    }
+    if (pattern.spec().is_write) {
+      std::fprintf(stderr,
+                   "ddio::core: phase \"%s\": filter= applies to read patterns only "
+                   "(selection pushdown has no write form)\n",
+                   phase.pattern.c_str());
+      std::exit(2);
+    }
+  }
   AdvanceCompute(phase.compute_ns);
 
   // Utilization is reported over THIS phase's I/O window, not cumulatively
   // since session start (for a 1-phase workload the two coincide).
   Machine::UtilizationBaseline baseline = machine_.CaptureUtilizationBaseline();
   OpStats stats;
-  engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+  if (phase.filter_selectivity >= 0) {
+    engine_.Spawn(fs.RunFilteredRead(file, pattern, phase.filter_selectivity,
+                                     phase.filter_seed, &stats));
+  } else {
+    engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+  }
   engine_.Run();
 
   Machine::Utilization utilization = machine_.UtilizationSince(baseline);

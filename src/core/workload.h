@@ -45,6 +45,12 @@ struct WorkloadPhase {
   fs::LayoutKind layout = fs::LayoutKind::kContiguous;
   // Simulated compute time before this phase's I/O starts.
   sim::SimTime compute_ns = 0;
+  // Filtered read (selection pushdown): fraction of records kept, in (0, 1].
+  // Negative = a plain collective. Requires a method whose
+  // caps().supports_filtered_read is true — pre-check with
+  // ValidateCapabilities; RunPhase rejects violations with exit code 2.
+  double filter_selectivity = -1.0;
+  std::uint64_t filter_seed = 0;
 };
 
 struct Workload {
@@ -55,11 +61,19 @@ struct Workload {
 
   // Parses "PHASE[;PHASE...]" where PHASE is
   //   PATTERN[,record=BYTES][,mb=N][,file=K][,layout=contiguous|random]
-  //          [,method=NAME][,compute=MS]
+  //          [,method=NAME][,compute=MS][,filter=FRACTION][,fseed=N]
   // e.g. "wbb;rbb,record=4096" or "rb,method=tc;rb,method=ddio". Returns
   // false and sets *error on malformed specs (method names are validated by
   // the registry at run time).
   static bool Parse(const std::string& spec, Workload* out, std::string* error);
+
+  // Checks every phase's requested capabilities (currently: filter= needs a
+  // method with caps().supports_filtered_read) against the registry's
+  // declared capabilities. `default_method` resolves phases with an empty
+  // method. The clean-exit counterpart of RunPhase's rejection, for CLI
+  // front ends. Methods with no registered capabilities pass (they are
+  // re-checked against the live instance in RunPhase).
+  bool ValidateCapabilities(const std::string& default_method, std::string* error) const;
 
   // Checks that every phase's effective (file size, record size) pair holds
   // whole records, resolving file sizes with the same first-use-wins slot

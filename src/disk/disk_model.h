@@ -1,0 +1,75 @@
+// DiskModel: the storage-device seam of the simulator.
+//
+// The paper's evaluation drives exactly one device — the HP 97560 mechanism
+// model — but its central claim ("the IOP sees the whole request up front
+// and can schedule the device optimally") is a claim about a *class* of
+// devices. This interface makes "which storage device" data, the same way
+// core::FileSystem made "which access method" data: a DiskUnit drives any
+// DiskModel, and models are built by name through DiskModelRegistry
+// (src/disk/disk_registry.h).
+//
+// Contract: Access() services one request whose command arrives at `now`.
+// Requests are submitted serially by the per-disk service thread — `now` is
+// always >= the caller-observed completion of the previous access — and the
+// model is free to keep internal device state (head position, firmware
+// cache, per-channel queues) across calls. Implementations must be pure
+// functions of their construction parameters and the Access() call sequence
+// so simulations stay deterministic.
+
+#ifndef DDIO_SRC_DISK_DISK_MODEL_H_
+#define DDIO_SRC_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/disk/disk_stats.h"
+#include "src/sim/time.h"
+
+namespace ddio::disk {
+
+// Timing breakdown of one serviced request. Mechanical models fill the
+// seek/rotation fields; electronic models leave them zero and report their
+// per-command latency as overhead.
+struct DiskAccessResult {
+  sim::SimTime completion = 0;   // Data in disk buffer (read) / on media (write).
+  sim::SimTime seek_ns = 0;
+  sim::SimTime rotation_ns = 0;
+  sim::SimTime media_ns = 0;     // Media / channel transfer time.
+  sim::SimTime overhead_ns = 0;  // Controller / command processing.
+  bool stream_hit = false;       // Served as a continuation, no repositioning.
+};
+
+class DiskModel {
+ public:
+  virtual ~DiskModel() = default;
+
+  // Registry key of the model family ("hp97560", "fixed", "ssd").
+  virtual const char* name() const = 0;
+
+  // Services one request arriving at `now` (see the serialization contract
+  // above). `lbn + nsectors` must be <= total_sectors().
+  virtual DiskAccessResult Access(sim::SimTime now, std::uint64_t lbn, std::uint32_t nsectors,
+                                  bool is_write) = 0;
+
+  // Addressable geometry. Every model exposes 512-byte logical sectors so
+  // the striped-file layout code above is device-agnostic.
+  virtual std::uint64_t total_sectors() const = 0;
+  virtual std::uint32_t bytes_per_sector() const = 0;
+  std::uint64_t CapacityBytes() const { return total_sectors() * bytes_per_sector(); }
+
+  // Peak sustained sequential bandwidth (bytes/s) the device can deliver.
+  virtual double SustainedBandwidthBytesPerSec() const = 0;
+
+  // Cumulative mechanism counters (fields a model does not exercise stay 0).
+  virtual const DiskMechanismStats& stats() const = 0;
+
+  // Human-readable (parameter, value) pairs, for generic parameter tables
+  // (bench/table1_params.cc, `simulate --describe`).
+  virtual std::vector<std::pair<std::string, std::string>> DescribeParams() const = 0;
+};
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_DISK_MODEL_H_

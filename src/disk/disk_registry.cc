@@ -1,0 +1,422 @@
+#include "src/disk/disk_registry.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/disk/fixed_disk.h"
+#include "src/disk/hp97560.h"
+#include "src/disk/ssd.h"
+
+namespace ddio::disk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Strict value parsers. Every helper consumes the WHOLE value (so embedded
+// NULs, trailing junk, and unit typos fail), rejects non-finite results, and
+// reports through *error instead of aborting.
+// ---------------------------------------------------------------------------
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+// Parses the leading number of `value`; on success sets *out and *consumed
+// (characters eaten). Rejects signs (all spec values are magnitudes).
+bool ParseNumberPrefix(const std::string& value, double* out, std::size_t* consumed) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;  // No leading digit: rejects "", "-1", "+3", ".5", "inf".
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || !std::isfinite(parsed)) {
+    return false;  // Overflow ("1e999") lands here via ERANGE.
+  }
+  *out = parsed;
+  *consumed = static_cast<std::size_t>(end - value.c_str());
+  return true;
+}
+
+bool ParseCount(const std::string& value, std::uint64_t min, std::uint64_t max,
+                std::uint64_t* out) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return false;  // Trailing junk or an embedded NUL shortens the consumed span.
+  }
+  if (parsed < min || parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// Far above/below any simulable magnitude, but safely inside the
+// double->SimTime and double->byte-count casts downstream: a huge-but-
+// finite "lat=9e300ms" must be rejected here, not wrap to garbage in
+// sim::FromMs.
+constexpr double kMaxTimeMs = 1e10;                   // ~115 simulated days.
+constexpr double kMinBandwidthBytesPerSec = 1.0;      // A denormal bw explodes transfer time.
+constexpr double kMaxBandwidthBytesPerSec = 1e15;
+
+// Time value with a required unit: "1.1ms", "80us", "200ns", "2s" -> ms.
+bool ParseTimeMs(const std::string& value, double* out_ms) {
+  double number = 0;
+  std::size_t consumed = 0;
+  if (!ParseNumberPrefix(value, &number, &consumed)) {
+    return false;
+  }
+  const std::string unit = value.substr(consumed);
+  double scale_to_ms = 0;
+  if (unit == "ms") {
+    scale_to_ms = 1.0;
+  } else if (unit == "us") {
+    scale_to_ms = 1e-3;
+  } else if (unit == "ns") {
+    scale_to_ms = 1e-6;
+  } else if (unit == "s") {
+    scale_to_ms = 1e3;
+  } else {
+    return false;  // Unit is mandatory — "lat=5" is ambiguous, reject it.
+  }
+  *out_ms = number * scale_to_ms;
+  return std::isfinite(*out_ms) && *out_ms <= kMaxTimeMs;
+}
+
+// Bandwidth with a required unit (per second implied): "40MB", "800KB", "1GB".
+bool ParseBandwidth(const std::string& value, double* out_bytes_per_sec) {
+  double number = 0;
+  std::size_t consumed = 0;
+  if (!ParseNumberPrefix(value, &number, &consumed)) {
+    return false;
+  }
+  const std::string unit = value.substr(consumed);
+  double scale = 0;
+  if (unit == "B") {
+    scale = 1.0;
+  } else if (unit == "KB") {
+    scale = 1e3;
+  } else if (unit == "MB") {
+    scale = 1e6;
+  } else if (unit == "GB") {
+    scale = 1e9;
+  } else {
+    return false;
+  }
+  *out_bytes_per_sec = number * scale;
+  return std::isfinite(*out_bytes_per_sec) &&
+         *out_bytes_per_sec >= kMinBandwidthBytesPerSec &&
+         *out_bytes_per_sec <= kMaxBandwidthBytesPerSec;
+}
+
+// Capacity with a required unit: "1300MB", "1.3GB" -> whole 512 B sectors.
+bool ParseCapacitySectors(const std::string& value, std::uint32_t bytes_per_sector,
+                          std::uint64_t* out_sectors) {
+  double bytes = 0;
+  if (!ParseBandwidth(value, &bytes)) {  // Same number+B/KB/MB/GB grammar.
+    return false;
+  }
+  if (bytes > 1e18) {
+    return false;  // Cap far above any simulable device; guards the cast.
+  }
+  const std::uint64_t sectors = static_cast<std::uint64_t>(bytes) / bytes_per_sector;
+  if (sectors < 2048) {
+    return false;  // Under 1 MB cannot hold any striped file.
+  }
+  *out_sectors = sectors;
+  return true;
+}
+
+std::string BadValue(const char* model, const std::string& key, const std::string& value,
+                     const char* expected) {
+  return std::string("disk model ") + model + ": bad value \"" + value + "\" for " + key +
+         " (expected " + expected + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Built-in factories.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<DiskModel> MakeHp97560(const DiskModelRegistry::ParamList& params,
+                                       std::string* error) {
+  Hp97560::Params p;
+  for (const auto& [key, value] : params) {
+    std::uint64_t count = 0;
+    double ms = 0;
+    if (key == "seg") {
+      if (!ParseCount(value, 1, 64, &count)) {
+        Fail(error, BadValue("hp97560", key, value, "an integer in [1, 64]"));
+        return nullptr;
+      }
+      p.cache_segments = static_cast<std::uint32_t>(count);
+    } else if (key == "ra") {
+      if (!ParseCount(value, 0, 1'000'000, &count)) {
+        Fail(error, BadValue("hp97560", key, value, "sectors in [0, 1000000]"));
+        return nullptr;
+      }
+      p.readahead_window_sectors = static_cast<std::uint32_t>(count);
+    } else if (key == "ov") {
+      if (!ParseTimeMs(value, &ms) || ms < 0) {
+        Fail(error, BadValue("hp97560", key, value, "a time like 1.1ms or 500us"));
+        return nullptr;
+      }
+      p.controller_overhead_ms = ms;
+    } else {
+      Fail(error, "disk model hp97560: unknown key \"" + key + "\" (known: seg, ra, ov)");
+      return nullptr;
+    }
+  }
+  return std::make_unique<Hp97560>(p);
+}
+
+std::unique_ptr<DiskModel> MakeFixed(const DiskModelRegistry::ParamList& params,
+                                     std::string* error) {
+  FixedLatencyDisk::Params p;
+  for (const auto& [key, value] : params) {
+    double number = 0;
+    if (key == "lat") {
+      if (!ParseTimeMs(value, &number) || number < 0) {
+        Fail(error, BadValue("fixed", key, value, "a time like 0.2ms or 80us"));
+        return nullptr;
+      }
+      p.latency_ms = number;
+    } else if (key == "bw") {
+      if (!ParseBandwidth(value, &number)) {
+        Fail(error, BadValue("fixed", key, value, "a rate like 40MB or 800KB"));
+        return nullptr;
+      }
+      p.bandwidth_bytes_per_sec = number;
+    } else if (key == "cap") {
+      std::uint64_t sectors = 0;
+      if (!ParseCapacitySectors(value, p.bytes_per_sector, &sectors)) {
+        Fail(error, BadValue("fixed", key, value, "a size like 1300MB or 1.3GB"));
+        return nullptr;
+      }
+      p.total_sectors = sectors;
+    } else {
+      Fail(error, "disk model fixed: unknown key \"" + key + "\" (known: lat, bw, cap)");
+      return nullptr;
+    }
+  }
+  return std::make_unique<FixedLatencyDisk>(p);
+}
+
+std::unique_ptr<DiskModel> MakeSsd(const DiskModelRegistry::ParamList& params,
+                                   std::string* error) {
+  SsdDisk::Params p;
+  for (const auto& [key, value] : params) {
+    std::uint64_t count = 0;
+    double number = 0;
+    if (key == "chan") {
+      if (!ParseCount(value, 1, 1024, &count)) {
+        Fail(error, BadValue("ssd", key, value, "an integer in [1, 1024]"));
+        return nullptr;
+      }
+      p.channels = static_cast<std::uint32_t>(count);
+    } else if (key == "rlat" || key == "wlat" || key == "erase") {
+      if (!ParseTimeMs(value, &number) || number < 0) {
+        Fail(error, BadValue("ssd", key, value, "a time like 80us or 0.2ms"));
+        return nullptr;
+      }
+      const double us = number * 1e3;
+      if (key == "rlat") {
+        p.read_latency_us = us;
+      } else if (key == "wlat") {
+        p.write_latency_us = us;
+      } else {
+        p.erase_penalty_us = us;
+      }
+    } else if (key == "bw") {
+      if (!ParseBandwidth(value, &number)) {
+        Fail(error, BadValue("ssd", key, value, "a rate like 40MB or 1GB"));
+        return nullptr;
+      }
+      p.channel_bandwidth_bytes_per_sec = number;
+    } else if (key == "stripe") {
+      if (!ParseCount(value, 1, 1'000'000, &count)) {
+        Fail(error, BadValue("ssd", key, value, "sectors in [1, 1000000]"));
+        return nullptr;
+      }
+      p.stripe_sectors = static_cast<std::uint32_t>(count);
+    } else if (key == "cap") {
+      std::uint64_t sectors = 0;
+      if (!ParseCapacitySectors(value, p.bytes_per_sector, &sectors)) {
+        Fail(error, BadValue("ssd", key, value, "a size like 1300MB or 1.3GB"));
+        return nullptr;
+      }
+      p.total_sectors = sectors;
+    } else {
+      Fail(error, "disk model ssd: unknown key \"" + key +
+                      "\" (known: chan, rlat, wlat, erase, bw, stripe, cap)");
+      return nullptr;
+    }
+  }
+  return std::make_unique<SsdDisk>(p);
+}
+
+}  // namespace
+
+DiskModelRegistry& DiskModelRegistry::BuiltIns() {
+  // Heap-allocated and never destroyed, mirroring FileSystemRegistry:
+  // workers may still Create() during late shutdown, and the mutex makes the
+  // type immovable.
+  static DiskModelRegistry& registry = *[] {
+    auto* built = new DiskModelRegistry;
+    built->Register("hp97560", MakeHp97560);
+    built->Register("fixed", MakeFixed);
+    built->Register("ssd", MakeSsd);
+    return built;
+  }();
+  return registry;
+}
+
+void DiskModelRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+bool DiskModelRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> DiskModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string DiskModelRegistry::NamesJoinedLocked(const char* sep) const {
+  std::string joined;
+  for (const auto& [name, factory] : factories_) {
+    if (!joined.empty()) {
+      joined += sep;
+    }
+    joined += name;
+  }
+  return joined;
+}
+
+std::string DiskModelRegistry::NamesJoined(const char* sep) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NamesJoinedLocked(sep);
+}
+
+std::unique_ptr<DiskModel> DiskModelRegistry::Create(std::string_view spec,
+                                                     std::string* error) const {
+  const std::size_t colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  if (name.empty()) {
+    Fail(error, "disk spec is missing a model name");
+    return nullptr;
+  }
+
+  ParamList params;
+  if (colon != std::string_view::npos) {
+    std::string_view rest = spec.substr(colon + 1);
+    if (rest.empty()) {
+      Fail(error, "disk spec \"" + std::string(spec) + "\" has a ':' but no parameters");
+      return nullptr;
+    }
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view field = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+      const std::size_t eq = field.find('=');
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 >= field.size()) {
+        Fail(error, "disk spec parameter \"" + std::string(field) + "\" is not key=value");
+        return nullptr;
+      }
+      params.emplace_back(std::string(field.substr(0, eq)), std::string(field.substr(eq + 1)));
+    }
+  }
+
+  // Copy the factory out under the lock, build outside it (same discipline
+  // as FileSystemRegistry::Create).
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      Fail(error, "unknown disk model \"" + std::string(name) + "\" (registered: " +
+                      NamesJoinedLocked(", ") + ")");
+      return nullptr;
+    }
+    factory = it->second;
+  }
+  return factory(params, error);
+}
+
+bool DiskSpec::TryParse(std::string_view text, DiskSpec* out, std::string* error) {
+  std::string local_error;
+  std::unique_ptr<DiskModel> model =
+      DiskModelRegistry::BuiltIns().Create(text, error != nullptr ? error : &local_error);
+  if (model == nullptr) {
+    return false;
+  }
+  out->text_ = std::string(text);
+  const std::size_t colon = out->text_.find(':');
+  out->model_ = out->text_.substr(0, colon);
+  out->total_sectors_ = model->total_sectors();
+  out->bytes_per_sector_ = model->bytes_per_sector();
+  return true;
+}
+
+bool DiskSpec::TryParseList(std::string_view text, std::vector<DiskSpec>* out,
+                            std::string* error) {
+  std::vector<DiskSpec> specs;
+  std::string_view rest = text;
+  for (;;) {
+    const std::size_t plus = rest.find('+');
+    DiskSpec spec;
+    if (!TryParse(rest.substr(0, plus), &spec, error)) {
+      return false;
+    }
+    specs.push_back(std::move(spec));
+    if (plus == std::string_view::npos) {
+      break;
+    }
+    rest = rest.substr(plus + 1);
+  }
+  *out = std::move(specs);
+  return true;
+}
+
+std::string JoinSpecTexts(const std::vector<DiskSpec>& specs) {
+  std::string joined;
+  for (const DiskSpec& spec : specs) {
+    if (!joined.empty()) {
+      joined += "+";
+    }
+    joined += spec.text();
+  }
+  return joined;
+}
+
+std::unique_ptr<DiskModel> DiskSpec::Build() const {
+  std::string error;
+  std::unique_ptr<DiskModel> model = DiskModelRegistry::BuiltIns().Create(text_, &error);
+  if (model == nullptr) {
+    // Only reachable for a spec that bypassed TryParse (or a model family
+    // unregistered after parsing) — a programming error, not user input.
+    std::fprintf(stderr, "ddio::disk: cannot build disk model from spec \"%s\": %s\n",
+                 text_.c_str(), error.c_str());
+    std::abort();
+  }
+  return model;
+}
+
+}  // namespace ddio::disk

@@ -1,0 +1,117 @@
+// DiskModelRegistry + DiskSpec: string-keyed storage-device models.
+//
+// A disk spec is `model[:key=val,key=val,...]` — the device-side mirror of
+// the FileSystemRegistry method keys and the pattern grammar:
+//
+//   hp97560                          the paper's drive, Table 1 defaults
+//   hp97560:seg=4,ra=256             4 firmware cache segments, 128 KB window
+//   fixed:lat=0.2ms,bw=40MB          constant per-command cost + bandwidth
+//   ssd:chan=4,rlat=80us,wlat=200us  4-channel flash, read/write asymmetry
+//
+// DiskSpec::TryParse owns the grammar and NEVER aborts on user input
+// (unknown models/keys, malformed numbers, zero/negative values, overflow,
+// embedded NULs all return false with an error message); every
+// user-supplied spec (`--disk=`) is validated through it. A parsed DiskSpec
+// is a value: copy it into MachineConfig and Build() a fresh model instance
+// per DiskUnit. `+`-joined specs (`hp97560+ssd`) describe a heterogeneous
+// fleet, assigned to disks round-robin.
+//
+// Thread safety: the registry is mutex-guarded like FileSystemRegistry,
+// with the same register-before-run contract — Register() custom models
+// before launching parallel experiments.
+
+#ifndef DDIO_SRC_DISK_DISK_REGISTRY_H_
+#define DDIO_SRC_DISK_DISK_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/disk/disk_model.h"
+
+namespace ddio::disk {
+
+class DiskModelRegistry {
+ public:
+  // `key=value` pairs after the model name, in spec order. Factories must
+  // reject unknown keys and out-of-range values via *error, never abort.
+  using ParamList = std::vector<std::pair<std::string, std::string>>;
+  using Factory =
+      std::function<std::unique_ptr<DiskModel>(const ParamList& params, std::string* error)>;
+
+  DiskModelRegistry() = default;
+
+  // The process-wide registry preloaded with "hp97560", "fixed", "ssd".
+  static DiskModelRegistry& BuiltIns();
+
+  // Registers (or replaces) a model family under `name`. Do this before the
+  // first parallel run.
+  void Register(const std::string& name, Factory factory);
+
+  bool Has(const std::string& name) const;
+
+  // Registered keys in sorted order / joined for usage text.
+  std::vector<std::string> Names() const;
+  std::string NamesJoined(const char* sep = ", ") const;
+
+  // Builds a model from a full spec string. Returns nullptr and sets
+  // *error on ANY malformed input; never aborts.
+  std::unique_ptr<DiskModel> Create(std::string_view spec, std::string* error = nullptr) const;
+
+ private:
+  std::string NamesJoinedLocked(const char* sep) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+// A validated disk spec: the text plus the geometry facts config code needs
+// without building a model. Default-constructed = the paper's "hp97560".
+class DiskSpec {
+ public:
+  DiskSpec() = default;
+
+  // Validates `text` against the registry (the model is test-built once and
+  // discarded). Returns false + *error on malformed specs; never aborts.
+  static bool TryParse(std::string_view text, DiskSpec* out, std::string* error = nullptr);
+
+  // Parses "SPEC[+SPEC...]" — a heterogeneous fleet, one entry per `+`
+  // component, assigned to disks round-robin.
+  static bool TryParseList(std::string_view text, std::vector<DiskSpec>* out,
+                           std::string* error = nullptr);
+
+  // Builds a fresh model instance. Parsed specs always succeed; a DiskSpec
+  // whose text was never validated aborts here (programmer error).
+  std::unique_ptr<DiskModel> Build() const;
+
+  const std::string& text() const { return text_; }
+  const std::string& model() const { return model_; }  // Key before ':'.
+  std::uint64_t total_sectors() const { return total_sectors_; }
+  std::uint32_t bytes_per_sector() const { return bytes_per_sector_; }
+  std::uint64_t CapacityBytes() const {
+    return total_sectors_ * bytes_per_sector_;
+  }
+
+  bool operator==(const DiskSpec& other) const { return text_ == other.text_; }
+
+ private:
+  std::string text_ = "hp97560";
+  std::string model_ = "hp97560";
+  // Default HP 97560 geometry: 1962 cylinders x 19 heads x 72 sectors.
+  std::uint64_t total_sectors_ = 2'684'016;
+  std::uint32_t bytes_per_sector_ = 512;
+};
+
+// '+'-joined texts of a fleet list, the inverse of TryParseList — for
+// display in preambles and --describe output.
+std::string JoinSpecTexts(const std::vector<DiskSpec>& specs);
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_DISK_REGISTRY_H_

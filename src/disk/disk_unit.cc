@@ -4,10 +4,10 @@
 
 namespace ddio::disk {
 
-DiskUnit::DiskUnit(sim::Engine& engine, const Hp97560::Params& params, ScsiBus& bus, int id,
+DiskUnit::DiskUnit(sim::Engine& engine, std::unique_ptr<DiskModel> model, ScsiBus& bus, int id,
                    DiskQueuePolicy policy)
     : engine_(engine),
-      mechanism_(std::make_unique<Hp97560>(params)),
+      mechanism_(std::move(model)),
       bus_(bus),
       id_(id),
       policy_(policy),
@@ -92,7 +92,7 @@ sim::Task<> DiskUnit::ServiceLoop() {
     }
     Request request = TakeNext();
     const sim::SimTime start = engine_.now();
-    Hp97560::AccessResult result =
+    DiskAccessResult result =
         mechanism_->Access(start, request.lbn, request.nsectors, request.is_write);
     stats_.mechanism_busy_ns += result.completion - start;
     head_lbn_ = request.lbn + request.nsectors;

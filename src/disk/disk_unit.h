@@ -25,7 +25,7 @@
 #include <string>
 
 #include "src/disk/bus.h"
-#include "src/disk/hp97560.h"
+#include "src/disk/disk_model.h"
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -56,7 +56,9 @@ enum class DiskQueuePolicy {
 
 class DiskUnit {
  public:
-  DiskUnit(sim::Engine& engine, const Hp97560::Params& params, ScsiBus& bus, int id,
+  // Takes ownership of `model` — any disk::DiskModel implementation; build
+  // one from a spec string via disk::DiskSpec (src/disk/disk_registry.h).
+  DiskUnit(sim::Engine& engine, std::unique_ptr<DiskModel> model, ScsiBus& bus, int id,
            DiskQueuePolicy policy = DiskQueuePolicy::kFcfs);
   DiskUnit(const DiskUnit&) = delete;
   DiskUnit& operator=(const DiskUnit&) = delete;
@@ -75,11 +77,11 @@ class DiskUnit {
   sim::Task<> Write(std::uint64_t lbn, std::uint32_t nsectors);
 
   int id() const { return id_; }
-  const Hp97560& mechanism() const { return *mechanism_; }
+  const DiskModel& mechanism() const { return *mechanism_; }
   const DiskUnitStats& stats() const { return stats_; }
   ScsiBus& bus() { return bus_; }
-  std::uint32_t bytes_per_sector() const { return mechanism_->params().geometry.bytes_per_sector; }
-  std::uint64_t total_sectors() const { return mechanism_->params().geometry.TotalSectors(); }
+  std::uint32_t bytes_per_sector() const { return mechanism_->bytes_per_sector(); }
+  std::uint64_t total_sectors() const { return mechanism_->total_sectors(); }
 
   DiskQueuePolicy policy() const { return policy_; }
   std::size_t queue_depth() const { return pending_.size(); }
@@ -99,7 +101,7 @@ class DiskUnit {
   Request TakeNext();
 
   sim::Engine& engine_;
-  std::unique_ptr<Hp97560> mechanism_;
+  std::unique_ptr<DiskModel> mechanism_;
   ScsiBus& bus_;
   int id_;
   DiskQueuePolicy policy_;

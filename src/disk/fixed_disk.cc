@@ -1,0 +1,53 @@
+#include "src/disk/fixed_disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <string>
+
+namespace ddio::disk {
+
+FixedLatencyDisk::FixedLatencyDisk(const Params& params) : params_(params) {
+  assert(params_.bandwidth_bytes_per_sec > 0);
+}
+
+DiskAccessResult FixedLatencyDisk::Access(sim::SimTime now, std::uint64_t lbn,
+                                          std::uint32_t nsectors, bool is_write) {
+  assert(nsectors > 0);
+  assert(lbn + nsectors <= params_.total_sectors);
+  (void)lbn;
+
+  DiskAccessResult result;
+  ++stats_.requests;
+  is_write ? ++stats_.writes : ++stats_.reads;
+
+  const sim::SimTime start = std::max(now, busy_until_);
+  const sim::SimTime overhead = sim::FromMs(params_.latency_ms);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(nsectors) * params_.bytes_per_sector;
+  const sim::SimTime transfer =
+      static_cast<sim::SimTime>(static_cast<double>(bytes) * 1e9 /
+                                params_.bandwidth_bytes_per_sec);
+  result.overhead_ns = overhead;
+  result.media_ns = transfer;
+  result.completion = start + overhead + transfer;
+  stats_.overhead_ns += overhead;
+  stats_.media_ns += transfer;
+  busy_until_ = result.completion;
+  return result;
+}
+
+std::vector<std::pair<std::string, std::string>> FixedLatencyDisk::DescribeParams() const {
+  auto fmt = [](double value, const char* unit) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g %s", value, unit);
+    return std::string(buf);
+  };
+  return {
+      {"per-command latency", fmt(params_.latency_ms, "ms")},
+      {"bandwidth", fmt(params_.bandwidth_bytes_per_sec / 1e6, "MB/s")},
+      {"capacity", std::to_string(CapacityBytes() / (1024 * 1024)) + " MB"},
+  };
+}
+
+}  // namespace ddio::disk

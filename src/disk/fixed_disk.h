@@ -1,0 +1,56 @@
+// FixedLatencyDisk: an analytic storage device — every command costs a
+// constant overhead plus bytes/bandwidth of transfer time, regardless of
+// where it lands.
+//
+// Positioning is free, so an access schedule's *order* is irrelevant and
+// only its *shape* (number of commands, bytes per command) matters. Running
+// the access methods against this model isolates the part of disk-directed
+// I/O's advantage that comes from request coalescing and batching, as
+// opposed to the mechanical scheduling the HP 97560 model rewards.
+
+#ifndef DDIO_SRC_DISK_FIXED_DISK_H_
+#define DDIO_SRC_DISK_FIXED_DISK_H_
+
+#include <cstdint>
+
+#include "src/disk/disk_model.h"
+
+namespace ddio::disk {
+
+class FixedLatencyDisk : public DiskModel {
+ public:
+  struct Params {
+    // Per-command overhead (controller + firmware), milliseconds.
+    double latency_ms = 0.5;
+    // Transfer bandwidth, bytes per second.
+    double bandwidth_bytes_per_sec = 10e6;
+    // Same addressable size as the default HP 97560, so striped-file
+    // layouts are directly comparable across models.
+    std::uint64_t total_sectors = 2'684'016;
+    std::uint32_t bytes_per_sector = 512;
+  };
+
+  explicit FixedLatencyDisk(const Params& params);
+
+  const char* name() const override { return "fixed"; }
+  DiskAccessResult Access(sim::SimTime now, std::uint64_t lbn, std::uint32_t nsectors,
+                          bool is_write) override;
+  std::uint64_t total_sectors() const override { return params_.total_sectors; }
+  std::uint32_t bytes_per_sector() const override { return params_.bytes_per_sector; }
+  double SustainedBandwidthBytesPerSec() const override {
+    return params_.bandwidth_bytes_per_sec;
+  }
+  const DiskMechanismStats& stats() const override { return stats_; }
+  std::vector<std::pair<std::string, std::string>> DescribeParams() const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  sim::SimTime busy_until_ = 0;  // The single device pipeline.
+  DiskMechanismStats stats_;
+};
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_FIXED_DISK_H_

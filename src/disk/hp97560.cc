@@ -1,6 +1,7 @@
 #include "src/disk/hp97560.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace ddio::disk {
 
@@ -254,6 +255,31 @@ Hp97560::AccessResult Hp97560::Access(sim::SimTime now, std::uint64_t lbn, std::
   idle_since_ = result.completion;
   MoveArmTo(end - 1);
   return result;
+}
+
+std::vector<std::pair<std::string, std::string>> Hp97560::DescribeParams() const {
+  const DiskGeometry& geo = params_.geometry;
+  char seek[64];
+  std::snprintf(seek, sizeof(seek), "%.2f / %.2f ms",
+                static_cast<double>(params_.seek.SeekTime(1)) / 1e6,
+                static_cast<double>(params_.seek.SeekTime(geo.cylinders - 1)) / 1e6);
+  char rotation[64];
+  std::snprintf(rotation, sizeof(rotation), "%.0f RPM (%.3f ms)", geo.rpm,
+                static_cast<double>(geo.RotationPeriod()) / 1e6);
+  return {
+      {"geometry", std::to_string(geo.cylinders) + " cyl x " + std::to_string(geo.heads) +
+                       " heads x " + std::to_string(geo.sectors_per_track) + " spt x " +
+                       std::to_string(geo.bytes_per_sector) + " B"},
+      {"rotation", rotation},
+      {"seek(1)/seek(max)", seek},
+      {"cache segments", std::to_string(params_.cache_segments)},
+      {"read-ahead window", std::to_string(params_.readahead_window_sectors) + " sectors"},
+      {"controller overhead", [this] {
+         char buf[32];
+         std::snprintf(buf, sizeof(buf), "%g ms", params_.controller_overhead_ms);
+         return std::string(buf);
+       }()},
+  };
 }
 
 double Hp97560::SustainedBandwidthBytesPerSec() const {

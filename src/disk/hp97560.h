@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/disk/disk_model.h"
 #include "src/disk/disk_stats.h"
 #include "src/disk/geometry.h"
 #include "src/disk/seek_model.h"
@@ -33,7 +34,7 @@
 
 namespace ddio::disk {
 
-class Hp97560 {
+class Hp97560 : public DiskModel {
  public:
   struct Params {
     DiskGeometry geometry;
@@ -46,28 +47,29 @@ class Hp97560 {
     double controller_overhead_ms = 1.1;
   };
 
-  struct AccessResult {
-    sim::SimTime completion = 0;   // Data in disk buffer (read) / on media (write).
-    sim::SimTime seek_ns = 0;
-    sim::SimTime rotation_ns = 0;
-    sim::SimTime media_ns = 0;
-    sim::SimTime overhead_ns = 0;
-    bool stream_hit = false;       // Served without repositioning the head.
-  };
+  using AccessResult = DiskAccessResult;
 
   explicit Hp97560(const Params& params);
+
+  const char* name() const override { return "hp97560"; }
 
   // Services one request whose command arrives at time `now`. Requests must
   // be submitted serially (the caller is the per-disk thread): `now` must be
   // >= the completion time of the previous access.
-  AccessResult Access(sim::SimTime now, std::uint64_t lbn, std::uint32_t nsectors, bool is_write);
+  AccessResult Access(sim::SimTime now, std::uint64_t lbn, std::uint32_t nsectors,
+                      bool is_write) override;
 
   const Params& params() const { return params_; }
-  const DiskMechanismStats& stats() const { return stats_; }
+  const DiskMechanismStats& stats() const override { return stats_; }
+
+  std::uint64_t total_sectors() const override { return params_.geometry.TotalSectors(); }
+  std::uint32_t bytes_per_sector() const override { return params_.geometry.bytes_per_sector; }
 
   // Peak sustained sequential bandwidth implied by the geometry (bytes/s),
   // accounting for track- and cylinder-skew gaps. ~2.33 MB/s by default.
-  double SustainedBandwidthBytesPerSec() const;
+  double SustainedBandwidthBytesPerSec() const override;
+
+  std::vector<std::pair<std::string, std::string>> DescribeParams() const override;
 
  private:
   struct Stream {

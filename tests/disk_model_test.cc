@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/disk/bus.h"
@@ -247,7 +248,7 @@ TEST(Hp97560Test, StatsAccumulate) {
 TEST(DiskUnitTest, SingleReadCompletesAfterMediaAndBus) {
   sim::Engine engine;
   ScsiBus bus(engine, "bus0");
-  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  DiskUnit disk(engine, std::make_unique<Hp97560>(DefaultParams()), bus, 0);
   disk.Start();
   sim::SimTime done_at = 0;
   engine.Spawn([](sim::Engine& e, DiskUnit& d, sim::SimTime& t) -> sim::Task<> {
@@ -266,7 +267,7 @@ TEST(DiskUnitTest, SingleReadCompletesAfterMediaAndBus) {
 TEST(DiskUnitTest, QueuedReadsServicedFifoAndPipelineWithBus) {
   sim::Engine engine;
   ScsiBus bus(engine, "bus0");
-  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  DiskUnit disk(engine, std::make_unique<Hp97560>(DefaultParams()), bus, 0);
   disk.Start();
   std::vector<int> completion_order;
   for (int i = 0; i < 4; ++i) {
@@ -284,7 +285,7 @@ TEST(DiskUnitTest, QueuedReadsServicedFifoAndPipelineWithBus) {
 TEST(DiskUnitTest, StreamingThroughputThroughUnitNearMediaRate) {
   sim::Engine engine;
   ScsiBus bus(engine, "bus0");
-  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  DiskUnit disk(engine, std::make_unique<Hp97560>(DefaultParams()), bus, 0);
   disk.Start();
   const int kBlocks = 200;
   sim::SimTime done_at = 0;
@@ -315,7 +316,7 @@ TEST(DiskUnitTest, StreamingThroughputThroughUnitNearMediaRate) {
 TEST(DiskUnitTest, WritesReportAfterMedia) {
   sim::Engine engine;
   ScsiBus bus(engine, "bus0");
-  DiskUnit disk(engine, DefaultParams(), bus, 0);
+  DiskUnit disk(engine, std::make_unique<Hp97560>(DefaultParams()), bus, 0);
   disk.Start();
   sim::SimTime done_at = 0;
   engine.Spawn([](sim::Engine& e, DiskUnit& d, sim::SimTime& t) -> sim::Task<> {
@@ -332,8 +333,8 @@ TEST(DiskUnitTest, WritesReportAfterMedia) {
 TEST(DiskUnitTest, TwoDisksShareOneBus) {
   sim::Engine engine;
   ScsiBus bus(engine, "bus0");
-  DiskUnit disk_a(engine, DefaultParams(), bus, 0);
-  DiskUnit disk_b(engine, DefaultParams(), bus, 1);
+  DiskUnit disk_a(engine, std::make_unique<Hp97560>(DefaultParams()), bus, 0);
+  DiskUnit disk_b(engine, std::make_unique<Hp97560>(DefaultParams()), bus, 1);
   disk_a.Start();
   disk_b.Start();
   engine.Spawn([](DiskUnit& d) -> sim::Task<> { co_await d.Read(0, kBlockSectors); }(disk_a));
@@ -347,7 +348,7 @@ TEST(DiskUnitTest, TwoDisksShareOneBus) {
 TEST(DiskUnitTest, StopDrainsAndTerminates) {
   sim::Engine engine;
   ScsiBus bus(engine, "bus0");
-  auto disk = std::make_unique<DiskUnit>(engine, DefaultParams(), bus, 0);
+  auto disk = std::make_unique<DiskUnit>(engine, std::make_unique<Hp97560>(DefaultParams()), bus, 0);
   disk->Start();
   bool read_done = false;
   engine.Spawn([](DiskUnit& d, bool& flag) -> sim::Task<> {

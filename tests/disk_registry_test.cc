@@ -1,0 +1,516 @@
+// Tests for the pluggable storage-device layer (src/disk/disk_registry.h):
+// the spec grammar (positive + negative/fuzz — TryParse must never abort on
+// user input), the fixed and ssd model semantics, end-to-end runs through
+// the registry, and the filtered-read capability gate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/fs_registry.h"
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/disk/disk_registry.h"
+#include "src/disk/fixed_disk.h"
+#include "src/disk/ssd.h"
+#include "src/sim/time.h"
+
+namespace ddio::disk {
+namespace {
+
+using namespace std::string_literals;
+
+// ---------------------------------------------------------------------------
+// Spec grammar: positive cases.
+// ---------------------------------------------------------------------------
+
+TEST(DiskSpecTest, DefaultIsThePapersDrive) {
+  DiskSpec spec;
+  EXPECT_EQ(spec.text(), "hp97560");
+  EXPECT_EQ(spec.model(), "hp97560");
+  EXPECT_EQ(spec.total_sectors(), 2'684'016u);
+  EXPECT_EQ(spec.bytes_per_sector(), 512u);
+  auto model = spec.Build();
+  EXPECT_STREQ(model->name(), "hp97560");
+  EXPECT_NEAR(model->SustainedBandwidthBytesPerSec() / 1e6, 2.34, 0.06);
+  // A default-constructed spec skips TryParse, so its hardcoded geometry
+  // constants must match the device Build() actually produces — a stale
+  // constant would size striped-file layouts past the real disk.
+  EXPECT_EQ(spec.total_sectors(), model->total_sectors());
+  EXPECT_EQ(spec.bytes_per_sector(), model->bytes_per_sector());
+}
+
+TEST(DiskSpecTest, ParsesEveryBuiltInWithParameters) {
+  const char* kSpecs[] = {
+      "hp97560",
+      "hp97560:seg=4",
+      "hp97560:seg=4,ra=256",
+      "hp97560:ov=0.5ms",
+      "fixed:lat=0.2ms,bw=40MB",
+      "fixed:lat=80us",
+      "fixed:cap=1.3GB",
+      "ssd:chan=4,rlat=80us,wlat=200us",
+      "ssd:erase=2ms,bw=1GB,stripe=32",
+      "ssd:cap=800MB",
+  };
+  for (const char* text : kSpecs) {
+    DiskSpec spec;
+    std::string error;
+    EXPECT_TRUE(DiskSpec::TryParse(text, &spec, &error)) << text << ": " << error;
+    EXPECT_EQ(spec.text(), text);
+    auto model = spec.Build();
+    ASSERT_NE(model, nullptr) << text;
+    EXPECT_GT(model->total_sectors(), 0u) << text;
+    EXPECT_GT(model->SustainedBandwidthBytesPerSec(), 0.0) << text;
+    EXPECT_FALSE(model->DescribeParams().empty()) << text;
+  }
+}
+
+TEST(DiskSpecTest, ParametersReachTheModel) {
+  DiskSpec spec;
+  ASSERT_TRUE(DiskSpec::TryParse("fixed:lat=0.2ms,bw=40MB", &spec));
+  auto model = spec.Build();
+  auto* fixed = dynamic_cast<FixedLatencyDisk*>(model.get());
+  ASSERT_NE(fixed, nullptr);
+  EXPECT_DOUBLE_EQ(fixed->params().latency_ms, 0.2);
+  EXPECT_DOUBLE_EQ(fixed->params().bandwidth_bytes_per_sec, 40e6);
+
+  ASSERT_TRUE(DiskSpec::TryParse("ssd:chan=8,rlat=80us,wlat=200us,erase=1.5ms", &spec));
+  model = spec.Build();
+  auto* ssd = dynamic_cast<SsdDisk*>(model.get());
+  ASSERT_NE(ssd, nullptr);
+  EXPECT_EQ(ssd->params().channels, 8u);
+  EXPECT_DOUBLE_EQ(ssd->params().read_latency_us, 80);
+  EXPECT_DOUBLE_EQ(ssd->params().write_latency_us, 200);
+  EXPECT_DOUBLE_EQ(ssd->params().erase_penalty_us, 1500);
+}
+
+TEST(DiskSpecTest, ListParsesHeterogeneousFleets) {
+  std::vector<DiskSpec> fleet;
+  ASSERT_TRUE(DiskSpec::TryParseList("hp97560+ssd:chan=4+fixed:lat=0.1ms", &fleet));
+  ASSERT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet[0].model(), "hp97560");
+  EXPECT_EQ(fleet[1].model(), "ssd");
+  EXPECT_EQ(fleet[2].model(), "fixed");
+  // One bad component poisons the whole list.
+  std::string error;
+  EXPECT_FALSE(DiskSpec::TryParseList("hp97560+nope", &fleet, &error));
+  EXPECT_NE(error.find("nope"), std::string::npos);
+}
+
+TEST(DiskRegistryTest, NamesAndCustomRegistration) {
+  auto names = DiskModelRegistry::BuiltIns().Names();
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "hp97560"));
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "fixed"));
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "ssd"));
+  EXPECT_TRUE(DiskModelRegistry::BuiltIns().Has("ssd"));
+  EXPECT_FALSE(DiskModelRegistry::BuiltIns().Has("mram"));
+
+  // A custom family registers and parses without touching core code.
+  DiskModelRegistry::BuiltIns().Register(
+      "testdisk", [](const DiskModelRegistry::ParamList& params, std::string* error) {
+        for (const auto& [key, value] : params) {
+          if (error != nullptr) {
+            *error = "testdisk takes no parameters (got " + key + "=" + value + ")";
+          }
+          return std::unique_ptr<DiskModel>();
+        }
+        return std::unique_ptr<DiskModel>(new FixedLatencyDisk(FixedLatencyDisk::Params{}));
+      });
+  DiskSpec spec;
+  EXPECT_TRUE(DiskSpec::TryParse("testdisk", &spec));
+  std::string error;
+  EXPECT_FALSE(DiskSpec::TryParse("testdisk:x=1", &spec, &error));
+  EXPECT_NE(error.find("no parameters"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar: negative / fuzz. TryParse must reject, never abort.
+// ---------------------------------------------------------------------------
+
+TEST(DiskSpecFuzzTest, RejectsMalformedSpecs) {
+  const char* kBad[] = {
+      "",                          // No model name.
+      ":",                         // Empty name, empty params.
+      "hp9756",                    // Unknown model.
+      "HP97560",                   // Case-sensitive keys.
+      "hp97560:",                  // Colon with no params.
+      "hp97560:seg",               // Not key=value.
+      "hp97560:seg=",              // Empty value.
+      "hp97560:=4",                // Empty key.
+      "hp97560:seg=0",             // Below minimum.
+      "hp97560:seg=65",            // Above maximum.
+      "hp97560:seg=-1",            // Negative.
+      "hp97560:seg=4.5",           // Not an integer.
+      "hp97560:seg=007",           // strtoull takes it, but range-checked? (valid 7 — see below)
+      "hp97560:zz=1",              // Unknown key.
+      "hp97560:seg=99999999999999999999",  // uint64 overflow.
+      "fixed:lat=5",               // Missing time unit.
+      "fixed:lat=5sec",            // Bad unit.
+      "fixed:lat=-1ms",            // Negative time.
+      "fixed:lat=1e999ms",         // Double overflow (ERANGE).
+      "fixed:lat=9e300ms",         // Finite but far past the SimTime cast.
+      "ssd:rlat=9e300us",          // Same, per-command latency.
+      "hp97560:ov=2e7s",           // Same, in seconds.
+      "fixed:bw=1e-300B",          // Denormal bandwidth explodes transfer time.
+      "fixed:bw=9e30GB",           // Absurd bandwidth.
+      "fixed:lat=nanms",           // Not a number.
+      "fixed:bw=40",               // Missing bandwidth unit.
+      "fixed:bw=0MB",              // Zero bandwidth.
+      "fixed:bw=40TB",             // Unknown unit.
+      "fixed:cap=1KB",             // Too small to stripe.
+      "fixed:cap=9999999999999GB", // Absurd capacity.
+      "ssd:chan=0",                // Zero channels.
+      "ssd:chan=2000",             // Above bound.
+      "ssd:stripe=0",              // Zero stripe.
+      "ssd:rlat=80",               // Missing unit.
+      "ssd:rlat=80us,wlat",        // Trailing non-kv field.
+      "ssd:,",                     // Empty fields.
+      "+",                         // Empty fleet components.
+      "hp97560+",                  // Trailing empty component.
+  };
+  for (const char* text : kBad) {
+    if (std::string(text) == "hp97560:seg=007") {
+      continue;  // Leading zeros are legal decimal for counts; covered below.
+    }
+    DiskSpec spec;
+    std::string error;
+    std::vector<DiskSpec> fleet;
+    EXPECT_FALSE(DiskSpec::TryParseList(text, &fleet, &error)) << "accepted: \"" << text << "\"";
+    EXPECT_FALSE(error.empty()) << text;
+    if (std::string(text).find('+') == std::string::npos) {
+      error.clear();
+      EXPECT_FALSE(DiskSpec::TryParse(text, &spec, &error)) << "accepted: \"" << text << "\"";
+      EXPECT_FALSE(error.empty()) << text;
+    }
+  }
+  // Leading zeros parse as plain decimal (mirrors ParseUint in workload.cc).
+  DiskSpec spec;
+  EXPECT_TRUE(DiskSpec::TryParse("hp97560:seg=007", &spec));
+}
+
+TEST(DiskSpecFuzzTest, RejectsEmbeddedNulsAndJunkBytes) {
+  using namespace std::string_literals;
+  const std::string kBad[] = {
+      "hp97560\0:seg=4"s,       // NUL inside the model name.
+      "hp97560:seg=4\0"s,       // Trailing NUL in a count.
+      "fixed:lat=0.2\0ms"s,     // NUL splitting number and unit.
+      "ssd:chan=4\0,rlat=80us"s,
+      "hp97560:seg=4\n"s,       // Trailing whitespace is not trimmed.
+      " hp97560"s,              // Leading whitespace is not trimmed.
+      "hp97560:seg= 4"s,        // Inner whitespace.
+  };
+  for (const std::string& text : kBad) {
+    DiskSpec spec;
+    std::string error;
+    EXPECT_FALSE(DiskSpec::TryParse(text, &spec, &error)) << "accepted: " << text;
+  }
+}
+
+TEST(DiskSpecFuzzTest, RandomByteStringsNeverAbort) {
+  // Deterministic xorshift fuzz: whatever the bytes, TryParse returns.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string alphabet = "hp97560fixedssd:=,+.-eExku MBGs\0\n\t"s;
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const std::size_t len = next() % 24;
+    for (std::size_t j = 0; j < len; ++j) {
+      text += alphabet[next() % alphabet.size()];
+    }
+    DiskSpec spec;
+    std::string error;
+    (void)DiskSpec::TryParse(text, &spec, &error);  // Must not abort/UB.
+    std::vector<DiskSpec> fleet;
+    (void)DiskSpec::TryParseList(text, &fleet, &error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model semantics.
+// ---------------------------------------------------------------------------
+
+TEST(FixedLatencyDiskTest, CostIsLatencyPlusTransferRegardlessOfPosition) {
+  FixedLatencyDisk::Params params;
+  params.latency_ms = 0.5;
+  params.bandwidth_bytes_per_sec = 8'192'000;  // 1 ms per 8 KB block.
+  FixedLatencyDisk disk(params);
+  auto near_access = disk.Access(0, 0, 16, false);
+  const sim::SimTime per_block = near_access.completion;
+  EXPECT_EQ(per_block, sim::FromMs(0.5) + sim::FromMs(1.0));
+  // A far seek costs exactly the same.
+  auto far_access = disk.Access(per_block, 2'000'000, 16, false);
+  EXPECT_EQ(far_access.completion - per_block, per_block);
+  EXPECT_EQ(far_access.seek_ns, 0u);
+  EXPECT_EQ(far_access.rotation_ns, 0u);
+  EXPECT_EQ(disk.stats().requests, 2u);
+  EXPECT_EQ(disk.stats().seeks, 0u);
+}
+
+TEST(FixedLatencyDiskTest, BackToBackCommandsSerialize) {
+  FixedLatencyDisk::Params params;
+  params.latency_ms = 1.0;
+  FixedLatencyDisk disk(params);
+  auto first = disk.Access(0, 0, 16, false);
+  // Submitted "immediately" after: queues behind the first command.
+  auto second = disk.Access(0, 1000, 16, false);
+  EXPECT_GE(second.completion, 2 * first.completion);
+}
+
+TEST(SsdDiskTest, ChannelsServeStripesInParallel) {
+  SsdDisk::Params params;
+  params.channels = 4;
+  params.stripe_sectors = 16;
+  params.read_latency_us = 80;
+  SsdDisk disk(params);
+  // 4 stripes spanning 4 distinct channels: one request, parallel service.
+  auto wide = disk.Access(0, 0, 64, false);
+  SsdDisk one_chan({.channels = 1, .read_latency_us = 80, .stripe_sectors = 16});
+  sim::SimTime serial = 0;
+  for (int i = 0; i < 4; ++i) {
+    serial = one_chan.Access(serial, static_cast<std::uint64_t>(i) * 16, 16, false).completion;
+  }
+  EXPECT_LT(wide.completion, serial);
+  // With 4 channels the 4 segments overlap perfectly: one segment's time.
+  auto single = SsdDisk(params).Access(0, 0, 16, false);
+  EXPECT_EQ(wide.completion, single.completion);
+}
+
+TEST(SsdDiskTest, ReadWriteAsymmetryAndErasePenalty) {
+  SsdDisk::Params params;
+  params.channels = 1;
+  params.read_latency_us = 80;
+  params.write_latency_us = 200;
+  params.erase_penalty_us = 1000;
+  SsdDisk disk(params);
+  auto read = disk.Access(0, 0, 16, false);
+  SsdDisk fresh(params);
+  auto first_write = fresh.Access(0, 0, 16, true);
+  // First write opens an erase block: wlat + erase + transfer.
+  EXPECT_EQ(first_write.completion - read.completion,
+            sim::FromUs(200 - 80) + sim::FromUs(1000));
+  EXPECT_FALSE(first_write.stream_hit);
+  // A sequential continuation streams into the open block: no penalty.
+  auto next_write = fresh.Access(first_write.completion, 16, 16, true);
+  EXPECT_TRUE(next_write.stream_hit);
+  EXPECT_EQ(next_write.completion - first_write.completion,
+            first_write.completion - sim::FromUs(1000));
+  // A displaced write pays the penalty again.
+  auto far_write = fresh.Access(next_write.completion, 1'000'000, 16, true);
+  EXPECT_FALSE(far_write.stream_hit);
+  EXPECT_EQ(fresh.stats().stream_hits, 1u);
+}
+
+TEST(SsdDiskTest, GloballySequentialWritesStreamOnEveryChannel) {
+  // The erase-block bookkeeping is channel-local: a globally sequential
+  // write schedule is locally sequential on each of the 4 channels, so
+  // after the first request opens the blocks, continuations are free.
+  SsdDisk::Params params;
+  params.channels = 4;
+  params.stripe_sectors = 16;
+  SsdDisk disk(params);
+  sim::SimTime t = 0;
+  auto first = disk.Access(t, 0, 64, true);  // Opens all 4 channels.
+  EXPECT_FALSE(first.stream_hit);
+  t = first.completion;
+  for (int i = 1; i < 8; ++i) {
+    auto next = disk.Access(t, static_cast<std::uint64_t>(i) * 64, 64, true);
+    EXPECT_TRUE(next.stream_hit) << "request " << i;
+    t = next.completion;
+  }
+  EXPECT_EQ(disk.stats().stream_hits, 7u);
+  // A displaced write re-opens its channels' blocks: penalty again.
+  auto displaced = disk.Access(t, 1'000'000, 64, true);
+  EXPECT_FALSE(displaced.stream_hit);
+}
+
+TEST(SsdDiskTest, SortedVsUnsortedReadsAreIdenticalCost) {
+  // The headline property: read order does not matter on the SSD.
+  std::vector<std::uint64_t> lbns = {512, 0, 2048, 1024, 4096, 3072};
+  std::vector<std::uint64_t> sorted = lbns;
+  std::sort(sorted.begin(), sorted.end());
+  auto run = [](const std::vector<std::uint64_t>& order) {
+    SsdDisk disk(SsdDisk::Params{});
+    sim::SimTime t = 0;
+    for (std::uint64_t lbn : order) {
+      t = disk.Access(t, lbn, 16, false).completion;
+    }
+    return t;
+  };
+  EXPECT_EQ(run(lbns), run(sorted));
+}
+
+// ---------------------------------------------------------------------------
+// End to end through the registry: every method on every model.
+// ---------------------------------------------------------------------------
+
+TEST(DiskModelsEndToEndTest, AllMethodsRunOnAllModels) {
+  for (const char* spec :
+       {"fixed:lat=0.2ms,bw=40MB", "ssd:chan=4,rlat=80us,wlat=200us"}) {
+    for (const char* method : {"tc", "ddio", "ddio-nosort", "twophase"}) {
+      for (const char* pattern : {"rb", "wb"}) {
+        core::ExperimentConfig cfg;
+        cfg.pattern = pattern;
+        cfg.method_key = method;
+        core::MethodFromKey(method, &cfg.method);
+        cfg.file_bytes = 512 * 1024;
+        cfg.trials = 1;
+        ASSERT_TRUE(DiskSpec::TryParse(spec, &cfg.machine.disk));
+        auto result = core::RunExperiment(cfg);
+        EXPECT_GT(result.mean_mbps, 0.0) << spec << " " << method << " " << pattern;
+      }
+    }
+  }
+}
+
+TEST(DiskModelsEndToEndTest, SsdRunsAreDeterministic) {
+  core::ExperimentConfig cfg;
+  cfg.pattern = "rb";
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.file_bytes = 1024 * 1024;
+  cfg.trials = 2;
+  ASSERT_TRUE(DiskSpec::TryParse("ssd:chan=4,rlat=80us,wlat=200us", &cfg.machine.disk));
+  auto first = core::RunExperiment(cfg);
+  auto second = core::RunExperiment(cfg);
+  ASSERT_EQ(first.trials.size(), second.trials.size());
+  for (std::size_t t = 0; t < first.trials.size(); ++t) {
+    EXPECT_EQ(first.trials[t].elapsed_ns(), second.trials[t].elapsed_ns());
+  }
+  EXPECT_EQ(first.total_events, second.total_events);
+}
+
+TEST(DiskModelsEndToEndTest, HeterogeneousFleetRunsEndToEnd) {
+  core::ExperimentConfig cfg;
+  cfg.pattern = "rb";
+  cfg.file_bytes = 512 * 1024;
+  cfg.trials = 1;
+  ASSERT_TRUE(DiskSpec::TryParseList("hp97560+ssd:chan=4,rlat=80us,wlat=200us",
+                                     &cfg.machine.disk_fleet));
+  auto result = core::RunExperiment(cfg);
+  EXPECT_GT(result.mean_mbps, 0.0);
+}
+
+TEST(DiskModelsEndToEndTest, DdioPresortGainVanishesOnSsdReads) {
+  // The quantified claim behind bench/ablation_disk_models.cc: presorting a
+  // random-block read schedule is a big win on the HP mechanism and a
+  // negligible one on the SSD.
+  auto ratio = [](const char* spec) {
+    core::ExperimentConfig cfg;
+    cfg.pattern = "rb";
+    cfg.layout = fs::LayoutKind::kRandomBlocks;
+    cfg.file_bytes = 1024 * 1024;
+    cfg.trials = 2;
+    DiskSpec parsed;
+    EXPECT_TRUE(DiskSpec::TryParse(spec, &parsed));
+    cfg.machine.disk = parsed;
+    cfg.method = core::Method::kDiskDirected;
+    const double sorted = core::RunExperiment(cfg).mean_mbps;
+    cfg.method = core::Method::kDiskDirectedNoSort;
+    const double unsorted = core::RunExperiment(cfg).mean_mbps;
+    return sorted / unsorted;
+  };
+  EXPECT_GT(ratio("hp97560"), 1.2);
+  EXPECT_NEAR(ratio("ssd:chan=4,rlat=80us,wlat=200us"), 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Filtered-read capability gate (satellite: clean CLI error, not SIGABRT).
+// ---------------------------------------------------------------------------
+
+TEST(FilteredReadCapabilityTest, DeclaredCapsMirrorInstanceCaps) {
+  for (const char* method : {"tc", "ddio", "ddio-nosort", "twophase"}) {
+    core::FileSystemCaps caps;
+    ASSERT_TRUE(core::FileSystemRegistry::BuiltIns().DeclaredCaps(method, &caps)) << method;
+    const bool expect_filtered =
+        std::string(method) == "ddio" || std::string(method) == "ddio-nosort";
+    EXPECT_EQ(caps.supports_filtered_read, expect_filtered) << method;
+  }
+  core::FileSystemCaps caps;
+  EXPECT_FALSE(core::FileSystemRegistry::BuiltIns().DeclaredCaps("no-such-method", &caps));
+}
+
+TEST(FilteredReadCapabilityTest, ValidateCapabilitiesRejectsTcFilter) {
+  core::Workload workload;
+  std::string error;
+  ASSERT_TRUE(core::Workload::Parse("rb,filter=0.5", &workload, &error)) << error;
+  EXPECT_FALSE(workload.ValidateCapabilities("tc", &error));
+  EXPECT_NE(error.find("filtered"), std::string::npos);
+  EXPECT_TRUE(workload.ValidateCapabilities("ddio", &error));
+  // Per-phase methods override the default.
+  ASSERT_TRUE(core::Workload::Parse("rb,filter=0.5,method=twophase", &workload, &error));
+  EXPECT_FALSE(workload.ValidateCapabilities("ddio", &error));
+}
+
+TEST(FilteredReadCapabilityTest, ValidateCapabilitiesRejectsWriteFilter) {
+  // Selection pushdown has no write form: even on a filter-capable method,
+  // filter= on a w* pattern is rejected before it can reach the
+  // DdioFileSystem assert.
+  core::Workload workload;
+  std::string error;
+  ASSERT_TRUE(core::Workload::Parse("wb,filter=0.5", &workload, &error)) << error;
+  EXPECT_FALSE(workload.ValidateCapabilities("ddio", &error));
+  EXPECT_NE(error.find("read patterns only"), std::string::npos);
+}
+
+TEST(FilteredReadCapabilityDeathTest, WriteFilterPhaseExitsCleanlyNotSigabrt) {
+  core::ExperimentConfig cfg;
+  cfg.file_bytes = 256 * 1024;
+  cfg.trials = 1;
+  cfg.pattern = "wb";
+  cfg.method = core::Method::kDiskDirected;
+  core::Workload workload = core::Workload::SinglePhase(cfg);
+  workload.phases[0].filter_selectivity = 0.5;
+  EXPECT_EXIT(core::RunWorkloadTrial(cfg, workload, 1),
+              ::testing::ExitedWithCode(2), "read patterns only");
+}
+
+TEST(FilteredReadCapabilityTest, ParseRejectsBadFilterValues) {
+  core::Workload workload;
+  std::string error;
+  for (const char* spec : {"rb,filter=0", "rb,filter=1.5", "rb,filter=-0.5", "rb,filter=x",
+                           "rb,filter=", "rb,filter=0.5x"}) {
+    EXPECT_FALSE(core::Workload::Parse(spec, &workload, &error)) << spec;
+  }
+  ASSERT_TRUE(core::Workload::Parse("rb,filter=0.25,fseed=7", &workload, &error)) << error;
+  EXPECT_DOUBLE_EQ(workload.phases[0].filter_selectivity, 0.25);
+  EXPECT_EQ(workload.phases[0].filter_seed, 7u);
+}
+
+TEST(FilteredReadCapabilityDeathTest, RunPhaseExitsCleanlyNotSigabrt) {
+  // The satellite contract: a filter phase on a capability-less method is
+  // exit(2) with a clear message — not the base class's abort().
+  core::ExperimentConfig cfg;
+  cfg.file_bytes = 256 * 1024;
+  cfg.trials = 1;
+  cfg.method = core::Method::kTraditionalCaching;
+  core::Workload workload = core::Workload::SinglePhase(cfg);
+  workload.phases[0].filter_selectivity = 0.5;
+  EXPECT_EXIT(core::RunWorkloadTrial(cfg, workload, 1),
+              ::testing::ExitedWithCode(2), "does not support filtered reads");
+}
+
+TEST(FilteredReadCapabilityTest, FilteredWorkloadPhaseRunsOnDdio) {
+  core::ExperimentConfig cfg;
+  cfg.file_bytes = 512 * 1024;
+  cfg.record_bytes = 512;
+  cfg.trials = 1;
+  cfg.method = core::Method::kDiskDirected;
+  core::Workload workload = core::Workload::SinglePhase(cfg);
+  workload.phases[0].filter_selectivity = 0.25;
+  workload.phases[0].filter_seed = 42;
+  auto result = core::RunWorkloadTrial(cfg, workload, 1);
+  ASSERT_EQ(result.phases.size(), 1u);
+  // A 25% selection ships roughly a quarter of the bytes.
+  EXPECT_LT(result.phases[0].bytes_delivered, cfg.file_bytes / 2);
+  EXPECT_GT(result.phases[0].bytes_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace ddio::disk

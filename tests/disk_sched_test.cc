@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "src/core/machine.h"
 #include "src/core/runner.h"
 #include "src/disk/bus.h"
+#include "src/disk/disk_registry.h"
 #include "src/disk/disk_unit.h"
 #include "src/sim/engine.h"
 
@@ -21,16 +23,17 @@ struct SchedFixture {
   ScsiBus bus{engine, "bus0"};
   DiskUnit disk;
 
-  explicit SchedFixture(DiskQueuePolicy policy)
-      : disk(engine, Hp97560::Params{}, bus, 0, policy) {
+  explicit SchedFixture(DiskQueuePolicy policy, const char* spec = "hp97560")
+      : disk(engine, DiskModelRegistry::BuiltIns().Create(spec), bus, 0, policy) {
     disk.Start();
   }
 };
 
 // Enqueues reads for `lbns` all at once and records completion order.
 std::vector<std::uint64_t> ServiceOrder(DiskQueuePolicy policy,
-                                        const std::vector<std::uint64_t>& lbns) {
-  SchedFixture f(policy);
+                                        const std::vector<std::uint64_t>& lbns,
+                                        const char* spec = "hp97560") {
+  SchedFixture f(policy, spec);
   std::vector<std::uint64_t> order;
   for (std::uint64_t lbn : lbns) {
     f.engine.Spawn([](DiskUnit& d, std::uint64_t l, std::vector<std::uint64_t>& out)
@@ -104,6 +107,72 @@ TEST(DiskSchedTest, PoliciesIdenticalOnSequentialQueue) {
   }
   EXPECT_EQ(ServiceOrder(DiskQueuePolicy::kFcfs, lbns),
             ServiceOrder(DiskQueuePolicy::kElevator, lbns));
+}
+
+// The queue policies are model-agnostic: C-SCAN sorts by LBN whatever
+// device is underneath, and FCFS must stay arrival order (the property the
+// DDIO presorted-submission contract relies on) for every model.
+
+constexpr char kSsdSpec[] = "ssd:chan=4,rlat=80us,wlat=200us";
+
+TEST(DiskSchedTest, SsdFcfsKeepsArrivalOrder) {
+  std::vector<std::uint64_t> lbns = {800000, 16, 400000, 1600};
+  EXPECT_EQ(ServiceOrder(DiskQueuePolicy::kFcfs, lbns, kSsdSpec), lbns);
+  EXPECT_EQ(ServiceOrder(DiskQueuePolicy::kFcfs, lbns, "fixed:lat=0.2ms,bw=40MB"), lbns);
+}
+
+TEST(DiskSchedTest, ElevatorOverSsdStillCScans) {
+  // C-SCAN sorts what is queued regardless of the device; on an SSD the
+  // *order* buys nothing, but the policy must stay well-defined.
+  std::vector<std::uint64_t> lbns = {800000, 16, 400000, 1600};
+  EXPECT_EQ(ServiceOrder(DiskQueuePolicy::kElevator, lbns, kSsdSpec),
+            (std::vector<std::uint64_t>{16, 1600, 400000, 800000}));
+}
+
+TEST(DiskSchedTest, ElevatorOverSsdIsDeterministic) {
+  sim::Engine seed_engine(31);
+  std::vector<std::uint64_t> lbns;
+  for (int i = 0; i < 24; ++i) {
+    lbns.push_back(seed_engine.rng().Uniform(0, 160'000) * 16);
+  }
+  auto run = [&]() {
+    SchedFixture f(DiskQueuePolicy::kElevator, kSsdSpec);
+    std::vector<std::uint64_t> order;
+    for (std::uint64_t lbn : lbns) {
+      f.engine.Spawn([](DiskUnit& d, std::uint64_t l, std::vector<std::uint64_t>& out)
+                         -> sim::Task<> {
+        co_await d.Read(l, kBlockSectors);
+        out.push_back(l);
+      }(f.disk, lbn, order));
+    }
+    f.engine.Run();
+    return std::make_pair(order, f.engine.now());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(DiskSchedTest, ElevatorEndToEndOnSsdMatchesFcfsThroughputClass) {
+  // End to end through the runner: an elevator IOP queue on an SSD machine
+  // must run (deterministically) without starving any request — and the
+  // order-insensitivity of the device means FCFS and C-SCAN land close.
+  core::ExperimentConfig cfg;
+  cfg.pattern = "ra";
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.file_bytes = 1024 * 1024;
+  cfg.trials = 2;
+  cfg.method = core::Method::kTraditionalCaching;
+  ASSERT_TRUE(DiskSpec::TryParse(kSsdSpec, &cfg.machine.disk));
+  auto fcfs = core::RunExperiment(cfg);
+  cfg.machine.disk_queue = DiskQueuePolicy::kElevator;
+  auto elevator = core::RunExperiment(cfg);
+  auto elevator_again = core::RunExperiment(cfg);
+  EXPECT_EQ(elevator.trials[0].elapsed_ns(), elevator_again.trials[0].elapsed_ns());
+  EXPECT_EQ(elevator.total_events, elevator_again.total_events);
+  EXPECT_GT(elevator.mean_mbps, 0.5 * fcfs.mean_mbps);
+  EXPECT_LT(elevator.mean_mbps, 2.0 * fcfs.mean_mbps);
 }
 
 TEST(DiskSchedTest, ElevatorHelpsTcOnRandomLayoutButNotPastDdio) {

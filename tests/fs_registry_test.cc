@@ -122,7 +122,7 @@ LegacyTrial RunLegacyTrial(const ExperimentConfig& config, std::uint64_t seed) {
   file_params.num_disks = config.machine.num_disks;
   file_params.layout = config.layout;
   file_params.disk_capacity_bytes =
-      config.machine.disk.geometry.CapacityBytes() / config.machine.block_bytes *
+      config.machine.MinDiskCapacityBytes() / config.machine.block_bytes *
       config.machine.block_bytes;
   fs::StripedFile file(file_params, engine.rng());
 
