@@ -14,7 +14,8 @@
 //                      and irregular index lists (ri:<seed>)
 //   --record=BYTES     record size (default 8192)
 //   --method=M         any registered method: tc | ddio | ddio-nosort | twophase
-//   --layout=L         contiguous | random (default contiguous)
+//   --layout=L         contiguous | random | mirror:K (default contiguous;
+//                      mirror:K keeps K copies of every block on distinct disks)
 //   --cps=N --iops=N --disks=N --file-mb=N --trials=N --seed=N
 //   --disk=SPEC        storage-device model: hp97560 | hp97560:seg=4,ra=256 |
 //                      fixed:lat=0.2ms,bw=40MB | ssd:chan=4,rlat=80us,wlat=200us;
@@ -28,6 +29,9 @@
 //                      with caps().supports_filtered_read only)
 //   --filter-seed=N    selection seed for --filter (default 0)
 //   --json=PATH        machine-readable per-phase results (bench JSON format)
+//   --faults=SPEC      seed-deterministic fault plan, e.g.
+//                      "disk:2,stall=50ms@t=0.8s;disk:5,fail@t=1.2s;
+//                       link:cp3-iop1,drop=0.01;iop:4,crash@t=2.0s"
 //   --elevator         C-SCAN IOP disk queues (default FCFS)
 //   --strided          TC strided requests (future-work extension)
 //   --gather           DDIO gather/scatter Memput/Memget (future-work extension)
@@ -50,6 +54,8 @@
 #include "src/core/workload.h"
 #include "src/disk/disk_registry.h"
 #include "src/disk/disk_unit.h"
+#include "src/fault/fault_spec.h"
+#include "src/fs/layout.h"
 #include "src/fs/striped_file.h"
 #include "src/pattern/pattern.h"
 #include "src/sim/engine.h"
@@ -60,10 +66,10 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [--pattern=NAME] [--record=BYTES] [--method=%s]\n"
-      "          [--layout=contiguous|random] [--cps=N] [--iops=N] [--disks=N]\n"
+      "          [--layout=contiguous|random|mirror:K] [--cps=N] [--iops=N] [--disks=N]\n"
       "          [--disk=SPEC] [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N]\n"
       "          [--workload=SPEC] [--filter=F] [--filter-seed=N] [--json=PATH]\n"
-      "          [--elevator] [--strided] [--gather] [--contention]\n"
+      "          [--faults=SPEC] [--elevator] [--strided] [--gather] [--contention]\n"
       "          [--describe] [--verbose]\n"
       "  --pattern names: HPF letters (ra rn rb rc rnb ... wcn), optionally\n"
       "         parameterized per dimension (rc4 = CYCLIC(4), rb2c8), or an\n"
@@ -78,8 +84,12 @@ namespace {
       "  --filter runs a filtered collective read keeping fraction F in (0,1] of\n"
       "         records (needs a method with caps().supports_filtered_read)\n"
       "  --contention models per-link wormhole contention on the torus\n"
-      "  --describe prints the pattern's chunk structure (Figure-2 cs/s) and the\n"
-      "         resolved disk model, then exits\n",
+      "  --faults injects a seed-deterministic fault plan, events joined with ';':\n"
+      "         disk:N,stall=DUR@t=TIME | disk:N,fail@t=TIME | iop:N,crash@t=TIME |\n"
+      "         link:cpA-iopB,drop=P | link:cpA-iopB,delay=DUR (pair with\n"
+      "         --layout=mirror:K for failover; per-phase status is reported)\n"
+      "  --describe prints the pattern's chunk structure (Figure-2 cs/s), the\n"
+      "         resolved disk model, and the resolved fault plan, then exits\n",
       argv0, ddio::core::FileSystemRegistry::BuiltIns().NamesJoined("|").c_str(),
       ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined("|").c_str());
   std::exit(2);
@@ -133,12 +143,16 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
       }
     } else if (MatchFlag(arg, "--layout", &value)) {
-      if (std::strcmp(value, "contiguous") == 0) {
-        cfg.layout = fs::LayoutKind::kContiguous;
-      } else if (std::strcmp(value, "random") == 0) {
-        cfg.layout = fs::LayoutKind::kRandomBlocks;
-      } else {
-        Usage(argv[0]);
+      if (std::string layout_error;
+          !fs::ParseLayout(value, &cfg.layout, &cfg.replicas, &layout_error)) {
+        std::fprintf(stderr, "--layout: %s\n", layout_error.c_str());
+        return 2;
+      }
+    } else if (MatchFlag(arg, "--faults", &value)) {
+      if (std::string fault_error;
+          !fault::FaultSpec::TryParse(value, &cfg.machine.faults, &fault_error)) {
+        std::fprintf(stderr, "--faults: %s\n", fault_error.c_str());
+        return 2;
       }
     } else if (MatchFlag(arg, "--cps", &value)) {
       cfg.machine.num_cps = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
@@ -204,6 +218,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Bound-check the fault plan against the final machine geometry (the
+  // --cps/--iops/--disks flags may follow --faults on the command line).
+  if (std::string fault_error;
+      !cfg.machine.faults.Validate(cfg.machine.num_cps, cfg.machine.num_iops,
+                                   cfg.machine.num_disks, &fault_error)) {
+    std::fprintf(stderr, "--faults: %s\n", fault_error.c_str());
+    return 2;
+  }
+  if (cfg.replicas > cfg.machine.num_disks) {
+    std::fprintf(stderr, "--layout: mirror:%u needs at least %u disks (have %u)\n",
+                 cfg.replicas, cfg.replicas, cfg.machine.num_disks);
+    return 2;
+  }
+
   // Validate the user-supplied pattern and geometry up front on the paths
   // that use them (describe, single-pattern run): both reach
   // PatternSpec::Parse and AccessPattern, which abort on bad input. TryParse
@@ -261,6 +289,13 @@ int main(int argc, char** argv) {
         std::printf("    %-20s %s\n", param.c_str(), param_value.c_str());
       }
     }
+    if (cfg.replicas > 1) {
+      std::printf("layout: %s with %u mirror copies per block\n", fs::LayoutName(cfg.layout),
+                  cfg.replicas);
+    }
+    if (cfg.machine.faults.active()) {
+      std::printf("fault plan:\n%s", cfg.machine.faults.Describe().c_str());
+    }
     return 0;
   }
 
@@ -306,15 +341,24 @@ int main(int argc, char** argv) {
                 DescribeFleet(cfg.machine).c_str());
 
     auto result = core::RunWorkloadExperiment(cfg, workload, jobs);
-    std::printf("\n%-5s %-12s %-8s %10s %8s %12s\n", "phase", "method", "pattern", "MB/s", "cv",
-                "elapsed ms");
+    const bool faults = cfg.machine.faults.active();
+    std::printf("\n%-5s %-12s %-8s %10s %8s %12s%s\n", "phase", "method", "pattern", "MB/s",
+                "cv", "elapsed ms", faults ? "  status" : "");
     for (std::size_t p = 0; p < workload.phases.size(); ++p) {
       const core::WorkloadPhase& phase = workload.phases[p];
       const std::string phase_method = phase.method.empty() ? method_key : phase.method;
       const core::OpStats& last = result.trials.back().phases[p];
-      std::printf("%-5zu %-12s %-8s %10.2f %8.3f %12.1f\n", p, phase_method.c_str(),
+      std::printf("%-5zu %-12s %-8s %10.2f %8.3f %12.1f", p, phase_method.c_str(),
                   phase.pattern.c_str(), result.mean_mbps[p], result.cv[p],
                   static_cast<double>(last.elapsed_ns()) / 1e6);
+      if (faults) {
+        std::printf("  %s (retries %llu, attempts %u)%s%s",
+                    core::OutcomeName(last.status.outcome),
+                    static_cast<unsigned long long>(last.status.retries), last.status.attempts,
+                    last.status.detail.empty() ? "" : ": ",
+                    last.status.detail.c_str());
+      }
+      std::printf("\n");
       json.Add("phase", p, phase_method, phase.pattern, result.mean_mbps[p], result.cv[p],
                cfg.trials);
     }
@@ -355,6 +399,15 @@ int main(int argc, char** argv) {
   auto result = core::RunWorkloadExperiment(cfg, workload, jobs);
   std::printf("\nthroughput: %.2f MB/s (cv %.3f over %zu trials)\n", result.mean_mbps[0],
               result.cv[0], result.trials.size());
+  if (cfg.machine.faults.active()) {
+    for (std::size_t t = 0; t < result.trials.size(); ++t) {
+      const core::OpStatus& status = result.trials[t].phases[0].status;
+      std::printf("  trial %zu status: %s (retries %llu, attempts %u)%s%s\n", t,
+                  core::OutcomeName(status.outcome),
+                  static_cast<unsigned long long>(status.retries), status.attempts,
+                  status.detail.empty() ? "" : ": ", status.detail.c_str());
+    }
+  }
   json.Add("phase", 0, method_key, cfg.pattern, result.mean_mbps[0], result.cv[0], cfg.trials);
   json.Flush();
 

@@ -13,6 +13,7 @@
 #include "src/disk/bus.h"
 #include "src/disk/disk_registry.h"
 #include "src/disk/disk_unit.h"
+#include "src/fault/fault_spec.h"
 #include "src/net/network.h"
 
 namespace ddio::core {
@@ -36,6 +37,10 @@ struct MachineConfig {
   // requests (ablation A6).
   disk::DiskQueuePolicy disk_queue = disk::DiskQueuePolicy::kFcfs;
   CostModel costs;
+  // Fault plan (empty by default: a perfect machine, bit-identical behavior
+  // to builds that predate fault injection). Build with
+  // fault::FaultSpec::TryParse and Validate against this geometry.
+  fault::FaultSpec faults;
 
   std::uint32_t num_nodes() const { return num_cps + num_iops; }
   // Disks are distributed round-robin over IOPs ("Each IOP served one or

@@ -46,6 +46,65 @@ void Machine::StartDisks() {
   for (auto& disk : disks_) {
     disk->Start();
   }
+  // Arm the fault plan exactly once, alongside the disks it targets. Link
+  // faults hold for the whole run and install immediately; timed events
+  // (stall/fail/crash) get a timeline task that fires at @t=.
+  if (config_.faults.active()) {
+    auto node_of = [this](const fault::LinkEndpoint& endpoint) -> std::uint32_t {
+      return endpoint.is_iop ? NodeOfIop(endpoint.index) : NodeOfCp(endpoint.index);
+    };
+    for (const fault::FaultEvent& event : config_.faults.events()) {
+      switch (event.kind) {
+        case fault::FaultEvent::Kind::kLinkDrop:
+          network_->SetLinkFault(node_of(event.a), node_of(event.b), event.drop_probability, 0);
+          break;
+        case fault::FaultEvent::Kind::kLinkDelay:
+          network_->SetLinkFault(node_of(event.a), node_of(event.b), 0, event.duration_ns);
+          break;
+        case fault::FaultEvent::Kind::kDiskStall:
+        case fault::FaultEvent::Kind::kDiskFail:
+        case fault::FaultEvent::Kind::kIopCrash:
+          engine_.Spawn(FaultTimeline(event));
+          break;
+      }
+    }
+  }
+}
+
+sim::Task<> Machine::FaultTimeline(fault::FaultEvent event) {
+  const sim::SimTime now = engine_.now();
+  if (event.at_ns > now) {
+    co_await engine_.Delay(event.at_ns - now);
+  }
+  switch (event.kind) {
+    case fault::FaultEvent::Kind::kDiskStall:
+      disks_[event.target]->InjectStall(event.duration_ns);
+      break;
+    case fault::FaultEvent::Kind::kDiskFail:
+      disks_[event.target]->InjectFailure();
+      break;
+    case fault::FaultEvent::Kind::kIopCrash:
+      CrashIop(event.target);
+      break;
+    case fault::FaultEvent::Kind::kLinkDrop:
+    case fault::FaultEvent::Kind::kLinkDelay:
+      break;  // Installed at StartDisks, never scheduled.
+  }
+}
+
+void Machine::CrashIop(std::uint32_t iop) {
+  if (crashed_iops_.empty()) {
+    crashed_iops_.resize(config_.num_iops, 0);
+  }
+  if (crashed_iops_[iop] != 0) {
+    return;
+  }
+  crashed_iops_[iop] = 1;
+  const std::uint16_t node = NodeOfIop(iop);
+  // Down on the wire first (so nothing new lands in the dying inbox), then
+  // close the inbox to kick its parked service loops.
+  network_->SetNodeDown(node);
+  network_->Inbox(node).Close();
 }
 
 void Machine::ClaimInboxes(const char* owner) {
@@ -68,7 +127,11 @@ void Machine::ReleaseInboxes(const char* owner) {
   // system's service loops.
   for (std::uint32_t node = 0; node < config_.num_nodes(); ++node) {
     network_->Inbox(node).Close();
-    network_->Inbox(node).Reopen();
+    // A crashed IOP's inbox stays closed: it must not come back to life for
+    // the next file system.
+    if (!(IsIopNode(node) && IopCrashed(IopOfNode(node)))) {
+      network_->Inbox(node).Reopen();
+    }
   }
 }
 

@@ -75,6 +75,26 @@ class Machine {
   ValidationSink* validation() { return validation_; }
   void set_validation(ValidationSink* sink) { validation_ = sink; }
 
+  // --- Fault injection (config().faults) -----------------------------------
+  // True when this machine carries a non-empty fault plan; file systems use
+  // this to decide whether to arm timeouts/acks. With an empty plan every
+  // fault hook below is dead code and runs are bit-identical to pre-fault
+  // builds.
+  bool fault_active() const { return config_.faults.active(); }
+  // Crashes an IOP: marks it down on the network (messages to/from it vanish)
+  // and closes its inbox, kicking its parked service loops. Permanent for the
+  // machine's lifetime; in-flight CP requests to it are recovered (or failed
+  // loudly) by the file systems' timeout/retry layer.
+  void CrashIop(std::uint32_t iop);
+  bool IopCrashed(std::uint32_t iop) const {
+    return !crashed_iops_.empty() && crashed_iops_[iop] != 0;
+  }
+  bool DiskFailed(std::uint32_t d) const { return disks_[d]->failed(); }
+  // A disk can serve requests iff it has not failed and its IOP is alive.
+  bool DiskReachable(std::uint32_t d) const {
+    return !DiskFailed(d) && !IopCrashed(IopOfDisk(d));
+  }
+
   // Aggregate disk mechanism stats over all spindles.
   disk::DiskMechanismStats AggregateDiskStats() const;
 
@@ -105,6 +125,9 @@ class Machine {
   Utilization SnapshotUtilization() const { return UtilizationSince({}); }
 
  private:
+  // Waits until the event's @t= and applies it (disk stall/fail, IOP crash).
+  sim::Task<> FaultTimeline(fault::FaultEvent event);
+
   sim::Engine& engine_;
   MachineConfig config_;
   std::unique_ptr<net::Network> network_;
@@ -113,6 +136,7 @@ class Machine {
   std::vector<std::unique_ptr<disk::ScsiBus>> bus_;
   std::vector<std::unique_ptr<disk::DiskUnit>> disks_;
   ValidationSink* validation_ = nullptr;
+  std::vector<char> crashed_iops_;  // Empty until a crash event fires.
   bool disks_started_ = false;
   const char* inbox_owner_ = nullptr;
 };

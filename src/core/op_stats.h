@@ -4,10 +4,50 @@
 #define DDIO_SRC_CORE_OP_STATS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/sim/time.h"
 
 namespace ddio::core {
+
+// How a collective operation (or a whole workload phase) ended. With an empty
+// fault plan every operation is kSuccess with zero retries; under fault
+// injection an operation either survives (possibly degraded: it needed
+// retries, failover to a mirror replica, or a phase-level re-run) or fails
+// loudly with a structured reason — never hangs, never silently truncates.
+enum class Outcome : std::uint8_t {
+  kSuccess = 0,   // Completed on the first attempt with no retries.
+  kDegraded = 1,  // Completed, but only after retries / replica failover.
+  kFailed = 2,    // Could not complete; `detail` says why.
+};
+
+inline const char* OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kSuccess:
+      return "success";
+    case Outcome::kDegraded:
+      return "degraded";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+struct OpStatus {
+  Outcome outcome = Outcome::kSuccess;
+  std::uint64_t retries = 0;          // Request-level resends (timeout or error).
+  std::uint64_t failed_requests = 0;  // Requests abandoned after retry exhaustion.
+  std::uint32_t attempts = 1;         // Whole-collective attempts (phase-level retry).
+  std::string detail;                 // Human-readable reason when not kSuccess.
+
+  bool ok() const { return outcome != Outcome::kFailed; }
+  void MarkFailed(std::string why) {
+    outcome = Outcome::kFailed;
+    if (detail.empty()) {
+      detail = std::move(why);
+    }
+  }
+};
 
 struct OpStats {
   sim::SimTime start_ns = 0;
@@ -28,6 +68,10 @@ struct OpStats {
   double max_iop_cpu_util = 0;
   double max_bus_util = 0;
   double avg_disk_util = 0;
+
+  // Fault-injection outcome. Untouched (kSuccess, zero counters) on any run
+  // with an empty fault plan.
+  OpStatus status;
 
   sim::SimTime elapsed_ns() const { return end_ns - start_ns; }
 

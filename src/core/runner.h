@@ -41,6 +41,8 @@ struct ExperimentConfig {
   std::uint64_t file_bytes = 10 * 1024 * 1024;  // Paper: 10 MB.
   std::uint32_t record_bytes = 8192;
   fs::LayoutKind layout = fs::LayoutKind::kContiguous;
+  // Mirror copies per block (--layout=mirror:K); 1 = unreplicated.
+  std::uint32_t replicas = 1;
   std::string pattern = "rb";
   Method method = Method::kDiskDirected;
   // Registry key overriding `method` when non-empty — the hook for methods

@@ -61,6 +61,13 @@ bool WalkExtents(std::uint32_t cp, const std::map<std::uint64_t, ValidationSink:
 
 }  // namespace
 
+void ValidationSink::Clear() {
+  deliveries_.clear();
+  writes_.clear();
+  delivered_bytes_ = 0;
+  written_bytes_ = 0;
+}
+
 void ValidationSink::RecordDelivery(std::uint32_t cp, std::uint64_t cp_offset,
                                     std::uint64_t file_offset, std::uint64_t length) {
   delivered_bytes_ += length;

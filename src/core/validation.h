@@ -39,6 +39,11 @@ class ValidationSink {
   std::uint64_t delivered_bytes() const { return delivered_bytes_; }
   std::uint64_t written_bytes() const { return written_bytes_; }
 
+  // Forgets everything recorded so far. Fault-injection phase retries re-run
+  // a collective from scratch; the sink must match, or the re-recorded image
+  // would double every extent.
+  void Clear();
+
   struct Extent {
     std::uint64_t counterpart = 0;  // file_offset for deliveries keyed by cp_offset, etc.
     std::uint64_t length = 0;

@@ -9,6 +9,7 @@
 
 #include "src/core/fs_registry.h"
 #include "src/core/parallel.h"
+#include "src/fault/retry.h"
 #include "src/pattern/pattern.h"
 
 namespace ddio::core {
@@ -120,12 +121,9 @@ bool ParsePhase(const std::string& text, WorkloadPhase* phase, std::string* erro
       }
       phase->file_index = static_cast<std::uint32_t>(number);
     } else if (key == "layout") {
-      if (value == "contiguous") {
-        phase->layout = fs::LayoutKind::kContiguous;
-      } else if (value == "random") {
-        phase->layout = fs::LayoutKind::kRandomBlocks;
-      } else {
-        *error = "workload phase \"" + text + "\": layout must be contiguous or random";
+      std::string layout_error;
+      if (!fs::ParseLayout(value, &phase->layout, &phase->replicas, &layout_error)) {
+        *error = "workload phase \"" + text + "\": " + layout_error;
         return false;
       }
       phase->has_layout = true;
@@ -189,7 +187,8 @@ bool Workload::Parse(const std::string& spec, Workload* out, std::string* error)
       }
       if ((later.file_bytes != 0 && later.file_bytes != first.file_bytes) ||
           (later.has_layout &&
-           (!first.has_layout || later.layout != first.layout))) {
+           (!first.has_layout || later.layout != first.layout ||
+            later.replicas != first.replicas))) {
         *error = "workload phase " + std::to_string(i) + " redefines file " +
                  std::to_string(later.file_index) + "'s size/layout (set them on phase " +
                  std::to_string(j) + ", the slot's first use)";
@@ -267,7 +266,8 @@ const fs::StripedFile& WorkloadSession::FileFor(const WorkloadPhase& phase) {
     // redefine its geometry (Workload::Parse rejects this for CLI specs,
     // this guards programmatic phases).
     if ((phase.file_bytes != 0 && phase.file_bytes != slot->file_bytes()) ||
-        (phase.has_layout && phase.layout != slot->layout())) {
+        (phase.has_layout &&
+         (phase.layout != slot->layout() || phase.replicas != slot->replicas()))) {
       std::fprintf(stderr,
                    "ddio::core: workload phase redefines file %u's size/layout; set them on "
                    "the slot's first use\n",
@@ -281,6 +281,7 @@ const fs::StripedFile& WorkloadSession::FileFor(const WorkloadPhase& phase) {
     params.block_bytes = config_.machine.block_bytes;
     params.num_disks = config_.machine.num_disks;
     params.layout = phase.has_layout ? phase.layout : config_.layout;
+    params.replicas = phase.has_layout ? phase.replicas : config_.replicas;
     params.disk_capacity_bytes = config_.machine.MinDiskCapacityBytes() /
                                  config_.machine.block_bytes * config_.machine.block_bytes;
     slot = std::make_unique<fs::StripedFile>(params, engine_.rng());
@@ -370,13 +371,67 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
   // since session start (for a 1-phase workload the two coincide).
   Machine::UtilizationBaseline baseline = machine_.CaptureUtilizationBaseline();
   OpStats stats;
-  if (phase.filter_selectivity >= 0) {
-    engine_.Spawn(fs.RunFilteredRead(file, pattern, phase.filter_selectivity,
-                                     phase.filter_seed, &stats));
+  if (!machine_.fault_active()) {
+    if (phase.filter_selectivity >= 0) {
+      engine_.Spawn(fs.RunFilteredRead(file, pattern, phase.filter_selectivity,
+                                       phase.filter_seed, &stats));
+    } else {
+      engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+    }
+    engine_.Run();
   } else {
-    engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+    // Fault plan active: the phase-level backstop. Run the collective; verify
+    // the realized data image against the pattern; on a failed or torn
+    // attempt, clear the image and re-run (bounded), then fail loudly. This
+    // is what catches silent truncation the request layers cannot see (e.g.
+    // blocks stranded by an IOP crash mid-collective).
+    ValidationSink* prior_sink = machine_.validation();
+    std::unique_ptr<ValidationSink> scratch_sink;
+    if (prior_sink == nullptr && phase.filter_selectivity < 0) {
+      // No caller-provided sink (benchmarks): audit with a scratch one so
+      // degraded runs are still verified end to end. Filtered reads ship a
+      // data-dependent subset, so their image never matches the full pattern
+      // and they run unaudited.
+      scratch_sink = std::make_unique<ValidationSink>();
+      machine_.set_validation(scratch_sink.get());
+    }
+    ValidationSink* sink = phase.filter_selectivity < 0 ? machine_.validation() : nullptr;
+    for (std::uint32_t attempt = 1; attempt <= fault::kMaxPhaseAttempts; ++attempt) {
+      const bool degraded_before =
+          attempt > 1;  // A re-run means the first attempt did not survive clean.
+      stats = OpStats();
+      if (phase.filter_selectivity >= 0) {
+        engine_.Spawn(fs.RunFilteredRead(file, pattern, phase.filter_selectivity,
+                                         phase.filter_seed, &stats));
+      } else {
+        engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+      }
+      engine_.Run();
+      stats.status.attempts = attempt;
+      std::vector<std::string> verify_errors;
+      const bool verified =
+          sink == nullptr || !stats.status.ok() || sink->Verify(pattern, &verify_errors);
+      if (stats.status.ok() && verified) {
+        if (degraded_before && stats.status.outcome == Outcome::kSuccess) {
+          stats.status.outcome = Outcome::kDegraded;
+          stats.status.detail = "succeeded on a phase re-run";
+        }
+        break;
+      }
+      if (attempt == fault::kMaxPhaseAttempts) {
+        if (stats.status.ok()) {
+          stats.status.MarkFailed(
+              "data image failed verification: " +
+              (verify_errors.empty() ? std::string("(no diagnostics)") : verify_errors[0]));
+        }
+        break;
+      }
+      if (sink != nullptr) {
+        sink->Clear();  // Next attempt re-records the image from scratch.
+      }
+    }
+    machine_.set_validation(prior_sink);
   }
-  engine_.Run();
 
   Machine::Utilization utilization = machine_.UtilizationSince(baseline);
   stats.max_cp_cpu_util = utilization.max_cp_cpu;

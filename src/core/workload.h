@@ -41,8 +41,9 @@ struct WorkloadPhase {
   // Session file-table slot: phases with the same index share one file
   // (write-then-read); distinct indices are independent files (slab sweeps).
   std::uint32_t file_index = 0;
-  bool has_layout = false;  // When true, `layout` overrides the experiment's.
+  bool has_layout = false;  // When true, `layout`+`replicas` override the experiment's.
   fs::LayoutKind layout = fs::LayoutKind::kContiguous;
+  std::uint32_t replicas = 1;  // Mirror copies per block (layout=mirror:K).
   // Simulated compute time before this phase's I/O starts.
   sim::SimTime compute_ns = 0;
   // Filtered read (selection pushdown): fraction of records kept, in (0, 1].
@@ -60,7 +61,7 @@ struct Workload {
   static Workload SinglePhase(const ExperimentConfig& config);
 
   // Parses "PHASE[;PHASE...]" where PHASE is
-  //   PATTERN[,record=BYTES][,mb=N][,file=K][,layout=contiguous|random]
+  //   PATTERN[,record=BYTES][,mb=N][,file=K][,layout=contiguous|random|mirror:K]
   //          [,method=NAME][,compute=MS][,filter=FRACTION][,fseed=N]
   // e.g. "wbb;rbb,record=4096" or "rb,method=tc;rb,method=ddio". Returns
   // false and sets *error on malformed specs (method names are validated by

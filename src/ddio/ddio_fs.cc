@@ -62,6 +62,24 @@ sim::Task<> DdioFileSystem::IopServer(std::uint32_t iop) {
       co_return;
     }
     if (const auto* request = std::get_if<net::CollectiveRequest>(&message->payload)) {
+      if (machine_.fault_active() && !iop_state_.empty()) {
+        if (iop_state_[iop] == 1) {
+          continue;  // Duplicate of the request we are already serving.
+        }
+        if (iop_state_[iop] == 2) {
+          // Finished already; the completion note must have been lost — re-ack.
+          co_await machine_.ChargeIop(iop, costs.msg_send_cycles);
+          net::Message note;
+          note.src = machine_.NodeOfIop(iop);
+          note.dst = machine_.NodeOfCp(request->requesting_cp);
+          note.data_bytes = 0;
+          note.payload =
+              net::CompletionNote{static_cast<std::uint16_t>(iop), !op_disk_errors_};
+          co_await machine_.network().Send(std::move(note));
+          continue;
+        }
+        iop_state_[iop] = 1;
+      }
       // One request, one new thread (Section 4, "Disk-directed I/O").
       co_await machine_.ChargeIop(iop, costs.msg_dispatch_cycles + costs.thread_create_cycles);
       machine_.engine().Spawn(
@@ -70,9 +88,20 @@ sim::Task<> DdioFileSystem::IopServer(std::uint32_t iop) {
       // Data arrives by DMA; just release the waiting buffer thread.
       auto it = memget_pending_[iop].find(reply->request_id);
       if (it != memget_pending_[iop].end()) {
-        sim::OneShotEvent* done = it->second;
+        MemgetWaiter waiter = it->second;
         memget_pending_[iop].erase(it);
-        done->Set();
+        if (waiter.completed != nullptr) {
+          *waiter.completed = true;
+        }
+        waiter.done->Set();
+      }
+    } else if (const auto* ack = std::get_if<net::MemputAck>(&message->payload)) {
+      auto it = memput_pending_.find(ack->id);
+      if (it != memput_pending_.end()) {
+        std::shared_ptr<fault::TimedWait> wait = it->second;
+        memput_pending_.erase(it);
+        wait->completed = true;
+        wait->settled.Set();
       }
     }
   }
@@ -88,8 +117,10 @@ sim::Task<> DdioFileSystem::CpDispatcher(std::uint32_t cp) {
     }
     if (const auto* memput = std::get_if<net::Memput>(&message->payload)) {
       // Pure DMA deposit into the preregistered destination buffer(s); no CP
-      // software on this path.
-      if (machine_.validation() != nullptr) {
+      // software on this path. In fault mode Memputs carry an id: the deposit
+      // is acked, and retransmissions are recognized and recorded only once.
+      const bool duplicate = memput->id != 0 && !memput_seen_.insert(memput->id).second;
+      if (machine_.validation() != nullptr && !duplicate) {
         if (memput->extents != nullptr) {
           for (const net::MemExtent& extent : *memput->extents) {
             machine_.validation()->RecordDelivery(cp, extent.cp_offset, extent.file_offset,
@@ -99,6 +130,15 @@ sim::Task<> DdioFileSystem::CpDispatcher(std::uint32_t cp) {
           machine_.validation()->RecordDelivery(cp, memput->cp_offset, memput->file_offset,
                                                 memput->length);
         }
+      }
+      if (memput->id != 0) {
+        co_await machine_.ChargeCp(cp, costs.msg_send_cycles);
+        net::Message ack;
+        ack.src = machine_.NodeOfCp(cp);
+        ack.dst = machine_.NodeOfIop(memput->iop);
+        ack.data_bytes = 0;
+        ack.payload = net::MemputAck{memput->id};
+        co_await machine_.network().Send(std::move(ack));
       }
     } else if (const auto* memget = std::get_if<net::MemgetRequest>(&message->payload)) {
       // Reply with the requested data (DMA out of the user buffer); a
@@ -117,10 +157,21 @@ sim::Task<> DdioFileSystem::CpDispatcher(std::uint32_t cp) {
                                        memget->cp_offset, static_cast<std::uint16_t>(cp),
                                        memget->extents};
       co_await machine_.network().Send(std::move(reply));
-    } else if (std::get_if<net::CompletionNote>(&message->payload) != nullptr) {
+    } else if (const auto* note = std::get_if<net::CompletionNote>(&message->payload)) {
       co_await machine_.ChargeCp(cp, costs.msg_dispatch_cycles);
       if (current_op_ != nullptr && current_op_->requesting_cp == cp) {
-        current_op_->completion->CountDown();
+        if (machine_.fault_active()) {
+          // Resends are possible; record each IOP's report at most once. The
+          // collective's poll loop (not a latch) observes iop_reported_.
+          if (!iop_reported_[note->iop]) {
+            iop_reported_[note->iop] = 1;
+            if (!note->ok) {
+              op_disk_errors_ = true;
+            }
+          }
+        } else {
+          current_op_->completion->CountDown();
+        }
       }
     }
   }
@@ -132,22 +183,69 @@ sim::Task<> DdioFileSystem::HandleCollective(std::uint32_t iop, const Collective
 
   // Determine the set of file data local to this IOP and the disk blocks
   // needed, one work list per local disk.
+  const bool faulty = machine_.fault_active();
   std::vector<std::pair<std::uint32_t, std::unique_ptr<DiskWork>>> work;
   for (std::uint32_t d = 0; d < machine_.num_disks(); ++d) {
     if (machine_.IopOfDisk(d) != iop) {
       continue;
     }
     auto disk_work = std::make_unique<DiskWork>();
-    disk_work->blocks = file.FileBlocksOnDisk(d);
+    if (file.replicas() == 1) {
+      disk_work->blocks = file.FileBlocksOnDisk(d);
+      if (params_.presort && !disk_work->blocks.empty()) {
+        // Sort the disk blocks to optimize disk movement (Figure 1c).
+        std::sort(disk_work->blocks.begin(), disk_work->blocks.end(),
+                  [&](std::uint64_t a, std::uint64_t b) {
+                    return file.LbnOfBlock(a) < file.LbnOfBlock(b);
+                  });
+      }
+    } else {
+      // Mirrored mode (fault plan or not): each disk serves its (block,
+      // replica) copies. Writes go to every reachable copy; reads come from
+      // each block's first reachable replica (so exactly one disk ships each
+      // block). With no faults every disk is reachable: writes fan out to
+      // all copies (the mirroring tax) and reads reduce to the replica-0
+      // block set — the same blocks, LBNs, and sort order as the
+      // unreplicated branch.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> items;
+      for (std::uint32_t r = 0; r < file.replicas(); ++r) {
+        for (std::uint64_t b : file.FileBlocksOnDisk(d, r)) {
+          if (op->is_write) {
+            if (machine_.DiskReachable(d)) {
+              items.emplace_back(b, r);
+            }
+            continue;
+          }
+          std::uint32_t chosen = file.replicas();
+          for (std::uint32_t rr = 0; rr < file.replicas(); ++rr) {
+            if (machine_.DiskReachable(file.DiskOfBlockReplica(b, rr))) {
+              chosen = rr;
+              break;
+            }
+          }
+          if (chosen == file.replicas() && r == 0) {
+            op_data_lost_ = true;  // Every copy of this block is unreachable.
+          }
+          if (chosen == r) {
+            items.emplace_back(b, r);
+          }
+        }
+      }
+      if (params_.presort) {
+        std::sort(items.begin(), items.end(), [&](const auto& a, const auto& b) {
+          return file.LbnOfBlockReplica(a.first, a.second) <
+                 file.LbnOfBlockReplica(b.first, b.second);
+        });
+      }
+      disk_work->blocks.reserve(items.size());
+      disk_work->replicas.reserve(items.size());
+      for (const auto& [b, r] : items) {
+        disk_work->blocks.push_back(b);
+        disk_work->replicas.push_back(r);
+      }
+    }
     if (disk_work->blocks.empty()) {
       continue;
-    }
-    if (params_.presort) {
-      // Sort the disk blocks to optimize disk movement (Figure 1c).
-      std::sort(disk_work->blocks.begin(), disk_work->blocks.end(),
-                [&](std::uint64_t a, std::uint64_t b) {
-                  return file.LbnOfBlock(a) < file.LbnOfBlock(b);
-                });
     }
     work.emplace_back(d, std::move(disk_work));
   }
@@ -166,12 +264,15 @@ sim::Task<> DdioFileSystem::HandleCollective(std::uint32_t iop, const Collective
   co_await sim::WhenAll(machine_.engine(), std::move(workers));
 
   // Tell the original requesting CP we are finished.
+  if (faulty && !iop_state_.empty()) {
+    iop_state_[iop] = 2;
+  }
   co_await machine_.ChargeIop(iop, costs.msg_send_cycles);
   net::Message note;
   note.src = machine_.NodeOfIop(iop);
   note.dst = machine_.NodeOfCp(op->requesting_cp);
   note.data_bytes = 0;
-  note.payload = net::CompletionNote{static_cast<std::uint16_t>(iop)};
+  note.payload = net::CompletionNote{static_cast<std::uint16_t>(iop), !op_disk_errors_};
   co_await machine_.network().Send(std::move(note));
 }
 
@@ -180,15 +281,33 @@ sim::Task<> DdioFileSystem::DiskWorker(std::uint32_t iop, std::uint32_t disk, Di
   // The buffer threads "repeatedly transferred blocks, letting the disk
   // thread choose which block to transfer next" — here the shared cursor
   // over the (sorted) work list plays that role.
+  const bool faulty = machine_.fault_active();
   for (;;) {
     if (work->next >= work->blocks.size()) {
       co_return;
     }
-    const std::uint64_t block = work->blocks[work->next++];
+    if (faulty && machine_.IopCrashed(iop)) {
+      co_return;  // This IOP died mid-collective; its remaining work strands.
+    }
+    const std::size_t index = work->next++;
+    const std::uint64_t block = work->blocks[index];
+    const std::uint32_t replica = work->replicas.empty() ? 0 : work->replicas[index];
+    if (faulty) {
+      // Exactly-once across re-multicast attempts: a resent collective
+      // request must not re-transfer copies an earlier attempt handled.
+      const std::uint64_t claim = block * op->file->replicas() + replica;
+      if (op->is_write) {
+        if (!write_claims_.insert(claim).second) {
+          continue;
+        }
+      } else if (!read_claims_.insert(block).second) {
+        continue;
+      }
+    }
     if (op->is_write) {
-      co_await TransferWriteBlock(iop, disk, block, op);
+      co_await TransferWriteBlock(iop, disk, block, replica, op);
     } else {
-      co_await TransferReadBlock(iop, disk, block, op);
+      co_await TransferReadBlock(iop, disk, block, replica, op);
     }
   }
 }
@@ -221,12 +340,23 @@ std::vector<std::pair<std::uint32_t, std::vector<net::MemExtent>>> DdioFileSyste
 }
 
 sim::Task<> DdioFileSystem::TransferReadBlock(std::uint32_t iop, std::uint32_t disk,
-                                              std::uint64_t block, const CollectiveOp* op) {
+                                              std::uint64_t block, std::uint32_t replica,
+                                              const CollectiveOp* op) {
   const fs::StripedFile& file = *op->file;
   const core::CostModel& costs = machine_.config().costs;
+  const bool faulty = machine_.fault_active();
   co_await machine_.ChargeIop(iop, costs.disk_cmd_cycles);
-  co_await machine_.Disk(disk).Read(file.LbnOfBlock(block),
-                                    SectorsFor(file.BlockLength(block)));
+  bool disk_ok = true;
+  co_await machine_.Disk(disk).Read(file.LbnOfBlockReplica(block, replica),
+                                    SectorsFor(file.BlockLength(block)),
+                                    faulty ? &disk_ok : nullptr);
+  if (!disk_ok) {
+    // No data to ship. Release the claim so a surviving replica's disk (in a
+    // retried attempt) may serve the block instead.
+    op_disk_errors_ = true;
+    read_claims_.erase(block);
+    co_return;
+  }
 
   auto groups = PiecesOfBlock(op, block);
   if (op->selectivity < 1.0) {
@@ -290,24 +420,41 @@ sim::Task<> DdioFileSystem::TransferReadBlock(std::uint32_t iop, std::uint32_t d
     co_await machine_.ChargeIop(
         iop, costs.piece_setup_cycles +
                  static_cast<std::uint32_t>(extents.size() - 1) * costs.gather_extent_cycles);
+    net::Memput payload;
+    payload.cp_offset = extents.front().cp_offset;
+    payload.length = extents.front().length;
+    payload.file_offset = extents.front().file_offset;
+    if (extents.size() > 1) {
+      payload.extents = std::make_shared<const std::vector<net::MemExtent>>(std::move(extents));
+    }
+    if (faulty) {
+      // Acked + retried: a lossy link may drop the Memput or its ack, but the
+      // data (identified by id) lands and is recorded exactly once.
+      co_await DoMemput(iop, cp, std::move(payload), total);
+      continue;
+    }
     net::Message msg;
     msg.src = machine_.NodeOfIop(iop);
     msg.dst = machine_.NodeOfCp(cp);
     msg.data_bytes = total;
-    net::Memput payload{extents.front().cp_offset, extents.front().length,
-                        extents.front().file_offset, nullptr};
-    if (extents.size() > 1) {
-      payload.extents = std::make_shared<const std::vector<net::MemExtent>>(std::move(extents));
-    }
     msg.payload = std::move(payload);
     co_await machine_.network().Send(std::move(msg));
   }
 }
 
 sim::Task<> DdioFileSystem::TransferWriteBlock(std::uint32_t iop, std::uint32_t disk,
-                                               std::uint64_t block, const CollectiveOp* op) {
+                                               std::uint64_t block, std::uint32_t replica,
+                                               const CollectiveOp* op) {
   const fs::StripedFile& file = *op->file;
   const core::CostModel& costs = machine_.config().costs;
+  const bool faulty = machine_.fault_active();
+
+  // Mirrored mode: every replica copy gathers (each its own Memgets), but
+  // only the first copy to transfer the block records it with the validation
+  // sink — the file image is written once, mirrored N times. The claim is
+  // also what keeps re-multicast retries from double-recording.
+  const bool record =
+      (faulty || file.replicas() > 1) ? record_claims_.insert(block).second : true;
 
   // Gather the block: concurrent Memgets to all contributing CPs.
   std::vector<sim::Task<>> gets;
@@ -318,41 +465,116 @@ sim::Task<> DdioFileSystem::TransferWriteBlock(std::uint32_t iop, std::uint32_t 
       total += extent.length;
     }
     auto shared = std::make_shared<const std::vector<net::MemExtent>>(std::move(extents));
-    gets.push_back(DoMemget(iop, cp, std::move(shared), total, op));
+    gets.push_back(DoMemget(iop, cp, std::move(shared), total, record, op));
   }
   co_await sim::WhenAll(machine_.engine(), std::move(gets));
 
   co_await machine_.ChargeIop(iop, costs.disk_cmd_cycles);
-  co_await machine_.Disk(disk).Write(file.LbnOfBlock(block),
-                                     SectorsFor(file.BlockLength(block)));
+  bool disk_ok = true;
+  co_await machine_.Disk(disk).Write(file.LbnOfBlockReplica(block, replica),
+                                     SectorsFor(file.BlockLength(block)),
+                                     faulty ? &disk_ok : nullptr);
+  if (!disk_ok) {
+    op_disk_errors_ = true;  // This copy is lost; mirrors (if any) survive.
+  }
 }
 
 sim::Task<> DdioFileSystem::DoMemget(std::uint32_t iop, std::uint32_t cp,
                                      std::shared_ptr<const std::vector<net::MemExtent>> extents,
-                                     std::uint32_t total_bytes, const CollectiveOp* op) {
+                                     std::uint32_t total_bytes, bool record,
+                                     const CollectiveOp* op) {
   (void)op;
   const core::CostModel& costs = machine_.config().costs;
   co_await machine_.ChargeIop(
       iop, costs.piece_setup_cycles +
                static_cast<std::uint32_t>(extents->size() - 1) * costs.gather_extent_cycles);
   const std::uint64_t id = next_memget_id_++;
-  sim::OneShotEvent done(machine_.engine());
-  memget_pending_[iop][id] = &done;
   const net::MemExtent& first = extents->front();
-  net::Message msg;
-  msg.src = machine_.NodeOfIop(iop);
-  msg.dst = machine_.NodeOfCp(cp);
-  msg.data_bytes = 0;
-  msg.payload = net::MemgetRequest{first.cp_offset, total_bytes,       first.file_offset,
-                                   static_cast<std::uint16_t>(iop), id, extents};
-  co_await machine_.network().Send(std::move(msg));
-  co_await done.Wait();
-  if (machine_.validation() != nullptr) {
+  if (!machine_.fault_active()) {
+    sim::OneShotEvent done(machine_.engine());
+    memget_pending_[iop][id] = MemgetWaiter{&done, nullptr};
+    net::Message msg;
+    msg.src = machine_.NodeOfIop(iop);
+    msg.dst = machine_.NodeOfCp(cp);
+    msg.data_bytes = 0;
+    msg.payload = net::MemgetRequest{first.cp_offset, total_bytes,       first.file_offset,
+                                     static_cast<std::uint16_t>(iop), id, extents};
+    co_await machine_.network().Send(std::move(msg));
+    co_await done.Wait();
+  } else {
+    // Timeout + bounded retry: the request or its data reply may be dropped
+    // by a lossy link. Same id across attempts — the reply releases whichever
+    // attempt is pending.
+    bool got = false;
+    for (std::uint32_t attempt = 0; attempt < fault::kMaxSendAttempts; ++attempt) {
+      auto wait = std::make_shared<fault::TimedWait>(machine_.engine());
+      memget_pending_[iop][id] = MemgetWaiter{&wait->settled, &wait->completed};
+      net::Message msg;
+      msg.src = machine_.NodeOfIop(iop);
+      msg.dst = machine_.NodeOfCp(cp);
+      msg.data_bytes = 0;
+      msg.payload = net::MemgetRequest{first.cp_offset, total_bytes,       first.file_offset,
+                                       static_cast<std::uint16_t>(iop), id, extents};
+      co_await machine_.network().Send(std::move(msg));
+      machine_.engine().Spawn(
+          fault::ArmTimer(&machine_.engine(), fault::kRequestTimeoutNs << attempt, wait));
+      co_await wait->settled.Wait();
+      if (wait->completed) {
+        got = true;
+        break;
+      }
+      // Timed out: unhook the waiter before any further suspension so a late
+      // reply cannot touch the freed TimedWait.
+      memget_pending_[iop].erase(id);
+      ++op_retries_;
+    }
+    if (!got) {
+      op_data_lost_ = true;
+      co_return;
+    }
+  }
+  if (record && machine_.validation() != nullptr) {
     for (const net::MemExtent& extent : *extents) {
       machine_.validation()->RecordFileWrite(cp, extent.cp_offset, extent.file_offset,
                                              extent.length);
     }
   }
+}
+
+sim::Task<> DdioFileSystem::DoMemput(std::uint32_t iop, std::uint32_t cp, net::Memput payload,
+                                     std::uint32_t total_bytes) {
+  payload.id = next_memput_id_++;
+  payload.iop = static_cast<std::uint16_t>(iop);
+  for (std::uint32_t attempt = 0; attempt < fault::kMaxSendAttempts; ++attempt) {
+    auto wait = std::make_shared<fault::TimedWait>(machine_.engine());
+    memput_pending_[payload.id] = wait;
+    net::Message msg;
+    msg.src = machine_.NodeOfIop(iop);
+    msg.dst = machine_.NodeOfCp(cp);
+    msg.data_bytes = total_bytes;
+    msg.payload = payload;
+    co_await machine_.network().Send(std::move(msg));
+    machine_.engine().Spawn(
+        fault::ArmTimer(&machine_.engine(), fault::kRequestTimeoutNs << attempt, wait));
+    co_await wait->settled.Wait();
+    if (wait->completed) {
+      co_return;
+    }
+    memput_pending_.erase(payload.id);
+    ++op_retries_;
+  }
+  op_data_lost_ = true;  // Every attempt (data or ack) was lost.
+}
+
+sim::Task<> DdioFileSystem::SendCollectiveRequest(std::uint32_t iop, CollectiveOp* op) {
+  const core::CostModel& costs = machine_.config().costs;
+  co_await machine_.ChargeCp(op->requesting_cp, costs.msg_send_cycles);
+  net::Message msg;
+  msg.src = machine_.NodeOfCp(op->requesting_cp);
+  msg.dst = machine_.NodeOfIop(iop);
+  msg.data_bytes = kCollectiveRequestBytes;
+  msg.payload = net::CollectiveRequest{op, op->requesting_cp};
+  co_await machine_.network().Send(std::move(msg));
 }
 
 sim::Task<> DdioFileSystem::RunCollective(const fs::StripedFile& file,
@@ -368,13 +590,29 @@ sim::Task<> DdioFileSystem::RunFilteredRead(const fs::StripedFile& file,
   assert(started_);
   assert(file.num_disks() == machine_.num_disks());
   assert(selectivity == 1.0 || !pattern.spec().is_write);
-  const core::CostModel& costs = machine_.config().costs;
   core::OpStats local;
   core::OpStats& out = stats != nullptr ? *stats : local;
   out.start_ns = machine_.engine().now();
   out.file_bytes = file.file_bytes();
   const std::uint64_t pieces_before = pieces_moved_;
   const std::uint64_t bytes_before = bytes_delivered_;
+
+  const bool faulty = machine_.fault_active();
+  if (faulty || file.replicas() > 1) {
+    // Per-op exactly-once state. Mirrored runs use record_claims_ even
+    // without a fault plan (one validation record per block, not per copy).
+    read_claims_.clear();
+    write_claims_.clear();
+    record_claims_.clear();
+  }
+  if (faulty) {
+    iop_state_.assign(machine_.num_iops(), 0);
+    iop_reported_.assign(machine_.num_iops(), 0);
+    memput_seen_.clear();
+    op_retries_ = 0;
+    op_disk_errors_ = false;
+    op_data_lost_ = false;
+  }
 
   sim::CountdownLatch completion(machine_.engine(), machine_.num_iops());
   CollectiveOp op;
@@ -391,23 +629,80 @@ sim::Task<> DdioFileSystem::RunFilteredRead(const fs::StripedFile& file,
   // around this are negligible next to the transfer — paper Section 3 — and
   // are subsumed by the synchronous start here.)
   for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
-    co_await machine_.ChargeCp(op.requesting_cp, costs.msg_send_cycles);
-    net::Message msg;
-    msg.src = machine_.NodeOfCp(op.requesting_cp);
-    msg.dst = machine_.NodeOfIop(iop);
-    msg.data_bytes = kCollectiveRequestBytes;
-    msg.payload = net::CollectiveRequest{&op, op.requesting_cp};
-    co_await machine_.network().Send(std::move(msg));
+    co_await SendCollectiveRequest(iop, &op);
   }
 
   // Wait for all IOPs to respond that they are finished.
-  co_await completion.Wait();
+  if (!faulty) {
+    co_await completion.Wait();
+  } else {
+    // A latch would park forever if an IOP crashed or a note was dropped.
+    // Poll instead: an IOP is settled when it reported or is known dead;
+    // unsettled survivors get the request re-multicast (bounded attempts).
+    auto settled = [this] {
+      for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+        if (!iop_reported_[iop] && !machine_.IopCrashed(iop)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    for (std::uint32_t attempt = 1;; ++attempt) {
+      sim::SimTime waited = 0;
+      while (!settled() && waited < fault::kCollectiveTimeoutNs) {
+        co_await machine_.engine().Delay(fault::kCollectivePollNs);
+        waited += fault::kCollectivePollNs;
+      }
+      if (settled()) {
+        break;
+      }
+      if (attempt >= fault::kMaxCollectiveAttempts) {
+        op_data_lost_ = true;
+        break;
+      }
+      ++op_retries_;
+      for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+        // Resend to IOPs whose request or note may be lost; one mid-service
+        // (state 1) will report on its own, so leave it alone.
+        if (!iop_reported_[iop] && !machine_.IopCrashed(iop) && iop_state_[iop] != 1) {
+          co_await SendCollectiveRequest(iop, &op);
+        }
+      }
+    }
+  }
   current_op_ = nullptr;
 
   out.end_ns = machine_.engine().now();
   out.pieces = pieces_moved_ - pieces_before;
   out.bytes_delivered = bytes_delivered_ - bytes_before;
   out.requests = machine_.num_iops();  // One collective request per IOP.
+
+  if (faulty) {
+    out.status.retries = op_retries_;
+    bool crashed_unreported = false;
+    for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
+      if (machine_.IopCrashed(iop) && !iop_reported_[iop]) {
+        crashed_unreported = true;
+      }
+    }
+    if (op_data_lost_) {
+      out.status.MarkFailed("data or completion traffic lost after bounded retries");
+    } else if (crashed_unreported || op_disk_errors_) {
+      if (file.replicas() > 1) {
+        out.status.outcome = core::Outcome::kDegraded;
+        out.status.detail = crashed_unreported
+                                ? "IOP crash stranded transfers; mirror copies cover the image"
+                                : "disk errors absorbed by mirror copies";
+      } else {
+        out.status.MarkFailed(crashed_unreported
+                                  ? "IOP crashed with transfers incomplete (no mirror copies)"
+                                  : "unrecoverable disk errors (no mirror copies)");
+      }
+    } else if (op_retries_ > 0) {
+      out.status.outcome = core::Outcome::kDegraded;
+      out.status.detail = "recovered after request retries";
+    }
+  }
 }
 
 }  // namespace ddio::ddio_fs

@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/fs_interface.h"
+#include "src/fault/retry.h"
 #include "src/core/machine.h"
 #include "src/core/op_stats.h"
 #include "src/fs/striped_file.h"
@@ -96,8 +98,16 @@ class DdioFileSystem : public core::FileSystem {
     std::uint64_t filter_seed = 0;
   };
   struct DiskWork {
-    std::vector<std::uint64_t> blocks;  // File blocks, in service order.
+    // One item per (file block, mirror replica) this disk serves, in service
+    // order. `replicas` is empty on the healthy path (replica 0 implied).
+    std::vector<std::uint64_t> blocks;
+    std::vector<std::uint32_t> replicas;
     std::size_t next = 0;
+  };
+  // Awaiting Memget replies; `completed` is non-null in fault mode only.
+  struct MemgetWaiter {
+    sim::OneShotEvent* done = nullptr;
+    bool* completed = nullptr;
   };
 
   sim::Task<> IopServer(std::uint32_t iop);
@@ -106,12 +116,19 @@ class DdioFileSystem : public core::FileSystem {
   sim::Task<> DiskWorker(std::uint32_t iop, std::uint32_t disk, DiskWork* work,
                          const CollectiveOp* op);
   sim::Task<> TransferReadBlock(std::uint32_t iop, std::uint32_t disk, std::uint64_t block,
-                                const CollectiveOp* op);
+                                std::uint32_t replica, const CollectiveOp* op);
   sim::Task<> TransferWriteBlock(std::uint32_t iop, std::uint32_t disk, std::uint64_t block,
-                                 const CollectiveOp* op);
+                                 std::uint32_t replica, const CollectiveOp* op);
   sim::Task<> DoMemget(std::uint32_t iop, std::uint32_t cp,
                        std::shared_ptr<const std::vector<net::MemExtent>> extents,
-                       std::uint32_t total_bytes, const CollectiveOp* op);
+                       std::uint32_t total_bytes, bool record, const CollectiveOp* op);
+  // Fault mode: an acked Memput with per-attempt timeout and bounded retry,
+  // so a lossy link cannot silently truncate a read.
+  sim::Task<> DoMemput(std::uint32_t iop, std::uint32_t cp, net::Memput payload,
+                       std::uint32_t total_bytes);
+  // Re-sends the collective request to one IOP (initial multicast + fault-mode
+  // re-multicast share it).
+  sim::Task<> SendCollectiveRequest(std::uint32_t iop, CollectiveOp* op);
 
   // Collects the pattern pieces of one block, grouped per owning CP when
   // gather/scatter is enabled (one group per CP), else one group per piece.
@@ -120,12 +137,27 @@ class DdioFileSystem : public core::FileSystem {
 
   core::Machine& machine_;
   DdioParams params_;
-  std::vector<std::unordered_map<std::uint64_t, sim::OneShotEvent*>> memget_pending_;  // Per IOP.
+  std::vector<std::unordered_map<std::uint64_t, MemgetWaiter>> memget_pending_;  // Per IOP.
   CollectiveOp* current_op_ = nullptr;
   std::uint64_t next_memget_id_ = 1;
   std::uint64_t pieces_moved_ = 0;
   std::uint64_t bytes_delivered_ = 0;
   bool started_ = false;
+  // Fault-mode per-collective state (reset in RunFilteredRead; never touched
+  // when the machine carries no fault plan).
+  std::vector<char> iop_state_;     // 0 idle, 1 running HandleCollective, 2 done.
+  std::vector<char> iop_reported_;  // CompletionNote seen (dedup for resends).
+  // Exactly-once claims across re-multicast attempts: a read block, a
+  // (block, replica) write copy, and a block's validation-record duty.
+  std::unordered_set<std::uint64_t> read_claims_;
+  std::unordered_set<std::uint64_t> write_claims_;
+  std::unordered_set<std::uint64_t> record_claims_;
+  std::unordered_set<std::uint64_t> memput_seen_;  // CP-side delivery dedup.
+  std::unordered_map<std::uint64_t, std::shared_ptr<fault::TimedWait>> memput_pending_;
+  std::uint64_t next_memput_id_ = 1;
+  std::uint64_t op_retries_ = 0;
+  bool op_disk_errors_ = false;
+  bool op_data_lost_ = false;
 };
 
 }  // namespace ddio::ddio_fs

@@ -1,5 +1,6 @@
 #include "src/disk/disk_unit.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ddio::disk {
@@ -60,26 +61,58 @@ DiskUnit::Request DiskUnit::TakeNext() {
   return request;
 }
 
-sim::Task<> DiskUnit::Read(std::uint64_t lbn, std::uint32_t nsectors) {
-  assert(started_);
-  ++stats_.read_requests;
-  stats_.bytes_read += static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
-  sim::OneShotEvent done(engine_);
-  Submit(Request{lbn, nsectors, /*is_write=*/false, &done});
-  co_await done.Wait();
+void DiskUnit::InjectStall(sim::SimTime duration_ns) {
+  const sim::SimTime until = engine_.now() + duration_ns;
+  stall_until_ = std::max(stall_until_, until);
 }
 
-sim::Task<> DiskUnit::Write(std::uint64_t lbn, std::uint32_t nsectors) {
+void DiskUnit::InjectFailure() {
+  failed_ = true;
+  queue_changed_.NotifyAll();  // Wake the service thread to drain with errors.
+}
+
+sim::Task<> DiskUnit::Read(std::uint64_t lbn, std::uint32_t nsectors, bool* ok) {
   assert(started_);
+  if (failed_) {
+    ++stats_.failed_requests;
+    if (ok != nullptr) {
+      *ok = false;
+    }
+    co_return;
+  }
+  ++stats_.read_requests;
+  stats_.bytes_read += static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
+  bool request_failed = false;
+  sim::OneShotEvent done(engine_);
+  Submit(Request{lbn, nsectors, /*is_write=*/false, &done, &request_failed});
+  co_await done.Wait();
+  if (ok != nullptr) {
+    *ok = !request_failed;
+  }
+}
+
+sim::Task<> DiskUnit::Write(std::uint64_t lbn, std::uint32_t nsectors, bool* ok) {
+  assert(started_);
+  if (failed_) {
+    ++stats_.failed_requests;
+    if (ok != nullptr) {
+      *ok = false;
+    }
+    co_return;
+  }
   ++stats_.write_requests;
   const std::uint64_t bytes = static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
   stats_.bytes_written += bytes;
   // Stage the data into the disk buffer over the bus, then queue the media
   // phase. The bus leg overlaps any media work still in progress.
   co_await bus_.Transfer(bytes);
+  bool request_failed = false;
   sim::OneShotEvent done(engine_);
-  Submit(Request{lbn, nsectors, /*is_write=*/true, &done});
+  Submit(Request{lbn, nsectors, /*is_write=*/true, &done, &request_failed});
   co_await done.Wait();
+  if (ok != nullptr) {
+    *ok = !request_failed;
+  }
 }
 
 sim::Task<> DiskUnit::ServiceLoop() {
@@ -91,6 +124,28 @@ sim::Task<> DiskUnit::ServiceLoop() {
       co_await queue_changed_.WaitUntil([this] { return !pending_.empty() || stopping_; });
     }
     Request request = TakeNext();
+    if (failed_) {
+      // Injected permanent failure: error everything instead of servicing.
+      ++stats_.failed_requests;
+      if (request.failed != nullptr) {
+        *request.failed = true;
+      }
+      request.media_done->Set();
+      continue;
+    }
+    // Injected transient stall: hold the mechanism idle until the window
+    // passes (a late failure can land mid-stall, so re-check above).
+    while (engine_.now() < stall_until_ && !failed_) {
+      co_await engine_.Delay(stall_until_ - engine_.now());
+    }
+    if (failed_) {
+      ++stats_.failed_requests;
+      if (request.failed != nullptr) {
+        *request.failed = true;
+      }
+      request.media_done->Set();
+      continue;
+    }
     const sim::SimTime start = engine_.now();
     DiskAccessResult result =
         mechanism_->Access(start, request.lbn, request.nsectors, request.is_write);

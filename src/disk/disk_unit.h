@@ -37,6 +37,7 @@ struct DiskUnitStats {
   std::uint64_t write_requests = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  std::uint64_t failed_requests = 0;  // Errored by an injected permanent failure.
   sim::SimTime mechanism_busy_ns = 0;
 };
 
@@ -70,11 +71,21 @@ class DiskUnit {
   void Stop();
 
   // Reads `nsectors` starting at `lbn`; resumes when the data is in IOP
-  // memory (media + bus). Multiple concurrent Reads queue FIFO.
-  sim::Task<> Read(std::uint64_t lbn, std::uint32_t nsectors);
+  // memory (media + bus). Multiple concurrent Reads queue FIFO. If `ok` is
+  // non-null it receives false when the disk has permanently failed (fault
+  // injection); callers that never see faults may pass nullptr.
+  sim::Task<> Read(std::uint64_t lbn, std::uint32_t nsectors, bool* ok = nullptr);
 
   // Writes `nsectors` at `lbn`; resumes when the data is on the media.
-  sim::Task<> Write(std::uint64_t lbn, std::uint32_t nsectors);
+  sim::Task<> Write(std::uint64_t lbn, std::uint32_t nsectors, bool* ok = nullptr);
+
+  // Fault injection (src/fault): a transient stall delays servicing of
+  // queued requests until now + `duration_ns`; a permanent failure errors
+  // every pending and subsequent request. With neither, behavior is
+  // bit-identical to a build without fault hooks.
+  void InjectStall(sim::SimTime duration_ns);
+  void InjectFailure();
+  bool failed() const { return failed_; }
 
   int id() const { return id_; }
   const DiskModel& mechanism() const { return *mechanism_; }
@@ -92,6 +103,7 @@ class DiskUnit {
     std::uint32_t nsectors = 0;
     bool is_write = false;
     sim::OneShotEvent* media_done = nullptr;  // Signaled when the media phase finishes.
+    bool* failed = nullptr;                   // Set when the disk errored the request.
   };
 
   sim::Task<> ServiceLoop();
@@ -108,6 +120,8 @@ class DiskUnit {
   std::deque<Request> pending_;
   sim::Condition queue_changed_;
   std::uint64_t head_lbn_ = 0;  // Elevator position (end of last service).
+  sim::SimTime stall_until_ = 0;  // Injected stall window (0 = none).
+  bool failed_ = false;           // Injected permanent failure.
   bool stopping_ = false;
   DiskUnitStats stats_;
   bool started_ = false;

@@ -1,0 +1,322 @@
+#include "src/fault/fault_spec.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ddio::fault {
+namespace {
+
+// Strict value parsers, mirroring src/disk/disk_registry.cc: every helper
+// consumes the WHOLE value (so embedded NULs, trailing junk, and unit typos
+// fail), rejects non-finite results, and reports through *error.
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+bool ParseNumberPrefix(const std::string& value, double* out, std::size_t* consumed) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;  // No leading digit: rejects "", "-1", "+3", ".5", "inf".
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || !std::isfinite(parsed)) {
+    return false;  // Overflow ("1e999") lands here via ERANGE.
+  }
+  *out = parsed;
+  *consumed = static_cast<std::size_t>(end - value.c_str());
+  return true;
+}
+
+// Indices are bounded generously here; Validate() applies machine bounds.
+bool ParseIndex(const std::string& value, std::uint32_t* out) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() || parsed > 1'000'000) {
+    return false;  // Trailing junk or an embedded NUL shortens the consumed span.
+  }
+  *out = static_cast<std::uint32_t>(parsed);
+  return true;
+}
+
+// Same magnitude cap as the disk grammar: huge-but-finite times must be
+// rejected here, not wrap to garbage in the double->SimTime cast.
+constexpr double kMaxTimeMs = 1e10;  // ~115 simulated days.
+
+// Time value with a required unit: "50ms", "80us", "200ns", "0.8s" -> ns.
+bool ParseTimeNs(const std::string& value, sim::SimTime* out_ns) {
+  double number = 0;
+  std::size_t consumed = 0;
+  if (!ParseNumberPrefix(value, &number, &consumed)) {
+    return false;
+  }
+  const std::string unit = value.substr(consumed);
+  double scale_to_ms = 0;
+  if (unit == "ms") {
+    scale_to_ms = 1.0;
+  } else if (unit == "us") {
+    scale_to_ms = 1e-3;
+  } else if (unit == "ns") {
+    scale_to_ms = 1e-6;
+  } else if (unit == "s") {
+    scale_to_ms = 1e3;
+  } else {
+    return false;  // Unit is mandatory — "stall=5" is ambiguous, reject it.
+  }
+  const double ms = number * scale_to_ms;
+  if (!std::isfinite(ms) || ms > kMaxTimeMs) {
+    return false;
+  }
+  // Round, don't truncate: "200ns" must parse to exactly 200 ns.
+  *out_ns = static_cast<sim::SimTime>(std::llround(ms * static_cast<double>(sim::kNsPerMs)));
+  return true;
+}
+
+// Drop probability: a plain number in (0, 1].
+bool ParseProbability(const std::string& value, double* out) {
+  double number = 0;
+  std::size_t consumed = 0;
+  if (!ParseNumberPrefix(value, &number, &consumed) || consumed != value.size()) {
+    return false;
+  }
+  if (!(number > 0.0 && number <= 1.0)) {
+    return false;
+  }
+  *out = number;
+  return true;
+}
+
+// "cp3" / "iop1" -> endpoint.
+bool ParseEndpoint(const std::string& text, LinkEndpoint* out) {
+  if (text.rfind("cp", 0) == 0) {
+    out->is_iop = false;
+    return ParseIndex(text.substr(2), &out->index);
+  }
+  if (text.rfind("iop", 0) == 0) {
+    out->is_iop = true;
+    return ParseIndex(text.substr(3), &out->index);
+  }
+  return false;
+}
+
+std::string BadEvent(const std::string& event, const char* why) {
+  return "fault event \"" + event + "\": " + why;
+}
+
+// Parses one ';'-separated event into *out.
+bool ParseEvent(const std::string& event, FaultEvent* out, std::string* error) {
+  const std::size_t comma = event.find(',');
+  if (comma == std::string::npos || comma == 0 || comma + 1 >= event.size()) {
+    return Fail(error, BadEvent(event, "expected \"target,action\""));
+  }
+  const std::string target = event.substr(0, comma);
+  std::string action = event.substr(comma + 1);
+  if (action.find(',') != std::string::npos) {
+    return Fail(error, BadEvent(event, "exactly one action per event"));
+  }
+
+  // Split off the "@t=TIME" suffix, if any.
+  bool has_time = false;
+  sim::SimTime at_ns = 0;
+  const std::size_t at = action.find('@');
+  if (at != std::string::npos) {
+    const std::string suffix = action.substr(at + 1);
+    action = action.substr(0, at);
+    if (suffix.rfind("t=", 0) != 0 || !ParseTimeNs(suffix.substr(2), &at_ns)) {
+      return Fail(error, BadEvent(event, "bad @t= (expected a time like 0.8s or 50ms)"));
+    }
+    has_time = true;
+  }
+
+  // Split the action into name[=value].
+  const std::size_t eq = action.find('=');
+  const std::string name = action.substr(0, eq);
+  const bool has_value = eq != std::string::npos;
+  const std::string value = has_value ? action.substr(eq + 1) : std::string();
+
+  if (target.rfind("disk:", 0) == 0) {
+    if (!ParseIndex(target.substr(5), &out->target)) {
+      return Fail(error, BadEvent(event, "bad disk index"));
+    }
+    if (name == "stall") {
+      if (!has_value || !ParseTimeNs(value, &out->duration_ns) || out->duration_ns == 0) {
+        return Fail(error, BadEvent(event, "stall needs a duration like stall=50ms"));
+      }
+      if (!has_time) {
+        return Fail(error, BadEvent(event, "stall needs an @t= start time"));
+      }
+      out->kind = FaultEvent::Kind::kDiskStall;
+    } else if (name == "fail") {
+      if (has_value) {
+        return Fail(error, BadEvent(event, "fail takes no value"));
+      }
+      if (!has_time) {
+        return Fail(error, BadEvent(event, "fail needs an @t= time"));
+      }
+      out->kind = FaultEvent::Kind::kDiskFail;
+    } else {
+      return Fail(error, BadEvent(event, "disk actions are stall= and fail"));
+    }
+    out->at_ns = at_ns;
+    return true;
+  }
+
+  if (target.rfind("iop:", 0) == 0) {
+    if (!ParseIndex(target.substr(4), &out->target)) {
+      return Fail(error, BadEvent(event, "bad iop index"));
+    }
+    if (name != "crash" || has_value) {
+      return Fail(error, BadEvent(event, "the only iop action is crash"));
+    }
+    if (!has_time) {
+      return Fail(error, BadEvent(event, "crash needs an @t= time"));
+    }
+    out->kind = FaultEvent::Kind::kIopCrash;
+    out->at_ns = at_ns;
+    return true;
+  }
+
+  if (target.rfind("link:", 0) == 0) {
+    const std::string pair = target.substr(5);
+    const std::size_t dash = pair.find('-');
+    if (dash == std::string::npos || !ParseEndpoint(pair.substr(0, dash), &out->a) ||
+        !ParseEndpoint(pair.substr(dash + 1), &out->b)) {
+      return Fail(error, BadEvent(event, "bad link (expected e.g. link:cp3-iop1)"));
+    }
+    if (has_time) {
+      return Fail(error, BadEvent(event, "link faults hold for the whole run (no @t=)"));
+    }
+    if (name == "drop") {
+      if (!has_value || !ParseProbability(value, &out->drop_probability)) {
+        return Fail(error, BadEvent(event, "drop needs a probability in (0, 1]"));
+      }
+      out->kind = FaultEvent::Kind::kLinkDrop;
+    } else if (name == "delay") {
+      if (!has_value || !ParseTimeNs(value, &out->duration_ns) || out->duration_ns == 0) {
+        return Fail(error, BadEvent(event, "delay needs a duration like delay=2ms"));
+      }
+      out->kind = FaultEvent::Kind::kLinkDelay;
+    } else {
+      return Fail(error, BadEvent(event, "link actions are drop= and delay="));
+    }
+    return true;
+  }
+
+  return Fail(error, BadEvent(event, "unknown target (known: disk:N, iop:N, link:a-b)"));
+}
+
+std::string EndpointName(const LinkEndpoint& endpoint) {
+  return (endpoint.is_iop ? "iop" : "cp") + std::to_string(endpoint.index);
+}
+
+}  // namespace
+
+bool FaultSpec::TryParse(std::string_view text, FaultSpec* out, std::string* error) {
+  FaultSpec parsed;
+  parsed.text_ = std::string(text);
+  if (!text.empty() && text.back() == ';') {
+    // A trailing ';' would otherwise vanish silently; an empty event
+    // anywhere else already fails in ParseEvent.
+    return Fail(error, "fault plan has a trailing ';'");
+  }
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string event_text(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{} : rest.substr(semi + 1);
+    FaultEvent event;
+    if (!ParseEvent(event_text, &event, error)) {
+      return false;
+    }
+    parsed.events_.push_back(event);
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+bool FaultSpec::Validate(std::uint32_t num_cps, std::uint32_t num_iops,
+                         std::uint32_t num_disks, std::string* error) const {
+  for (const FaultEvent& event : events_) {
+    switch (event.kind) {
+      case FaultEvent::Kind::kDiskStall:
+      case FaultEvent::Kind::kDiskFail:
+        if (event.target >= num_disks) {
+          return Fail(error, "fault plan names disk " + std::to_string(event.target) +
+                                 " but the machine has " + std::to_string(num_disks) +
+                                 " disks");
+        }
+        break;
+      case FaultEvent::Kind::kIopCrash:
+        if (event.target >= num_iops) {
+          return Fail(error, "fault plan names iop " + std::to_string(event.target) +
+                                 " but the machine has " + std::to_string(num_iops) + " IOPs");
+        }
+        break;
+      case FaultEvent::Kind::kLinkDrop:
+      case FaultEvent::Kind::kLinkDelay:
+        for (const LinkEndpoint* endpoint : {&event.a, &event.b}) {
+          const std::uint32_t bound = endpoint->is_iop ? num_iops : num_cps;
+          if (endpoint->index >= bound) {
+            return Fail(error, "fault plan names " + EndpointName(*endpoint) +
+                                   " but the machine has " + std::to_string(bound) + " " +
+                                   (endpoint->is_iop ? "IOPs" : "CPs"));
+          }
+        }
+        if (event.a.is_iop == event.b.is_iop && event.a.index == event.b.index) {
+          return Fail(error,
+                      "fault plan link " + EndpointName(event.a) + "-" + EndpointName(event.b) +
+                          " joins a node to itself");
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+std::string FaultSpec::Describe() const {
+  if (events_.empty()) {
+    return "  (none)\n";
+  }
+  std::string out;
+  char line[160];
+  for (const FaultEvent& event : events_) {
+    switch (event.kind) {
+      case FaultEvent::Kind::kDiskStall:
+        std::snprintf(line, sizeof(line), "  disk %u: stall %.3f ms at t=%.3f ms\n",
+                      event.target, sim::ToMs(event.duration_ns), sim::ToMs(event.at_ns));
+        break;
+      case FaultEvent::Kind::kDiskFail:
+        std::snprintf(line, sizeof(line), "  disk %u: permanent failure at t=%.3f ms\n",
+                      event.target, sim::ToMs(event.at_ns));
+        break;
+      case FaultEvent::Kind::kIopCrash:
+        std::snprintf(line, sizeof(line), "  iop %u: crash at t=%.3f ms\n", event.target,
+                      sim::ToMs(event.at_ns));
+        break;
+      case FaultEvent::Kind::kLinkDrop:
+        std::snprintf(line, sizeof(line), "  link %s-%s: drop p=%g (both directions)\n",
+                      EndpointName(event.a).c_str(), EndpointName(event.b).c_str(),
+                      event.drop_probability);
+        break;
+      case FaultEvent::Kind::kLinkDelay:
+        std::snprintf(line, sizeof(line), "  link %s-%s: extra delay %.3f ms per message\n",
+                      EndpointName(event.a).c_str(), EndpointName(event.b).c_str(),
+                      sim::ToMs(event.duration_ns));
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ddio::fault

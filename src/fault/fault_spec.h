@@ -1,0 +1,89 @@
+// FaultSpec / FaultPlan: a seed-deterministic schedule of fault events,
+// parsed from a spec grammar in the style of disk::DiskSpec::TryParse and
+// carried on core::MachineConfig. Example:
+//
+//   --faults="disk:2,stall=50ms@t=0.8s;disk:5,fail@t=1.2s;
+//             link:cp3-iop1,drop=0.01;iop:4,crash@t=2.0s"
+//
+// Grammar (events separated by ';', one target + one action per event):
+//
+//   event  := target ',' action
+//   target := "disk:" N | "iop:" N | "link:" node '-' node
+//   node   := "cp" N | "iop" N
+//   action := "stall=" DUR "@t=" TIME     (disk: transient service stall)
+//           | "fail" "@t=" TIME           (disk: permanent failure)
+//           | "crash" "@t=" TIME          (iop: node crash, inboxes close)
+//           | "drop=" P                   (link: per-message drop, P in (0,1])
+//           | "delay=" DUR                (link: extra per-message delay)
+//
+// Durations/times require a unit (ns/us/ms/s), mirroring the disk grammar.
+// TryParse never aborts on user input; it validates and reports via *error.
+// Index bounds against a concrete machine are checked by Validate(), so CLI
+// front ends can reject "disk:99" on a 16-disk machine with exit 2.
+//
+// Drop and delay decisions are made with the owning engine's sim::Rng in
+// deterministic event order, so the same plan + seed yields byte-identical
+// runs regardless of --jobs. An empty plan ("" or never parsed) injects
+// nothing and leaves every run bit-identical to a fault-free build.
+
+#ifndef DDIO_SRC_FAULT_FAULT_SPEC_H_
+#define DDIO_SRC_FAULT_FAULT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ddio::fault {
+
+// One endpoint of a link, as written in the spec ("cp3" / "iop1"). Resolved
+// to a flat node id only when installed into a machine (which knows num_cps).
+struct LinkEndpoint {
+  bool is_iop = false;
+  std::uint32_t index = 0;
+};
+
+struct FaultEvent {
+  enum class Kind {
+    kDiskStall,  // disk:N,stall=DUR@t=TIME
+    kDiskFail,   // disk:N,fail@t=TIME
+    kLinkDrop,   // link:a-b,drop=P
+    kLinkDelay,  // link:a-b,delay=DUR
+    kIopCrash,   // iop:N,crash@t=TIME
+  };
+  Kind kind = Kind::kDiskStall;
+  std::uint32_t target = 0;        // Disk or IOP index for disk/iop events.
+  LinkEndpoint a, b;               // Link events only.
+  sim::SimTime at_ns = 0;          // @t= (stall/fail/crash).
+  sim::SimTime duration_ns = 0;    // stall= / delay=.
+  double drop_probability = 0.0;   // drop=.
+};
+
+class FaultSpec {
+ public:
+  // Parses `text` into *out. Empty text parses to an empty (inactive) plan.
+  // Returns false (with *error set, if non-null) on any malformed input;
+  // never aborts, whatever the bytes.
+  static bool TryParse(std::string_view text, FaultSpec* out, std::string* error = nullptr);
+
+  // Checks every event's indices against a concrete machine geometry.
+  bool Validate(std::uint32_t num_cps, std::uint32_t num_iops, std::uint32_t num_disks,
+                std::string* error = nullptr) const;
+
+  bool active() const { return !events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  const std::string& text() const { return text_; }
+
+  // Human-readable resolved plan, one event per line (for --describe).
+  std::string Describe() const;
+
+ private:
+  std::string text_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace ddio::fault
+
+#endif  // DDIO_SRC_FAULT_FAULT_SPEC_H_

@@ -1,0 +1,65 @@
+// Shared timeout/retry machinery for fault-tolerant request layers.
+//
+// The sync primitives have no timed wait, so a bounded wait is a race: the
+// completer and a timer task both try to settle a shared TimedWait. The
+// state is heap-allocated and shared_ptr-held by the timer, so the waiter
+// may move on after a timeout without leaving a dangling pointer behind —
+// the timer always runs to completion (no forever-parked coroutines).
+//
+// Protocol for the completer (reply dispatcher):
+//   wait->completed = true; wait->failed = <error?>; wait->settled.Set();
+// Protocol for the waiter:
+//   co_await wait->settled.Wait();
+//   if (!wait->completed) { /* timed out */ }
+//
+// The waiter must drop every externally visible pointer into the TimedWait
+// (e.g. its pending-request table entry) before its next suspension point
+// after a timeout; the sim is single-threaded, so that makes stale
+// completions impossible.
+
+#ifndef DDIO_SRC_FAULT_RETRY_H_
+#define DDIO_SRC_FAULT_RETRY_H_
+
+#include <memory>
+
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace ddio::fault {
+
+struct TimedWait {
+  explicit TimedWait(sim::Engine& engine) : settled(engine) {}
+  sim::OneShotEvent settled;
+  bool completed = false;  // The operation finished before the timer fired.
+  bool failed = false;     // The operation reported an error.
+};
+
+inline sim::Task<> ArmTimer(sim::Engine* engine, sim::SimTime delay,
+                            std::shared_ptr<TimedWait> wait) {
+  co_await engine->Delay(delay);
+  wait->settled.Set();  // No-op when the completer already settled.
+}
+
+// Per-request retry policy shared by the CP-facing protocols. The base is
+// generous relative to a fully contended disk queue (16 CPs sharing one
+// spindle at ~25 ms worst-case service), so healthy traffic never trips it;
+// it doubles per attempt.
+inline constexpr sim::SimTime kRequestTimeoutNs = sim::FromMs(500);
+inline constexpr std::uint32_t kMaxSendAttempts = 4;
+
+// Collective-level policy: a whole disk-directed operation (or a permutation
+// phase) must finish inside this before the requester re-drives it. Sized
+// above any healthy collective in the evaluated configurations (~1.5 s sim).
+inline constexpr sim::SimTime kCollectiveTimeoutNs = sim::FromMs(4000);
+inline constexpr sim::SimTime kCollectivePollNs = sim::FromMs(50);
+inline constexpr std::uint32_t kMaxCollectiveAttempts = 3;
+
+// Phase-level policy: bounded re-runs of a failed collective (with the
+// validation image cleared in between) before the phase fails loudly.
+inline constexpr std::uint32_t kMaxPhaseAttempts = 3;
+
+}  // namespace ddio::fault
+
+#endif  // DDIO_SRC_FAULT_RETRY_H_

@@ -15,6 +15,37 @@ const char* LayoutName(LayoutKind kind) {
   return "?";
 }
 
+bool ParseLayout(const std::string& text, LayoutKind* kind, std::uint32_t* replicas,
+                 std::string* error) {
+  *replicas = 1;
+  if (text == "contiguous") {
+    *kind = LayoutKind::kContiguous;
+    return true;
+  }
+  if (text == "random") {
+    *kind = LayoutKind::kRandomBlocks;
+    return true;
+  }
+  if (text.rfind("mirror:", 0) == 0) {
+    const std::string count = text.substr(7);
+    // Single digit 2..4: replication beyond a few copies has no evaluative
+    // value here, and the bound keeps capacity math trivially safe.
+    if (count.size() == 1 && count[0] >= '2' && count[0] <= '4') {
+      *kind = LayoutKind::kContiguous;
+      *replicas = static_cast<std::uint32_t>(count[0] - '0');
+      return true;
+    }
+    if (error != nullptr) {
+      *error = "bad mirror layout \"" + text + "\" (expected mirror:2, mirror:3, or mirror:4)";
+    }
+    return false;
+  }
+  if (error != nullptr) {
+    *error = "unknown layout \"" + text + "\" (known: contiguous, random, mirror:K)";
+  }
+  return false;
+}
+
 std::vector<std::uint64_t> GenerateLayout(LayoutKind kind, std::uint64_t blocks_on_disk,
                                           std::uint64_t slots, std::uint32_t sectors_per_block,
                                           sim::Rng& rng) {

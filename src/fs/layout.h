@@ -13,6 +13,7 @@
 #define DDIO_SRC_FS_LAYOUT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/sim/rng.h"
@@ -25,6 +26,14 @@ enum class LayoutKind {
 };
 
 const char* LayoutName(LayoutKind kind);
+
+// Parses a user-facing layout spec: "contiguous", "random", or "mirror:K"
+// (K in [2, 4]; contiguous extents with every block replicated on K disks —
+// the replication that makes fault-injection failover possible). Shared by
+// the CLI --layout flag and the workload "layout=" option. Returns false
+// with *error set on anything else; never aborts.
+bool ParseLayout(const std::string& text, LayoutKind* kind, std::uint32_t* replicas,
+                 std::string* error = nullptr);
 
 // Produces the physical LBN for each of `blocks_on_disk` local blocks of one
 // disk. `slots` is the number of block-sized slots the disk offers and

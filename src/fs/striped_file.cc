@@ -6,19 +6,43 @@ namespace ddio::fs {
 
 StripedFile::StripedFile(const Params& params, sim::Rng& rng) : params_(params) {
   assert(params_.block_bytes > 0 && params_.num_disks > 0);
+  assert(params_.replicas >= 1 && params_.replicas <= params_.num_disks);
   num_blocks_ = (params_.file_bytes + params_.block_bytes - 1) / params_.block_bytes;
   const std::uint32_t sectors_per_block = params_.block_bytes / 512;
-  const std::uint64_t slots = params_.disk_capacity_bytes / params_.block_bytes;
-  lbn_.reserve(params_.num_disks);
-  for (std::uint32_t d = 0; d < params_.num_disks; ++d) {
-    lbn_.push_back(
-        GenerateLayout(params_.layout, BlocksOnDisk(d), slots, sectors_per_block, rng));
+  // Replicas partition each disk's slot space into disjoint equal slices, so
+  // copies never collide. replicas == 1 degenerates to the original layout
+  // (full slot range, offset 0, identical rng draws).
+  const std::uint64_t slots =
+      params_.disk_capacity_bytes / params_.block_bytes / params_.replicas;
+  lbn_.resize(params_.replicas);
+  for (std::uint32_t r = 0; r < params_.replicas; ++r) {
+    lbn_[r].reserve(params_.num_disks);
+    const std::uint64_t slice_offset_lbn = r * slots * sectors_per_block;
+    for (std::uint32_t d = 0; d < params_.num_disks; ++d) {
+      // Replica r of block b sits on disk (b + r) mod D, so the blocks whose
+      // r-th copy lands on disk d share the primary residue (d - r) mod D.
+      const std::uint32_t residue =
+          (d + params_.num_disks - r % params_.num_disks) % params_.num_disks;
+      std::vector<std::uint64_t> lbns =
+          GenerateLayout(params_.layout, BlocksOnDisk(residue), slots, sectors_per_block, rng);
+      if (slice_offset_lbn != 0) {
+        for (std::uint64_t& lbn : lbns) {
+          lbn += slice_offset_lbn;
+        }
+      }
+      lbn_[r].push_back(std::move(lbns));
+    }
   }
 }
 
 std::uint64_t StripedFile::LbnOfBlock(std::uint64_t file_block) const {
   assert(file_block < num_blocks_);
-  return lbn_[DiskOfBlock(file_block)][LocalIndexOfBlock(file_block)];
+  return lbn_[0][DiskOfBlock(file_block)][LocalIndexOfBlock(file_block)];
+}
+
+std::uint64_t StripedFile::LbnOfBlockReplica(std::uint64_t file_block, std::uint32_t r) const {
+  assert(file_block < num_blocks_ && r < params_.replicas);
+  return lbn_[r][DiskOfBlockReplica(file_block, r)][LocalIndexOfBlock(file_block)];
 }
 
 std::uint64_t StripedFile::BlocksOnDisk(std::uint32_t disk) const {
@@ -33,6 +57,19 @@ std::vector<std::uint64_t> StripedFile::FileBlocksOnDisk(std::uint32_t disk) con
   std::vector<std::uint64_t> blocks;
   blocks.reserve(BlocksOnDisk(disk));
   for (std::uint64_t b = disk; b < num_blocks_; b += params_.num_disks) {
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+std::vector<std::uint64_t> StripedFile::FileBlocksOnDisk(std::uint32_t disk,
+                                                         std::uint32_t replica) const {
+  assert(replica < params_.replicas);
+  const std::uint32_t residue =
+      (disk + params_.num_disks - replica % params_.num_disks) % params_.num_disks;
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve(BlocksOnDisk(residue));
+  for (std::uint64_t b = residue; b < num_blocks_; b += params_.num_disks) {
     blocks.push_back(b);
   }
   return blocks;

@@ -24,6 +24,11 @@ class StripedFile {
     std::uint32_t num_disks = 16;
     LayoutKind layout = LayoutKind::kContiguous;
     std::uint64_t disk_capacity_bytes = 1'339'661'568;  // HP 97560 usable space.
+    // Replication factor ("layout=mirror:2"): replica r of block b lives on
+    // disk (b + r) mod D, so consecutive replicas land on distinct disks
+    // (and distinct IOPs whenever disks outnumber IOPs' stride), making
+    // failover possible under fault injection. 1 = no replication.
+    std::uint32_t replicas = 1;
   };
 
   StripedFile(const Params& params, sim::Rng& rng);
@@ -33,6 +38,7 @@ class StripedFile {
   std::uint32_t num_disks() const { return params_.num_disks; }
   LayoutKind layout() const { return params_.layout; }
   std::uint64_t num_blocks() const { return num_blocks_; }
+  std::uint32_t replicas() const { return params_.replicas; }
 
   std::uint32_t DiskOfBlock(std::uint64_t file_block) const {
     return static_cast<std::uint32_t>(file_block % params_.num_disks);
@@ -41,14 +47,22 @@ class StripedFile {
     return file_block / params_.num_disks;
   }
 
-  // Physical LBN of a file block on its disk.
+  // Disk holding replica `r` of a file block (r = 0 is the primary copy).
+  std::uint32_t DiskOfBlockReplica(std::uint64_t file_block, std::uint32_t r) const {
+    return static_cast<std::uint32_t>((file_block + r) % params_.num_disks);
+  }
+
+  // Physical LBN of a file block on its (primary) disk.
   std::uint64_t LbnOfBlock(std::uint64_t file_block) const;
+  std::uint64_t LbnOfBlockReplica(std::uint64_t file_block, std::uint32_t r) const;
 
   // Number of file blocks resident on `disk`.
   std::uint64_t BlocksOnDisk(std::uint32_t disk) const;
 
   // The file blocks resident on `disk`, ascending by file offset.
+  // With `replica`, the blocks whose r-th copy lives on `disk`.
   std::vector<std::uint64_t> FileBlocksOnDisk(std::uint32_t disk) const;
+  std::vector<std::uint64_t> FileBlocksOnDisk(std::uint32_t disk, std::uint32_t replica) const;
 
   // Bytes of the file covered by `file_block` (the final block may be short).
   std::uint32_t BlockLength(std::uint64_t file_block) const;
@@ -56,8 +70,9 @@ class StripedFile {
  private:
   Params params_;
   std::uint64_t num_blocks_;
-  // lbn_[disk][local_index] -> physical LBN.
-  std::vector<std::vector<std::uint64_t>> lbn_;
+  // lbn_[replica][disk][local_index] -> physical LBN. Each replica owns a
+  // disjoint 1/replicas slice of every disk's slot space.
+  std::vector<std::vector<std::vector<std::uint64_t>>> lbn_;
 };
 
 }  // namespace ddio::fs

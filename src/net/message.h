@@ -46,12 +46,19 @@ struct TcRequest {
   // 1 = the plain protocol. `extents` lists the runs when pieces > 1.
   std::uint32_t pieces = 1;
   std::shared_ptr<const std::vector<MemExtent>> extents;
+  // Fault-injection fields (defaults are the fault-free protocol). `replica`
+  // selects which mirror copy of the block the IOP should touch; `record`
+  // marks the one replica of a mirrored write whose IOP reports to the
+  // validation sink (so copies don't double-record).
+  std::uint8_t replica = 0;
+  bool record = true;
 };
 
 struct TcReply {
   std::uint64_t request_id = 0;
   std::uint32_t length = 0;       // Data bytes carried (reads) or 0 (write ack).
   std::uint64_t file_offset = 0;  // For validation bookkeeping.
+  bool failed = false;            // The disk behind the request has failed.
 };
 
 struct CollectiveRequest {
@@ -66,6 +73,11 @@ struct Memput {
   std::uint64_t cp_offset = 0;    // Destination offset in CP memory.
   std::uint32_t length = 0;
   std::uint64_t file_offset = 0;  // Source range in the file (validation).
+  // Fault-injection fields: under a non-empty fault plan Memputs are acked
+  // (MemputAck) and retried, so a lossy link cannot silently truncate a
+  // read. `id` is 0 in the fault-free protocol (no ack expected).
+  std::uint64_t id = 0;
+  std::uint16_t iop = 0;          // Where to send the ack when id != 0.
   // Gather/scatter extension (paper Future Work: "optimize network message
   // traffic by using gather/scatter messages"): one Memput may carry several
   // noncontiguous runs; `extents` (shared, immutable) lists them and the
@@ -92,17 +104,26 @@ struct MemgetReply {
   std::shared_ptr<const std::vector<MemExtent>> extents;
 };
 
+// Ack for a Memput with id != 0 (fault-injection runs only).
+struct MemputAck {
+  std::uint64_t id = 0;
+};
+
 struct CompletionNote {
   std::uint16_t iop = 0;
+  bool ok = true;  // False when the IOP hit an unrecoverable disk error.
 };
 
 struct PermuteData {
   std::uint64_t bytes = 0;   // Total data coalesced into this exchange.
   std::uint64_t pieces = 0;  // Record runs gathered (drives scatter cost).
+  // Attempt tag: a retried permutation ignores stragglers from an abandoned
+  // earlier attempt (fault-injection runs only; always 0 otherwise).
+  std::uint32_t epoch = 0;
 };
 
 using Payload = std::variant<TcRequest, TcReply, CollectiveRequest, Memput, MemgetRequest,
-                             MemgetReply, CompletionNote, PermuteData>;
+                             MemgetReply, MemputAck, CompletionNote, PermuteData>;
 
 struct Message {
   std::uint16_t src = 0;

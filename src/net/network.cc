@@ -2,8 +2,10 @@
 
 #include "src/sim/sync.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
+#include <utility>
 
 namespace ddio::net {
 
@@ -63,6 +65,27 @@ void Network::Post(Message msg) {
   }(*this, std::move(msg)));
 }
 
+void Network::SetLinkFault(std::uint32_t a, std::uint32_t b, double drop_probability,
+                           sim::SimTime extra_delay_ns) {
+  assert(a < node_count() && b < node_count());
+  if (link_faults_.empty()) {
+    link_faults_.resize(static_cast<std::size_t>(node_count()) * node_count());
+  }
+  for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
+    LinkFault& fault = link_faults_[static_cast<std::size_t>(src) * node_count() + dst];
+    fault.drop_probability = std::max(fault.drop_probability, drop_probability);
+    fault.extra_delay_ns = std::max(fault.extra_delay_ns, extra_delay_ns);
+  }
+}
+
+void Network::SetNodeDown(std::uint32_t node) {
+  assert(node < node_count());
+  if (down_.empty()) {
+    down_.resize(node_count(), 0);
+  }
+  down_[node] = 1;
+}
+
 sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_t wire_bytes) {
   if (params_.model_link_contention && msg.src != msg.dst) {
     // The wormhole path holds every link on the route for the message's
@@ -72,6 +95,26 @@ sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_
   }
   if (hop_latency > 0) {
     co_await engine_.Delay(hop_latency);
+  }
+  if (!link_faults_.empty()) {
+    const LinkFault& fault =
+        link_faults_[static_cast<std::size_t>(msg.src) * node_count() + msg.dst];
+    if (fault.extra_delay_ns > 0) {
+      co_await engine_.Delay(fault.extra_delay_ns);
+    }
+    // Deterministic: one Rng draw per message on a lossy link, in event
+    // order, so the same plan + seed drops the same messages at any --jobs.
+    if (fault.drop_probability > 0 &&
+        engine_.rng().UniformDouble() < fault.drop_probability) {
+      ++stats_.dropped;
+      co_return;
+    }
+  }
+  if (NodeDown(msg.src) || NodeDown(msg.dst)) {
+    // A crashed endpoint: the message vanishes instead of landing in a
+    // closed inbox (whose queue a future owner would inherit).
+    ++stats_.dropped;
+    co_return;
   }
   const std::uint16_t dst = msg.dst;
   co_await recv_nic_[dst]->Transfer(wire_bytes, params_.link_bandwidth_bytes_per_sec);

@@ -41,6 +41,7 @@ struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t data_bytes = 0;
   std::uint64_t wire_bytes = 0;
+  std::uint64_t dropped = 0;  // Lost to an injected link fault or a down node.
 };
 
 class Network {
@@ -72,7 +73,24 @@ class Network {
   // Aggregate busy time across all torus links (contention mode only).
   sim::SimTime TotalLinkBusyTime() const;
 
+  // Fault injection (src/fault). SetLinkFault installs a per-message drop
+  // probability and/or extra delay on the directed link a->b AND b->a; the
+  // drop decision draws from the engine's Rng in deterministic event order.
+  // SetNodeDown makes every message to or from `node` vanish on the wire
+  // (the node crashed; its inbox is closed by the machine). With no faults
+  // installed, delivery takes the exact pre-fault code path.
+  void SetLinkFault(std::uint32_t a, std::uint32_t b, double drop_probability,
+                    sim::SimTime extra_delay_ns);
+  void SetNodeDown(std::uint32_t node);
+  bool NodeDown(std::uint32_t node) const {
+    return !down_.empty() && down_[node] != 0;
+  }
+
  private:
+  struct LinkFault {
+    double drop_probability = 0.0;
+    sim::SimTime extra_delay_ns = 0;
+  };
   sim::Task<> Deliver(Message msg, sim::SimTime hop_latency, std::uint64_t wire_bytes);
   // Occupies every link of `route` for `duration`, concurrently; completes
   // when the most-contended link has served this message.
@@ -86,6 +104,10 @@ class Network {
   std::vector<std::unique_ptr<sim::Resource>> links_;  // Contention mode only.
   std::vector<std::unique_ptr<sim::Channel<Message>>> inboxes_;
   NetworkStats stats_;
+  // Fault state. Both empty on a healthy machine (the common case), so the
+  // delivery fast path stays branch-cheap and draws no random numbers.
+  std::vector<LinkFault> link_faults_;  // Indexed src * node_count + dst.
+  std::vector<char> down_;              // Indexed by node; empty = all up.
 };
 
 }  // namespace ddio::net

@@ -21,11 +21,20 @@ void BlockCache::Touch(std::uint64_t file_block, Entry& entry) {
   entry.lru_pos = lru_.begin();
 }
 
-sim::Task<> BlockCache::DiskRead(const fs::StripedFile& file, std::uint64_t file_block) {
+sim::Task<> BlockCache::DiskRead(const fs::StripedFile& file, std::uint64_t file_block,
+                                 std::uint32_t replica, bool* ok) {
   ++outstanding_io_;
   co_await machine_.ChargeIop(iop_, machine_.config().costs.disk_cmd_cycles);
-  disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlock(file_block));
-  co_await disk.Read(file.LbnOfBlock(file_block), SectorsFor(file.BlockLength(file_block)));
+  disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlockReplica(file_block, replica));
+  bool disk_ok = true;
+  co_await disk.Read(file.LbnOfBlockReplica(file_block, replica),
+                     SectorsFor(file.BlockLength(file_block)), &disk_ok);
+  if (!disk_ok) {
+    ++stats_.io_errors;
+    if (ok != nullptr) {
+      *ok = false;
+    }
+  }
   --outstanding_io_;
 }
 
@@ -38,16 +47,25 @@ sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t fi
   ++outstanding_io_;
   const bool partial = entry.fill_bytes < file.BlockLength(file_block);
   co_await machine_.ChargeIop(iop_, machine_.config().costs.disk_cmd_cycles);
-  disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlock(file_block));
-  const std::uint64_t lbn = file.LbnOfBlock(file_block);
+  disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlockReplica(file_block, entry.replica));
+  const std::uint64_t lbn = file.LbnOfBlockReplica(file_block, entry.replica);
   const std::uint32_t sectors = SectorsFor(file.BlockLength(file_block));
+  bool flush_ok = true;
   if (partial) {
     // Read-modify-write: fetch the block, merge, write back.
     ++stats_.rmw_flushes;
-    co_await disk.Read(lbn, sectors);
+    co_await disk.Read(lbn, sectors, &flush_ok);
     co_await machine_.ChargeIop(iop_, machine_.config().costs.block_copy_cycles);
   }
-  co_await disk.Write(lbn, sectors);
+  bool write_ok = true;
+  co_await disk.Write(lbn, sectors, &write_ok);
+  if (!flush_ok || !write_ok) {
+    // The copy on this disk is lost; the failure surfaces in the collective's
+    // OpStatus (degraded when a mirror copy survives, failed otherwise). The
+    // entry still becomes clean so quiesce terminates.
+    ++stats_.io_errors;
+    entry.io_failed = true;
+  }
   ++stats_.flushes;
   entry.state = State::kValid;
   entry.fill_bytes = 0;
@@ -105,7 +123,8 @@ sim::Task<BlockCache::Entry*> BlockCache::GetOrCreate(const fs::StripedFile& fil
   }
 }
 
-sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t file_block) {
+sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t file_block,
+                                  std::uint32_t replica, bool* ok) {
   co_await machine_.ChargeIop(iop_, machine_.config().costs.cache_access_cycles);
   for (;;) {
     auto it = blocks_.find(file_block);
@@ -121,6 +140,9 @@ sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t fil
       }
       ++stats_.hits;
       Touch(file_block, entry);
+      if (entry.io_failed && ok != nullptr) {
+        *ok = false;  // Resident but empty: the backing disk refused the read.
+      }
       co_return;
     }
     // Miss: take a buffer and read from disk.
@@ -133,18 +155,24 @@ sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t fil
     entry->state = State::kReading;
     entry->referenced = true;
     entry->pins = 1;
-    co_await DiskRead(file, file_block);
+    entry->replica = replica;
+    bool read_ok = true;
+    co_await DiskRead(file, file_block, replica, &read_ok);
     // Re-find: the entry pointer is stable (node-based map) but be defensive
     // about the state machine.
     entry->state = State::kValid;
     entry->pins = 0;
+    entry->io_failed = !read_ok;
     changed_.NotifyAll();
+    if (!read_ok && ok != nullptr) {
+      *ok = false;
+    }
     co_return;
   }
 }
 
 sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t file_block,
-                                   std::uint32_t length) {
+                                   std::uint32_t length, std::uint32_t replica) {
   co_await machine_.ChargeIop(iop_, machine_.config().costs.cache_access_cycles);
   for (;;) {
     auto it = blocks_.find(file_block);
@@ -161,6 +189,7 @@ sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t fi
       entry.referenced = true;
       Touch(file_block, entry);
       entry.state = State::kDirty;
+      entry.replica = replica;
       entry.fill_bytes += length;
       if (entry.fill_bytes >= file.BlockLength(file_block)) {
         // Write-behind: flush now that the buffer is full; the requester's
@@ -176,6 +205,7 @@ sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t fi
     }
     entry->state = State::kDirty;
     entry->referenced = true;
+    entry->replica = replica;
     entry->fill_bytes = length;
     if (entry->fill_bytes >= file.BlockLength(file_block)) {
       machine_.engine().Spawn(FlushEntry(file, file_block, *entry));
@@ -184,13 +214,14 @@ sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t fi
   }
 }
 
-void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_block) {
+void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_block,
+                               std::uint32_t replica) {
   if (blocks_.count(file_block) != 0) {
     return;
   }
   ++stats_.prefetch_issued;
-  machine_.engine().Spawn([](BlockCache& cache, const fs::StripedFile& f,
-                             std::uint64_t block) -> sim::Task<> {
+  machine_.engine().Spawn([](BlockCache& cache, const fs::StripedFile& f, std::uint64_t block,
+                             std::uint32_t rep) -> sim::Task<> {
     co_await cache.machine_.ChargeIop(cache.iop_,
                                       cache.machine_.config().costs.cache_access_cycles);
     bool created = false;
@@ -200,11 +231,14 @@ void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_b
     }
     entry->state = State::kReading;
     entry->pins = 1;
-    co_await cache.DiskRead(f, block);
+    entry->replica = rep;
+    bool read_ok = true;
+    co_await cache.DiskRead(f, block, rep, &read_ok);
     entry->state = State::kValid;
     entry->pins = 0;
+    entry->io_failed = !read_ok;
     cache.changed_.NotifyAll();
-  }(*this, file, file_block));
+  }(*this, file, file_block, replica));
 }
 
 sim::Task<> BlockCache::Quiesce(const fs::StripedFile& file) {

@@ -36,6 +36,7 @@ struct CacheStats {
   std::uint64_t flushes = 0;
   std::uint64_t rmw_flushes = 0;       // Partial-block flushes (read-modify-write).
   std::uint64_t evictions = 0;
+  std::uint64_t io_errors = 0;         // Disk ops refused by a failed disk.
 };
 
 class BlockCache {
@@ -45,15 +46,22 @@ class BlockCache {
 
   // Ensures `file_block` is valid in the cache (LRU-touched), reading it from
   // disk on a miss; returns when the data is available to reply from.
-  sim::Task<> ReadBlock(const fs::StripedFile& file, std::uint64_t file_block);
+  // `replica` selects which mirror copy's disk backs the block (0 = primary;
+  // all healthy-path callers pass 0, which is byte-identical to the
+  // pre-replica protocol). When the backing disk has failed, *ok (if
+  // non-null) is set false — the entry stays resident but carries no data.
+  sim::Task<> ReadBlock(const fs::StripedFile& file, std::uint64_t file_block,
+                        std::uint32_t replica = 0, bool* ok = nullptr);
 
   // Deposits `length` bytes into `file_block`'s buffer (allocating it on
-  // miss); triggers a write-behind flush when the block becomes full.
+  // miss); triggers a write-behind flush when the block becomes full. The
+  // flush targets `replica`'s copy of the block.
   sim::Task<> WriteBlock(const fs::StripedFile& file, std::uint64_t file_block,
-                         std::uint32_t length);
+                         std::uint32_t length, std::uint32_t replica = 0);
 
   // Issues an asynchronous read of `file_block` if absent (prefetch).
-  void PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_block);
+  void PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_block,
+                     std::uint32_t replica = 0);
 
   // Flushes all dirty blocks and waits for every outstanding disk operation
   // (including prefetches) to finish.
@@ -75,7 +83,9 @@ class BlockCache {
     State state = State::kReading;
     std::uint32_t fill_bytes = 0;   // Dirty bytes deposited (writes).
     std::uint32_t pins = 0;         // Active users; pinned entries never evict.
+    std::uint32_t replica = 0;      // Mirror copy this entry is bound to.
     bool referenced = false;        // For prefetch-waste accounting.
+    bool io_failed = false;         // Backing disk refused the last disk op.
     std::list<std::uint64_t>::iterator lru_pos;
   };
 
@@ -85,7 +95,8 @@ class BlockCache {
                                 bool* created);
   sim::Task<> EvictOne(const fs::StripedFile& file);
   sim::Task<> FlushEntry(const fs::StripedFile& file, std::uint64_t file_block, Entry& entry);
-  sim::Task<> DiskRead(const fs::StripedFile& file, std::uint64_t file_block);
+  sim::Task<> DiskRead(const fs::StripedFile& file, std::uint64_t file_block,
+                       std::uint32_t replica, bool* ok);
   void Touch(std::uint64_t file_block, Entry& entry);
 
   core::Machine& machine_;

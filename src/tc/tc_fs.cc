@@ -1,7 +1,10 @@
 #include "src/tc/tc_fs.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "src/fault/retry.h"
 
 namespace ddio::tc {
 
@@ -67,29 +70,43 @@ sim::Task<> TcFileSystem::HandleRequest(std::uint32_t iop, net::TcRequest reques
   const core::CostModel& costs = machine_.config().costs;
   const std::uint64_t block = request.file_offset / file.block_bytes();
   BlockCache& cache = *caches_[iop];
+  const bool faulty = machine_.fault_active();
 
   // Strided requests pay per-run gather/scatter work beyond the first run.
   if (request.pieces > 1) {
     co_await machine_.ChargeIop(iop, (request.pieces - 1) * costs.piece_setup_cycles);
   }
 
+  bool failed = false;
   if (request.is_write) {
-    // One memory-memory copy: thread buffer -> cache buffer (Section 4).
-    co_await machine_.ChargeIop(iop, costs.block_copy_cycles);
-    co_await cache.WriteBlock(file, block, request.length);
-    if (machine_.validation() != nullptr) {
-      if (request.extents != nullptr) {
-        for (const net::MemExtent& extent : *request.extents) {
-          machine_.validation()->RecordFileWrite(request.cp, extent.cp_offset,
-                                                 extent.file_offset, extent.length);
+    // A retried write whose original ack was lost must not be applied twice:
+    // the block would over-fill and flush again. Dedup by request id (unique
+    // FS-wide) and just re-ack.
+    if ((faulty || !request.record) && !served_write_ids_.insert(request.request_id).second) {
+      // Duplicate delivery: skip the copy and the cache apply.
+    } else {
+      // One memory-memory copy: thread buffer -> cache buffer (Section 4).
+      co_await machine_.ChargeIop(iop, costs.block_copy_cycles);
+      co_await cache.WriteBlock(file, block, request.length, request.replica);
+      // `record` is false for fault-mode writes — the CP records the file
+      // write once, after the first acknowledged replica, so retries and
+      // mirror fan-out cannot double-record.
+      if (machine_.validation() != nullptr && request.record) {
+        if (request.extents != nullptr) {
+          for (const net::MemExtent& extent : *request.extents) {
+            machine_.validation()->RecordFileWrite(request.cp, extent.cp_offset,
+                                                   extent.file_offset, extent.length);
+          }
+        } else {
+          machine_.validation()->RecordFileWrite(request.cp, request.cp_offset,
+                                                 request.file_offset, request.length);
         }
-      } else {
-        machine_.validation()->RecordFileWrite(request.cp, request.cp_offset,
-                                               request.file_offset, request.length);
       }
     }
   } else {
-    co_await cache.ReadBlock(file, block);
+    bool read_ok = true;
+    co_await cache.ReadBlock(file, block, request.replica, faulty ? &read_ok : nullptr);
+    failed = !read_ok;
   }
 
   // Reply (reads carry the data; DMA straight from the cache buffer).
@@ -97,16 +114,17 @@ sim::Task<> TcFileSystem::HandleRequest(std::uint32_t iop, net::TcRequest reques
   net::Message reply;
   reply.src = machine_.NodeOfIop(iop);
   reply.dst = machine_.NodeOfCp(request.cp);
-  reply.data_bytes = request.is_write ? 0 : request.length;
-  reply.payload = net::TcReply{request.request_id, request.length, request.file_offset};
+  reply.data_bytes = (request.is_write || failed) ? 0 : request.length;
+  reply.payload = net::TcReply{request.request_id, request.length, request.file_offset, failed};
   co_await machine_.network().Send(std::move(reply));
 
   // Prefetch one block ahead on the same disk after a read (Figure 1a:
-  // "consider prefetching or other optimizations").
-  if (!request.is_write && params_.prefetch) {
+  // "consider prefetching or other optimizations"). Pointless once the disk
+  // has refused a read — every prefetch would fail the same way.
+  if (!request.is_write && params_.prefetch && !failed) {
     const std::uint64_t next = block + file.num_disks();
     if (next < file.num_blocks()) {
-      cache.PrefetchBlock(file, next);
+      cache.PrefetchBlock(file, next, request.replica);
     }
   }
 }
@@ -133,7 +151,7 @@ sim::Task<> TcFileSystem::CpDispatcher(std::uint32_t cp) {
     }
     PendingRequest pending = std::move(it->second);
     pending_[cp].erase(it);
-    if (!pending.is_write && machine_.validation() != nullptr) {
+    if (!pending.is_write && !reply->failed && machine_.validation() != nullptr) {
       if (pending.extents != nullptr) {
         for (const net::MemExtent& extent : *pending.extents) {
           machine_.validation()->RecordDelivery(cp, extent.cp_offset, extent.file_offset,
@@ -144,6 +162,12 @@ sim::Task<> TcFileSystem::CpDispatcher(std::uint32_t cp) {
                                               pending.length);
       }
     }
+    if (pending.completed != nullptr) {
+      *pending.completed = true;
+    }
+    if (reply->failed && pending.failed != nullptr) {
+      *pending.failed = true;
+    }
     pending.done->Set();
   }
 }
@@ -153,6 +177,16 @@ sim::Task<> TcFileSystem::CpDiskPump(std::uint32_t cp, std::uint32_t disk,
   const core::CostModel& costs = machine_.config().costs;
   const std::uint16_t iop_node = machine_.NodeOfIop(machine_.IopOfDisk(disk));
   for (BlockRequest& block_request : requests) {
+    // Mirrored writes always take the replica fan-out path — every copy must
+    // land even with no fault plan (the mirroring tax). Reads without a plan
+    // keep the fast path: replica 0 is the same block set either way.
+    if (machine_.fault_active() || (is_write && current_file_->replicas() > 1)) {
+      co_await FaultyIssueBlock(cp, block_request, is_write);
+      if (op_failed_) {
+        co_return;  // The collective is already lost; stop pumping traffic.
+      }
+      continue;
+    }
     const std::uint64_t id = next_request_id_++;
     const std::uint32_t pieces =
         block_request.extents.empty() ? 1u
@@ -187,6 +221,129 @@ sim::Task<> TcFileSystem::CpDiskPump(std::uint32_t cp, std::uint32_t disk,
     co_await machine_.network().Send(std::move(msg));
     co_await done.Wait();  // One outstanding request per disk per CP.
   }
+}
+
+void TcFileSystem::FailOp(std::string why) {
+  op_failed_ = true;
+  if (op_fail_detail_.empty()) {
+    op_fail_detail_ = std::move(why);
+  }
+}
+
+sim::Task<> TcFileSystem::FaultySendOne(
+    std::uint32_t cp, const BlockRequest& block_request, bool is_write, std::uint32_t replica,
+    std::shared_ptr<const std::vector<net::MemExtent>> extents, std::uint32_t pieces, bool* ok) {
+  const fs::StripedFile& file = *current_file_;
+  const core::CostModel& costs = machine_.config().costs;
+  const std::uint64_t block = block_request.file_offset / file.block_bytes();
+  const std::uint32_t disk = file.DiskOfBlockReplica(block, replica);
+  const std::uint16_t iop_node = machine_.NodeOfIop(machine_.IopOfDisk(disk));
+  // One id across attempts: the IOP dedups retried writes by it, and a
+  // served-but-unacked request's resend re-acks instead of re-applying.
+  const std::uint64_t id = next_request_id_++;
+  *ok = false;
+  for (std::uint32_t attempt = 0; attempt < fault::kMaxSendAttempts; ++attempt) {
+    if (!machine_.DiskReachable(disk)) {
+      co_return;  // Fail over now instead of waiting out doomed timeouts.
+    }
+    auto wait = std::make_shared<fault::TimedWait>(machine_.engine());
+    pending_[cp][id] = PendingRequest{&wait->settled,   block_request.cp_offset,
+                                      block_request.file_offset, block_request.length,
+                                      is_write,         extents,
+                                      &wait->completed, &wait->failed};
+    co_await machine_.ChargeCp(cp, costs.msg_send_cycles + (pieces - 1) * costs.piece_setup_cycles);
+    net::Message msg;
+    msg.src = machine_.NodeOfCp(cp);
+    msg.dst = iop_node;
+    msg.data_bytes = is_write ? block_request.length : 0;
+    msg.payload = net::TcRequest{is_write,
+                                 block_request.file_offset,
+                                 block_request.length,
+                                 static_cast<std::uint16_t>(cp),
+                                 block_request.cp_offset,
+                                 id,
+                                 pieces,
+                                 extents,
+                                 static_cast<std::uint8_t>(replica),
+                                 /*record=*/false};
+    co_await machine_.network().Send(std::move(msg));
+    machine_.engine().Spawn(
+        fault::ArmTimer(&machine_.engine(), fault::kRequestTimeoutNs << attempt, wait));
+    co_await wait->settled.Wait();
+    if (wait->completed) {
+      // The dispatcher erased the pending entry before settling.
+      *ok = !wait->failed;
+      co_return;
+    }
+    // Timed out. Drop the table entry NOW (before any suspension) so a late
+    // reply cannot touch the TimedWait after its timer releases it.
+    pending_[cp].erase(id);
+    ++op_retries_;
+  }
+}
+
+sim::Task<> TcFileSystem::FaultyIssueBlock(std::uint32_t cp, BlockRequest& block_request,
+                                           bool is_write) {
+  const fs::StripedFile& file = *current_file_;
+  const std::uint64_t block = block_request.file_offset / file.block_bytes();
+  const std::uint32_t pieces =
+      block_request.extents.empty() ? 1u
+                                    : static_cast<std::uint32_t>(block_request.extents.size());
+  std::shared_ptr<const std::vector<net::MemExtent>> extents;
+  if (!block_request.extents.empty()) {
+    extents =
+        std::make_shared<const std::vector<net::MemExtent>>(std::move(block_request.extents));
+  }
+
+  if (is_write) {
+    // Mirrored write: every currently reachable replica gets its own copy
+    // (sequentially — the mirroring tax). The CP records the file write once,
+    // after the first acknowledged copy; IOPs never record in fault mode.
+    bool recorded = false;
+    for (std::uint32_t r = 0; r < file.replicas(); ++r) {
+      if (!machine_.DiskReachable(file.DiskOfBlockReplica(block, r))) {
+        continue;
+      }
+      bool sent_ok = false;
+      co_await FaultySendOne(cp, block_request, /*is_write=*/true, r, extents, pieces, &sent_ok);
+      if (sent_ok && !recorded) {
+        recorded = true;
+        if (machine_.validation() != nullptr) {
+          if (extents != nullptr) {
+            for (const net::MemExtent& extent : *extents) {
+              machine_.validation()->RecordFileWrite(cp, extent.cp_offset, extent.file_offset,
+                                                     extent.length);
+            }
+          } else {
+            machine_.validation()->RecordFileWrite(cp, block_request.cp_offset,
+                                                   block_request.file_offset,
+                                                   block_request.length);
+          }
+        }
+      }
+    }
+    if (!recorded) {
+      ++op_failed_requests_;
+      FailOp("write lost: no reachable replica acknowledged block " + std::to_string(block));
+    }
+    co_return;
+  }
+
+  // Read: first reachable replica, falling back to the next on disk error or
+  // retry exhaustion. The dispatcher records the delivery on the (single)
+  // successful reply.
+  for (std::uint32_t r = 0; r < file.replicas(); ++r) {
+    if (!machine_.DiskReachable(file.DiskOfBlockReplica(block, r))) {
+      continue;
+    }
+    bool sent_ok = false;
+    co_await FaultySendOne(cp, block_request, /*is_write=*/false, r, extents, pieces, &sent_ok);
+    if (sent_ok) {
+      co_return;
+    }
+  }
+  ++op_failed_requests_;
+  FailOp("read lost: no reachable replica served block " + std::to_string(block));
 }
 
 sim::Task<> TcFileSystem::CpRun(std::uint32_t cp, const fs::StripedFile& file,
@@ -255,6 +412,19 @@ sim::Task<> TcFileSystem::RunCollective(const fs::StripedFile& file,
   out.start_ns = machine_.engine().now();
   out.file_bytes = file.file_bytes();
 
+  const bool faulty = machine_.fault_active();
+  std::uint64_t io_errors_before = 0;
+  if (faulty) {
+    op_retries_ = 0;
+    op_failed_requests_ = 0;
+    op_failed_ = false;
+    op_fail_detail_.clear();
+    served_write_ids_.clear();
+    for (const auto& cache : caches_) {
+      io_errors_before += cache->stats().io_errors;
+    }
+  }
+
   std::uint64_t requests = 0;
   std::vector<sim::Task<>> cps;
   for (std::uint32_t cp = 0; cp < machine_.num_cps(); ++cp) {
@@ -280,6 +450,29 @@ sim::Task<> TcFileSystem::RunCollective(const fs::StripedFile& file,
     out.prefetches += cache->stats().prefetch_issued;
     out.flushes += cache->stats().flushes;
     out.rmw_flushes += cache->stats().rmw_flushes;
+  }
+
+  if (faulty) {
+    std::uint64_t io_errors = 0;
+    for (const auto& cache : caches_) {
+      io_errors += cache->stats().io_errors;
+    }
+    io_errors -= io_errors_before;
+    out.status.retries = op_retries_;
+    out.status.failed_requests = op_failed_requests_;
+    if (op_failed_) {
+      out.status.MarkFailed(op_fail_detail_);
+    } else if (io_errors > 0) {
+      if (file.replicas() > 1) {
+        out.status.outcome = core::Outcome::kDegraded;
+        out.status.detail = "disk errors absorbed by mirror copies";
+      } else {
+        out.status.MarkFailed("unrecoverable disk errors (no mirror copies)");
+      }
+    } else if (op_retries_ > 0) {
+      out.status.outcome = core::Outcome::kDegraded;
+      out.status.detail = "recovered after request retries";
+    }
   }
 }
 

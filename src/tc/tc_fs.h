@@ -22,7 +22,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/fs_interface.h"
@@ -90,6 +92,10 @@ class TcFileSystem : public core::FileSystem {
     std::uint32_t length = 0;
     bool is_write = false;
     std::shared_ptr<const std::vector<net::MemExtent>> extents;  // Strided form.
+    // Fault mode: completion markers inside the shared fault::TimedWait the
+    // waiter is racing against its timer. Null on the healthy path.
+    bool* completed = nullptr;
+    bool* failed = nullptr;
   };
   struct BlockRequest {
     std::uint64_t file_offset = 0;
@@ -107,6 +113,20 @@ class TcFileSystem : public core::FileSystem {
   sim::Task<> CpDiskPump(std::uint32_t cp, std::uint32_t disk,
                          std::vector<BlockRequest> requests, bool is_write);
 
+  // Fault-mode request path: issues one block request with per-attempt
+  // timeouts and bounded retry, failing over across mirror replicas. Writes
+  // fan out to every reachable replica (the CP records the file write once,
+  // after the first acknowledged copy); reads take the first reachable
+  // replica and fall back to the next on error or retry exhaustion.
+  sim::Task<> FaultyIssueBlock(std::uint32_t cp, BlockRequest& block_request, bool is_write);
+  // One replica-directed send with the timeout/backoff ladder; *ok reports
+  // whether the request was acknowledged without a disk error.
+  sim::Task<> FaultySendOne(std::uint32_t cp, const BlockRequest& block_request, bool is_write,
+                            std::uint32_t replica,
+                            std::shared_ptr<const std::vector<net::MemExtent>> extents,
+                            std::uint32_t pieces, bool* ok);
+  void FailOp(std::string why);
+
   core::Machine& machine_;
   TcParams params_;
   std::vector<std::unique_ptr<BlockCache>> caches_;
@@ -115,6 +135,13 @@ class TcFileSystem : public core::FileSystem {
   CpExtraHandler extra_handler_;
   std::uint64_t next_request_id_ = 1;
   bool started_ = false;
+  // Fault-mode per-collective state (reset in RunCollective; untouched — and
+  // never read — when the machine carries no fault plan).
+  std::unordered_set<std::uint64_t> served_write_ids_;  // IOP-side apply dedup.
+  std::uint64_t op_retries_ = 0;
+  std::uint64_t op_failed_requests_ = 0;
+  bool op_failed_ = false;
+  std::string op_fail_detail_;
 };
 
 }  // namespace ddio::tc

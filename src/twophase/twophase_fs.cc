@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/fault/retry.h"
 #include "src/net/message.h"
 #include "src/sim/sync.h"
 
@@ -30,7 +31,7 @@ void TwoPhaseFileSystem::Start() {
                 std::llround(static_cast<double>(permute->bytes) *
                              params_.permute_copy_cycles_per_byte));
         co_await machine_.ChargeCp(cp, static_cast<std::uint32_t>(cycles));
-        if (permute_latch_ != nullptr) {
+        if (permute_latch_ != nullptr && permute->epoch == permute_epoch_) {
           permute_latch_->CountDown();
         }
       });
@@ -85,7 +86,7 @@ sim::Task<> TwoPhaseFileSystem::CpPermute(std::uint32_t cp, const fs::StripedFil
     msg.src = machine_.NodeOfCp(sender);
     msg.dst = machine_.NodeOfCp(receiver);
     msg.data_bytes = static_cast<std::uint32_t>(bytes_to[other]);
-    msg.payload = net::PermuteData{bytes_to[other], pieces_to[other]};
+    msg.payload = net::PermuteData{bytes_to[other], pieces_to[other], permute_epoch_};
     co_await machine_.network().Send(std::move(msg));
   }
 }
@@ -109,15 +110,47 @@ sim::Task<> TwoPhaseFileSystem::PermutePhase(const fs::StripedFile& file,
     }
   }
 
-  sim::CountdownLatch latch(machine_.engine(), cross_messages);
-  permute_latch_ = &latch;
-  std::vector<sim::Task<>> cps;
-  for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
-    cps.push_back(CpPermute(cp, file, pattern));
+  if (!machine_.fault_active()) {
+    sim::CountdownLatch latch(machine_.engine(), cross_messages);
+    permute_latch_ = &latch;
+    std::vector<sim::Task<>> cps;
+    for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+      cps.push_back(CpPermute(cp, file, pattern));
+    }
+    co_await sim::WhenAll(machine_.engine(), std::move(cps));
+    co_await latch.Wait();
+    permute_latch_ = nullptr;
+    co_return;
   }
-  co_await sim::WhenAll(machine_.engine(), std::move(cps));
-  co_await latch.Wait();
-  permute_latch_ = nullptr;
+
+  // Fault mode: a lossy CP-to-CP link may drop exchanges, so parking on the
+  // latch could hang forever. Each bounded attempt re-runs the whole
+  // permutation under a fresh epoch (stragglers from an abandoned attempt are
+  // ignored) and polls the latch with a timeout.
+  permute_ok_ = true;
+  for (std::uint32_t attempt = 1; attempt <= fault::kMaxCollectiveAttempts; ++attempt) {
+    ++permute_epoch_;
+    sim::CountdownLatch latch(machine_.engine(), cross_messages);
+    permute_latch_ = &latch;
+    std::vector<sim::Task<>> cps;
+    for (std::uint32_t cp = 0; cp < pattern.num_cps(); ++cp) {
+      cps.push_back(CpPermute(cp, file, pattern));
+    }
+    co_await sim::WhenAll(machine_.engine(), std::move(cps));
+    sim::SimTime waited = 0;
+    while (latch.count() > 0 && waited < fault::kCollectiveTimeoutNs) {
+      co_await machine_.engine().Delay(fault::kCollectivePollNs);
+      waited += fault::kCollectivePollNs;
+    }
+    permute_latch_ = nullptr;
+    if (latch.count() == 0) {
+      co_return;  // All exchanges delivered this attempt.
+    }
+    if (attempt < fault::kMaxCollectiveAttempts) {
+      ++permute_retries_;
+    }
+  }
+  permute_ok_ = false;
 }
 
 sim::Task<> TwoPhaseFileSystem::RunCollective(const fs::StripedFile& file,
@@ -173,12 +206,31 @@ sim::Task<> TwoPhaseFileSystem::RunCollective(const fs::StripedFile& file,
     }
   }
 
+  const bool faulty = machine_.fault_active();
+  if (faulty) {
+    permute_retries_ = 0;
+    permute_ok_ = true;
+  }
+
   if (pattern.spec().is_write) {
     co_await PermutePhase(file, pattern);
+    if (faulty && !permute_ok_) {
+      // The conforming data never fully assembled; writing it would persist
+      // a torn image. Fail the whole collective instead.
+      machine_.set_validation(sink);
+      out.end_ns = machine_.engine().now();
+      out.status.retries = permute_retries_;
+      out.status.MarkFailed("permutation data lost after bounded retries");
+      co_return;
+    }
     co_await io_fs_->RunCollective(file, *conforming_, &io_stats);
   } else {
     co_await io_fs_->RunCollective(file, *conforming_, &io_stats);
-    co_await PermutePhase(file, pattern);
+    if (faulty && io_stats.status.ok()) {
+      co_await PermutePhase(file, pattern);
+    } else if (!faulty) {
+      co_await PermutePhase(file, pattern);
+    }
   }
 
   machine_.set_validation(sink);
@@ -190,6 +242,18 @@ sim::Task<> TwoPhaseFileSystem::RunCollective(const fs::StripedFile& file,
   out.flushes = io_stats.flushes;
   out.rmw_flushes = io_stats.rmw_flushes;
   out.pieces = permute_pieces;
+
+  if (faulty) {
+    // Combine the I/O phase's outcome with the permutation's.
+    out.status = io_stats.status;
+    out.status.retries += permute_retries_;
+    if (!permute_ok_) {
+      out.status.MarkFailed("permutation data lost after bounded retries");
+    } else if (out.status.outcome == core::Outcome::kSuccess && permute_retries_ > 0) {
+      out.status.outcome = core::Outcome::kDegraded;
+      out.status.detail = "recovered after permutation retries";
+    }
+  }
 }
 
 }  // namespace ddio::twophase

@@ -74,6 +74,12 @@ class TwoPhaseFileSystem : public core::FileSystem {
   std::unique_ptr<pattern::AccessPattern> conforming_;  // Rebuilt per file size.
   std::uint64_t conforming_file_bytes_ = 0;
   sim::CountdownLatch* permute_latch_ = nullptr;
+  // Fault-mode permutation state (untouched with an empty fault plan): each
+  // retried permutation attempt gets a fresh epoch so stragglers from an
+  // abandoned attempt cannot satisfy the new attempt's latch.
+  std::uint32_t permute_epoch_ = 0;
+  std::uint64_t permute_retries_ = 0;
+  bool permute_ok_ = true;
 };
 
 }  // namespace ddio::twophase

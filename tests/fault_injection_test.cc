@@ -1,0 +1,245 @@
+// End-to-end fault-injection tests: every access method must survive (or
+// fail loudly with a structured OpStatus) under disk stalls, permanent disk
+// failures, lossy links, and IOP crashes — never hang, never silently
+// truncate the data image. Mirrored layouts must place replicas on distinct
+// disks, absorb a single failure, and pay a real (bounded) write tax.
+// Everything is seed-deterministic: same plan + seed => identical results,
+// for any --jobs value.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/op_stats.h"
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/fault/fault_spec.h"
+#include "src/fs/layout.h"
+#include "src/fs/striped_file.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace ddio {
+namespace {
+
+const char* kMethods[] = {"tc", "ddio", "ddio-nosort", "twophase"};
+
+// A small machine so the whole suite stays fast under ASan/TSan.
+core::ExperimentConfig SmallConfig(const std::string& method, const char* faults,
+                                   std::uint32_t replicas = 1) {
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.layout = fs::LayoutKind::kContiguous;
+  cfg.replicas = replicas;
+  cfg.method_key = method;
+  core::MethodFromKey(method, &cfg.method);
+  cfg.trials = 1;
+  if (faults != nullptr) {
+    std::string error;
+    EXPECT_TRUE(fault::FaultSpec::TryParse(faults, &cfg.machine.faults, &error)) << error;
+    EXPECT_TRUE(cfg.machine.faults.Validate(cfg.machine.num_cps, cfg.machine.num_iops,
+                                            cfg.machine.num_disks, &error))
+        << error;
+  }
+  return cfg;
+}
+
+core::OpStats RunOne(const core::ExperimentConfig& cfg, std::uint64_t seed = 1000,
+                     std::uint64_t* events = nullptr) {
+  std::uint64_t local_events = 0;
+  return core::RunTrial(cfg, seed, events != nullptr ? events : &local_events);
+}
+
+// ---------------------------------------------------------------------------
+// Transient stall: slower, but success — the disk comes back, no data risk.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, DiskStallLengthensElapsedButSucceeds) {
+  for (const char* method : kMethods) {
+    const core::OpStats clean = RunOne(SmallConfig(method, nullptr));
+    const core::OpStats stalled = RunOne(SmallConfig(method, "disk:1,stall=80ms@t=1ms"));
+    EXPECT_TRUE(stalled.status.ok()) << method << ": " << stalled.status.detail;
+    EXPECT_GT(stalled.elapsed_ns(), clean.elapsed_ns()) << method;
+    // Bounded: far more than a few stall-lengths of extra time would mean
+    // the disk never came back.
+    EXPECT_LT(stalled.elapsed_ns(), clean.elapsed_ns() + sim::FromMs(2000)) << method;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Permanent disk failure: loud failure without mirrors, recovery with them.
+// The runs must TERMINATE — a hang here is the bug the timeout/retry layer
+// exists to prevent (ctest's timeout is the backstop).
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, DiskFailWithoutMirrorFailsLoudly) {
+  for (const char* method : kMethods) {
+    const core::OpStats stats = RunOne(SmallConfig(method, "disk:1,fail@t=0s"));
+    EXPECT_EQ(stats.status.outcome, core::Outcome::kFailed) << method;
+    EXPECT_FALSE(stats.status.ok()) << method;
+    EXPECT_FALSE(stats.status.detail.empty()) << method;
+  }
+}
+
+TEST(FaultInjectionTest, DiskFailWithMirrorRecoversVerified) {
+  for (const char* method : kMethods) {
+    // Write-then-read on one mirrored file: the read must reconstruct the
+    // image from surviving copies. RunPhase re-verifies the data image per
+    // phase in fault mode, so a non-failed status means the bytes checked.
+    core::ExperimentConfig cfg = SmallConfig(method, "disk:1,fail@t=0s", /*replicas=*/2);
+    core::Workload workload;
+    std::string error;
+    ASSERT_TRUE(core::Workload::Parse("wb;rb", &workload, &error)) << error;
+    const core::WorkloadResult result = core::RunWorkloadTrial(cfg, workload, 1000);
+    ASSERT_EQ(result.phases.size(), 2u);
+    for (const core::OpStats& phase : result.phases) {
+      EXPECT_NE(phase.status.outcome, core::Outcome::kFailed)
+          << method << ": " << phase.status.detail;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lossy link: dropped requests/replies are retried (bounded, with backoff)
+// and the collective still completes with a verified image.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, LossyLinkRecoversWithRetries) {
+  for (const char* method : kMethods) {
+    const core::OpStats stats = RunOne(SmallConfig(method, "link:cp0-iop1,drop=0.5"));
+    EXPECT_NE(stats.status.outcome, core::Outcome::kFailed)
+        << method << ": " << stats.status.detail;
+    EXPECT_GT(stats.status.retries, 0u) << method << " saw no drops on a p=0.5 link";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IOP crash: without mirrors the stranded blocks are a loud failure; with
+// mirrors every method finishes with a verified (possibly degraded) image.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, IopCrashWithoutMirrorFailsLoudly) {
+  for (const char* method : kMethods) {
+    const core::OpStats stats = RunOne(SmallConfig(method, "iop:1,crash@t=2ms"));
+    EXPECT_EQ(stats.status.outcome, core::Outcome::kFailed) << method;
+    EXPECT_FALSE(stats.status.detail.empty()) << method;
+  }
+}
+
+TEST(FaultInjectionTest, IopCrashWithMirrorRecovers) {
+  for (const char* method : kMethods) {
+    const core::OpStats stats =
+        RunOne(SmallConfig(method, "iop:1,crash@t=2ms", /*replicas=*/2));
+    EXPECT_NE(stats.status.outcome, core::Outcome::kFailed)
+        << method << ": " << stats.status.detail;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the fault layer draws only from the engine's seeded rng, so
+// the same plan + seed replays identically, and --jobs never changes output.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, SamePlanAndSeedReplaysIdentically) {
+  static const char* kPlan = "disk:1,stall=20ms@t=1ms;link:cp0-iop1,drop=0.3;iop:2,crash@t=40ms";
+  for (const char* method : kMethods) {
+    std::uint64_t events_a = 0, events_b = 0;
+    const core::ExperimentConfig cfg = SmallConfig(method, kPlan, /*replicas=*/2);
+    const core::OpStats a = RunOne(cfg, 1234, &events_a);
+    const core::OpStats b = RunOne(cfg, 1234, &events_b);
+    EXPECT_EQ(a.elapsed_ns(), b.elapsed_ns()) << method;
+    EXPECT_EQ(events_a, events_b) << method;
+    EXPECT_EQ(a.status.outcome, b.status.outcome) << method;
+    EXPECT_EQ(a.status.retries, b.status.retries) << method;
+    EXPECT_EQ(a.status.attempts, b.status.attempts) << method;
+
+    // A different seed on a lossy link takes different drop decisions.
+    std::uint64_t events_c = 0;
+    const core::OpStats c = RunOne(cfg, 4321, &events_c);
+    EXPECT_TRUE(c.elapsed_ns() != a.elapsed_ns() || events_c != events_a) << method;
+  }
+}
+
+TEST(FaultInjectionTest, JobCountDoesNotChangeFaultResults) {
+  core::ExperimentConfig cfg = SmallConfig("ddio", "link:cp0-iop1,drop=0.3", /*replicas=*/2);
+  cfg.trials = 4;
+  const core::ExperimentResult serial = core::RunExperiment(cfg, 1);
+  const core::ExperimentResult parallel = core::RunExperiment(cfg, 8);
+  EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps);
+  EXPECT_EQ(serial.cv, parallel.cv);
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+    EXPECT_EQ(serial.trials[t].elapsed_ns(), parallel.trials[t].elapsed_ns()) << t;
+    EXPECT_EQ(serial.trials[t].status.retries, parallel.trials[t].status.retries) << t;
+  }
+}
+
+TEST(FaultInjectionTest, EmptyPlanIsBitIdenticalToNoPlan) {
+  for (const char* method : kMethods) {
+    std::uint64_t events_none = 0, events_empty = 0;
+    const core::OpStats none = RunOne(SmallConfig(method, nullptr), 1000, &events_none);
+    // Parsing "" yields an inactive plan: zero rng draws, zero extra events.
+    const core::OpStats empty = RunOne(SmallConfig(method, ""), 1000, &events_empty);
+    EXPECT_EQ(none.elapsed_ns(), empty.elapsed_ns()) << method;
+    EXPECT_EQ(events_none, events_empty) << method;
+    EXPECT_EQ(empty.status.outcome, core::Outcome::kSuccess) << method;
+    EXPECT_EQ(empty.status.retries, 0u) << method;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mirrored layout geometry and the mirroring tax.
+// ---------------------------------------------------------------------------
+
+TEST(MirrorLayoutTest, ReplicasLandOnDistinctDisksAtDistinctLbns) {
+  sim::Engine engine(7);
+  fs::StripedFile::Params fp;
+  fp.file_bytes = 512 * 1024;
+  fp.num_disks = 4;
+  fp.layout = fs::LayoutKind::kRandomBlocks;
+  fp.replicas = 3;
+  fs::StripedFile file(fp, engine.rng());
+
+  std::vector<std::vector<std::uint64_t>> lbns_per_disk(fp.num_disks);
+  for (std::uint64_t b = 0; b < file.num_blocks(); ++b) {
+    EXPECT_EQ(file.DiskOfBlockReplica(b, 0), file.DiskOfBlock(b));
+    EXPECT_EQ(file.LbnOfBlockReplica(b, 0), file.LbnOfBlock(b));
+    for (std::uint32_t r = 0; r < fp.replicas; ++r) {
+      // Consecutive replicas rotate around the disk ring.
+      EXPECT_EQ(file.DiskOfBlockReplica(b, r), (b + r) % fp.num_disks);
+      lbns_per_disk[file.DiskOfBlockReplica(b, r)].push_back(file.LbnOfBlockReplica(b, r));
+    }
+  }
+  // No two copies a disk holds may share an LBN (disjoint replica slices).
+  for (auto& lbns : lbns_per_disk) {
+    std::sort(lbns.begin(), lbns.end());
+    EXPECT_TRUE(std::adjacent_find(lbns.begin(), lbns.end()) == lbns.end());
+  }
+}
+
+TEST(MirrorLayoutTest, MirroredWritesPayARealTax) {
+  for (const char* method : {"tc", "ddio"}) {
+    core::ExperimentConfig plain = SmallConfig(method, nullptr);
+    plain.pattern = "wb";
+    core::ExperimentConfig mirrored = SmallConfig(method, nullptr, /*replicas=*/2);
+    mirrored.pattern = "wb";
+    const core::OpStats one = RunOne(plain);
+    const core::OpStats two = RunOne(mirrored);
+    // Twice the data hits the disks: meaningfully slower, but bounded by the
+    // naive 2x-plus-overheads envelope.
+    EXPECT_GT(two.elapsed_ns(), one.elapsed_ns() * 5 / 4) << method;
+    EXPECT_LT(two.elapsed_ns(), one.elapsed_ns() * 4) << method;
+    EXPECT_TRUE(two.status.ok()) << method;
+  }
+}
+
+}  // namespace
+}  // namespace ddio

@@ -1,0 +1,254 @@
+// FaultSpec grammar tests: positive parses, negative/fuzz (TryParse must
+// never abort on user input, whatever the bytes — the --faults= flag feeds it
+// raw CLI text), machine-bounds Validate(), and Describe() output. Mirrors
+// the DiskSpec suite in disk_registry_test.cc.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_spec.h"
+#include "src/sim/time.h"
+
+namespace ddio::fault {
+namespace {
+
+using std::string_literals::operator""s;
+
+// ---------------------------------------------------------------------------
+// Positive grammar.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecTest, EmptyTextIsAnInactivePlan) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::TryParse("", &spec, &error)) << error;
+  EXPECT_FALSE(spec.active());
+  EXPECT_TRUE(spec.events().empty());
+}
+
+TEST(FaultSpecTest, ParsesTheHeaderExample) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::TryParse(
+      "disk:2,stall=50ms@t=0.8s;disk:5,fail@t=1.2s;link:cp3-iop1,drop=0.01;iop:4,crash@t=2.0s",
+      &spec, &error))
+      << error;
+  ASSERT_EQ(spec.events().size(), 4u);
+  EXPECT_TRUE(spec.active());
+
+  const FaultEvent& stall = spec.events()[0];
+  EXPECT_EQ(stall.kind, FaultEvent::Kind::kDiskStall);
+  EXPECT_EQ(stall.target, 2u);
+  EXPECT_EQ(stall.duration_ns, sim::FromMs(50));
+  EXPECT_EQ(stall.at_ns, sim::FromMs(800));
+
+  const FaultEvent& fail = spec.events()[1];
+  EXPECT_EQ(fail.kind, FaultEvent::Kind::kDiskFail);
+  EXPECT_EQ(fail.target, 5u);
+  EXPECT_EQ(fail.at_ns, sim::FromMs(1200));
+
+  const FaultEvent& drop = spec.events()[2];
+  EXPECT_EQ(drop.kind, FaultEvent::Kind::kLinkDrop);
+  EXPECT_FALSE(drop.a.is_iop);
+  EXPECT_EQ(drop.a.index, 3u);
+  EXPECT_TRUE(drop.b.is_iop);
+  EXPECT_EQ(drop.b.index, 1u);
+  EXPECT_DOUBLE_EQ(drop.drop_probability, 0.01);
+
+  const FaultEvent& crash = spec.events()[3];
+  EXPECT_EQ(crash.kind, FaultEvent::Kind::kIopCrash);
+  EXPECT_EQ(crash.target, 4u);
+  EXPECT_EQ(crash.at_ns, sim::FromMs(2000));
+}
+
+TEST(FaultSpecTest, AcceptsEveryTimeUnitAndLinkDelay) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(FaultSpec::TryParse("disk:0,stall=200ns@t=80us;link:iop0-iop2,delay=2ms", &spec,
+                                  &error))
+      << error;
+  ASSERT_EQ(spec.events().size(), 2u);
+  EXPECT_EQ(spec.events()[0].duration_ns, sim::SimTime{200});
+  EXPECT_EQ(spec.events()[0].at_ns, sim::SimTime{80'000});
+  EXPECT_EQ(spec.events()[1].kind, FaultEvent::Kind::kLinkDelay);
+  EXPECT_EQ(spec.events()[1].duration_ns, sim::FromMs(2));
+}
+
+TEST(FaultSpecTest, KeepsTheOriginalText) {
+  FaultSpec spec;
+  ASSERT_TRUE(FaultSpec::TryParse("iop:4,crash@t=2s", &spec));
+  EXPECT_EQ(spec.text(), "iop:4,crash@t=2s");
+}
+
+// ---------------------------------------------------------------------------
+// Negative grammar: reject, set *error, never abort.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecFuzzTest, RejectsMalformedSpecs) {
+  const char* kBad[] = {
+      ";",                           // Empty event.
+      "disk:2,stall=50ms@t=0.8s;",   // Trailing empty event.
+      "disk",                        // No comma.
+      "disk:2",                      // Target without action.
+      ",stall=50ms@t=1s",            // Action without target.
+      "disk:2,",                     // Dangling comma.
+      "disk:2,stall=50ms@t=1s,fail@t=2s",  // Two actions in one event.
+      "tape:2,fail@t=1s",            // Unknown target.
+      "disk:,fail@t=1s",             // Missing index.
+      "disk:-1,fail@t=1s",           // Negative index.
+      "disk:2.5,fail@t=1s",          // Fractional index.
+      "disk:2x,fail@t=1s",           // Trailing junk in index.
+      "disk:99999999999999999999,fail@t=1s",  // Overflow index.
+      "disk:2,fail",                 // fail needs @t=.
+      "disk:2,fail=1@t=1s",          // fail takes no value.
+      "disk:2,fail@1s",              // @ without t=.
+      "disk:2,fail@t=",              // Empty time.
+      "disk:2,fail@t=5",             // Missing time unit.
+      "disk:2,fail@t=5sec",          // Bad unit.
+      "disk:2,fail@t=-1ms",          // Negative time.
+      "disk:2,fail@t=1e999ms",       // Double overflow.
+      "disk:2,fail@t=9e300s",        // Finite but past the SimTime cast.
+      "disk:2,stall@t=1s",           // stall needs a duration.
+      "disk:2,stall=@t=1s",          // Empty duration.
+      "disk:2,stall=0ms@t=1s",       // Zero-length stall.
+      "disk:2,stall=50ms",           // stall needs @t=.
+      "disk:2,crash@t=1s",           // crash is an iop action.
+      "iop:1,fail@t=1s",             // fail is a disk action.
+      "iop:1,crash",                 // crash needs @t=.
+      "iop:1,crash=1@t=1s",          // crash takes no value.
+      "iop:x,crash@t=1s",            // Bad iop index.
+      "link:cp3,drop=0.01",          // No dash.
+      "link:cp3-,drop=0.01",         // Missing second endpoint.
+      "link:cp3-disk1,drop=0.01",    // disks are not link endpoints.
+      "link:3-4,drop=0.01",          // Endpoints need cp/iop prefixes.
+      "link:cp3-iop1,drop",          // drop needs a value.
+      "link:cp3-iop1,drop=0",        // P must be > 0.
+      "link:cp3-iop1,drop=1.5",      // P must be <= 1.
+      "link:cp3-iop1,drop=-0.1",     // Negative P.
+      "link:cp3-iop1,drop=0.01ms",   // Probability takes no unit.
+      "link:cp3-iop1,delay=2",       // delay needs a unit.
+      "link:cp3-iop1,delay=0ms",     // Zero delay.
+      "link:cp3-iop1,drop=0.01@t=1s",  // Link faults take no @t=.
+      "link:cp3-iop1,jitter=2ms",    // Unknown link action.
+      "disk:2,melt@t=1s",            // Unknown disk action.
+  };
+  for (const char* text : kBad) {
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(FaultSpec::TryParse(text, &spec, &error)) << "accepted: \"" << text << "\"";
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(FaultSpecFuzzTest, RejectsEmbeddedNulsAndWhitespace) {
+  const std::string kBad[] = {
+      "disk:2\0,fail@t=1s"s,        // NUL inside the target.
+      "disk:2,fail@t=1s\0"s,        // Trailing NUL in the unit.
+      "disk:2,stall=50\0ms@t=1s"s,  // NUL splitting number and unit.
+      " disk:2,fail@t=1s"s,         // Leading whitespace is not trimmed.
+      "disk:2, fail@t=1s"s,         // Inner whitespace.
+      "disk:2,fail@t=1s\n"s,        // Trailing whitespace.
+      "disk: 2,fail@t=1s"s,         // Space before the index.
+  };
+  for (const std::string& text : kBad) {
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(FaultSpec::TryParse(text, &spec, &error)) << "accepted: " << text;
+  }
+}
+
+TEST(FaultSpecFuzzTest, RandomByteStringsNeverAbort) {
+  // Deterministic xorshift fuzz: whatever the bytes, TryParse returns.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string alphabet = "diskiopcplink:,;=@t-stallfailcrashdropdelay0195.msun \0\n"s;
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const std::size_t len = next() % 40;
+    for (std::size_t j = 0; j < len; ++j) {
+      text += alphabet[next() % alphabet.size()];
+    }
+    FaultSpec spec;
+    std::string error;
+    (void)FaultSpec::TryParse(text, &spec, &error);  // Must not abort/UB.
+  }
+}
+
+TEST(FaultSpecFuzzTest, FailedParseLeavesOutUntouched) {
+  FaultSpec spec;
+  ASSERT_TRUE(FaultSpec::TryParse("iop:4,crash@t=2s", &spec));
+  std::string error;
+  EXPECT_FALSE(FaultSpec::TryParse("disk:2,melt@t=1s", &spec, &error));
+  ASSERT_EQ(spec.events().size(), 1u);
+  EXPECT_EQ(spec.events()[0].kind, FaultEvent::Kind::kIopCrash);
+  EXPECT_EQ(spec.text(), "iop:4,crash@t=2s");
+}
+
+// ---------------------------------------------------------------------------
+// Machine-bounds validation.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecValidateTest, AcceptsInBoundsAndRejectsOutOfBounds) {
+  FaultSpec spec;
+  ASSERT_TRUE(FaultSpec::TryParse(
+      "disk:15,fail@t=1s;iop:15,crash@t=1s;link:cp15-iop15,drop=0.5", &spec));
+  std::string error;
+  EXPECT_TRUE(spec.Validate(16, 16, 16, &error)) << error;
+
+  struct Case {
+    const char* text;
+    const char* needle;  // Substring expected in the error.
+  };
+  const Case kCases[] = {
+      {"disk:16,fail@t=1s", "disk 16"},
+      {"disk:16,stall=50ms@t=1s", "disk 16"},
+      {"iop:16,crash@t=1s", "iop 16"},
+      {"link:cp16-iop3,drop=0.5", "cp16"},
+      {"link:cp3-iop16,drop=0.5", "iop16"},
+      {"link:iop3-iop3,delay=2ms", "itself"},
+      {"link:cp3-cp3,drop=0.5", "itself"},
+  };
+  for (const Case& c : kCases) {
+    FaultSpec bad;
+    ASSERT_TRUE(FaultSpec::TryParse(c.text, &bad)) << c.text;
+    error.clear();
+    EXPECT_FALSE(bad.Validate(16, 16, 16, &error)) << c.text;
+    EXPECT_NE(error.find(c.needle), std::string::npos) << c.text << " -> " << error;
+  }
+
+  // cp-iop links with equal indices join distinct nodes: legal.
+  FaultSpec cross;
+  ASSERT_TRUE(FaultSpec::TryParse("link:cp3-iop3,drop=0.5", &cross));
+  EXPECT_TRUE(cross.Validate(16, 16, 16, &error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Describe(): the resolved plan simulate --describe prints.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecDescribeTest, OneLinePerEvent) {
+  FaultSpec spec;
+  ASSERT_TRUE(FaultSpec::TryParse(
+      "disk:2,stall=50ms@t=0.8s;disk:5,fail@t=1.2s;link:cp3-iop1,drop=0.01;"
+      "link:iop0-iop2,delay=2ms;iop:4,crash@t=2.0s",
+      &spec));
+  const std::string text = spec.Describe();
+  EXPECT_NE(text.find("disk 2: stall 50.000 ms at t=800.000 ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("disk 5: permanent failure at t=1200.000 ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("link cp3-iop1: drop p=0.01"), std::string::npos) << text;
+  EXPECT_NE(text.find("link iop0-iop2: extra delay 2.000 ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("iop 4: crash at t=2000.000 ms"), std::string::npos) << text;
+
+  FaultSpec empty;
+  EXPECT_EQ(empty.Describe(), "  (none)\n");
+}
+
+}  // namespace
+}  // namespace ddio::fault
