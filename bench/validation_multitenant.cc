@@ -1,0 +1,225 @@
+// Validation: multi-tenant interference — the serving costs the paper's
+// single-job model structurally cannot see.
+//
+// Each cell shares one machine (8 CPs, 4 IOPs, 4 disks) among N tenants:
+// tenant 0 runs disk-directed I/O (large sorted batches), the others run
+// traditional caching (paced per-record requests, the latency-sensitive
+// profile). For every tenant we measure per-phase SLOWDOWN = shared elapsed
+// time / isolated elapsed time, where the isolated run executes the same
+// tenant profile alone on the same machine with the same seed. p50/p99 over
+// trials x reps quantify the interference, per disk scheduler
+// (fifo | fair | deadline) and disk model (hp97560 | ssd).
+//
+// The headline check: `fair` must bound the worst tenant's slowdown tighter
+// than `fifo` wherever DDIO's batches would otherwise starve the paced TC
+// tenants. Results are committed as BENCH_multitenant.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/parallel.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+#include "src/tenant/tenant_scheduler.h"
+#include "src/tenant/tenant_spec.h"
+
+namespace {
+
+using ddio::tenant::MultiTenantTrialResult;
+using ddio::tenant::TenantSpec;
+
+constexpr std::uint64_t kBaseSeed = 1000;
+
+// Tenant 0 is the disk-directed batch tenant; everyone else is a paced TC
+// tenant. Deadline fields only appear under sched=deadline (the grammar
+// rejects them elsewhere): the TC tenants declare tight deadlines, the batch
+// tenant keeps the 100 ms default.
+std::string ProfileOf(std::size_t tenant, const std::string& sched) {
+  std::string fields = tenant == 0 ? "w=1,pat=rb,method=ddio,reps=2"
+                                   : "w=1,pat=rb,method=tc,reps=2";
+  if (sched == "deadline" && tenant != 0) {
+    fields += ",deadline=5ms";
+  }
+  return fields;
+}
+
+std::string SpecTextOf(std::size_t tenants, const std::string& sched) {
+  std::string text = "sched=" + sched + ";";
+  for (std::size_t t = 0; t < tenants; ++t) {
+    text += "t" + std::to_string(t) + ":" + ProfileOf(t, sched) + ";";
+  }
+  text.pop_back();  // The grammar rejects a trailing empty segment.
+  return text;
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t index = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size()))) ;
+  return samples[std::min(index == 0 ? 0 : index - 1, samples.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ddio;
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  bench::PrintPreamble(
+      "Validation: multi-tenant interference (per-tenant slowdown vs isolated)",
+      "tenant 0 = ddio batches, others = paced tc; fair should bound the worst tenant",
+      options);
+
+  core::ExperimentConfig base;
+  base.machine.num_cps = 8;
+  base.machine.num_iops = 4;
+  base.machine.num_disks = 4;
+  base.file_bytes = options.file_bytes();
+  base.record_bytes = 8192;
+  base.trials = options.trials;
+
+  const std::size_t tenant_counts[] = {1, 2, 4, 8};
+  const std::string scheds[] = {"fifo", "fair", "deadline"};
+  const std::string disks[] = {"hp97560", "ssd"};
+
+  // Isolated per-phase elapsed times, cached by (disk, profile, trial):
+  // every cell's slowdown divides by the same baselines.
+  std::map<std::string, std::vector<double>> isolated_cache;
+  auto isolated_elapsed = [&](const std::string& disk_name, const std::string& profile,
+                              std::uint32_t trial) -> const std::vector<double>& {
+    const std::string key = disk_name + "|" + profile + "|" + std::to_string(trial);
+    auto it = isolated_cache.find(key);
+    if (it != isolated_cache.end()) {
+      return it->second;
+    }
+    core::ExperimentConfig cfg = base;
+    std::string error;
+    if (!disk::DiskSpec::TryParse(disk_name, &cfg.machine.disk, &error)) {
+      std::fprintf(stderr, "disk spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+    TenantSpec solo;
+    // An isolated profile never carries deadline= (that field is only legal
+    // under sched=deadline, and the scheduler is irrelevant with one tenant).
+    if (!TenantSpec::TryParse("t0:" + profile, &solo, &error)) {
+      std::fprintf(stderr, "isolated spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+    const MultiTenantTrialResult result =
+        tenant::RunMultiTenantTrial(cfg, solo, kBaseSeed + trial);
+    std::vector<double> elapsed;
+    for (const core::OpStats& stats : result.tenants[0].phases) {
+      elapsed.push_back(static_cast<double>(stats.elapsed_ns()));
+    }
+    return isolated_cache.emplace(key, std::move(elapsed)).first->second;
+  };
+
+  core::Table table({"disk", "sched", "tenants", "worst p50", "worst p99", "tc p99",
+                     "ddio p99"});
+  std::vector<std::string> json_cells;
+
+  for (const std::string& disk_name : disks) {
+    for (const std::string& sched : scheds) {
+      for (const std::size_t tenants : tenant_counts) {
+        const std::string spec_text = SpecTextOf(tenants, sched);
+        TenantSpec spec;
+        std::string error;
+        if (!TenantSpec::TryParse(spec_text, &spec, &error) || !spec.Validate(&error)) {
+          std::fprintf(stderr, "tenant spec: %s\n", error.c_str());
+          return 2;
+        }
+        core::ExperimentConfig cfg = base;
+        if (!disk::DiskSpec::TryParse(disk_name, &cfg.machine.disk, &error)) {
+          std::fprintf(stderr, "disk spec: %s\n", error.c_str());
+          return 2;
+        }
+
+        // Shared runs: independent trials, index-addressed for determinism.
+        std::vector<MultiTenantTrialResult> trials(options.trials);
+        core::ParallelFor(options.jobs, options.trials, [&](std::size_t t) {
+          trials[t] = tenant::RunMultiTenantTrial(
+              cfg, spec, kBaseSeed + static_cast<std::uint64_t>(t));
+        });
+
+        // Per-tenant slowdown samples over trials x reps.
+        std::vector<std::vector<double>> slowdowns(tenants);
+        for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
+          for (std::size_t t = 0; t < tenants; ++t) {
+            // The isolated baseline profile must match the shared one modulo
+            // the deadline field, which does not exist outside
+            // sched=deadline; strip it for the cache key.
+            const std::vector<double>& baseline =
+                isolated_elapsed(disk_name, ProfileOf(t, "fifo"), trial);
+            const std::vector<core::OpStats>& phases = trials[trial].tenants[t].phases;
+            for (std::size_t p = 0; p < phases.size() && p < baseline.size(); ++p) {
+              if (baseline[p] > 0) {
+                slowdowns[t].push_back(static_cast<double>(phases[p].elapsed_ns()) /
+                                       baseline[p]);
+              }
+            }
+          }
+        }
+
+        double worst_p50 = 0.0;
+        double worst_p99 = 0.0;
+        double tc_p99 = 0.0;    // Worst over the paced tc tenants (1..N-1).
+        double ddio_p99 = 0.0;  // The batch tenant.
+        std::string per_tenant_json;
+        for (std::size_t t = 0; t < tenants; ++t) {
+          const double p50 = Percentile(slowdowns[t], 0.50);
+          const double p99 = Percentile(slowdowns[t], 0.99);
+          worst_p50 = std::max(worst_p50, p50);
+          worst_p99 = std::max(worst_p99, p99);
+          (t == 0 ? ddio_p99 : tc_p99) = std::max(t == 0 ? ddio_p99 : tc_p99, p99);
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "{\"tenant\": %zu, \"method\": \"%s\", \"p50\": %.4f, "
+                        "\"p99\": %.4f}%s",
+                        t, t == 0 ? "ddio" : "tc", p50, p99,
+                        t + 1 < tenants ? ", " : "");
+          per_tenant_json += buf;
+        }
+
+        table.AddRow({disk_name, sched, std::to_string(tenants), core::Fixed(worst_p50, 3),
+                      core::Fixed(worst_p99, 3),
+                      tenants > 1 ? core::Fixed(tc_p99, 3) : "-",
+                      core::Fixed(ddio_p99, 3)});
+        char cell[256];
+        std::snprintf(cell, sizeof(cell),
+                      "    {\"disk\": \"%s\", \"sched\": \"%s\", \"tenants\": %zu, "
+                      "\"trials\": %u, \"worst_p50\": %.4f, \"worst_p99\": %.4f, "
+                      "\"per_tenant\": [",
+                      disk_name.c_str(), sched.c_str(), tenants, options.trials, worst_p50,
+                      worst_p99);
+        json_cells.push_back(std::string(cell) + per_tenant_json + "]}");
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  if (!options.json_path.empty()) {
+    std::FILE* f = std::fopen(options.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s\n", options.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"cells\": [\n");
+    for (std::size_t i = 0; i < json_cells.size(); ++i) {
+      std::fprintf(f, "%s%s\n", json_cells[i].c_str(),
+                   i + 1 < json_cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return 0;
+}

@@ -29,6 +29,10 @@
 //                      with caps().supports_filtered_read only)
 //   --filter-seed=N    selection seed for --filter (default 0)
 //   --json=PATH        machine-readable per-phase results (bench JSON format)
+//   --tenants=SPEC     multi-tenant serving: concurrent sessions on ONE machine,
+//                      "[sched=fifo|fair|deadline;][admit=N;]t0:FIELDS;t1:..."
+//                      with FIELDS from w= pat= method= record= mb= reps=
+//                      compute= deadline= (see src/tenant/tenant_spec.h)
 //   --faults=SPEC      seed-deterministic fault plan, e.g.
 //                      "disk:2,stall=50ms@t=0.8s;disk:5,fail@t=1.2s;
 //                       link:cp3-iop1,drop=0.01;iop:4,crash@t=2.0s"
@@ -41,6 +45,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -59,6 +64,8 @@
 #include "src/fs/striped_file.h"
 #include "src/pattern/pattern.h"
 #include "src/sim/engine.h"
+#include "src/tenant/tenant_scheduler.h"
+#include "src/tenant/tenant_spec.h"
 
 namespace {
 
@@ -68,9 +75,9 @@ namespace {
       "usage: %s [--pattern=NAME] [--record=BYTES] [--method=%s]\n"
       "          [--layout=contiguous|random|mirror:K] [--cps=N] [--iops=N] [--disks=N]\n"
       "          [--disk=SPEC] [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N]\n"
-      "          [--workload=SPEC] [--filter=F] [--filter-seed=N] [--json=PATH]\n"
-      "          [--faults=SPEC] [--elevator] [--strided] [--gather] [--contention]\n"
-      "          [--describe] [--verbose]\n"
+      "          [--workload=SPEC] [--tenants=SPEC] [--filter=F] [--filter-seed=N]\n"
+      "          [--json=PATH] [--faults=SPEC] [--elevator] [--strided] [--gather]\n"
+      "          [--contention] [--describe] [--verbose]\n"
       "  --pattern names: HPF letters (ra rn rb rc rnb ... wcn), optionally\n"
       "         parameterized per dimension (rc4 = CYCLIC(4), rb2c8), or an\n"
       "         irregular index list ri:<seed> / wi:<seed>\n"
@@ -81,6 +88,10 @@ namespace {
       "         default 1); results are byte-identical for any N\n"
       "  --workload phases: PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M]\n"
       "                     [,compute=MS][,filter=F][,fseed=N], joined with ';'\n"
+      "  --tenants serves N concurrent sessions on one shared machine:\n"
+      "         [sched=fifo|fair|deadline;][admit=N;]t0:FIELDS;t1:FIELDS;... with\n"
+      "         FIELDS from w=1..100, pat=NAME, method=M, record=B, mb=N,\n"
+      "         reps=N, compute=MS, deadline=DUR (sched=deadline only)\n"
       "  --filter runs a filtered collective read keeping fraction F in (0,1] of\n"
       "         records (needs a method with caps().supports_filtered_read)\n"
       "  --contention models per-link wormhole contention on the torus\n"
@@ -121,6 +132,7 @@ int main(int argc, char** argv) {
   cfg.pattern = "rb";
   std::string method_key = core::MethodKey(cfg.method);
   std::string workload_spec;
+  std::string tenants_spec;
   std::string json_path;
   unsigned jobs = 1;
   double filter_selectivity = -1.0;
@@ -194,6 +206,8 @@ int main(int argc, char** argv) {
       }
     } else if (MatchFlag(arg, "--workload", &value)) {
       workload_spec = value;
+    } else if (MatchFlag(arg, "--tenants", &value)) {
+      tenants_spec = value;
     } else if (MatchFlag(arg, "--json", &value)) {
       json_path = value;
     } else if (std::strcmp(arg, "--elevator") == 0) {
@@ -238,7 +252,7 @@ int main(int argc, char** argv) {
   // owns the grammar; fail with a usage error instead. Workload mode
   // validates per phase below — the global --pattern/--record defaults may
   // be unused there.
-  if (workload_spec.empty() || describe) {
+  if ((workload_spec.empty() && tenants_spec.empty()) || describe) {
     pattern::PatternSpec parsed;
     if (!pattern::PatternSpec::TryParse(cfg.pattern, &parsed)) {
       std::fprintf(stderr, "bad pattern name \"%s\" (ra, rn, rb, rc, rnb, ..., rc4, wb2c8, "
@@ -300,6 +314,81 @@ int main(int argc, char** argv) {
   }
 
   bench::JsonPointSink json(json_path);
+
+  if (!tenants_spec.empty()) {
+    if (!workload_spec.empty() || filter_selectivity >= 0) {
+      std::fprintf(stderr, "--tenants does not combine with --workload or --filter; use the "
+                   "per-tenant pat=/method=/reps= fields instead\n");
+      return 2;
+    }
+    tenant::TenantSpec spec;
+    std::string error;
+    if (!tenant::TenantSpec::TryParse(tenants_spec, &spec, &error) || !spec.Validate(&error)) {
+      std::fprintf(stderr, "--tenants: %s\n", error.c_str());
+      return 2;
+    }
+    cfg.method_key = method_key;  // Tenants without method= inherit --method.
+    for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+      const tenant::TenantEntry& entry = spec.tenants[t];
+      const std::uint64_t file = entry.file_bytes != 0 ? entry.file_bytes : cfg.file_bytes;
+      const std::uint32_t record =
+          entry.record_bytes != 0 ? entry.record_bytes : cfg.record_bytes;
+      if (record == 0 || file % record != 0) {
+        std::fprintf(stderr,
+                     "--tenants: t%zu's %llu-byte file does not hold whole %u-byte records\n",
+                     t, static_cast<unsigned long long>(file), record);
+        return 2;
+      }
+    }
+
+    std::printf("tenants: %s, default method %s, %u trial(s)\n", spec.Describe().c_str(),
+                method_key.c_str(), cfg.trials);
+    std::printf("machine: %u CPs, %u IOPs, %u disks (%s), shared by all tenants\n",
+                cfg.machine.num_cps, cfg.machine.num_iops, cfg.machine.num_disks,
+                DescribeFleet(cfg.machine).c_str());
+
+    auto result = tenant::RunMultiTenantExperiment(cfg, spec, jobs);
+    const bool faults = cfg.machine.faults.active();
+    std::printf("\n%-6s %-12s %-8s %3s %4s %10s %8s %12s %12s%s\n", "tenant", "method",
+                "pattern", "w", "reps", "MB/s", "cv", "finish ms", "disk-busy ms",
+                faults ? "  status" : "");
+    for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+      const tenant::TenantEntry& entry = spec.tenants[t];
+      const std::string tenant_method = entry.method.empty() ? method_key : entry.method;
+      // cv over every (trial, rep) sample, same estimator as the workload path.
+      double sq_sum = 0.0;
+      std::size_t n = 0;
+      for (const auto& trial : result.trials) {
+        for (const core::OpStats& stats : trial.tenants[t].phases) {
+          const double d = stats.ThroughputMBps() - result.mean_mbps[t];
+          sq_sum += d * d;
+          ++n;
+        }
+      }
+      const double cv = n > 0 && result.mean_mbps[t] > 0
+                            ? std::sqrt(sq_sum / static_cast<double>(n)) / result.mean_mbps[t]
+                            : 0.0;
+      const tenant::TenantResult& last = result.trials.back().tenants[t];
+      std::printf("%-6zu %-12s %-8s %3u %4u %10.2f %8.3f %12.1f %12.1f", t,
+                  tenant_method.c_str(), entry.pattern.c_str(), entry.weight, entry.reps,
+                  result.mean_mbps[t], cv, static_cast<double>(last.finished_ns) / 1e6,
+                  static_cast<double>(last.disk_busy_ns) / 1e6);
+      if (faults) {
+        const core::OpStatus& status = last.phases.back().status;
+        std::printf("  %s (retries %llu, attempts %u)%s%s", core::OutcomeName(status.outcome),
+                    static_cast<unsigned long long>(status.retries), status.attempts,
+                    status.detail.empty() ? "" : ": ", status.detail.c_str());
+      }
+      std::printf("\n");
+      json.Add("tenant", t, tenant_method, entry.pattern, result.mean_mbps[t], cv, cfg.trials);
+    }
+    if (verbose) {
+      std::printf("\nevents simulated: %llu\n",
+                  static_cast<unsigned long long>(result.total_events));
+    }
+    json.Flush();
+    return 0;
+  }
 
   if (!workload_spec.empty()) {
     if (filter_selectivity >= 0) {

@@ -36,6 +36,11 @@ struct MachineConfig {
   // FCFS matches the paper; kElevator lets IOPs C-SCAN their queued
   // requests (ablation A6).
   disk::DiskQueuePolicy disk_queue = disk::DiskQueuePolicy::kFcfs;
+  // Concurrent tenant namespaces on this machine: every node gets one inbox
+  // plane per tenant (shared NICs/links/disks underneath). 1 — the default —
+  // is the paper's single-job machine and is bit-identical to builds that
+  // predate multi-tenancy. The tenant scheduler (src/tenant) raises it.
+  std::uint32_t num_tenants = 1;
   CostModel costs;
   // Fault plan (empty by default: a perfect machine, bit-identical behavior
   // to builds that predate fault injection). Build with

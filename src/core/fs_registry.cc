@@ -13,6 +13,7 @@ tc::TcParams TcParamsFrom(const ExperimentConfig& config) {
   params.prefetch = config.tc_prefetch;
   params.strided_requests = config.tc_strided;
   params.buffers_per_cp_per_disk = config.tc_buffers_per_cp_per_disk;
+  params.tenant = config.tenant;
   return params;
 }
 
@@ -35,6 +36,7 @@ void RegisterBuiltIns(FileSystemRegistry& registry) {
                       params.presort = true;
                       params.buffers_per_disk = config.ddio_buffers_per_disk;
                       params.gather_scatter = config.ddio_gather_scatter;
+                      params.tenant = config.tenant;
                       return std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
                     },
                     ddio_caps);
@@ -44,6 +46,7 @@ void RegisterBuiltIns(FileSystemRegistry& registry) {
                       params.presort = false;
                       params.buffers_per_disk = config.ddio_buffers_per_disk;
                       params.gather_scatter = config.ddio_gather_scatter;
+                      params.tenant = config.tenant;
                       return std::make_unique<ddio_fs::DdioFileSystem>(machine, params);
                     },
                     ddio_caps);

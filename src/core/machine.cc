@@ -10,7 +10,12 @@ namespace ddio::core {
 
 Machine::Machine(sim::Engine& engine, const MachineConfig& config)
     : engine_(engine), config_(config) {
-  network_ = std::make_unique<net::Network>(engine_, config_.num_nodes(), config_.net);
+  if (config_.num_tenants == 0) {
+    config_.num_tenants = 1;
+  }
+  network_ = std::make_unique<net::Network>(engine_, config_.num_nodes(), config_.net,
+                                            config_.num_tenants);
+  inbox_owner_.resize(config_.num_tenants, nullptr);
   cp_cpu_.reserve(config_.num_cps);
   for (std::uint32_t c = 0; c < config_.num_cps; ++c) {
     cp_cpu_.push_back(std::make_unique<sim::Resource>(engine_, "cp_cpu_" + std::to_string(c)));
@@ -102,36 +107,52 @@ void Machine::CrashIop(std::uint32_t iop) {
   crashed_iops_[iop] = 1;
   const std::uint16_t node = NodeOfIop(iop);
   // Down on the wire first (so nothing new lands in the dying inbox), then
-  // close the inbox to kick its parked service loops.
+  // close the inbox — on EVERY tenant plane — to kick its parked service
+  // loops.
   network_->SetNodeDown(node);
-  network_->Inbox(node).Close();
+  for (std::uint32_t tenant = 0; tenant < config_.num_tenants; ++tenant) {
+    network_->Inbox(node, tenant).Close();
+  }
 }
 
-void Machine::ClaimInboxes(const char* owner) {
-  if (inbox_owner_ != nullptr) {
-    std::fprintf(stderr, "ddio::core: inboxes already claimed by %s; cannot start %s\n",
-                 inbox_owner_, owner);
+void Machine::ClaimInboxes(const char* owner, std::uint32_t tenant) {
+  if (inbox_owner_[tenant] != nullptr) {
+    std::fprintf(stderr,
+                 "ddio::core: tenant %u inboxes already claimed by %s; cannot start %s\n",
+                 tenant, inbox_owner_[tenant], owner);
     std::abort();
   }
-  inbox_owner_ = owner;
+  inbox_owner_[tenant] = owner;
 }
 
-void Machine::ReleaseInboxes(const char* owner) {
-  if (inbox_owner_ == nullptr || std::strcmp(inbox_owner_, owner) != 0) {
+void Machine::ReleaseInboxes(const char* owner, std::uint32_t tenant) {
+  if (inbox_owner_[tenant] == nullptr || std::strcmp(inbox_owner_[tenant], owner) != 0) {
     return;
   }
-  inbox_owner_ = nullptr;
-  // Close-then-reopen every node inbox: the departing owner's parked
-  // dispatchers were unlinked by Close (they resume with nullopt and exit),
-  // while the reopened channels are immediately claimable by the next file
-  // system's service loops.
+  inbox_owner_[tenant] = nullptr;
+  // Close-then-reopen every node inbox of this tenant's plane: the departing
+  // owner's parked dispatchers were unlinked by Close (they resume with
+  // nullopt and exit), while the reopened channels are immediately claimable
+  // by the next file system's service loops. Other tenants' planes are
+  // untouched — their collectives keep flowing.
   for (std::uint32_t node = 0; node < config_.num_nodes(); ++node) {
-    network_->Inbox(node).Close();
+    network_->Inbox(node, tenant).Close();
     // A crashed IOP's inbox stays closed: it must not come back to life for
     // the next file system.
     if (!(IsIopNode(node) && IopCrashed(IopOfNode(node)))) {
-      network_->Inbox(node).Reopen();
+      network_->Inbox(node, tenant).Reopen();
     }
+  }
+}
+
+bool Machine::AttachSession() {
+  ++attached_sessions_;
+  return attached_sessions_ == 1 || allow_concurrent_sessions_;
+}
+
+void Machine::DetachSession() {
+  if (attached_sessions_ > 0) {
+    --attached_sessions_;
   }
 }
 
@@ -195,6 +216,17 @@ Machine::Utilization Machine::UtilizationSince(const UtilizationBaseline& baseli
   u.avg_disk_mechanism /= static_cast<double>(disks_.size());
   return u;
 }
+
+void Machine::SetUtilizationBaseline(std::uint64_t key) {
+  keyed_baselines_[key] = CaptureUtilizationBaseline();
+}
+
+Machine::Utilization Machine::UtilizationSinceBaseline(std::uint64_t key) const {
+  auto it = keyed_baselines_.find(key);
+  return UtilizationSince(it == keyed_baselines_.end() ? UtilizationBaseline{} : it->second);
+}
+
+void Machine::ClearUtilizationBaseline(std::uint64_t key) { keyed_baselines_.erase(key); }
 
 disk::DiskMechanismStats Machine::AggregateDiskStats() const {
   disk::DiskMechanismStats total;

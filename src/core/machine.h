@@ -9,6 +9,7 @@
 #define DDIO_SRC_CORE_MACHINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -61,15 +62,31 @@ class Machine {
   // loops are reclaimed at engine teardown.
   void StartDisks();
 
-  // The node inboxes support a single consumer: exactly one file system may
-  // be active on a machine at a time. Claim aborts if already claimed.
-  // Release closes every node inbox (kicking the owner's parked service
-  // loops, which exit with nullopt on the next engine run) and immediately
-  // reopens them, so a subsequent file system can claim the same machine —
-  // sessions run sequential file systems on one persistent machine. Release
-  // only when quiescent: no collective in flight, all loops parked.
-  void ClaimInboxes(const char* owner);
-  void ReleaseInboxes(const char* owner);
+  // The node inboxes of one tenant plane support a single consumer: exactly
+  // one file system may be active per tenant at a time. Claim aborts if the
+  // plane is already claimed. Release closes every node inbox of the plane
+  // (kicking the owner's parked service loops, which exit with nullopt on
+  // the next engine run) and immediately reopens them, so a subsequent file
+  // system can claim the same plane — sessions run sequential file systems
+  // on one persistent machine, and concurrent tenants each cycle their own
+  // plane independently. Release only when quiescent for that tenant: no
+  // collective in flight, all its loops parked.
+  void ClaimInboxes(const char* owner, std::uint32_t tenant = 0);
+  void ReleaseInboxes(const char* owner, std::uint32_t tenant = 0);
+
+  // --- Concurrent workload sessions (src/tenant) ---------------------------
+  // A WorkloadSession attaches on construction. The machine admits ONE
+  // session unless a scheduler has opted in to concurrency — a second
+  // unscheduled attach is recorded and reported by the session as a
+  // structured per-phase error (not an abort), so legacy single-tenant code
+  // fails clearly instead of corrupting a shared inbox plane.
+  void set_allow_concurrent_sessions(bool allow) { allow_concurrent_sessions_ = allow; }
+  bool allow_concurrent_sessions() const { return allow_concurrent_sessions_; }
+  // Returns false when the attach conflicts (another session is already
+  // attached and concurrency was not enabled by a scheduler).
+  bool AttachSession();
+  void DetachSession();
+  std::uint32_t attached_sessions() const { return attached_sessions_; }
 
   // Optional placement auditing (tests). Null by default.
   ValidationSink* validation() { return validation_; }
@@ -124,6 +141,13 @@ class Machine {
   Utilization UtilizationSince(const UtilizationBaseline& baseline) const;
   Utilization SnapshotUtilization() const { return UtilizationSince({}); }
 
+  // Keyed per-caller baselines: concurrent tenants each capture their own
+  // window under a distinct key (the tenant id) and read it back without
+  // clobbering anyone else's. A read under an unset key reports [0, now].
+  void SetUtilizationBaseline(std::uint64_t key);
+  Utilization UtilizationSinceBaseline(std::uint64_t key) const;
+  void ClearUtilizationBaseline(std::uint64_t key);
+
  private:
   // Waits until the event's @t= and applies it (disk stall/fail, IOP crash).
   sim::Task<> FaultTimeline(fault::FaultEvent event);
@@ -138,7 +162,10 @@ class Machine {
   ValidationSink* validation_ = nullptr;
   std::vector<char> crashed_iops_;  // Empty until a crash event fires.
   bool disks_started_ = false;
-  const char* inbox_owner_ = nullptr;
+  std::vector<const char*> inbox_owner_;  // One slot per tenant plane.
+  bool allow_concurrent_sessions_ = false;
+  std::uint32_t attached_sessions_ = 0;
+  std::map<std::uint64_t, UtilizationBaseline> keyed_baselines_;
 };
 
 }  // namespace ddio::core

@@ -50,6 +50,11 @@ struct ExperimentConfig {
   std::string method_key;
   std::uint32_t trials = 5;
   std::uint64_t base_seed = 1000;  // Trial t uses base_seed + t.
+  // Tenant namespace this experiment's file system binds to: its service
+  // loops read the machine's tenant-`tenant` inbox plane and stamp every
+  // message with it. 0 — the default — is the paper's single-job machine;
+  // the tenant scheduler (src/tenant) sets it per concurrent session.
+  std::uint8_t tenant = 0;
 
   // Ablation knobs.
   std::uint32_t ddio_buffers_per_disk = 2;      // Paper: double buffering.

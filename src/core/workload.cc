@@ -248,12 +248,27 @@ bool Workload::ValidateCapabilities(const std::string& default_method,
 }
 
 WorkloadSession::WorkloadSession(const ExperimentConfig& config, std::uint64_t seed)
-    : config_(config), engine_(seed), machine_(engine_, config.machine) {}
+    : config_(config),
+      owned_engine_(std::make_unique<sim::Engine>(seed)),
+      owned_machine_(std::make_unique<Machine>(*owned_engine_, config.machine)),
+      engine_(owned_engine_.get()),
+      machine_(owned_machine_.get()),
+      tenant_(config.tenant) {
+  attach_ok_ = machine_->AttachSession();
+}
+
+WorkloadSession::WorkloadSession(sim::Engine& engine, Machine& machine,
+                                 const ExperimentConfig& config, std::uint8_t tenant)
+    : config_(config), engine_(&engine), machine_(&machine), tenant_(tenant) {
+  config_.tenant = tenant;  // File systems this session activates bind to the plane.
+  attach_ok_ = machine_->AttachSession();
+}
 
 WorkloadSession::~WorkloadSession() {
   if (fs_ != nullptr) {
     fs_->Shutdown();
   }
+  machine_->DetachSession();
 }
 
 const fs::StripedFile& WorkloadSession::FileFor(const WorkloadPhase& phase) {
@@ -284,7 +299,7 @@ const fs::StripedFile& WorkloadSession::FileFor(const WorkloadPhase& phase) {
     params.replicas = phase.has_layout ? phase.replicas : config_.replicas;
     params.disk_capacity_bytes = config_.machine.MinDiskCapacityBytes() /
                                  config_.machine.block_bytes * config_.machine.block_bytes;
-    slot = std::make_unique<fs::StripedFile>(params, engine_.rng());
+    slot = std::make_unique<fs::StripedFile>(params, engine_->rng());
   }
   return *slot;
 }
@@ -302,7 +317,7 @@ FileSystem& WorkloadSession::ActivateFileSystem(const std::string& method) {
     fs_.reset();
   }
   std::string error;
-  fs_ = FileSystemRegistry::BuiltIns().Create(key, machine_, config_, &error);
+  fs_ = FileSystemRegistry::BuiltIns().Create(key, *machine_, config_, &error);
   if (fs_ == nullptr) {
     std::fprintf(stderr, "ddio::core: %s\n", error.c_str());
     std::abort();
@@ -316,76 +331,126 @@ void WorkloadSession::AdvanceCompute(sim::SimTime delay) {
   if (delay == 0) {
     return;
   }
-  engine_.Spawn([](sim::Engine& engine, sim::SimTime d) -> sim::Task<> {
+  engine_->Spawn([](sim::Engine& engine, sim::SimTime d) -> sim::Task<> {
     co_await engine.Delay(d);
-  }(engine_, delay));
-  engine_.Run();
+  }(*engine_, delay));
+  engine_->Run();
 }
 
-OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
+bool WorkloadSession::PreparePhase(const WorkloadPhase& phase, bool loud,
+                                   const fs::StripedFile** file,
+                                   std::unique_ptr<pattern::AccessPattern>* pattern,
+                                   FileSystem** fs, OpStats* failure) {
   // Construction order (file, pattern, file system) matches the historical
   // RunTrial exactly, so a 1-phase workload replays its event sequence
   // bit-identically (tests/fs_registry_test.cc pins this down).
-  const fs::StripedFile& file = FileFor(phase);
+  *file = &FileFor(phase);
   const std::uint32_t record_bytes =
       phase.record_bytes != 0 ? phase.record_bytes : config_.record_bytes;
   // AccessPattern requires whole records; its constructor assert vanishes in
   // release builds, where a truncated record count would silently drop the
   // file tail (and index an irregular permutation out of bounds). Fail loudly
-  // here instead — CLI front ends pre-validate and exit cleanly.
-  if (record_bytes == 0 || file.file_bytes() % record_bytes != 0) {
-    std::fprintf(stderr,
-                 "ddio::core: phase \"%s\": file of %llu bytes does not hold whole %u-byte "
-                 "records\n",
-                 phase.pattern.c_str(), static_cast<unsigned long long>(file.file_bytes()),
-                 record_bytes);
-    std::abort();
+  // here instead — CLI front ends pre-validate and exit cleanly. Attached
+  // (multi-tenant) sessions take the structured branch: one tenant's bad
+  // phase must not kill its co-tenants' process.
+  if (record_bytes == 0 || (*file)->file_bytes() % record_bytes != 0) {
+    if (loud) {
+      std::fprintf(stderr,
+                   "ddio::core: phase \"%s\": file of %llu bytes does not hold whole %u-byte "
+                   "records\n",
+                   phase.pattern.c_str(), static_cast<unsigned long long>((*file)->file_bytes()),
+                   record_bytes);
+      std::abort();
+    }
+    failure->status.MarkFailed("phase \"" + phase.pattern + "\": file of " +
+                               std::to_string((*file)->file_bytes()) +
+                               " bytes does not hold whole " + std::to_string(record_bytes) +
+                               "-byte records");
+    return false;
   }
-  pattern::AccessPattern pattern(pattern::PatternSpec::Parse(phase.pattern), file.file_bytes(),
-                                 record_bytes, machine_.num_cps());
-  FileSystem& fs = ActivateFileSystem(phase.method);
+  *pattern = std::make_unique<pattern::AccessPattern>(pattern::PatternSpec::Parse(phase.pattern),
+                                                      (*file)->file_bytes(), record_bytes,
+                                                      machine_->num_cps());
+  *fs = &ActivateFileSystem(phase.method);
   // Capability gate BEFORE dispatch: the base-class RunFilteredRead aborts
   // (SIGABRT) by contract, so a phase asking for a filtered read on a method
   // without the capability — or on a write pattern, which has no filtered
   // form — is rejected here with a clean CLI error instead.
   // Workload::ValidateCapabilities catches both even earlier for CLI specs.
   if (phase.filter_selectivity >= 0) {
-    if (!fs.caps().supports_filtered_read) {
-      std::fprintf(stderr,
-                   "ddio::core: phase \"%s\": method \"%s\" does not support filtered reads "
-                   "(filter= needs a method with caps().supports_filtered_read)\n",
-                   phase.pattern.c_str(), fs.name());
-      std::exit(2);
+    if (!(*fs)->caps().supports_filtered_read) {
+      if (loud) {
+        std::fprintf(stderr,
+                     "ddio::core: phase \"%s\": method \"%s\" does not support filtered reads "
+                     "(filter= needs a method with caps().supports_filtered_read)\n",
+                     phase.pattern.c_str(), (*fs)->name());
+        std::exit(2);
+      }
+      failure->status.MarkFailed("phase \"" + phase.pattern + "\": method \"" +
+                                 (*fs)->name() + "\" does not support filtered reads");
+      return false;
     }
-    if (pattern.spec().is_write) {
-      std::fprintf(stderr,
-                   "ddio::core: phase \"%s\": filter= applies to read patterns only "
-                   "(selection pushdown has no write form)\n",
-                   phase.pattern.c_str());
-      std::exit(2);
+    if ((*pattern)->spec().is_write) {
+      if (loud) {
+        std::fprintf(stderr,
+                     "ddio::core: phase \"%s\": filter= applies to read patterns only "
+                     "(selection pushdown has no write form)\n",
+                     phase.pattern.c_str());
+        std::exit(2);
+      }
+      failure->status.MarkFailed("phase \"" + phase.pattern +
+                                 "\": filter= applies to read patterns only");
+      return false;
     }
   }
+  return true;
+}
+
+namespace {
+const char kAttachConflictDetail[] =
+    "concurrent workload session attached without the tenant scheduler: enable "
+    "Machine::set_allow_concurrent_sessions or drive sessions through "
+    "tenant::TenantScheduler";
+}  // namespace
+
+OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
+  OpStats failure;
+  // Loud-by-contract for typos, structured for the admission conflict: a
+  // second session racing onto one machine is a runtime condition the caller
+  // (who may hold other healthy sessions) must be able to observe and report.
+  if (!attach_ok_) {
+    failure.status.MarkFailed(kAttachConflictDetail);
+    return failure;
+  }
+  const fs::StripedFile* file = nullptr;
+  std::unique_ptr<pattern::AccessPattern> pattern_owner;
+  FileSystem* fs_ptr = nullptr;
+  if (!PreparePhase(phase, /*loud=*/true, &file, &pattern_owner, &fs_ptr, &failure)) {
+    return failure;  // Unreachable in loud mode; kept for defense in depth.
+  }
+  pattern::AccessPattern& pattern = *pattern_owner;
+  FileSystem& fs = *fs_ptr;
   AdvanceCompute(phase.compute_ns);
 
   // Utilization is reported over THIS phase's I/O window, not cumulatively
   // since session start (for a 1-phase workload the two coincide).
-  Machine::UtilizationBaseline baseline = machine_.CaptureUtilizationBaseline();
+  Machine::UtilizationBaseline baseline = machine_->CaptureUtilizationBaseline();
   OpStats stats;
-  if (!machine_.fault_active()) {
+  if (!machine_->fault_active()) {
     if (phase.filter_selectivity >= 0) {
-      engine_.Spawn(fs.RunFilteredRead(file, pattern, phase.filter_selectivity,
-                                       phase.filter_seed, &stats));
+      engine_->Spawn(fs.RunFilteredRead(*file, pattern, phase.filter_selectivity,
+                                        phase.filter_seed, &stats));
     } else {
-      engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+      engine_->Spawn(fs.RunCollective(*file, pattern, &stats));
     }
-    engine_.Run();
+    engine_->Run();
   } else {
     // Fault plan active: the phase-level backstop. Run the collective; verify
     // the realized data image against the pattern; on a failed or torn
     // attempt, clear the image and re-run (bounded), then fail loudly. This
     // is what catches silent truncation the request layers cannot see (e.g.
     // blocks stranded by an IOP crash mid-collective).
-    ValidationSink* prior_sink = machine_.validation();
+    ValidationSink* prior_sink = machine_->validation();
     std::unique_ptr<ValidationSink> scratch_sink;
     if (prior_sink == nullptr && phase.filter_selectivity < 0) {
       // No caller-provided sink (benchmarks): audit with a scratch one so
@@ -393,20 +458,20 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
       // data-dependent subset, so their image never matches the full pattern
       // and they run unaudited.
       scratch_sink = std::make_unique<ValidationSink>();
-      machine_.set_validation(scratch_sink.get());
+      machine_->set_validation(scratch_sink.get());
     }
-    ValidationSink* sink = phase.filter_selectivity < 0 ? machine_.validation() : nullptr;
+    ValidationSink* sink = phase.filter_selectivity < 0 ? machine_->validation() : nullptr;
     for (std::uint32_t attempt = 1; attempt <= fault::kMaxPhaseAttempts; ++attempt) {
       const bool degraded_before =
           attempt > 1;  // A re-run means the first attempt did not survive clean.
       stats = OpStats();
       if (phase.filter_selectivity >= 0) {
-        engine_.Spawn(fs.RunFilteredRead(file, pattern, phase.filter_selectivity,
-                                         phase.filter_seed, &stats));
+        engine_->Spawn(fs.RunFilteredRead(*file, pattern, phase.filter_selectivity,
+                                          phase.filter_seed, &stats));
       } else {
-        engine_.Spawn(fs.RunCollective(file, pattern, &stats));
+        engine_->Spawn(fs.RunCollective(*file, pattern, &stats));
       }
-      engine_.Run();
+      engine_->Run();
       stats.status.attempts = attempt;
       std::vector<std::string> verify_errors;
       const bool verified =
@@ -430,15 +495,80 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
         sink->Clear();  // Next attempt re-records the image from scratch.
       }
     }
-    machine_.set_validation(prior_sink);
+    machine_->set_validation(prior_sink);
   }
 
-  Machine::Utilization utilization = machine_.UtilizationSince(baseline);
+  Machine::Utilization utilization = machine_->UtilizationSince(baseline);
   stats.max_cp_cpu_util = utilization.max_cp_cpu;
   stats.max_iop_cpu_util = utilization.max_iop_cpu;
   stats.max_bus_util = utilization.max_bus;
   stats.avg_disk_util = utilization.avg_disk_mechanism;
   return stats;
+}
+
+sim::Task<OpStats> WorkloadSession::RunPhaseAsync(const WorkloadPhase& phase) {
+  OpStats failure;
+  if (!attach_ok_) {
+    failure.status.MarkFailed(kAttachConflictDetail);
+    co_return failure;
+  }
+  const fs::StripedFile* file = nullptr;
+  std::unique_ptr<pattern::AccessPattern> pattern;
+  FileSystem* fs = nullptr;
+  if (!PreparePhase(phase, /*loud=*/false, &file, &pattern, &fs, &failure)) {
+    co_return failure;
+  }
+  if (phase.compute_ns > 0) {
+    co_await engine_->Delay(phase.compute_ns);
+  }
+
+  // Per-tenant keyed baseline: concurrent sessions each snapshot and read
+  // their own utilization window without clobbering one another (the raw
+  // CaptureUtilizationBaseline value-struct would also work, but the keyed
+  // form lets diagnostics read any tenant's open window by id).
+  machine_->SetUtilizationBaseline(tenant_);
+  OpStats stats;
+  if (!machine_->fault_active()) {
+    if (phase.filter_selectivity >= 0) {
+      co_await fs->RunFilteredRead(*file, *pattern, phase.filter_selectivity, phase.filter_seed,
+                                   &stats);
+    } else {
+      co_await fs->RunCollective(*file, *pattern, &stats);
+    }
+  } else {
+    // Bounded re-run backstop, as in RunPhase but without the image audit:
+    // the validation sink is machine-global state, so concurrent tenants
+    // cannot each install a scratch sink without racing on it. Faulty
+    // multi-tenant runs rely on the per-collective status instead.
+    for (std::uint32_t attempt = 1; attempt <= fault::kMaxPhaseAttempts; ++attempt) {
+      stats = OpStats();
+      if (phase.filter_selectivity >= 0) {
+        co_await fs->RunFilteredRead(*file, *pattern, phase.filter_selectivity,
+                                     phase.filter_seed, &stats);
+      } else {
+        co_await fs->RunCollective(*file, *pattern, &stats);
+      }
+      stats.status.attempts = attempt;
+      if (stats.status.ok()) {
+        if (attempt > 1 && stats.status.outcome == Outcome::kSuccess) {
+          stats.status.outcome = Outcome::kDegraded;
+          stats.status.detail = "succeeded on a phase re-run";
+        }
+        break;
+      }
+      if (attempt == fault::kMaxPhaseAttempts) {
+        break;
+      }
+    }
+  }
+
+  Machine::Utilization utilization = machine_->UtilizationSinceBaseline(tenant_);
+  machine_->ClearUtilizationBaseline(tenant_);
+  stats.max_cp_cpu_util = utilization.max_cp_cpu;
+  stats.max_iop_cpu_util = utilization.max_iop_cpu;
+  stats.max_bus_util = utilization.max_bus;
+  stats.avg_disk_util = utilization.avg_disk_mechanism;
+  co_return stats;
 }
 
 WorkloadResult RunWorkloadTrial(const ExperimentConfig& config, const Workload& workload,

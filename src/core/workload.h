@@ -27,7 +27,9 @@
 #include "src/core/op_stats.h"
 #include "src/core/runner.h"
 #include "src/fs/striped_file.h"
+#include "src/pattern/pattern.h"
 #include "src/sim/engine.h"
+#include "src/sim/task.h"
 #include "src/sim/time.h"
 
 namespace ddio::core {
@@ -90,19 +92,42 @@ struct WorkloadResult {
   std::uint64_t total_events = 0;    // Engine events over the whole session.
 };
 
-// One persistent engine + machine executing phases back to back. The
-// synchronous driver underneath RunTrial/RunWorkloadTrial, and the session
-// API the examples script against.
+// One engine + machine executing phases back to back. The synchronous driver
+// underneath RunTrial/RunWorkloadTrial, and the session API the examples
+// script against. Two ownership modes:
+//
+//  * Owning (the classic form): the session builds its own engine + machine
+//    from `config` and drives them with RunPhase, which pumps the engine to
+//    completion per phase.
+//  * Attached (multi-tenant serving, src/tenant): the session binds to a
+//    caller-owned engine + machine shared with other sessions, each on its
+//    own tenant inbox plane. Attached sessions use RunPhaseAsync — an
+//    awaitable that never pumps the engine itself — so N sessions interleave
+//    under ONE Engine::Run driven by the tenant scheduler.
+//
+// Every session registers with Machine::AttachSession. A second concurrent
+// session on a machine that has not opted in (the tenant scheduler sets
+// Machine::set_allow_concurrent_sessions) is NOT an abort: RunPhase /
+// RunPhaseAsync report a structured kFailed OpStats explaining the conflict.
 class WorkloadSession {
  public:
   WorkloadSession(const ExperimentConfig& config, std::uint64_t seed);
+  // Attached mode: share `engine` + `machine` with other sessions, serving
+  // tenant plane `tenant` (the config's tenant field is overridden so the
+  // file systems this session activates bind to that plane).
+  WorkloadSession(sim::Engine& engine, Machine& machine, const ExperimentConfig& config,
+                  std::uint8_t tenant);
   WorkloadSession(const WorkloadSession&) = delete;
   WorkloadSession& operator=(const WorkloadSession&) = delete;
   ~WorkloadSession();
 
-  sim::Engine& engine() { return engine_; }
-  Machine& machine() { return machine_; }
+  sim::Engine& engine() { return *engine_; }
+  Machine& machine() { return *machine_; }
   const ExperimentConfig& config() const { return config_; }
+  std::uint8_t tenant() const { return tenant_; }
+  // False when this session lost the Machine::AttachSession admission race
+  // (a concurrent session without allow_concurrent_sessions).
+  bool attach_ok() const { return attach_ok_; }
 
   // Returns (creating on first use) the striped file backing `phase`.
   const fs::StripedFile& FileFor(const WorkloadPhase& phase);
@@ -114,18 +139,40 @@ class WorkloadSession {
   FileSystem& ActivateFileSystem(const std::string& method);
 
   // Advances simulated time by `delay` (a compute period with no I/O).
+  // Owning mode only: pumps the engine.
   void AdvanceCompute(sim::SimTime delay);
 
   // Runs one phase to completion (compute, then the collective, then the
   // engine drains) and returns its stats, utilization snapshot included.
+  // Pumps the engine; use RunPhaseAsync from attached sessions.
   OpStats RunPhase(const WorkloadPhase& phase);
 
+  // Awaitable phase: compute delay, then the collective, with utilization
+  // reported over this phase's window via a per-tenant keyed baseline. Never
+  // pumps the engine — the caller (tenant scheduler or a test driver) owns
+  // Engine::Run. Capability/geometry violations come back as structured
+  // kFailed stats rather than process exits, since the spec was typically
+  // validated up front and a violation here must not kill co-tenants.
+  sim::Task<OpStats> RunPhaseAsync(const WorkloadPhase& phase);
+
  private:
+  // Builds the pattern + file system and runs the pre-dispatch gates shared
+  // by RunPhase and RunPhaseAsync. Returns false (with *failure filled) when
+  // the phase must not dispatch; `loud` selects abort/exit(2) (historic CLI
+  // contract) over structured failure.
+  bool PreparePhase(const WorkloadPhase& phase, bool loud, const fs::StripedFile** file,
+                    std::unique_ptr<pattern::AccessPattern>* pattern, FileSystem** fs,
+                    OpStats* failure);
+
   ExperimentConfig config_;
-  sim::Engine engine_;
-  Machine machine_;
+  std::unique_ptr<sim::Engine> owned_engine_;  // Null in attached mode.
+  std::unique_ptr<Machine> owned_machine_;     // Null in attached mode.
+  sim::Engine* engine_ = nullptr;
+  Machine* machine_ = nullptr;
+  std::uint8_t tenant_ = 0;
+  bool attach_ok_ = true;
   std::vector<std::unique_ptr<fs::StripedFile>> files_;
-  std::unique_ptr<FileSystem> fs_;  // Declared after machine_: destroyed first.
+  std::unique_ptr<FileSystem> fs_;  // Declared after the machine: destroyed first.
   std::string fs_method_;
 };
 

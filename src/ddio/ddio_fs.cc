@@ -33,7 +33,7 @@ DdioFileSystem::DdioFileSystem(core::Machine& machine, DdioParams params)
 void DdioFileSystem::Start() {
   assert(!started_);
   started_ = true;
-  machine_.ClaimInboxes("ddio");
+  machine_.ClaimInboxes("ddio", params_.tenant);
   machine_.StartDisks();
   for (std::uint32_t iop = 0; iop < machine_.num_iops(); ++iop) {
     machine_.engine().Spawn(IopServer(iop));
@@ -50,11 +50,11 @@ void DdioFileSystem::Shutdown() {
   started_ = false;
   // Releasing closes (and reopens) every inbox, kicking the parked servers;
   // the disks keep running for whichever file system claims the machine next.
-  machine_.ReleaseInboxes("ddio");
+  machine_.ReleaseInboxes("ddio", params_.tenant);
 }
 
 sim::Task<> DdioFileSystem::IopServer(std::uint32_t iop) {
-  auto& inbox = machine_.network().Inbox(machine_.NodeOfIop(iop));
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfIop(iop), params_.tenant);
   const core::CostModel& costs = machine_.config().costs;
   for (;;) {
     auto message = co_await inbox.Receive();
@@ -72,6 +72,7 @@ sim::Task<> DdioFileSystem::IopServer(std::uint32_t iop) {
           net::Message note;
           note.src = machine_.NodeOfIop(iop);
           note.dst = machine_.NodeOfCp(request->requesting_cp);
+          note.tenant = params_.tenant;
           note.data_bytes = 0;
           note.payload =
               net::CompletionNote{static_cast<std::uint16_t>(iop), !op_disk_errors_};
@@ -108,7 +109,7 @@ sim::Task<> DdioFileSystem::IopServer(std::uint32_t iop) {
 }
 
 sim::Task<> DdioFileSystem::CpDispatcher(std::uint32_t cp) {
-  auto& inbox = machine_.network().Inbox(machine_.NodeOfCp(cp));
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfCp(cp), params_.tenant);
   const core::CostModel& costs = machine_.config().costs;
   for (;;) {
     auto message = co_await inbox.Receive();
@@ -136,6 +137,7 @@ sim::Task<> DdioFileSystem::CpDispatcher(std::uint32_t cp) {
         net::Message ack;
         ack.src = machine_.NodeOfCp(cp);
         ack.dst = machine_.NodeOfIop(memput->iop);
+        ack.tenant = params_.tenant;
         ack.data_bytes = 0;
         ack.payload = net::MemputAck{memput->id};
         co_await machine_.network().Send(std::move(ack));
@@ -152,6 +154,7 @@ sim::Task<> DdioFileSystem::CpDispatcher(std::uint32_t cp) {
       net::Message reply;
       reply.src = machine_.NodeOfCp(cp);
       reply.dst = machine_.NodeOfIop(memget->iop);
+      reply.tenant = params_.tenant;
       reply.data_bytes = memget->length;
       reply.payload = net::MemgetReply{memget->request_id, memget->length, memget->file_offset,
                                        memget->cp_offset, static_cast<std::uint16_t>(cp),
@@ -271,6 +274,7 @@ sim::Task<> DdioFileSystem::HandleCollective(std::uint32_t iop, const Collective
   net::Message note;
   note.src = machine_.NodeOfIop(iop);
   note.dst = machine_.NodeOfCp(op->requesting_cp);
+  note.tenant = params_.tenant;
   note.data_bytes = 0;
   note.payload = net::CompletionNote{static_cast<std::uint16_t>(iop), !op_disk_errors_};
   co_await machine_.network().Send(std::move(note));
@@ -349,7 +353,7 @@ sim::Task<> DdioFileSystem::TransferReadBlock(std::uint32_t iop, std::uint32_t d
   bool disk_ok = true;
   co_await machine_.Disk(disk).Read(file.LbnOfBlockReplica(block, replica),
                                     SectorsFor(file.BlockLength(block)),
-                                    faulty ? &disk_ok : nullptr);
+                                    faulty ? &disk_ok : nullptr, params_.tenant);
   if (!disk_ok) {
     // No data to ship. Release the claim so a surviving replica's disk (in a
     // retried attempt) may serve the block instead.
@@ -436,6 +440,7 @@ sim::Task<> DdioFileSystem::TransferReadBlock(std::uint32_t iop, std::uint32_t d
     net::Message msg;
     msg.src = machine_.NodeOfIop(iop);
     msg.dst = machine_.NodeOfCp(cp);
+    msg.tenant = params_.tenant;
     msg.data_bytes = total;
     msg.payload = std::move(payload);
     co_await machine_.network().Send(std::move(msg));
@@ -473,7 +478,7 @@ sim::Task<> DdioFileSystem::TransferWriteBlock(std::uint32_t iop, std::uint32_t 
   bool disk_ok = true;
   co_await machine_.Disk(disk).Write(file.LbnOfBlockReplica(block, replica),
                                      SectorsFor(file.BlockLength(block)),
-                                     faulty ? &disk_ok : nullptr);
+                                     faulty ? &disk_ok : nullptr, params_.tenant);
   if (!disk_ok) {
     op_disk_errors_ = true;  // This copy is lost; mirrors (if any) survive.
   }
@@ -496,6 +501,7 @@ sim::Task<> DdioFileSystem::DoMemget(std::uint32_t iop, std::uint32_t cp,
     net::Message msg;
     msg.src = machine_.NodeOfIop(iop);
     msg.dst = machine_.NodeOfCp(cp);
+    msg.tenant = params_.tenant;
     msg.data_bytes = 0;
     msg.payload = net::MemgetRequest{first.cp_offset, total_bytes,       first.file_offset,
                                      static_cast<std::uint16_t>(iop), id, extents};
@@ -512,6 +518,7 @@ sim::Task<> DdioFileSystem::DoMemget(std::uint32_t iop, std::uint32_t cp,
       net::Message msg;
       msg.src = machine_.NodeOfIop(iop);
       msg.dst = machine_.NodeOfCp(cp);
+      msg.tenant = params_.tenant;
       msg.data_bytes = 0;
       msg.payload = net::MemgetRequest{first.cp_offset, total_bytes,       first.file_offset,
                                        static_cast<std::uint16_t>(iop), id, extents};
@@ -551,6 +558,7 @@ sim::Task<> DdioFileSystem::DoMemput(std::uint32_t iop, std::uint32_t cp, net::M
     net::Message msg;
     msg.src = machine_.NodeOfIop(iop);
     msg.dst = machine_.NodeOfCp(cp);
+    msg.tenant = params_.tenant;
     msg.data_bytes = total_bytes;
     msg.payload = payload;
     co_await machine_.network().Send(std::move(msg));
@@ -572,6 +580,7 @@ sim::Task<> DdioFileSystem::SendCollectiveRequest(std::uint32_t iop, CollectiveO
   net::Message msg;
   msg.src = machine_.NodeOfCp(op->requesting_cp);
   msg.dst = machine_.NodeOfIop(iop);
+  msg.tenant = params_.tenant;
   msg.data_bytes = kCollectiveRequestBytes;
   msg.payload = net::CollectiveRequest{op, op->requesting_cp};
   co_await machine_.network().Send(std::move(msg));

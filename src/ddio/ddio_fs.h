@@ -50,6 +50,10 @@ struct DdioParams {
   // one message per piece — "the real solution" to the 8-byte-record
   // overhead. Off = the paper's evaluated system.
   bool gather_scatter = false;
+  // Tenant namespace this instance serves: its loops read the machine's
+  // tenant-`tenant` inbox plane, stamp every message with it, and tag disk
+  // requests for per-tenant QoS. 0 = the single-tenant machine.
+  std::uint8_t tenant = 0;
 };
 
 class DdioFileSystem : public core::FileSystem {

@@ -1,0 +1,60 @@
+// DiskScheduler: pluggable pick-next policy for a DiskUnit's request queue.
+//
+// The built-in queue policies (FCFS / C-SCAN elevator, DiskQueuePolicy) are
+// tenant-blind; a DiskScheduler additionally sees each queued request's
+// tenant id and enqueue time, which is what per-tenant QoS policies
+// (weighted fair share, earliest-deadline-first) need. Implementations live
+// in src/tenant/qos_sched.h and are registry-keyed ("fifo", "fair",
+// "deadline") like disk and file-system models.
+//
+// Determinism contract: PickNext must be a pure function of its arguments
+// and of internal state updated only through OnServiced — simulated time,
+// LBNs, tenant ids. No wall clock, no global RNG — so the same spec + seed
+// replays byte-identically at any --jobs.
+
+#ifndef DDIO_SRC_DISK_DISK_SCHED_H_
+#define DDIO_SRC_DISK_DISK_SCHED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ddio::disk {
+
+// Scheduler-visible view of one queued request (the DiskUnit keeps the
+// completion plumbing private).
+struct DiskRequestView {
+  std::uint64_t lbn = 0;
+  std::uint32_t nsectors = 0;
+  bool is_write = false;
+  std::uint8_t tenant = 0;
+  sim::SimTime enqueue_ns = 0;  // When the request joined this disk's queue.
+};
+
+class DiskScheduler {
+ public:
+  virtual ~DiskScheduler() = default;
+
+  // Registry key of this policy ("fifo", "fair", "deadline").
+  virtual const char* name() const = 0;
+
+  // Index into `queue` (non-empty, in submission order) of the request to
+  // service next. `now` is simulated time; `head_lbn` the head position
+  // after the previous service.
+  virtual std::size_t PickNext(const std::vector<DiskRequestView>& queue, sim::SimTime now,
+                               std::uint64_t head_lbn) = 0;
+
+  // Called after the picked request's media phase completes, with the
+  // mechanism busy time it consumed — the accounting hook fair-share
+  // policies charge against.
+  virtual void OnServiced(const DiskRequestView& request, sim::SimTime busy_ns) {
+    (void)request;
+    (void)busy_ns;
+  }
+};
+
+}  // namespace ddio::disk
+
+#endif  // DDIO_SRC_DISK_DISK_SCHED_H_

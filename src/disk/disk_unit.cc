@@ -33,7 +33,19 @@ void DiskUnit::Submit(Request request) {
 DiskUnit::Request DiskUnit::TakeNext() {
   assert(!pending_.empty());
   std::size_t pick = 0;
-  if (policy_ == DiskQueuePolicy::kElevator && pending_.size() > 1) {
+  if (scheduler_ != nullptr && pending_.size() > 1) {
+    // Tenant-aware pluggable policy: expose the queue as scheduler views and
+    // let the policy pick. Views are rebuilt per decision — queues are a
+    // handful of requests deep, and the scheduler must see current order.
+    std::vector<DiskRequestView> views;
+    views.reserve(pending_.size());
+    for (const Request& request : pending_) {
+      views.push_back(DiskRequestView{request.lbn, request.nsectors, request.is_write,
+                                      request.tenant, request.enqueue_ns});
+    }
+    pick = scheduler_->PickNext(views, engine_.now(), head_lbn_);
+    assert(pick < pending_.size());
+  } else if (policy_ == DiskQueuePolicy::kElevator && pending_.size() > 1) {
     // C-SCAN: nearest queued LBN at or beyond the head; wrap to the lowest.
     bool have_forward = false;
     std::uint64_t best_forward = 0;
@@ -71,30 +83,39 @@ void DiskUnit::InjectFailure() {
   queue_changed_.NotifyAll();  // Wake the service thread to drain with errors.
 }
 
-sim::Task<> DiskUnit::Read(std::uint64_t lbn, std::uint32_t nsectors, bool* ok) {
+sim::Task<> DiskUnit::Read(std::uint64_t lbn, std::uint32_t nsectors, bool* ok,
+                           std::uint8_t tenant) {
   assert(started_);
   if (failed_) {
     ++stats_.failed_requests;
+    ++TenantStats(tenant).failed_requests;
     if (ok != nullptr) {
       *ok = false;
     }
     co_return;
   }
+  const std::uint64_t bytes = static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
   ++stats_.read_requests;
-  stats_.bytes_read += static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
+  stats_.bytes_read += bytes;
+  DiskUnitStats& tstats = TenantStats(tenant);
+  ++tstats.read_requests;
+  tstats.bytes_read += bytes;
   bool request_failed = false;
   sim::OneShotEvent done(engine_);
-  Submit(Request{lbn, nsectors, /*is_write=*/false, &done, &request_failed});
+  Submit(Request{lbn, nsectors, /*is_write=*/false, &done, &request_failed, tenant,
+                 engine_.now()});
   co_await done.Wait();
   if (ok != nullptr) {
     *ok = !request_failed;
   }
 }
 
-sim::Task<> DiskUnit::Write(std::uint64_t lbn, std::uint32_t nsectors, bool* ok) {
+sim::Task<> DiskUnit::Write(std::uint64_t lbn, std::uint32_t nsectors, bool* ok,
+                            std::uint8_t tenant) {
   assert(started_);
   if (failed_) {
     ++stats_.failed_requests;
+    ++TenantStats(tenant).failed_requests;
     if (ok != nullptr) {
       *ok = false;
     }
@@ -103,12 +124,16 @@ sim::Task<> DiskUnit::Write(std::uint64_t lbn, std::uint32_t nsectors, bool* ok)
   ++stats_.write_requests;
   const std::uint64_t bytes = static_cast<std::uint64_t>(nsectors) * bytes_per_sector();
   stats_.bytes_written += bytes;
+  DiskUnitStats& tstats = TenantStats(tenant);
+  ++tstats.write_requests;
+  tstats.bytes_written += bytes;
   // Stage the data into the disk buffer over the bus, then queue the media
   // phase. The bus leg overlaps any media work still in progress.
   co_await bus_.Transfer(bytes);
   bool request_failed = false;
   sim::OneShotEvent done(engine_);
-  Submit(Request{lbn, nsectors, /*is_write=*/true, &done, &request_failed});
+  Submit(Request{lbn, nsectors, /*is_write=*/true, &done, &request_failed, tenant,
+                 engine_.now()});
   co_await done.Wait();
   if (ok != nullptr) {
     *ok = !request_failed;
@@ -127,6 +152,7 @@ sim::Task<> DiskUnit::ServiceLoop() {
     if (failed_) {
       // Injected permanent failure: error everything instead of servicing.
       ++stats_.failed_requests;
+      ++TenantStats(request.tenant).failed_requests;
       if (request.failed != nullptr) {
         *request.failed = true;
       }
@@ -140,6 +166,7 @@ sim::Task<> DiskUnit::ServiceLoop() {
     }
     if (failed_) {
       ++stats_.failed_requests;
+      ++TenantStats(request.tenant).failed_requests;
       if (request.failed != nullptr) {
         *request.failed = true;
       }
@@ -149,7 +176,14 @@ sim::Task<> DiskUnit::ServiceLoop() {
     const sim::SimTime start = engine_.now();
     DiskAccessResult result =
         mechanism_->Access(start, request.lbn, request.nsectors, request.is_write);
-    stats_.mechanism_busy_ns += result.completion - start;
+    const sim::SimTime busy_ns = result.completion - start;
+    stats_.mechanism_busy_ns += busy_ns;
+    TenantStats(request.tenant).mechanism_busy_ns += busy_ns;
+    if (scheduler_ != nullptr) {
+      scheduler_->OnServiced(DiskRequestView{request.lbn, request.nsectors, request.is_write,
+                                             request.tenant, request.enqueue_ns},
+                             busy_ns);
+    }
     head_lbn_ = request.lbn + request.nsectors;
     if (result.completion > start) {
       co_await engine_.Delay(result.completion - start);

@@ -26,9 +26,12 @@
 
 #include "src/disk/bus.h"
 #include "src/disk/disk_model.h"
+#include "src/disk/disk_sched.h"
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+
+#include <vector>
 
 namespace ddio::disk {
 
@@ -39,6 +42,15 @@ struct DiskUnitStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t failed_requests = 0;  // Errored by an injected permanent failure.
   sim::SimTime mechanism_busy_ns = 0;
+
+  void Add(const DiskUnitStats& other) {
+    read_requests += other.read_requests;
+    write_requests += other.write_requests;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    failed_requests += other.failed_requests;
+    mechanism_busy_ns += other.mechanism_busy_ns;
+  }
 };
 
 // How the service thread picks the next request from its queue.
@@ -73,11 +85,24 @@ class DiskUnit {
   // Reads `nsectors` starting at `lbn`; resumes when the data is in IOP
   // memory (media + bus). Multiple concurrent Reads queue FIFO. If `ok` is
   // non-null it receives false when the disk has permanently failed (fault
-  // injection); callers that never see faults may pass nullptr.
-  sim::Task<> Read(std::uint64_t lbn, std::uint32_t nsectors, bool* ok = nullptr);
+  // injection); callers that never see faults may pass nullptr. `tenant`
+  // tags the request for the per-tenant scheduler and accounting; 0 (the
+  // default) is the single-tenant machine.
+  sim::Task<> Read(std::uint64_t lbn, std::uint32_t nsectors, bool* ok = nullptr,
+                   std::uint8_t tenant = 0);
 
   // Writes `nsectors` at `lbn`; resumes when the data is on the media.
-  sim::Task<> Write(std::uint64_t lbn, std::uint32_t nsectors, bool* ok = nullptr);
+  sim::Task<> Write(std::uint64_t lbn, std::uint32_t nsectors, bool* ok = nullptr,
+                    std::uint8_t tenant = 0);
+
+  // Installs a per-tenant scheduler that overrides the queue policy's
+  // TakeNext. Null (the default) keeps the historical FCFS/elevator path
+  // byte-identical. Install before traffic arrives; the scheduler must obey
+  // the determinism contract in disk_sched.h.
+  void set_scheduler(std::unique_ptr<DiskScheduler> scheduler) {
+    scheduler_ = std::move(scheduler);
+  }
+  const DiskScheduler* scheduler() const { return scheduler_.get(); }
 
   // Fault injection (src/fault): a transient stall delays servicing of
   // queued requests until now + `duration_ns`; a permanent failure errors
@@ -90,6 +115,12 @@ class DiskUnit {
   int id() const { return id_; }
   const DiskModel& mechanism() const { return *mechanism_; }
   const DiskUnitStats& stats() const { return stats_; }
+  // Per-tenant slice of `stats()` (utilization accounting for the tenant
+  // scheduler). Tenants that never touched this disk report zeros.
+  const DiskUnitStats& tenant_stats(std::uint8_t tenant) const {
+    static const DiskUnitStats kEmpty;
+    return tenant < tenant_stats_.size() ? tenant_stats_[tenant] : kEmpty;
+  }
   ScsiBus& bus() { return bus_; }
   std::uint32_t bytes_per_sector() const { return mechanism_->bytes_per_sector(); }
   std::uint64_t total_sectors() const { return mechanism_->total_sectors(); }
@@ -104,6 +135,8 @@ class DiskUnit {
     bool is_write = false;
     sim::OneShotEvent* media_done = nullptr;  // Signaled when the media phase finishes.
     bool* failed = nullptr;                   // Set when the disk errored the request.
+    std::uint8_t tenant = 0;                  // Owning tenant (QoS + accounting).
+    sim::SimTime enqueue_ns = 0;              // Queue arrival (deadline scheduling).
   };
 
   sim::Task<> ServiceLoop();
@@ -124,7 +157,16 @@ class DiskUnit {
   bool failed_ = false;           // Injected permanent failure.
   bool stopping_ = false;
   DiskUnitStats stats_;
+  std::vector<DiskUnitStats> tenant_stats_;  // Grown on first touch per tenant.
+  std::unique_ptr<DiskScheduler> scheduler_;  // Null = policy_ TakeNext.
   bool started_ = false;
+
+  DiskUnitStats& TenantStats(std::uint8_t tenant) {
+    if (tenant >= tenant_stats_.size()) {
+      tenant_stats_.resize(static_cast<std::size_t>(tenant) + 1);
+    }
+    return tenant_stats_[tenant];
+  }
 };
 
 }  // namespace ddio::disk

@@ -128,6 +128,11 @@ using Payload = std::variant<TcRequest, TcReply, CollectiveRequest, Memput, Memg
 struct Message {
   std::uint16_t src = 0;
   std::uint16_t dst = 0;
+  // Tenant namespace this message belongs to. On a single-tenant machine
+  // (the paper's configuration) this is always 0; under the multi-tenant
+  // scheduler each concurrent file-system instance stamps its own id so the
+  // network can route into the destination node's per-tenant inbox plane.
+  std::uint8_t tenant = 0;
   std::uint32_t data_bytes = 0;  // Payload data carried (drives transfer time).
   Payload payload;
 };

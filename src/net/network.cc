@@ -9,17 +9,24 @@
 
 namespace ddio::net {
 
-Network::Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams params)
+Network::Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams params,
+                 std::uint32_t num_tenants)
     : engine_(engine), topology_(TorusTopology::ForNodeCount(node_count)), params_(params) {
+  assert(num_tenants >= 1);
   send_nic_.reserve(node_count);
   recv_nic_.reserve(node_count);
-  inboxes_.reserve(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
     send_nic_.push_back(
         std::make_unique<sim::Resource>(engine, "nic_out_" + std::to_string(i)));
     recv_nic_.push_back(
         std::make_unique<sim::Resource>(engine, "nic_in_" + std::to_string(i)));
-    inboxes_.push_back(std::make_unique<sim::Channel<Message>>(engine));
+  }
+  inboxes_.resize(num_tenants);
+  for (std::uint32_t t = 0; t < num_tenants; ++t) {
+    inboxes_[t].reserve(node_count);
+    for (std::uint32_t i = 0; i < node_count; ++i) {
+      inboxes_[t].push_back(std::make_unique<sim::Channel<Message>>(engine));
+    }
   }
   if (params_.model_link_contention) {
     links_.reserve(topology_.LinkCount());
@@ -48,6 +55,7 @@ sim::SimTime Network::TotalLinkBusyTime() const {
 
 sim::Task<> Network::Send(Message msg) {
   assert(msg.src < node_count() && msg.dst < node_count());
+  assert(msg.tenant < num_tenants());
   const std::uint64_t wire_bytes = msg.data_bytes + params_.header_bytes;
   const sim::SimTime hop_latency =
       params_.per_hop_latency_ns * topology_.Hops(msg.src, msg.dst);
@@ -117,8 +125,9 @@ sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_
     co_return;
   }
   const std::uint16_t dst = msg.dst;
+  const std::uint8_t tenant = msg.tenant;
   co_await recv_nic_[dst]->Transfer(wire_bytes, params_.link_bandwidth_bytes_per_sec);
-  inboxes_[dst]->Send(std::move(msg));
+  inboxes_[tenant][dst]->Send(std::move(msg));
 }
 
 }  // namespace ddio::net

@@ -46,7 +46,12 @@ struct NetworkStats {
 
 class Network {
  public:
-  Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams params = {});
+  // `num_tenants` sizes the per-tenant inbox planes: every node gets one
+  // inbox channel per tenant, all sharing the same NICs and links (tenants
+  // share the hardware; only the protocol namespaces are separate). 1 — the
+  // default — reproduces the historical single-plane network exactly.
+  Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams params = {},
+          std::uint32_t num_tenants = 1);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -58,13 +63,18 @@ class Network {
   // Fire-and-forget send.
   void Post(Message msg);
 
-  // Incoming messages for node `node`, in arrival order.
-  sim::Channel<Message>& Inbox(std::uint32_t node) { return *inboxes_[node]; }
+  // Incoming messages for node `node` on tenant plane `tenant`, in arrival
+  // order. The no-tenant overload is the historical single-tenant API and
+  // reads plane 0.
+  sim::Channel<Message>& Inbox(std::uint32_t node, std::uint32_t tenant = 0) {
+    return *inboxes_[tenant][node];
+  }
 
   const TorusTopology& topology() const { return topology_; }
   const NetworkParams& params() const { return params_; }
   const NetworkStats& stats() const { return stats_; }
-  std::uint32_t node_count() const { return static_cast<std::uint32_t>(inboxes_.size()); }
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(inboxes_[0].size()); }
+  std::uint32_t num_tenants() const { return static_cast<std::uint32_t>(inboxes_.size()); }
 
   // NIC utilization probes (tests / reports).
   double SendUtilization(std::uint32_t node) const { return send_nic_[node]->Utilization(); }
@@ -102,7 +112,8 @@ class Network {
   std::vector<std::unique_ptr<sim::Resource>> send_nic_;
   std::vector<std::unique_ptr<sim::Resource>> recv_nic_;
   std::vector<std::unique_ptr<sim::Resource>> links_;  // Contention mode only.
-  std::vector<std::unique_ptr<sim::Channel<Message>>> inboxes_;
+  // Indexed [tenant][node]; size 1 x node_count on a single-tenant machine.
+  std::vector<std::vector<std::unique_ptr<sim::Channel<Message>>>> inboxes_;
   NetworkStats stats_;
   // Fault state. Both empty on a healthy machine (the common case), so the
   // delivery fast path stays branch-cheap and draws no random numbers.

@@ -10,8 +10,13 @@ std::uint32_t SectorsFor(std::uint32_t bytes) { return (bytes + 511) / 512; }
 
 }  // namespace
 
-BlockCache::BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t capacity_blocks)
-    : machine_(machine), iop_(iop), capacity_(capacity_blocks), changed_(machine.engine()) {
+BlockCache::BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t capacity_blocks,
+                       std::uint8_t tenant)
+    : machine_(machine),
+      iop_(iop),
+      capacity_(capacity_blocks),
+      tenant_(tenant),
+      changed_(machine.engine()) {
   assert(capacity_ >= 2);
 }
 
@@ -28,7 +33,7 @@ sim::Task<> BlockCache::DiskRead(const fs::StripedFile& file, std::uint64_t file
   disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlockReplica(file_block, replica));
   bool disk_ok = true;
   co_await disk.Read(file.LbnOfBlockReplica(file_block, replica),
-                     SectorsFor(file.BlockLength(file_block)), &disk_ok);
+                     SectorsFor(file.BlockLength(file_block)), &disk_ok, tenant_);
   if (!disk_ok) {
     ++stats_.io_errors;
     if (ok != nullptr) {
@@ -54,11 +59,11 @@ sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t fi
   if (partial) {
     // Read-modify-write: fetch the block, merge, write back.
     ++stats_.rmw_flushes;
-    co_await disk.Read(lbn, sectors, &flush_ok);
+    co_await disk.Read(lbn, sectors, &flush_ok, tenant_);
     co_await machine_.ChargeIop(iop_, machine_.config().costs.block_copy_cycles);
   }
   bool write_ok = true;
-  co_await disk.Write(lbn, sectors, &write_ok);
+  co_await disk.Write(lbn, sectors, &write_ok, tenant_);
   if (!flush_ok || !write_ok) {
     // The copy on this disk is lost; the failure surfaces in the collective's
     // OpStatus (degraded when a mirror copy survives, failed otherwise). The

@@ -42,7 +42,10 @@ struct CacheStats {
 class BlockCache {
  public:
   // `capacity_blocks` buffers; the IOP serves the disks of `iop` in `machine`.
-  BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t capacity_blocks);
+  // `tenant` tags this cache's disk traffic for per-tenant QoS/accounting
+  // (0 = the single-tenant machine).
+  BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t capacity_blocks,
+             std::uint8_t tenant = 0);
 
   // Ensures `file_block` is valid in the cache (LRU-touched), reading it from
   // disk on a miss; returns when the data is available to reply from.
@@ -102,6 +105,7 @@ class BlockCache {
   core::Machine& machine_;
   std::uint32_t iop_;
   std::uint32_t capacity_;
+  std::uint8_t tenant_;
   std::unordered_map<std::uint64_t, Entry> blocks_;
   std::list<std::uint64_t> lru_;  // Front = most recent.
   sim::Condition changed_;        // Any state change that could unblock waiters.

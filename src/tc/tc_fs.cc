@@ -16,7 +16,7 @@ TcFileSystem::TcFileSystem(core::Machine& machine, TcParams params)
 void TcFileSystem::Start() {
   assert(!started_);
   started_ = true;
-  machine_.ClaimInboxes("tc");
+  machine_.ClaimInboxes("tc", params_.tenant);
   machine_.StartDisks();
   const std::uint32_t cps = machine_.num_cps();
   caches_.reserve(machine_.num_iops());
@@ -27,7 +27,7 @@ void TcFileSystem::Start() {
     const std::uint32_t capacity =
         std::max<std::uint32_t>(2, params_.buffers_per_cp_per_disk * cps *
                                        std::max<std::uint32_t>(1, local_disks));
-    caches_.push_back(std::make_unique<BlockCache>(machine_, iop, capacity));
+    caches_.push_back(std::make_unique<BlockCache>(machine_, iop, capacity, params_.tenant));
     machine_.engine().Spawn(IopServer(iop));
   }
   for (std::uint32_t cp = 0; cp < cps; ++cp) {
@@ -43,12 +43,12 @@ void TcFileSystem::Shutdown() {
   // The release closes (and reopens) every inbox, kicking the parked
   // dispatchers; the disks stay running — they belong to the machine, not
   // to any one file system, and the next one reuses them.
-  machine_.ReleaseInboxes("tc");
+  machine_.ReleaseInboxes("tc", params_.tenant);
   caches_.clear();
 }
 
 sim::Task<> TcFileSystem::IopServer(std::uint32_t iop) {
-  auto& inbox = machine_.network().Inbox(machine_.NodeOfIop(iop));
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfIop(iop), params_.tenant);
   const core::CostModel& costs = machine_.config().costs;
   for (;;) {
     auto message = co_await inbox.Receive();
@@ -114,6 +114,7 @@ sim::Task<> TcFileSystem::HandleRequest(std::uint32_t iop, net::TcRequest reques
   net::Message reply;
   reply.src = machine_.NodeOfIop(iop);
   reply.dst = machine_.NodeOfCp(request.cp);
+  reply.tenant = params_.tenant;
   reply.data_bytes = (request.is_write || failed) ? 0 : request.length;
   reply.payload = net::TcReply{request.request_id, request.length, request.file_offset, failed};
   co_await machine_.network().Send(std::move(reply));
@@ -130,7 +131,7 @@ sim::Task<> TcFileSystem::HandleRequest(std::uint32_t iop, net::TcRequest reques
 }
 
 sim::Task<> TcFileSystem::CpDispatcher(std::uint32_t cp) {
-  auto& inbox = machine_.network().Inbox(machine_.NodeOfCp(cp));
+  auto& inbox = machine_.network().Inbox(machine_.NodeOfCp(cp), params_.tenant);
   const core::CostModel& costs = machine_.config().costs;
   for (;;) {
     auto message = co_await inbox.Receive();
@@ -209,6 +210,7 @@ sim::Task<> TcFileSystem::CpDiskPump(std::uint32_t cp, std::uint32_t disk,
     net::Message msg;
     msg.src = machine_.NodeOfCp(cp);
     msg.dst = iop_node;
+    msg.tenant = params_.tenant;
     msg.data_bytes = is_write ? block_request.length : 0;
     msg.payload = net::TcRequest{is_write,
                                  block_request.file_offset,
@@ -255,6 +257,7 @@ sim::Task<> TcFileSystem::FaultySendOne(
     net::Message msg;
     msg.src = machine_.NodeOfCp(cp);
     msg.dst = iop_node;
+    msg.tenant = params_.tenant;
     msg.data_bytes = is_write ? block_request.length : 0;
     msg.payload = net::TcRequest{is_write,
                                  block_request.file_offset,

@@ -48,6 +48,10 @@ struct TcParams {
   // runs within one file block into a single strided request, instead of one
   // request per run. Off = the paper's evaluated baseline.
   bool strided_requests = false;
+  // Tenant namespace this instance serves: its loops read the machine's
+  // tenant-`tenant` inbox plane, stamp every message with it, and tag disk
+  // requests for per-tenant QoS. 0 = the single-tenant machine.
+  std::uint8_t tenant = 0;
 };
 
 class TcFileSystem : public core::FileSystem {

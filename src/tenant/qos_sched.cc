@@ -1,0 +1,169 @@
+#include "src/tenant/qos_sched.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace ddio::tenant {
+namespace {
+
+// Virtual-time scale for the fair scheduler: busy_ns * kVtimeScale / weight
+// keeps weight ratios exact in integer arithmetic for weights up to
+// kMaxWeight (floating point would also be deterministic here, but integers
+// make the no-drift argument trivial).
+constexpr std::uint64_t kVtimeScale = kMaxWeight;
+
+// Deadline assumed for tenants that set none under sched=deadline. Generous
+// next to single-request service times (~10-20 ms on the hp97560), so only
+// tenants that opt into tight deadlines preempt the rest.
+constexpr sim::SimTime kDefaultDeadlineNs = 100ull * 1000 * 1000;  // 100 ms.
+
+class FifoScheduler final : public disk::DiskScheduler {
+ public:
+  const char* name() const override { return "fifo"; }
+  std::size_t PickNext(const std::vector<disk::DiskRequestView>& queue, sim::SimTime now,
+                       std::uint64_t head_lbn) override {
+    (void)now;
+    (void)head_lbn;
+    (void)queue;
+    return 0;  // DiskUnit's pending queue is in arrival order.
+  }
+};
+
+class FairScheduler final : public disk::DiskScheduler {
+ public:
+  explicit FairScheduler(std::vector<std::uint32_t> weights) : weights_(std::move(weights)) {}
+
+  const char* name() const override { return "fair"; }
+
+  std::size_t PickNext(const std::vector<disk::DiskRequestView>& queue, sim::SimTime now,
+                       std::uint64_t head_lbn) override {
+    (void)now;
+    (void)head_lbn;
+    // The queued tenant with the least virtual time wins; ties go to the
+    // lower tenant id. Among that tenant's requests, arrival order (lowest
+    // index) — fairness is cross-tenant, not a seek optimizer.
+    std::uint64_t best_vtime = std::numeric_limits<std::uint64_t>::max();
+    std::uint8_t best_tenant = 0;
+    queued_min_vtime_ = std::numeric_limits<std::uint64_t>::max();
+    for (const disk::DiskRequestView& view : queue) {
+      const std::uint64_t v = VtimeOf(view.tenant);
+      queued_min_vtime_ = std::min(queued_min_vtime_, v);
+      if (v < best_vtime || (v == best_vtime && view.tenant < best_tenant)) {
+        best_vtime = v;
+        best_tenant = view.tenant;
+      }
+    }
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].tenant == best_tenant) {
+        return i;
+      }
+    }
+    return 0;  // Unreachable: best_tenant came from the queue.
+  }
+
+  void OnServiced(const disk::DiskRequestView& request, sim::SimTime busy_ns) override {
+    // Start-time clamp: a tenant returning from idle resumes at the minimum
+    // vtime its competitors held when this request was picked, so idleness
+    // does not bank an unbounded service credit.
+    const std::uint64_t floor =
+        queued_min_vtime_ == std::numeric_limits<std::uint64_t>::max() ? 0 : queued_min_vtime_;
+    std::uint64_t& v = MutableVtimeOf(request.tenant);
+    v = std::max(v, floor) + static_cast<std::uint64_t>(busy_ns) * kVtimeScale /
+                                 WeightOf(request.tenant);
+  }
+
+ private:
+  std::uint64_t VtimeOf(std::uint8_t tenant) const {
+    return tenant < vtime_.size() ? vtime_[tenant] : 0;
+  }
+  std::uint64_t& MutableVtimeOf(std::uint8_t tenant) {
+    if (tenant >= vtime_.size()) {
+      vtime_.resize(static_cast<std::size_t>(tenant) + 1, 0);
+    }
+    return vtime_[tenant];
+  }
+  std::uint64_t WeightOf(std::uint8_t tenant) const {
+    if (tenant < weights_.size() && weights_[tenant] >= 1) {
+      return weights_[tenant];
+    }
+    return 1;
+  }
+
+  std::vector<std::uint32_t> weights_;
+  std::vector<std::uint64_t> vtime_;
+  // Min vtime over the tenants queued at the last PickNext; consumed by the
+  // paired OnServiced (DiskUnit always services the picked request next).
+  std::uint64_t queued_min_vtime_ = std::numeric_limits<std::uint64_t>::max();
+};
+
+class DeadlineScheduler final : public disk::DiskScheduler {
+ public:
+  explicit DeadlineScheduler(std::vector<sim::SimTime> deadlines)
+      : deadlines_(std::move(deadlines)) {}
+
+  const char* name() const override { return "deadline"; }
+
+  std::size_t PickNext(const std::vector<disk::DiskRequestView>& queue, sim::SimTime now,
+                       std::uint64_t head_lbn) override {
+    (void)now;
+    (void)head_lbn;
+    // EDF over absolute deadlines; ties by arrival time, then queue index.
+    std::size_t best = 0;
+    sim::SimTime best_deadline = DeadlineOf(queue[0]);
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      const sim::SimTime d = DeadlineOf(queue[i]);
+      if (d < best_deadline ||
+          (d == best_deadline && queue[i].enqueue_ns < queue[best].enqueue_ns)) {
+        best = i;
+        best_deadline = d;
+      }
+    }
+    return best;
+  }
+
+ private:
+  sim::SimTime DeadlineOf(const disk::DiskRequestView& view) const {
+    const sim::SimTime relative =
+        view.tenant < deadlines_.size() && deadlines_[view.tenant] != 0
+            ? deadlines_[view.tenant]
+            : kDefaultDeadlineNs;
+    return view.enqueue_ns + relative;
+  }
+
+  std::vector<sim::SimTime> deadlines_;
+};
+
+}  // namespace
+
+std::vector<std::string> KnownSchedulerNames() { return {"fifo", "fair", "deadline"}; }
+
+std::unique_ptr<disk::DiskScheduler> CreateDiskScheduler(const std::string& name,
+                                                         const TenantSpec& spec,
+                                                         std::string* error) {
+  if (name == "fifo") {
+    return std::make_unique<FifoScheduler>();
+  }
+  if (name == "fair") {
+    std::vector<std::uint32_t> weights;
+    weights.reserve(spec.tenants.size());
+    for (const TenantEntry& entry : spec.tenants) {
+      weights.push_back(entry.weight);
+    }
+    return std::make_unique<FairScheduler>(std::move(weights));
+  }
+  if (name == "deadline") {
+    std::vector<sim::SimTime> deadlines;
+    deadlines.reserve(spec.tenants.size());
+    for (const TenantEntry& entry : spec.tenants) {
+      deadlines.push_back(entry.deadline_ns);
+    }
+    return std::make_unique<DeadlineScheduler>(std::move(deadlines));
+  }
+  if (error != nullptr) {
+    *error = "unknown disk scheduler \"" + name + "\"";
+  }
+  return nullptr;
+}
+
+}  // namespace ddio::tenant

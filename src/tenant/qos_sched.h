@@ -1,0 +1,41 @@
+// Per-tenant disk QoS policies plugged into disk::DiskUnit via the
+// DiskScheduler hook (src/disk/disk_sched.h). All three are pure functions
+// of simulated time, queue contents, and tenant identity — no wall clock, no
+// RNG — so any run is byte-identical at any --jobs.
+//
+//   fifo      arrival order (index 0 of the pending queue): the null QoS
+//             policy, and the baseline the benchmark compares against.
+//   fair      weighted fair share by virtual time: each tenant accrues
+//             busy_ns/weight of virtual time as its requests are serviced;
+//             the queued tenant with the least virtual time goes next. An
+//             idle tenant's clock is clamped forward on its return so it
+//             cannot bank service (standard start-time fair queueing).
+//   deadline  earliest deadline first over enqueue_ns + the tenant's
+//             deadline= (spec'd per tenant; a default covers the rest).
+
+#ifndef DDIO_SRC_TENANT_QOS_SCHED_H_
+#define DDIO_SRC_TENANT_QOS_SCHED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/disk/disk_sched.h"
+#include "src/tenant/tenant_spec.h"
+
+namespace ddio::tenant {
+
+// Scheduler names CreateDiskScheduler accepts, in display order.
+std::vector<std::string> KnownSchedulerNames();
+
+// Builds a fresh scheduler instance for one DiskUnit (schedulers are
+// stateful per disk and must not be shared). Returns null with *error on an
+// unknown name — TenantSpec::TryParse pre-validates, so reaching that from a
+// parsed spec is a programming error.
+std::unique_ptr<disk::DiskScheduler> CreateDiskScheduler(const std::string& name,
+                                                         const TenantSpec& spec,
+                                                         std::string* error);
+
+}  // namespace ddio::tenant
+
+#endif  // DDIO_SRC_TENANT_QOS_SCHED_H_

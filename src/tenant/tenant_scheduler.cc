@@ -1,0 +1,136 @@
+#include "src/tenant/tenant_scheduler.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/parallel.h"
+#include "src/tenant/qos_sched.h"
+
+namespace ddio::tenant {
+
+TenantScheduler::TenantScheduler(const core::ExperimentConfig& base, const TenantSpec& spec,
+                                 std::uint64_t seed)
+    : base_(base), spec_(spec) {
+  assert(!spec_.tenants.empty());
+  base_.machine.num_tenants = static_cast<std::uint32_t>(spec_.tenants.size());
+  engine_ = std::make_unique<sim::Engine>(seed);
+  machine_ = std::make_unique<core::Machine>(*engine_, base_.machine);
+  machine_->set_allow_concurrent_sessions(true);
+
+  // Every shared disk gets its own scheduler instance (stateful: fair-share
+  // virtual clocks are per queue, not global).
+  for (std::uint32_t d = 0; d < machine_->num_disks(); ++d) {
+    std::string error;
+    auto scheduler = CreateDiskScheduler(spec_.scheduler, spec_, &error);
+    if (scheduler == nullptr) {
+      std::fprintf(stderr, "ddio::tenant: %s\n", error.c_str());
+      std::abort();  // Validate specs with TenantSpec::TryParse first.
+    }
+    machine_->Disk(d).set_scheduler(std::move(scheduler));
+  }
+
+  // Attached sessions, one per tenant plane. Sessions are created in tenant
+  // order BEFORE any driver runs, so session setup costs no engine events
+  // and the admission order is exactly tenant-id order.
+  sessions_.reserve(spec_.tenants.size());
+  for (std::size_t t = 0; t < spec_.tenants.size(); ++t) {
+    const TenantEntry& entry = spec_.tenants[t];
+    core::ExperimentConfig config = base_;
+    config.pattern = entry.pattern;
+    if (!entry.method.empty()) {
+      config.method_key = entry.method;
+    }
+    if (entry.record_bytes != 0) {
+      config.record_bytes = entry.record_bytes;
+    }
+    if (entry.file_bytes != 0) {
+      config.file_bytes = entry.file_bytes;
+    }
+    sessions_.push_back(std::make_unique<core::WorkloadSession>(
+        *engine_, *machine_, config, static_cast<std::uint8_t>(t)));
+  }
+
+  const std::uint32_t width =
+      spec_.admit == 0 ? static_cast<std::uint32_t>(spec_.tenants.size()) : spec_.admit;
+  admission_ = std::make_unique<sim::Semaphore>(*engine_, static_cast<std::int64_t>(width));
+}
+
+TenantScheduler::~TenantScheduler() {
+  // Sessions hold raw references into engine_/machine_: drop them first.
+  sessions_.clear();
+}
+
+sim::Task<> TenantScheduler::Driver(std::uint32_t tenant) {
+  co_await admission_->Acquire();
+  TenantResult& result = result_.tenants[tenant];
+  result.admitted_ns = engine_->now();
+  const TenantEntry& entry = spec_.tenants[tenant];
+  core::WorkloadSession& session = *sessions_[tenant];
+  for (std::uint32_t rep = 0; rep < entry.reps; ++rep) {
+    core::WorkloadPhase phase;
+    phase.pattern = entry.pattern;
+    phase.compute_ns = entry.compute_ns;
+    // Record/file sizes ride on the session's per-tenant config defaults;
+    // the method does too (empty = the session config's method_key).
+    result.phases.push_back(co_await session.RunPhaseAsync(phase));
+  }
+  result.finished_ns = engine_->now();
+  for (std::uint32_t d = 0; d < machine_->num_disks(); ++d) {
+    result.disk_busy_ns +=
+        machine_->Disk(d).tenant_stats(static_cast<std::uint8_t>(tenant)).mechanism_busy_ns;
+  }
+  admission_->Release();
+}
+
+MultiTenantTrialResult TenantScheduler::Run() {
+  assert(!ran_);
+  ran_ = true;
+  result_.tenants.assign(spec_.tenants.size(), TenantResult());
+  for (std::uint32_t t = 0; t < spec_.tenants.size(); ++t) {
+    engine_->Spawn(Driver(t));
+  }
+  engine_->Run();
+  result_.total_events = engine_->events_processed();
+  return std::move(result_);
+}
+
+MultiTenantTrialResult RunMultiTenantTrial(const core::ExperimentConfig& config,
+                                           const TenantSpec& spec, std::uint64_t seed) {
+  TenantScheduler scheduler(config, spec, seed);
+  return scheduler.Run();
+}
+
+MultiTenantResult RunMultiTenantExperiment(const core::ExperimentConfig& config,
+                                           const TenantSpec& spec, unsigned jobs) {
+  MultiTenantResult result;
+  result.trials.resize(config.trials);
+  // Trials share nothing; index-addressed slots + index-ordered aggregation
+  // below keep the result byte-identical for any job count (the same
+  // contract as core::RunWorkloadExperiment).
+  core::ParallelFor(jobs, config.trials, [&](std::size_t t) {
+    result.trials[t] =
+        RunMultiTenantTrial(config, spec, config.base_seed + static_cast<std::uint64_t>(t));
+  });
+  for (const MultiTenantTrialResult& trial : result.trials) {
+    result.total_events += trial.total_events;
+  }
+  result.mean_mbps.assign(spec.tenants.size(), 0.0);
+  if (result.trials.empty()) {
+    return result;
+  }
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const MultiTenantTrialResult& trial : result.trials) {
+      for (const core::OpStats& stats : trial.tenants[t].phases) {
+        sum += stats.ThroughputMBps();
+        ++n;
+      }
+    }
+    result.mean_mbps[t] = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+  return result;
+}
+
+}  // namespace ddio::tenant

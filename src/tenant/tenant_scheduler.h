@@ -1,0 +1,102 @@
+// TenantScheduler: N concurrent workload sessions serving one shared
+// machine — the multi-tenant generalization of the paper's single-job
+// simulator.
+//
+// One Engine + one Machine (sized with num_tenants inbox planes) host every
+// tenant. Each tenant gets an attached WorkloadSession on its own tenant
+// plane: its file system's service loops read only that plane's inboxes, its
+// messages are stamped with its tenant id, and its disk requests carry the
+// id into the shared DiskUnits, where a pluggable per-tenant scheduler
+// (src/tenant/qos_sched: fifo | fair | deadline) arbitrates the queues.
+// CPs, IOPs, buses, and disk mechanisms are shared — tenants genuinely
+// contend, which is what the interference benchmark measures.
+//
+// Admission: a FIFO semaphore of width spec.admit (0 = everyone at once).
+// Tenant drivers are spawned in tenant-id order and every scheduling
+// decision downstream is a function of simulated time and tenant id only, so
+// a trial is byte-identical at any --jobs; parallelism is ACROSS trials,
+// exactly as in core::RunExperiment.
+
+#ifndef DDIO_SRC_TENANT_TENANT_SCHEDULER_H_
+#define DDIO_SRC_TENANT_TENANT_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/core/op_stats.h"
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/sim/engine.h"
+#include "src/sim/sync.h"
+#include "src/tenant/tenant_spec.h"
+
+namespace ddio::tenant {
+
+// One tenant's outcome within one trial.
+struct TenantResult {
+  std::vector<core::OpStats> phases;  // reps entries, in order.
+  sim::SimTime admitted_ns = 0;       // When the driver cleared admission.
+  sim::SimTime finished_ns = 0;       // When its last phase completed.
+  // This tenant's share of the shared disks' busy time, summed over disks.
+  sim::SimTime disk_busy_ns = 0;
+};
+
+struct MultiTenantTrialResult {
+  std::vector<TenantResult> tenants;
+  std::uint64_t total_events = 0;
+};
+
+// Aggregate over config.trials independent trials (seeds base_seed + t).
+struct MultiTenantResult {
+  std::vector<MultiTenantTrialResult> trials;
+  std::vector<double> mean_mbps;  // Per tenant, mean phase throughput over trials.
+  std::uint64_t total_events = 0;
+};
+
+// Owns the shared engine/machine and the per-tenant sessions for ONE trial.
+class TenantScheduler {
+ public:
+  // `base` supplies the machine geometry and per-tenant defaults; its
+  // machine.num_tenants is overridden with spec.tenants.size(). The spec
+  // must have passed TenantSpec::TryParse + Validate — unknown methods or
+  // schedulers abort here, by the same contract as ActivateFileSystem.
+  TenantScheduler(const core::ExperimentConfig& base, const TenantSpec& spec,
+                  std::uint64_t seed);
+  TenantScheduler(const TenantScheduler&) = delete;
+  TenantScheduler& operator=(const TenantScheduler&) = delete;
+  ~TenantScheduler();
+
+  sim::Engine& engine() { return *engine_; }
+  core::Machine& machine() { return *machine_; }
+
+  // Runs every tenant to completion under one Engine::Run and returns the
+  // per-tenant results. Call once.
+  MultiTenantTrialResult Run();
+
+ private:
+  sim::Task<> Driver(std::uint32_t tenant);
+
+  core::ExperimentConfig base_;
+  TenantSpec spec_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<core::Machine> machine_;
+  std::unique_ptr<sim::Semaphore> admission_;
+  std::vector<std::unique_ptr<core::WorkloadSession>> sessions_;
+  MultiTenantTrialResult result_;
+  bool ran_ = false;
+};
+
+// One trial, seeded explicitly (exposed for tests).
+MultiTenantTrialResult RunMultiTenantTrial(const core::ExperimentConfig& config,
+                                           const TenantSpec& spec, std::uint64_t seed);
+
+// config.trials independent trials; `jobs` > 1 runs them concurrently with
+// index-ordered aggregation (byte-identical results for any job count).
+MultiTenantResult RunMultiTenantExperiment(const core::ExperimentConfig& config,
+                                           const TenantSpec& spec, unsigned jobs = 1);
+
+}  // namespace ddio::tenant
+
+#endif  // DDIO_SRC_TENANT_TENANT_SCHEDULER_H_

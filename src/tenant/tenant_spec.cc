@@ -1,0 +1,261 @@
+#include "src/tenant/tenant_spec.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+#include "src/core/fs_registry.h"
+#include "src/pattern/pattern.h"
+#include "src/tenant/qos_sched.h"
+
+namespace ddio::tenant {
+namespace {
+
+constexpr std::uint64_t kMaxFileMb = 1ull << 20;        // 1 TB; matches workload.cc.
+constexpr std::uint64_t kMaxComputeMs = 1'000'000'000;  // ~11.5 simulated days.
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+// Strict decimal parse: the whole value must be digits (strtoull would
+// silently accept "ten" as 0 or "-5" wrapped).
+bool ParseUint(const std::string& value, std::uint64_t* out) {
+  if (value.empty() || value[0] < '0' || value[0] > '9') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// "5ms" / "250us" / "1s" / "800ns" -> nanoseconds. Suffix is REQUIRED: a
+// bare number is ambiguous, and deadlines are exactly the knob a factor-1000
+// mistake ruins silently.
+bool ParseDurationNs(const std::string& value, sim::SimTime* out) {
+  std::size_t digits = 0;
+  while (digits < value.size() && value[digits] >= '0' && value[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0 || digits == value.size()) {
+    return false;
+  }
+  std::uint64_t number = 0;
+  if (!ParseUint(value.substr(0, digits), &number)) {
+    return false;
+  }
+  const std::string unit = value.substr(digits);
+  std::uint64_t scale = 0;
+  if (unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = 1000;
+  } else if (unit == "ms") {
+    scale = 1000 * 1000;
+  } else if (unit == "s") {
+    scale = 1000ull * 1000 * 1000;
+  } else {
+    return false;
+  }
+  if (number > std::numeric_limits<std::uint64_t>::max() / scale) {
+    return false;
+  }
+  *out = static_cast<sim::SimTime>(number * scale);
+  return true;
+}
+
+bool ParseEntry(const std::string& text, std::size_t expected_index, TenantEntry* entry,
+                std::string* error) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    *error = "tenant entry \"" + text + "\" is missing the 't<i>:' prefix";
+    return false;
+  }
+  const std::string label = text.substr(0, colon);
+  std::uint64_t index = 0;
+  if (label.size() < 2 || label[0] != 't' || !ParseUint(label.substr(1), &index)) {
+    *error = "tenant entry \"" + text + "\": label \"" + label + "\" is not t<i>";
+    return false;
+  }
+  if (index != expected_index) {
+    *error = "tenant entry \"" + label + "\" out of order (expected t" +
+             std::to_string(expected_index) + "; entries run t0, t1, ... ascending)";
+    return false;
+  }
+  const std::string body = text.substr(colon + 1);
+  if (body.empty()) {
+    return true;  // All defaults.
+  }
+  for (const std::string& field : Split(body, ',')) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= field.size()) {
+      *error = "tenant " + label + ": option \"" + field + "\" is not key=value";
+      return false;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    std::uint64_t number = 0;
+    const bool numeric =
+        key == "w" || key == "record" || key == "mb" || key == "reps" || key == "compute";
+    if (numeric && !ParseUint(value, &number)) {
+      *error = "tenant " + label + ": " + key + "=" + value + " is not a number";
+      return false;
+    }
+    if (key == "w") {
+      if (number < 1 || number > kMaxWeight) {
+        *error = "tenant " + label + ": weight must be in [1, " + std::to_string(kMaxWeight) +
+                 "]";
+        return false;
+      }
+      entry->weight = static_cast<std::uint32_t>(number);
+    } else if (key == "pat") {
+      pattern::PatternSpec parsed;
+      if (!pattern::PatternSpec::TryParse(value, &parsed)) {
+        *error = "tenant " + label + ": bad pattern name \"" + value + "\"";
+        return false;
+      }
+      entry->pattern = value;
+    } else if (key == "method") {
+      entry->method = value;
+    } else if (key == "record") {
+      if (number == 0 || number > std::numeric_limits<std::uint32_t>::max()) {
+        *error = "tenant " + label + ": record size out of range";
+        return false;
+      }
+      entry->record_bytes = static_cast<std::uint32_t>(number);
+    } else if (key == "mb") {
+      if (number == 0 || number > kMaxFileMb) {
+        *error = "tenant " + label + ": file size must be in [1, " +
+                 std::to_string(kMaxFileMb) + "] MB";
+        return false;
+      }
+      entry->file_bytes = number * 1024 * 1024;
+    } else if (key == "reps") {
+      if (number < 1 || number > kMaxReps) {
+        *error = "tenant " + label + ": reps must be in [1, " + std::to_string(kMaxReps) + "]";
+        return false;
+      }
+      entry->reps = static_cast<std::uint32_t>(number);
+    } else if (key == "compute") {
+      if (number > kMaxComputeMs) {
+        *error = "tenant " + label + ": compute exceeds " + std::to_string(kMaxComputeMs) +
+                 " ms";
+        return false;
+      }
+      entry->compute_ns = sim::FromMs(number);
+    } else if (key == "deadline") {
+      if (!ParseDurationNs(value, &entry->deadline_ns) || entry->deadline_ns == 0) {
+        *error = "tenant " + label + ": deadline=" + value +
+                 " is not a positive duration with an ns/us/ms/s suffix";
+        return false;
+      }
+    } else {
+      *error = "tenant " + label + ": unknown option \"" + key + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TenantSpec::TryParse(const std::string& spec, TenantSpec* out, std::string* error) {
+  *out = TenantSpec();
+  if (spec.empty()) {
+    *error = "tenant spec is empty";
+    return false;
+  }
+  bool saw_entry = false;
+  for (const std::string& part : Split(spec, ';')) {
+    if (part.empty()) {
+      *error = "tenant spec has an empty ';'-separated segment";
+      return false;
+    }
+    if (!saw_entry && part.compare(0, 6, "sched=") == 0) {
+      out->scheduler = part.substr(6);
+      const std::vector<std::string> known = KnownSchedulerNames();
+      if (std::find(known.begin(), known.end(), out->scheduler) == known.end()) {
+        std::string names;
+        for (const std::string& name : known) {
+          if (!names.empty()) {
+            names += ", ";
+          }
+          names += name;
+        }
+        *error = "unknown disk scheduler \"" + out->scheduler + "\" (known: " + names + ")";
+        return false;
+      }
+      continue;
+    }
+    if (!saw_entry && part.compare(0, 6, "admit=") == 0) {
+      std::uint64_t number = 0;
+      if (!ParseUint(part.substr(6), &number) || number > kMaxTenants) {
+        *error = "admit= must be a number in [0, " + std::to_string(kMaxTenants) + "]";
+        return false;
+      }
+      out->admit = static_cast<std::uint32_t>(number);
+      continue;
+    }
+    TenantEntry entry;
+    if (!ParseEntry(part, out->tenants.size(), &entry, error)) {
+      return false;
+    }
+    out->tenants.push_back(std::move(entry));
+    saw_entry = true;
+  }
+  if (out->tenants.empty()) {
+    *error = "tenant spec names no tenants (expected at least \"t0:\")";
+    return false;
+  }
+  if (out->tenants.size() > kMaxTenants) {
+    *error = "tenant spec names " + std::to_string(out->tenants.size()) +
+             " tenants (limit " + std::to_string(kMaxTenants) + ")";
+    return false;
+  }
+  return true;
+}
+
+bool TenantSpec::Validate(std::string* error) const {
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantEntry& entry = tenants[t];
+    if (!entry.method.empty() && !core::FileSystemRegistry::BuiltIns().Has(entry.method)) {
+      *error = "tenant t" + std::to_string(t) + ": unknown method \"" + entry.method +
+               "\" (registered: " + core::FileSystemRegistry::BuiltIns().NamesJoined(", ") +
+               ")";
+      return false;
+    }
+    if (entry.deadline_ns != 0 && scheduler != "deadline") {
+      *error = "tenant t" + std::to_string(t) +
+               " sets deadline= but the disk scheduler is \"" + scheduler +
+               "\" (deadlines need sched=deadline)";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string TenantSpec::Describe() const {
+  std::string text = std::to_string(tenants.size()) + (tenants.size() == 1 ? " tenant" : " tenants");
+  text += ", sched=" + scheduler;
+  text += ", admit=";
+  text += admit == 0 ? "all" : std::to_string(admit);
+  return text;
+}
+
+}  // namespace ddio::tenant

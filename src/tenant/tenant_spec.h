@@ -1,0 +1,74 @@
+// --tenants=SPEC grammar: a multi-tenant serving plan for one shared machine.
+//
+//   SPEC    := [GLOBAL ';']... ENTRY [';' ENTRY]...
+//   GLOBAL  := 'sched=' NAME            disk scheduler: fifo | fair | deadline
+//            | 'admit=' N               admission width (concurrent tenants);
+//                                       0 or absent = admit everyone at once
+//   ENTRY   := 't'<i> ':' FIELD [',' FIELD]...   (i ascending from 0)
+//   FIELD   := 'w=' N                   fair-share weight, 1..100 (default 1)
+//            | 'pat=' PATTERN           access pattern (default "rb")
+//            | 'method=' NAME           registry key (default: experiment's)
+//            | 'record=' BYTES          record size override
+//            | 'mb=' N                  file size override (MB)
+//            | 'reps=' N                phases this tenant runs, 1..1000
+//            | 'compute=' MS            simulated compute before each phase
+//            | 'deadline=' DUR          per-request deadline for sched=deadline;
+//                                       DUR is a number with an ns/us/ms/s
+//                                       suffix (e.g. "5ms")
+//
+// Example: "sched=fair;t0:w=2,pat=rb2;t1:w=1,pat=ri:5,reps=3"
+//
+// TryParse never aborts on user input: it returns false with a one-line
+// *error. Validate() re-checks the spec against a machine geometry (tenant
+// count vs the uint8 tenant namespace, method names vs the registry).
+
+#ifndef DDIO_SRC_TENANT_TENANT_SPEC_H_
+#define DDIO_SRC_TENANT_TENANT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ddio::tenant {
+
+// Ceiling on concurrent tenants: far above anything useful, well under the
+// uint8 tenant namespace carried in net::Message.
+inline constexpr std::uint32_t kMaxTenants = 64;
+inline constexpr std::uint32_t kMaxWeight = 100;
+inline constexpr std::uint32_t kMaxReps = 1000;
+
+struct TenantEntry {
+  std::uint32_t weight = 1;
+  std::string pattern = "rb";
+  std::string method;              // Empty = the experiment's method.
+  std::uint32_t record_bytes = 0;  // 0 = experiment default.
+  std::uint64_t file_bytes = 0;    // 0 = experiment default.
+  std::uint32_t reps = 1;
+  sim::SimTime compute_ns = 0;
+  sim::SimTime deadline_ns = 0;    // 0 = the deadline scheduler's default.
+};
+
+struct TenantSpec {
+  std::string scheduler = "fifo";
+  std::uint32_t admit = 0;  // 0 = all tenants admitted concurrently.
+  std::vector<TenantEntry> tenants;
+
+  // Parses SPEC. On failure returns false, sets *error, and leaves *out in
+  // an unspecified state. Patterns are validated via PatternSpec::TryParse
+  // and the scheduler name against the qos registry, so a parsed spec's
+  // run-time lookups cannot fail on those.
+  static bool TryParse(const std::string& spec, TenantSpec* out, std::string* error);
+
+  // Cross-field checks that need context beyond the grammar: method names
+  // against the file-system registry, deadline= only under sched=deadline.
+  bool Validate(std::string* error) const;
+
+  // One-line human summary ("3 tenants, sched=fair, admit=all").
+  std::string Describe() const;
+};
+
+}  // namespace ddio::tenant
+
+#endif  // DDIO_SRC_TENANT_TENANT_SPEC_H_

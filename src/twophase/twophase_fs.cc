@@ -85,6 +85,7 @@ sim::Task<> TwoPhaseFileSystem::CpPermute(std::uint32_t cp, const fs::StripedFil
     net::Message msg;
     msg.src = machine_.NodeOfCp(sender);
     msg.dst = machine_.NodeOfCp(receiver);
+    msg.tenant = params_.io_phase.tenant;
     msg.data_bytes = static_cast<std::uint32_t>(bytes_to[other]);
     msg.payload = net::PermuteData{bytes_to[other], pieces_to[other], permute_epoch_};
     co_await machine_.network().Send(std::move(msg));

@@ -1,0 +1,321 @@
+// Integration tests for the multi-tenant serving subsystem
+// (src/tenant/tenant_scheduler.h): concurrent sessions on one machine,
+// determinism across --jobs, equivalence of the 1-tenant path with the
+// legacy single-session driver, the attach-conflict precondition, tenant
+// plane churn, and composition with fault injection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/machine.h"
+#include "src/core/op_stats.h"
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/fault/fault_spec.h"
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+#include "src/tenant/tenant_scheduler.h"
+#include "src/tenant/tenant_spec.h"
+
+namespace ddio::tenant {
+namespace {
+
+using core::ExperimentConfig;
+using core::OpStats;
+using core::WorkloadPhase;
+using core::WorkloadSession;
+
+ExperimentConfig SmallConfig(const std::string& method = "tc") {
+  ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.method_key = method;
+  core::MethodFromKey(method, &cfg.method);
+  cfg.trials = 1;
+  return cfg;
+}
+
+TenantSpec SpecOf(const std::string& text) {
+  TenantSpec spec;
+  std::string error;
+  EXPECT_TRUE(TenantSpec::TryParse(text, &spec, &error)) << error;
+  return spec;
+}
+
+void ExpectSameStats(const OpStats& a, const OpStats& b, const std::string& what,
+                     bool bitwise_util = true) {
+  EXPECT_EQ(a.start_ns, b.start_ns) << what;
+  EXPECT_EQ(a.end_ns, b.end_ns) << what;
+  EXPECT_EQ(a.file_bytes, b.file_bytes) << what;
+  EXPECT_EQ(a.requests, b.requests) << what;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << what;
+  EXPECT_EQ(a.cache_misses, b.cache_misses) << what;
+  EXPECT_EQ(a.prefetches, b.prefetches) << what;
+  EXPECT_EQ(a.flushes, b.flushes) << what;
+  EXPECT_EQ(a.pieces, b.pieces) << what;
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered) << what;
+  if (bitwise_util) {
+    EXPECT_DOUBLE_EQ(a.max_cp_cpu_util, b.max_cp_cpu_util) << what;
+    EXPECT_DOUBLE_EQ(a.max_iop_cpu_util, b.max_iop_cpu_util) << what;
+    EXPECT_DOUBLE_EQ(a.max_bus_util, b.max_bus_util) << what;
+    EXPECT_DOUBLE_EQ(a.avg_disk_util, b.avg_disk_util) << what;
+  } else {
+    // Utilization windows close at slightly different instants (the legacy
+    // pump reads them after the engine fully drains; the async path reads
+    // them the moment the phase completes), so the ratios agree to ~1e-5
+    // rather than bitwise.
+    EXPECT_NEAR(a.max_cp_cpu_util, b.max_cp_cpu_util, 1e-3) << what;
+    EXPECT_NEAR(a.max_iop_cpu_util, b.max_iop_cpu_util, 1e-3) << what;
+    EXPECT_NEAR(a.max_bus_util, b.max_bus_util, 1e-3) << what;
+    EXPECT_NEAR(a.avg_disk_util, b.avg_disk_util, 1e-3) << what;
+  }
+  EXPECT_EQ(a.status.outcome, b.status.outcome) << what;
+  EXPECT_EQ(a.status.retries, b.status.retries) << what;
+  EXPECT_EQ(a.status.attempts, b.status.attempts) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Smoke: two tenants share one machine, both finish, and the contention is
+// real — each tenant's phase takes longer than it would alone.
+// ---------------------------------------------------------------------------
+TEST(MultiTenantTest, TwoTenantsContendOnOneMachine) {
+  ExperimentConfig cfg = SmallConfig("tc");
+  const MultiTenantTrialResult alone = RunMultiTenantTrial(cfg, SpecOf("t0:"), /*seed=*/1000);
+  const MultiTenantTrialResult shared =
+      RunMultiTenantTrial(cfg, SpecOf("t0:;t1:"), /*seed=*/1000);
+
+  ASSERT_EQ(alone.tenants.size(), 1u);
+  ASSERT_EQ(shared.tenants.size(), 2u);
+  for (const TenantResult& tenant : shared.tenants) {
+    ASSERT_EQ(tenant.phases.size(), 1u);
+    EXPECT_TRUE(tenant.phases[0].status.ok()) << tenant.phases[0].status.detail;
+    EXPECT_GT(tenant.phases[0].ThroughputMBps(), 0.0);
+    EXPECT_GE(tenant.finished_ns, tenant.admitted_ns);
+    EXPECT_GT(tenant.disk_busy_ns, 0u);
+  }
+  // Interference: sharing the disks must cost simulated time vs running alone.
+  EXPECT_GT(shared.tenants[0].phases[0].elapsed_ns(), alone.tenants[0].phases[0].elapsed_ns());
+  EXPECT_GT(shared.total_events, alone.total_events);
+}
+
+// admit=1 serializes the tenants: tenant 1 is only admitted after tenant 0
+// finishes, so its phase sees an idle machine.
+TEST(MultiTenantTest, AdmissionControlSerializes) {
+  ExperimentConfig cfg = SmallConfig("tc");
+  const MultiTenantTrialResult gated =
+      RunMultiTenantTrial(cfg, SpecOf("admit=1;t0:;t1:"), /*seed=*/1000);
+  ASSERT_EQ(gated.tenants.size(), 2u);
+  EXPECT_GE(gated.tenants[1].admitted_ns, gated.tenants[0].finished_ns);
+  EXPECT_TRUE(gated.tenants[1].phases[0].status.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same spec + seed is bitwise identical at jobs=1 and
+// jobs=8 (satellite: parallelism is across trials, never within one).
+// ---------------------------------------------------------------------------
+TEST(MultiTenantTest, SameSpecAndSeedIdenticalAcrossJobCounts) {
+  ExperimentConfig cfg = SmallConfig("ddio");
+  cfg.trials = 6;
+  const TenantSpec spec = SpecOf("sched=fair;t0:w=3,pat=rb;t1:w=1,pat=rcc,reps=2");
+
+  const MultiTenantResult serial = RunMultiTenantExperiment(cfg, spec, /*jobs=*/1);
+  const MultiTenantResult parallel = RunMultiTenantExperiment(cfg, spec, /*jobs=*/8);
+
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+    const MultiTenantTrialResult& a = serial.trials[t];
+    const MultiTenantTrialResult& b = parallel.trials[t];
+    EXPECT_EQ(a.total_events, b.total_events) << "trial " << t;
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+      EXPECT_EQ(a.tenants[i].admitted_ns, b.tenants[i].admitted_ns);
+      EXPECT_EQ(a.tenants[i].finished_ns, b.tenants[i].finished_ns);
+      EXPECT_EQ(a.tenants[i].disk_busy_ns, b.tenants[i].disk_busy_ns);
+      ASSERT_EQ(a.tenants[i].phases.size(), b.tenants[i].phases.size());
+      for (std::size_t p = 0; p < a.tenants[i].phases.size(); ++p) {
+        ExpectSameStats(a.tenants[i].phases[p], b.tenants[i].phases[p],
+                        "trial " + std::to_string(t) + " tenant " + std::to_string(i) +
+                            " phase " + std::to_string(p));
+      }
+    }
+  }
+  ASSERT_EQ(serial.mean_mbps.size(), parallel.mean_mbps.size());
+  for (std::size_t i = 0; i < serial.mean_mbps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.mean_mbps[i], parallel.mean_mbps[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A 1-tenant --tenants run is the legacy single-session trial: same phase
+// stats, same simulated times, same utilization windows.
+// ---------------------------------------------------------------------------
+TEST(MultiTenantTest, SingleTenantMatchesLegacySession) {
+  for (const std::string& method : {std::string("tc"), std::string("ddio")}) {
+    ExperimentConfig cfg = SmallConfig(method);
+    const core::WorkloadResult legacy =
+        core::RunWorkloadTrial(cfg, core::Workload::SinglePhase(cfg), /*seed=*/1000);
+    const MultiTenantTrialResult tenant = RunMultiTenantTrial(cfg, SpecOf("t0:"), /*seed=*/1000);
+
+    ASSERT_EQ(legacy.phases.size(), 1u);
+    ASSERT_EQ(tenant.tenants.size(), 1u);
+    ASSERT_EQ(tenant.tenants[0].phases.size(), 1u);
+    ExpectSameStats(legacy.phases[0], tenant.tenants[0].phases[0], method,
+                    /*bitwise_util=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: a second concurrent session without the tenant scheduler is a
+// structured, observable error — not an abort, and not silent corruption.
+// ---------------------------------------------------------------------------
+TEST(MultiTenantTest, SecondSessionWithoutSchedulerFailsLoudly) {
+  ExperimentConfig cfg = SmallConfig("tc");
+  WorkloadSession first(cfg, /*seed=*/7);
+  ASSERT_TRUE(first.attach_ok());
+
+  WorkloadSession second(first.engine(), first.machine(), cfg, /*tenant=*/0);
+  EXPECT_FALSE(second.attach_ok());
+
+  WorkloadPhase phase;
+  const OpStats sync_stats = second.RunPhase(phase);
+  EXPECT_FALSE(sync_stats.status.ok());
+  EXPECT_NE(sync_stats.status.detail.find("tenant scheduler"), std::string::npos)
+      << sync_stats.status.detail;
+
+  // The async path reports the same structured failure.
+  OpStats async_stats;
+  first.engine().Spawn([](WorkloadSession& s, const WorkloadPhase& p,
+                          OpStats& out) -> sim::Task<> {
+    out = co_await s.RunPhaseAsync(p);
+  }(second, phase, async_stats));
+  first.engine().Run();
+  EXPECT_FALSE(async_stats.status.ok());
+  EXPECT_NE(async_stats.status.detail.find("tenant scheduler"), std::string::npos);
+
+  // The first session is unharmed by the failed admission.
+  const OpStats ok_stats = first.RunPhase(phase);
+  EXPECT_TRUE(ok_stats.status.ok()) << ok_stats.status.detail;
+}
+
+TEST(MultiTenantTest, OptInAllowsConcurrentSessions) {
+  ExperimentConfig cfg = SmallConfig("tc");
+  cfg.machine.num_tenants = 2;
+  sim::Engine engine(11);
+  core::Machine machine(engine, cfg.machine);
+  machine.set_allow_concurrent_sessions(true);
+  WorkloadSession a(engine, machine, cfg, /*tenant=*/0);
+  WorkloadSession b(engine, machine, cfg, /*tenant=*/1);
+  EXPECT_TRUE(a.attach_ok());
+  EXPECT_TRUE(b.attach_ok());
+  EXPECT_EQ(machine.attached_sessions(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: tenant-plane churn. Sessions attach and detach out of order for
+// 50 cycles while their planes' inboxes close and reopen; no stale inbox
+// state may survive a cycle and the live root count must not creep.
+// ---------------------------------------------------------------------------
+TEST(MultiTenantTest, FiftyCycleChurnedPlanesLeakNothing) {
+  static const char* kMethods[] = {"tc", "ddio", "ddio-nosort", "twophase"};
+  static const char* kPatterns[] = {"rb", "wb", "rcc"};
+  constexpr std::size_t kCycles = 50;
+  constexpr std::uint32_t kTenants = 3;
+
+  ExperimentConfig cfg = SmallConfig("tc");
+  cfg.file_bytes = 128 * 1024;
+  cfg.machine.num_tenants = kTenants;
+  sim::Engine engine(17);
+  core::Machine machine(engine, cfg.machine);
+  machine.set_allow_concurrent_sessions(true);
+
+  std::vector<std::size_t> live_roots_after;
+  for (std::size_t cycle = 0; cycle < kCycles; ++cycle) {
+    // Attach order rotates each cycle; planes come up in a different order
+    // than they were torn down.
+    std::vector<std::unique_ptr<WorkloadSession>> sessions(kTenants);
+    for (std::uint32_t i = 0; i < kTenants; ++i) {
+      const std::uint32_t t = (i + cycle) % kTenants;
+      sessions[t] = std::make_unique<WorkloadSession>(engine, machine, cfg,
+                                                      static_cast<std::uint8_t>(t));
+      ASSERT_TRUE(sessions[t]->attach_ok());
+    }
+
+    std::vector<OpStats> stats(kTenants);
+    for (std::uint32_t t = 0; t < kTenants; ++t) {
+      WorkloadPhase phase;
+      phase.method = kMethods[(cycle + t) % std::size(kMethods)];
+      phase.pattern = kPatterns[(cycle + t) % std::size(kPatterns)];
+      engine.Spawn([](WorkloadSession& s, WorkloadPhase p, OpStats& out) -> sim::Task<> {
+        out = co_await s.RunPhaseAsync(p);
+      }(*sessions[t], phase, stats[t]));
+    }
+    engine.Run();
+    for (std::uint32_t t = 0; t < kTenants; ++t) {
+      EXPECT_TRUE(stats[t].status.ok())
+          << "cycle " << cycle << " tenant " << t << ": " << stats[t].status.detail;
+      EXPECT_GT(stats[t].ThroughputMBps(), 0.0) << "cycle " << cycle << " tenant " << t;
+    }
+
+    // Detach in a different rotation than attach, then drain the close/reopen
+    // kicks so dead service loops are reaped before counting roots.
+    for (std::uint32_t i = 0; i < kTenants; ++i) {
+      sessions[(kTenants - 1 - i + cycle * 2) % kTenants].reset();
+    }
+    engine.Run();
+    EXPECT_TRUE(engine.queue_empty()) << "cycle " << cycle;
+    live_roots_after.push_back(engine.live_root_count());
+  }
+
+  // Only the machine's disk loops persist between cycles; churn must not
+  // accumulate parked service loops or stale inbox receivers.
+  for (std::size_t cycle = 1; cycle < kCycles; ++cycle) {
+    EXPECT_EQ(live_roots_after[cycle], live_roots_after[0])
+        << "cycle " << cycle << " leaked service-loop roots";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --tenants composes with --faults: a transient disk stall slows both
+// tenants down but every phase still completes cleanly.
+// ---------------------------------------------------------------------------
+TEST(MultiTenantTest, TenantsComposeWithFaultInjection) {
+  ExperimentConfig cfg = SmallConfig("tc");
+  const MultiTenantTrialResult clean =
+      RunMultiTenantTrial(cfg, SpecOf("t0:;t1:"), /*seed=*/1000);
+
+  std::string error;
+  ASSERT_TRUE(fault::FaultSpec::TryParse("disk:1,stall=80ms@t=1ms", &cfg.machine.faults, &error))
+      << error;
+  ASSERT_TRUE(cfg.machine.faults.Validate(cfg.machine.num_cps, cfg.machine.num_iops,
+                                          cfg.machine.num_disks, &error))
+      << error;
+  const MultiTenantTrialResult faulted =
+      RunMultiTenantTrial(cfg, SpecOf("t0:;t1:"), /*seed=*/1000);
+
+  ASSERT_EQ(faulted.tenants.size(), 2u);
+  sim::SimTime clean_finish = 0;
+  sim::SimTime faulted_finish = 0;
+  for (std::size_t t = 0; t < 2; ++t) {
+    EXPECT_TRUE(faulted.tenants[t].phases[0].status.ok())
+        << faulted.tenants[t].phases[0].status.detail;
+    clean_finish = std::max(clean_finish, clean.tenants[t].finished_ns);
+    faulted_finish = std::max(faulted_finish, faulted.tenants[t].finished_ns);
+  }
+  // The stall costs simulated time but is bounded (the disk comes back).
+  EXPECT_GT(faulted_finish, clean_finish);
+  EXPECT_LT(faulted_finish, clean_finish + sim::FromMs(2000));
+}
+
+}  // namespace
+}  // namespace ddio::tenant

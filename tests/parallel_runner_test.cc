@@ -19,6 +19,8 @@
 #include "src/core/runner.h"
 #include "src/core/workload.h"
 #include "src/fs/layout.h"
+#include "src/tenant/tenant_scheduler.h"
+#include "src/tenant/tenant_spec.h"
 
 namespace ddio::core {
 namespace {
@@ -139,6 +141,45 @@ TEST(ParallelRunnerTest, MultiPhaseWorkloadJobsByteIdentical) {
   EXPECT_EQ(serial.total_events, parallel.total_events);
   EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps);
   EXPECT_EQ(serial.cv, parallel.cv);
+}
+
+// Multi-tenant experiments ride the same trial executor: one --tenants spec
+// + seed must be byte-identical at jobs=1 and jobs=8 (concurrency inside a
+// trial is simulated, never real). The field-by-field comparison lives in
+// multitenant_test.cc; this covers the executor-facing aggregates.
+TEST(ParallelRunnerTest, MultiTenantExperimentJobsByteIdentical) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.trials = 5;
+
+  tenant::TenantSpec spec;
+  std::string error;
+  ASSERT_TRUE(tenant::TenantSpec::TryParse("sched=fair;t0:w=2,method=ddio;t1:w=1,method=tc",
+                                           &spec, &error))
+      << error;
+
+  tenant::MultiTenantResult serial = tenant::RunMultiTenantExperiment(cfg, spec, /*jobs=*/1);
+  tenant::MultiTenantResult parallel = tenant::RunMultiTenantExperiment(cfg, spec, /*jobs=*/8);
+
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+    EXPECT_EQ(serial.trials[t].total_events, parallel.trials[t].total_events) << "trial " << t;
+    ASSERT_EQ(serial.trials[t].tenants.size(), parallel.trials[t].tenants.size());
+    for (std::size_t i = 0; i < serial.trials[t].tenants.size(); ++i) {
+      const tenant::TenantResult& a = serial.trials[t].tenants[i];
+      const tenant::TenantResult& b = parallel.trials[t].tenants[i];
+      EXPECT_EQ(a.admitted_ns, b.admitted_ns);
+      EXPECT_EQ(a.finished_ns, b.finished_ns);
+      EXPECT_EQ(a.disk_busy_ns, b.disk_busy_ns);
+      ASSERT_EQ(a.phases.size(), b.phases.size());
+      for (std::size_t p = 0; p < a.phases.size(); ++p) {
+        ExpectStatsIdentical(a.phases[p], b.phases[p],
+                             "trial " + std::to_string(t) + " tenant " + std::to_string(i));
+      }
+    }
+  }
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps);
 }
 
 // Satellite regression: the cv reported for ANY job count is the one

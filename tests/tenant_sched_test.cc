@@ -1,0 +1,218 @@
+// Tests for the per-tenant QoS disk schedulers (src/tenant/qos_sched.h)
+// plugged into disk::DiskUnit, the per-tenant disk accounting, and the
+// machine's keyed utilization baselines.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/machine.h"
+#include "src/disk/bus.h"
+#include "src/disk/disk_registry.h"
+#include "src/disk/disk_unit.h"
+#include "src/sim/engine.h"
+#include "src/tenant/qos_sched.h"
+#include "src/tenant/tenant_spec.h"
+
+namespace ddio::tenant {
+namespace {
+
+constexpr std::uint32_t kBlockSectors = 16;
+
+TenantSpec SpecOf(const std::string& text) {
+  TenantSpec spec;
+  std::string error;
+  EXPECT_TRUE(TenantSpec::TryParse(text, &spec, &error)) << error;
+  return spec;
+}
+
+struct QosFixture {
+  sim::Engine engine{1};
+  disk::ScsiBus bus{engine, "bus0"};
+  disk::DiskUnit disk;
+
+  QosFixture(const std::string& sched, const TenantSpec& spec)
+      : disk(engine, disk::DiskModelRegistry::BuiltIns().Create("hp97560"), bus, 0,
+             disk::DiskQueuePolicy::kFcfs) {
+    std::string error;
+    auto scheduler = CreateDiskScheduler(sched, spec, &error);
+    EXPECT_NE(scheduler, nullptr) << error;
+    disk.set_scheduler(std::move(scheduler));
+    disk.Start();
+  }
+
+  // Enqueues one read per (tenant, lbn) pair in order, runs to completion,
+  // and returns the tenant ids in service-completion order.
+  std::vector<std::uint8_t> ServiceOrder(
+      const std::vector<std::pair<std::uint8_t, std::uint64_t>>& requests) {
+    std::vector<std::uint8_t> order;
+    for (const auto& [tenant, lbn] : requests) {
+      engine.Spawn([](disk::DiskUnit& d, std::uint8_t t, std::uint64_t l,
+                      std::vector<std::uint8_t>& out) -> sim::Task<> {
+        co_await d.Read(l, kBlockSectors, nullptr, t);
+        out.push_back(t);
+      }(disk, tenant, lbn, order));
+    }
+    engine.Run();
+    return order;
+  }
+};
+
+TEST(QosSchedTest, KnownNames) {
+  const std::vector<std::string> names = KnownSchedulerNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "fifo");
+  EXPECT_EQ(names[1], "fair");
+  EXPECT_EQ(names[2], "deadline");
+  std::string error;
+  EXPECT_EQ(CreateDiskScheduler("elevator", SpecOf("t0:"), &error), nullptr);
+  EXPECT_NE(error.find("elevator"), std::string::npos);
+}
+
+TEST(QosSchedTest, FifoKeepsArrivalOrderAcrossTenants) {
+  TenantSpec spec = SpecOf("t0:;t1:");
+  QosFixture f("fifo", spec);
+  const std::vector<std::uint8_t> order = f.ServiceOrder(
+      {{0, 1000}, {0, 2000}, {0, 3000}, {1, 100}, {1, 200}, {1, 300}});
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(QosSchedTest, FairInterleavesTenantsDespiteAdversarialArrival) {
+  // Tenant 0 floods the queue first; equal weights must still alternate
+  // service once both tenants are queued (FIFO would drain tenant 0 first).
+  TenantSpec spec = SpecOf("sched=fair;t0:w=1;t1:w=1");
+  QosFixture f("fair", spec);
+  const std::vector<std::uint8_t> order = f.ServiceOrder(
+      {{0, 1000}, {0, 2000}, {0, 3000}, {0, 4000}, {1, 100}, {1, 200}, {1, 300}, {1, 400}});
+  // The head request is taken while the queue is still filling; from then on
+  // strict alternation. Count tenant 1 in the first half.
+  int t1_in_first_half = 0;
+  for (std::size_t i = 0; i < order.size() / 2; ++i) {
+    t1_in_first_half += order[i] == 1 ? 1 : 0;
+  }
+  EXPECT_GE(t1_in_first_half, 2) << "fair scheduler did not interleave tenants";
+}
+
+TEST(QosSchedTest, FairHonorsWeights) {
+  // Weight 3 vs 1: tenant 0 should receive ~3 services per tenant-1 service
+  // in any window where both are backlogged.
+  TenantSpec spec = SpecOf("sched=fair;t0:w=3;t1:w=1");
+  QosFixture f("fair", spec);
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back({1, 100 + 100ull * static_cast<std::uint64_t>(i)});
+  }
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back({0, 10000 + 100ull * static_cast<std::uint64_t>(i)});
+  }
+  const std::vector<std::uint8_t> order = f.ServiceOrder(requests);
+  int t0_in_first_8 = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    t0_in_first_8 += order[i] == 0 ? 1 : 0;
+  }
+  // Tenant 1 arrived first (and owns the head request), yet weight 3 must
+  // pull tenant 0 ahead: at least 5 of the first 8 services go to tenant 0.
+  EXPECT_GE(t0_in_first_8, 5);
+}
+
+TEST(QosSchedTest, DeadlineReordersForTightDeadlines) {
+  // Tenant 0 queues four requests with the 100 ms default deadline; tenant
+  // 1's 1 ms deadlines must jump the whole backlog (everything enqueues at
+  // t=0, before the service loop's first pick).
+  TenantSpec spec = SpecOf("sched=deadline;t0:;t1:deadline=1ms");
+  QosFixture f("deadline", spec);
+  const std::vector<std::uint8_t> order = f.ServiceOrder(
+      {{0, 1000}, {0, 2000}, {0, 3000}, {0, 4000}, {1, 100}, {1, 200}});
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{1, 1, 0, 0, 0, 0}));
+}
+
+TEST(QosSchedTest, SchedulersAreDeterministic) {
+  for (const std::string& sched : KnownSchedulerNames()) {
+    TenantSpec spec = SpecOf("t0:w=2;t1:w=1;t2:w=1");
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> requests;
+    for (int i = 0; i < 12; ++i) {
+      requests.push_back({static_cast<std::uint8_t>(i % 3),
+                          100ull * static_cast<std::uint64_t>((i * 7) % 13)});
+    }
+    QosFixture a(sched, spec);
+    QosFixture b(sched, spec);
+    EXPECT_EQ(a.ServiceOrder(requests), b.ServiceOrder(requests)) << sched;
+  }
+}
+
+TEST(DiskTenantStatsTest, PerTenantAccountingSumsToTotals) {
+  TenantSpec spec = SpecOf("t0:;t1:");
+  QosFixture f("fifo", spec);
+  f.ServiceOrder({{0, 1000}, {0, 2000}, {1, 100}});
+  f.engine.Spawn([](disk::DiskUnit& d) -> sim::Task<> {
+    co_await d.Write(5000, kBlockSectors, nullptr, 1);
+  }(f.disk));
+  f.engine.Run();
+
+  const disk::DiskUnitStats& t0 = f.disk.tenant_stats(0);
+  const disk::DiskUnitStats& t1 = f.disk.tenant_stats(1);
+  EXPECT_EQ(t0.read_requests, 2u);
+  EXPECT_EQ(t0.write_requests, 0u);
+  EXPECT_EQ(t1.read_requests, 1u);
+  EXPECT_EQ(t1.write_requests, 1u);
+  EXPECT_EQ(t0.read_requests + t1.read_requests, f.disk.stats().read_requests);
+  EXPECT_EQ(t0.bytes_read + t1.bytes_read, f.disk.stats().bytes_read);
+  EXPECT_EQ(t0.mechanism_busy_ns + t1.mechanism_busy_ns, f.disk.stats().mechanism_busy_ns);
+  EXPECT_GT(t0.mechanism_busy_ns, 0u);
+  EXPECT_GT(t1.mechanism_busy_ns, 0u);
+  // Untouched tenants read as empty, not out-of-bounds.
+  EXPECT_EQ(f.disk.tenant_stats(7).read_requests, 0u);
+}
+
+TEST(KeyedBaselineTest, PerKeyWindowsDoNotClobber) {
+  sim::Engine engine(1);
+  core::MachineConfig config;
+  config.num_cps = 1;
+  config.num_iops = 1;
+  config.num_disks = 1;
+  core::Machine machine(engine, config);
+
+  auto charge = [&](std::uint32_t cycles) {
+    engine.Spawn([](core::Machine& m, std::uint32_t c) -> sim::Task<> {
+      co_await m.ChargeCp(0, c);
+    }(machine, cycles));
+    engine.Run();
+  };
+
+  charge(50'000);  // Busy prologue both windows must exclude.
+  machine.SetUtilizationBaseline(1);
+  charge(10'000);
+  machine.SetUtilizationBaseline(2);  // Key 2 opens later than key 1.
+  charge(10'000);
+
+  const core::Machine::Utilization since1 = machine.UtilizationSinceBaseline(1);
+  const core::Machine::Utilization since2 = machine.UtilizationSinceBaseline(2);
+  // Key 1's window spans both post-baseline charges and is fully busy; so is
+  // key 2's shorter window. Both exclude the prologue.
+  EXPECT_GT(since1.max_cp_cpu, 0.99);
+  EXPECT_GT(since2.max_cp_cpu, 0.99);
+
+  // Reading key 1 again after key 2 was set proves SetUtilizationBaseline(2)
+  // did not clobber key 1's snapshot: idle time now dilutes only windows
+  // opened before it.
+  engine.Spawn([](sim::Engine& e) -> sim::Task<> { co_await e.Delay(sim::FromUs(400)); }(engine));
+  engine.Run();
+  const core::Machine::Utilization diluted1 = machine.UtilizationSinceBaseline(1);
+  const core::Machine::Utilization diluted2 = machine.UtilizationSinceBaseline(2);
+  EXPECT_LT(diluted1.max_cp_cpu, 0.99);
+  EXPECT_LT(diluted2.max_cp_cpu, diluted1.max_cp_cpu)
+      << "key 2's shorter busy window must dilute harder";
+
+  // An unset key reports the full [0, now] window; clearing a key returns
+  // it to that behavior.
+  const core::Machine::Utilization unset = machine.UtilizationSinceBaseline(99);
+  machine.ClearUtilizationBaseline(1);
+  const core::Machine::Utilization cleared = machine.UtilizationSinceBaseline(1);
+  EXPECT_DOUBLE_EQ(cleared.max_cp_cpu, unset.max_cp_cpu);
+}
+
+}  // namespace
+}  // namespace ddio::tenant

@@ -1,0 +1,188 @@
+// Tests for the --tenants=SPEC grammar (src/tenant/tenant_spec.h): accepted
+// forms, every rejection path (TryParse must never abort on user input), and
+// a deterministic fuzz sweep over mangled specs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/tenant/tenant_spec.h"
+
+namespace ddio::tenant {
+namespace {
+
+TenantSpec MustParse(const std::string& text) {
+  TenantSpec spec;
+  std::string error;
+  EXPECT_TRUE(TenantSpec::TryParse(text, &spec, &error)) << text << ": " << error;
+  return spec;
+}
+
+std::string MustReject(const std::string& text) {
+  TenantSpec spec;
+  std::string error;
+  EXPECT_FALSE(TenantSpec::TryParse(text, &spec, &error)) << text;
+  EXPECT_FALSE(error.empty()) << text;
+  return error;
+}
+
+TEST(TenantSpecTest, MinimalSingleTenant) {
+  TenantSpec spec = MustParse("t0:");
+  ASSERT_EQ(spec.tenants.size(), 1u);
+  EXPECT_EQ(spec.scheduler, "fifo");
+  EXPECT_EQ(spec.admit, 0u);
+  EXPECT_EQ(spec.tenants[0].weight, 1u);
+  EXPECT_EQ(spec.tenants[0].pattern, "rb");
+  EXPECT_EQ(spec.tenants[0].reps, 1u);
+}
+
+TEST(TenantSpecTest, FullGrammar) {
+  TenantSpec spec = MustParse(
+      "sched=deadline;admit=2;"
+      "t0:w=2,pat=rb2,method=tc,record=4096,mb=4,reps=3,compute=5,deadline=5ms;"
+      "t1:w=1,pat=ri:5;"
+      "t2:deadline=250us");
+  EXPECT_EQ(spec.scheduler, "deadline");
+  EXPECT_EQ(spec.admit, 2u);
+  ASSERT_EQ(spec.tenants.size(), 3u);
+  EXPECT_EQ(spec.tenants[0].weight, 2u);
+  EXPECT_EQ(spec.tenants[0].pattern, "rb2");
+  EXPECT_EQ(spec.tenants[0].method, "tc");
+  EXPECT_EQ(spec.tenants[0].record_bytes, 4096u);
+  EXPECT_EQ(spec.tenants[0].file_bytes, 4ull * 1024 * 1024);
+  EXPECT_EQ(spec.tenants[0].reps, 3u);
+  EXPECT_EQ(spec.tenants[0].compute_ns, 5ull * 1000 * 1000);
+  EXPECT_EQ(spec.tenants[0].deadline_ns, 5ull * 1000 * 1000);
+  EXPECT_EQ(spec.tenants[1].pattern, "ri:5");
+  EXPECT_EQ(spec.tenants[2].deadline_ns, 250ull * 1000);
+}
+
+TEST(TenantSpecTest, DurationSuffixes) {
+  EXPECT_EQ(MustParse("t0:deadline=800ns").tenants[0].deadline_ns, 800u);
+  EXPECT_EQ(MustParse("t0:deadline=3us").tenants[0].deadline_ns, 3000u);
+  EXPECT_EQ(MustParse("t0:deadline=1s").tenants[0].deadline_ns, 1'000'000'000u);
+}
+
+TEST(TenantSpecTest, FairSchedulerName) {
+  EXPECT_EQ(MustParse("sched=fair;t0:;t1:").scheduler, "fair");
+}
+
+TEST(TenantSpecTest, RejectsEmptyAndStructuralErrors) {
+  MustReject("");
+  MustReject(";");
+  MustReject("t0:;");          // Trailing empty segment.
+  MustReject("sched=fair");    // Globals only, no tenants.
+  MustReject("admit=2");
+  MustReject("x0:");           // Bad label.
+  MustReject("t:");            // No index.
+  MustReject("t0");            // Missing colon.
+  MustReject("t1:");           // Must start at t0.
+  MustReject("t0:;t2:");       // Gap.
+  MustReject("t0:;t0:");       // Duplicate.
+  MustReject("t0:,");          // Empty field.
+  MustReject("t0:w");          // Not key=value.
+  MustReject("t0:w=");         // Empty value.
+  MustReject("t0:=2");         // Empty key.
+}
+
+TEST(TenantSpecTest, RejectsBadFieldValues) {
+  MustReject("t0:w=0");
+  MustReject("t0:w=101");
+  MustReject("t0:w=two");
+  MustReject("t0:w=-1");
+  MustReject("t0:pat=zz");
+  MustReject("t0:record=0");
+  MustReject("t0:mb=0");
+  MustReject("t0:reps=0");
+  MustReject("t0:reps=1001");
+  MustReject("t0:deadline=5");       // Suffix required.
+  MustReject("t0:deadline=ms");      // No digits.
+  MustReject("t0:deadline=5m");      // Unknown unit.
+  MustReject("t0:deadline=0ms");     // Zero deadline.
+  MustReject("t0:frobnicate=1");     // Unknown key.
+  MustReject("sched=elevator;t0:");  // Unknown scheduler.
+  MustReject("admit=65;t0:");        // admit > kMaxTenants.
+}
+
+TEST(TenantSpecTest, RejectsSchedAfterFirstEntry) {
+  // Globals must precede tenant entries; afterwards "sched=fair" reads as a
+  // malformed tenant entry.
+  MustReject("t0:;sched=fair");
+}
+
+TEST(TenantSpecTest, ErrorsNameTheOffendingPiece) {
+  EXPECT_NE(MustReject("t0:w=0").find("weight"), std::string::npos);
+  EXPECT_NE(MustReject("sched=bogus;t0:").find("bogus"), std::string::npos);
+  EXPECT_NE(MustReject("t1:").find("t1"), std::string::npos);
+}
+
+TEST(TenantSpecTest, ValidateChecksMethodNames) {
+  TenantSpec spec = MustParse("t0:method=tc;t1:method=ddio");
+  std::string error;
+  EXPECT_TRUE(spec.Validate(&error)) << error;
+
+  spec = MustParse("t0:method=nope");
+  EXPECT_FALSE(spec.Validate(&error));
+  EXPECT_NE(error.find("nope"), std::string::npos);
+}
+
+TEST(TenantSpecTest, ValidateRejectsDeadlineWithoutDeadlineSched) {
+  TenantSpec spec = MustParse("sched=fair;t0:deadline=5ms");
+  std::string error;
+  EXPECT_FALSE(spec.Validate(&error));
+  EXPECT_NE(error.find("sched=deadline"), std::string::npos);
+}
+
+TEST(TenantSpecTest, Describe) {
+  EXPECT_EQ(MustParse("t0:").Describe(), "1 tenant, sched=fifo, admit=all");
+  EXPECT_EQ(MustParse("sched=fair;admit=2;t0:;t1:;t2:").Describe(),
+            "3 tenants, sched=fair, admit=2");
+}
+
+// Deterministic fuzz: mangle a valid spec with every single-character
+// deletion, substitution, and truncation. TryParse must return cleanly
+// (true or false) without aborting, and accepted specs must round-trip
+// through Validate without crashing.
+TEST(TenantSpecTest, FuzzedSpecsNeverAbort) {
+  const std::string base = "sched=fair;admit=2;t0:w=2,pat=rb2,reps=3;t1:w=1,deadline=5ms";
+  const std::string alphabet = ";:,=tw019-x ";
+  int accepted = 0;
+  int rejected = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string deleted = base;
+    deleted.erase(i, 1);
+    TenantSpec spec;
+    std::string error;
+    if (TenantSpec::TryParse(deleted, &spec, &error)) {
+      ++accepted;
+      spec.Validate(&error);
+    } else {
+      ++rejected;
+    }
+    for (char c : alphabet) {
+      std::string swapped = base;
+      swapped[i] = c;
+      if (TenantSpec::TryParse(swapped, &spec, &error)) {
+        ++accepted;
+        spec.Validate(&error);
+      } else {
+        ++rejected;
+      }
+    }
+    std::string truncated = base.substr(0, i);
+    if (TenantSpec::TryParse(truncated, &spec, &error)) {
+      ++accepted;
+      spec.Validate(&error);
+    } else {
+      ++rejected;
+    }
+  }
+  // The sweep must exercise both outcomes (a vacuous pass would mean the
+  // mangling never produced a parseable or unparseable string).
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace ddio::tenant

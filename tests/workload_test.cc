@@ -8,9 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "src/core/machine.h"
 #include "src/core/runner.h"
 #include "src/core/workload.h"
 #include "src/fs/layout.h"
+#include "src/sim/engine.h"
+#include "src/sim/task.h"
 
 namespace ddio::core {
 namespace {
@@ -248,6 +251,38 @@ TEST(WorkloadTest, FiftyPhaseMethodChurnLeaksNoTasksOrInboxState) {
     EXPECT_EQ(live_roots_after[p], live_roots_after[p % kCycle])
         << "phase " << p << " leaked service-loop roots vs phase " << p % kCycle;
   }
+}
+
+// The dual-mode refactor must not fork behavior: an attached session on a
+// caller-owned engine + machine, driven through RunPhaseAsync under an
+// explicit Engine::Run, reproduces the owning-mode RunPhase event sequence
+// (same seed, same machine config, tenant plane 0).
+TEST(WorkloadTest, AttachedSessionReproducesOwningModePhases) {
+  ExperimentConfig cfg = SmallConfig();
+  cfg.file_bytes = 256 * 1024;
+
+  WorkloadSession owning(cfg, /*seed=*/21);
+  WorkloadPhase phase;
+  phase.pattern = "rb";
+  const OpStats expected = owning.RunPhase(phase);
+
+  sim::Engine engine(21);
+  Machine machine(engine, cfg.machine);
+  WorkloadSession attached(engine, machine, cfg, /*tenant=*/0);
+  ASSERT_TRUE(attached.attach_ok());
+  OpStats actual;
+  engine.Spawn([](WorkloadSession& s, const WorkloadPhase& p, OpStats& out) -> sim::Task<> {
+    out = co_await s.RunPhaseAsync(p);
+  }(attached, phase, actual));
+  engine.Run();
+
+  EXPECT_EQ(expected.start_ns, actual.start_ns);
+  EXPECT_EQ(expected.end_ns, actual.end_ns);
+  EXPECT_EQ(expected.file_bytes, actual.file_bytes);
+  EXPECT_EQ(expected.requests, actual.requests);
+  EXPECT_EQ(expected.cache_hits, actual.cache_hits);
+  EXPECT_EQ(expected.cache_misses, actual.cache_misses);
+  EXPECT_TRUE(actual.status.ok()) << actual.status.detail;
 }
 
 TEST(WorkloadTest, SessionApiInterleavesComputeAndPhases) {
