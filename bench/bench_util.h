@@ -112,18 +112,21 @@ class JsonPointSink {
 
   void Add(const std::string& dimension, std::uint64_t value, const std::string& method,
            const std::string& pattern, double mean_mbps, double cv, std::uint32_t trials,
-           const std::string& disk_model = "") {
+           const std::string& disk_model = "", const std::string& spec = "") {
     if (path_.empty()) {
       return;
     }
     const std::string disk_field =
         disk_model.empty() ? "" : "\"disk\": \"" + disk_model + "\", ";
+    // Free-form configuration tag (e.g. a --tc-cache spec); omitted when empty
+    // so pre-existing benches' JSON stays byte-identical.
+    const std::string spec_field = spec.empty() ? "" : "\"spec\": \"" + spec + "\", ";
     char tail[96];
     std::snprintf(tail, sizeof(tail), "\"mean_mbps\": %.4f, \"cv\": %.4f, \"trials\": %u}",
                   mean_mbps, cv, trials);
     points_.push_back("    {\"" + dimension + "\": " + std::to_string(value) +
                       ", \"method\": \"" + method + "\", \"pattern\": \"" + pattern + "\", " +
-                      disk_field + tail);
+                      disk_field + spec_field + tail);
   }
 
   void Flush() {

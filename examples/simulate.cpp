@@ -33,6 +33,10 @@
 //                      "[sched=fifo|fair|deadline;][admit=N;]t0:FIELDS;t1:..."
 //                      with FIELDS from w= pat= method= record= mb= reps=
 //                      compute= deadline= (see src/tenant/tenant_spec.h)
+//   --tc-cache=SPEC    TC buffer-cache policy: lru | clock | slru[:prot=P],
+//                      with optional ra=K (read-ahead blocks per disk) and
+//                      wb=full|hi:P (write-behind mode), e.g.
+//                      slru:prot=60,ra=4,wb=hi:75 (default lru:ra=1,wb=full)
 //   --faults=SPEC      seed-deterministic fault plan, e.g.
 //                      "disk:2,stall=50ms@t=0.8s;disk:5,fail@t=1.2s;
 //                       link:cp3-iop1,drop=0.01;iop:4,crash@t=2.0s"
@@ -64,6 +68,7 @@
 #include "src/fs/striped_file.h"
 #include "src/pattern/pattern.h"
 #include "src/sim/engine.h"
+#include "src/tc/cache_policy.h"
 #include "src/tenant/tenant_scheduler.h"
 #include "src/tenant/tenant_spec.h"
 
@@ -76,8 +81,12 @@ namespace {
       "          [--layout=contiguous|random|mirror:K] [--cps=N] [--iops=N] [--disks=N]\n"
       "          [--disk=SPEC] [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N]\n"
       "          [--workload=SPEC] [--tenants=SPEC] [--filter=F] [--filter-seed=N]\n"
-      "          [--json=PATH] [--faults=SPEC] [--elevator] [--strided] [--gather]\n"
+      "          [--json=PATH] [--tc-cache=SPEC] [--faults=SPEC] [--elevator]\n"
+      "          [--strided] [--gather]\n"
       "          [--contention] [--describe] [--verbose]\n"
+      "  --tc-cache TC buffer-cache policy (%s), with optional ra=K read-ahead\n"
+      "         depth in [0, 64] and wb=full|hi:P write-behind, e.g. clock:ra=4\n"
+      "         or slru:prot=60,wb=hi:75 (default lru:ra=1,wb=full)\n"
       "  --pattern names: HPF letters (ra rn rb rc rnb ... wcn), optionally\n"
       "         parameterized per dimension (rc4 = CYCLIC(4), rb2c8), or an\n"
       "         irregular index list ri:<seed> / wi:<seed>\n"
@@ -102,6 +111,7 @@ namespace {
       "  --describe prints the pattern's chunk structure (Figure-2 cs/s), the\n"
       "         resolved disk model, and the resolved fault plan, then exits\n",
       argv0, ddio::core::FileSystemRegistry::BuiltIns().NamesJoined("|").c_str(),
+      ddio::tc::CachePolicyRegistry::BuiltIns().NamesJoined("|").c_str(),
       ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined("|").c_str());
   std::exit(2);
 }
@@ -158,6 +168,12 @@ int main(int argc, char** argv) {
       if (std::string layout_error;
           !fs::ParseLayout(value, &cfg.layout, &cfg.replicas, &layout_error)) {
         std::fprintf(stderr, "--layout: %s\n", layout_error.c_str());
+        return 2;
+      }
+    } else if (MatchFlag(arg, "--tc-cache", &value)) {
+      if (std::string cache_error;
+          !tc::CacheSpec::TryParse(value, &cfg.tc_cache, &cache_error)) {
+        std::fprintf(stderr, "--tc-cache: %s\n", cache_error.c_str());
         return 2;
       }
     } else if (MatchFlag(arg, "--faults", &value)) {
@@ -303,6 +319,12 @@ int main(int argc, char** argv) {
         std::printf("    %-20s %s\n", param.c_str(), param_value.c_str());
       }
     }
+    std::printf("tc cache: %s (policy %s, read-ahead %u, write-behind %s)\n",
+                cfg.tc_cache.text().c_str(), cfg.tc_cache.policy().c_str(),
+                cfg.tc_cache.read_ahead(),
+                cfg.tc_cache.write_behind() == tc::WriteBehindMode::kFull
+                    ? "flush-on-full"
+                    : ("high-water " + std::to_string(cfg.tc_cache.wb_percent()) + "%").c_str());
     if (cfg.replicas > 1) {
       std::printf("layout: %s with %u mirror copies per block\n", fs::LayoutName(cfg.layout),
                   cfg.replicas);

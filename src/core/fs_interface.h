@@ -68,6 +68,17 @@ class FileSystem {
   virtual sim::Task<> RunFilteredRead(const fs::StripedFile& file,
                                       const pattern::AccessPattern& pattern, double selectivity,
                                       std::uint64_t filter_seed, OpStats* stats);
+
+  // Cross-phase scheduling hint: `pattern` is the NEXT collective this file
+  // system will be asked to run on `file`. Caching methods may start warming
+  // their caches asynchronously (the IO overlaps the caller's compute gap);
+  // stateless methods ignore it. Must not pump the engine, and must be safe
+  // to skip entirely — a hint never changes results, only timing.
+  virtual void HintNextPhase(const fs::StripedFile& file,
+                             const pattern::AccessPattern& pattern) {
+    (void)file;
+    (void)pattern;
+  }
 };
 
 inline sim::Task<> FileSystem::RunFilteredRead(const fs::StripedFile&,

@@ -13,6 +13,7 @@ tc::TcParams TcParamsFrom(const ExperimentConfig& config) {
   params.prefetch = config.tc_prefetch;
   params.strided_requests = config.tc_strided;
   params.buffers_per_cp_per_disk = config.tc_buffers_per_cp_per_disk;
+  params.cache = config.tc_cache;
   params.tenant = config.tenant;
   return params;
 }

@@ -16,6 +16,7 @@
 #include "src/core/config.h"
 #include "src/core/op_stats.h"
 #include "src/fs/layout.h"
+#include "src/tc/cache_policy.h"
 
 namespace ddio::core {
 
@@ -60,6 +61,9 @@ struct ExperimentConfig {
   std::uint32_t ddio_buffers_per_disk = 2;      // Paper: double buffering.
   bool tc_prefetch = true;                      // Paper: prefetch one block ahead.
   std::uint32_t tc_buffers_per_cp_per_disk = 2; // Paper footnote 3.
+  // TC cache policy spec (--tc-cache): replacement policy, read-ahead depth,
+  // write-behind mode. The default reproduces the paper's cache.
+  tc::CacheSpec tc_cache;
   // Future-work extensions (paper Section 8); both off reproduces the paper.
   bool ddio_gather_scatter = false;
   bool tc_strided = false;

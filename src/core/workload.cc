@@ -327,6 +327,45 @@ FileSystem& WorkloadSession::ActivateFileSystem(const std::string& method) {
   return *fs_;
 }
 
+void WorkloadSession::HintNextPhase(const WorkloadPhase& next) {
+  if (!attach_ok_ || fs_ == nullptr || !has_run_phase_ || machine_->fault_active()) {
+    return;
+  }
+  if (next.file_index != last_file_index_ || next.filter_selectivity >= 0) {
+    return;  // A different file's blocks would alias in the block caches.
+  }
+  std::string key = next.method;
+  if (key.empty()) {
+    key = config_.method_key.empty() ? MethodKey(config_.method) : config_.method_key;
+  }
+  if (key != fs_method_) {
+    return;  // The next phase replaces the file system (and its caches).
+  }
+  pattern::PatternSpec spec;
+  if (!pattern::PatternSpec::TryParse(next.pattern, &spec) || spec.is_write) {
+    return;  // Only read sets can be warmed; bad names fail in RunPhase.
+  }
+  // The slot exists (the previous phase used it); every inconsistency —
+  // geometry redefinition, truncated records — stays RunPhase's to report,
+  // so a hint silently declines instead of aborting.
+  if (next.file_index >= files_.size() || files_[next.file_index] == nullptr) {
+    return;
+  }
+  const fs::StripedFile& file = *files_[next.file_index];
+  if ((next.file_bytes != 0 && next.file_bytes != file.file_bytes()) ||
+      (next.has_layout && (next.layout != file.layout() || next.replicas != file.replicas()))) {
+    return;
+  }
+  const std::uint32_t record_bytes =
+      next.record_bytes != 0 ? next.record_bytes : config_.record_bytes;
+  if (record_bytes == 0 || file.file_bytes() % record_bytes != 0) {
+    return;
+  }
+  const pattern::AccessPattern pattern(spec, file.file_bytes(), record_bytes,
+                                       machine_->num_cps());
+  fs_->HintNextPhase(file, pattern);
+}
+
 void WorkloadSession::AdvanceCompute(sim::SimTime delay) {
   if (delay == 0) {
     return;
@@ -503,6 +542,8 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
   stats.max_iop_cpu_util = utilization.max_iop_cpu;
   stats.max_bus_util = utilization.max_bus;
   stats.avg_disk_util = utilization.avg_disk_mechanism;
+  has_run_phase_ = true;
+  last_file_index_ = phase.file_index;
   return stats;
 }
 
@@ -568,6 +609,8 @@ sim::Task<OpStats> WorkloadSession::RunPhaseAsync(const WorkloadPhase& phase) {
   stats.max_iop_cpu_util = utilization.max_iop_cpu;
   stats.max_bus_util = utilization.max_bus;
   stats.avg_disk_util = utilization.avg_disk_mechanism;
+  has_run_phase_ = true;
+  last_file_index_ = phase.file_index;
   co_return stats;
 }
 
@@ -576,8 +619,13 @@ WorkloadResult RunWorkloadTrial(const ExperimentConfig& config, const Workload& 
   WorkloadSession session(config, seed);
   WorkloadResult result;
   result.phases.reserve(workload.phases.size());
-  for (const WorkloadPhase& phase : workload.phases) {
-    result.phases.push_back(session.RunPhase(phase));
+  for (std::size_t p = 0; p < workload.phases.size(); ++p) {
+    result.phases.push_back(session.RunPhase(workload.phases[p]));
+    if (p + 1 < workload.phases.size()) {
+      // Warm the active caches with the head of the next phase's read set;
+      // the prefetch IO overlaps the next phase's compute gap.
+      session.HintNextPhase(workload.phases[p + 1]);
+    }
   }
   result.total_events = session.engine().events_processed();
   return result;

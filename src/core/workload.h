@@ -142,6 +142,16 @@ class WorkloadSession {
   // Owning mode only: pumps the engine.
   void AdvanceCompute(sim::SimTime delay);
 
+  // Cross-phase warming: tells the active file system what `next` will ask
+  // for, so caching methods can prefetch the head of its read set during the
+  // inter-phase compute gap (FileSystem::HintNextPhase). Results never
+  // change — only timing. A no-op unless `next` is a plain read reusing the
+  // previous phase's file slot AND method (a different slot would alias
+  // block numbers in the per-IOP caches; a method switch discards them), and
+  // never hints under an active fault plan. RunWorkloadTrial calls this
+  // between consecutive phases; direct session drivers may call it manually.
+  void HintNextPhase(const WorkloadPhase& next);
+
   // Runs one phase to completion (compute, then the collective, then the
   // engine drains) and returns its stats, utilization snapshot included.
   // Pumps the engine; use RunPhaseAsync from attached sessions.
@@ -174,6 +184,10 @@ class WorkloadSession {
   std::vector<std::unique_ptr<fs::StripedFile>> files_;
   std::unique_ptr<FileSystem> fs_;  // Declared after the machine: destroyed first.
   std::string fs_method_;
+  // Set once a phase has run; HintNextPhase only fires between phases that
+  // share a file slot.
+  bool has_run_phase_ = false;
+  std::uint32_t last_file_index_ = 0;
 };
 
 // Runs every phase of `workload` in one session seeded with `seed`.

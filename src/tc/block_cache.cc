@@ -1,5 +1,6 @@
 #include "src/tc/block_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -11,19 +12,27 @@ std::uint32_t SectorsFor(std::uint32_t bytes) { return (bytes + 511) / 512; }
 }  // namespace
 
 BlockCache::BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t capacity_blocks,
-                       std::uint8_t tenant)
+                       std::uint8_t tenant, const CacheSpec& spec)
     : machine_(machine),
       iop_(iop),
       capacity_(capacity_blocks),
       tenant_(tenant),
+      spec_(spec),
+      policy_(spec.Build(capacity_blocks)),
       changed_(machine.engine()) {
   assert(capacity_ >= 2);
+  if (spec_.write_behind() == WriteBehindMode::kHighWater) {
+    wb_threshold_ = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               static_cast<std::uint64_t>(capacity_) * spec_.wb_percent() / 100));
+  }
 }
 
-void BlockCache::Touch(std::uint64_t file_block, Entry& entry) {
-  lru_.erase(entry.lru_pos);
-  lru_.push_front(file_block);
-  entry.lru_pos = lru_.begin();
+void BlockCache::MarkDirty(Entry& entry) {
+  if (entry.state != State::kDirty) {
+    entry.state = State::kDirty;
+    ++dirty_blocks_;
+  }
 }
 
 sim::Task<> BlockCache::DiskRead(const fs::StripedFile& file, std::uint64_t file_block,
@@ -41,6 +50,9 @@ sim::Task<> BlockCache::DiskRead(const fs::StripedFile& file, std::uint64_t file
     }
   }
   --outstanding_io_;
+  // The decrement itself can satisfy Quiesce's WaitUntil(outstanding_io_ ==
+  // 0); notify here rather than relying on the caller's post-read notify.
+  changed_.NotifyAll();
 }
 
 sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t file_block,
@@ -49,6 +61,7 @@ sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t fi
     co_return;  // Lost a race with another flusher.
   }
   entry.state = State::kFlushing;
+  --dirty_blocks_;
   ++outstanding_io_;
   const bool partial = entry.fill_bytes < file.BlockLength(file_block);
   co_await machine_.ChargeIop(iop_, machine_.config().costs.disk_cmd_cycles);
@@ -69,9 +82,11 @@ sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t fi
     // OpStatus (degraded when a mirror copy survives, failed otherwise). The
     // entry still becomes clean so quiesce terminates.
     ++stats_.io_errors;
+    ++stats_.failed_flushes;
     entry.io_failed = true;
+  } else {
+    ++stats_.flushes;
   }
-  ++stats_.flushes;
   entry.state = State::kValid;
   entry.fill_bytes = 0;
   --outstanding_io_;
@@ -80,36 +95,45 @@ sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t fi
 
 sim::Task<> BlockCache::EvictOne(const fs::StripedFile& file) {
   for (;;) {
-    // Scan from the LRU end for an evictable entry.
-    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-      const std::uint64_t victim = *it;
-      Entry& entry = blocks_.at(victim);
-      if (entry.pins > 0 || entry.state == State::kReading || entry.state == State::kFlushing) {
-        continue;
+    for (;;) {
+      // The policy scans resident blocks in eviction-preference order; the
+      // cache vetoes pinned entries and entries with disk IO in flight.
+      const std::optional<std::uint64_t> victim =
+          policy_->PickVictim([this](std::uint64_t block) {
+            const Entry& entry = blocks_.at(block);
+            return entry.pins == 0 && entry.state != State::kReading &&
+                   entry.state != State::kFlushing;
+          });
+      if (!victim.has_value()) {
+        break;  // Nothing evictable right now; wait for any state change.
       }
+      Entry& entry = blocks_.at(*victim);
       if (entry.state == State::kDirty) {
-        co_await FlushEntry(file, victim, entry);
+        co_await FlushEntry(file, *victim, entry);
         // State changed while we awaited; re-verify before erasing.
         if (entry.pins > 0 || entry.state != State::kValid) {
-          break;  // Rescan.
+          // The raced flush's completion notification already fired before
+          // this coroutine resumed — parking on changed_ here would miss it.
+          // Rescan for a fresh victim immediately instead.
+          continue;
         }
       }
       if (!entry.referenced) {
         ++stats_.prefetch_wasted;
       }
       ++stats_.evictions;
-      lru_.erase(entry.lru_pos);
-      blocks_.erase(victim);
+      policy_->OnErase(*victim);
+      blocks_.erase(*victim);
       changed_.NotifyAll();
       co_return;
     }
-    // Nothing evictable right now; wait for any state change.
     co_await changed_.Wait();
   }
 }
 
 sim::Task<BlockCache::Entry*> BlockCache::GetOrCreate(const fs::StripedFile& file,
-                                                      std::uint64_t file_block, bool* created) {
+                                                      std::uint64_t file_block, bool* created,
+                                                      bool prefetched) {
   for (;;) {
     auto it = blocks_.find(file_block);
     if (it != blocks_.end()) {
@@ -120,9 +144,8 @@ sim::Task<BlockCache::Entry*> BlockCache::GetOrCreate(const fs::StripedFile& fil
       co_await EvictOne(file);
       continue;  // Someone may have inserted our block meanwhile.
     }
-    lru_.push_front(file_block);
     Entry& entry = blocks_[file_block];
-    entry.lru_pos = lru_.begin();
+    policy_->OnInsert(file_block, prefetched);
     *created = true;
     co_return &entry;
   }
@@ -144,7 +167,7 @@ sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t fil
         continue;
       }
       ++stats_.hits;
-      Touch(file_block, entry);
+      policy_->OnAccess(file_block);
       if (entry.io_failed && ok != nullptr) {
         *ok = false;  // Resident but empty: the backing disk refused the read.
       }
@@ -152,7 +175,7 @@ sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t fil
     }
     // Miss: take a buffer and read from disk.
     bool created = false;
-    Entry* entry = co_await GetOrCreate(file, file_block, &created);
+    Entry* entry = co_await GetOrCreate(file, file_block, &created, /*prefetched=*/false);
     if (!created) {
       continue;  // Raced with another requester; re-examine its state.
     }
@@ -192,31 +215,90 @@ sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t fi
         continue;
       }
       entry.referenced = true;
-      Touch(file_block, entry);
-      entry.state = State::kDirty;
+      policy_->OnAccess(file_block);
+      MarkDirty(entry);
       entry.replica = replica;
       entry.fill_bytes += length;
-      if (entry.fill_bytes >= file.BlockLength(file_block)) {
-        // Write-behind: flush now that the buffer is full; the requester's
-        // ack does not wait for the disk.
-        machine_.engine().Spawn(FlushEntry(file, file_block, entry));
+      if (spec_.write_behind() == WriteBehindMode::kFull) {
+        if (entry.fill_bytes >= file.BlockLength(file_block)) {
+          // Write-behind: flush now that the buffer is full; the requester's
+          // ack does not wait for the disk.
+          machine_.engine().Spawn(FlushEntry(file, file_block, entry));
+        }
+      } else {
+        MaybeStartBatchFlush(file);
       }
       co_return;
     }
     bool created = false;
-    Entry* entry = co_await GetOrCreate(file, file_block, &created);
+    Entry* entry = co_await GetOrCreate(file, file_block, &created, /*prefetched=*/false);
     if (!created) {
       continue;
     }
-    entry->state = State::kDirty;
+    MarkDirty(*entry);
     entry->referenced = true;
     entry->replica = replica;
     entry->fill_bytes = length;
-    if (entry->fill_bytes >= file.BlockLength(file_block)) {
-      machine_.engine().Spawn(FlushEntry(file, file_block, *entry));
+    if (spec_.write_behind() == WriteBehindMode::kFull) {
+      if (entry->fill_bytes >= file.BlockLength(file_block)) {
+        machine_.engine().Spawn(FlushEntry(file, file_block, *entry));
+      }
+    } else {
+      MaybeStartBatchFlush(file);
     }
     co_return;
   }
+}
+
+std::vector<std::uint64_t> BlockCache::DirtyBlocksByLbn(const fs::StripedFile& file) const {
+  std::vector<std::uint64_t> dirty;
+  for (const auto& [block, entry] : blocks_) {
+    if (entry.state == State::kDirty) {
+      dirty.push_back(block);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(), [&](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t lbn_a = file.LbnOfBlockReplica(a, blocks_.at(a).replica);
+    const std::uint64_t lbn_b = file.LbnOfBlockReplica(b, blocks_.at(b).replica);
+    return lbn_a != lbn_b ? lbn_a < lbn_b : a < b;
+  });
+  return dirty;
+}
+
+void BlockCache::MaybeStartBatchFlush(const fs::StripedFile& file) {
+  if (batch_flush_active_ || dirty_blocks_ < wb_threshold_) {
+    return;
+  }
+  batch_flush_active_ = true;
+  machine_.engine().Spawn(FlushDirtyBatch(file));
+}
+
+sim::Task<> BlockCache::FlushPinned(const fs::StripedFile& file, std::uint64_t file_block) {
+  Entry& entry = blocks_.at(file_block);  // Pinned: cannot be evicted meanwhile.
+  co_await FlushEntry(file, file_block, entry);
+  --entry.pins;
+  changed_.NotifyAll();  // A released pin can unblock eviction.
+}
+
+sim::Task<> BlockCache::FlushDirtyBatch(const fs::StripedFile& file) {
+  while (dirty_blocks_ >= wb_threshold_) {
+    // Snapshot and pin the dirty set, then issue every flush concurrently in
+    // ascending-LBN order — the IOP and disk queues are FIFO, so the drive
+    // sees one sorted sweep. Pins keep the entries resident until their
+    // flush lands (FlushEntry itself tolerates losing a race).
+    std::vector<std::uint64_t> dirty = DirtyBlocksByLbn(file);
+    if (dirty.empty()) {
+      break;
+    }
+    std::vector<sim::Task<>> flushes;
+    flushes.reserve(dirty.size());
+    for (std::uint64_t block : dirty) {
+      ++blocks_.at(block).pins;
+      flushes.push_back(FlushPinned(file, block));
+    }
+    co_await sim::WhenAll(machine_.engine(), std::move(flushes));
+  }
+  batch_flush_active_ = false;
 }
 
 void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_block,
@@ -224,16 +306,18 @@ void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_b
   if (blocks_.count(file_block) != 0) {
     return;
   }
-  ++stats_.prefetch_issued;
   machine_.engine().Spawn([](BlockCache& cache, const fs::StripedFile& f, std::uint64_t block,
                              std::uint32_t rep) -> sim::Task<> {
     co_await cache.machine_.ChargeIop(cache.iop_,
                                       cache.machine_.config().costs.cache_access_cycles);
     bool created = false;
-    Entry* entry = co_await cache.GetOrCreate(f, block, &created);
+    Entry* entry = co_await cache.GetOrCreate(f, block, &created, /*prefetched=*/true);
     if (!created) {
-      co_return;  // Demand fetch beat us to it.
+      co_return;  // A demand fetch won the race; no prefetch IO was issued.
     }
+    // Counted at issue time, here: a prefetch that lost the race above never
+    // touched the disk and must not inflate the issue count.
+    ++cache.stats_.prefetch_issued;
     entry->state = State::kReading;
     entry->pins = 1;
     entry->replica = rep;
@@ -248,24 +332,42 @@ void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_b
 
 sim::Task<> BlockCache::Quiesce(const fs::StripedFile& file) {
   for (;;) {
-    // Flush every dirty block (sequentially: the disk queue serializes
-    // anyway and dirty sets are small at quiesce time).
     bool flushed_any = false;
-    for (;;) {
-      std::uint64_t dirty_block = 0;
-      bool found = false;
-      for (auto& [block, entry] : blocks_) {
-        if (entry.state == State::kDirty) {
-          dirty_block = block;
-          found = true;
+    if (spec_.write_behind() == WriteBehindMode::kHighWater) {
+      // Drain the dirty set in LBN-sorted passes (the batch discipline).
+      for (;;) {
+        std::vector<std::uint64_t> dirty = DirtyBlocksByLbn(file);
+        if (dirty.empty()) {
           break;
         }
+        for (std::uint64_t block : dirty) {
+          auto it = blocks_.find(block);
+          if (it == blocks_.end()) {
+            continue;  // Evicted while an earlier flush was in flight.
+          }
+          co_await FlushEntry(file, block, it->second);
+          flushed_any = true;
+        }
       }
-      if (!found) {
-        break;
+    } else {
+      // Flush every dirty block (sequentially: the disk queue serializes
+      // anyway and dirty sets are small at quiesce time).
+      for (;;) {
+        std::uint64_t dirty_block = 0;
+        bool found = false;
+        for (auto& [block, entry] : blocks_) {
+          if (entry.state == State::kDirty) {
+            dirty_block = block;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          break;
+        }
+        co_await FlushEntry(file, dirty_block, blocks_.at(dirty_block));
+        flushed_any = true;
       }
-      co_await FlushEntry(file, dirty_block, blocks_.at(dirty_block));
-      flushed_any = true;
     }
     if (outstanding_io_ == 0 && !flushed_any) {
       co_return;

@@ -3,28 +3,36 @@
 // Mirrors the paper's baseline (Section 4, "Traditional caching"):
 //  * capacity sized to double-buffer an independent request stream from each
 //    CP to each local disk (2 x CPs x local disks buffers; footnote 3);
-//  * LRU replacement;
-//  * prefetch one block ahead (the next file block on the same disk) after
-//    each read request;
-//  * write-behind: a dirty buffer is flushed when its block is full, i.e.
-//    after n bytes have been written to an n-byte buffer [KE93];
+//  * pluggable replacement (src/tc/cache_policy.h; default LRU, the paper's
+//    policy — clock and segmented-LRU are registry alternatives);
+//  * read-ahead: prefetch the next K file blocks on the same disk after each
+//    read request (spec `ra=K`; the paper's design is K=1);
+//  * write-behind: under `wb=full` a dirty buffer is flushed when its block
+//    is full, i.e. after n bytes have been written to an n-byte buffer
+//    [KE93]; under `wb=hi:P` the dirty set is flushed as one LBN-sorted
+//    batch when it reaches P% of capacity;
 //  * evicting a partially-written block costs a read-modify-write.
 //
 // Concurrent requests for the same block coalesce: one disk read, all
 // waiters released when it completes ("interprocess spatial locality").
+//
+// A default-constructed CacheSpec (lru:ra=1,wb=full) reproduces the
+// pre-policy cache byte-identically.
 
 #ifndef DDIO_SRC_TC_BLOCK_CACHE_H_
 #define DDIO_SRC_TC_BLOCK_CACHE_H_
 
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/machine.h"
 #include "src/core/op_stats.h"
 #include "src/fs/striped_file.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
+#include "src/tc/cache_policy.h"
 
 namespace ddio::tc {
 
@@ -33,7 +41,8 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_wasted = 0;   // Prefetched but evicted unreferenced.
-  std::uint64_t flushes = 0;
+  std::uint64_t flushes = 0;           // Flushes whose disk write succeeded.
+  std::uint64_t failed_flushes = 0;    // Flushes refused by a failed disk.
   std::uint64_t rmw_flushes = 0;       // Partial-block flushes (read-modify-write).
   std::uint64_t evictions = 0;
   std::uint64_t io_errors = 0;         // Disk ops refused by a failed disk.
@@ -43,12 +52,13 @@ class BlockCache {
  public:
   // `capacity_blocks` buffers; the IOP serves the disks of `iop` in `machine`.
   // `tenant` tags this cache's disk traffic for per-tenant QoS/accounting
-  // (0 = the single-tenant machine).
+  // (0 = the single-tenant machine). `spec` selects the replacement policy
+  // and write-behind mode (the default is the paper's cache).
   BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t capacity_blocks,
-             std::uint8_t tenant = 0);
+             std::uint8_t tenant = 0, const CacheSpec& spec = CacheSpec{});
 
-  // Ensures `file_block` is valid in the cache (LRU-touched), reading it from
-  // disk on a miss; returns when the data is available to reply from.
+  // Ensures `file_block` is valid in the cache (policy-touched), reading it
+  // from disk on a miss; returns when the data is available to reply from.
   // `replica` selects which mirror copy's disk backs the block (0 = primary;
   // all healthy-path callers pass 0, which is byte-identical to the
   // pre-replica protocol). When the backing disk has failed, *ok (if
@@ -57,8 +67,9 @@ class BlockCache {
                         std::uint32_t replica = 0, bool* ok = nullptr);
 
   // Deposits `length` bytes into `file_block`'s buffer (allocating it on
-  // miss); triggers a write-behind flush when the block becomes full. The
-  // flush targets `replica`'s copy of the block.
+  // miss); triggers write-behind per the spec (flush-on-full, or an
+  // LBN-sorted batch at the dirty high-water mark). The flush targets
+  // `replica`'s copy of the block.
   sim::Task<> WriteBlock(const fs::StripedFile& file, std::uint64_t file_block,
                          std::uint32_t length, std::uint32_t replica = 0);
 
@@ -72,8 +83,11 @@ class BlockCache {
 
   bool Contains(std::uint64_t file_block) const { return blocks_.count(file_block) != 0; }
   const CacheStats& stats() const { return stats_; }
+  const CacheSpec& spec() const { return spec_; }
   std::uint32_t capacity() const { return capacity_; }
   std::size_t size() const { return blocks_.size(); }
+  std::uint32_t outstanding_io() const { return outstanding_io_; }
+  std::uint32_t dirty_blocks() const { return dirty_blocks_; }
 
  private:
   enum class State {
@@ -89,27 +103,40 @@ class BlockCache {
     std::uint32_t replica = 0;      // Mirror copy this entry is bound to.
     bool referenced = false;        // For prefetch-waste accounting.
     bool io_failed = false;         // Backing disk refused the last disk op.
-    std::list<std::uint64_t>::iterator lru_pos;
   };
 
   // Returns the entry for `file_block`, creating it in kReading state after
-  // evicting if needed. Sets `created`.
+  // evicting if needed. Sets `created`. `prefetched` tags the insert for the
+  // policy (speculative inserts may be segregated from the working set).
   sim::Task<Entry*> GetOrCreate(const fs::StripedFile& file, std::uint64_t file_block,
-                                bool* created);
+                                bool* created, bool prefetched);
   sim::Task<> EvictOne(const fs::StripedFile& file);
   sim::Task<> FlushEntry(const fs::StripedFile& file, std::uint64_t file_block, Entry& entry);
   sim::Task<> DiskRead(const fs::StripedFile& file, std::uint64_t file_block,
                        std::uint32_t replica, bool* ok);
-  void Touch(std::uint64_t file_block, Entry& entry);
+  // Marks `entry` dirty, maintaining the dirty-block count across state
+  // transitions (a block dirtied twice counts once).
+  void MarkDirty(Entry& entry);
+  // wb=hi: spawns one LBN-sorted batch flush when the dirty count crosses
+  // the high-water mark and no batch is already draining.
+  void MaybeStartBatchFlush(const fs::StripedFile& file);
+  sim::Task<> FlushDirtyBatch(const fs::StripedFile& file);
+  sim::Task<> FlushPinned(const fs::StripedFile& file, std::uint64_t file_block);
+  // The resident dirty set, ascending by on-disk LBN (ties by block number).
+  std::vector<std::uint64_t> DirtyBlocksByLbn(const fs::StripedFile& file) const;
 
   core::Machine& machine_;
   std::uint32_t iop_;
   std::uint32_t capacity_;
   std::uint8_t tenant_;
+  CacheSpec spec_;
+  std::unique_ptr<CachePolicy> policy_;
+  std::uint32_t wb_threshold_ = 0;  // Dirty blocks triggering a batch (wb=hi).
   std::unordered_map<std::uint64_t, Entry> blocks_;
-  std::list<std::uint64_t> lru_;  // Front = most recent.
   sim::Condition changed_;        // Any state change that could unblock waiters.
   std::uint32_t outstanding_io_ = 0;  // Disk ops in flight (incl. prefetch).
+  std::uint32_t dirty_blocks_ = 0;    // Entries in kDirty state.
+  bool batch_flush_active_ = false;   // A wb=hi batch drain is in flight.
   CacheStats stats_;
 };
 

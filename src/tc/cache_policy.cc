@@ -1,0 +1,448 @@
+#include "src/tc/cache_policy.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <list>
+#include <unordered_map>
+
+namespace ddio::tc {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+// Strict unsigned integer: consumes the WHOLE value (embedded NULs and
+// trailing junk shorten the consumed span and fail), bounds inclusive.
+bool ParseCount(const std::string& value, std::uint64_t min, std::uint64_t max,
+                std::uint64_t* out) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;  // No leading digit: rejects "", "-1", "+3", " 4".
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return false;
+  }
+  if (parsed < min || parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in policies.
+// ---------------------------------------------------------------------------
+
+// Strict LRU, the paper's policy. The scan order (and thus every eviction
+// decision) is identical to the pre-policy BlockCache: front = most recent,
+// victims scanned from the tail.
+class LruPolicy final : public CachePolicy {
+ public:
+  const char* name() const override { return "lru"; }
+
+  void OnInsert(std::uint64_t block, bool /*prefetched*/) override {
+    lru_.push_front(block);
+    pos_[block] = lru_.begin();
+  }
+
+  void OnAccess(std::uint64_t block) override {
+    auto it = pos_.find(block);
+    lru_.erase(it->second);
+    lru_.push_front(block);
+    it->second = lru_.begin();
+  }
+
+  void OnErase(std::uint64_t block) override {
+    auto it = pos_.find(block);
+    lru_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  std::optional<std::uint64_t> PickVictim(
+      const std::function<bool(std::uint64_t)>& evictable) override {
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (evictable(*it)) {
+        return *it;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::list<std::uint64_t> lru_;  // Front = most recent.
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> pos_;
+};
+
+// Second-chance clock (the Pintos/4.3BSD buffer-cache shape): blocks sit on
+// a ring; the hand clears use bits until it finds a clear, evictable block.
+// Demand traffic sets the use bit; prefetches enter with it clear, so an
+// unreferenced prefetch is reclaimed within one sweep.
+class ClockPolicy final : public CachePolicy {
+ public:
+  const char* name() const override { return "clock"; }
+
+  void OnInsert(std::uint64_t block, bool prefetched) override {
+    // New blocks enter just behind the hand: a full sweep reaches them last.
+    auto it = ring_.insert(ring_.empty() ? ring_.end() : hand_, block);
+    info_[block] = Info{it, !prefetched};
+    if (ring_.size() == 1) {
+      hand_ = it;
+    }
+  }
+
+  void OnAccess(std::uint64_t block) override { info_.at(block).use = true; }
+
+  void OnErase(std::uint64_t block) override {
+    auto it = info_.find(block);
+    if (hand_ == it->second.pos) {
+      ++hand_;  // PickVictim wraps end-of-ring back to the front.
+    }
+    ring_.erase(it->second.pos);
+    info_.erase(it);
+  }
+
+  std::optional<std::uint64_t> PickVictim(
+      const std::function<bool(std::uint64_t)>& evictable) override {
+    if (ring_.empty()) {
+      return std::nullopt;
+    }
+    // Two full sweeps suffice: the first can clear every use bit, the second
+    // must then hit any evictable block. More means nothing is evictable.
+    const std::size_t limit = 2 * ring_.size() + 1;
+    for (std::size_t step = 0; step < limit; ++step) {
+      if (hand_ == ring_.end()) {
+        hand_ = ring_.begin();
+      }
+      const std::uint64_t block = *hand_;
+      Info& info = info_.at(block);
+      if (info.use) {
+        info.use = false;
+        ++hand_;
+        continue;
+      }
+      if (evictable(block)) {
+        return block;  // OnErase advances the hand off the victim.
+      }
+      ++hand_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Info {
+    std::list<std::uint64_t>::iterator pos;
+    bool use = false;
+  };
+  std::list<std::uint64_t> ring_;  // Circular residence order.
+  std::list<std::uint64_t>::iterator hand_ = ring_.end();
+  std::unordered_map<std::uint64_t, Info> info_;
+};
+
+// Segmented LRU [Karedla et al. 94]: a probationary segment absorbs
+// speculative blocks, a protected segment (prot=P percent of capacity,
+// default 50) holds the demand working set. Demand inserts and hits promote
+// to protected (demoting its tail back to probationary MRU on overflow);
+// prefetches stay probationary until referenced. Victims drain probationary
+// LRU-first, then protected — so unreferenced read-ahead never displaces the
+// working set.
+class SlruPolicy final : public CachePolicy {
+ public:
+  SlruPolicy(std::uint32_t capacity_blocks, std::uint32_t protected_percent)
+      : protected_cap_(std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(capacity_blocks) * protected_percent / 100)) {}
+
+  const char* name() const override { return "slru"; }
+
+  void OnInsert(std::uint64_t block, bool prefetched) override {
+    if (prefetched) {
+      probation_.push_front(block);
+      info_[block] = Info{Segment::kProbation, probation_.begin()};
+    } else {
+      protected_.push_front(block);
+      info_[block] = Info{Segment::kProtected, protected_.begin()};
+      TrimProtected();
+    }
+  }
+
+  void OnAccess(std::uint64_t block) override {
+    Info& info = info_.at(block);
+    ListOf(info.segment).erase(info.pos);
+    protected_.push_front(block);
+    info = Info{Segment::kProtected, protected_.begin()};
+    TrimProtected();
+  }
+
+  void OnErase(std::uint64_t block) override {
+    auto it = info_.find(block);
+    ListOf(it->second.segment).erase(it->second.pos);
+    info_.erase(it);
+  }
+
+  std::optional<std::uint64_t> PickVictim(
+      const std::function<bool(std::uint64_t)>& evictable) override {
+    for (auto it = probation_.rbegin(); it != probation_.rend(); ++it) {
+      if (evictable(*it)) {
+        return *it;
+      }
+    }
+    for (auto it = protected_.rbegin(); it != protected_.rend(); ++it) {
+      if (evictable(*it)) {
+        return *it;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  enum class Segment : std::uint8_t { kProbation, kProtected };
+  struct Info {
+    Segment segment = Segment::kProbation;
+    std::list<std::uint64_t>::iterator pos;
+  };
+
+  std::list<std::uint64_t>& ListOf(Segment segment) {
+    return segment == Segment::kProbation ? probation_ : protected_;
+  }
+
+  void TrimProtected() {
+    while (protected_.size() > protected_cap_) {
+      const std::uint64_t demoted = protected_.back();
+      protected_.pop_back();
+      probation_.push_front(demoted);
+      info_.at(demoted) = Info{Segment::kProbation, probation_.begin()};
+    }
+  }
+
+  std::uint64_t protected_cap_;
+  std::list<std::uint64_t> probation_;  // Front = most recent.
+  std::list<std::uint64_t> protected_;  // Front = most recent.
+  std::unordered_map<std::uint64_t, Info> info_;
+};
+
+// ---------------------------------------------------------------------------
+// Built-in factories.
+// ---------------------------------------------------------------------------
+
+bool RejectParams(const char* policy, const CachePolicyRegistry::ParamList& params,
+                  std::string* error) {
+  if (params.empty()) {
+    return true;
+  }
+  Fail(error, std::string("tc cache policy ") + policy + ": unknown key \"" + params[0].first +
+                  "\" (this policy takes no parameters beyond ra/wb)");
+  return false;
+}
+
+std::unique_ptr<CachePolicy> MakeLru(std::uint32_t /*capacity*/,
+                                     const CachePolicyRegistry::ParamList& params,
+                                     std::string* error) {
+  if (!RejectParams("lru", params, error)) {
+    return nullptr;
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+std::unique_ptr<CachePolicy> MakeClock(std::uint32_t /*capacity*/,
+                                       const CachePolicyRegistry::ParamList& params,
+                                       std::string* error) {
+  if (!RejectParams("clock", params, error)) {
+    return nullptr;
+  }
+  return std::make_unique<ClockPolicy>();
+}
+
+std::unique_ptr<CachePolicy> MakeSlru(std::uint32_t capacity,
+                                      const CachePolicyRegistry::ParamList& params,
+                                      std::string* error) {
+  std::uint64_t protected_percent = 50;
+  for (const auto& [key, value] : params) {
+    if (key == "prot") {
+      if (!ParseCount(value, 1, 100, &protected_percent)) {
+        Fail(error, "tc cache policy slru: bad value \"" + value +
+                        "\" for prot (expected percent in [1, 100])");
+        return nullptr;
+      }
+    } else {
+      Fail(error, "tc cache policy slru: unknown key \"" + key + "\" (known: prot)");
+      return nullptr;
+    }
+  }
+  return std::make_unique<SlruPolicy>(capacity, static_cast<std::uint32_t>(protected_percent));
+}
+
+}  // namespace
+
+CachePolicyRegistry& CachePolicyRegistry::BuiltIns() {
+  // Heap-allocated and never destroyed, mirroring DiskModelRegistry: workers
+  // may still Create() during late shutdown, and the mutex makes the type
+  // immovable.
+  static CachePolicyRegistry& registry = *[] {
+    auto* built = new CachePolicyRegistry;
+    built->Register("lru", MakeLru);
+    built->Register("clock", MakeClock);
+    built->Register("slru", MakeSlru);
+    return built;
+  }();
+  return registry;
+}
+
+void CachePolicyRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+bool CachePolicyRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> CachePolicyRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string CachePolicyRegistry::NamesJoinedLocked(const char* sep) const {
+  std::string joined;
+  for (const auto& [name, factory] : factories_) {
+    if (!joined.empty()) {
+      joined += sep;
+    }
+    joined += name;
+  }
+  return joined;
+}
+
+std::string CachePolicyRegistry::NamesJoined(const char* sep) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NamesJoinedLocked(sep);
+}
+
+std::unique_ptr<CachePolicy> CachePolicyRegistry::Create(const std::string& name,
+                                                         std::uint32_t capacity_blocks,
+                                                         const ParamList& params,
+                                                         std::string* error) const {
+  // Copy the factory out under the lock, build outside it (same discipline
+  // as DiskModelRegistry::Create).
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      Fail(error, "unknown tc cache policy \"" + name + "\" (registered: " +
+                      NamesJoinedLocked(", ") + ")");
+      return nullptr;
+    }
+    factory = it->second;
+  }
+  return factory(capacity_blocks, params, error);
+}
+
+bool CacheSpec::TryParse(std::string_view text, CacheSpec* out, std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+
+  // Split the policy name at the FIRST ':' only — parameter values may
+  // themselves contain one (wb=hi:50).
+  const std::size_t colon = text.find(':');
+  const std::string name(text.substr(0, colon));
+  if (name.empty()) {
+    Fail(err, "tc cache spec is missing a policy name");
+    return false;
+  }
+
+  CachePolicyRegistry::ParamList params;
+  if (colon != std::string_view::npos) {
+    std::string_view rest = text.substr(colon + 1);
+    if (rest.empty()) {
+      Fail(err, "tc cache spec \"" + std::string(text) + "\" has a ':' but no parameters");
+      return false;
+    }
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view field = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+      const std::size_t eq = field.find('=');
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 >= field.size()) {
+        Fail(err, "tc cache spec parameter \"" + std::string(field) + "\" is not key=value");
+        return false;
+      }
+      params.emplace_back(std::string(field.substr(0, eq)), std::string(field.substr(eq + 1)));
+    }
+  }
+
+  // The spec consumes ra/wb itself; everything else goes to the policy.
+  std::uint32_t read_ahead = 1;
+  WriteBehindMode write_behind = WriteBehindMode::kFull;
+  std::uint32_t wb_percent = 0;
+  CachePolicyRegistry::ParamList policy_params;
+  for (const auto& [key, value] : params) {
+    std::uint64_t count = 0;
+    if (key == "ra") {
+      if (!ParseCount(value, 0, 64, &count)) {
+        Fail(err, "tc cache spec: bad value \"" + value +
+                      "\" for ra (expected blocks in [0, 64])");
+        return false;
+      }
+      read_ahead = static_cast<std::uint32_t>(count);
+    } else if (key == "wb") {
+      if (value == "full") {
+        write_behind = WriteBehindMode::kFull;
+        wb_percent = 0;
+      } else if (value.rfind("hi:", 0) == 0 && ParseCount(value.substr(3), 1, 100, &count)) {
+        write_behind = WriteBehindMode::kHighWater;
+        wb_percent = static_cast<std::uint32_t>(count);
+      } else {
+        Fail(err, "tc cache spec: bad value \"" + value +
+                      "\" for wb (expected full, or hi:P with P in [1, 100])");
+        return false;
+      }
+    } else {
+      policy_params.emplace_back(key, value);
+    }
+  }
+
+  // Validate the policy name and its parameters by building once — the same
+  // test-build discipline DiskSpec::TryParse applies.
+  std::unique_ptr<CachePolicy> probe =
+      CachePolicyRegistry::BuiltIns().Create(name, /*capacity_blocks=*/8, policy_params, err);
+  if (probe == nullptr) {
+    return false;
+  }
+
+  out->text_ = std::string(text);
+  out->policy_ = name;
+  out->policy_params_ = std::move(policy_params);
+  out->read_ahead_ = read_ahead;
+  out->write_behind_ = write_behind;
+  out->wb_percent_ = wb_percent;
+  return true;
+}
+
+std::unique_ptr<CachePolicy> CacheSpec::Build(std::uint32_t capacity_blocks) const {
+  std::string error;
+  std::unique_ptr<CachePolicy> policy =
+      CachePolicyRegistry::BuiltIns().Create(policy_, capacity_blocks, policy_params_, &error);
+  if (policy == nullptr) {
+    // Only reachable for a spec that bypassed TryParse (or a policy
+    // unregistered after parsing) — a programming error, not user input.
+    std::fprintf(stderr, "ddio::tc: cannot build cache policy from spec \"%s\": %s\n",
+                 text_.c_str(), error.c_str());
+    std::abort();
+  }
+  return policy;
+}
+
+}  // namespace ddio::tc

@@ -1,0 +1,134 @@
+// CachePolicy: the pluggable replacement/warming policy of the TC block
+// cache, registry-keyed exactly like access methods (src/core/fs_registry.h),
+// disk models (src/disk/disk_registry.h), tenants and fault plans.
+//
+// A policy owns only the ORDER in which resident blocks are considered for
+// eviction; residency, pinning, dirty tracking, and the disk state machine
+// stay in BlockCache. The cache calls OnInsert/OnAccess/OnErase as blocks
+// come, hit, and go, and PickVictim when it needs a buffer back.
+//
+// CacheSpec is the user-facing grammar behind `--tc-cache=SPEC`:
+//
+//   SPEC     := POLICY[:KEY=VALUE[,KEY=VALUE...]]
+//   POLICY   := lru | clock | slru          (or any registered name)
+//   ra=K     read-ahead depth in blocks per disk, K in [0, 64] (default 1;
+//            0 disables prefetching like --no-tc-prefetch)
+//   wb=full  legacy write-behind: flush a dirty buffer once its block is
+//            full (default; the paper's [KE93] rule)
+//   wb=hi:P  high-water write-behind: when dirty buffers reach P% of
+//            capacity (P in [1, 100]), flush the whole dirty set as one
+//            LBN-sorted batch
+//
+// Keys the spec itself does not consume are passed to the policy factory
+// (e.g. "slru:prot=75"). TryParse never aborts on user input — malformed
+// specs come back as false + *error, mirroring DiskSpec/TenantSpec.
+
+#ifndef DDIO_SRC_TC_CACHE_POLICY_H_
+#define DDIO_SRC_TC_CACHE_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ddio::tc {
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  // `block` became resident. `prefetched` marks speculative inserts (demand
+  // misses pass false) so policies can keep them out of the working set.
+  virtual void OnInsert(std::uint64_t block, bool prefetched) = 0;
+
+  // A resident `block` served a demand hit.
+  virtual void OnAccess(std::uint64_t block) = 0;
+
+  // `block` left the cache. Called exactly once per OnInsert.
+  virtual void OnErase(std::uint64_t block) = 0;
+
+  // Scans resident blocks in this policy's eviction-preference order and
+  // returns the first for which `evictable` is true (the cache vetoes pinned
+  // entries and entries with disk IO in flight). Returns nullopt when nothing
+  // is currently evictable; the cache then waits for a state change and asks
+  // again. Must not suspend.
+  virtual std::optional<std::uint64_t> PickVictim(
+      const std::function<bool(std::uint64_t)>& evictable) = 0;
+};
+
+class CachePolicyRegistry {
+ public:
+  using ParamList = std::vector<std::pair<std::string, std::string>>;
+  // Builds a policy for a cache of `capacity_blocks` buffers; returns null
+  // and sets *error on unknown/out-of-range parameters.
+  using Factory = std::function<std::unique_ptr<CachePolicy>(
+      std::uint32_t capacity_blocks, const ParamList& params, std::string* error)>;
+
+  // The global registry, preloaded with "lru", "clock", and "slru".
+  static CachePolicyRegistry& BuiltIns();
+
+  void Register(const std::string& name, Factory factory);
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+  std::string NamesJoined(const char* sep) const;
+
+  std::unique_ptr<CachePolicy> Create(const std::string& name, std::uint32_t capacity_blocks,
+                                      const ParamList& params, std::string* error) const;
+
+ private:
+  std::string NamesJoinedLocked(const char* sep) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+enum class WriteBehindMode : std::uint8_t {
+  kFull,       // Flush a dirty buffer the moment its block is full (legacy).
+  kHighWater,  // Flush the dirty set as an LBN-sorted batch at P% capacity.
+};
+
+// Parsed, validated form of a `--tc-cache=SPEC` string. Default-constructed
+// it is the paper's cache ("lru:ra=1,wb=full"), and BlockCache built from it
+// is byte-identical to the pre-policy implementation.
+class CacheSpec {
+ public:
+  CacheSpec() = default;
+
+  // Parses and validates `text` (policy params are validated by test-building
+  // the policy once, same discipline as DiskSpec). Never aborts: returns
+  // false and sets *error (if non-null) on malformed input; *out is only
+  // written on success.
+  static bool TryParse(std::string_view text, CacheSpec* out, std::string* error = nullptr);
+
+  // Builds the policy for a cache of `capacity_blocks` buffers. Aborts only
+  // for specs that bypassed TryParse (a programming error, not user input).
+  std::unique_ptr<CachePolicy> Build(std::uint32_t capacity_blocks) const;
+
+  const std::string& text() const { return text_; }
+  const std::string& policy() const { return policy_; }
+  // Prefetch depth per disk after a demand read; 0 disables read-ahead.
+  std::uint32_t read_ahead() const { return read_ahead_; }
+  WriteBehindMode write_behind() const { return write_behind_; }
+  // Dirty high-water threshold in percent of capacity (0 under wb=full).
+  std::uint32_t wb_percent() const { return wb_percent_; }
+
+ private:
+  std::string text_ = "lru:ra=1,wb=full";
+  std::string policy_ = "lru";
+  CachePolicyRegistry::ParamList policy_params_;
+  std::uint32_t read_ahead_ = 1;
+  WriteBehindMode write_behind_ = WriteBehindMode::kFull;
+  std::uint32_t wb_percent_ = 0;
+};
+
+}  // namespace ddio::tc
+
+#endif  // DDIO_SRC_TC_CACHE_POLICY_H_

@@ -1,5 +1,6 @@
 #include "src/tc/tc_fs.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 #include <utility>
@@ -27,7 +28,8 @@ void TcFileSystem::Start() {
     const std::uint32_t capacity =
         std::max<std::uint32_t>(2, params_.buffers_per_cp_per_disk * cps *
                                        std::max<std::uint32_t>(1, local_disks));
-    caches_.push_back(std::make_unique<BlockCache>(machine_, iop, capacity, params_.tenant));
+    caches_.push_back(
+        std::make_unique<BlockCache>(machine_, iop, capacity, params_.tenant, params_.cache));
     machine_.engine().Spawn(IopServer(iop));
   }
   for (std::uint32_t cp = 0; cp < cps; ++cp) {
@@ -119,13 +121,73 @@ sim::Task<> TcFileSystem::HandleRequest(std::uint32_t iop, net::TcRequest reques
   reply.payload = net::TcReply{request.request_id, request.length, request.file_offset, failed};
   co_await machine_.network().Send(std::move(reply));
 
-  // Prefetch one block ahead on the same disk after a read (Figure 1a:
-  // "consider prefetching or other optimizations"). Pointless once the disk
-  // has refused a read — every prefetch would fail the same way.
+  // Prefetch ahead on the same disk after a read (Figure 1a: "consider
+  // prefetching or other optimizations"). Pointless once the disk has
+  // refused a read — every prefetch would fail the same way. The depth comes
+  // from the cache spec (ra=K); K=1 is the paper's design and takes the
+  // identical single-block path.
   if (!request.is_write && params_.prefetch && !failed) {
-    const std::uint64_t next = block + file.num_disks();
-    if (next < file.num_blocks()) {
-      cache.PrefetchBlock(file, next, request.replica);
+    const std::uint32_t depth = params_.cache.read_ahead();
+    if (depth == 1) {
+      const std::uint64_t next = block + file.num_disks();
+      if (next < file.num_blocks()) {
+        cache.PrefetchBlock(file, next, request.replica);
+      }
+    } else if (depth > 1) {
+      // ra=K: the next K file blocks on this disk, issued in ascending-LBN
+      // order so the drive sees one sequential run (matters under random
+      // layouts, where file order and platter order diverge).
+      std::vector<std::uint64_t> targets;
+      targets.reserve(depth);
+      for (std::uint32_t d = 1; d <= depth; ++d) {
+        const std::uint64_t next = block + static_cast<std::uint64_t>(d) * file.num_disks();
+        if (next < file.num_blocks()) {
+          targets.push_back(next);
+        }
+      }
+      std::sort(targets.begin(), targets.end(), [&](std::uint64_t a, std::uint64_t b) {
+        return file.LbnOfBlockReplica(a, request.replica) <
+               file.LbnOfBlockReplica(b, request.replica);
+      });
+      for (std::uint64_t next : targets) {
+        cache.PrefetchBlock(file, next, request.replica);
+      }
+    }
+  }
+}
+
+void TcFileSystem::HintNextPhase(const fs::StripedFile& file,
+                                 const pattern::AccessPattern& pattern) {
+  if (!started_ || !params_.prefetch || pattern.spec().is_write || machine_.fault_active()) {
+    return;
+  }
+  if (file.num_disks() != machine_.num_disks()) {
+    return;
+  }
+  // Warm each IOP's cache with the head of the next phase's read set: the
+  // blocks of the first `depth` stripes that the pattern actually touches
+  // (one prefetch-depth's worth per disk), issued in ascending block order —
+  // which is ascending LBN per disk under every layout.
+  const std::uint32_t depth = std::max<std::uint32_t>(1, params_.cache.read_ahead());
+  const std::uint64_t prefix_blocks = std::min<std::uint64_t>(
+      file.num_blocks(), static_cast<std::uint64_t>(depth) * file.num_disks());
+  if (prefix_blocks == 0) {
+    return;
+  }
+  const std::uint64_t block_bytes = file.block_bytes();
+  const std::uint64_t prefix_bytes =
+      std::min<std::uint64_t>(file.file_bytes(), prefix_blocks * block_bytes);
+  std::vector<bool> wanted(prefix_blocks, false);
+  pattern.ForEachPieceInRange(0, prefix_bytes, [&](const pattern::AccessPattern::Piece& piece) {
+    const std::uint64_t first = piece.file_offset / block_bytes;
+    const std::uint64_t last = (piece.file_offset + piece.length - 1) / block_bytes;
+    for (std::uint64_t b = first; b <= last && b < prefix_blocks; ++b) {
+      wanted[b] = true;
+    }
+  });
+  for (std::uint64_t block = 0; block < prefix_blocks; ++block) {
+    if (wanted[block]) {
+      caches_[machine_.IopOfDisk(file.DiskOfBlock(block))]->PrefetchBlock(file, block);
     }
   }
 }

@@ -44,6 +44,11 @@ struct TcParams {
   std::uint32_t buffers_per_cp_per_disk = 2;
   // Prefetch one block ahead after each read request.
   bool prefetch = true;
+  // Replacement policy, read-ahead depth, and write-behind mode of every
+  // per-IOP cache (--tc-cache=SPEC). The default reproduces the paper's
+  // cache byte-identically. The effective read-ahead depth is gated by
+  // `prefetch` (false disables prefetching regardless of spec).
+  CacheSpec cache;
   // Future-work extension (paper Section 8): coalesce a CP's noncontiguous
   // runs within one file block into a single strided request, instead of one
   // request per run. Off = the paper's evaluated baseline.
@@ -80,6 +85,15 @@ class TcFileSystem : public core::FileSystem {
   // completion, including write-behind/prefetch drain.
   sim::Task<> RunCollective(const fs::StripedFile& file, const pattern::AccessPattern& pattern,
                             core::OpStats* stats) override;
+
+  // Cross-phase warming: prefetches the head of the next phase's read set
+  // (the first `ra` file blocks per disk) into the per-IOP caches, so the
+  // data streams in during the inter-phase compute gap. No-op for write
+  // patterns, with prefetch disabled, or under an active fault plan (a
+  // speculative read refused by a failed disk must not degrade the next
+  // phase's status).
+  void HintNextPhase(const fs::StripedFile& file,
+                     const pattern::AccessPattern& pattern) override;
 
   const BlockCache& cache(std::uint32_t iop) const { return *caches_[iop]; }
 

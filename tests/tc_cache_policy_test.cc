@@ -1,0 +1,341 @@
+// Tests for the pluggable TC cache-policy layer (src/tc/cache_policy.h):
+// per-policy eviction order, the --tc-cache spec grammar, read-ahead depth,
+// write-behind thresholds, and cross-phase prefetch hints. End-to-end checks
+// run real experiments through RunExperiment with a parsed CacheSpec.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/sim/time.h"
+#include "src/tc/cache_policy.h"
+
+namespace ddio::tc {
+namespace {
+
+// Drives a policy like BlockCache does: insert until `capacity` residents,
+// then each further insert evicts PickVictim first. Returns eviction order.
+std::vector<std::uint64_t> EvictionOrder(CachePolicy& policy, std::uint32_t capacity,
+                                         const std::vector<std::pair<std::uint64_t, bool>>& inserts) {
+  std::vector<std::uint64_t> evicted;
+  std::size_t resident = 0;
+  for (const auto& [block, prefetched] : inserts) {
+    if (resident == capacity) {
+      std::optional<std::uint64_t> victim = policy.PickVictim([](std::uint64_t) { return true; });
+      if (victim.has_value()) {
+        policy.OnErase(*victim);
+        evicted.push_back(*victim);
+        --resident;
+      }
+    }
+    policy.OnInsert(block, prefetched);
+    ++resident;
+  }
+  return evicted;
+}
+
+TEST(CachePolicyTest, LruEvictsLeastRecentlyUsed) {
+  std::string error;
+  auto policy = CachePolicyRegistry::BuiltIns().Create("lru", 3, {}, &error);
+  ASSERT_NE(policy, nullptr) << error;
+  // Insert 0,1,2 (cache full), access 0, insert 3 -> evicts 1 (LRU), then
+  // insert 4 -> evicts 2.
+  policy->OnInsert(0, false);
+  policy->OnInsert(1, false);
+  policy->OnInsert(2, false);
+  policy->OnAccess(0);
+  auto v1 = policy->PickVictim([](std::uint64_t) { return true; });
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v1, 1u);
+  policy->OnErase(*v1);
+  policy->OnInsert(3, false);
+  auto v2 = policy->PickVictim([](std::uint64_t) { return true; });
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v2, 2u);
+}
+
+TEST(CachePolicyTest, LruSkipsUnevictableBlocks) {
+  std::string error;
+  auto policy = CachePolicyRegistry::BuiltIns().Create("lru", 3, {}, &error);
+  ASSERT_NE(policy, nullptr) << error;
+  policy->OnInsert(0, false);
+  policy->OnInsert(1, false);
+  policy->OnInsert(2, false);
+  // 0 is LRU but pinned: the scan must pass over it and take 1.
+  auto victim = policy->PickVictim([](std::uint64_t b) { return b != 0; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);
+  // Nothing evictable -> no victim.
+  EXPECT_FALSE(policy->PickVictim([](std::uint64_t) { return false; }).has_value());
+}
+
+TEST(CachePolicyTest, ClockGivesSecondChanceToUsedBlocks) {
+  std::string error;
+  auto policy = CachePolicyRegistry::BuiltIns().Create("clock", 3, {}, &error);
+  ASSERT_NE(policy, nullptr) << error;
+  // Demand inserts set the use bit; an un-reaccessed prefetch does not.
+  policy->OnInsert(0, false);
+  policy->OnInsert(1, true);  // Prefetched, never accessed: use bit clear.
+  policy->OnInsert(2, false);
+  // The hand sweep clears 0's use bit, lands on 1 (clear) first.
+  auto victim = policy->PickVictim([](std::uint64_t) { return true; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);
+  policy->OnErase(*victim);
+  // Now 0 and 2 both had their bits cleared (or will be on this sweep):
+  // the next victim exists and is one of them.
+  auto next = policy->PickVictim([](std::uint64_t) { return true; });
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(*next == 0u || *next == 2u);
+}
+
+TEST(CachePolicyTest, ClockTerminatesWhenAllUsed) {
+  std::string error;
+  auto policy = CachePolicyRegistry::BuiltIns().Create("clock", 4, {}, &error);
+  ASSERT_NE(policy, nullptr) << error;
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    policy->OnInsert(b, false);
+    policy->OnAccess(b);
+  }
+  // All use bits set: first sweep clears them, second finds a victim. The
+  // bounded sweep must terminate and produce someone.
+  auto victim = policy->PickVictim([](std::uint64_t) { return true; });
+  EXPECT_TRUE(victim.has_value());
+  // And with nothing evictable it must terminate empty-handed, not spin.
+  EXPECT_FALSE(policy->PickVictim([](std::uint64_t) { return false; }).has_value());
+}
+
+TEST(CachePolicyTest, SlruEvictsProbationaryPrefetchesFirst) {
+  std::string error;
+  auto policy = CachePolicyRegistry::BuiltIns().Create("slru", 4, {}, &error);
+  ASSERT_NE(policy, nullptr) << error;
+  policy->OnInsert(10, false);  // Demand -> protected.
+  policy->OnInsert(11, true);   // Prefetch -> probationary.
+  policy->OnInsert(12, false);  // Demand -> protected.
+  policy->OnInsert(13, true);   // Prefetch -> probationary.
+  // Probationary LRU (11) goes before any protected block.
+  auto v1 = policy->PickVictim([](std::uint64_t) { return true; });
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v1, 11u);
+  policy->OnErase(*v1);
+  // Accessing 13 promotes it to protected; the probationary segment is now
+  // empty, so eviction falls back to the protected LRU (10).
+  policy->OnAccess(13);
+  auto v2 = policy->PickVictim([](std::uint64_t) { return true; });
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v2, 10u);
+}
+
+TEST(CachePolicyTest, SlruProtectedOverflowDemotesToProbation) {
+  std::string error;
+  // prot=25 of capacity 4 -> protected segment holds 1 block.
+  auto policy = CachePolicyRegistry::BuiltIns().Create(
+      "slru", 4, {{"prot", "25"}}, &error);
+  ASSERT_NE(policy, nullptr) << error;
+  policy->OnInsert(20, false);  // Protected {20}.
+  policy->OnInsert(21, false);  // 20 demoted to probation; protected {21}.
+  // Eviction prefers the probationary segment: 20, not 21.
+  auto victim = policy->PickVictim([](std::uint64_t) { return true; });
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 20u);
+}
+
+TEST(CachePolicyTest, EvictionOrderGoldens) {
+  // One sequence, three policies, three distinct orders — the behavioral
+  // fingerprint that the registry really dispatches distinct algorithms.
+  const std::vector<std::pair<std::uint64_t, bool>> inserts = {
+      {0, false}, {1, true}, {2, false}, {3, false}, {4, true}, {5, false}};
+  std::string error;
+  auto lru = CachePolicyRegistry::BuiltIns().Create("lru", 3, {}, &error);
+  ASSERT_NE(lru, nullptr) << error;
+  auto slru = CachePolicyRegistry::BuiltIns().Create("slru", 3, {}, &error);
+  ASSERT_NE(slru, nullptr) << error;
+  EXPECT_EQ(EvictionOrder(*lru, 3, inserts),
+            (std::vector<std::uint64_t>{0, 1, 2}));
+  // SLRU (capacity 3, prot=50 -> protected cap 1): prefetched 1 sits in
+  // probation and is the first to go; protected overflow demotions order the
+  // rest by demotion time.
+  EXPECT_EQ(EvictionOrder(*slru, 3, inserts),
+            (std::vector<std::uint64_t>{1, 0, 2}));
+}
+
+TEST(CacheSpecTest, DefaultsMatchThePaper) {
+  CacheSpec spec;
+  EXPECT_EQ(spec.text(), "lru:ra=1,wb=full");
+  EXPECT_EQ(spec.policy(), "lru");
+  EXPECT_EQ(spec.read_ahead(), 1u);
+  EXPECT_EQ(spec.write_behind(), WriteBehindMode::kFull);
+}
+
+TEST(CacheSpecTest, ParsesFullGrammar) {
+  CacheSpec spec;
+  std::string error;
+  ASSERT_TRUE(CacheSpec::TryParse("clock:ra=4,wb=hi:75", &spec, &error)) << error;
+  EXPECT_EQ(spec.policy(), "clock");
+  EXPECT_EQ(spec.read_ahead(), 4u);
+  EXPECT_EQ(spec.write_behind(), WriteBehindMode::kHighWater);
+  EXPECT_EQ(spec.wb_percent(), 75u);
+  EXPECT_EQ(spec.text(), "clock:ra=4,wb=hi:75");
+
+  ASSERT_TRUE(CacheSpec::TryParse("slru:prot=60,ra=0", &spec, &error)) << error;
+  EXPECT_EQ(spec.policy(), "slru");
+  EXPECT_EQ(spec.read_ahead(), 0u);
+  EXPECT_EQ(spec.write_behind(), WriteBehindMode::kFull);
+
+  ASSERT_TRUE(CacheSpec::TryParse("lru", &spec, &error)) << error;
+  EXPECT_EQ(spec.policy(), "lru");
+  EXPECT_EQ(spec.read_ahead(), 1u);
+}
+
+TEST(CacheSpecTest, RejectsMalformedSpecs) {
+  // Negative/fuzz table in the disk_registry_test idiom: every entry must
+  // fail cleanly (no abort), leave *out untouched, and produce a message.
+  const char* kBad[] = {
+      "",                    // Empty.
+      "lfu",                 // Unknown policy.
+      "lru:",                // Dangling colon.
+      "lru:ra",              // Not key=value.
+      "lru:ra=",             // Empty value.
+      "lru:=4",              // Empty key.
+      "lru:ra=four",         // Non-numeric.
+      "lru:ra=-1",           // Signs rejected.
+      "lru:ra=65",           // Above the [0, 64] cap.
+      "lru:ra=1e9",          // Scientific notation is trailing junk.
+      "lru:ra=4,,ra=5",      // Empty field mid-list.
+      "lru:wb=",             // Empty wb value.
+      "lru:wb=maybe",        // Unknown wb mode.
+      "lru:wb=hi",           // hi without :P.
+      "lru:wb=hi:",          // hi with empty P.
+      "lru:wb=hi:0",         // P below [1, 100].
+      "lru:wb=hi:101",       // P above [1, 100].
+      "lru:wb=hi:5x",        // Trailing junk in P.
+      "lru:bogus=1",         // lru takes no extra params.
+      "clock:prot=50",       // prot is slru-only.
+      "slru:prot=0",         // prot below [1, 100].
+      "slru:prot=101",       // prot above [1, 100].
+      "slru:prot=",          // Empty prot.
+      ":ra=1",               // Empty policy name.
+  };
+  for (const char* bad : kBad) {
+    CacheSpec spec;
+    std::string error;
+    EXPECT_FALSE(CacheSpec::TryParse(bad, &spec, &error)) << "accepted: " << bad;
+    EXPECT_FALSE(error.empty()) << "no error text for: " << bad;
+    // Failure must not clobber the output spec.
+    EXPECT_EQ(spec.text(), "lru:ra=1,wb=full") << "clobbered by: " << bad;
+  }
+}
+
+TEST(CacheSpecTest, RegistryListsBuiltInPolicies) {
+  auto& registry = CachePolicyRegistry::BuiltIns();
+  EXPECT_TRUE(registry.Has("lru"));
+  EXPECT_TRUE(registry.Has("clock"));
+  EXPECT_TRUE(registry.Has("slru"));
+  EXPECT_FALSE(registry.Has("lfu"));
+  std::string error;
+  EXPECT_EQ(registry.Create("nope", 8, {}, &error), nullptr);
+  EXPECT_NE(error.find("unknown tc cache policy"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: full TC experiments through RunExperiment with parsed specs.
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig TcConfig(const char* cache_spec) {
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 2;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 1024 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.method = core::Method::kTraditionalCaching;
+  cfg.trials = 2;
+  std::string error;
+  EXPECT_TRUE(CacheSpec::TryParse(cache_spec, &cfg.tc_cache, &error)) << error;
+  return cfg;
+}
+
+TEST(CachePolicyEndToEndTest, ReadAheadDepthScalesPrefetchVolume) {
+  auto prefetches = [](const char* spec) {
+    const core::ExperimentResult result = core::RunExperiment(TcConfig(spec));
+    std::uint64_t total = 0;
+    for (const core::OpStats& trial : result.trials) {
+      EXPECT_TRUE(trial.status.ok()) << spec;
+      total += trial.prefetches;
+    }
+    return total;
+  };
+  const std::uint64_t ra0 = prefetches("lru:ra=0");
+  const std::uint64_t ra1 = prefetches("lru:ra=1");
+  const std::uint64_t ra4 = prefetches("lru:ra=4");
+  EXPECT_EQ(ra0, 0u);
+  EXPECT_GT(ra1, 0u);
+  EXPECT_GT(ra4, ra1);
+}
+
+TEST(CachePolicyEndToEndTest, EveryPolicyCompletesEveryDirection) {
+  for (const char* spec : {"lru", "clock:ra=2", "slru:prot=60,ra=2,wb=hi:50"}) {
+    for (const char* pattern : {"rb", "wb", "rc", "wcc"}) {
+      core::ExperimentConfig cfg = TcConfig(spec);
+      cfg.pattern = pattern;
+      cfg.trials = 1;
+      const core::ExperimentResult result = core::RunExperiment(cfg);
+      ASSERT_EQ(result.trials.size(), 1u);
+      EXPECT_TRUE(result.trials[0].status.ok()) << spec << " " << pattern;
+      EXPECT_GT(result.mean_mbps, 0.0) << spec << " " << pattern;
+    }
+  }
+}
+
+TEST(CachePolicyEndToEndTest, NonDefaultSpecIsByteIdenticalAcrossJobs) {
+  // The jobs=N executor must not perturb results for the new cache machinery
+  // any more than for the default: same trials, same aggregates.
+  core::ExperimentConfig cfg = TcConfig("clock:ra=4,wb=hi:50");
+  cfg.trials = 4;
+  const core::ExperimentResult serial = core::RunExperiment(cfg, 1);
+  const core::ExperimentResult parallel = core::RunExperiment(cfg, 8);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+    EXPECT_EQ(serial.trials[t].start_ns, parallel.trials[t].start_ns) << t;
+    EXPECT_EQ(serial.trials[t].end_ns, parallel.trials[t].end_ns) << t;
+    EXPECT_EQ(serial.trials[t].cache_hits, parallel.trials[t].cache_hits) << t;
+    EXPECT_EQ(serial.trials[t].prefetches, parallel.trials[t].prefetches) << t;
+  }
+  EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps);
+  EXPECT_EQ(serial.cv, parallel.cv);
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+}
+
+TEST(CachePolicyEndToEndTest, CrossPhaseHintWarmsTheNextRead) {
+  // Two identical sessions re-reading the same file; one gets a
+  // HintNextPhase between the phases. The hinted session must see more
+  // phase-2 cache hits (the head of the read set was prefetched during the
+  // compute gap), and identical payload — hints change timing, not results.
+  core::WorkloadPhase phase;
+  phase.pattern = "rb";
+
+  auto run = [&](bool hinted) {
+    core::ExperimentConfig cfg = TcConfig("lru:ra=4");
+    core::WorkloadSession session(cfg, /*seed=*/7);
+    session.RunPhase(phase);
+    if (hinted) {
+      session.HintNextPhase(phase);
+    }
+    session.AdvanceCompute(sim::FromMs(200));
+    return session.RunPhase(phase);
+  };
+  const core::OpStats cold = run(false);
+  const core::OpStats warm = run(true);
+  EXPECT_TRUE(cold.status.ok());
+  EXPECT_TRUE(warm.status.ok());
+  EXPECT_EQ(cold.file_bytes, warm.file_bytes);
+  EXPECT_GT(warm.cache_hits, cold.cache_hits);
+}
+
+}  // namespace
+}  // namespace ddio::tc

@@ -5,11 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "src/core/machine.h"
+#include "src/fault/fault_spec.h"
 #include "src/fs/striped_file.h"
 #include "src/sim/engine.h"
 #include "src/tc/block_cache.h"
+#include "src/tc/cache_policy.h"
 
 namespace ddio::tc {
 namespace {
@@ -21,17 +24,28 @@ struct CacheFixture {
   std::unique_ptr<fs::StripedFile> file;
   std::unique_ptr<BlockCache> cache;
 
-  explicit CacheFixture(std::uint32_t capacity = 4) {
+  // `cache_spec` / `faults` are --tc-cache / --faults grammars; null = default.
+  explicit CacheFixture(std::uint32_t capacity = 4, const char* cache_spec = nullptr,
+                        const char* faults = nullptr) {
     config.num_cps = 2;
     config.num_iops = 1;
     config.num_disks = 1;
+    if (faults != nullptr) {
+      std::string error;
+      EXPECT_TRUE(fault::FaultSpec::TryParse(faults, &config.faults, &error)) << error;
+    }
     machine = std::make_unique<core::Machine>(engine, config);
     fs::StripedFile::Params params;
     params.file_bytes = 64 * 8192;  // 64 blocks.
     params.num_disks = 1;
     params.layout = fs::LayoutKind::kContiguous;
     file = std::make_unique<fs::StripedFile>(params, engine.rng());
-    cache = std::make_unique<BlockCache>(*machine, 0, capacity);
+    CacheSpec spec;
+    if (cache_spec != nullptr) {
+      std::string error;
+      EXPECT_TRUE(CacheSpec::TryParse(cache_spec, &spec, &error)) << error;
+    }
+    cache = std::make_unique<BlockCache>(*machine, 0, capacity, /*tenant=*/0, spec);
     machine->StartDisks();
   }
 
@@ -209,6 +223,111 @@ TEST(BlockCacheTest, QuiesceWaitsForPrefetchInFlight) {
   f.engine.Run();
   EXPECT_TRUE(quiesced);
   EXPECT_TRUE(f.cache->Contains(30));
+}
+
+TEST(BlockCacheTest, QuiesceSeesBarePrefetchCompletion) {
+  // Regression: DiskRead must publish its outstanding_io_ decrement on the
+  // cache's condition itself. A quiescer parked on
+  // WaitUntil(outstanding_io_ == 0) with ONLY prefetches in flight — no dirty
+  // blocks, no demand traffic — has no other wakeup source to piggyback on.
+  CacheFixture f;
+  for (std::uint64_t b = 0; b < 3; ++b) {
+    f.cache->PrefetchBlock(*f.file, 40 + b);
+  }
+  bool quiesced = false;
+  f.engine.Spawn([](CacheFixture& fx, bool& done) -> sim::Task<> {
+    co_await fx.cache->Quiesce(*fx.file);
+    done = true;
+  }(f, quiesced));
+  f.engine.Run();
+  EXPECT_TRUE(quiesced);
+  EXPECT_EQ(f.cache->outstanding_io(), 0u);
+  for (std::uint64_t b = 0; b < 3; ++b) {
+    EXPECT_TRUE(f.cache->Contains(40 + b));
+  }
+}
+
+TEST(BlockCacheTest, PrefetchLosingRaceToDemandReadNotCounted) {
+  // Regression: prefetch_issued is counted inside the spawned coroutine, at
+  // issue time — a prefetch that loses the GetOrCreate race with a demand
+  // read never touches the disk and must not inflate the count.
+  CacheFixture f;
+  f.engine.Spawn([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->ReadBlock(*fx.file, 11);
+  }(f));
+  // The block is not resident yet, so the synchronous dedup check passes and
+  // a prefetch coroutine is spawned — behind the demand read in the run queue.
+  f.cache->PrefetchBlock(*f.file, 11);
+  f.engine.Run();
+  EXPECT_EQ(f.cache->stats().prefetch_issued, 0u);
+  EXPECT_EQ(f.cache->stats().misses, 1u);
+  EXPECT_EQ(f.machine->Disk(0).stats().read_requests, 1u);
+}
+
+TEST(BlockCacheTest, FailedFlushesCountedSeparately) {
+  // A failed disk refuses every flush: the attempts must land in
+  // failed_flushes, not flushes, and each attempt lands in exactly one bucket.
+  CacheFixture f(/*capacity=*/4, /*cache_spec=*/nullptr, "disk:0,fail@t=0s");
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->WriteBlock(*fx.file, 0, 8192);  // Full: write-behind.
+    co_await fx.cache->WriteBlock(*fx.file, 1, 100);   // Partial: RMW at quiesce.
+    co_await fx.cache->Quiesce(*fx.file);
+  }(f));
+  EXPECT_EQ(f.cache->stats().flushes, 0u);
+  EXPECT_EQ(f.cache->stats().failed_flushes, 2u);
+  EXPECT_EQ(f.cache->stats().flushes + f.cache->stats().failed_flushes, 2u);
+  EXPECT_GE(f.cache->stats().io_errors, 2u);
+}
+
+TEST(BlockCacheTest, HealthyFlushesNeverCountAsFailed) {
+  CacheFixture f;
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->WriteBlock(*fx.file, 0, 8192);
+    co_await fx.cache->WriteBlock(*fx.file, 1, 100);
+    co_await fx.cache->Quiesce(*fx.file);
+  }(f));
+  EXPECT_EQ(f.cache->stats().flushes, 2u);
+  EXPECT_EQ(f.cache->stats().failed_flushes, 0u);
+  EXPECT_EQ(f.cache->stats().io_errors, 0u);
+}
+
+TEST(BlockCacheTest, HighWaterWriteBehindFlushesInBatches) {
+  CacheFixture f(/*capacity=*/8, "lru:wb=hi:50");  // Threshold: 4 dirty blocks.
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      co_await fx.cache->WriteBlock(*fx.file, b, 8192);
+    }
+  }(f));
+  // Below the high-water mark: every write acked from cache, no disk IO.
+  EXPECT_EQ(f.machine->Disk(0).stats().write_requests, 0u);
+  EXPECT_EQ(f.cache->dirty_blocks(), 3u);
+  f.Run([](CacheFixture& fx) -> sim::Task<> {
+    co_await fx.cache->WriteBlock(*fx.file, 3, 8192);  // Crosses the mark.
+  }(f));
+  // One batch of 4 full-block writes, no RMW reads.
+  EXPECT_EQ(f.machine->Disk(0).stats().write_requests, 4u);
+  EXPECT_EQ(f.machine->Disk(0).stats().read_requests, 0u);
+  EXPECT_EQ(f.cache->dirty_blocks(), 0u);
+  EXPECT_EQ(f.cache->stats().flushes, 4u);
+}
+
+TEST(BlockCacheTest, EvictionUnderBatchFlushPressureMakesProgress) {
+  // Regression for EvictOne's flush-race path: after a raced flush, the
+  // completion notification has already fired — parking on changed_ would
+  // miss it; the evictor must rescan immediately. Run high-water write-behind
+  // (concurrent batch flushers, the realistic race source) through a small
+  // cache and require the run to drain completely.
+  CacheFixture f(/*capacity=*/4, "lru:wb=hi:50");  // Threshold: 2 dirty blocks.
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    f.engine.Spawn([](CacheFixture& fx, std::uint64_t block) -> sim::Task<> {
+      co_await fx.cache->WriteBlock(*fx.file, block, 8192);
+    }(f, b));
+  }
+  f.engine.Run();
+  f.Run([](CacheFixture& fx) -> sim::Task<> { co_await fx.cache->Quiesce(*fx.file); }(f));
+  EXPECT_EQ(f.cache->dirty_blocks(), 0u);
+  EXPECT_EQ(f.cache->stats().flushes, 8u);
+  EXPECT_EQ(f.machine->Disk(0).stats().write_requests, 8u);
 }
 
 }  // namespace
