@@ -12,6 +12,9 @@
 //                 hp97560:seg=4, fixed:lat=0.2ms,bw=40MB, or
 //                 ssd:chan=4,rlat=80us,wlat=200us; '+'-join specs for a
 //                 heterogeneous fleet (round-robin over the disks)
+//   --net=SPEC    interconnect topology from the TopologyRegistry, e.g.
+//                 torus:w=8,h=8 or tree:radix=32,up=400MB (default: torus
+//                 sized for the node count, as in the paper)
 //   --json=PATH   also write machine-readable results (per-point means/CIs)
 //                 to PATH
 
@@ -28,6 +31,7 @@
 
 #include "src/core/config.h"
 #include "src/disk/disk_registry.h"
+#include "src/net/net_spec.h"
 
 namespace ddio::bench {
 
@@ -39,6 +43,9 @@ struct BenchOptions {
   std::string json_path;  // Empty: no JSON output.
   // Parsed --disk fleet; empty = the config default (hp97560).
   std::vector<disk::DiskSpec> disks;
+  // Parsed --net topology; default torus keeps runs identical to the
+  // pre-flag binaries.
+  net::NetSpec net;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions options;
@@ -67,15 +74,23 @@ struct BenchOptions {
           std::fprintf(stderr, "--disk: %s\n", error.c_str());
           std::exit(2);
         }
+      } else if (std::strncmp(arg, "--net=", 6) == 0) {
+        std::string error;
+        if (!net::NetSpec::TryParse(arg + 6, &options.net, &error)) {
+          std::fprintf(stderr, "--net: %s\n", error.c_str());
+          std::exit(2);
+        }
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         options.json_path = arg + 7;
       } else if (std::strcmp(arg, "--help") == 0) {
         std::printf(
             "usage: %s [--trials=N] [--file-mb=N] [--quick] [--jobs=N] [--disk=SPEC]\n"
-            "          [--json=PATH]\n"
+            "          [--net=SPEC] [--json=PATH]\n"
             "  --disk models (%s): e.g. hp97560:seg=4, fixed:lat=0.2ms,bw=40MB,\n"
-            "         ssd:chan=4,rlat=80us,wlat=200us; '+'-join for a fleet\n",
-            argv[0], disk::DiskModelRegistry::BuiltIns().NamesJoined(" | ").c_str());
+            "         ssd:chan=4,rlat=80us,wlat=200us; '+'-join for a fleet\n"
+            "  --net topologies (%s): e.g. torus:w=8,h=8, tree:radix=32,up=400MB\n",
+            argv[0], disk::DiskModelRegistry::BuiltIns().NamesJoined(" | ").c_str(),
+            net::TopologyRegistry::BuiltIns().NamesJoined(" | ").c_str());
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg);
@@ -91,11 +106,20 @@ struct BenchOptions {
 
   std::uint64_t file_bytes() const { return file_mb * 1024 * 1024; }
 
-  // Applies the parsed --disk fleet to a machine config (no-op without
-  // --disk, keeping default runs bit-identical to the pre-flag binaries).
+  // Applies the parsed --disk fleet and --net topology to a machine config
+  // (no-op without the flags, keeping default runs bit-identical to the
+  // pre-flag binaries).
   void ApplyMachine(core::MachineConfig* machine) const {
     if (!disks.empty()) {
       machine->SetDisks(disks);
+    }
+    if (!(net == net::NetSpec())) {
+      std::string error;
+      if (!net.Validate(machine->num_nodes(), &error)) {
+        std::fprintf(stderr, "--net: %s\n", error.c_str());
+        std::exit(2);
+      }
+      machine->net.topology = net;
     }
   }
 };
@@ -159,6 +183,9 @@ inline void PrintPreamble(const char* title, const char* paper_reference,
   std::printf("paper reference: %s\n", paper_reference);
   if (!options.disks.empty()) {
     std::printf("disk model: %s\n", disk::JoinSpecTexts(options.disks).c_str());
+  }
+  if (!(options.net == net::NetSpec())) {
+    std::printf("net topology: %s\n", options.net.text().c_str());
   }
   std::printf("file: %llu MB, trials per point: %u\n\n",
               static_cast<unsigned long long>(options.file_mb), options.trials);

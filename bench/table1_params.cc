@@ -2,7 +2,8 @@
 // reproduction uses, next to the values the paper lists, and the derived
 // rates the rest of the evaluation depends on. The storage device is
 // resolved through the DiskModelRegistry — pass --disk=SPEC to print any
-// model's parameters (the paper column cites the HP 97560 it used).
+// model's parameters (the paper column cites the HP 97560 it used) — and the
+// interconnect through the TopologyRegistry (--net=SPEC).
 
 #include <cstdio>
 #include <cstring>
@@ -12,7 +13,7 @@
 #include "src/core/config.h"
 #include "src/core/report.h"
 #include "src/disk/disk_registry.h"
-#include "src/net/topology.h"
+#include "src/net/net_spec.h"
 
 int main(int argc, char** argv) {
   using ddio::core::Fixed;
@@ -24,14 +25,27 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--disk: %s\n", error.c_str());
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--net=", 6) == 0) {
+      std::string error;
+      if (!ddio::net::NetSpec::TryParse(argv[i] + 6, &config.net.topology, &error)) {
+        std::fprintf(stderr, "--net: %s\n", error.c_str());
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--disk=SPEC]  (models: %s)\n", argv[0],
-                   ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined(", ").c_str());
+      std::fprintf(stderr, "usage: %s [--disk=SPEC] [--net=SPEC]  (disks: %s; topologies: %s)\n",
+                   argv[0],
+                   ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined(", ").c_str(),
+                   ddio::net::TopologyRegistry::BuiltIns().NamesJoined(", ").c_str());
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }
+  std::string net_error;
+  if (!config.net.topology.Validate(config.num_nodes(), &net_error)) {
+    std::fprintf(stderr, "--net: %s\n", net_error.c_str());
+    return 2;
+  }
   auto disk = config.disk.Build();
-  auto torus = ddio::net::TorusTopology::ForNodeCount(config.num_nodes());
+  auto topology = config.net.topology.Build(config.num_nodes());
 
   std::printf("== Table 1: Parameters for simulator ==\n\n");
   ddio::core::Table table({"parameter", "this reproduction", "paper"});
@@ -57,9 +71,7 @@ int main(int argc, char** argv) {
                 Fixed(static_cast<double>(config.bus_bandwidth_bytes_per_sec) / 1e6, 0) +
                     " MB/s",
                 "10 Mbytes/s"});
-  table.AddRow({"Interconnect topology",
-                std::to_string(torus.width()) + "x" + std::to_string(torus.height()) + " torus",
-                "6x6 torus"});
+  table.AddRow({"Interconnect topology", topology->Describe(), "6x6 torus"});
   table.AddRow({"Interconnect bandwidth",
                 Fixed(static_cast<double>(config.net.link_bandwidth_bytes_per_sec) / 1e6, 0) +
                     "e6 bytes/s bidirectional",
@@ -67,7 +79,8 @@ int main(int argc, char** argv) {
   table.AddRow({"Interconnect latency",
                 std::to_string(config.net.per_hop_latency_ns) + " ns per router",
                 "20 ns per router"});
-  table.AddRow({"Routing", "store-and-forward NIC model (see DESIGN.md)", "wormhole"});
+  table.AddRow({"Routing", "store-and-forward NIC model (see README: Performance methodology)",
+                "wormhole"});
   table.Print(std::cout);
 
   std::printf("\nDisk model parameters (%s):\n", config.disk.text().c_str());

@@ -20,6 +20,9 @@
 //   --disk=SPEC        storage-device model: hp97560 | hp97560:seg=4,ra=256 |
 //                      fixed:lat=0.2ms,bw=40MB | ssd:chan=4,rlat=80us,wlat=200us;
 //                      join with '+' for a heterogeneous fleet (round-robin)
+//   --net=SPEC         interconnect topology: torus (paper default) |
+//                      torus:w=8,h=8 | tree:radix=32,bw=1GB,up=400MB,lat=100ns
+//                      (hierarchical NIC -> ToR -> spine; up/uplat = trunks)
 //   --jobs=N           run independent trials on N threads (0 = all hardware
 //                      threads; default 1). Output is byte-identical for any N.
 //   --workload=SPEC    multi-operation session: "PHASE[;PHASE...]" with PHASE =
@@ -43,7 +46,7 @@
 //   --elevator         C-SCAN IOP disk queues (default FCFS)
 //   --strided          TC strided requests (future-work extension)
 //   --gather           DDIO gather/scatter Memput/Memget (future-work extension)
-//   --contention       model per-link wormhole contention on the torus
+//   --contention       model per-link contention on the interconnect
 //   --describe         print the pattern's chunk structure (Figure-2 cs/s) and exit
 //   --verbose          per-trial results + utilization snapshot
 
@@ -66,6 +69,7 @@
 #include "src/fault/fault_spec.h"
 #include "src/fs/layout.h"
 #include "src/fs/striped_file.h"
+#include "src/net/net_spec.h"
 #include "src/pattern/pattern.h"
 #include "src/sim/engine.h"
 #include "src/tc/cache_policy.h"
@@ -79,7 +83,7 @@ namespace {
       stderr,
       "usage: %s [--pattern=NAME] [--record=BYTES] [--method=%s]\n"
       "          [--layout=contiguous|random|mirror:K] [--cps=N] [--iops=N] [--disks=N]\n"
-      "          [--disk=SPEC] [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N]\n"
+      "          [--disk=SPEC] [--net=SPEC] [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N]\n"
       "          [--workload=SPEC] [--tenants=SPEC] [--filter=F] [--filter-seed=N]\n"
       "          [--json=PATH] [--tc-cache=SPEC] [--faults=SPEC] [--elevator]\n"
       "          [--strided] [--gather]\n"
@@ -93,6 +97,9 @@ namespace {
       "  --disk storage-device models (%s): e.g. hp97560:seg=4,ra=256,\n"
       "         fixed:lat=0.2ms,bw=40MB, ssd:chan=4,rlat=80us,wlat=200us;\n"
       "         '+'-join specs for a heterogeneous fleet (round-robin over disks)\n"
+      "  --net interconnect topologies (%s): torus (paper default, near-square\n"
+      "         grid), torus:w=8,h=8, or tree:radix=32,bw=1GB,up=400MB,lat=100ns,\n"
+      "         uplat=500ns (NIC -> ToR -> spine; up/uplat set trunk links)\n"
       "  --jobs runs independent trials on N threads (0 = all hardware threads;\n"
       "         default 1); results are byte-identical for any N\n"
       "  --workload phases: PATTERN[,record=B][,mb=N][,file=K][,layout=L][,method=M]\n"
@@ -103,7 +110,7 @@ namespace {
       "         reps=N, compute=MS, deadline=DUR (sched=deadline only)\n"
       "  --filter runs a filtered collective read keeping fraction F in (0,1] of\n"
       "         records (needs a method with caps().supports_filtered_read)\n"
-      "  --contention models per-link wormhole contention on the torus\n"
+      "  --contention models per-link contention on the interconnect\n"
       "  --faults injects a seed-deterministic fault plan, events joined with ';':\n"
       "         disk:N,stall=DUR@t=TIME | disk:N,fail@t=TIME | iop:N,crash@t=TIME |\n"
       "         link:cpA-iopB,drop=P | link:cpA-iopB,delay=DUR (pair with\n"
@@ -112,7 +119,8 @@ namespace {
       "         resolved disk model, and the resolved fault plan, then exits\n",
       argv0, ddio::core::FileSystemRegistry::BuiltIns().NamesJoined("|").c_str(),
       ddio::tc::CachePolicyRegistry::BuiltIns().NamesJoined("|").c_str(),
-      ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined("|").c_str());
+      ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined("|").c_str(),
+      ddio::net::TopologyRegistry::BuiltIns().NamesJoined("|").c_str());
   std::exit(2);
 }
 
@@ -195,6 +203,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.machine.SetDisks(std::move(specs));
+    } else if (MatchFlag(arg, "--net", &value)) {
+      if (std::string net_error;
+          !net::NetSpec::TryParse(value, &cfg.machine.net.topology, &net_error)) {
+        std::fprintf(stderr, "--net: %s\n", net_error.c_str());
+        return 2;
+      }
     } else if (MatchFlag(arg, "--filter", &value)) {
       char* end = nullptr;
       filter_selectivity = std::strtod(value, &end);
@@ -254,6 +268,12 @@ int main(int argc, char** argv) {
       !cfg.machine.faults.Validate(cfg.machine.num_cps, cfg.machine.num_iops,
                                    cfg.machine.num_disks, &fault_error)) {
     std::fprintf(stderr, "--faults: %s\n", fault_error.c_str());
+    return 2;
+  }
+  // Same for the topology: an explicit grid must hold the final node count.
+  if (std::string net_error;
+      !cfg.machine.net.topology.Validate(cfg.machine.num_nodes(), &net_error)) {
+    std::fprintf(stderr, "--net: %s\n", net_error.c_str());
     return 2;
   }
   if (cfg.replicas > cfg.machine.num_disks) {
@@ -325,6 +345,9 @@ int main(int argc, char** argv) {
                 cfg.tc_cache.write_behind() == tc::WriteBehindMode::kFull
                     ? "flush-on-full"
                     : ("high-water " + std::to_string(cfg.tc_cache.wb_percent()) + "%").c_str());
+    std::printf("interconnect: %s%s\n",
+                cfg.machine.net.topology.Build(cfg.machine.num_nodes())->Describe().c_str(),
+                cfg.machine.net.model_link_contention ? " (per-link contention on)" : "");
     if (cfg.replicas > 1) {
       std::printf("layout: %s with %u mirror copies per block\n", fs::LayoutName(cfg.layout),
                   cfg.replicas);

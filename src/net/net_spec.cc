@@ -1,0 +1,334 @@
+#include "src/net/net_spec.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/net/tree_topology.h"
+
+namespace ddio::net {
+namespace {
+
+// Strict value parsers, same discipline as disk_registry.cc: consume the
+// WHOLE value (embedded NULs, trailing junk, and unit typos fail), reject
+// non-finite results, report through *error instead of aborting.
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+  return false;
+}
+
+bool ParseNumberPrefix(const std::string& value, double* out, std::size_t* consumed) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;  // No leading digit: rejects "", "-1", "+3", ".5", "inf".
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || !std::isfinite(parsed)) {
+    return false;  // Overflow ("1e999") lands here via ERANGE.
+  }
+  *out = parsed;
+  *consumed = static_cast<std::size_t>(end - value.c_str());
+  return true;
+}
+
+bool ParseCount(const std::string& value, std::uint64_t min, std::uint64_t max,
+                std::uint64_t* out) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size()) {
+    return false;  // Trailing junk or an embedded NUL shortens the consumed span.
+  }
+  if (parsed < min || parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+constexpr double kMinBandwidthBytesPerSec = 1.0;
+constexpr double kMaxBandwidthBytesPerSec = 1e15;
+constexpr double kMaxLatencyNs = 1e16;  // ~115 simulated days.
+
+// Bandwidth with a required unit (per second implied): "400MB", "1GB".
+bool ParseBandwidth(const std::string& value, std::uint64_t* out_bytes_per_sec) {
+  double number = 0;
+  std::size_t consumed = 0;
+  if (!ParseNumberPrefix(value, &number, &consumed)) {
+    return false;
+  }
+  const std::string unit = value.substr(consumed);
+  double scale = 0;
+  if (unit == "B") {
+    scale = 1.0;
+  } else if (unit == "KB") {
+    scale = 1e3;
+  } else if (unit == "MB") {
+    scale = 1e6;
+  } else if (unit == "GB") {
+    scale = 1e9;
+  } else {
+    return false;
+  }
+  const double bytes = number * scale;
+  if (!std::isfinite(bytes) || bytes < kMinBandwidthBytesPerSec ||
+      bytes > kMaxBandwidthBytesPerSec) {
+    return false;  // Zero bandwidth explodes transfer time; reject it here.
+  }
+  *out_bytes_per_sec = static_cast<std::uint64_t>(bytes);
+  return true;
+}
+
+// Latency with a required unit: "20ns", "1.5us", "0.1ms" -> whole ns.
+bool ParseLatencyNs(const std::string& value, sim::SimTime* out_ns) {
+  double number = 0;
+  std::size_t consumed = 0;
+  if (!ParseNumberPrefix(value, &number, &consumed)) {
+    return false;
+  }
+  const std::string unit = value.substr(consumed);
+  double scale_to_ns = 0;
+  if (unit == "ns") {
+    scale_to_ns = 1.0;
+  } else if (unit == "us") {
+    scale_to_ns = 1e3;
+  } else if (unit == "ms") {
+    scale_to_ns = 1e6;
+  } else if (unit == "s") {
+    scale_to_ns = 1e9;
+  } else {
+    return false;  // Unit is mandatory — "lat=5" is ambiguous, reject it.
+  }
+  const double ns = number * scale_to_ns;
+  if (!std::isfinite(ns) || ns < 1.0 || ns > kMaxLatencyNs) {
+    return false;  // Sub-ns rounds to a zero-latency hop; reject it.
+  }
+  *out_ns = static_cast<sim::SimTime>(ns);
+  return true;
+}
+
+std::string BadValue(const char* model, const std::string& key, const std::string& value,
+                     const char* expected) {
+  return std::string("net model ") + model + ": bad value \"" + value + "\" for " + key +
+         " (expected " + expected + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Built-in factories.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Topology> MakeTorus(std::uint32_t nodes,
+                                    const TopologyRegistry::ParamList& params,
+                                    std::string* error) {
+  std::uint64_t width = 0;
+  std::uint64_t height = 0;
+  for (const auto& [key, value] : params) {
+    std::uint64_t count = 0;
+    if (key == "w" || key == "h") {
+      if (!ParseCount(value, 1, 1024, &count)) {
+        Fail(error, BadValue("torus", key, value, "an integer in [1, 1024]"));
+        return nullptr;
+      }
+      (key == "w" ? width : height) = count;
+    } else {
+      Fail(error, "net model torus: unknown key \"" + key + "\" (known: w, h)");
+      return nullptr;
+    }
+  }
+  if ((width == 0) != (height == 0)) {
+    Fail(error, "net model torus: w= and h= must be given together");
+    return nullptr;
+  }
+  if (width == 0) {
+    return std::make_unique<TorusTopology>(TorusTopology::ForNodeCount(nodes));
+  }
+  if (width * height < nodes) {
+    Fail(error, "net model torus: " + std::to_string(width) + "x" +
+                    std::to_string(height) + " grid has fewer slots than " +
+                    std::to_string(nodes) + " nodes");
+    return nullptr;
+  }
+  return std::make_unique<TorusTopology>(static_cast<std::uint32_t>(width),
+                                         static_cast<std::uint32_t>(height), nodes);
+}
+
+std::unique_ptr<Topology> MakeTree(std::uint32_t nodes,
+                                   const TopologyRegistry::ParamList& params,
+                                   std::string* error) {
+  TreeTopology::Params p;
+  for (const auto& [key, value] : params) {
+    std::uint64_t count = 0;
+    if (key == "radix") {
+      if (!ParseCount(value, 1, 65536, &count)) {
+        Fail(error, BadValue("tree", key, value, "an integer in [1, 65536]"));
+        return nullptr;
+      }
+      p.radix = static_cast<std::uint32_t>(count);
+    } else if (key == "bw") {
+      if (!ParseBandwidth(value, &p.edge_bandwidth_bytes_per_sec)) {
+        Fail(error, BadValue("tree", key, value, "a rate like 400MB or 1GB"));
+        return nullptr;
+      }
+    } else if (key == "up") {
+      if (!ParseBandwidth(value, &p.trunk_bandwidth_bytes_per_sec)) {
+        Fail(error, BadValue("tree", key, value, "a rate like 400MB or 1GB"));
+        return nullptr;
+      }
+    } else if (key == "lat") {
+      if (!ParseLatencyNs(value, &p.edge_latency_ns)) {
+        Fail(error, BadValue("tree", key, value, "a time like 100ns or 1.5us"));
+        return nullptr;
+      }
+    } else if (key == "uplat") {
+      if (!ParseLatencyNs(value, &p.trunk_latency_ns)) {
+        Fail(error, BadValue("tree", key, value, "a time like 100ns or 1.5us"));
+        return nullptr;
+      }
+    } else {
+      Fail(error, "net model tree: unknown key \"" + key +
+                      "\" (known: radix, bw, up, lat, uplat)");
+      return nullptr;
+    }
+  }
+  return std::make_unique<TreeTopology>(nodes, p);
+}
+
+}  // namespace
+
+TopologyRegistry& TopologyRegistry::BuiltIns() {
+  // Heap-allocated and never destroyed, mirroring DiskModelRegistry.
+  static TopologyRegistry& registry = *[] {
+    auto* built = new TopologyRegistry;
+    built->Register("torus", MakeTorus);
+    built->Register("tree", MakeTree);
+    return built;
+  }();
+  return registry;
+}
+
+void TopologyRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+bool TopologyRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> TopologyRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string TopologyRegistry::NamesJoinedLocked(const char* sep) const {
+  std::string joined;
+  for (const auto& [name, factory] : factories_) {
+    if (!joined.empty()) {
+      joined += sep;
+    }
+    joined += name;
+  }
+  return joined;
+}
+
+std::string TopologyRegistry::NamesJoined(const char* sep) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NamesJoinedLocked(sep);
+}
+
+std::unique_ptr<Topology> TopologyRegistry::Create(std::string_view spec,
+                                                   std::uint32_t nodes,
+                                                   std::string* error) const {
+  const std::size_t colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  if (name.empty()) {
+    Fail(error, "net spec is missing a topology name");
+    return nullptr;
+  }
+
+  ParamList params;
+  if (colon != std::string_view::npos) {
+    std::string_view rest = spec.substr(colon + 1);
+    if (rest.empty()) {
+      Fail(error, "net spec \"" + std::string(spec) + "\" has a ':' but no parameters");
+      return nullptr;
+    }
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view field = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+      const std::size_t eq = field.find('=');
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 >= field.size()) {
+        Fail(error, "net spec parameter \"" + std::string(field) + "\" is not key=value");
+        return nullptr;
+      }
+      params.emplace_back(std::string(field.substr(0, eq)), std::string(field.substr(eq + 1)));
+    }
+  }
+
+  // Copy the factory out under the lock, build outside it.
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      Fail(error, "unknown net topology \"" + std::string(name) + "\" (registered: " +
+                      NamesJoinedLocked(", ") + ")");
+      return nullptr;
+    }
+    factory = it->second;
+  }
+  return factory(nodes, params, error);
+}
+
+bool NetSpec::TryParse(std::string_view text, NetSpec* out, std::string* error) {
+  std::string local_error;
+  // A 1-node test build exercises the grammar without tripping geometry
+  // constraints (any explicit torus grid holds 1 node).
+  std::unique_ptr<Topology> topology = TopologyRegistry::BuiltIns().Create(
+      text, 1, error != nullptr ? error : &local_error);
+  if (topology == nullptr) {
+    return false;
+  }
+  out->text_ = std::string(text);
+  const std::size_t colon = out->text_.find(':');
+  out->model_ = out->text_.substr(0, colon);
+  return true;
+}
+
+bool NetSpec::Validate(std::uint32_t nodes, std::string* error) const {
+  std::string local_error;
+  std::unique_ptr<Topology> topology = TopologyRegistry::BuiltIns().Create(
+      text_, nodes, error != nullptr ? error : &local_error);
+  return topology != nullptr;
+}
+
+std::unique_ptr<Topology> NetSpec::Build(std::uint32_t nodes) const {
+  std::string error;
+  std::unique_ptr<Topology> topology =
+      TopologyRegistry::BuiltIns().Create(text_, nodes, &error);
+  if (topology == nullptr) {
+    // Only reachable for a spec that bypassed TryParse/Validate (or a family
+    // unregistered after parsing) — a programming error, not user input.
+    std::fprintf(stderr, "ddio::net: cannot build topology from spec \"%s\": %s\n",
+                 text_.c_str(), error.c_str());
+    std::abort();
+  }
+  return topology;
+}
+
+}  // namespace ddio::net

@@ -1,0 +1,110 @@
+// TopologyRegistry + NetSpec: string-keyed interconnect models.
+//
+// A net spec is `model[:key=val,key=val,...]` — the interconnect mirror of
+// the DiskSpec / CacheSpec / FaultSpec grammars:
+//
+//   torus                         paper default: near-square grid for N nodes
+//   torus:w=8,h=8                 explicit grid (must hold all nodes)
+//   tree:radix=32                 ToR switches of 32 nodes under one spine
+//   tree:radix=32,up=400MB        oversubscribed trunks: 400 MB/s per ToR
+//   tree:bw=1GB,lat=100ns,uplat=500ns   per-level bandwidth and latency
+//
+// NetSpec::TryParse owns the grammar and NEVER aborts on user input
+// (unknown models/keys, malformed numbers, zero bandwidth, overflow,
+// embedded NULs all return false with an error message); every
+// user-supplied spec (`--net=`) is validated through it. Grammar checks are
+// node-count independent; Validate(nodes) re-checks the spec against the
+// machine's final geometry (e.g. an explicit torus grid too small for the
+// node count), again without aborting. A parsed+validated NetSpec is a
+// value: copy it into net::NetworkParams and Build(nodes) a fresh Topology.
+//
+// Thread safety: the registry is mutex-guarded like DiskModelRegistry,
+// with the same register-before-run contract.
+
+#ifndef DDIO_SRC_NET_NET_SPEC_H_
+#define DDIO_SRC_NET_NET_SPEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace ddio::net {
+
+class TopologyRegistry {
+ public:
+  // `key=value` pairs after the model name, in spec order. Factories must
+  // reject unknown keys and out-of-range values via *error, never abort.
+  using ParamList = std::vector<std::pair<std::string, std::string>>;
+  using Factory = std::function<std::unique_ptr<Topology>(
+      std::uint32_t nodes, const ParamList& params, std::string* error)>;
+
+  TopologyRegistry() = default;
+
+  // The process-wide registry preloaded with "torus" and "tree".
+  static TopologyRegistry& BuiltIns();
+
+  // Registers (or replaces) a topology family under `name`. Do this before
+  // the first parallel run.
+  void Register(const std::string& name, Factory factory);
+
+  bool Has(const std::string& name) const;
+
+  // Registered keys in sorted order / joined for usage text.
+  std::vector<std::string> Names() const;
+  std::string NamesJoined(const char* sep = ", ") const;
+
+  // Builds a topology for `nodes` processors from a full spec string.
+  // Returns nullptr and sets *error on ANY malformed input; never aborts.
+  std::unique_ptr<Topology> Create(std::string_view spec, std::uint32_t nodes,
+                                   std::string* error = nullptr) const;
+
+ private:
+  std::string NamesJoinedLocked(const char* sep) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+// A validated net spec. Default-constructed = "torus", the paper's
+// interconnect sized by ForNodeCount.
+class NetSpec {
+ public:
+  NetSpec() = default;
+
+  // Validates the grammar of `text` against the registry (a topology is
+  // test-built once for a 1-node machine and discarded — geometry
+  // constraints that depend on the node count are deferred to Validate).
+  // Returns false + *error on malformed specs; never aborts.
+  static bool TryParse(std::string_view text, NetSpec* out, std::string* error = nullptr);
+
+  // Re-checks the spec against the machine's actual node count (e.g.
+  // "torus:w=2,h=2" on a 33-node machine). Parse first; call this once the
+  // final geometry is known. Never aborts.
+  bool Validate(std::uint32_t nodes, std::string* error = nullptr) const;
+
+  // Builds a fresh topology instance for `nodes` processors. Validated
+  // specs always succeed; a NetSpec that bypassed TryParse/Validate aborts
+  // here (programmer error).
+  std::unique_ptr<Topology> Build(std::uint32_t nodes) const;
+
+  const std::string& text() const { return text_; }
+  const std::string& model() const { return model_; }  // Key before ':'.
+
+  bool operator==(const NetSpec& other) const { return text_ == other.text_; }
+
+ private:
+  std::string text_ = "torus";
+  std::string model_ = "torus";
+};
+
+}  // namespace ddio::net
+
+#endif  // DDIO_SRC_NET_NET_SPEC_H_

@@ -11,8 +11,12 @@ namespace ddio::net {
 
 Network::Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams params,
                  std::uint32_t num_tenants)
-    : engine_(engine), topology_(TorusTopology::ForNodeCount(node_count)), params_(params) {
+    : engine_(engine),
+      topology_(params.topology.Build(node_count)),
+      params_(std::move(params)) {
   assert(num_tenants >= 1);
+  // Message src/dst travel as uint16 on the wire.
+  assert(node_count <= 65536 && "node ids must fit in 16 bits");
   send_nic_.reserve(node_count);
   recv_nic_.reserve(node_count);
   for (std::uint32_t i = 0; i < node_count; ++i) {
@@ -29,18 +33,21 @@ Network::Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams pa
     }
   }
   if (params_.model_link_contention) {
-    links_.reserve(topology_.LinkCount());
-    for (std::uint32_t l = 0; l < topology_.LinkCount(); ++l) {
+    const std::uint32_t link_count = topology_->LinkCount();
+    links_.reserve(link_count);
+    for (std::uint32_t l = 0; l < link_count; ++l) {
       links_.push_back(std::make_unique<sim::Resource>(engine, "link_" + std::to_string(l)));
     }
   }
 }
 
-sim::Task<> Network::OccupyRoute(std::vector<LinkId> route, sim::SimTime duration) {
+sim::Task<> Network::OccupyRoute(std::vector<LinkId> route, std::uint64_t wire_bytes) {
   std::vector<sim::Task<>> uses;
   uses.reserve(route.size());
   for (LinkId link : route) {
-    uses.push_back(links_[link]->Use(duration));
+    const std::uint64_t bandwidth =
+        topology_->LinkBandwidth(link, params_.link_bandwidth_bytes_per_sec);
+    uses.push_back(links_[link]->Use(sim::TransferTimeNs(wire_bytes, bandwidth)));
   }
   co_await sim::WhenAll(engine_, std::move(uses));
 }
@@ -58,12 +65,14 @@ sim::Task<> Network::Send(Message msg) {
   assert(msg.tenant < num_tenants());
   const std::uint64_t wire_bytes = msg.data_bytes + params_.header_bytes;
   const sim::SimTime hop_latency =
-      params_.per_hop_latency_ns * topology_.Hops(msg.src, msg.dst);
+      topology_->RouteLatencyNs(msg.src, msg.dst, params_.per_hop_latency_ns);
   ++stats_.messages;
   stats_.data_bytes += msg.data_bytes;
   stats_.wire_bytes += wire_bytes;
-  // Inject: occupy the sender NIC for the full wire size.
-  co_await send_nic_[msg.src]->Transfer(wire_bytes, params_.link_bandwidth_bytes_per_sec);
+  // Inject: occupy the sender NIC for the full wire size at the access-link
+  // rate. A self-send pays only this leg (loopback DMA; see file comment).
+  co_await send_nic_[msg.src]->Transfer(
+      wire_bytes, topology_->NicBandwidth(msg.src, params_.link_bandwidth_bytes_per_sec));
   engine_.Spawn(Deliver(std::move(msg), hop_latency, wire_bytes));
 }
 
@@ -76,11 +85,8 @@ void Network::Post(Message msg) {
 void Network::SetLinkFault(std::uint32_t a, std::uint32_t b, double drop_probability,
                            sim::SimTime extra_delay_ns) {
   assert(a < node_count() && b < node_count());
-  if (link_faults_.empty()) {
-    link_faults_.resize(static_cast<std::size_t>(node_count()) * node_count());
-  }
   for (const auto& [src, dst] : {std::pair{a, b}, std::pair{b, a}}) {
-    LinkFault& fault = link_faults_[static_cast<std::size_t>(src) * node_count() + dst];
+    LinkFault& fault = link_faults_[FaultKey(src, dst)];
     fault.drop_probability = std::max(fault.drop_probability, drop_probability);
     fault.extra_delay_ns = std::max(fault.extra_delay_ns, extra_delay_ns);
   }
@@ -95,27 +101,29 @@ void Network::SetNodeDown(std::uint32_t node) {
 }
 
 sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_t wire_bytes) {
-  if (params_.model_link_contention && msg.src != msg.dst) {
+  const bool self_send = msg.src == msg.dst;
+  if (params_.model_link_contention && !self_send) {
     // The wormhole path holds every link on the route for the message's
     // serialization time; contention at any link stretches delivery.
-    co_await OccupyRoute(topology_.Route(msg.src, msg.dst),
-                         sim::TransferTimeNs(wire_bytes, params_.link_bandwidth_bytes_per_sec));
+    co_await OccupyRoute(topology_->Route(msg.src, msg.dst), wire_bytes);
   }
   if (hop_latency > 0) {
     co_await engine_.Delay(hop_latency);
   }
   if (!link_faults_.empty()) {
-    const LinkFault& fault =
-        link_faults_[static_cast<std::size_t>(msg.src) * node_count() + msg.dst];
-    if (fault.extra_delay_ns > 0) {
-      co_await engine_.Delay(fault.extra_delay_ns);
-    }
-    // Deterministic: one Rng draw per message on a lossy link, in event
-    // order, so the same plan + seed drops the same messages at any --jobs.
-    if (fault.drop_probability > 0 &&
-        engine_.rng().UniformDouble() < fault.drop_probability) {
-      ++stats_.dropped;
-      co_return;
+    const auto it = link_faults_.find(FaultKey(msg.src, msg.dst));
+    if (it != link_faults_.end()) {
+      const LinkFault& fault = it->second;
+      if (fault.extra_delay_ns > 0) {
+        co_await engine_.Delay(fault.extra_delay_ns);
+      }
+      // Deterministic: one Rng draw per message on a lossy link, in event
+      // order, so the same plan + seed drops the same messages at any --jobs.
+      if (fault.drop_probability > 0 &&
+          engine_.rng().UniformDouble() < fault.drop_probability) {
+        ++stats_.dropped;
+        co_return;
+      }
     }
   }
   if (NodeDown(msg.src) || NodeDown(msg.dst)) {
@@ -126,7 +134,10 @@ sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_
   }
   const std::uint16_t dst = msg.dst;
   const std::uint8_t tenant = msg.tenant;
-  co_await recv_nic_[dst]->Transfer(wire_bytes, params_.link_bandwidth_bytes_per_sec);
+  if (!self_send) {
+    co_await recv_nic_[dst]->Transfer(
+        wire_bytes, topology_->NicBandwidth(dst, params_.link_bandwidth_bytes_per_sec));
+  }
   inboxes_[tenant][dst]->Send(std::move(msg));
 }
 

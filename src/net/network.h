@@ -1,22 +1,39 @@
-// Network: message transport over the torus with per-node NIC serialization.
+// Network: message transport over a pluggable topology with per-node NIC
+// serialization.
 //
 // Timing model for one message of w wire bytes (header + data) from s to d:
 //   1. The sender's NIC serializes outgoing messages FIFO and occupies the
-//      link for w / bandwidth (DMA out of memory; no CPU occupancy).
-//   2. The wormhole-routed header crosses Hops(s,d) routers at 20 ns each.
+//      link for w / edge bandwidth (DMA out of memory; no CPU occupancy).
+//   2. The header crosses the route's switches/routers: RouteLatencyNs,
+//      which for the torus is Hops(s,d) x 20 ns (wormhole routing).
 //   3. The receiver's NIC serializes incoming messages and deposits the data
 //      by DMA; the message then appears in the destination's inbox channel.
 // Software send/dispatch costs are CPU costs and are charged by the protocol
 // code (see src/core/costs.h), not here.
+//
+// Self-sends (src == dst) model a loopback DMA: the message pays ONE NIC
+// serialization (the sender's outgoing engine copies it straight back into
+// the local inbox) at zero hop latency. It never touches the receive NIC,
+// the wire, or any link resource — charging both NICs would double-bill a
+// transfer the hardware performs once. Pinned by the self-send regression
+// in tests/net_spec_test.cc.
+//
+// The topology (torus by default, hierarchical tree, or any registered
+// model — see net_spec.h) decides hop counts, routes, per-level switch
+// latency, and per-link bandwidth. NIC serialization uses the edge
+// bandwidth of the endpoint's access link (NicBandwidth), which for flat
+// topologies is the single NetworkParams link rate.
 
 #ifndef DDIO_SRC_NET_NETWORK_H_
 #define DDIO_SRC_NET_NETWORK_H_
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/message.h"
+#include "src/net/net_spec.h"
 #include "src/net/topology.h"
 #include "src/sim/channel.h"
 #include "src/sim/engine.h"
@@ -30,11 +47,14 @@ struct NetworkParams {
   sim::SimTime per_hop_latency_ns = 20;                      // Table 1.
   std::uint32_t header_bytes = 32;  // Wire overhead per message.
   // When true, each message additionally occupies every directed link on
-  // its dimension-ordered route for its serialization time, so overlapping
-  // routes contend for link bandwidth. Default off: at the paper's loads
+  // its route for that link's serialization time, so overlapping routes
+  // contend for link bandwidth. Default off: at the paper's loads
   // (<= 37.5 MB/s total vs 200 MB/s links) in-network contention is
   // negligible, and bench/validation_contention measures exactly that.
   bool model_link_contention = false;
+  // Interconnect shape ("torus" by default — the paper's machine). Parsed
+  // from --net=SPEC; see net_spec.h for the grammar.
+  NetSpec topology;
 };
 
 struct NetworkStats {
@@ -70,7 +90,7 @@ class Network {
     return *inboxes_[tenant][node];
   }
 
-  const TorusTopology& topology() const { return topology_; }
+  const Topology& topology() const { return *topology_; }
   const NetworkParams& params() const { return params_; }
   const NetworkStats& stats() const { return stats_; }
   std::uint32_t node_count() const { return static_cast<std::uint32_t>(inboxes_[0].size()); }
@@ -80,34 +100,51 @@ class Network {
   double SendUtilization(std::uint32_t node) const { return send_nic_[node]->Utilization(); }
   double ReceiveUtilization(std::uint32_t node) const { return recv_nic_[node]->Utilization(); }
 
-  // Aggregate busy time across all torus links (contention mode only).
+  // Total NIC busy time for a node (tests / reports).
+  sim::SimTime SendNicBusyTime(std::uint32_t node) const { return send_nic_[node]->busy_time(); }
+  sim::SimTime ReceiveNicBusyTime(std::uint32_t node) const {
+    return recv_nic_[node]->busy_time();
+  }
+
+  // Aggregate busy time across all links (contention mode only).
   sim::SimTime TotalLinkBusyTime() const;
 
   // Fault injection (src/fault). SetLinkFault installs a per-message drop
-  // probability and/or extra delay on the directed link a->b AND b->a; the
-  // drop decision draws from the engine's Rng in deterministic event order.
-  // SetNodeDown makes every message to or from `node` vanish on the wire
-  // (the node crashed; its inbox is closed by the machine). With no faults
-  // installed, delivery takes the exact pre-fault code path.
+  // probability and/or extra delay on the directed node pair a->b AND b->a;
+  // the drop decision draws from the engine's Rng in deterministic event
+  // order. Faults are keyed by endpoints, not LinkIds, so a fault plan is
+  // topology-agnostic: the same plan degrades the same node pair on a torus
+  // or a tree. Storage is a sparse map sized by the number of injected
+  // faults, never by node_count squared. SetNodeDown makes every message to
+  // or from `node` vanish on the wire (the node crashed; its inbox is
+  // closed by the machine). With no faults installed, delivery takes the
+  // exact pre-fault code path.
   void SetLinkFault(std::uint32_t a, std::uint32_t b, double drop_probability,
                     sim::SimTime extra_delay_ns);
   void SetNodeDown(std::uint32_t node);
   bool NodeDown(std::uint32_t node) const {
     return !down_.empty() && down_[node] != 0;
   }
+  // Directed (src,dst) entries in the sparse fault map — 2 per SetLinkFault
+  // pair, regardless of machine size (the O(N^2) regression probe).
+  std::size_t link_fault_entries() const { return link_faults_.size(); }
 
  private:
   struct LinkFault {
     double drop_probability = 0.0;
     sim::SimTime extra_delay_ns = 0;
   };
+  static std::uint64_t FaultKey(std::uint32_t src, std::uint32_t dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
   sim::Task<> Deliver(Message msg, sim::SimTime hop_latency, std::uint64_t wire_bytes);
-  // Occupies every link of `route` for `duration`, concurrently; completes
-  // when the most-contended link has served this message.
-  sim::Task<> OccupyRoute(std::vector<LinkId> route, sim::SimTime duration);
+  // Occupies every link of `route` for its per-link serialization time of
+  // `wire_bytes`, concurrently; completes when the most-contended link has
+  // served this message.
+  sim::Task<> OccupyRoute(std::vector<LinkId> route, std::uint64_t wire_bytes);
 
   sim::Engine& engine_;
-  TorusTopology topology_;
+  std::unique_ptr<Topology> topology_;
   NetworkParams params_;
   std::vector<std::unique_ptr<sim::Resource>> send_nic_;
   std::vector<std::unique_ptr<sim::Resource>> recv_nic_;
@@ -117,8 +154,8 @@ class Network {
   NetworkStats stats_;
   // Fault state. Both empty on a healthy machine (the common case), so the
   // delivery fast path stays branch-cheap and draws no random numbers.
-  std::vector<LinkFault> link_faults_;  // Indexed src * node_count + dst.
-  std::vector<char> down_;              // Indexed by node; empty = all up.
+  std::unordered_map<std::uint64_t, LinkFault> link_faults_;  // Key (src<<32)|dst.
+  std::vector<char> down_;  // Indexed by node; empty = all up.
 };
 
 }  // namespace ddio::net

@@ -13,23 +13,25 @@ TorusTopology TorusTopology::ForNodeCount(std::uint32_t nodes) {
   if (width < height) {
     std::swap(width, height);
   }
-  return TorusTopology(width, height);
+  return TorusTopology(width, height, nodes);
 }
 
-TorusTopology::TorusTopology(std::uint32_t width, std::uint32_t height)
-    : width_(width), height_(height) {
+TorusTopology::TorusTopology(std::uint32_t width, std::uint32_t height,
+                             std::uint32_t nodes)
+    : width_(width), height_(height), nodes_(nodes == 0 ? width * height : nodes) {
   assert(width_ > 0 && height_ > 0);
+  assert(nodes_ <= width_ * height_);
 }
 
-std::vector<LinkId> TorusTopology::Route(std::uint32_t a, std::uint32_t b) const {
-  std::vector<LinkId> links;
+void TorusTopology::AppendRoute(std::uint32_t a, std::uint32_t b,
+                                std::vector<LinkId>* out) const {
   std::uint32_t x = a % width_;
   std::uint32_t y = a / width_;
   const std::uint32_t bx = b % width_;
   const std::uint32_t by = b / width_;
 
   auto link = [&](LinkDirection dir) {
-    links.push_back((y * width_ + x) * 4 + static_cast<LinkId>(dir));
+    out->push_back((y * width_ + x) * 4 + static_cast<LinkId>(dir));
   };
 
   // X dimension first, taking the shorter wrap direction (east on ties).
@@ -60,7 +62,6 @@ std::vector<LinkId> TorusTopology::Route(std::uint32_t a, std::uint32_t b) const
       y = (y + height_ - 1) % height_;
     }
   }
-  return links;
 }
 
 std::uint32_t TorusTopology::Hops(std::uint32_t a, std::uint32_t b) const {
@@ -73,6 +74,15 @@ std::uint32_t TorusTopology::Hops(std::uint32_t a, std::uint32_t b) const {
   const std::uint32_t wrap_dx = dx < width_ - dx ? dx : width_ - dx;
   const std::uint32_t wrap_dy = dy < height_ - dy ? dy : height_ - dy;
   return wrap_dx + wrap_dy;
+}
+
+std::string TorusTopology::Describe() const {
+  std::string text = std::to_string(width_) + "x" + std::to_string(height_) + " torus";
+  if (nodes_ < width_ * height_) {
+    text += " (" + std::to_string(nodes_) + " of " + std::to_string(width_ * height_) +
+            " slots populated)";
+  }
+  return text;
 }
 
 }  // namespace ddio::net

@@ -1,54 +1,149 @@
-// Torus interconnect topology (Table 1: 6x6 torus, wormhole routing,
-// 20 ns per router).
+// Interconnect topologies behind an abstract interface.
 //
-// The simulator needs only the hop count between nodes: with wormhole
-// routing, message latency is (hops x per-router latency) + payload time at
-// link bandwidth, and at the paper's traffic levels (<= 37.5 MB/s aggregate
-// against 200 MB/s links) in-network contention is negligible (see
-// DESIGN.md). Endpoint (NIC) bandwidth is modeled separately in network.h.
+// The simulator needs three things from a topology: the hop count between
+// nodes (message latency is hops x per-router latency + payload time at link
+// bandwidth), the directed-link route (only when per-link contention is
+// modeled — each link on the route is a FIFO sim::Resource), and per-link
+// bandwidth (flat topologies use one rate; hierarchical ones differ per
+// level). At the paper's traffic levels (<= 37.5 MB/s aggregate against
+// 200 MB/s links) in-network contention is negligible — see the
+// interconnect-substitution note in README "Performance methodology" and
+// bench/validation_contention, which measures exactly that. Endpoint (NIC)
+// bandwidth is modeled separately in network.h.
+//
+// Topologies are registry keys like disks and file systems: see
+// net_spec.h for the `--net=SPEC` grammar ("torus", "torus:w=8,h=8",
+// "tree:radix=32,up=400MB") and the TopologyRegistry. TorusTopology below
+// is the paper's interconnect (Table 1: 6x6 torus, wormhole routing, 20 ns
+// per router) and the default.
 
 #ifndef DDIO_SRC_NET_TOPOLOGY_H_
 #define DDIO_SRC_NET_TOPOLOGY_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "src/sim/time.h"
 
 namespace ddio::net {
 
 // One directed link of the torus, identified by its source grid slot and
-// direction. LinkId = slot * 4 + direction.
+// direction. LinkId = slot * 4 + direction. (Other topologies define their
+// own LinkId layout; ids are always dense in [0, LinkCount()).)
 enum class LinkDirection : std::uint8_t { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
 using LinkId = std::uint32_t;
 
-class TorusTopology {
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  // Registry key of the model family ("torus", "tree").
+  virtual const char* name() const = 0;
+
+  // Processors attached to this interconnect. Node ids on the wire are
+  // [0, node_count()).
+  virtual std::uint32_t node_count() const = 0;
+
+  // Link traversals between two nodes; 0 iff a == b. Message latency is
+  // RouteLatencyNs (Hops x the per-hop router latency for flat topologies).
+  virtual std::uint32_t Hops(std::uint32_t a, std::uint32_t b) const = 0;
+
+  // Appends the directed links of the route from `a` to `b` to *out (which
+  // is not cleared). Invariant for every topology: appends exactly
+  // Hops(a, b) links, each < LinkCount(), and consecutive links are
+  // adjacent. Appends nothing when a == b.
+  virtual void AppendRoute(std::uint32_t a, std::uint32_t b,
+                           std::vector<LinkId>* out) const = 0;
+
+  // Total directed links; every LinkId a route can mention is below this.
+  // In contention mode the network builds one FIFO resource per link.
+  virtual std::uint32_t LinkCount() const = 0;
+
+  // Largest Hops() between any two nodes.
+  virtual std::uint32_t Diameter() const = 0;
+
+  // Total router/switch latency along the route a -> b, given the default
+  // per-hop latency from NetworkParams. Flat topologies charge every hop
+  // the same; hierarchical ones override with per-level latencies.
+  virtual sim::SimTime RouteLatencyNs(std::uint32_t a, std::uint32_t b,
+                                      sim::SimTime per_hop_ns) const {
+    return static_cast<sim::SimTime>(Hops(a, b)) * per_hop_ns;
+  }
+
+  // Serialization bandwidth of link `link`; `fallback` is the flat
+  // NetworkParams link bandwidth. Hierarchical topologies override per
+  // level (e.g. oversubscribed ToR uplinks).
+  virtual std::uint64_t LinkBandwidth(LinkId link, std::uint64_t fallback) const {
+    (void)link;
+    return fallback;
+  }
+
+  // Serialization bandwidth of `node`'s access (NIC) link. The network
+  // charges NIC time at this rate; flat topologies use the single
+  // NetworkParams rate, hierarchical ones their edge-level rate.
+  virtual std::uint64_t NicBandwidth(std::uint32_t node, std::uint64_t fallback) const {
+    (void)node;
+    return fallback;
+  }
+
+  // One-line human description for --describe and bench preambles.
+  virtual std::string Describe() const = 0;
+
+  // Convenience wrapper allocating a fresh route vector (tests, one-off
+  // callers; the contention fast path uses AppendRoute into a reused or
+  // frame-local buffer).
+  std::vector<LinkId> Route(std::uint32_t a, std::uint32_t b) const {
+    std::vector<LinkId> out;
+    out.reserve(Hops(a, b));
+    AppendRoute(a, b, &out);
+    return out;
+  }
+};
+
+class TorusTopology : public Topology {
  public:
   // Builds a torus just large enough for `nodes` processors: the smallest
   // near-square WxH grid with W*H >= nodes (32 processors -> 6x6, matching
-  // the paper). Node ids are placed row-major.
+  // the paper). Node ids are placed row-major. A non-rectangular count
+  // leaves W*H - nodes phantom grid slots: the machine is built with a
+  // router at EVERY slot, so routes may legally traverse (and Diameter /
+  // LinkCount legally count) slots where no processor is attached — only
+  // processors [0, nodes) ever source or sink traffic. Pinned by the
+  // partial-grid suite in tests/net_spec_test.cc.
   static TorusTopology ForNodeCount(std::uint32_t nodes);
 
-  TorusTopology(std::uint32_t width, std::uint32_t height);
+  // `nodes` = processors attached (<= width * height); 0 means every slot
+  // holds a processor.
+  TorusTopology(std::uint32_t width, std::uint32_t height, std::uint32_t nodes = 0);
+
+  const char* name() const override { return "torus"; }
+  std::uint32_t node_count() const override { return nodes_; }
 
   std::uint32_t width() const { return width_; }
   std::uint32_t height() const { return height_; }
 
-  // Minimal hop count between two nodes with wrap-around links.
-  std::uint32_t Hops(std::uint32_t a, std::uint32_t b) const;
+  // Minimal hop count between two grid slots with wrap-around links.
+  std::uint32_t Hops(std::uint32_t a, std::uint32_t b) const override;
 
-  // Largest hop count between any two nodes (network diameter).
-  std::uint32_t Diameter() const { return width_ / 2 + height_ / 2; }
+  // Largest hop count between any two grid slots (network diameter).
+  std::uint32_t Diameter() const override { return width_ / 2 + height_ / 2; }
 
   // The directed links of the dimension-ordered (X then Y) minimal route
   // from `a` to `b`, taking the shorter wrap direction per dimension.
   // Empty when a == b. Size == Hops(a, b).
-  std::vector<LinkId> Route(std::uint32_t a, std::uint32_t b) const;
+  void AppendRoute(std::uint32_t a, std::uint32_t b,
+                   std::vector<LinkId>* out) const override;
 
   // Total directed links in the torus (4 per grid slot).
-  std::uint32_t LinkCount() const { return width_ * height_ * 4; }
+  std::uint32_t LinkCount() const override { return width_ * height_ * 4; }
+
+  std::string Describe() const override;
 
  private:
   std::uint32_t width_;
   std::uint32_t height_;
+  std::uint32_t nodes_;  // Processors attached; <= width_ * height_.
 };
 
 }  // namespace ddio::net

@@ -1,0 +1,76 @@
+#include "src/net/tree_topology.h"
+
+#include <cassert>
+
+namespace ddio::net {
+
+TreeTopology::TreeTopology(std::uint32_t nodes, Params params)
+    : nodes_(nodes), params_(params) {
+  assert(nodes_ > 0);
+  assert(params_.radix > 0);
+  tors_ = (nodes_ + params_.radix - 1) / params_.radix;
+}
+
+std::uint32_t TreeTopology::Hops(std::uint32_t a, std::uint32_t b) const {
+  if (a == b) {
+    return 0;
+  }
+  return TorOf(a) == TorOf(b) ? 2 : 4;
+}
+
+void TreeTopology::AppendRoute(std::uint32_t a, std::uint32_t b,
+                               std::vector<LinkId>* out) const {
+  if (a == b) {
+    return;
+  }
+  const std::uint32_t tor_a = TorOf(a);
+  const std::uint32_t tor_b = TorOf(b);
+  out->push_back(2 * a);  // a's NIC -> ToR.
+  if (tor_a != tor_b) {
+    out->push_back(2 * nodes_ + 2 * tor_a);      // ToR_a -> spine.
+    out->push_back(2 * nodes_ + 2 * tor_b + 1);  // spine -> ToR_b.
+  }
+  out->push_back(2 * b + 1);  // ToR -> b's NIC.
+}
+
+sim::SimTime TreeTopology::RouteLatencyNs(std::uint32_t a, std::uint32_t b,
+                                          sim::SimTime per_hop_ns) const {
+  const sim::SimTime edge =
+      params_.edge_latency_ns != 0 ? params_.edge_latency_ns : per_hop_ns;
+  const sim::SimTime trunk =
+      params_.trunk_latency_ns != 0 ? params_.trunk_latency_ns : edge;
+  if (a == b) {
+    return 0;
+  }
+  return TorOf(a) == TorOf(b) ? 2 * edge : 2 * edge + 2 * trunk;
+}
+
+std::uint64_t TreeTopology::LinkBandwidth(LinkId link,
+                                          std::uint64_t fallback) const {
+  const std::uint64_t edge = params_.edge_bandwidth_bytes_per_sec != 0
+                                 ? params_.edge_bandwidth_bytes_per_sec
+                                 : fallback;
+  if (!IsTrunkLink(link)) {
+    return edge;
+  }
+  return params_.trunk_bandwidth_bytes_per_sec != 0
+             ? params_.trunk_bandwidth_bytes_per_sec
+             : edge;
+}
+
+std::string TreeTopology::Describe() const {
+  std::string text = "tree: " + std::to_string(nodes_) + " nodes, " +
+                     std::to_string(tors_) + " ToR switch" +
+                     (tors_ == 1 ? "" : "es") + " (radix " +
+                     std::to_string(params_.radix) + ")";
+  if (params_.trunk_bandwidth_bytes_per_sec != 0 &&
+      params_.edge_bandwidth_bytes_per_sec != 0 &&
+      params_.trunk_bandwidth_bytes_per_sec <
+          static_cast<std::uint64_t>(params_.radix) *
+              params_.edge_bandwidth_bytes_per_sec) {
+    text += ", oversubscribed trunk";
+  }
+  return text;
+}
+
+}  // namespace ddio::net

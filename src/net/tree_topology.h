@@ -1,0 +1,88 @@
+// Hierarchical (datacenter-style) interconnect: NIC -> ToR switch -> spine.
+//
+// Every node hangs off a top-of-rack switch by a dedicated edge link pair;
+// ToR switches connect to a single spine by a trunk link pair. Routes are
+// deterministic and minimal:
+//
+//   same node            0 links
+//   same ToR             2 links  (up a -> ToR, ToR -> down b)
+//   across ToRs          4 links  (up a, ToR_a -> spine, spine -> ToR_b, down b)
+//
+// Hops() counts link traversals (so the Route/Hops invariant of Topology
+// holds), and RouteLatencyNs charges each traversal its level's switch
+// latency. Per-level bandwidth models oversubscription: all of a rack's
+// traffic to other racks shares one trunk pair, so a trunk rate below
+// radix x edge rate is an oversubscribed fabric — the interesting regime
+// for bench/fig_scale. The spine itself is not a contention point (a
+// non-blocking core); the trunk links are.
+//
+// LinkId layout (N nodes, T = ceil(N / radix) ToR switches):
+//   2*i       node i up-link    (NIC -> ToR)
+//   2*i + 1   node i down-link  (ToR -> NIC)
+//   2*N + 2*t     ToR t trunk up-link   (ToR -> spine)
+//   2*N + 2*t + 1 ToR t trunk down-link (spine -> ToR)
+// LinkCount = 2*N + 2*T (trunk links exist, but no route uses them, when
+// T == 1).
+
+#ifndef DDIO_SRC_NET_TREE_TOPOLOGY_H_
+#define DDIO_SRC_NET_TREE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/sim/time.h"
+
+namespace ddio::net {
+
+class TreeTopology : public Topology {
+ public:
+  struct Params {
+    std::uint32_t radix = 16;  // Nodes per ToR switch.
+    // Per-level overrides; 0 defers to the flat NetworkParams values
+    // (edge bandwidth -> link_bandwidth_bytes_per_sec, edge latency ->
+    // per_hop_latency_ns) and trunk values default to the edge values.
+    std::uint64_t edge_bandwidth_bytes_per_sec = 0;
+    std::uint64_t trunk_bandwidth_bytes_per_sec = 0;
+    sim::SimTime edge_latency_ns = 0;
+    sim::SimTime trunk_latency_ns = 0;
+  };
+
+  TreeTopology(std::uint32_t nodes, Params params);
+
+  const char* name() const override { return "tree"; }
+  std::uint32_t node_count() const override { return nodes_; }
+  std::uint32_t radix() const { return params_.radix; }
+  std::uint32_t tor_count() const { return tors_; }
+  std::uint32_t TorOf(std::uint32_t node) const { return node / params_.radix; }
+  const Params& params() const { return params_; }
+
+  std::uint32_t Hops(std::uint32_t a, std::uint32_t b) const override;
+  void AppendRoute(std::uint32_t a, std::uint32_t b,
+                   std::vector<LinkId>* out) const override;
+  std::uint32_t LinkCount() const override { return 2 * nodes_ + 2 * tors_; }
+  std::uint32_t Diameter() const override {
+    return tors_ > 1 ? 4 : (nodes_ > 1 ? 2 : 0);
+  }
+  sim::SimTime RouteLatencyNs(std::uint32_t a, std::uint32_t b,
+                              sim::SimTime per_hop_ns) const override;
+  std::uint64_t LinkBandwidth(LinkId link, std::uint64_t fallback) const override;
+  std::uint64_t NicBandwidth(std::uint32_t node, std::uint64_t fallback) const override {
+    (void)node;
+    return params_.edge_bandwidth_bytes_per_sec != 0 ? params_.edge_bandwidth_bytes_per_sec
+                                                     : fallback;
+  }
+  std::string Describe() const override;
+
+  bool IsTrunkLink(LinkId link) const { return link >= 2 * nodes_; }
+
+ private:
+  std::uint32_t nodes_;
+  std::uint32_t tors_;
+  Params params_;
+};
+
+}  // namespace ddio::net
+
+#endif  // DDIO_SRC_NET_TREE_TOPOLOGY_H_

@@ -1,0 +1,570 @@
+// Tests for the pluggable interconnect layer (src/net/net_spec.h,
+// tree_topology.h): the --net spec grammar (positive + negative/fuzz —
+// TryParse must never abort on user input), tree topology semantics, the
+// torus partial-grid routing contract, and the three net-layer bugfix
+// regressions: sparse link-fault storage, self-send NIC accounting, and
+// link faults composing with a non-default topology end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.h"
+#include "src/fault/fault_spec.h"
+#include "src/fs/layout.h"
+#include "src/net/net_spec.h"
+#include "src/net/network.h"
+#include "src/net/tree_topology.h"
+#include "src/net/topology.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace ddio::net {
+namespace {
+
+using namespace std::string_literals;
+
+// ---------------------------------------------------------------------------
+// Spec grammar: positive cases.
+// ---------------------------------------------------------------------------
+
+TEST(NetSpecTest, DefaultIsThePapersTorus) {
+  NetSpec spec;
+  EXPECT_EQ(spec.text(), "torus");
+  EXPECT_EQ(spec.model(), "torus");
+  auto topology = spec.Build(32);
+  EXPECT_STREQ(topology->name(), "torus");
+  EXPECT_EQ(topology->node_count(), 32u);
+  auto* torus = dynamic_cast<TorusTopology*>(topology.get());
+  ASSERT_NE(torus, nullptr);
+  EXPECT_EQ(torus->width(), 6u);
+  EXPECT_EQ(torus->height(), 6u);
+}
+
+TEST(NetSpecTest, ParsesEveryBuiltInWithParameters) {
+  const char* kSpecs[] = {
+      "torus",
+      "torus:w=8,h=8",
+      "torus:w=1,h=1",
+      "tree",
+      "tree:radix=32",
+      "tree:radix=32,up=400MB",
+      "tree:radix=8,bw=1GB,up=2GB,lat=100ns,uplat=1.5us",
+      "tree:lat=0.1ms",
+  };
+  for (const char* text : kSpecs) {
+    NetSpec spec;
+    std::string error;
+    EXPECT_TRUE(NetSpec::TryParse(text, &spec, &error)) << text << ": " << error;
+    EXPECT_EQ(spec.text(), text);
+    ASSERT_TRUE(spec.Validate(1, &error)) << text << ": " << error;
+    auto topology = spec.Build(1);
+    ASSERT_NE(topology, nullptr) << text;
+    EXPECT_FALSE(topology->Describe().empty()) << text;
+  }
+}
+
+TEST(NetSpecTest, ParametersReachTheModel) {
+  NetSpec spec;
+  ASSERT_TRUE(NetSpec::TryParse("tree:radix=8,bw=1GB,up=2GB,lat=100ns,uplat=1500ns", &spec));
+  auto topology = spec.Build(20);
+  auto* tree = dynamic_cast<TreeTopology*>(topology.get());
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->radix(), 8u);
+  EXPECT_EQ(tree->tor_count(), 3u);  // ceil(20 / 8).
+  EXPECT_EQ(tree->params().edge_bandwidth_bytes_per_sec, 1'000'000'000u);
+  EXPECT_EQ(tree->params().trunk_bandwidth_bytes_per_sec, 2'000'000'000u);
+  EXPECT_EQ(tree->params().edge_latency_ns, 100u);
+  EXPECT_EQ(tree->params().trunk_latency_ns, 1500u);
+}
+
+TEST(NetSpecTest, ValidateChecksGeometryAgainstNodeCount) {
+  NetSpec spec;
+  std::string error;
+  // Grammar-valid but too small for a 33-node machine.
+  ASSERT_TRUE(NetSpec::TryParse("torus:w=2,h=2", &spec, &error)) << error;
+  EXPECT_TRUE(spec.Validate(4, &error)) << error;
+  EXPECT_FALSE(spec.Validate(33, &error));
+  EXPECT_NE(error.find("fewer slots"), std::string::npos) << error;
+  // The tree fits any node count.
+  ASSERT_TRUE(NetSpec::TryParse("tree:radix=4", &spec, &error)) << error;
+  EXPECT_TRUE(spec.Validate(4096, &error)) << error;
+}
+
+TEST(TopologyRegistryTest, NamesAndCustomRegistration) {
+  auto names = TopologyRegistry::BuiltIns().Names();
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "torus"));
+  EXPECT_TRUE(std::count(names.begin(), names.end(), "tree"));
+  EXPECT_TRUE(TopologyRegistry::BuiltIns().Has("tree"));
+  EXPECT_FALSE(TopologyRegistry::BuiltIns().Has("dragonfly"));
+
+  // A custom family registers and parses without touching core code.
+  TopologyRegistry::BuiltIns().Register(
+      "testnet", [](std::uint32_t nodes, const TopologyRegistry::ParamList& params,
+                    std::string* error) -> std::unique_ptr<Topology> {
+        if (!params.empty()) {
+          if (error != nullptr) {
+            *error = "testnet takes no parameters";
+          }
+          return nullptr;
+        }
+        return std::make_unique<TorusTopology>(TorusTopology::ForNodeCount(nodes));
+      });
+  NetSpec spec;
+  EXPECT_TRUE(NetSpec::TryParse("testnet", &spec));
+  std::string error;
+  EXPECT_FALSE(NetSpec::TryParse("testnet:x=1", &spec, &error));
+  EXPECT_NE(error.find("no parameters"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar: negative / fuzz. TryParse must reject, never abort.
+// ---------------------------------------------------------------------------
+
+TEST(NetSpecFuzzTest, RejectsMalformedSpecs) {
+  const char* kBad[] = {
+      "",                       // No topology name.
+      ":",                      // Empty name, empty params.
+      "toru",                   // Unknown topology.
+      "TORUS",                  // Case-sensitive keys.
+      "mesh",                   // Not registered.
+      "torus:",                 // Colon with no params.
+      "torus:w",                // Not key=value.
+      "torus:w=",               // Empty value.
+      "torus:=8",               // Empty key.
+      "torus:w=8",              // w without h.
+      "torus:h=8",              // h without w.
+      "torus:w=0,h=8",          // Below minimum.
+      "torus:w=2000,h=2",       // Above maximum.
+      "torus:w=-6,h=6",         // Negative.
+      "torus:w=6.5,h=6",        // Not an integer.
+      "torus:x=6,y=6",          // Unknown keys.
+      "torus:w=99999999999999999999,h=1",  // uint64 overflow.
+      "tree:radix=0",           // Zero radix.
+      "tree:radix=65537",       // Above bound.
+      "tree:radix=-4",          // Negative.
+      "tree:radix=8.5",         // Not an integer.
+      "tree:radix=8,radix",     // Trailing non-kv field.
+      "tree:fanout=8",          // Unknown key.
+      "tree:bw=0MB",            // Zero bandwidth.
+      "tree:up=0GB",            // Zero trunk bandwidth.
+      "tree:bw=400",            // Missing bandwidth unit.
+      "tree:bw=400TB",          // Unknown unit.
+      "tree:bw=9e30GB",         // Absurd bandwidth.
+      "tree:bw=1e-300B",        // Denormal bandwidth explodes transfer time.
+      "tree:lat=20",            // Missing time unit.
+      "tree:lat=20sec",         // Bad unit.
+      "tree:lat=-20ns",         // Negative latency.
+      "tree:lat=0.1ns",         // Sub-ns rounds to a zero-cost hop.
+      "tree:lat=1e999ns",       // Double overflow (ERANGE).
+      "tree:uplat=9e300ms",     // Finite but far past the SimTime cast.
+      "tree:,",                 // Empty fields.
+  };
+  for (const char* text : kBad) {
+    NetSpec spec;
+    std::string error;
+    EXPECT_FALSE(NetSpec::TryParse(text, &spec, &error)) << "accepted: \"" << text << "\"";
+    EXPECT_FALSE(error.empty()) << text;
+  }
+  // Leading zeros parse as plain decimal (mirrors the disk spec grammar).
+  NetSpec spec;
+  EXPECT_TRUE(NetSpec::TryParse("tree:radix=007", &spec));
+}
+
+TEST(NetSpecFuzzTest, RejectsEmbeddedNulsAndJunkBytes) {
+  const std::string kBad[] = {
+      "torus\0:w=6,h=6"s,      // NUL inside the topology name.
+      "tree:radix=8\0"s,       // Trailing NUL in a count.
+      "tree:lat=0.2\0us"s,     // NUL splitting number and unit.
+      "tree:radix=8\0,bw=1GB"s,
+      "tree:radix=8\n"s,       // Trailing whitespace is not trimmed.
+      " torus"s,               // Leading whitespace is not trimmed.
+      "tree:radix= 8"s,        // Inner whitespace.
+  };
+  for (const std::string& text : kBad) {
+    NetSpec spec;
+    std::string error;
+    EXPECT_FALSE(NetSpec::TryParse(text, &spec, &error)) << "accepted: " << text;
+  }
+}
+
+TEST(NetSpecFuzzTest, RandomByteStringsNeverAbort) {
+  // Deterministic xorshift fuzz: whatever the bytes, TryParse returns.
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::string alphabet = "torustreeradix:=,wh.-eEupblatnsGMB \0\n\t"s;
+  for (int i = 0; i < 2000; ++i) {
+    std::string text;
+    const std::size_t len = next() % 24;
+    for (std::size_t j = 0; j < len; ++j) {
+      text += alphabet[next() % alphabet.size()];
+    }
+    NetSpec spec;
+    std::string error;
+    (void)NetSpec::TryParse(text, &spec, &error);  // Must not abort/UB.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree topology semantics.
+// ---------------------------------------------------------------------------
+
+TEST(TreeTopologyTest, HopCountsByRackLocality) {
+  TreeTopology tree(20, {.radix = 8});
+  EXPECT_EQ(tree.Hops(3, 3), 0u);
+  EXPECT_EQ(tree.Hops(0, 7), 2u);    // Same ToR.
+  EXPECT_EQ(tree.Hops(0, 8), 4u);    // Across ToRs.
+  EXPECT_EQ(tree.Hops(17, 19), 2u);  // Partial last rack is still one rack.
+  EXPECT_EQ(tree.Diameter(), 4u);
+  EXPECT_EQ(tree.LinkCount(), 2 * 20 + 2 * 3);
+}
+
+TEST(TreeTopologyTest, SingleRackHasNoTrunkRoutes) {
+  TreeTopology tree(8, {.radix = 16});
+  EXPECT_EQ(tree.tor_count(), 1u);
+  EXPECT_EQ(tree.Diameter(), 2u);
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      for (LinkId link : tree.Route(a, b)) {
+        EXPECT_FALSE(tree.IsTrunkLink(link)) << a << "->" << b;
+      }
+    }
+  }
+}
+
+// The Topology contract, exhaustively, on an uneven machine (last rack
+// partially filled): Route size == Hops, every link id in range, routes
+// start at the source's up-link and end at the destination's down-link.
+TEST(TreeTopologyTest, RouteContractAllPairs) {
+  TreeTopology tree(37, {.radix = 8});
+  for (std::uint32_t a = 0; a < 37; ++a) {
+    for (std::uint32_t b = 0; b < 37; ++b) {
+      const auto route = tree.Route(a, b);
+      ASSERT_EQ(route.size(), tree.Hops(a, b)) << a << "->" << b;
+      for (LinkId link : route) {
+        EXPECT_LT(link, tree.LinkCount()) << a << "->" << b;
+      }
+      if (a != b) {
+        EXPECT_EQ(route.front(), 2 * a) << a << "->" << b;
+        EXPECT_EQ(route.back(), 2 * b + 1) << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(TreeTopologyTest, PerLevelBandwidthAndLatency) {
+  TreeTopology tree(20, {.radix = 8,
+                         .edge_bandwidth_bytes_per_sec = 1'000'000'000,
+                         .trunk_bandwidth_bytes_per_sec = 400'000'000,
+                         .edge_latency_ns = 100,
+                         .trunk_latency_ns = 500});
+  // Edge links serialize at the edge rate, trunks at the trunk rate.
+  EXPECT_EQ(tree.LinkBandwidth(2 * 3, 200'000'000), 1'000'000'000u);
+  EXPECT_EQ(tree.LinkBandwidth(2 * 20, 200'000'000), 400'000'000u);
+  EXPECT_EQ(tree.NicBandwidth(5, 200'000'000), 1'000'000'000u);
+  // Same ToR: 2 edge traversals. Cross: 2 edge + 2 trunk.
+  EXPECT_EQ(tree.RouteLatencyNs(0, 7, 20), 200u);
+  EXPECT_EQ(tree.RouteLatencyNs(0, 8, 20), 1200u);
+  EXPECT_EQ(tree.RouteLatencyNs(4, 4, 20), 0u);
+
+  // With no overrides, every level inherits the flat NetworkParams values.
+  TreeTopology flat(20, {.radix = 8});
+  EXPECT_EQ(flat.LinkBandwidth(2 * 20, 200'000'000), 200'000'000u);
+  EXPECT_EQ(flat.NicBandwidth(5, 200'000'000), 200'000'000u);
+  EXPECT_EQ(flat.RouteLatencyNs(0, 8, 20), 80u);
+}
+
+// ---------------------------------------------------------------------------
+// Torus partial-grid routing (bugfix regression): ForNodeCount for a
+// non-rectangular count leaves phantom slots; the pinned contract is that
+// routes/diameter may use phantom ROUTERS but the link ids stay in range
+// and Route/Hops agree for every attached pair.
+// ---------------------------------------------------------------------------
+
+TEST(TorusPartialGridTest, RouteContractExhaustiveSmallCounts) {
+  for (std::uint32_t nodes = 1; nodes <= 40; ++nodes) {
+    const TorusTopology torus = TorusTopology::ForNodeCount(nodes);
+    EXPECT_EQ(torus.node_count(), nodes);
+    EXPECT_GE(torus.width() * torus.height(), nodes);
+    std::uint32_t max_hops = 0;
+    for (std::uint32_t a = 0; a < nodes; ++a) {
+      for (std::uint32_t b = 0; b < nodes; ++b) {
+        const auto route = torus.Route(a, b);
+        ASSERT_EQ(route.size(), torus.Hops(a, b))
+            << nodes << " nodes, " << a << "->" << b;
+        for (LinkId link : route) {
+          ASSERT_LT(link, torus.LinkCount()) << nodes << " nodes, " << a << "->" << b;
+        }
+        max_hops = std::max(max_hops, torus.Hops(a, b));
+      }
+    }
+    // Diameter spans all grid slots (including phantom ones), so it bounds
+    // the max over attached pairs.
+    EXPECT_LE(max_hops, torus.Diameter()) << nodes << " nodes";
+  }
+}
+
+TEST(TorusPartialGridTest, DescribeReportsPartialPopulation) {
+  EXPECT_EQ(TorusTopology::ForNodeCount(36).Describe(), "6x6 torus");
+  EXPECT_EQ(TorusTopology::ForNodeCount(32).Describe(), "6x6 torus (32 of 36 slots populated)");
+  EXPECT_EQ(TorusTopology::ForNodeCount(5).Describe(), "3x2 torus (5 of 6 slots populated)");
+}
+
+// ---------------------------------------------------------------------------
+// Sparse link-fault storage (bugfix regression): one lossy link on a large
+// machine must cost 2 map entries, not node_count^2 dense slots, and the
+// drop draw must stay deterministic in event order.
+// ---------------------------------------------------------------------------
+
+TEST(NetworkFaultTest, LinkFaultStorageIsProportionalToInjectedFaults) {
+  sim::Engine engine;
+  Network net(engine, 4096);
+  EXPECT_EQ(net.link_fault_entries(), 0u);
+  net.SetLinkFault(1, 4000, 0.5, 0);
+  // Two directed entries (1->4000, 4000->1) — NOT 4096^2 = 16.7M slots.
+  EXPECT_EQ(net.link_fault_entries(), 2u);
+  net.SetLinkFault(1, 4000, 0.9, 10);  // Re-arming the same pair adds nothing.
+  EXPECT_EQ(net.link_fault_entries(), 2u);
+  net.SetLinkFault(7, 8, 0.1, 0);
+  EXPECT_EQ(net.link_fault_entries(), 4u);
+}
+
+Message Probe(std::uint16_t src, std::uint16_t dst, std::uint32_t bytes) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.data_bytes = bytes;
+  m.payload = CompletionNote{src};
+  return m;
+}
+
+TEST(NetworkFaultTest, SparseFaultDropsAreSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine(seed);
+    Network net(engine, 64);
+    net.SetLinkFault(0, 1, 0.5, 0);
+    engine.Spawn([](Network& n) -> sim::Task<> {
+      for (int i = 0; i < 200; ++i) {
+        co_await n.Send(Probe(0, 1, 512));
+      }
+    }(net));
+    engine.Run();
+    return net.stats().dropped;
+  };
+  const std::uint64_t first = run(42);
+  EXPECT_EQ(first, run(42));  // Same seed, same drops.
+  EXPECT_GT(first, 0u);       // p=0.5 over 200 sends must drop something.
+  EXPECT_LT(first, 200u);     // ...and not everything.
+  EXPECT_NE(run(7), 0u);
+}
+
+TEST(NetworkFaultTest, UnfaultedPairsTakeTheCleanPath) {
+  sim::Engine engine;
+  Network net(engine, 64);
+  net.SetLinkFault(10, 11, 1.0, 0);  // Certain drop — but on another pair.
+  sim::SimTime arrival = 0;
+  engine.Spawn([](sim::Engine& e, Network& n, sim::SimTime& t) -> sim::Task<> {
+    co_await n.Send(Probe(0, 1, 8192));
+    (void)co_await n.Inbox(1).Receive();
+    t = e.now();
+  }(engine, net, arrival));
+  engine.Run();
+  // Exactly the no-fault latency: no extra delay, no drop, no RNG draw.
+  const sim::SimTime leg = sim::TransferTimeNs(8224, 200'000'000);
+  EXPECT_EQ(arrival, 2 * leg + 20);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-send accounting (bugfix regression): src == dst is a loopback DMA —
+// one NIC pass, not two.
+// ---------------------------------------------------------------------------
+
+TEST(NetworkSelfSendTest, SelfSendPaysHalfTheNicTimeOfAOneHopSend) {
+  const sim::SimTime leg = sim::TransferTimeNs(8224, 200'000'000);
+
+  sim::Engine self_engine;
+  Network self_net(self_engine, 32);
+  self_engine.Spawn([](Network& n) -> sim::Task<> {
+    co_await n.Send(Probe(3, 3, 8192));
+    (void)co_await n.Inbox(3).Receive();
+  }(self_net));
+  self_engine.Run();
+  EXPECT_EQ(self_net.SendNicBusyTime(3), leg);
+  EXPECT_EQ(self_net.ReceiveNicBusyTime(3), 0);  // Never touches the recv NIC.
+
+  sim::Engine hop_engine;
+  Network hop_net(hop_engine, 32);
+  hop_engine.Spawn([](Network& n) -> sim::Task<> {
+    co_await n.Send(Probe(0, 1, 8192));
+    (void)co_await n.Inbox(1).Receive();
+  }(hop_net));
+  hop_engine.Run();
+  EXPECT_EQ(hop_net.SendNicBusyTime(0), leg);
+  EXPECT_EQ(hop_net.ReceiveNicBusyTime(1), leg);
+
+  // Total NIC time: self-send = 1 leg, 1-hop send = 2 legs.
+  EXPECT_EQ(self_net.SendNicBusyTime(3) + self_net.ReceiveNicBusyTime(3), leg);
+  EXPECT_EQ(hop_net.SendNicBusyTime(0) + hop_net.ReceiveNicBusyTime(1), 2 * leg);
+}
+
+TEST(NetworkSelfSendTest, SelfSendSkipsLinkResourcesInContentionMode) {
+  NetworkParams params;
+  params.model_link_contention = true;
+  sim::Engine engine;
+  Network net(engine, 32, params);
+  engine.Spawn([](Network& n) -> sim::Task<> {
+    co_await n.Send(Probe(5, 5, 8192));
+    (void)co_await n.Inbox(5).Receive();
+  }(net));
+  engine.Run();
+  EXPECT_EQ(net.TotalLinkBusyTime(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Network over a tree topology, including faults composing with it.
+// ---------------------------------------------------------------------------
+
+NetworkParams TreeParams(const char* spec_text) {
+  NetworkParams params;
+  NetSpec spec;
+  std::string error;
+  EXPECT_TRUE(NetSpec::TryParse(spec_text, &spec, &error)) << error;
+  params.topology = spec;
+  return params;
+}
+
+TEST(TreeNetworkTest, DeliveryLatencyUsesPerLevelModel) {
+  // radix=16: nodes 0 and 1 share a ToR; nodes 0 and 16 do not.
+  sim::Engine engine;
+  Network net(engine, 32, TreeParams("tree:radix=16,lat=100ns,uplat=500ns"));
+  EXPECT_STREQ(net.topology().name(), "tree");
+  sim::SimTime same_rack = 0;
+  sim::SimTime cross_rack = 0;
+  engine.Spawn([](sim::Engine& e, Network& n, sim::SimTime& same,
+                  sim::SimTime& cross) -> sim::Task<> {
+    const sim::SimTime start = e.now();
+    co_await n.Send(Probe(0, 1, 8192));
+    (void)co_await n.Inbox(1).Receive();
+    same = e.now() - start;
+    const sim::SimTime mid = e.now();
+    co_await n.Send(Probe(0, 16, 8192));
+    (void)co_await n.Inbox(16).Receive();
+    cross = e.now() - mid;
+  }(engine, net, same_rack, cross_rack));
+  engine.Run();
+  const sim::SimTime leg = sim::TransferTimeNs(8224, 200'000'000);
+  EXPECT_EQ(same_rack, 2 * leg + 2 * 100);
+  EXPECT_EQ(cross_rack, 2 * leg + 2 * 100 + 2 * 500);
+}
+
+TEST(TreeNetworkTest, OversubscribedTrunkContendsCrossRackTraffic) {
+  // Trunk at 1/4 the edge rate, contention on: a cross-rack message holds
+  // its two trunk links 4x longer than its edge links.
+  NetworkParams params = TreeParams("tree:radix=4,up=50MB");
+  params.model_link_contention = true;
+  sim::Engine engine;
+  Network net(engine, 8, params);
+  engine.Spawn([](Network& n) -> sim::Task<> {
+    co_await n.Send(Probe(0, 4, 8192));
+    (void)co_await n.Inbox(4).Receive();
+  }(net));
+  engine.Run();
+  const sim::SimTime edge_time = sim::TransferTimeNs(8224, 200'000'000);
+  const sim::SimTime trunk_time = sim::TransferTimeNs(8224, 50'000'000);
+  EXPECT_EQ(net.TotalLinkBusyTime(), 2 * edge_time + 2 * trunk_time);
+}
+
+TEST(TreeNetworkTest, LinkFaultsComposeWithTreeTopology) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine(seed);
+    Network net(engine, 64, TreeParams("tree:radix=8"));
+    net.SetLinkFault(0, 9, 0.5, 0);  // Cross-rack pair on the tree.
+    engine.Spawn([](Network& n) -> sim::Task<> {
+      for (int i = 0; i < 200; ++i) {
+        co_await n.Send(Probe(0, 9, 512));
+      }
+    }(net));
+    engine.Run();
+    return net.stats().dropped;
+  };
+  const std::uint64_t drops = run(42);
+  EXPECT_GT(drops, 0u);
+  EXPECT_LT(drops, 200u);
+  EXPECT_EQ(drops, run(42));  // Seed-deterministic on the tree too.
+}
+
+// A full collective over the tree topology with a lossy CP-IOP link: the
+// retry layer must recover exactly as it does on the torus, and the run
+// must stay seed-deterministic end to end.
+TEST(TreeNetworkTest, EndToEndCollectiveWithLinkFaultOnTree) {
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.layout = fs::LayoutKind::kContiguous;
+  cfg.trials = 1;
+  std::string error;
+  ASSERT_TRUE(NetSpec::TryParse("tree:radix=4", &cfg.machine.net.topology, &error)) << error;
+  ASSERT_TRUE(fault::FaultSpec::TryParse("link:cp0-iop1,drop=0.5", &cfg.machine.faults, &error))
+      << error;
+  ASSERT_TRUE(cfg.machine.faults.Validate(cfg.machine.num_cps, cfg.machine.num_iops,
+                                          cfg.machine.num_disks, &error))
+      << error;
+  for (const char* method : {"tc", "ddio", "twophase"}) {
+    cfg.method_key = method;
+    ASSERT_TRUE(core::MethodFromKey(method, &cfg.method));
+    std::uint64_t events_a = 0;
+    std::uint64_t events_b = 0;
+    const core::OpStats a = core::RunTrial(cfg, 1000, &events_a);
+    const core::OpStats b = core::RunTrial(cfg, 1000, &events_b);
+    EXPECT_NE(a.status.outcome, core::Outcome::kFailed) << method << ": " << a.status.detail;
+    EXPECT_GT(a.status.retries, 0u) << method << " saw no drops on a p=0.5 link";
+    EXPECT_EQ(a.elapsed_ns(), b.elapsed_ns()) << method;
+    EXPECT_EQ(events_a, events_b) << method;
+  }
+}
+
+// jobs=1 vs jobs=8 byte-identity for a tree-topology cell: the pluggable
+// topology must not perturb the parallel executor's determinism contract.
+TEST(TreeNetworkTest, TreeCellJobs1VsJobs8ByteIdentical) {
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 512 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.pattern = "rb";
+  cfg.method = core::Method::kDiskDirected;
+  cfg.trials = 3;
+  std::string error;
+  ASSERT_TRUE(NetSpec::TryParse("tree:radix=4,up=50MB", &cfg.machine.net.topology, &error))
+      << error;
+  cfg.machine.net.model_link_contention = true;
+
+  const core::ExperimentResult serial = core::RunExperiment(cfg, /*jobs=*/1);
+  const core::ExperimentResult parallel = core::RunExperiment(cfg, /*jobs=*/8);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t t = 0; t < serial.trials.size(); ++t) {
+    EXPECT_EQ(serial.trials[t].start_ns, parallel.trials[t].start_ns) << t;
+    EXPECT_EQ(serial.trials[t].end_ns, parallel.trials[t].end_ns) << t;
+    EXPECT_EQ(serial.trials[t].bytes_delivered, parallel.trials[t].bytes_delivered) << t;
+  }
+  EXPECT_EQ(serial.total_events, parallel.total_events);
+  EXPECT_EQ(serial.mean_mbps, parallel.mean_mbps);  // Bitwise double equality.
+  EXPECT_EQ(serial.cv, parallel.cv);
+}
+
+}  // namespace
+}  // namespace ddio::net

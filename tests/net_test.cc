@@ -106,7 +106,7 @@ TEST(NetworkTest, DeliveryLatencyMatchesModel) {
   EXPECT_EQ(arrival, 2 * leg + 20);
 }
 
-TEST(NetworkTest, ZeroHopStillPaysNicTime) {
+TEST(NetworkTest, ZeroHopPaysExactlyOneNicPass) {
   sim::Engine engine;
   Network net(engine, 32);
   sim::SimTime arrival = 0;
@@ -117,7 +117,9 @@ TEST(NetworkTest, ZeroHopStillPaysNicTime) {
     t = e.now();
   }(engine, net, arrival));
   engine.Run();
-  EXPECT_EQ(arrival, 2 * sim::TransferTimeNs(32, 200'000'000));
+  // A self-send is a loopback DMA: one serialization through the sender's
+  // NIC, no receive-NIC pass, no hop latency (see network.h).
+  EXPECT_EQ(arrival, sim::TransferTimeNs(32, 200'000'000));
 }
 
 TEST(NetworkTest, SenderNicSerializesBackToBackMessages) {
