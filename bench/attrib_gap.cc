@@ -1,0 +1,176 @@
+// attrib_gap: re-runs a slice of the Figure-3 grid (random-blocks layout)
+// with the time-attribution plane on and decomposes WHERE the TC-vs-DDIO gap
+// lives: disk positioning, disk transfer, NIC serialization, network waits,
+// cache stalls, or compute. The paper argues the gap is disk-arm scheduling
+// (TC's request-order arrivals defeat the disk scheduler that DDIO's
+// full-knowledge presort feeds); the attribution buckets make that claim a
+// measured number instead of an inference, and the SSD cells show the gap
+// collapsing once positioning time disappears.
+//
+// Cells: {hp97560, ssd} x {tc, ddio} x {(rb,8192), (wb,8192), (rc,8)}.
+// With --jobs=N the cells run concurrently; output is emitted from a
+// cell-indexed vector in serial order, so stdout and --json are
+// byte-identical for any job count.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/fig_patterns_common.h"
+#include "src/core/parallel.h"
+#include "src/core/report.h"
+#include "src/core/runner.h"
+
+namespace {
+
+struct Cell {
+  const char* disk;  // "" = the paper's hp97560 default.
+  const char* method;
+  const char* pattern;
+  std::uint32_t record_bytes;
+};
+
+double Ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ddio;
+  auto options = bench::BenchOptions::Parse(argc, argv);
+  // Attribution is the whole point of this bench: always on, independent of
+  // --trace (which may add nothing or be used to widen the planes).
+  options.trace.attrib = true;
+  bench::PrintPreamble(
+      "Attribution: where the TC-vs-DDIO gap lives (random-blocks layout)",
+      "paper Sec 4.3: TC loses to disk-arm positioning; gap should collapse on ssd",
+      options);
+
+  static const Cell kCells[] = {
+      {"", "tc", "rb", 8192},    {"", "ddio", "rb", 8192},
+      {"", "tc", "wb", 8192},    {"", "ddio", "wb", 8192},
+      {"", "tc", "rc", 8},       {"", "ddio", "rc", 8},
+      {"ssd", "tc", "rb", 8192}, {"ssd", "ddio", "rb", 8192},
+      {"ssd", "tc", "wb", 8192}, {"ssd", "ddio", "wb", 8192},
+      {"ssd", "tc", "rc", 8},    {"ssd", "ddio", "rc", 8},
+  };
+  const std::size_t n = sizeof(kCells) / sizeof(kCells[0]);
+
+  std::vector<core::ExperimentConfig> cells;
+  for (const Cell& cell : kCells) {
+    core::ExperimentConfig cfg;
+    cfg.pattern = cell.pattern;
+    cfg.record_bytes = cell.record_bytes;
+    cfg.layout = fs::LayoutKind::kRandomBlocks;
+    bench::ApplyMethod(cfg, cell.method);
+    cfg.trials = options.trials;
+    cfg.file_bytes = options.file_bytes();
+    options.ApplyExperiment(&cfg);
+    if (cell.disk[0] != '\0') {
+      std::vector<disk::DiskSpec> specs;
+      std::string error;
+      if (!disk::DiskSpec::TryParseList(cell.disk, &specs, &error)) {
+        core::SpecError("--disk", error);
+      }
+      cfg.machine.SetDisks(std::move(specs));
+    }
+    cells.push_back(std::move(cfg));
+  }
+
+  core::TrialExecutor executor(options.jobs);
+  std::vector<core::ExperimentResult> results = executor.Map<core::ExperimentResult>(
+      cells.size(), [&](std::size_t i) { return core::RunExperiment(cells[i], 1); });
+
+  core::Table table({"disk", "method", "pattern", "record", "MB/s", "position ms",
+                     "transfer ms", "nic ms", "network ms", "stall ms", "compute ms"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cell& cell = kCells[i];
+    const core::ExperimentResult& result = results[i];
+    const core::PhaseAttribution& attrib = result.trials.back().attrib;
+    table.AddRow({cell.disk[0] != '\0' ? cell.disk : "hp97560", cell.method, cell.pattern,
+                  std::to_string(cell.record_bytes), core::Fixed(result.mean_mbps, 2),
+                  core::Fixed(Ms(attrib.disk_position_ns), 2),
+                  core::Fixed(Ms(attrib.disk_transfer_ns), 2), core::Fixed(Ms(attrib.nic_ns), 2),
+                  core::Fixed(Ms(attrib.network_ns), 2),
+                  core::Fixed(Ms(attrib.cache_stall_ns), 2),
+                  core::Fixed(Ms(attrib.compute_ns), 2)});
+  }
+  table.Print(std::cout);
+
+  // The gap rows: per (disk, pattern, record) pair, TC-vs-DDIO throughput
+  // ratio and the bucket where TC spends the most extra time.
+  std::printf("\nTC-vs-DDIO gap attribution (last trial):\n");
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    const core::ExperimentResult& tc = results[i];
+    const core::ExperimentResult& ddio = results[i + 1];
+    const core::PhaseAttribution& ta = tc.trials.back().attrib;
+    const core::PhaseAttribution& da = ddio.trials.back().attrib;
+    const double ratio = tc.mean_mbps > 0 ? ddio.mean_mbps / tc.mean_mbps : 0.0;
+    struct Delta {
+      const char* name;
+      double ms;
+    } deltas[] = {
+        {"disk-position", Ms(ta.disk_position_ns) - Ms(da.disk_position_ns)},
+        {"disk-transfer", Ms(ta.disk_transfer_ns) - Ms(da.disk_transfer_ns)},
+        {"nic", Ms(ta.nic_ns) - Ms(da.nic_ns)},
+        {"network", Ms(ta.network_ns) - Ms(da.network_ns)},
+        {"cache-stall", Ms(ta.cache_stall_ns) - Ms(da.cache_stall_ns)},
+        {"compute", Ms(ta.compute_ns) - Ms(da.compute_ns)},
+    };
+    const Delta* top = &deltas[0];
+    for (const Delta& d : deltas) {
+      if (d.ms > top->ms) {
+        top = &d;
+      }
+    }
+    std::printf("  %-8s %-3s record %-5u: ddio/tc = %.2fx; TC's largest extra bucket: %s "
+                "(+%.2f ms)\n",
+                kCells[i].disk[0] != '\0' ? kCells[i].disk : "hp97560", kCells[i].pattern,
+                kCells[i].record_bytes, ratio, top->name, top->ms);
+  }
+
+  // Custom JSON (cells + paired gaps), committed as BENCH_trace.json.
+  if (!options.json_path.empty()) {
+    std::FILE* f = std::fopen(options.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s\n", options.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"cells\": [\n");
+    for (std::size_t i = 0; i < n; ++i) {
+      const Cell& cell = kCells[i];
+      const core::ExperimentResult& result = results[i];
+      std::fprintf(f,
+                   "    {\"disk\": \"%s\", \"method\": \"%s\", \"pattern\": \"%s\", "
+                   "\"record\": %u, \"mean_mbps\": %.4f, \"cv\": %.4f, \"trials\": %u, %s}%s\n",
+                   cell.disk[0] != '\0' ? cell.disk : "hp97560", cell.method, cell.pattern,
+                   cell.record_bytes, result.mean_mbps, result.cv, options.trials,
+                   core::AttribJsonField(result.trials.back().attrib).c_str(),
+                   i + 1 < n ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"gaps\": [\n");
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      const core::ExperimentResult& tc = results[i];
+      const core::ExperimentResult& ddio = results[i + 1];
+      const core::PhaseAttribution& ta = tc.trials.back().attrib;
+      const core::PhaseAttribution& da = ddio.trials.back().attrib;
+      std::fprintf(
+          f,
+          "    {\"disk\": \"%s\", \"pattern\": \"%s\", \"record\": %u, "
+          "\"ddio_over_tc\": %.4f, \"extra_ms\": {\"disk_position\": %.4f, "
+          "\"disk_transfer\": %.4f, \"nic\": %.4f, \"network\": %.4f, "
+          "\"cache_stall\": %.4f, \"compute\": %.4f}}%s\n",
+          kCells[i].disk[0] != '\0' ? kCells[i].disk : "hp97560", kCells[i].pattern,
+          kCells[i].record_bytes, tc.mean_mbps > 0 ? ddio.mean_mbps / tc.mean_mbps : 0.0,
+          Ms(ta.disk_position_ns) - Ms(da.disk_position_ns),
+          Ms(ta.disk_transfer_ns) - Ms(da.disk_transfer_ns), Ms(ta.nic_ns) - Ms(da.nic_ns),
+          Ms(ta.network_ns) - Ms(da.network_ns), Ms(ta.cache_stall_ns) - Ms(da.cache_stall_ns),
+          Ms(ta.compute_ns) - Ms(da.compute_ns), i + 2 < n ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return 0;
+}

@@ -17,6 +17,10 @@
 //                 sized for the node count, as in the paper)
 //   --json=PATH   also write machine-readable results (per-point means/CIs)
 //                 to PATH
+//   --trace=SPEC  observability planes (src/obs/trace_spec.h). Multi-cell
+//                 benches accept sink-free planes only (attrib) — chrome:/csv:
+//                 files would be overwritten once per cell; use `simulate
+//                 --trace=chrome:PATH` to trace a single cell
 
 #ifndef DDIO_BENCH_BENCH_UTIL_H_
 #define DDIO_BENCH_BENCH_UTIL_H_
@@ -30,8 +34,11 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/core/runner.h"
+#include "src/core/spec_error.h"
 #include "src/disk/disk_registry.h"
 #include "src/net/net_spec.h"
+#include "src/obs/trace_spec.h"
 
 namespace ddio::bench {
 
@@ -46,6 +53,9 @@ struct BenchOptions {
   // Parsed --net topology; default torus keeps runs identical to the
   // pre-flag binaries.
   net::NetSpec net;
+  // Parsed --trace planes; inactive = no tracer, byte-identical to the
+  // pre-flag binaries.
+  obs::TraceSpec trace;
 
   static BenchOptions Parse(int argc, char** argv) {
     BenchOptions options;
@@ -65,27 +75,35 @@ struct BenchOptions {
         char* end = nullptr;
         options.jobs = static_cast<unsigned>(std::strtoul(arg + 7, &end, 10));
         if (end == arg + 7 || *end != '\0') {
-          std::fprintf(stderr, "--jobs wants a number (0 = all hardware threads): %s\n", arg);
-          std::exit(2);
+          core::SpecError("--jobs", "wants a number (0 = all hardware threads)");
         }
       } else if (std::strncmp(arg, "--disk=", 7) == 0) {
         std::string error;
         if (!disk::DiskSpec::TryParseList(arg + 7, &options.disks, &error)) {
-          std::fprintf(stderr, "--disk: %s\n", error.c_str());
-          std::exit(2);
+          core::SpecError("--disk", error);
         }
       } else if (std::strncmp(arg, "--net=", 6) == 0) {
         std::string error;
         if (!net::NetSpec::TryParse(arg + 6, &options.net, &error)) {
-          std::fprintf(stderr, "--net: %s\n", error.c_str());
-          std::exit(2);
+          core::SpecError("--net", error);
+        }
+      } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+        std::string error;
+        if (!obs::TraceSpec::TryParse(arg + 8, &options.trace, &error)) {
+          core::SpecError("--trace", error);
+        }
+        if (options.trace.chrome || options.trace.csv) {
+          core::SpecError("--trace",
+                          "chrome:/csv: sinks are per-run files; a multi-cell bench would "
+                          "overwrite them every cell — use attrib here, or trace one cell "
+                          "with `simulate --trace=chrome:PATH`");
         }
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         options.json_path = arg + 7;
       } else if (std::strcmp(arg, "--help") == 0) {
         std::printf(
             "usage: %s [--trials=N] [--file-mb=N] [--quick] [--jobs=N] [--disk=SPEC]\n"
-            "          [--net=SPEC] [--json=PATH]\n"
+            "          [--net=SPEC] [--json=PATH] [--trace=attrib]\n"
             "  --disk models (%s): e.g. hp97560:seg=4, fixed:lat=0.2ms,bw=40MB,\n"
             "         ssd:chan=4,rlat=80us,wlat=200us; '+'-join for a fleet\n"
             "  --net topologies (%s): e.g. torus:w=8,h=8, tree:radix=32,up=400MB\n",
@@ -102,6 +120,13 @@ struct BenchOptions {
       std::exit(2);
     }
     return options;
+  }
+
+  // Applies every bench-level override to an experiment config: the machine
+  // planes (--disk/--net) plus the observability plane (--trace).
+  void ApplyExperiment(core::ExperimentConfig* config) const {
+    ApplyMachine(&config->machine);
+    config->trace = trace;
   }
 
   std::uint64_t file_bytes() const { return file_mb * 1024 * 1024; }
@@ -136,7 +161,8 @@ class JsonPointSink {
 
   void Add(const std::string& dimension, std::uint64_t value, const std::string& method,
            const std::string& pattern, double mean_mbps, double cv, std::uint32_t trials,
-           const std::string& disk_model = "", const std::string& spec = "") {
+           const std::string& disk_model = "", const std::string& spec = "",
+           const std::string& extra_json = "") {
     if (path_.empty()) {
       return;
     }
@@ -146,11 +172,15 @@ class JsonPointSink {
     // so pre-existing benches' JSON stays byte-identical.
     const std::string spec_field = spec.empty() ? "" : "\"spec\": \"" + spec + "\", ";
     char tail[96];
-    std::snprintf(tail, sizeof(tail), "\"mean_mbps\": %.4f, \"cv\": %.4f, \"trials\": %u}",
+    std::snprintf(tail, sizeof(tail), "\"mean_mbps\": %.4f, \"cv\": %.4f, \"trials\": %u",
                   mean_mbps, cv, trials);
+    // extra_json: pre-formatted `"key": value` fields appended after the
+    // standard ones (e.g. the --trace=attrib buckets); empty keeps the
+    // pre-existing benches' JSON byte-identical.
     points_.push_back("    {\"" + dimension + "\": " + std::to_string(value) +
                       ", \"method\": \"" + method + "\", \"pattern\": \"" + pattern + "\", " +
-                      disk_field + spec_field + tail);
+                      disk_field + spec_field + tail +
+                      (extra_json.empty() ? "" : ", " + extra_json) + "}");
   }
 
   void Flush() {

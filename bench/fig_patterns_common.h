@@ -63,7 +63,7 @@ inline void RunPatternGrid(const BenchOptions& options, fs::LayoutKind layout,
         ApplyMethod(cfg, method);
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
-        options.ApplyMachine(&cfg.machine);
+        options.ApplyExperiment(&cfg);
         cells.push_back(std::move(cfg));
       }
     }

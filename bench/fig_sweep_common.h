@@ -58,7 +58,7 @@ inline void RunSweep(const BenchOptions& options, const char* dimension_name,
         ApplyMethod(cfg, method);
         cfg.trials = options.trials;
         cfg.file_bytes = options.file_bytes();
-        options.ApplyMachine(&cfg.machine);
+        options.ApplyExperiment(&cfg);
         configure(cfg, value);
         cells.push_back(std::move(cfg));
       }
@@ -75,8 +75,10 @@ inline void RunSweep(const BenchOptions& options, const char* dimension_name,
       for (const char* pattern : kPatterns) {
         const core::ExperimentResult& result = results[cell++];
         row.push_back(core::Fixed(result.mean_mbps, 2));
+        const core::PhaseAttribution& attrib = result.trials.back().attrib;
         json.Add(dimension_name, value, MethodLabel(method), pattern, result.mean_mbps,
-                 result.cv, options.trials);
+                 result.cv, options.trials, "", "",
+                 options.trace.attrib && attrib.filled ? core::AttribJsonField(attrib) : "");
       }
     }
     table.AddRow(std::move(row));

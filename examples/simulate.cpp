@@ -43,27 +43,41 @@
 //   --faults=SPEC      seed-deterministic fault plan, e.g.
 //                      "disk:2,stall=50ms@t=0.8s;disk:5,fail@t=1.2s;
 //                       link:cp3-iop1,drop=0.01;iop:4,crash@t=2.0s"
+//   --trace=SPEC       observability planes, ';'/',' joined:
+//                      chrome:PATH (Perfetto/chrome://tracing span trace),
+//                      counters[:every=DUR] (time-series samples; needs a
+//                      chrome: or csv: sink), csv:PATH (counter series CSV),
+//                      attrib (per-phase time-attribution report). Pure
+//                      observers: simulated results are byte-identical
 //   --elevator         C-SCAN IOP disk queues (default FCFS)
 //   --strided          TC strided requests (future-work extension)
 //   --gather           DDIO gather/scatter Memput/Memget (future-work extension)
 //   --contention       model per-link contention on the interconnect
-//   --describe         print the pattern's chunk structure (Figure-2 cs/s) and exit
+//   --describe         print every configured plane (pattern chunk structure,
+//                      disks, cache, interconnect, layout, faults, tenants,
+//                      trace) and exit
 //   --verbose          per-trial results + utilization snapshot
 
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/describe.h"
 #include "src/core/fs_registry.h"
 #include "src/core/machine.h"
+#include "src/core/report.h"
 #include "src/core/runner.h"
+#include "src/core/spec_error.h"
 #include "src/core/validation.h"
 #include "src/core/workload.h"
+#include "src/obs/trace_export.h"
+#include "src/obs/trace_spec.h"
 #include "src/disk/disk_registry.h"
 #include "src/disk/disk_unit.h"
 #include "src/fault/fault_spec.h"
@@ -85,8 +99,8 @@ namespace {
       "          [--layout=contiguous|random|mirror:K] [--cps=N] [--iops=N] [--disks=N]\n"
       "          [--disk=SPEC] [--net=SPEC] [--file-mb=N] [--trials=N] [--seed=N] [--jobs=N]\n"
       "          [--workload=SPEC] [--tenants=SPEC] [--filter=F] [--filter-seed=N]\n"
-      "          [--json=PATH] [--tc-cache=SPEC] [--faults=SPEC] [--elevator]\n"
-      "          [--strided] [--gather]\n"
+      "          [--json=PATH] [--tc-cache=SPEC] [--faults=SPEC] [--trace=SPEC]\n"
+      "          [--elevator] [--strided] [--gather]\n"
       "          [--contention] [--describe] [--verbose]\n"
       "  --tc-cache TC buffer-cache policy (%s), with optional ra=K read-ahead\n"
       "         depth in [0, 64] and wb=full|hi:P write-behind, e.g. clock:ra=4\n"
@@ -115,8 +129,14 @@ namespace {
       "         disk:N,stall=DUR@t=TIME | disk:N,fail@t=TIME | iop:N,crash@t=TIME |\n"
       "         link:cpA-iopB,drop=P | link:cpA-iopB,delay=DUR (pair with\n"
       "         --layout=mirror:K for failover; per-phase status is reported)\n"
-      "  --describe prints the pattern's chunk structure (Figure-2 cs/s), the\n"
-      "         resolved disk model, and the resolved fault plan, then exits\n",
+      "  --trace selects observability planes, ';'/',' joined: chrome:PATH\n"
+      "         (Perfetto-loadable span trace), counters[:every=DUR] (time-series\n"
+      "         samples; needs a chrome:/csv: sink; DUR unit mandatory: ns/us/ms/s),\n"
+      "         csv:PATH (counter series CSV), attrib (per-phase time attribution\n"
+      "         into disk-position/disk-transfer/nic/network/cache-stall/compute)\n"
+      "  --describe prints every configured plane (pattern chunk structure, disk\n"
+      "         fleet, queues, tc cache, interconnect, layout, fault plan,\n"
+      "         tenants, trace), then exits\n",
       argv0, ddio::core::FileSystemRegistry::BuiltIns().NamesJoined("|").c_str(),
       ddio::tc::CachePolicyRegistry::BuiltIns().NamesJoined("|").c_str(),
       ddio::disk::DiskModelRegistry::BuiltIns().NamesJoined("|").c_str(),
@@ -133,13 +153,28 @@ bool MatchFlag(const char* arg, const char* name, const char** value) {
   return false;
 }
 
-// "16 x hp97560" or "hp97560+ssd:chan=4 (round-robin over 16 disks)".
-std::string DescribeFleet(const ddio::core::MachineConfig& machine) {
-  if (machine.disk_fleet.empty()) {
-    return std::to_string(machine.num_disks) + " x " + machine.disk.text();
+// Writes the configured trace sinks (chrome JSON, counter CSV) from the
+// trial-index-ordered trace data. Exits 1 when a sink file cannot be written.
+void ExportTraces(const ddio::obs::TraceSpec& spec,
+                  const std::vector<ddio::obs::TraceData>& traces) {
+  if (!spec.chrome && !spec.csv) {
+    return;
   }
-  return ddio::disk::JoinSpecTexts(machine.disk_fleet) + " (round-robin over " +
-         std::to_string(machine.num_disks) + " disks)";
+  std::string error;
+  if (spec.chrome) {
+    if (!ddio::obs::WriteFile(spec.chrome_path, ddio::obs::ChromeTraceJson(traces), &error)) {
+      std::fprintf(stderr, "--trace: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s\n", spec.chrome_path.c_str());
+  }
+  if (spec.csv) {
+    if (!ddio::obs::WriteFile(spec.csv_path, ddio::obs::CounterCsv(traces), &error)) {
+      std::fprintf(stderr, "--trace: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %s\n", spec.csv_path.c_str());
+  }
 }
 
 }  // namespace
@@ -175,20 +210,21 @@ int main(int argc, char** argv) {
     } else if (MatchFlag(arg, "--layout", &value)) {
       if (std::string layout_error;
           !fs::ParseLayout(value, &cfg.layout, &cfg.replicas, &layout_error)) {
-        std::fprintf(stderr, "--layout: %s\n", layout_error.c_str());
-        return 2;
+        core::SpecError("--layout", layout_error);
       }
     } else if (MatchFlag(arg, "--tc-cache", &value)) {
       if (std::string cache_error;
           !tc::CacheSpec::TryParse(value, &cfg.tc_cache, &cache_error)) {
-        std::fprintf(stderr, "--tc-cache: %s\n", cache_error.c_str());
-        return 2;
+        core::SpecError("--tc-cache", cache_error);
       }
     } else if (MatchFlag(arg, "--faults", &value)) {
       if (std::string fault_error;
           !fault::FaultSpec::TryParse(value, &cfg.machine.faults, &fault_error)) {
-        std::fprintf(stderr, "--faults: %s\n", fault_error.c_str());
-        return 2;
+        core::SpecError("--faults", fault_error);
+      }
+    } else if (MatchFlag(arg, "--trace", &value)) {
+      if (std::string trace_error; !obs::TraceSpec::TryParse(value, &cfg.trace, &trace_error)) {
+        core::SpecError("--trace", trace_error);
       }
     } else if (MatchFlag(arg, "--cps", &value)) {
       cfg.machine.num_cps = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
@@ -199,23 +235,20 @@ int main(int argc, char** argv) {
     } else if (MatchFlag(arg, "--disk", &value)) {
       std::vector<disk::DiskSpec> specs;
       if (std::string disk_error; !disk::DiskSpec::TryParseList(value, &specs, &disk_error)) {
-        std::fprintf(stderr, "--disk: %s\n", disk_error.c_str());
-        return 2;
+        core::SpecError("--disk", disk_error);
       }
       cfg.machine.SetDisks(std::move(specs));
     } else if (MatchFlag(arg, "--net", &value)) {
       if (std::string net_error;
           !net::NetSpec::TryParse(value, &cfg.machine.net.topology, &net_error)) {
-        std::fprintf(stderr, "--net: %s\n", net_error.c_str());
-        return 2;
+        core::SpecError("--net", net_error);
       }
     } else if (MatchFlag(arg, "--filter", &value)) {
       char* end = nullptr;
       filter_selectivity = std::strtod(value, &end);
       if (end == value || *end != '\0' || filter_selectivity <= 0.0 ||
           filter_selectivity > 1.0) {
-        std::fprintf(stderr, "--filter wants a fraction in (0, 1]\n");
-        return 2;
+        core::SpecError("--filter", "wants a fraction in (0, 1]");
       }
     } else if (MatchFlag(arg, "--filter-seed", &value)) {
       filter_seed = std::strtoull(value, nullptr, 10);
@@ -267,19 +300,17 @@ int main(int argc, char** argv) {
   if (std::string fault_error;
       !cfg.machine.faults.Validate(cfg.machine.num_cps, cfg.machine.num_iops,
                                    cfg.machine.num_disks, &fault_error)) {
-    std::fprintf(stderr, "--faults: %s\n", fault_error.c_str());
-    return 2;
+    core::SpecError("--faults", fault_error);
   }
   // Same for the topology: an explicit grid must hold the final node count.
   if (std::string net_error;
       !cfg.machine.net.topology.Validate(cfg.machine.num_nodes(), &net_error)) {
-    std::fprintf(stderr, "--net: %s\n", net_error.c_str());
-    return 2;
+    core::SpecError("--net", net_error);
   }
   if (cfg.replicas > cfg.machine.num_disks) {
-    std::fprintf(stderr, "--layout: mirror:%u needs at least %u disks (have %u)\n",
-                 cfg.replicas, cfg.replicas, cfg.machine.num_disks);
-    return 2;
+    core::SpecError("--layout", "mirror:" + std::to_string(cfg.replicas) + " needs at least " +
+                                    std::to_string(cfg.replicas) + " disks (have " +
+                                    std::to_string(cfg.machine.num_disks) + ")");
   }
 
   // Validate the user-supplied pattern and geometry up front on the paths
@@ -303,58 +334,17 @@ int main(int argc, char** argv) {
   }
 
   if (describe) {
-    pattern::AccessPattern pattern(pattern::PatternSpec::Parse(cfg.pattern), cfg.file_bytes,
-                                   cfg.record_bytes, cfg.machine.num_cps);
-    pattern::PatternSummary summary = pattern::Summarize(pattern);
-    std::printf("pattern %s: %llu x %llu records of %u B, CP grid %u x %u\n",
-                cfg.pattern.c_str(), static_cast<unsigned long long>(pattern.rows()),
-                static_cast<unsigned long long>(pattern.cols()), cfg.record_bytes,
-                pattern.grid_rows(), pattern.grid_cols());
-    std::printf("  cs (chunk size)  : %llu bytes\n",
-                static_cast<unsigned long long>(summary.chunk_bytes));
-    if (summary.max_stride_bytes > 0) {
-      if (summary.min_stride_bytes == summary.max_stride_bytes) {
-        std::printf("  s (stride)       : %llu bytes\n",
-                    static_cast<unsigned long long>(summary.min_stride_bytes));
-      } else {
-        std::printf("  s (stride)       : %llu .. %llu bytes\n",
-                    static_cast<unsigned long long>(summary.min_stride_bytes),
-                    static_cast<unsigned long long>(summary.max_stride_bytes));
+    std::string tenants_desc;
+    if (!tenants_spec.empty()) {
+      tenant::TenantSpec spec;
+      std::string error;
+      if (!tenant::TenantSpec::TryParse(tenants_spec, &spec, &error) ||
+          !spec.Validate(&error)) {
+        core::SpecError("--tenants", error);
       }
+      tenants_desc = spec.Describe();
     }
-    std::printf("  chunks per CP    : %llu (%u participating CPs, %llu total)\n",
-                static_cast<unsigned long long>(summary.chunks_per_cp),
-                summary.participating_cps,
-                static_cast<unsigned long long>(summary.total_chunks));
-    std::printf("disk fleet: %s\n", DescribeFleet(cfg.machine).c_str());
-    std::vector<disk::DiskSpec> fleet = cfg.machine.disk_fleet;
-    if (fleet.empty()) {
-      fleet.push_back(cfg.machine.disk);
-    }
-    for (const disk::DiskSpec& spec : fleet) {
-      auto model = spec.Build();
-      std::printf("  %s (%.2f MB/s sustained)\n", spec.text().c_str(),
-                  model->SustainedBandwidthBytesPerSec() / 1e6);
-      for (const auto& [param, param_value] : model->DescribeParams()) {
-        std::printf("    %-20s %s\n", param.c_str(), param_value.c_str());
-      }
-    }
-    std::printf("tc cache: %s (policy %s, read-ahead %u, write-behind %s)\n",
-                cfg.tc_cache.text().c_str(), cfg.tc_cache.policy().c_str(),
-                cfg.tc_cache.read_ahead(),
-                cfg.tc_cache.write_behind() == tc::WriteBehindMode::kFull
-                    ? "flush-on-full"
-                    : ("high-water " + std::to_string(cfg.tc_cache.wb_percent()) + "%").c_str());
-    std::printf("interconnect: %s%s\n",
-                cfg.machine.net.topology.Build(cfg.machine.num_nodes())->Describe().c_str(),
-                cfg.machine.net.model_link_contention ? " (per-link contention on)" : "");
-    if (cfg.replicas > 1) {
-      std::printf("layout: %s with %u mirror copies per block\n", fs::LayoutName(cfg.layout),
-                  cfg.replicas);
-    }
-    if (cfg.machine.faults.active()) {
-      std::printf("fault plan:\n%s", cfg.machine.faults.Describe().c_str());
-    }
+    std::fputs(core::DescribeExperiment(cfg, tenants_desc).c_str(), stdout);
     return 0;
   }
 
@@ -369,8 +359,7 @@ int main(int argc, char** argv) {
     tenant::TenantSpec spec;
     std::string error;
     if (!tenant::TenantSpec::TryParse(tenants_spec, &spec, &error) || !spec.Validate(&error)) {
-      std::fprintf(stderr, "--tenants: %s\n", error.c_str());
-      return 2;
+      core::SpecError("--tenants", error);
     }
     cfg.method_key = method_key;  // Tenants without method= inherit --method.
     for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
@@ -379,10 +368,9 @@ int main(int argc, char** argv) {
       const std::uint32_t record =
           entry.record_bytes != 0 ? entry.record_bytes : cfg.record_bytes;
       if (record == 0 || file % record != 0) {
-        std::fprintf(stderr,
-                     "--tenants: t%zu's %llu-byte file does not hold whole %u-byte records\n",
-                     t, static_cast<unsigned long long>(file), record);
-        return 2;
+        core::SpecError("--tenants", "t" + std::to_string(t) + "'s " + std::to_string(file) +
+                                         "-byte file does not hold whole " +
+                                         std::to_string(record) + "-byte records");
       }
     }
 
@@ -393,6 +381,7 @@ int main(int argc, char** argv) {
                 DescribeFleet(cfg.machine).c_str());
 
     auto result = tenant::RunMultiTenantExperiment(cfg, spec, jobs);
+    std::vector<core::PhaseAttribution> tenant_attribs;
     const bool faults = cfg.machine.faults.active();
     std::printf("\n%-6s %-12s %-8s %3s %4s %10s %8s %12s %12s%s\n", "tenant", "method",
                 "pattern", "w", "reps", "MB/s", "cv", "finish ms", "disk-busy ms",
@@ -425,11 +414,47 @@ int main(int argc, char** argv) {
                     status.detail.empty() ? "" : ": ", status.detail.c_str());
       }
       std::printf("\n");
-      json.Add("tenant", t, tenant_method, entry.pattern, result.mean_mbps[t], cv, cfg.trials);
+      // Per-tenant attribution summed over the last trial's phases.
+      core::PhaseAttribution attrib;
+      for (const core::OpStats& stats : last.phases) {
+        if (stats.attrib.filled) {
+          attrib.filled = true;
+          attrib.disk_position_ns += stats.attrib.disk_position_ns;
+          attrib.disk_transfer_ns += stats.attrib.disk_transfer_ns;
+          attrib.nic_ns += stats.attrib.nic_ns;
+          attrib.network_ns += stats.attrib.network_ns;
+          attrib.cache_stall_ns += stats.attrib.cache_stall_ns;
+          attrib.compute_ns += stats.attrib.compute_ns;
+        }
+      }
+      json.Add("tenant", t, tenant_method, entry.pattern, result.mean_mbps[t], cv, cfg.trials,
+               "", "",
+               cfg.trace.attrib && attrib.filled ? core::AttribJsonField(attrib) : "");
+      tenant_attribs.push_back(attrib);
+    }
+    if (cfg.trace.attrib) {
+      for (std::size_t t = 0; t < tenant_attribs.size(); ++t) {
+        if (!tenant_attribs[t].filled) {
+          continue;
+        }
+        const tenant::TenantResult& last = result.trials.back().tenants[t];
+        std::printf("\ntenant %zu time attribution (last trial):\n", t);
+        core::PrintAttribution(tenant_attribs[t], last.finished_ns - last.admitted_ns,
+                               std::cout);
+      }
     }
     if (verbose) {
       std::printf("\nevents simulated: %llu\n",
                   static_cast<unsigned long long>(result.total_events));
+    }
+    if (cfg.trace.chrome || cfg.trace.csv) {
+      std::vector<obs::TraceData> traces;
+      for (const auto& trial : result.trials) {
+        if (trial.trace != nullptr) {
+          traces.push_back(*trial.trace);
+        }
+      }
+      ExportTraces(cfg.trace, traces);
     }
     json.Flush();
     return 0;
@@ -445,28 +470,24 @@ int main(int argc, char** argv) {
     core::Workload workload;
     std::string error;
     if (!core::Workload::Parse(workload_spec, &workload, &error)) {
-      std::fprintf(stderr, "--workload: %s\n", error.c_str());
-      return 2;
+      core::SpecError("--workload", error);
     }
     for (core::WorkloadPhase& phase : workload.phases) {
       if (phase.method.empty()) {
         phase.method = method_key;  // Phases inherit --method unless overridden.
       } else if (!core::FileSystemRegistry::BuiltIns().Has(phase.method)) {
-        std::fprintf(stderr, "--workload: unknown method \"%s\" (registered: %s)\n",
-                     phase.method.c_str(),
-                     core::FileSystemRegistry::BuiltIns().NamesJoined().c_str());
-        return 2;
+        core::SpecError("--workload",
+                        "unknown method \"" + phase.method + "\" (registered: " +
+                            core::FileSystemRegistry::BuiltIns().NamesJoined() + ")");
       }
     }
     if (std::string geometry_error; !workload.ValidateGeometry(cfg, &geometry_error)) {
-      std::fprintf(stderr, "--workload: %s\n", geometry_error.c_str());
-      return 2;
+      core::SpecError("--workload", geometry_error);
     }
     // Reject capability violations (filter= on a method without filtered
     // reads) with a clean exit instead of the base-class abort.
     if (std::string caps_error; !workload.ValidateCapabilities(method_key, &caps_error)) {
-      std::fprintf(stderr, "--workload: %s\n", caps_error.c_str());
-      return 2;
+      core::SpecError("--workload", caps_error);
     }
     std::printf("workload: %zu phase(s), default method %s, %u trial(s)\n",
                 workload.phases.size(), method_key.c_str(), cfg.trials);
@@ -494,11 +515,32 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
       json.Add("phase", p, phase_method, phase.pattern, result.mean_mbps[p], result.cv[p],
-               cfg.trials);
+               cfg.trials, "", "",
+               cfg.trace.attrib && last.attrib.filled ? core::AttribJsonField(last.attrib)
+                                                      : "");
+    }
+    if (cfg.trace.attrib) {
+      for (std::size_t p = 0; p < workload.phases.size(); ++p) {
+        const core::OpStats& last = result.trials.back().phases[p];
+        if (!last.attrib.filled) {
+          continue;
+        }
+        std::printf("\nphase %zu time attribution (last trial):\n", p);
+        core::PrintAttribution(last.attrib, last.elapsed_ns(), std::cout);
+      }
     }
     if (verbose) {
       std::printf("\nevents simulated: %llu\n",
                   static_cast<unsigned long long>(result.total_events));
+    }
+    if (cfg.trace.chrome || cfg.trace.csv) {
+      std::vector<obs::TraceData> traces;
+      for (const auto& trial : result.trials) {
+        if (trial.trace != nullptr) {
+          traces.push_back(*trial.trace);
+        }
+      }
+      ExportTraces(cfg.trace, traces);
     }
     json.Flush();
     return 0;
@@ -524,8 +566,7 @@ int main(int argc, char** argv) {
     workload.phases[0].filter_selectivity = filter_selectivity;
     workload.phases[0].filter_seed = filter_seed;
     if (std::string caps_error; !workload.ValidateCapabilities(method_key, &caps_error)) {
-      std::fprintf(stderr, "--filter: %s\n", caps_error.c_str());
-      return 2;
+      core::SpecError("--filter", caps_error);
     }
     std::printf("filtered read: selectivity %.3f, seed %llu\n", filter_selectivity,
                 static_cast<unsigned long long>(filter_seed));
@@ -542,7 +583,25 @@ int main(int argc, char** argv) {
                   status.detail.empty() ? "" : ": ", status.detail.c_str());
     }
   }
-  json.Add("phase", 0, method_key, cfg.pattern, result.mean_mbps[0], result.cv[0], cfg.trials);
+  const core::OpStats& last_phase = result.trials.back().phases[0];
+  if (cfg.trace.attrib && last_phase.attrib.filled) {
+    std::printf("\ntime attribution (last trial):\n");
+    core::PrintAttribution(last_phase.attrib, last_phase.elapsed_ns(), std::cout);
+  }
+  json.Add("phase", 0, method_key, cfg.pattern, result.mean_mbps[0], result.cv[0], cfg.trials,
+           "", "",
+           cfg.trace.attrib && last_phase.attrib.filled
+               ? core::AttribJsonField(last_phase.attrib)
+               : "");
+  if (cfg.trace.chrome || cfg.trace.csv) {
+    std::vector<obs::TraceData> traces;
+    for (const auto& trial : result.trials) {
+      if (trial.trace != nullptr) {
+        traces.push_back(*trial.trace);
+      }
+    }
+    ExportTraces(cfg.trace, traces);
+  }
   json.Flush();
 
   if (verbose) {

@@ -1,0 +1,111 @@
+#include "src/core/describe.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "src/disk/disk_registry.h"
+#include "src/fs/layout.h"
+#include "src/pattern/pattern.h"
+#include "src/tc/cache_policy.h"
+
+namespace ddio::core {
+namespace {
+
+void Appendf(std::string* out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out += buffer;
+}
+
+}  // namespace
+
+std::string DescribeFleet(const MachineConfig& machine) {
+  if (machine.disk_fleet.empty()) {
+    return std::to_string(machine.num_disks) + " x " + machine.disk.text();
+  }
+  return disk::JoinSpecTexts(machine.disk_fleet) + " (round-robin over " +
+         std::to_string(machine.num_disks) + " disks)";
+}
+
+std::string DescribeExperiment(const ExperimentConfig& config, const std::string& tenants) {
+  std::string out;
+
+  pattern::AccessPattern pattern(pattern::PatternSpec::Parse(config.pattern),
+                                 config.file_bytes, config.record_bytes,
+                                 config.machine.num_cps);
+  pattern::PatternSummary summary = pattern::Summarize(pattern);
+  Appendf(&out, "pattern %s: %llu x %llu records of %u B, CP grid %u x %u\n",
+          config.pattern.c_str(), static_cast<unsigned long long>(pattern.rows()),
+          static_cast<unsigned long long>(pattern.cols()), config.record_bytes,
+          pattern.grid_rows(), pattern.grid_cols());
+  Appendf(&out, "  cs (chunk size)  : %llu bytes\n",
+          static_cast<unsigned long long>(summary.chunk_bytes));
+  if (summary.max_stride_bytes > 0) {
+    if (summary.min_stride_bytes == summary.max_stride_bytes) {
+      Appendf(&out, "  s (stride)       : %llu bytes\n",
+              static_cast<unsigned long long>(summary.min_stride_bytes));
+    } else {
+      Appendf(&out, "  s (stride)       : %llu .. %llu bytes\n",
+              static_cast<unsigned long long>(summary.min_stride_bytes),
+              static_cast<unsigned long long>(summary.max_stride_bytes));
+    }
+  }
+  Appendf(&out, "  chunks per CP    : %llu (%u participating CPs, %llu total)\n",
+          static_cast<unsigned long long>(summary.chunks_per_cp), summary.participating_cps,
+          static_cast<unsigned long long>(summary.total_chunks));
+
+  Appendf(&out, "disk fleet: %s\n", DescribeFleet(config.machine).c_str());
+  std::vector<disk::DiskSpec> fleet = config.machine.disk_fleet;
+  if (fleet.empty()) {
+    fleet.push_back(config.machine.disk);
+  }
+  for (const disk::DiskSpec& spec : fleet) {
+    auto model = spec.Build();
+    Appendf(&out, "  %s (%.2f MB/s sustained)\n", spec.text().c_str(),
+            model->SustainedBandwidthBytesPerSec() / 1e6);
+    for (const auto& [param, value] : model->DescribeParams()) {
+      Appendf(&out, "    %-20s %s\n", param.c_str(), value.c_str());
+    }
+  }
+  Appendf(&out, "disk queues: %s\n",
+          config.machine.disk_queue == disk::DiskQueuePolicy::kElevator ? "elevator (C-SCAN)"
+                                                                        : "fcfs");
+
+  const std::string write_behind =
+      config.tc_cache.write_behind() == tc::WriteBehindMode::kFull
+          ? "flush-on-full"
+          : "high-water " + std::to_string(config.tc_cache.wb_percent()) + "%";
+  Appendf(&out, "tc cache: %s (policy %s, read-ahead %u, write-behind %s)\n",
+          config.tc_cache.text().c_str(), config.tc_cache.policy().c_str(),
+          config.tc_cache.read_ahead(), write_behind.c_str());
+
+  Appendf(&out, "interconnect: %s%s\n",
+          config.machine.net.topology.Build(config.machine.num_nodes())->Describe().c_str(),
+          config.machine.net.model_link_contention ? " (per-link contention on)" : "");
+
+  if (config.replicas > 1) {
+    Appendf(&out, "layout: %s with %u mirror copies per block\n", fs::LayoutName(config.layout),
+            config.replicas);
+  } else {
+    Appendf(&out, "layout: %s\n", fs::LayoutName(config.layout));
+  }
+
+  if (config.machine.faults.active()) {
+    Appendf(&out, "fault plan:\n%s", config.machine.faults.Describe().c_str());
+  } else {
+    Appendf(&out, "fault plan: none\n");
+  }
+
+  if (!tenants.empty()) {
+    Appendf(&out, "tenants: %s\n", tenants.c_str());
+  }
+
+  Appendf(&out, "trace: %s\n", config.trace.text().c_str());
+  return out;
+}
+
+}  // namespace ddio::core

@@ -1,0 +1,27 @@
+// DescribeExperiment: the `simulate --describe` report. One function building
+// the full-configuration description — pattern chunk structure (Figure-2
+// cs/s), disk fleet with model parameters, IOP queue policy, TC cache
+// policy, interconnect, layout, fault plan, tenants, and the observability
+// plane — so the CLI prints exactly what a test can pin.
+
+#ifndef DDIO_SRC_CORE_DESCRIBE_H_
+#define DDIO_SRC_CORE_DESCRIBE_H_
+
+#include <string>
+
+#include "src/core/runner.h"
+
+namespace ddio::core {
+
+// "16 x hp97560" or "hp97560+ssd:chan=4 (round-robin over 16 disks)".
+std::string DescribeFleet(const MachineConfig& machine);
+
+// The whole configuration, one plane per stanza, trailing newline included.
+// `tenants` is the pre-formatted tenant description
+// (tenant::TenantSpec::Describe()), empty when not serving tenants — passed
+// as text so core does not depend on src/tenant.
+std::string DescribeExperiment(const ExperimentConfig& config, const std::string& tenants);
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_DESCRIBE_H_

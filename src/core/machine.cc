@@ -35,6 +35,14 @@ Machine::Machine(sim::Engine& engine, const MachineConfig& config)
   }
 }
 
+void Machine::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  network_->set_tracer(tracer);
+  for (auto& disk : disks_) {
+    disk->set_tracer(tracer);
+  }
+}
+
 sim::Task<> Machine::ChargeCp(std::uint32_t cp, std::uint32_t cycles) {
   return cp_cpu_[cp]->Use(sim::CyclesToNs(cycles, config_.cpu_mhz));
 }

@@ -18,6 +18,7 @@
 #include "src/disk/bus.h"
 #include "src/disk/disk_unit.h"
 #include "src/net/network.h"
+#include "src/obs/tracer.h"
 #include "src/sim/engine.h"
 #include "src/sim/resource.h"
 #include "src/sim/task.h"
@@ -92,6 +93,13 @@ class Machine {
   ValidationSink* validation() { return validation_; }
   void set_validation(ValidationSink* sink) { validation_ = sink; }
 
+  // Optional observability plane (src/obs). Null by default; installing a
+  // tracer fans the pointer out to the network and every disk so their hot
+  // paths stay a single null check. The tracer is a pure observer — see
+  // src/obs/tracer.h for the byte-identity contract.
+  obs::Tracer* tracer() { return tracer_; }
+  void set_tracer(obs::Tracer* tracer);
+
   // --- Fault injection (config().faults) -----------------------------------
   // True when this machine carries a non-empty fault plan; file systems use
   // this to decide whether to arm timeouts/acks. With an empty plan every
@@ -160,6 +168,7 @@ class Machine {
   std::vector<std::unique_ptr<disk::ScsiBus>> bus_;
   std::vector<std::unique_ptr<disk::DiskUnit>> disks_;
   ValidationSink* validation_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<char> crashed_iops_;  // Empty until a crash event fires.
   bool disks_started_ = false;
   std::vector<const char*> inbox_owner_;  // One slot per tenant plane.

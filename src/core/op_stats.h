@@ -49,6 +49,22 @@ struct OpStatus {
   }
 };
 
+// Where the phase's time went, decomposed into the observability plane's
+// resource buckets (see src/obs/tracer.h for the bucket glossary). Filled
+// only when the run carries an active trace spec (`filled` stays false
+// otherwise, keeping untraced output untouched). Buckets are cumulative
+// busy/wait time across all resources of a kind, so on a parallel machine
+// they routinely exceed elapsed_ns.
+struct PhaseAttribution {
+  bool filled = false;
+  std::uint64_t disk_position_ns = 0;  // Seek + rotation + controller overhead.
+  std::uint64_t disk_transfer_ns = 0;  // Media / channel transfer.
+  std::uint64_t nic_ns = 0;            // NIC serialization (send + receive).
+  std::uint64_t network_ns = 0;        // Hop latency + queue and link waits.
+  std::uint64_t cache_stall_ns = 0;    // Handlers parked on block-cache state.
+  std::uint64_t compute_ns = 0;        // CPU busy + configured think time.
+};
+
 struct OpStats {
   sim::SimTime start_ns = 0;
   sim::SimTime end_ns = 0;
@@ -72,6 +88,9 @@ struct OpStats {
   // Fault-injection outcome. Untouched (kSuccess, zero counters) on any run
   // with an empty fault plan.
   OpStatus status;
+
+  // Time-attribution buckets; filled only under --trace (see PhaseAttribution).
+  PhaseAttribution attrib;
 
   sim::SimTime elapsed_ns() const { return end_ns - start_ns; }
 

@@ -52,6 +52,39 @@ std::string Fixed(double value, int decimals) {
   return buf;
 }
 
+void PrintAttribution(const PhaseAttribution& attrib, sim::SimTime elapsed_ns,
+                      std::ostream& os) {
+  const double elapsed_ms = static_cast<double>(elapsed_ns) / 1e6;
+  Table table({"bucket", "ms", "% of elapsed"});
+  auto row = [&](const char* name, std::uint64_t ns) {
+    const double ms = static_cast<double>(ns) / 1e6;
+    table.AddRow({name, Fixed(ms, 3),
+                  elapsed_ms > 0 ? Fixed(100.0 * ms / elapsed_ms, 1) : Fixed(0.0, 1)});
+  };
+  row("disk position", attrib.disk_position_ns);
+  row("disk transfer", attrib.disk_transfer_ns);
+  row("nic", attrib.nic_ns);
+  row("network", attrib.network_ns);
+  row("cache stall", attrib.cache_stall_ns);
+  row("compute", attrib.compute_ns);
+  table.Print(os);
+}
+
+std::string AttribJsonField(const PhaseAttribution& attrib) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "\"attrib\": {\"disk_position_ms\": %.4f, \"disk_transfer_ms\": %.4f, "
+                "\"nic_ms\": %.4f, \"network_ms\": %.4f, \"cache_stall_ms\": %.4f, "
+                "\"compute_ms\": %.4f}",
+                static_cast<double>(attrib.disk_position_ns) / 1e6,
+                static_cast<double>(attrib.disk_transfer_ns) / 1e6,
+                static_cast<double>(attrib.nic_ns) / 1e6,
+                static_cast<double>(attrib.network_ns) / 1e6,
+                static_cast<double>(attrib.cache_stall_ns) / 1e6,
+                static_cast<double>(attrib.compute_ns) / 1e6);
+  return buf;
+}
+
 void PrintEngineStats(const sim::EngineStats& stats, std::ostream& os) {
   const std::uint64_t total = stats.fifo_events + stats.timed_events;
   const double fifo_share =

@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "src/core/op_stats.h"
+#include "src/sim/time.h"
+
 namespace ddio::sim {
 struct EngineStats;
 }
@@ -34,6 +37,19 @@ std::string Fixed(double value, int decimals = 2);
 // depth, calendar resizes) as a small table. Defined for sim::EngineStats
 // from src/sim/engine.h.
 void PrintEngineStats(const sim::EngineStats& stats, std::ostream& os);
+
+// Renders the --trace=attrib time decomposition as a table: one row per
+// bucket with its cumulative milliseconds and its share of the phase's
+// elapsed time. Buckets sum busy/wait time over ALL resources of a kind, so
+// shares routinely exceed 100% on a parallel machine — the point is which
+// bucket dominates, not a partition of wall-clock.
+void PrintAttribution(const PhaseAttribution& attrib, sim::SimTime elapsed_ns,
+                      std::ostream& os);
+
+// The same buckets as pre-formatted JSON fields —
+// `"attrib": {"disk_position_ms": 1.2340, ...}` — for JsonPointSink's
+// extra_json parameter and the simulate --json output.
+std::string AttribJsonField(const PhaseAttribution& attrib);
 
 }  // namespace ddio::core
 

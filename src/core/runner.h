@@ -16,6 +16,7 @@
 #include "src/core/config.h"
 #include "src/core/op_stats.h"
 #include "src/fs/layout.h"
+#include "src/obs/trace_spec.h"
 #include "src/tc/cache_policy.h"
 
 namespace ddio::core {
@@ -64,6 +65,11 @@ struct ExperimentConfig {
   // TC cache policy spec (--tc-cache): replacement policy, read-ahead depth,
   // write-behind mode. The default reproduces the paper's cache.
   tc::CacheSpec tc_cache;
+  // Observability plane (--trace): span tracing, counter sampling, and
+  // per-phase time attribution. Inactive (the default) installs no tracer at
+  // all; active specs are pure observers (src/obs/tracer.h) whose simulated
+  // results stay byte-identical to untraced runs.
+  obs::TraceSpec trace;
   // Future-work extensions (paper Section 8); both off reproduces the paper.
   bool ddio_gather_scatter = false;
   bool tc_strided = false;

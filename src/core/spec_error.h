@@ -1,0 +1,28 @@
+// SpecError: the one exit path for malformed spec-grammar flags.
+//
+// Every CLI front end (examples/simulate, bench/*) parses its structured
+// flags — --disk, --net, --faults, --tc-cache, --tenants, --trace — through a
+// non-aborting TryParse that fills a one-line detail string. This helper
+// gives all of them the identical failure shape:
+//
+//   error: --FLAG: <detail>
+//
+// printed to stderr, exit status 2 (usage error). Tests pin the prefix.
+
+#ifndef DDIO_SRC_CORE_SPEC_ERROR_H_
+#define DDIO_SRC_CORE_SPEC_ERROR_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ddio::core {
+
+[[noreturn]] inline void SpecError(const char* flag, const std::string& detail) {
+  std::fprintf(stderr, "error: %s: %s\n", flag, detail.c_str());
+  std::exit(2);
+}
+
+}  // namespace ddio::core
+
+#endif  // DDIO_SRC_CORE_SPEC_ERROR_H_

@@ -250,10 +250,16 @@ bool Workload::ValidateCapabilities(const std::string& default_method,
 WorkloadSession::WorkloadSession(const ExperimentConfig& config, std::uint64_t seed)
     : config_(config),
       owned_engine_(std::make_unique<sim::Engine>(seed)),
+      owned_tracer_(config.trace.active()
+                        ? std::make_unique<obs::Tracer>(*owned_engine_, config.trace)
+                        : nullptr),
       owned_machine_(std::make_unique<Machine>(*owned_engine_, config.machine)),
       engine_(owned_engine_.get()),
       machine_(owned_machine_.get()),
       tenant_(config.tenant) {
+  if (owned_tracer_ != nullptr) {
+    machine_->set_tracer(owned_tracer_.get());
+  }
   attach_ok_ = machine_->AttachSession();
 }
 
@@ -262,6 +268,10 @@ WorkloadSession::WorkloadSession(sim::Engine& engine, Machine& machine,
     : config_(config), engine_(&engine), machine_(&machine), tenant_(tenant) {
   config_.tenant = tenant;  // File systems this session activates bind to the plane.
   attach_ok_ = machine_->AttachSession();
+}
+
+obs::TraceData WorkloadSession::TakeTrace() {
+  return owned_tracer_ != nullptr ? owned_tracer_->TakeData() : obs::TraceData{};
 }
 
 WorkloadSession::~WorkloadSession() {
@@ -450,6 +460,44 @@ const char kAttachConflictDetail[] =
     "concurrent workload session attached without the tenant scheduler: enable "
     "Machine::set_allow_concurrent_sessions or drive sessions through "
     "tenant::TenantScheduler";
+
+// CP + IOP busy nanoseconds accrued since `baseline` — the CPU half of the
+// compute attribution bucket.
+std::uint64_t CpuBusyNsSince(Machine& machine, const Machine::UtilizationBaseline& baseline) {
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < machine.num_cps(); ++c) {
+    total +=
+        machine.CpCpu(c).busy_time() - (baseline.cp_busy.empty() ? 0 : baseline.cp_busy[c]);
+  }
+  for (std::uint32_t i = 0; i < machine.num_iops(); ++i) {
+    total +=
+        machine.IopCpu(i).busy_time() - (baseline.iop_busy.empty() ? 0 : baseline.iop_busy[i]);
+  }
+  return total;
+}
+
+// Fills stats->attrib with the tracer buckets this phase accrued for
+// `tenant` (resource buckets come straight from the tracer; compute is the
+// configured think time plus CPU busy since `baseline`). In attached
+// (multi-tenant) mode the CPUs are shared hardware, so the compute bucket
+// includes co-tenant cycles in this phase's window — the per-resource
+// buckets stay tenant-exact.
+void FillAttribution(obs::Tracer* tracer, Machine& machine,
+                     const Machine::UtilizationBaseline& baseline,
+                     const obs::AttribBuckets& before, sim::SimTime compute_ns,
+                     std::uint8_t tenant, OpStats* stats) {
+  if (tracer == nullptr) {
+    return;
+  }
+  const obs::AttribBuckets delta = tracer->tenant_buckets(tenant) - before;
+  stats->attrib.filled = true;
+  stats->attrib.disk_position_ns = delta.disk_position_ns;
+  stats->attrib.disk_transfer_ns = delta.disk_transfer_ns;
+  stats->attrib.nic_ns = delta.nic_ns;
+  stats->attrib.network_ns = delta.network_ns;
+  stats->attrib.cache_stall_ns = delta.cache_stall_ns;
+  stats->attrib.compute_ns = compute_ns + CpuBusyNsSince(machine, baseline);
+}
 }  // namespace
 
 OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
@@ -469,6 +517,16 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
   }
   pattern::AccessPattern& pattern = *pattern_owner;
   FileSystem& fs = *fs_ptr;
+  // Attribution window opens before the compute gap, so prefetch IO issued
+  // by a cross-phase hint (which overlaps the gap) is charged to the phase
+  // that benefits from it.
+  obs::Tracer* tracer = machine_->tracer();
+  Machine::UtilizationBaseline attrib_baseline;
+  obs::AttribBuckets attrib_before;
+  if (tracer != nullptr) {
+    attrib_baseline = machine_->CaptureUtilizationBaseline();
+    attrib_before = tracer->tenant_buckets(tenant_);
+  }
   AdvanceCompute(phase.compute_ns);
 
   // Utilization is reported over THIS phase's I/O window, not cumulatively
@@ -542,6 +600,12 @@ OpStats WorkloadSession::RunPhase(const WorkloadPhase& phase) {
   stats.max_iop_cpu_util = utilization.max_iop_cpu;
   stats.max_bus_util = utilization.max_bus;
   stats.avg_disk_util = utilization.avg_disk_mechanism;
+  FillAttribution(tracer, *machine_, attrib_baseline, attrib_before, phase.compute_ns, tenant_,
+                  &stats);
+  if (tracer != nullptr && tracer->events_on()) {
+    tracer->SpanLabeled(tracer->RegisterTrack("phases"), stats.start_ns, stats.end_ns,
+                        phase.pattern + " " + fs_method_);
+  }
   has_run_phase_ = true;
   last_file_index_ = phase.file_index;
   return stats;
@@ -558,6 +622,13 @@ sim::Task<OpStats> WorkloadSession::RunPhaseAsync(const WorkloadPhase& phase) {
   FileSystem* fs = nullptr;
   if (!PreparePhase(phase, /*loud=*/false, &file, &pattern, &fs, &failure)) {
     co_return failure;
+  }
+  obs::Tracer* tracer = machine_->tracer();
+  Machine::UtilizationBaseline attrib_baseline;
+  obs::AttribBuckets attrib_before;
+  if (tracer != nullptr) {
+    attrib_baseline = machine_->CaptureUtilizationBaseline();
+    attrib_before = tracer->tenant_buckets(tenant_);
   }
   if (phase.compute_ns > 0) {
     co_await engine_->Delay(phase.compute_ns);
@@ -609,6 +680,14 @@ sim::Task<OpStats> WorkloadSession::RunPhaseAsync(const WorkloadPhase& phase) {
   stats.max_iop_cpu_util = utilization.max_iop_cpu;
   stats.max_bus_util = utilization.max_bus;
   stats.avg_disk_util = utilization.avg_disk_mechanism;
+  FillAttribution(tracer, *machine_, attrib_baseline, attrib_before, phase.compute_ns, tenant_,
+                  &stats);
+  if (tracer != nullptr && tracer->events_on()) {
+    // Per-tenant scope track, so concurrent sessions' phases land side by
+    // side in the viewer instead of interleaving on one row.
+    tracer->SpanLabeled(tracer->RegisterTrack("t" + std::to_string(tenant_) + " phases"),
+                        stats.start_ns, stats.end_ns, phase.pattern + " " + fs_method_);
+  }
   has_run_phase_ = true;
   last_file_index_ = phase.file_index;
   co_return stats;
@@ -628,6 +707,9 @@ WorkloadResult RunWorkloadTrial(const ExperimentConfig& config, const Workload& 
     }
   }
   result.total_events = session.engine().events_processed();
+  if (config.trace.active()) {
+    result.trace = std::make_shared<const obs::TraceData>(session.TakeTrace());
+  }
   return result;
 }
 

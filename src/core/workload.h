@@ -90,6 +90,10 @@ struct Workload {
 struct WorkloadResult {
   std::vector<OpStats> phases;       // One per workload phase, in order.
   std::uint64_t total_events = 0;    // Engine events over the whole session.
+  // Everything the session's tracer collected; null on untraced runs.
+  // Shared so aggregation/export layers can hold trial data without copying
+  // event vectors.
+  std::shared_ptr<const obs::TraceData> trace;
 };
 
 // One engine + machine executing phases back to back. The synchronous driver
@@ -157,6 +161,13 @@ class WorkloadSession {
   // Pumps the engine; use RunPhaseAsync from attached sessions.
   OpStats RunPhase(const WorkloadPhase& phase);
 
+  // The installed observability plane: the session-owned tracer in owning
+  // mode (config.trace active), the machine's in attached mode, else null.
+  obs::Tracer* tracer() { return machine_->tracer(); }
+  // Detaches the owned tracer's collected data (owning mode; empty TraceData
+  // when the session runs untraced). Call after the last phase.
+  obs::TraceData TakeTrace();
+
   // Awaitable phase: compute delay, then the collective, with utilization
   // reported over this phase's window via a per-tenant keyed baseline. Never
   // pumps the engine — the caller (tenant scheduler or a test driver) owns
@@ -176,6 +187,9 @@ class WorkloadSession {
 
   ExperimentConfig config_;
   std::unique_ptr<sim::Engine> owned_engine_;  // Null in attached mode.
+  // Owning mode only; installed on the machine below. Attached sessions use
+  // the tracer the tenant scheduler installed machine-wide (if any).
+  std::unique_ptr<obs::Tracer> owned_tracer_;
   std::unique_ptr<Machine> owned_machine_;     // Null in attached mode.
   sim::Engine* engine_ = nullptr;
   Machine* machine_ = nullptr;

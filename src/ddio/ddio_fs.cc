@@ -254,6 +254,19 @@ sim::Task<> DdioFileSystem::HandleCollective(std::uint32_t iop, const Collective
   }
   // Charge the block-list computation + sort (cheap next to the transfer).
   co_await machine_.ChargeIop(iop, costs.cache_access_cycles);
+  if (obs::Tracer* tracer = machine_.tracer(); tracer != nullptr && tracer->events_on()) {
+    // The disk-directed schedule is now fixed: mark it with the per-disk
+    // work-list sizes so a trace shows what each IOP committed to sweep.
+    std::uint64_t blocks = 0;
+    for (const auto& [disk, disk_work] : work) {
+      blocks += disk_work->blocks.size();
+    }
+    const std::string name =
+        (params_.tenant > 0 ? "t" + std::to_string(params_.tenant) + " " : "") + "iop " +
+        std::to_string(iop);
+    tracer->Instant(tracer->RegisterTrack(name), "ddio schedule", "disks", work.size(),
+                    "blocks", blocks);
+  }
 
   // Two one-block buffers per disk, one thread per buffer.
   std::vector<sim::Task<>> workers;

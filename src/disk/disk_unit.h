@@ -27,6 +27,7 @@
 #include "src/disk/bus.h"
 #include "src/disk/disk_model.h"
 #include "src/disk/disk_sched.h"
+#include "src/obs/tracer.h"
 #include "src/sim/engine.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -104,6 +105,11 @@ class DiskUnit {
   }
   const DiskScheduler* scheduler() const { return scheduler_.get(); }
 
+  // Installs the observability plane (null detaches). Registers this disk's
+  // trace track plus its utilization and queue-depth counters; every hook on
+  // the service path is a single null check (see src/obs/tracer.h).
+  void set_tracer(obs::Tracer* tracer);
+
   // Fault injection (src/fault): a transient stall delays servicing of
   // queued requests until now + `duration_ns`; a permanent failure errors
   // every pending and subsequent request. With neither, behavior is
@@ -160,6 +166,10 @@ class DiskUnit {
   std::vector<DiskUnitStats> tenant_stats_;  // Grown on first touch per tenant.
   std::unique_ptr<DiskScheduler> scheduler_;  // Null = policy_ TakeNext.
   bool started_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;           // "disk N" trace track.
+  std::uint32_t util_counter_ = 0;    // Rate: mechanism busy fraction.
+  std::uint32_t qdepth_counter_ = 0;  // Gauge: pending queue depth.
 
   DiskUnitStats& TenantStats(std::uint8_t tenant) {
     if (tenant >= tenant_stats_.size()) {

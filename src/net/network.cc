@@ -41,13 +41,47 @@ Network::Network(sim::Engine& engine, std::uint32_t node_count, NetworkParams pa
   }
 }
 
-sim::Task<> Network::OccupyRoute(std::vector<LinkId> route, std::uint64_t wire_bytes) {
+void Network::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  tx_tracks_.clear();
+  rx_tracks_.clear();
+  link_tracks_.clear();
+  if (tracer_ == nullptr) {
+    return;
+  }
+  tx_tracks_.reserve(node_count());
+  rx_tracks_.reserve(node_count());
+  for (std::uint32_t i = 0; i < node_count(); ++i) {
+    tx_tracks_.push_back(tracer_->RegisterTrack("nic tx " + std::to_string(i)));
+    rx_tracks_.push_back(tracer_->RegisterTrack("nic rx " + std::to_string(i)));
+  }
+  link_tracks_.reserve(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    link_tracks_.push_back(tracer_->RegisterTrack("link " + std::to_string(l)));
+  }
+  inflight_counter_ =
+      tracer_->RegisterCounter("net inflight bytes", obs::Tracer::CounterKind::kGauge);
+}
+
+sim::Task<> Network::TracedLinkUse(LinkId link, sim::SimTime service_ns, std::uint8_t tenant) {
+  const sim::SimTime t0 = engine_.now();
+  co_await links_[link]->Use(service_ns);
+  const sim::SimTime end = engine_.now();
+  const sim::SimTime wait = end - t0 > service_ns ? end - t0 - service_ns : 0;
+  tracer_->Span(link_tracks_[link], end - service_ns, end, "xfer", "wait_ns", wait);
+  tracer_->AddNetwork(tenant, wait);  // Link-contention wait.
+}
+
+sim::Task<> Network::OccupyRoute(std::vector<LinkId> route, std::uint64_t wire_bytes,
+                                 std::uint8_t tenant) {
   std::vector<sim::Task<>> uses;
   uses.reserve(route.size());
   for (LinkId link : route) {
     const std::uint64_t bandwidth =
         topology_->LinkBandwidth(link, params_.link_bandwidth_bytes_per_sec);
-    uses.push_back(links_[link]->Use(sim::TransferTimeNs(wire_bytes, bandwidth)));
+    const sim::SimTime service_ns = sim::TransferTimeNs(wire_bytes, bandwidth);
+    uses.push_back(tracer_ != nullptr ? TracedLinkUse(link, service_ns, tenant)
+                                      : links_[link]->Use(service_ns));
   }
   co_await sim::WhenAll(engine_, std::move(uses));
 }
@@ -69,10 +103,27 @@ sim::Task<> Network::Send(Message msg) {
   ++stats_.messages;
   stats_.data_bytes += msg.data_bytes;
   stats_.wire_bytes += wire_bytes;
+  if (tracer_ != nullptr) {
+    tracer_->AddCounter(inflight_counter_, static_cast<double>(wire_bytes));
+    tracer_->MaybeSample();
+  }
   // Inject: occupy the sender NIC for the full wire size at the access-link
   // rate. A self-send pays only this leg (loopback DMA; see file comment).
-  co_await send_nic_[msg.src]->Transfer(
-      wire_bytes, topology_->NicBandwidth(msg.src, params_.link_bandwidth_bytes_per_sec));
+  const std::uint64_t nic_bandwidth =
+      topology_->NicBandwidth(msg.src, params_.link_bandwidth_bytes_per_sec);
+  const sim::SimTime t0 = engine_.now();
+  co_await send_nic_[msg.src]->Transfer(wire_bytes, nic_bandwidth);
+  if (tracer_ != nullptr) {
+    // The serialization window is the tail of [t0, now]; anything before it
+    // was FIFO queue wait behind earlier messages on this NIC.
+    const sim::SimTime end = engine_.now();
+    const sim::SimTime ser = sim::TransferTimeNs(wire_bytes, nic_bandwidth);
+    const sim::SimTime wait = end - t0 > ser ? end - t0 - ser : 0;
+    tracer_->Span(tx_tracks_[msg.src], end - ser, end, "tx", "bytes", wire_bytes, "wait_ns",
+                  wait);
+    tracer_->AddNic(msg.tenant, ser);
+    tracer_->AddNetwork(msg.tenant, wait);
+  }
   engine_.Spawn(Deliver(std::move(msg), hop_latency, wire_bytes));
 }
 
@@ -105,10 +156,13 @@ sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_
   if (params_.model_link_contention && !self_send) {
     // The wormhole path holds every link on the route for the message's
     // serialization time; contention at any link stretches delivery.
-    co_await OccupyRoute(topology_->Route(msg.src, msg.dst), wire_bytes);
+    co_await OccupyRoute(topology_->Route(msg.src, msg.dst), wire_bytes, msg.tenant);
   }
   if (hop_latency > 0) {
     co_await engine_.Delay(hop_latency);
+    if (tracer_ != nullptr) {
+      tracer_->AddNetwork(msg.tenant, hop_latency);
+    }
   }
   if (!link_faults_.empty()) {
     const auto it = link_faults_.find(FaultKey(msg.src, msg.dst));
@@ -116,13 +170,16 @@ sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_
       const LinkFault& fault = it->second;
       if (fault.extra_delay_ns > 0) {
         co_await engine_.Delay(fault.extra_delay_ns);
+        if (tracer_ != nullptr) {
+          tracer_->AddNetwork(msg.tenant, fault.extra_delay_ns);
+        }
       }
       // Deterministic: one Rng draw per message on a lossy link, in event
       // order, so the same plan + seed drops the same messages at any --jobs.
       if (fault.drop_probability > 0 &&
           engine_.rng().UniformDouble() < fault.drop_probability) {
         ++stats_.dropped;
-        co_return;
+        co_return Dropped(msg, wire_bytes, "drop: link fault");
       }
     }
   }
@@ -130,15 +187,38 @@ sim::Task<> Network::Deliver(Message msg, sim::SimTime hop_latency, std::uint64_
     // A crashed endpoint: the message vanishes instead of landing in a
     // closed inbox (whose queue a future owner would inherit).
     ++stats_.dropped;
-    co_return;
+    co_return Dropped(msg, wire_bytes, "drop: node down");
   }
   const std::uint16_t dst = msg.dst;
   const std::uint8_t tenant = msg.tenant;
   if (!self_send) {
-    co_await recv_nic_[dst]->Transfer(
-        wire_bytes, topology_->NicBandwidth(dst, params_.link_bandwidth_bytes_per_sec));
+    const std::uint64_t nic_bandwidth =
+        topology_->NicBandwidth(dst, params_.link_bandwidth_bytes_per_sec);
+    const sim::SimTime t0 = engine_.now();
+    co_await recv_nic_[dst]->Transfer(wire_bytes, nic_bandwidth);
+    if (tracer_ != nullptr) {
+      const sim::SimTime end = engine_.now();
+      const sim::SimTime ser = sim::TransferTimeNs(wire_bytes, nic_bandwidth);
+      const sim::SimTime wait = end - t0 > ser ? end - t0 - ser : 0;
+      tracer_->Span(rx_tracks_[dst], end - ser, end, "rx", "bytes", wire_bytes, "wait_ns",
+                    wait);
+      tracer_->AddNic(tenant, ser);
+      tracer_->AddNetwork(tenant, wait);
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->AddCounter(inflight_counter_, -static_cast<double>(wire_bytes));
+    tracer_->MaybeSample();
   }
   inboxes_[tenant][dst]->Send(std::move(msg));
+}
+
+void Network::Dropped(const Message& msg, std::uint64_t wire_bytes, const char* why) {
+  if (tracer_ != nullptr) {
+    tracer_->Instant(tx_tracks_[msg.src], why, "bytes", wire_bytes);
+    tracer_->AddCounter(inflight_counter_, -static_cast<double>(wire_bytes));
+    tracer_->MaybeSample();
+  }
 }
 
 }  // namespace ddio::net

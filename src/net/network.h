@@ -35,6 +35,7 @@
 #include "src/net/message.h"
 #include "src/net/net_spec.h"
 #include "src/net/topology.h"
+#include "src/obs/tracer.h"
 #include "src/sim/channel.h"
 #include "src/sim/engine.h"
 #include "src/sim/resource.h"
@@ -109,6 +110,13 @@ class Network {
   // Aggregate busy time across all links (contention mode only).
   sim::SimTime TotalLinkBusyTime() const;
 
+  // Installs the observability plane (null detaches). Registers one trace
+  // track per NIC direction ("nic tx/rx N"), one per link in contention mode,
+  // and the bytes-in-flight gauge. All hooks are observational: spans record
+  // serialization windows and queue/contention waits that already happened,
+  // so traced deliveries are event-for-event identical to untraced ones.
+  void set_tracer(obs::Tracer* tracer);
+
   // Fault injection (src/fault). SetLinkFault installs a per-message drop
   // probability and/or extra delay on the directed node pair a->b AND b->a;
   // the drop decision draws from the engine's Rng in deterministic event
@@ -141,7 +149,15 @@ class Network {
   // Occupies every link of `route` for its per-link serialization time of
   // `wire_bytes`, concurrently; completes when the most-contended link has
   // served this message.
-  sim::Task<> OccupyRoute(std::vector<LinkId> route, std::uint64_t wire_bytes);
+  sim::Task<> OccupyRoute(std::vector<LinkId> route, std::uint64_t wire_bytes,
+                          std::uint8_t tenant);
+  // Traced variant of one link occupation: same await, plus a span on the
+  // link's track and the contention wait accrued to `tenant`. Completes at
+  // the identical simulated time (symmetric transfer adds no engine events).
+  sim::Task<> TracedLinkUse(LinkId link, sim::SimTime service_ns, std::uint8_t tenant);
+  // Trace bookkeeping for a message that vanished on the wire (fault drop or
+  // down node): a drop instant on the sender's track + in-flight adjustment.
+  void Dropped(const Message& msg, std::uint64_t wire_bytes, const char* why);
 
   sim::Engine& engine_;
   std::unique_ptr<Topology> topology_;
@@ -156,6 +172,11 @@ class Network {
   // delivery fast path stays branch-cheap and draws no random numbers.
   std::unordered_map<std::uint64_t, LinkFault> link_faults_;  // Key (src<<32)|dst.
   std::vector<char> down_;  // Indexed by node; empty = all up.
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<std::uint32_t> tx_tracks_;    // Per node: "nic tx N".
+  std::vector<std::uint32_t> rx_tracks_;    // Per node: "nic rx N".
+  std::vector<std::uint32_t> link_tracks_;  // Per link (contention mode).
+  std::uint32_t inflight_counter_ = 0;      // Gauge: wire bytes injected, undelivered.
 };
 
 }  // namespace ddio::net

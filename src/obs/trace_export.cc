@@ -1,0 +1,177 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/sim/time.h"
+
+namespace ddio::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Counter values are doubles (rates are fractional); fixed six decimals with
+// the trailing zeros trimmed keeps the bytes stable and the files compact.
+void AppendValue(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  std::string text = buf;
+  while (text.size() > 1 && text.back() == '0') {
+    text.pop_back();
+  }
+  if (!text.empty() && text.back() == '.') {
+    text.pop_back();
+  }
+  *out += text;
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+// Shared "pid":N,"tid":N prefix of every emitted event object.
+void OpenEvent(std::string* out, std::uint64_t pid, std::uint64_t tid) {
+  *out += "{\"pid\":";
+  AppendU64(out, pid);
+  *out += ",\"tid\":";
+  AppendU64(out, tid);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceData>& trials) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+  for (std::size_t trial = 0; trial < trials.size(); ++trial) {
+    const TraceData& data = trials[trial];
+    const std::uint64_t pid = trial + 1;
+    comma();
+    OpenEvent(&out, pid, 0);
+    out += ",\"ph\":\"M\",\"name\":\"process_name\",\"args\":{\"name\":\"trial ";
+    AppendU64(&out, trial);
+    out += "\"}}";
+    for (std::size_t t = 0; t < data.tracks.size(); ++t) {
+      comma();
+      OpenEvent(&out, pid, t + 1);
+      out += ",\"ph\":\"M\",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      AppendEscaped(&out, data.tracks[t]);
+      out += "\"}}";
+    }
+    for (const TraceEvent& e : data.events) {
+      comma();
+      OpenEvent(&out, pid, static_cast<std::uint64_t>(e.track) + 1);
+      out += ",\"ts\":";
+      sim::AppendNsAsMicros(&out, e.ts);
+      if (e.kind == TraceEvent::Kind::kSpan) {
+        out += ",\"ph\":\"X\",\"dur\":";
+        sim::AppendNsAsMicros(&out, e.dur);
+      } else {
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+      }
+      out += ",\"name\":\"";
+      AppendEscaped(&out, e.label.empty() ? std::string(e.name) : e.label);
+      out += "\"";
+      if (e.akey != nullptr || e.bkey != nullptr) {
+        out += ",\"args\":{";
+        if (e.akey != nullptr) {
+          out += "\"";
+          out += e.akey;
+          out += "\":";
+          AppendU64(&out, e.a);
+        }
+        if (e.bkey != nullptr) {
+          if (e.akey != nullptr) {
+            out += ",";
+          }
+          out += "\"";
+          out += e.bkey;
+          out += "\":";
+          AppendU64(&out, e.b);
+        }
+        out += "}";
+      }
+      out += "}";
+    }
+    for (const TraceData::CounterSample& s : data.samples) {
+      comma();
+      OpenEvent(&out, pid, 0);
+      out += ",\"ph\":\"C\",\"ts\":";
+      sim::AppendNsAsMicros(&out, s.ts);
+      out += ",\"name\":\"";
+      AppendEscaped(&out, data.counters[s.counter]);
+      out += "\",\"args\":{\"v\":";
+      AppendValue(&out, s.value);
+      out += "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}\n";
+  return out;
+}
+
+std::string CounterCsv(const std::vector<TraceData>& trials) {
+  std::string out = "trial,ts_us,counter,value\n";
+  for (std::size_t trial = 0; trial < trials.size(); ++trial) {
+    const TraceData& data = trials[trial];
+    for (const TraceData::CounterSample& s : data.samples) {
+      AppendU64(&out, trial);
+      out += ",";
+      sim::AppendNsAsMicros(&out, s.ts);
+      out += ",";
+      out += data.counters[s.counter];
+      out += ",";
+      AppendValue(&out, s.value);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents, std::string* error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  file.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  file.flush();
+  if (!file) {
+    *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ddio::obs

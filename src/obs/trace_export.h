@@ -1,0 +1,36 @@
+// Deterministic serializers for collected TraceData.
+//
+// ChromeTraceJson emits the Chrome trace-event format ({"traceEvents":[...]})
+// that chrome://tracing and Perfetto load directly: one process per trial
+// (pid = trial index + 1), one named thread per registered track, "X"
+// complete events for spans, "i" instants, and "C" counter events built from
+// the sampled series. Timestamps are simulated nanoseconds rendered as
+// microseconds with three fixed decimals (sim::AppendNsAsMicros), so the
+// bytes are identical however many jobs produced the trials — the exporter
+// only sees trial-index-ordered data.
+//
+// CounterCsv flattens the counter series to "trial,ts_us,counter,value" rows
+// in the same deterministic formatting.
+
+#ifndef DDIO_SRC_OBS_TRACE_EXPORT_H_
+#define DDIO_SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/tracer.h"
+
+namespace ddio::obs {
+
+// Serializes the trials (index order = pid order) as Chrome trace JSON.
+std::string ChromeTraceJson(const std::vector<TraceData>& trials);
+
+// Serializes every trial's counter series as CSV with a header row.
+std::string CounterCsv(const std::vector<TraceData>& trials);
+
+// Writes `contents` to `path`; returns false (and fills *error) on failure.
+bool WriteFile(const std::string& path, const std::string& contents, std::string* error);
+
+}  // namespace ddio::obs
+
+#endif  // DDIO_SRC_OBS_TRACE_EXPORT_H_

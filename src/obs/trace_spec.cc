@@ -1,0 +1,153 @@
+#include "src/obs/trace_spec.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ddio::obs {
+namespace {
+
+bool Fail(std::string* error, std::string detail) {
+  *error = std::move(detail);
+  return false;
+}
+
+// Splits on BOTH part separators (';' and ','); the grammar has no quoting,
+// so paths containing either are unsupported (documented in the header).
+std::vector<std::string> SplitParts(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ';' || text[i] == ',') {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+// Duration with a mandatory unit, the fault-grammar convention: "10ms",
+// "250us", "1s", "500ns". Rejects zero, negatives, unitless numbers.
+bool ParseDurationNs(const std::string& value, sim::SimTime* out_ns) {
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    return false;
+  }
+  std::size_t consumed = 0;
+  double number = 0;
+  try {
+    number = std::stod(value, &consumed);
+  } catch (...) {
+    return false;
+  }
+  const std::string unit = value.substr(consumed);
+  double scale_to_ns = 0;
+  if (unit == "ns") {
+    scale_to_ns = 1.0;
+  } else if (unit == "us") {
+    scale_to_ns = 1e3;
+  } else if (unit == "ms") {
+    scale_to_ns = 1e6;
+  } else if (unit == "s") {
+    scale_to_ns = 1e9;
+  } else {
+    return false;  // Unit is mandatory: "every=10" is ambiguous.
+  }
+  const double ns = number * scale_to_ns;
+  if (!std::isfinite(ns) || ns < 1.0 || ns > 1e16) {  // [1ns, ~115 days].
+    return false;
+  }
+  *out_ns = static_cast<sim::SimTime>(std::llround(ns));
+  return true;
+}
+
+}  // namespace
+
+std::string TraceSpec::text() const {
+  if (!active()) {
+    return "off";
+  }
+  std::string out;
+  auto append = [&out](const std::string& part) {
+    if (!out.empty()) {
+      out += ";";
+    }
+    out += part;
+  };
+  if (chrome) {
+    append("chrome:" + chrome_path);
+  }
+  if (counters) {
+    append("counters:every=" + std::to_string(counter_every_ns) + "ns");
+  }
+  if (csv) {
+    append("csv:" + csv_path);
+  }
+  if (attrib) {
+    append("attrib");
+  }
+  return out;
+}
+
+bool TraceSpec::TryParse(const std::string& spec, TraceSpec* out, std::string* error) {
+  *out = TraceSpec();
+  if (spec.empty()) {
+    return Fail(error, "empty trace spec (want e.g. chrome:PATH;counters:every=10ms;attrib)");
+  }
+  for (const std::string& part : SplitParts(spec)) {
+    if (part.empty()) {
+      return Fail(error, "empty part in \"" + spec + "\" (separators are ';' and ',')");
+    }
+    if (part == "attrib") {
+      if (out->attrib) {
+        return Fail(error, "duplicate attrib part");
+      }
+      out->attrib = true;
+    } else if (part.rfind("chrome:", 0) == 0) {
+      if (out->chrome) {
+        return Fail(error, "duplicate chrome: part");
+      }
+      out->chrome = true;
+      out->chrome_path = part.substr(7);
+      if (out->chrome_path.empty()) {
+        return Fail(error, "chrome: needs a file path (chrome:trace.json)");
+      }
+    } else if (part.rfind("csv:", 0) == 0) {
+      if (out->csv) {
+        return Fail(error, "duplicate csv: part");
+      }
+      out->csv = true;
+      out->csv_path = part.substr(4);
+      if (out->csv_path.empty()) {
+        return Fail(error, "csv: needs a file path (csv:counters.csv)");
+      }
+    } else if (part == "counters" || part.rfind("counters:", 0) == 0) {
+      if (out->counters) {
+        return Fail(error, "duplicate counters part");
+      }
+      out->counters = true;
+      if (part.size() > 9) {
+        const std::string option = part.substr(9);
+        if (option.rfind("every=", 0) != 0) {
+          return Fail(error, "counters option \"" + option +
+                                 "\" is not every=DUR (e.g. counters:every=10ms)");
+        }
+        if (!ParseDurationNs(option.substr(6), &out->counter_every_ns)) {
+          return Fail(error, "counters every=" + option.substr(6) +
+                                 " is not a positive duration with a unit (ns/us/ms/s)");
+        }
+      }
+    } else {
+      return Fail(error, "unknown trace part \"" + part +
+                             "\" (want chrome:PATH | counters[:every=DUR] | csv:PATH | attrib)");
+    }
+  }
+  if (out->csv && !out->counters) {
+    out->counters = true;  // A counter sink implies counter sampling.
+  }
+  if (out->counters && !out->chrome && !out->csv) {
+    return Fail(error,
+                "counters need a sink: add chrome:PATH or csv:PATH to the same spec");
+  }
+  return true;
+}
+
+}  // namespace ddio::obs

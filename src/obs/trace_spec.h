@@ -1,0 +1,70 @@
+// TraceSpec: the --trace=SPEC grammar selecting the observability planes.
+//
+//   SPEC  := PART ((';' | ',') PART)*
+//   PART  := chrome:PATH            span/instant/counter events as a Chrome
+//                                   trace-event JSON file (chrome://tracing /
+//                                   Perfetto-loadable; one track per disk,
+//                                   NIC, link, IOP cache, and tenant;
+//                                   simulated time as timestamps)
+//          | counters[:every=DUR]   time-series counters sampled every DUR of
+//                                   simulated time (default 1ms; unit is
+//                                   mandatory: ns/us/ms/s, as in --faults)
+//          | csv:PATH               counter series as CSV (implies counters)
+//          | attrib                 per-phase time-attribution buckets
+//                                   (disk-positioning / disk-transfer / NIC /
+//                                   network / cache-stall / compute)
+//
+// Examples: "chrome:run.json", "chrome:run.json;counters:every=10ms;attrib",
+// "attrib". `counters` needs at least one sink (chrome: or csv:). Paths may
+// not contain ';' or ',' (they are part separators).
+//
+// Same contract as the other spec grammars (disk/net/fault/tc-cache/tenants):
+// TryParse never aborts — it returns false with a one-line *error for CLI
+// front ends to report (route through core::SpecError for the uniform
+// "error: --FLAG: detail" + exit 2 form).
+//
+// A default-constructed TraceSpec is inactive: every hook compiles to a null
+// pointer check and simulated results are byte-identical to a build without
+// the observability plane (pinned by tests/trace_test.cc).
+
+#ifndef DDIO_SRC_OBS_TRACE_SPEC_H_
+#define DDIO_SRC_OBS_TRACE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace ddio::obs {
+
+struct TraceSpec {
+  bool chrome = false;
+  std::string chrome_path;
+  bool counters = false;
+  sim::SimTime counter_every_ns = sim::kNsPerMs;  // counters:every=DUR.
+  bool csv = false;
+  std::string csv_path;
+  bool attrib = false;
+
+  // Any plane selected. Inactive specs cost nothing at run time.
+  bool active() const { return chrome || counters || attrib; }
+  // Span/instant events are only collected when a chrome sink will write them.
+  bool events_on() const { return chrome; }
+
+  // Canonical one-line description for --describe and preambles.
+  std::string text() const;
+
+  // Parses SPEC. Never aborts: returns false and sets *error on malformed
+  // input (including `counters` with no chrome:/csv: sink).
+  static bool TryParse(const std::string& spec, TraceSpec* out, std::string* error);
+
+  friend bool operator==(const TraceSpec& a, const TraceSpec& b) {
+    return a.chrome == b.chrome && a.chrome_path == b.chrome_path && a.counters == b.counters &&
+           a.counter_every_ns == b.counter_every_ns && a.csv == b.csv &&
+           a.csv_path == b.csv_path && a.attrib == b.attrib;
+  }
+};
+
+}  // namespace ddio::obs
+
+#endif  // DDIO_SRC_OBS_TRACE_SPEC_H_

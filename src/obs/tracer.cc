@@ -1,0 +1,114 @@
+#include "src/obs/tracer.h"
+
+#include <utility>
+
+namespace ddio::obs {
+
+Tracer::Tracer(sim::Engine& engine, const TraceSpec& spec) : engine_(engine) {
+  data_.spec = spec;
+  next_sample_ = spec.counter_every_ns;  // First boundary after t=0.
+}
+
+std::uint32_t Tracer::RegisterTrack(const std::string& name) {
+  auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(data_.tracks.size());
+  data_.tracks.push_back(name);
+  track_ids_.emplace(name, id);
+  return id;
+}
+
+std::uint32_t Tracer::RegisterCounter(const std::string& name, CounterKind kind) {
+  auto it = counter_ids_.find(name);
+  if (it != counter_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(data_.counters.size());
+  data_.counters.push_back(name);
+  counter_ids_.emplace(name, id);
+  values_.push_back(0);
+  kinds_.push_back(kind);
+  return id;
+}
+
+void Tracer::Span(std::uint32_t track, sim::SimTime start, sim::SimTime end, const char* name,
+                  const char* akey, std::uint64_t a, const char* bkey, std::uint64_t b) {
+  if (!events_on() || end <= start) {
+    return;
+  }
+  TraceEvent& e = data_.events.emplace_back();
+  e.kind = TraceEvent::Kind::kSpan;
+  e.track = track;
+  e.ts = start;
+  e.dur = end - start;
+  e.name = name;
+  e.akey = akey;
+  e.a = a;
+  e.bkey = bkey;
+  e.b = b;
+}
+
+void Tracer::SpanLabeled(std::uint32_t track, sim::SimTime start, sim::SimTime end,
+                         std::string label) {
+  if (!events_on() || end <= start) {
+    return;
+  }
+  TraceEvent& e = data_.events.emplace_back();
+  e.kind = TraceEvent::Kind::kSpan;
+  e.track = track;
+  e.ts = start;
+  e.dur = end - start;
+  e.label = std::move(label);
+}
+
+void Tracer::Instant(std::uint32_t track, const char* name, const char* akey, std::uint64_t a,
+                     const char* bkey, std::uint64_t b) {
+  if (!events_on()) {
+    return;
+  }
+  TraceEvent& e = data_.events.emplace_back();
+  e.kind = TraceEvent::Kind::kInstant;
+  e.track = track;
+  e.ts = engine_.now();
+  e.name = name;
+  e.akey = akey;
+  e.a = a;
+  e.bkey = bkey;
+  e.b = b;
+}
+
+void Tracer::OnDiskAccess(std::uint32_t track, std::uint32_t util_counter, sim::SimTime start,
+                          sim::SimTime position_ns, sim::SimTime total_ns, std::uint64_t lbn,
+                          std::uint64_t bytes, bool is_write, std::uint8_t tenant) {
+  if (position_ns > total_ns) {
+    position_ns = total_ns;
+  }
+  Span(track, start, start + position_ns, "position", "lbn", lbn);
+  Span(track, start + position_ns, start + total_ns, is_write ? "write" : "read", "lbn", lbn,
+       "bytes", bytes);
+  AddDiskPosition(tenant, position_ns);
+  AddDiskTransfer(tenant, total_ns - position_ns);
+  AddCounter(util_counter, static_cast<double>(total_ns));
+  MaybeSample();
+}
+
+void Tracer::SampleUpTo(sim::SimTime now) {
+  const sim::SimTime every = data_.spec.counter_every_ns;
+  while (next_sample_ <= now) {
+    for (std::uint32_t c = 0; c < values_.size(); ++c) {
+      double value = values_[c];
+      if (kinds_[c] == CounterKind::kRate) {
+        value /= static_cast<double>(every);
+        values_[c] = 0;  // Accrual since the previous boundary is consumed.
+      }
+      data_.samples.push_back({next_sample_, c, value});
+    }
+    next_sample_ += every;
+  }
+}
+
+TraceData Tracer::TakeData() { return std::move(data_); }
+
+}  // namespace ddio::obs

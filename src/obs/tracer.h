@@ -1,0 +1,222 @@
+// Tracer: the simulated-time observability plane every layer emits into.
+//
+// One Tracer serves one trial (one Engine + Machine). Instrumented classes
+// (DiskUnit, Network, BlockCache, WorkloadSession, the file systems) hold a
+// plain `obs::Tracer*` that is null unless the run asked for tracing — every
+// hot-path hook is a single pointer test, no virtual calls — and the tracer
+// is a pure observer: it reads engine.now() (the span clock) and pre-computed
+// timings, never spawns events, delays, or coroutines, so traced simulated
+// results are byte-identical to untraced runs (pinned by tests/trace_test.cc).
+//
+// Three planes, selected by TraceSpec:
+//  * Span/instant events (spec.chrome): disk accesses split into positioning
+//    and transfer sub-spans, NIC serialization with queue-wait args, per-hop
+//    link occupancy under contention, block-cache hit/miss/evict/flush/
+//    prefetch instants, collective-phase and per-tenant scopes. Exported as
+//    Chrome trace-event JSON by src/obs/trace_export.h.
+//  * Time-series counters (spec.counters): gauges (disk queue depth, cache
+//    occupancy/dirty blocks, network bytes in flight) and rates (per-disk
+//    utilization) sampled lazily on a simulated-time grid. Sampling is
+//    observational — hooks check the grid and emit catch-up samples at exact
+//    k*every timestamps — so the engine's event count never changes. A
+//    sample's value is the state as of the most recent instrumented event
+//    (exact for gauges that only change at instrumented points; the series
+//    ends at the last instrumented event of the run).
+//  * Attribution buckets (always accumulated while tracing; reported when
+//    spec.attrib): per-tenant cumulative resource time —
+//      disk_position  seek + rotation + controller overhead,
+//      disk_transfer  media / channel transfer,
+//      nic            send + receive NIC serialization,
+//      network        hop latency + NIC queue wait + link-contention wait
+//                     (+ injected fault delays),
+//      cache_stall    time request handlers spent parked on cache state
+//                     (read coalescing, writes behind in-flight disk ops,
+//                     eviction waits) — NOT the backing disk time itself.
+//    Buckets measure concurrent resource usage: they overlap each other and
+//    may exceed elapsed wall time on a parallel machine (16 busy disks
+//    accrue 16x). The compute bucket (CPU busy + configured think time) is
+//    assembled by the WorkloadSession from its utilization baselines.
+
+#ifndef DDIO_SRC_OBS_TRACER_H_
+#define DDIO_SRC_OBS_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/trace_spec.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace ddio::obs {
+
+// Cumulative resource-time attribution (see the bucket glossary above).
+struct AttribBuckets {
+  std::uint64_t disk_position_ns = 0;
+  std::uint64_t disk_transfer_ns = 0;
+  std::uint64_t nic_ns = 0;
+  std::uint64_t network_ns = 0;
+  std::uint64_t cache_stall_ns = 0;
+
+  AttribBuckets& operator+=(const AttribBuckets& o) {
+    disk_position_ns += o.disk_position_ns;
+    disk_transfer_ns += o.disk_transfer_ns;
+    nic_ns += o.nic_ns;
+    network_ns += o.network_ns;
+    cache_stall_ns += o.cache_stall_ns;
+    return *this;
+  }
+  AttribBuckets operator-(const AttribBuckets& o) const {
+    AttribBuckets d;
+    d.disk_position_ns = disk_position_ns - o.disk_position_ns;
+    d.disk_transfer_ns = disk_transfer_ns - o.disk_transfer_ns;
+    d.nic_ns = nic_ns - o.nic_ns;
+    d.network_ns = network_ns - o.network_ns;
+    d.cache_stall_ns = cache_stall_ns - o.cache_stall_ns;
+    return d;
+  }
+};
+
+// One recorded span or instant. Names are static literals on the hot paths;
+// `label` (phase/tenant scopes) overrides `name` when non-empty. Up to two
+// statically-keyed integer args ride along into the exported JSON.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+  Kind kind = Kind::kSpan;
+  std::uint32_t track = 0;
+  sim::SimTime ts = 0;
+  sim::SimTime dur = 0;  // Spans only.
+  const char* name = "";
+  std::string label;
+  const char* akey = nullptr;
+  std::uint64_t a = 0;
+  const char* bkey = nullptr;
+  std::uint64_t b = 0;
+};
+
+// Everything one trial's tracer collected, detached from the engine so it can
+// outlive the trial and be merged/exported in trial-index order (the jobs=N
+// byte-identity contract).
+struct TraceData {
+  TraceSpec spec;
+  std::vector<std::string> tracks;  // Index = track id.
+  std::vector<TraceEvent> events;
+  std::vector<std::string> counters;  // Index = counter id.
+  struct CounterSample {
+    sim::SimTime ts = 0;
+    std::uint32_t counter = 0;
+    double value = 0;
+  };
+  std::vector<CounterSample> samples;
+  std::vector<AttribBuckets> tenant_buckets;  // Index = tenant id.
+
+  AttribBuckets TotalBuckets() const {
+    AttribBuckets total;
+    for (const AttribBuckets& b : tenant_buckets) {
+      total += b;
+    }
+    return total;
+  }
+};
+
+class Tracer {
+ public:
+  enum class CounterKind : std::uint8_t {
+    kGauge,  // Samples report the current value.
+    kRate,   // Samples report accumulated/interval, zeroed at each boundary.
+  };
+
+  Tracer(sim::Engine& engine, const TraceSpec& spec);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool events_on() const { return data_.spec.events_on(); }
+  bool counters_on() const { return data_.spec.counters; }
+  bool attrib_on() const { return data_.spec.attrib; }
+  const TraceSpec& spec() const { return data_.spec; }
+
+  // Registration (wiring time, not hot paths). Both dedupe by name so a file
+  // system restarting mid-session reuses its tracks/counters.
+  std::uint32_t RegisterTrack(const std::string& name);
+  std::uint32_t RegisterCounter(const std::string& name, CounterKind kind);
+
+  // Event primitives. No-ops unless events_on().
+  void Span(std::uint32_t track, sim::SimTime start, sim::SimTime end, const char* name,
+            const char* akey = nullptr, std::uint64_t a = 0, const char* bkey = nullptr,
+            std::uint64_t b = 0);
+  void SpanLabeled(std::uint32_t track, sim::SimTime start, sim::SimTime end,
+                   std::string label);
+  void Instant(std::uint32_t track, const char* name, const char* akey = nullptr,
+               std::uint64_t a = 0, const char* bkey = nullptr, std::uint64_t b = 0);
+
+  // Counter primitives. No-ops unless counters_on().
+  void SetCounter(std::uint32_t counter, double value) {
+    if (counters_on()) {
+      values_[counter] = value;
+    }
+  }
+  void AddCounter(std::uint32_t counter, double delta) {
+    if (counters_on()) {
+      values_[counter] += delta;
+    }
+  }
+  // Emits catch-up samples for every grid boundary at or before now. Hooks
+  // call this after updating their gauges.
+  void MaybeSample() {
+    if (counters_on() && engine_.now() >= next_sample_) {
+      SampleUpTo(engine_.now());
+    }
+  }
+
+  // Attribution accumulators (cheap; always on while a tracer is installed).
+  void AddDiskPosition(std::uint8_t tenant, sim::SimTime ns) {
+    Buckets(tenant).disk_position_ns += ns;
+  }
+  void AddDiskTransfer(std::uint8_t tenant, sim::SimTime ns) {
+    Buckets(tenant).disk_transfer_ns += ns;
+  }
+  void AddNic(std::uint8_t tenant, sim::SimTime ns) { Buckets(tenant).nic_ns += ns; }
+  void AddNetwork(std::uint8_t tenant, sim::SimTime ns) { Buckets(tenant).network_ns += ns; }
+  void AddCacheStall(std::uint8_t tenant, sim::SimTime ns) {
+    Buckets(tenant).cache_stall_ns += ns;
+  }
+  // Snapshot of one tenant's cumulative buckets (zeros if never touched).
+  AttribBuckets tenant_buckets(std::uint8_t tenant) const {
+    return tenant < data_.tenant_buckets.size() ? data_.tenant_buckets[tenant]
+                                                : AttribBuckets{};
+  }
+
+  // One disk access, already serviced by the mechanism model: emits the
+  // positioning and transfer sub-spans, accrues the disk buckets and the
+  // utilization rate counter, and samples. Keeps DiskUnit::ServiceLoop lean.
+  void OnDiskAccess(std::uint32_t track, std::uint32_t util_counter, sim::SimTime start,
+                    sim::SimTime position_ns, sim::SimTime total_ns, std::uint64_t lbn,
+                    std::uint64_t bytes, bool is_write, std::uint8_t tenant);
+
+  // Detaches everything collected; the tracer is spent afterwards.
+  TraceData TakeData();
+
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  void SampleUpTo(sim::SimTime now);
+  AttribBuckets& Buckets(std::uint8_t tenant) {
+    if (tenant >= data_.tenant_buckets.size()) {
+      data_.tenant_buckets.resize(static_cast<std::size_t>(tenant) + 1);
+    }
+    return data_.tenant_buckets[tenant];
+  }
+
+  sim::Engine& engine_;
+  TraceData data_;
+  std::unordered_map<std::string, std::uint32_t> track_ids_;
+  std::unordered_map<std::string, std::uint32_t> counter_ids_;
+  std::vector<double> values_;              // Current value per counter.
+  std::vector<CounterKind> kinds_;
+  sim::SimTime next_sample_ = 0;            // Next grid boundary to emit.
+};
+
+}  // namespace ddio::obs
+
+#endif  // DDIO_SRC_OBS_TRACER_H_

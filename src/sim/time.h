@@ -10,6 +10,8 @@
 #define DDIO_SRC_SIM_TIME_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace ddio::sim {
 
@@ -48,6 +50,16 @@ constexpr SimTime CyclesToNs(std::uint64_t cycles, std::uint32_t mhz) {
 constexpr SimTime TransferTimeNs(std::uint64_t bytes, std::uint64_t bytes_per_sec) {
   // Round up so a transfer never takes zero time.
   return (bytes * kNsPerSec + bytes_per_sec - 1) / bytes_per_sec;
+}
+
+// Renders simulated time as Chrome-trace microseconds ("1234.567"): integer
+// arithmetic with exactly three decimals, so trace exports are byte-stable
+// across platforms and locales (no float formatting involved).
+inline void AppendNsAsMicros(std::string* out, SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu", static_cast<unsigned long long>(t / kNsPerUs),
+                static_cast<unsigned long long>(t % kNsPerUs));
+  out->append(buf);
 }
 
 }  // namespace ddio::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <vector>
 
 namespace ddio::tc {
@@ -25,6 +26,33 @@ BlockCache::BlockCache(core::Machine& machine, std::uint32_t iop, std::uint32_t 
     wb_threshold_ = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(
                static_cast<std::uint64_t>(capacity_) * spec_.wb_percent() / 100));
+  }
+  tracer_ = machine.tracer();
+  if (tracer_ != nullptr) {
+    // Registration dedupes by name, so a cache recreated on the next FS
+    // activation (or collective) reuses the same track and gauges.
+    const std::string name = (tenant_ > 0 ? "t" + std::to_string(tenant_) + " " : "") +
+                             "cache iop " + std::to_string(iop_);
+    track_ = tracer_->RegisterTrack(name);
+    blocks_counter_ =
+        tracer_->RegisterCounter(name + " blocks", obs::Tracer::CounterKind::kGauge);
+    dirty_counter_ =
+        tracer_->RegisterCounter(name + " dirty", obs::Tracer::CounterKind::kGauge);
+  }
+}
+
+void BlockCache::SyncGauges() {
+  if (tracer_ != nullptr) {
+    tracer_->SetCounter(blocks_counter_, static_cast<double>(blocks_.size()));
+    tracer_->SetCounter(dirty_counter_, static_cast<double>(dirty_blocks_));
+    tracer_->MaybeSample();
+  }
+}
+
+void BlockCache::TraceCache(const char* event) {
+  if (tracer_ != nullptr) {
+    tracer_->Instant(track_, event);
+    SyncGauges();
   }
 }
 
@@ -63,6 +91,7 @@ sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t fi
   entry.state = State::kFlushing;
   --dirty_blocks_;
   ++outstanding_io_;
+  SyncGauges();
   const bool partial = entry.fill_bytes < file.BlockLength(file_block);
   co_await machine_.ChargeIop(iop_, machine_.config().costs.disk_cmd_cycles);
   disk::DiskUnit& disk = machine_.Disk(file.DiskOfBlockReplica(file_block, entry.replica));
@@ -86,6 +115,7 @@ sim::Task<> BlockCache::FlushEntry(const fs::StripedFile& file, std::uint64_t fi
     entry.io_failed = true;
   } else {
     ++stats_.flushes;
+    TraceCache(partial ? "rmw flush" : "flush");
   }
   entry.state = State::kValid;
   entry.fill_bytes = 0;
@@ -124,10 +154,17 @@ sim::Task<> BlockCache::EvictOne(const fs::StripedFile& file) {
       ++stats_.evictions;
       policy_->OnErase(*victim);
       blocks_.erase(*victim);
+      TraceCache("evict");
       changed_.NotifyAll();
       co_return;
     }
+    const sim::SimTime wait_start = machine_.engine().now();
     co_await changed_.Wait();
+    if (tracer_ != nullptr) {
+      // Nothing was evictable: this coroutine (and the request behind it)
+      // was parked on cache state, not on a disk.
+      tracer_->AddCacheStall(tenant_, machine_.engine().now() - wait_start);
+    }
   }
 }
 
@@ -163,10 +200,15 @@ sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t fil
         // Coalesce with the in-flight read: parked until the read finishes,
         // not woken by unrelated cache traffic. The entry reference is
         // stable (node-based map) and a kReading entry is never evicted.
+        const sim::SimTime wait_start = machine_.engine().now();
         co_await changed_.WaitUntil([&entry] { return entry.state != State::kReading; });
+        if (tracer_ != nullptr) {
+          tracer_->AddCacheStall(tenant_, machine_.engine().now() - wait_start);
+        }
         continue;
       }
       ++stats_.hits;
+      TraceCache("hit");
       policy_->OnAccess(file_block);
       if (entry.io_failed && ok != nullptr) {
         *ok = false;  // Resident but empty: the backing disk refused the read.
@@ -180,6 +222,7 @@ sim::Task<> BlockCache::ReadBlock(const fs::StripedFile& file, std::uint64_t fil
       continue;  // Raced with another requester; re-examine its state.
     }
     ++stats_.misses;
+    TraceCache("miss");
     entry->state = State::kReading;
     entry->referenced = true;
     entry->pins = 1;
@@ -209,14 +252,19 @@ sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t fi
       if (entry.state == State::kReading || entry.state == State::kFlushing) {
         // Wait for the in-flight disk op on this block only; an entry with
         // IO in flight is never evicted, so the reference stays valid.
+        const sim::SimTime wait_start = machine_.engine().now();
         co_await changed_.WaitUntil([&entry] {
           return entry.state != State::kReading && entry.state != State::kFlushing;
         });
+        if (tracer_ != nullptr) {
+          tracer_->AddCacheStall(tenant_, machine_.engine().now() - wait_start);
+        }
         continue;
       }
       entry.referenced = true;
       policy_->OnAccess(file_block);
       MarkDirty(entry);
+      SyncGauges();
       entry.replica = replica;
       entry.fill_bytes += length;
       if (spec_.write_behind() == WriteBehindMode::kFull) {
@@ -236,6 +284,7 @@ sim::Task<> BlockCache::WriteBlock(const fs::StripedFile& file, std::uint64_t fi
       continue;
     }
     MarkDirty(*entry);
+    SyncGauges();
     entry->referenced = true;
     entry->replica = replica;
     entry->fill_bytes = length;
@@ -318,6 +367,7 @@ void BlockCache::PrefetchBlock(const fs::StripedFile& file, std::uint64_t file_b
     // Counted at issue time, here: a prefetch that lost the race above never
     // touched the disk and must not inflate the issue count.
     ++cache.stats_.prefetch_issued;
+    cache.TraceCache("prefetch");
     entry->state = State::kReading;
     entry->pins = 1;
     entry->replica = rep;

@@ -125,6 +125,12 @@ class BlockCache {
   // The resident dirty set, ascending by on-disk LBN (ties by block number).
   std::vector<std::uint64_t> DirtyBlocksByLbn(const fs::StripedFile& file) const;
 
+  // Observability (machine_.tracer(), resolved at construction): pushes the
+  // occupancy/dirty gauges and samples. TraceCache additionally drops an
+  // instant (`hit`/`miss`/`evict`/`flush`/`prefetch`) on this cache's track.
+  void SyncGauges();
+  void TraceCache(const char* event);
+
   core::Machine& machine_;
   std::uint32_t iop_;
   std::uint32_t capacity_;
@@ -138,6 +144,10 @@ class BlockCache {
   std::uint32_t dirty_blocks_ = 0;    // Entries in kDirty state.
   bool batch_flush_active_ = false;   // A wb=hi batch drain is in flight.
   CacheStats stats_;
+  obs::Tracer* tracer_ = nullptr;     // machine_.tracer() at construction.
+  std::uint32_t track_ = 0;           // "cache iop N" trace track.
+  std::uint32_t blocks_counter_ = 0;  // Gauge: resident blocks.
+  std::uint32_t dirty_counter_ = 0;   // Gauge: dirty blocks.
 };
 
 }  // namespace ddio::tc

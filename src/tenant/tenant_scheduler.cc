@@ -15,8 +15,16 @@ TenantScheduler::TenantScheduler(const core::ExperimentConfig& base, const Tenan
   assert(!spec_.tenants.empty());
   base_.machine.num_tenants = static_cast<std::uint32_t>(spec_.tenants.size());
   engine_ = std::make_unique<sim::Engine>(seed);
+  if (base_.trace.active()) {
+    tracer_ = std::make_unique<obs::Tracer>(*engine_, base_.trace);
+  }
   machine_ = std::make_unique<core::Machine>(*engine_, base_.machine);
   machine_->set_allow_concurrent_sessions(true);
+  if (tracer_ != nullptr) {
+    // One machine-wide tracer shared by every tenant session; installed
+    // before sessions attach so per-tenant caches register their tracks.
+    machine_->set_tracer(tracer_.get());
+  }
 
   // Every shared disk gets its own scheduler instance (stateful: fair-share
   // virtual clocks are per queue, not global).
@@ -92,6 +100,9 @@ MultiTenantTrialResult TenantScheduler::Run() {
   }
   engine_->Run();
   result_.total_events = engine_->events_processed();
+  if (tracer_ != nullptr) {
+    result_.trace = std::make_shared<const obs::TraceData>(tracer_->TakeData());
+  }
   return std::move(result_);
 }
 

@@ -46,6 +46,9 @@ struct TenantResult {
 struct MultiTenantTrialResult {
   std::vector<TenantResult> tenants;
   std::uint64_t total_events = 0;
+  // Everything the trial's machine-wide tracer collected (tenant-prefixed
+  // tracks); null on untraced runs.
+  std::shared_ptr<const obs::TraceData> trace;
 };
 
 // Aggregate over config.trials independent trials (seeds base_seed + t).
@@ -81,6 +84,9 @@ class TenantScheduler {
   core::ExperimentConfig base_;
   TenantSpec spec_;
   std::unique_ptr<sim::Engine> engine_;
+  // Machine-wide observability plane (base.trace active): one tracer shared
+  // by every tenant session, installed before any session attaches.
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<core::Machine> machine_;
   std::unique_ptr<sim::Semaphore> admission_;
   std::vector<std::unique_ptr<core::WorkloadSession>> sessions_;

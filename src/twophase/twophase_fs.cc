@@ -213,8 +213,21 @@ sim::Task<> TwoPhaseFileSystem::RunCollective(const fs::StripedFile& file,
     permute_ok_ = true;
   }
 
+  // Trace the two phases as spans on one track, so the permute/IO split —
+  // the whole point of two-phase I/O — is visible next to the disk tracks.
+  obs::Tracer* tracer = machine_.tracer();
+  const std::uint32_t tp_track =
+      tracer != nullptr && tracer->events_on() ? tracer->RegisterTrack("twophase") : 0;
+  auto trace_phase = [&](const char* name, sim::SimTime since) {
+    if (tracer != nullptr) {
+      tracer->Span(tp_track, since, machine_.engine().now(), name);
+    }
+  };
+  sim::SimTime phase_start = machine_.engine().now();
+
   if (pattern.spec().is_write) {
     co_await PermutePhase(file, pattern);
+    trace_phase("permute", phase_start);
     if (faulty && !permute_ok_) {
       // The conforming data never fully assembled; writing it would persist
       // a torn image. Fail the whole collective instead.
@@ -224,13 +237,19 @@ sim::Task<> TwoPhaseFileSystem::RunCollective(const fs::StripedFile& file,
       out.status.MarkFailed("permutation data lost after bounded retries");
       co_return;
     }
+    phase_start = machine_.engine().now();
     co_await io_fs_->RunCollective(file, *conforming_, &io_stats);
+    trace_phase("io", phase_start);
   } else {
     co_await io_fs_->RunCollective(file, *conforming_, &io_stats);
+    trace_phase("io", phase_start);
+    phase_start = machine_.engine().now();
     if (faulty && io_stats.status.ok()) {
       co_await PermutePhase(file, pattern);
+      trace_phase("permute", phase_start);
     } else if (!faulty) {
       co_await PermutePhase(file, pattern);
+      trace_phase("permute", phase_start);
     }
   }
 

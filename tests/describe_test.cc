@@ -1,0 +1,113 @@
+// Pins the `simulate --describe` report (core::DescribeExperiment): every
+// configured plane appears, in a stable order, and the output is
+// deterministic. The full golden for the default configuration is pinned
+// below — update it deliberately when the describe format changes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/describe.h"
+#include "src/core/runner.h"
+#include "src/fault/fault_spec.h"
+#include "src/fs/layout.h"
+#include "src/obs/trace_spec.h"
+
+namespace ddio {
+namespace {
+
+core::ExperimentConfig SmallConfig() {
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.record_bytes = 8192;
+  return cfg;
+}
+
+// Strips the disk-model parameter block (the lines between "disk fleet:" and
+// "disk queues:") so the structural golden below does not have to track every
+// model parameter string.
+std::string WithoutModelParams(const std::string& report) {
+  std::string out;
+  bool in_fleet = false;
+  std::size_t start = 0;
+  while (start < report.size()) {
+    std::size_t end = report.find('\n', start);
+    if (end == std::string::npos) {
+      end = report.size();
+    }
+    const std::string line = report.substr(start, end - start);
+    if (line.rfind("disk fleet:", 0) == 0) {
+      in_fleet = true;
+      out += line + "\n";
+    } else if (in_fleet && line.rfind("  ", 0) == 0) {
+      // Model header/parameter line: skipped.
+    } else {
+      in_fleet = false;
+      out += line + "\n";
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+TEST(DescribeTest, PinsDefaultReportStructure) {
+  const std::string report = core::DescribeExperiment(SmallConfig(), "");
+  EXPECT_EQ(WithoutModelParams(report),
+            "pattern rb: 1 x 32 records of 8192 B, CP grid 1 x 4\n"
+            "  cs (chunk size)  : 65536 bytes\n"
+            "  chunks per CP    : 1 (4 participating CPs, 4 total)\n"
+            "disk fleet: 4 x hp97560\n"
+            "disk queues: fcfs\n"
+            "tc cache: lru:ra=1,wb=full (policy lru, read-ahead 1, write-behind "
+            "flush-on-full)\n"
+            "interconnect: 3x3 torus (8 of 9 slots populated)\n"
+            "layout: contiguous\n"
+            "fault plan: none\n"
+            "trace: off\n")
+      << report;
+}
+
+TEST(DescribeTest, IsDeterministic) {
+  const core::ExperimentConfig cfg = SmallConfig();
+  EXPECT_EQ(core::DescribeExperiment(cfg, ""), core::DescribeExperiment(cfg, ""));
+}
+
+TEST(DescribeTest, ShowsEveryConfiguredPlane) {
+  core::ExperimentConfig cfg = SmallConfig();
+  cfg.layout = fs::LayoutKind::kRandomBlocks;
+  cfg.machine.disk_queue = disk::DiskQueuePolicy::kElevator;
+  cfg.machine.net.model_link_contention = true;
+  std::string error;
+  ASSERT_TRUE(fault::FaultSpec::TryParse("disk:1,stall=10ms@t=1ms", &cfg.machine.faults,
+                                         &error))
+      << error;
+  ASSERT_TRUE(obs::TraceSpec::TryParse("chrome:t.json;counters:every=10ms;attrib", &cfg.trace,
+                                       &error))
+      << error;
+
+  const std::string report = core::DescribeExperiment(cfg, "2 tenants, sched=fair, admit=all");
+  EXPECT_NE(report.find("disk queues: elevator (C-SCAN)"), std::string::npos) << report;
+  EXPECT_NE(report.find("(per-link contention on)"), std::string::npos) << report;
+  EXPECT_NE(report.find("layout: random"), std::string::npos) << report;
+  EXPECT_NE(report.find("fault plan:\n"), std::string::npos) << report;
+  EXPECT_EQ(report.find("fault plan: none"), std::string::npos) << report;
+  EXPECT_NE(report.find("tenants: 2 tenants, sched=fair, admit=all"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("trace: chrome:t.json;counters:every=10000000ns;attrib"),
+            std::string::npos)
+      << report;
+}
+
+TEST(DescribeTest, MirrorLayoutNamesReplicaCount) {
+  core::ExperimentConfig cfg = SmallConfig();
+  cfg.layout = fs::LayoutKind::kContiguous;
+  cfg.replicas = 2;
+  const std::string report = core::DescribeExperiment(cfg, "");
+  EXPECT_NE(report.find("mirror copies per block"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace ddio

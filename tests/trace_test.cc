@@ -1,0 +1,261 @@
+// Observability-plane contracts:
+//  * Zero observer effect — running with every trace plane on yields
+//    byte-identical simulated results (OpStats and engine event counts) to an
+//    untraced run, for every method, disk model, and under fault injection.
+//  * Parallel determinism — the exported Chrome JSON and counter CSV are
+//    byte-identical for any --jobs value.
+//  * The attribution buckets and collected trace data are sane: the planes
+//    that must light up do.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/op_stats.h"
+#include "src/core/runner.h"
+#include "src/core/workload.h"
+#include "src/disk/disk_registry.h"
+#include "src/fault/fault_spec.h"
+#include "src/fs/layout.h"
+#include "src/obs/trace_export.h"
+#include "src/obs/trace_spec.h"
+#include "src/obs/tracer.h"
+#include "src/tenant/tenant_scheduler.h"
+#include "src/tenant/tenant_spec.h"
+
+namespace ddio {
+namespace {
+
+const char* kMethods[] = {"tc", "ddio", "ddio-nosort", "twophase"};
+
+obs::TraceSpec FullTrace() {
+  obs::TraceSpec spec;
+  std::string error;
+  // Collect every plane; the chrome/csv paths are only used at export time,
+  // which these tests drive through the in-memory serializers.
+  EXPECT_TRUE(obs::TraceSpec::TryParse("chrome:unused.json;counters:every=1ms;attrib", &spec,
+                                       &error))
+      << error;
+  return spec;
+}
+
+core::ExperimentConfig SmallConfig(const std::string& method, const std::string& disk,
+                                   const char* faults) {
+  core::ExperimentConfig cfg;
+  cfg.machine.num_cps = 4;
+  cfg.machine.num_iops = 4;
+  cfg.machine.num_disks = 4;
+  cfg.file_bytes = 256 * 1024;
+  cfg.record_bytes = 8192;
+  cfg.layout = fs::LayoutKind::kRandomBlocks;  // Real positioning work for the buckets.
+  cfg.method_key = method;
+  core::MethodFromKey(method, &cfg.method);
+  cfg.trials = 1;
+  if (!disk.empty()) {
+    std::vector<disk::DiskSpec> specs;
+    std::string error;
+    EXPECT_TRUE(disk::DiskSpec::TryParseList(disk, &specs, &error)) << error;
+    cfg.machine.SetDisks(std::move(specs));
+  }
+  if (faults != nullptr) {
+    std::string error;
+    EXPECT_TRUE(fault::FaultSpec::TryParse(faults, &cfg.machine.faults, &error)) << error;
+  }
+  return cfg;
+}
+
+// Every simulated-outcome field of OpStats; attrib is intentionally excluded
+// (it is OUTPUT of the tracer, not a simulated result).
+void ExpectSameStats(const core::OpStats& a, const core::OpStats& b, const std::string& what) {
+  EXPECT_EQ(a.start_ns, b.start_ns) << what;
+  EXPECT_EQ(a.end_ns, b.end_ns) << what;
+  EXPECT_EQ(a.file_bytes, b.file_bytes) << what;
+  EXPECT_EQ(a.requests, b.requests) << what;
+  EXPECT_EQ(a.cache_hits, b.cache_hits) << what;
+  EXPECT_EQ(a.cache_misses, b.cache_misses) << what;
+  EXPECT_EQ(a.prefetches, b.prefetches) << what;
+  EXPECT_EQ(a.flushes, b.flushes) << what;
+  EXPECT_EQ(a.rmw_flushes, b.rmw_flushes) << what;
+  EXPECT_EQ(a.pieces, b.pieces) << what;
+  EXPECT_EQ(a.bytes_delivered, b.bytes_delivered) << what;
+  EXPECT_EQ(a.max_cp_cpu_util, b.max_cp_cpu_util) << what;
+  EXPECT_EQ(a.max_iop_cpu_util, b.max_iop_cpu_util) << what;
+  EXPECT_EQ(a.max_bus_util, b.max_bus_util) << what;
+  EXPECT_EQ(a.avg_disk_util, b.avg_disk_util) << what;
+  EXPECT_EQ(static_cast<int>(a.status.outcome), static_cast<int>(b.status.outcome)) << what;
+  EXPECT_EQ(a.status.retries, b.status.retries) << what;
+  EXPECT_EQ(a.status.attempts, b.status.attempts) << what;
+  EXPECT_EQ(a.status.detail, b.status.detail) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-on runs are byte-identical to trace-off runs: 4 methods x 2 disk
+// models, with fault injection active (the network fault path has its own
+// tracer hooks worth exercising).
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, TracingIsAPureObserver) {
+  for (const char* method : kMethods) {
+    for (const std::string& disk : {std::string(), std::string("ssd")}) {
+      core::ExperimentConfig off =
+          SmallConfig(method, disk, "disk:1,stall=10ms@t=1ms;link:cp0-iop1,drop=0.05");
+      core::ExperimentConfig on = off;
+      on.trace = FullTrace();
+
+      std::uint64_t events_off = 0;
+      std::uint64_t events_on = 0;
+      const core::OpStats stats_off = core::RunTrial(off, 1000, &events_off);
+      const core::OpStats stats_on = core::RunTrial(on, 1000, &events_on);
+
+      const std::string what =
+          std::string(method) + " on " + (disk.empty() ? "hp97560" : disk);
+      EXPECT_EQ(events_off, events_on) << what;
+      ExpectSameStats(stats_off, stats_on, what);
+      EXPECT_FALSE(stats_off.attrib.filled) << what;
+      EXPECT_TRUE(stats_on.attrib.filled) << what;
+    }
+  }
+}
+
+TEST(TraceTest, UntracedRunsCarryNoTraceData) {
+  core::ExperimentConfig cfg = SmallConfig("ddio", "", nullptr);
+  core::WorkloadResult result =
+      core::RunWorkloadTrial(cfg, core::Workload::SinglePhase(cfg), 1000);
+  EXPECT_EQ(result.trace, nullptr);
+  EXPECT_FALSE(result.phases.front().attrib.filled);
+}
+
+// ---------------------------------------------------------------------------
+// jobs=1 vs jobs=8: the exported artifacts are byte-identical because export
+// only sees trial-index-ordered data.
+// ---------------------------------------------------------------------------
+
+std::vector<obs::TraceData> CollectTraces(const core::WorkloadExperimentResult& result) {
+  std::vector<obs::TraceData> traces;
+  for (const core::WorkloadResult& trial : result.trials) {
+    EXPECT_NE(trial.trace, nullptr);
+    if (trial.trace != nullptr) {
+      traces.push_back(*trial.trace);
+    }
+  }
+  return traces;
+}
+
+TEST(TraceTest, ExportIsByteIdenticalAcrossJobCounts) {
+  core::ExperimentConfig cfg = SmallConfig("tc", "", nullptr);
+  cfg.trials = 4;
+  cfg.trace = FullTrace();
+  const core::Workload workload = core::Workload::SinglePhase(cfg);
+
+  const auto serial = core::RunWorkloadExperiment(cfg, workload, 1);
+  const auto parallel = core::RunWorkloadExperiment(cfg, workload, 8);
+
+  const std::vector<obs::TraceData> traces_serial = CollectTraces(serial);
+  const std::vector<obs::TraceData> traces_parallel = CollectTraces(parallel);
+  ASSERT_EQ(traces_serial.size(), 4u);
+  ASSERT_EQ(traces_parallel.size(), 4u);
+
+  EXPECT_EQ(obs::ChromeTraceJson(traces_serial), obs::ChromeTraceJson(traces_parallel));
+  EXPECT_EQ(obs::CounterCsv(traces_serial), obs::CounterCsv(traces_parallel));
+}
+
+// ---------------------------------------------------------------------------
+// The collected planes are non-trivial: the spans, counters, and buckets that
+// must light up for a real collective do.
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, ChromeJsonHasExpectedShape) {
+  core::ExperimentConfig cfg = SmallConfig("ddio", "", nullptr);
+  cfg.trace = FullTrace();
+  core::WorkloadResult result =
+      core::RunWorkloadTrial(cfg, core::Workload::SinglePhase(cfg), 1000);
+  ASSERT_NE(result.trace, nullptr);
+  const obs::TraceData& data = *result.trace;
+
+  EXPECT_FALSE(data.tracks.empty());
+  EXPECT_FALSE(data.events.empty());
+  EXPECT_FALSE(data.counters.empty());
+  EXPECT_FALSE(data.samples.empty());
+
+  const std::string json = obs::ChromeTraceJson({data});
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 40);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"disk 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"position\""), std::string::npos);
+  EXPECT_NE(json.find("\"tx\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"disk 0 util\""), std::string::npos);
+
+  const std::string csv = obs::CounterCsv({data});
+  EXPECT_EQ(csv.rfind("trial,ts_us,counter,value", 0), 0u);
+}
+
+TEST(TraceTest, AttributionBucketsAreSane) {
+  core::ExperimentConfig cfg = SmallConfig("tc", "", nullptr);
+  cfg.trace = FullTrace();
+  std::uint64_t events = 0;
+  const core::OpStats stats = core::RunTrial(cfg, 1000, &events);
+
+  ASSERT_TRUE(stats.attrib.filled);
+  // A mechanical disk run over a random layout seeks and transfers.
+  EXPECT_GT(stats.attrib.disk_position_ns, 0u);
+  EXPECT_GT(stats.attrib.disk_transfer_ns, 0u);
+  // Data moved CP<->IOP, so NIC serialization and network time accrued.
+  EXPECT_GT(stats.attrib.nic_ns, 0u);
+  EXPECT_GT(stats.attrib.network_ns, 0u);
+  // Request handling burned CPU cycles.
+  EXPECT_GT(stats.attrib.compute_ns, 0u);
+}
+
+TEST(TraceTest, CacheInstantsAppearForTc) {
+  core::ExperimentConfig cfg = SmallConfig("tc", "", nullptr);
+  cfg.trace = FullTrace();
+  core::WorkloadResult result =
+      core::RunWorkloadTrial(cfg, core::Workload::SinglePhase(cfg), 1000);
+  ASSERT_NE(result.trace, nullptr);
+  const std::string json = obs::ChromeTraceJson({*result.trace});
+  EXPECT_NE(json.find("\"cache iop 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"miss\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant: one machine-wide tracer, tenant-prefixed tracks, per-tenant
+// buckets — and tracing stays a pure observer there too.
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, MultiTenantTracksAndBuckets) {
+  core::ExperimentConfig cfg = SmallConfig("tc", "", nullptr);
+  tenant::TenantSpec spec;
+  std::string error;
+  ASSERT_TRUE(tenant::TenantSpec::TryParse("t0:pat=rb;t1:pat=rb", &spec, &error)) << error;
+  ASSERT_TRUE(spec.Validate(&error)) << error;
+
+  const tenant::MultiTenantTrialResult off = tenant::RunMultiTenantTrial(cfg, spec, 42);
+  cfg.trace = FullTrace();
+  const tenant::MultiTenantTrialResult on = tenant::RunMultiTenantTrial(cfg, spec, 42);
+
+  EXPECT_EQ(off.total_events, on.total_events);
+  ASSERT_EQ(off.tenants.size(), on.tenants.size());
+  for (std::size_t t = 0; t < off.tenants.size(); ++t) {
+    ASSERT_EQ(off.tenants[t].phases.size(), on.tenants[t].phases.size());
+    ExpectSameStats(off.tenants[t].phases.back(), on.tenants[t].phases.back(),
+                    "tenant " + std::to_string(t));
+    EXPECT_TRUE(on.tenants[t].phases.back().attrib.filled);
+  }
+
+  ASSERT_NE(on.trace, nullptr);
+  EXPECT_GE(on.trace->tenant_buckets.size(), 2u);
+  bool saw_t1_track = false;
+  for (const std::string& track : on.trace->tracks) {
+    if (track.rfind("t1 ", 0) == 0) {
+      saw_t1_track = true;
+    }
+  }
+  EXPECT_TRUE(saw_t1_track);
+  EXPECT_EQ(off.trace, nullptr);
+}
+
+}  // namespace
+}  // namespace ddio
